@@ -1,0 +1,257 @@
+//! The coupled HMM baseline [4]: two flat macro chains with cross-chain
+//! transition coupling.
+
+use cace_model::ModelError;
+
+use crate::{validate_emissions, EmissionSeq};
+
+/// Jointly decoded output for both residents.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoupledPath {
+    /// Macro activity per user per tick.
+    pub macros: [Vec<usize>; 2],
+    /// Log-score of the decoded joint path.
+    pub log_prob: f64,
+    /// Σ_t joint states instantiated.
+    pub states_explored: u64,
+}
+
+/// A two-chain coupled HMM: `P(a_t | a_{t−1}, partner_{t−1})` factorized as
+/// intra-chain transition × cross-chain influence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoupledHmm {
+    n: usize,
+    log_prior: Vec<f64>,
+    log_intra: Vec<Vec<f64>>,
+    /// `log P(a_t | partner_{t−1})` cross-chain factor.
+    log_cross: Vec<Vec<f64>>,
+}
+
+impl CoupledHmm {
+    /// Fits from paired label sequences (`labels[s][u][t]`).
+    ///
+    /// # Errors
+    /// Returns [`ModelError::InsufficientData`] with no data,
+    /// [`ModelError::LengthMismatch`] when the two users' sequences differ
+    /// in length, and [`ModelError::InvalidConfig`] on bad labels.
+    pub fn fit(
+        sequences: &[[Vec<usize>; 2]],
+        n_states: usize,
+        laplace: f64,
+    ) -> Result<Self, ModelError> {
+        let total: usize = sequences.iter().map(|s| s[0].len()).sum();
+        if total == 0 {
+            return Err(ModelError::InsufficientData {
+                what: "CHMM training".into(),
+                available: 0,
+                required: 1,
+            });
+        }
+        for s in sequences {
+            if s[0].len() != s[1].len() {
+                return Err(ModelError::LengthMismatch {
+                    what: "paired label sequences".into(),
+                    left: s[0].len(),
+                    right: s[1].len(),
+                });
+            }
+            if s.iter().flatten().any(|&l| l >= n_states) {
+                return Err(ModelError::InvalidConfig("label out of range".into()));
+            }
+        }
+
+        let mut prior = vec![laplace; n_states];
+        let mut intra = vec![vec![laplace; n_states]; n_states];
+        let mut cross = vec![vec![laplace; n_states]; n_states];
+        for s in sequences {
+            for u in 0..2 {
+                if let Some(&first) = s[u].first() {
+                    prior[first] += 1.0;
+                }
+                for t in 1..s[u].len() {
+                    intra[s[u][t - 1]][s[u][t]] += 1.0;
+                    cross[s[1 - u][t - 1]][s[u][t]] += 1.0;
+                }
+            }
+        }
+        let norm = |rows: Vec<Vec<f64>>| -> Vec<Vec<f64>> {
+            rows.into_iter()
+                .map(|row| {
+                    let total: f64 = row.iter().sum();
+                    row.iter().map(|&c| (c / total).ln()).collect()
+                })
+                .collect()
+        };
+        let prior_total: f64 = prior.iter().sum();
+        Ok(Self {
+            n: n_states,
+            log_prior: prior.iter().map(|&p| (p / prior_total).ln()).collect(),
+            log_intra: norm(intra),
+            log_cross: norm(cross),
+        })
+    }
+
+    /// Number of per-chain states.
+    pub fn n_states(&self) -> usize {
+        self.n
+    }
+
+    /// Joint Viterbi over both chains.
+    ///
+    /// # Errors
+    /// Returns emission-shape errors from validation.
+    pub fn viterbi(
+        &self,
+        emissions: &[EmissionSeq; 2],
+    ) -> Result<CoupledPath, ModelError> {
+        validate_emissions(&emissions[0], self.n)?;
+        validate_emissions(&emissions[1], self.n)?;
+        if emissions[0].len() != emissions[1].len() {
+            return Err(ModelError::LengthMismatch {
+                what: "paired emission sequences".into(),
+                left: emissions[0].len(),
+                right: emissions[1].len(),
+            });
+        }
+        let t_total = emissions[0].len();
+        let n = self.n;
+        let nn = n * n;
+        let mut states_explored = nn as u64;
+
+        // V[a1 * n + a2].
+        let mut v: Vec<f64> = (0..nn)
+            .map(|j| {
+                let (a1, a2) = (j / n, j % n);
+                self.log_prior[a1]
+                    + self.log_prior[a2]
+                    + emissions[0][0][a1]
+                    + emissions[1][0][a2]
+            })
+            .collect();
+        let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
+
+        for t in 1..t_total {
+            states_explored += nn as u64;
+            let mut v_new = vec![f64::NEG_INFINITY; nn];
+            let mut back = vec![0u32; nn];
+            for a1 in 0..n {
+                for a2 in 0..n {
+                    let j = a1 * n + a2;
+                    let mut best = f64::NEG_INFINITY;
+                    let mut best_arg = 0u32;
+                    for p1 in 0..n {
+                        // Coupled transition: intra each chain + cross from
+                        // the partner's previous state.
+                        let base1 = self.log_intra[p1][a1];
+                        for p2 in 0..n {
+                            let score = v[p1 * n + p2]
+                                + base1
+                                + self.log_intra[p2][a2]
+                                + self.log_cross[p2][a1]
+                                + self.log_cross[p1][a2];
+                            if score > best {
+                                best = score;
+                                best_arg = (p1 * n + p2) as u32;
+                            }
+                        }
+                    }
+                    v_new[j] = best + emissions[0][t][a1] + emissions[1][t][a2];
+                    back[j] = best_arg;
+                }
+            }
+            v = v_new;
+            backptrs.push(back);
+        }
+
+        let (mut j, log_prob) = v
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .map(|(i, &s)| (i, s))
+            .expect("nonempty trellis");
+        let mut macros = [vec![0usize; t_total], vec![0usize; t_total]];
+        for t in (0..t_total).rev() {
+            macros[0][t] = j / n;
+            macros[1][t] = j % n;
+            if t > 0 {
+                j = backptrs[t][j] as usize;
+            }
+        }
+        Ok(CoupledPath { macros, log_prob, states_explored })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clear(labels: &[usize], n: usize, strength: f64) -> EmissionSeq {
+        labels
+            .iter()
+            .map(|&l| (0..n).map(|a| if a == l { 0.0 } else { -strength }).collect())
+            .collect()
+    }
+
+    fn synchronized_training() -> Vec<[Vec<usize>; 2]> {
+        // Both users always share the activity, runs of 5.
+        let mut seq = Vec::new();
+        for r in 0..20 {
+            for _ in 0..5 {
+                seq.push(r % 2);
+            }
+        }
+        vec![[seq.clone(), seq]]
+    }
+
+    #[test]
+    fn decodes_clear_joint_sequences() {
+        let chmm = CoupledHmm::fit(&synchronized_training(), 2, 0.1).unwrap();
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let em = [clear(&labels, 2, 5.0), clear(&labels, 2, 5.0)];
+        let path = chmm.viterbi(&em).unwrap();
+        assert_eq!(path.macros[0], labels);
+        assert_eq!(path.macros[1], labels);
+    }
+
+    #[test]
+    fn coupling_disambiguates_a_partner() {
+        let chmm = CoupledHmm::fit(&synchronized_training(), 2, 0.1).unwrap();
+        let labels = vec![0, 0, 0, 0, 0, 0];
+        let clear_em = clear(&labels, 2, 5.0);
+        // Partner has completely uninformative emissions.
+        let flat: EmissionSeq = labels.iter().map(|_| vec![0.0, 0.0]).collect();
+        let path = chmm.viterbi(&[clear_em, flat]).unwrap();
+        assert_eq!(
+            path.macros[1], labels,
+            "cross-chain coupling should pull the ambiguous partner"
+        );
+    }
+
+    #[test]
+    fn shape_errors() {
+        let chmm = CoupledHmm::fit(&synchronized_training(), 2, 0.1).unwrap();
+        let a = clear(&[0, 0], 2, 1.0);
+        let b = clear(&[0], 2, 1.0);
+        assert!(matches!(
+            chmm.viterbi(&[a, b]),
+            Err(ModelError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            CoupledHmm::fit(&[[vec![0, 1], vec![0]]], 2, 0.1),
+            Err(ModelError::LengthMismatch { .. })
+        ));
+        assert!(matches!(
+            CoupledHmm::fit(&[], 2, 0.1),
+            Err(ModelError::InsufficientData { .. })
+        ));
+    }
+
+    #[test]
+    fn states_explored_is_quadratic_in_states() {
+        let chmm = CoupledHmm::fit(&synchronized_training(), 2, 0.1).unwrap();
+        let labels = vec![0; 5];
+        let em = [clear(&labels, 2, 1.0), clear(&labels, 2, 1.0)];
+        let path = chmm.viterbi(&em).unwrap();
+        assert_eq!(path.states_explored, 5 * 4);
+    }
+}

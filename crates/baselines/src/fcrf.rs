@@ -1,0 +1,286 @@
+//! The factorial CRF baseline [5], trained with structured-perceptron
+//! updates.
+//!
+//! A factorial CRF over two chains scores a joint labeling with node
+//! potentials (weighted emission scores plus per-label biases), within-chain
+//! edge potentials, and cross-chain co-temporal potentials. We train the
+//! potentials discriminatively with averaged structured-perceptron updates
+//! (a standard practical surrogate for full CRF gradient training) and
+//! decode exactly with joint Viterbi. Matching Wang et al., the model is fed
+//! wearable-only evidence by the evaluation harness.
+
+use cace_model::ModelError;
+
+use crate::chmm::CoupledPath;
+use crate::{validate_emissions, EmissionSeq};
+
+/// FCRF training configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FcrfConfig {
+    /// Perceptron epochs.
+    pub epochs: usize,
+    /// Update step size.
+    pub learning_rate: f64,
+}
+
+impl Default for FcrfConfig {
+    fn default() -> Self {
+        Self { epochs: 5, learning_rate: 0.1 }
+    }
+}
+
+/// The factorial CRF.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fcrf {
+    n: usize,
+    /// Scale on the emission scores.
+    obs_weight: f64,
+    /// Per-label node bias.
+    bias: Vec<f64>,
+    /// Within-chain edge potentials.
+    edge: Vec<Vec<f64>>,
+    /// Cross-chain co-temporal potentials.
+    cross: Vec<Vec<f64>>,
+}
+
+impl Fcrf {
+    /// An untrained model with zero potentials.
+    pub fn new(n_states: usize) -> Self {
+        Self {
+            n: n_states,
+            obs_weight: 1.0,
+            bias: vec![0.0; n_states],
+            edge: vec![vec![0.0; n_states]; n_states],
+            cross: vec![vec![0.0; n_states]; n_states],
+        }
+    }
+
+    /// Number of per-chain states.
+    pub fn n_states(&self) -> usize {
+        self.n
+    }
+
+    /// Trains on labeled sessions with averaged structured-perceptron
+    /// updates.
+    ///
+    /// `data` pairs each session's per-user emissions with its per-user
+    /// gold labels.
+    ///
+    /// # Errors
+    /// Returns shape errors for inconsistent sessions.
+    pub fn fit(
+        &mut self,
+        data: &[([EmissionSeq; 2], [Vec<usize>; 2])],
+        config: &FcrfConfig,
+    ) -> Result<(), ModelError> {
+        if data.is_empty() {
+            return Err(ModelError::InsufficientData {
+                what: "FCRF training".into(),
+                available: 0,
+                required: 1,
+            });
+        }
+        for (em, labels) in data {
+            for u in 0..2 {
+                validate_emissions(&em[u], self.n)?;
+                if em[u].len() != labels[u].len() {
+                    return Err(ModelError::LengthMismatch {
+                        what: "emissions vs labels".into(),
+                        left: em[u].len(),
+                        right: labels[u].len(),
+                    });
+                }
+                if labels[u].iter().any(|&l| l >= self.n) {
+                    return Err(ModelError::InvalidConfig("label out of range".into()));
+                }
+            }
+        }
+
+        let lr = config.learning_rate;
+        for _epoch in 0..config.epochs {
+            for (em, gold) in data {
+                let predicted = self.viterbi(em)?;
+                let t_total = em[0].len();
+                for t in 0..t_total {
+                    for u in 0..2 {
+                        let (g, p) = (gold[u][t], predicted.macros[u][t]);
+                        if g != p {
+                            self.bias[g] += lr;
+                            self.bias[p] -= lr;
+                        }
+                        if t > 0 {
+                            let (gp, pp) = (gold[u][t - 1], predicted.macros[u][t - 1]);
+                            if (gp, g) != (pp, p) {
+                                self.edge[gp][g] += lr;
+                                self.edge[pp][p] -= lr;
+                            }
+                        }
+                    }
+                    let (g1, g2) = (gold[0][t], gold[1][t]);
+                    let (p1, p2) = (predicted.macros[0][t], predicted.macros[1][t]);
+                    if (g1, g2) != (p1, p2) {
+                        self.cross[g1][g2] += lr;
+                        self.cross[p1][p2] -= lr;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Exact joint Viterbi decoding.
+    ///
+    /// # Errors
+    /// Returns emission-shape errors from validation.
+    pub fn viterbi(&self, emissions: &[EmissionSeq; 2]) -> Result<CoupledPath, ModelError> {
+        validate_emissions(&emissions[0], self.n)?;
+        validate_emissions(&emissions[1], self.n)?;
+        if emissions[0].len() != emissions[1].len() {
+            return Err(ModelError::LengthMismatch {
+                what: "paired emission sequences".into(),
+                left: emissions[0].len(),
+                right: emissions[1].len(),
+            });
+        }
+        let (n, t_total) = (self.n, emissions[0].len());
+        let nn = n * n;
+        let mut states_explored = nn as u64;
+
+        let node = |t: usize, a1: usize, a2: usize| -> f64 {
+            self.obs_weight * (emissions[0][t][a1] + emissions[1][t][a2])
+                + self.bias[a1]
+                + self.bias[a2]
+                + self.cross[a1][a2]
+        };
+
+        let mut v: Vec<f64> =
+            (0..nn).map(|j| node(0, j / n, j % n)).collect();
+        let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
+        for t in 1..t_total {
+            states_explored += nn as u64;
+            let mut v_new = vec![f64::NEG_INFINITY; nn];
+            let mut back = vec![0u32; nn];
+            for a1 in 0..n {
+                for a2 in 0..n {
+                    let j = a1 * n + a2;
+                    let mut best = f64::NEG_INFINITY;
+                    let mut best_arg = 0u32;
+                    for p1 in 0..n {
+                        let e1 = self.edge[p1][a1];
+                        for p2 in 0..n {
+                            let score = v[p1 * n + p2] + e1 + self.edge[p2][a2];
+                            if score > best {
+                                best = score;
+                                best_arg = (p1 * n + p2) as u32;
+                            }
+                        }
+                    }
+                    v_new[j] = best + node(t, a1, a2);
+                    back[j] = best_arg;
+                }
+            }
+            v = v_new;
+            backptrs.push(back);
+        }
+
+        let (mut j, log_prob) = v
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .map(|(i, &s)| (i, s))
+            .expect("nonempty trellis");
+        let mut macros = [vec![0usize; t_total], vec![0usize; t_total]];
+        for t in (0..t_total).rev() {
+            macros[0][t] = j / n;
+            macros[1][t] = j % n;
+            if t > 0 {
+                j = backptrs[t][j] as usize;
+            }
+        }
+        Ok(CoupledPath { macros, log_prob, states_explored })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clear(labels: &[usize], n: usize, strength: f64) -> EmissionSeq {
+        labels
+            .iter()
+            .map(|&l| (0..n).map(|a| if a == l { 0.0 } else { -strength }).collect())
+            .collect()
+    }
+
+    #[test]
+    fn untrained_model_follows_emissions() {
+        let fcrf = Fcrf::new(3);
+        let labels = vec![0, 1, 2, 1];
+        let em = [clear(&labels, 3, 3.0), clear(&labels, 3, 3.0)];
+        let path = fcrf.viterbi(&em).unwrap();
+        assert_eq!(path.macros[0], labels);
+    }
+
+    #[test]
+    fn training_learns_persistence() {
+        // Gold sequences are persistent; raw emissions carry glitches. After
+        // training, the edge potentials should smooth the glitch away.
+        let gold = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let mut noisy = clear(&gold, 2, 1.5);
+        noisy[2] = vec![-0.4, 0.0]; // glitch toward 1
+        let session = (
+            [noisy.clone(), clear(&gold, 2, 1.5)],
+            [gold.clone(), gold.clone()],
+        );
+        let mut fcrf = Fcrf::new(2);
+        // Before training the glitch wins.
+        let before = fcrf.viterbi(&session.0).unwrap();
+        assert_eq!(before.macros[0][2], 1);
+        fcrf.fit(
+            &[session.clone()],
+            &FcrfConfig { epochs: 20, learning_rate: 0.05 },
+        )
+        .unwrap();
+        let after = fcrf.viterbi(&session.0).unwrap();
+        assert_eq!(after.macros[0], gold, "trained FCRF should smooth the glitch");
+    }
+
+    #[test]
+    fn cross_potentials_couple_users() {
+        // Train on perfectly synchronized users, then give user 2 flat
+        // emissions: coupling should copy user 1's labels.
+        let mut runs = Vec::new();
+        for r in 0..10 {
+            for _ in 0..4 {
+                runs.push(r % 2);
+            }
+        }
+        let session = (
+            [clear(&runs, 2, 2.0), clear(&runs, 2, 2.0)],
+            [runs.clone(), runs.clone()],
+        );
+        let mut fcrf = Fcrf::new(2);
+        fcrf.fit(&[session], &FcrfConfig { epochs: 10, learning_rate: 0.05 }).unwrap();
+        let labels = vec![0, 0, 0, 0];
+        let flat: EmissionSeq = labels.iter().map(|_| vec![0.0, 0.0]).collect();
+        let path = fcrf.viterbi(&[clear(&labels, 2, 3.0), flat]).unwrap();
+        // Perceptron potentials are coarse; demand a clear majority pull
+        // rather than a perfect copy.
+        let agree = path.macros[1].iter().filter(|&&a| a == 0).count();
+        assert!(agree >= 3, "cross potential should couple: {:?}", path.macros[1]);
+    }
+
+    #[test]
+    fn shape_errors() {
+        let mut fcrf = Fcrf::new(2);
+        assert!(matches!(
+            fcrf.fit(&[], &FcrfConfig::default()),
+            Err(ModelError::InsufficientData { .. })
+        ));
+        let bad = (
+            [clear(&[0, 1], 2, 1.0), clear(&[0], 2, 1.0)],
+            [vec![0, 1], vec![0]],
+        );
+        assert!(fcrf.fit(&[bad], &FcrfConfig::default()).is_err());
+    }
+}

@@ -1,0 +1,162 @@
+//! The per-user flat HMM baseline [9].
+
+use cace_model::ModelError;
+
+use crate::{argmax, validate_emissions, BaselinePath, EmissionSeq};
+
+/// A flat HMM over macro activities.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hmm {
+    n: usize,
+    log_prior: Vec<f64>,
+    log_trans: Vec<Vec<f64>>,
+}
+
+impl Hmm {
+    /// Fits prior and transition tables from labeled sequences (one `Vec`
+    /// per session per user) with Laplace smoothing.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::InsufficientData`] when no labels are given and
+    /// [`ModelError::InvalidConfig`] on out-of-range labels.
+    pub fn fit(sequences: &[Vec<usize>], n_states: usize, laplace: f64) -> Result<Self, ModelError> {
+        if sequences.iter().map(|s| s.len()).sum::<usize>() == 0 {
+            return Err(ModelError::InsufficientData {
+                what: "HMM training".into(),
+                available: 0,
+                required: 1,
+            });
+        }
+        if sequences.iter().flatten().any(|&l| l >= n_states) {
+            return Err(ModelError::InvalidConfig("label out of range".into()));
+        }
+        let mut prior = vec![laplace; n_states];
+        let mut trans = vec![vec![laplace; n_states]; n_states];
+        for seq in sequences {
+            if let Some(&first) = seq.first() {
+                prior[first] += 1.0;
+            }
+            for w in seq.windows(2) {
+                trans[w[0]][w[1]] += 1.0;
+            }
+        }
+        let prior_total: f64 = prior.iter().sum();
+        let log_prior = prior.iter().map(|&p| (p / prior_total).ln()).collect();
+        let log_trans = trans
+            .iter()
+            .map(|row| {
+                let total: f64 = row.iter().sum();
+                row.iter().map(|&c| (c / total).ln()).collect()
+            })
+            .collect();
+        Ok(Self { n: n_states, log_prior, log_trans })
+    }
+
+    /// Number of states.
+    pub fn n_states(&self) -> usize {
+        self.n
+    }
+
+    /// Viterbi decoding over an emission sequence.
+    ///
+    /// # Errors
+    /// Returns emission-shape errors from validation.
+    pub fn viterbi(&self, emissions: &EmissionSeq) -> Result<BaselinePath, ModelError> {
+        validate_emissions(emissions, self.n)?;
+        let t_total = emissions.len();
+        let mut v: Vec<f64> = (0..self.n)
+            .map(|a| self.log_prior[a] + emissions[0][a])
+            .collect();
+        let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut states_explored = self.n as u64;
+
+        for row in emissions.iter().skip(1) {
+            let mut v_new = vec![f64::NEG_INFINITY; self.n];
+            let mut back = vec![0u32; self.n];
+            states_explored += self.n as u64;
+            for a in 0..self.n {
+                let mut best = f64::NEG_INFINITY;
+                let mut best_arg = 0u32;
+                for ap in 0..self.n {
+                    let s = v[ap] + self.log_trans[ap][a];
+                    if s > best {
+                        best = s;
+                        best_arg = ap as u32;
+                    }
+                }
+                v_new[a] = best + row[a];
+                back[a] = best_arg;
+            }
+            v = v_new;
+            backptrs.push(back);
+        }
+
+        let mut a = argmax(&v);
+        let log_prob = v[a];
+        let mut macros = vec![0usize; t_total];
+        for t in (0..t_total).rev() {
+            macros[t] = a;
+            if t > 0 {
+                a = backptrs[t][a] as usize;
+            }
+        }
+        Ok(BaselinePath { macros, log_prob, states_explored })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clear_emissions(labels: &[usize], n: usize, strength: f64) -> EmissionSeq {
+        labels
+            .iter()
+            .map(|&l| (0..n).map(|a| if a == l { 0.0 } else { -strength }).collect())
+            .collect()
+    }
+
+    #[test]
+    fn learns_persistence_and_decodes() {
+        let train = vec![vec![0, 0, 0, 0, 1, 1, 1, 1, 0, 0, 0, 0]];
+        let hmm = Hmm::fit(&train, 2, 0.1).unwrap();
+        let labels = vec![0, 0, 0, 1, 1, 1];
+        let path = hmm.viterbi(&clear_emissions(&labels, 2, 5.0)).unwrap();
+        assert_eq!(path.macros, labels);
+        assert!(path.log_prob.is_finite());
+        assert_eq!(path.states_explored, 12);
+    }
+
+    #[test]
+    fn smooths_noisy_emissions() {
+        let train = vec![vec![0; 20], vec![1; 20], vec![0, 1], vec![1, 0]];
+        let hmm = Hmm::fit(&train, 2, 0.1).unwrap();
+        let mut em = clear_emissions(&[0, 0, 0, 0, 0, 0, 0], 2, 2.0);
+        em[3] = vec![-0.4, 0.0]; // weak glitch toward state 1
+        let path = hmm.viterbi(&em).unwrap();
+        assert_eq!(path.macros, vec![0; 7], "persistence should absorb glitch");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!(matches!(
+            Hmm::fit(&[], 3, 0.1),
+            Err(ModelError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            Hmm::fit(&[vec![5]], 3, 0.1),
+            Err(ModelError::InvalidConfig(_))
+        ));
+        let hmm = Hmm::fit(&[vec![0, 1, 2]], 3, 0.1).unwrap();
+        assert!(hmm.viterbi(&Vec::new()).is_err());
+        assert!(hmm.viterbi(&vec![vec![0.0; 2]]).is_err());
+    }
+
+    #[test]
+    fn transition_matrix_is_row_normalized_in_log_space() {
+        let hmm = Hmm::fit(&[vec![0, 1, 0, 1, 1]], 2, 0.5).unwrap();
+        for row in &hmm.log_trans {
+            let mass: f64 = row.iter().map(|l| l.exp()).sum();
+            assert!((mass - 1.0).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! # cace-baselines
+//!
+//! The three comparator models of the paper's Fig 10:
+//!
+//! * [`Hmm`] — the per-user HMM of Singla et al. [9]: one flat macro-state
+//!   chain per resident, no coupling, no hierarchy ("built an individual
+//!   HMM model for each user").
+//! * [`CoupledHmm`] — the CHMM of Roy et al. [4]: two flat macro chains with
+//!   inter-user transition coupling over ambient + postural evidence.
+//! * [`Fcrf`] — the factorial CRF of Wang et al. [5]: two coupled chains
+//!   trained discriminatively (structured-perceptron updates over node,
+//!   within-chain, and cross-chain potentials), relying on wearable
+//!   evidence only.
+//!
+//! All three operate on per-tick macro-activity emission scores
+//! (`log P(observations_t | activity)` per user), so the *modality*
+//! differences between the baselines are expressed by what the caller puts
+//! into those scores — exactly how the original systems differed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chmm;
+pub mod fcrf;
+pub mod hmm;
+
+pub use chmm::CoupledHmm;
+pub use fcrf::{Fcrf, FcrfConfig};
+pub use hmm::Hmm;
+
+/// Per-user emission matrix: `emissions[t][a] = log P(obs_t | activity a)`.
+pub type EmissionSeq = Vec<Vec<f64>>;
+
+/// Decoded output of a baseline with its work accounting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BaselinePath {
+    /// Macro activity per tick.
+    pub macros: Vec<usize>,
+    /// Log-score of the decoded path.
+    pub log_prob: f64,
+    /// Σ_t states instantiated (overhead metric).
+    pub states_explored: u64,
+}
+
+pub(crate) fn argmax(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+pub(crate) fn validate_emissions(
+    emissions: &EmissionSeq,
+    n_states: usize,
+) -> Result<(), cace_model::ModelError> {
+    if emissions.is_empty() {
+        return Err(cace_model::ModelError::InsufficientData {
+            what: "baseline decoding".into(),
+            available: 0,
+            required: 1,
+        });
+    }
+    for (t, row) in emissions.iter().enumerate() {
+        if row.len() != n_states {
+            return Err(cace_model::ModelError::LengthMismatch {
+                what: format!("emission row at tick {t}"),
+                left: row.len(),
+                right: n_states,
+            });
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,352 @@
+//! Activity grammars: the stochastic vocabulary a household routine is
+//! generated from.
+//!
+//! A [`Grammar`] holds one [`ActivitySpec`] per macro activity — where it is
+//! performed, which postures and gestures it exhibits, how long it lasts,
+//! whether residents tend to share it — plus an intra-user next-activity
+//! preference matrix. The CACE instantiation ([`cace_grammar`]) encodes the
+//! eleven activities of Table III; the CASAS instantiation lives in
+//! [`crate::casas`].
+
+use cace_model::{Gestural, MacroActivity, Postural, SubLocation};
+use cace_sensing::ObjectKind;
+
+/// Behavioral specification of one macro activity.
+#[derive(Debug, Clone)]
+pub struct ActivitySpec {
+    /// Display name.
+    pub name: String,
+    /// Venues where the activity is performed; the first is primary.
+    pub venues: Vec<SubLocation>,
+    /// Per-tick probability of hopping to a straddle venue (the paper's
+    /// "watching TV while cooking" pattern).
+    pub straddle_prob: f64,
+    /// Venues visited during straddles (empty = no straddling).
+    pub straddle_venues: Vec<SubLocation>,
+    /// Postural distribution while performing the activity.
+    pub postural_weights: Vec<(Postural, f64)>,
+    /// Oral-gestural distribution while performing the activity.
+    pub gestural_weights: Vec<(Gestural, f64)>,
+    /// Episode duration bounds in ticks.
+    pub min_ticks: usize,
+    /// Maximum episode length in ticks.
+    pub max_ticks: usize,
+    /// Whether residents tend to perform it together.
+    pub shared: bool,
+    /// Probability the partner joins a shared activity in progress.
+    pub join_prob: f64,
+    /// Per-tick probability of touching one of the activity's objects.
+    pub object_touch_prob: f64,
+    /// Objects touched while performing the activity.
+    pub objects: Vec<ObjectKind>,
+}
+
+impl ActivitySpec {
+    /// The primary venue.
+    ///
+    /// # Panics
+    /// Panics if the spec has no venues (invalid grammar).
+    pub fn primary_venue(&self) -> SubLocation {
+        *self.venues.first().expect("activity must have a venue")
+    }
+
+    /// Mean episode duration in ticks.
+    pub fn mean_ticks(&self) -> f64 {
+        (self.min_ticks + self.max_ticks) as f64 / 2.0
+    }
+}
+
+/// A complete activity grammar for a household.
+#[derive(Debug, Clone)]
+pub struct Grammar {
+    /// One spec per activity; the activity id is the index.
+    pub activities: Vec<ActivitySpec>,
+    /// `transition_weights[i][j]`: preference for going from activity `i`
+    /// to activity `j` (diagonal is ignored; zero forbids).
+    pub transition_weights: Vec<Vec<f64>>,
+    /// Index of the filler/transition activity ("Random" in CACE, "Other"
+    /// in CASAS).
+    pub filler: usize,
+    /// Whether the gestural modality exists in this dataset.
+    pub has_gestural: bool,
+}
+
+impl Grammar {
+    /// Number of macro activities.
+    pub fn len(&self) -> usize {
+        self.activities.len()
+    }
+
+    /// Whether the grammar has no activities (never true for the built-ins).
+    pub fn is_empty(&self) -> bool {
+        self.activities.is_empty()
+    }
+
+    /// The spec for an activity id.
+    ///
+    /// # Panics
+    /// Panics if `id` is out of range.
+    pub fn spec(&self, id: usize) -> &ActivitySpec {
+        &self.activities[id]
+    }
+
+    /// Validates internal consistency (weights nonnegative, matrix square,
+    /// durations sane, filler in range).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.activities.is_empty() {
+            return Err("grammar has no activities".into());
+        }
+        if self.filler >= self.activities.len() {
+            return Err(format!("filler id {} out of range", self.filler));
+        }
+        if self.transition_weights.len() != self.activities.len() {
+            return Err("transition matrix row count mismatch".into());
+        }
+        for (i, row) in self.transition_weights.iter().enumerate() {
+            if row.len() != self.activities.len() {
+                return Err(format!("transition row {i} length mismatch"));
+            }
+            if row.iter().any(|&w| w < 0.0 || !w.is_finite()) {
+                return Err(format!("transition row {i} has invalid weight"));
+            }
+            let off_diag: f64 =
+                row.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &w)| w).sum();
+            if off_diag <= 0.0 {
+                return Err(format!("activity {i} has no outgoing transition"));
+            }
+        }
+        for (i, spec) in self.activities.iter().enumerate() {
+            if spec.venues.is_empty() {
+                return Err(format!("activity {i} ({}) has no venue", spec.name));
+            }
+            if spec.min_ticks == 0 || spec.max_ticks < spec.min_ticks {
+                return Err(format!("activity {i} has invalid duration bounds"));
+            }
+            if spec.postural_weights.is_empty() || spec.gestural_weights.is_empty() {
+                return Err(format!("activity {i} lacks micro distributions"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The CACE grammar: the eleven activities of Table III with the behavioral
+/// couplings described throughout the paper.
+pub fn cace_grammar() -> Grammar {
+    use Gestural as G;
+    use MacroActivity as A;
+    use Postural as P;
+    use SubLocation as L;
+
+    let spec = |a: A| -> ActivitySpec {
+        let venues: Vec<L> = SubLocation::venues_of(a).to_vec();
+        let (postural, gestural): (Vec<(P, f64)>, Vec<(G, f64)>) = match a {
+            A::Exercising => (
+                vec![(P::Cycling, 0.75), (P::Standing, 0.15), (P::Walking, 0.10)],
+                vec![(G::Silent, 0.8), (G::Talking, 0.1), (G::Yawning, 0.1)],
+            ),
+            A::PrepareClothes => (
+                vec![(P::Standing, 0.6), (P::Walking, 0.4)],
+                vec![(G::Silent, 0.85), (G::Talking, 0.1), (G::Yawning, 0.05)],
+            ),
+            A::Dining => (
+                vec![(P::Sitting, 0.9), (P::Standing, 0.1)],
+                vec![(G::Eating, 0.6), (G::Talking, 0.3), (G::Silent, 0.1)],
+            ),
+            A::WatchingTv => (
+                vec![(P::Sitting, 0.85), (P::Standing, 0.1), (P::Walking, 0.05)],
+                vec![(G::Silent, 0.6), (G::Laughing, 0.2), (G::Talking, 0.2)],
+            ),
+            A::PrepareFood => (
+                vec![(P::Standing, 0.65), (P::Walking, 0.35)],
+                vec![(G::Silent, 0.7), (G::Talking, 0.3)],
+            ),
+            A::Studying => (
+                vec![(P::Sitting, 0.92), (P::Standing, 0.08)],
+                vec![(G::Silent, 0.9), (G::Yawning, 0.07), (G::Talking, 0.03)],
+            ),
+            A::Sleeping => (
+                vec![(P::Lying, 0.96), (P::Sitting, 0.04)],
+                vec![(G::Silent, 0.93), (G::Yawning, 0.07)],
+            ),
+            A::Bathrooming => (
+                vec![(P::Standing, 0.7), (P::Sitting, 0.3)],
+                vec![(G::Silent, 0.95), (G::Yawning, 0.05)],
+            ),
+            A::Cooking => (
+                vec![(P::Standing, 0.7), (P::Walking, 0.3)],
+                vec![(G::Silent, 0.65), (G::Talking, 0.3), (G::Yawning, 0.05)],
+            ),
+            A::PastTimes => (
+                vec![(P::Sitting, 0.6), (P::Standing, 0.25), (P::Walking, 0.15)],
+                vec![(G::Talking, 0.45), (G::Laughing, 0.25), (G::Silent, 0.3)],
+            ),
+            A::Random => (
+                vec![(P::Walking, 0.75), (P::Standing, 0.25)],
+                vec![(G::Silent, 0.85), (G::Talking, 0.15)],
+            ),
+        };
+        let (min_ticks, max_ticks) = match a {
+            A::Exercising => (20, 60),
+            A::PrepareClothes => (6, 16),
+            A::Dining => (20, 50),
+            A::WatchingTv => (25, 70),
+            A::PrepareFood => (10, 25),
+            A::Studying => (25, 70),
+            A::Sleeping => (40, 120),
+            A::Bathrooming => (6, 20),
+            A::Cooking => (20, 45),
+            A::PastTimes => (20, 60),
+            A::Random => (2, 6),
+        };
+        let (straddle_prob, straddle_venues) = match a {
+            // The paper's motivating example: go back and forth between the
+            // kitchen and the living room while cooking / watching TV.
+            A::Cooking => (0.06, vec![L::Couch1, L::DiningTable]),
+            A::WatchingTv => (0.04, vec![L::Kitchen]),
+            A::PrepareFood => (0.05, vec![L::DiningTable]),
+            _ => (0.0, vec![]),
+        };
+        let shared = a.is_typically_shared();
+        let join_prob = match a {
+            A::Dining => 0.85,
+            A::Sleeping => 0.7,
+            A::PastTimes => 0.6,
+            A::WatchingTv => 0.35,
+            _ => 0.0,
+        };
+        ActivitySpec {
+            name: a.label().to_string(),
+            venues,
+            straddle_prob,
+            straddle_venues,
+            postural_weights: postural,
+            gestural_weights: gestural,
+            min_ticks,
+            max_ticks,
+            shared: shared || matches!(a, A::WatchingTv),
+            join_prob,
+            object_touch_prob: if ObjectKind::used_by(a).is_empty() { 0.0 } else { 0.35 },
+            objects: ObjectKind::used_by(a).to_vec(),
+        }
+    };
+
+    let activities: Vec<ActivitySpec> = MacroActivity::ALL.into_iter().map(spec).collect();
+    let n = activities.len();
+
+    // Morning-routine transition preferences. Encodes intra-user constraints
+    // such as "no jogging right after dinner" (Exercising after Dining is
+    // heavily dispreferred).
+    let mut w = vec![vec![1.0; n]; n];
+    let idx = |a: A| a.index();
+    for (i, row) in w.iter_mut().enumerate() {
+        row[i] = 0.0;
+        // Everything flows through Random occasionally.
+        row[idx(A::Random)] = 2.0;
+    }
+    // Sleeping → Bathrooming → Exercising / PrepareFood is the typical chain.
+    w[idx(A::Sleeping)][idx(A::Bathrooming)] = 8.0;
+    w[idx(A::Sleeping)][idx(A::Exercising)] = 2.0;
+    w[idx(A::Bathrooming)][idx(A::PrepareFood)] = 4.0;
+    w[idx(A::Bathrooming)][idx(A::Exercising)] = 3.0;
+    w[idx(A::Bathrooming)][idx(A::PrepareClothes)] = 3.0;
+    w[idx(A::Exercising)][idx(A::Bathrooming)] = 4.0;
+    w[idx(A::PrepareFood)][idx(A::Cooking)] = 6.0;
+    w[idx(A::Cooking)][idx(A::Dining)] = 8.0;
+    w[idx(A::PrepareFood)][idx(A::Dining)] = 3.0;
+    w[idx(A::Dining)][idx(A::WatchingTv)] = 4.0;
+    w[idx(A::Dining)][idx(A::PastTimes)] = 3.0;
+    w[idx(A::Dining)][idx(A::Studying)] = 2.0;
+    // Constraint example from the paper: dining is rarely followed by
+    // vigorous exercise.
+    w[idx(A::Dining)][idx(A::Exercising)] = 0.05;
+    w[idx(A::WatchingTv)][idx(A::PastTimes)] = 2.0;
+    w[idx(A::Studying)][idx(A::PastTimes)] = 2.0;
+    w[idx(A::PastTimes)][idx(A::WatchingTv)] = 2.0;
+    // Nobody goes back to sleep mid-morning often.
+    for i in 0..n {
+        if i != idx(A::Sleeping) {
+            w[i][idx(A::Sleeping)] = 0.1;
+        }
+    }
+
+    let grammar = Grammar {
+        activities,
+        transition_weights: w,
+        filler: idx(A::Random),
+        has_gestural: true,
+    };
+    grammar.validate().expect("built-in grammar must be valid");
+    grammar
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cace_grammar_is_valid() {
+        let g = cace_grammar();
+        assert_eq!(g.len(), 11);
+        assert!(g.validate().is_ok());
+        assert!(g.has_gestural);
+        assert_eq!(g.filler, MacroActivity::Random.index());
+    }
+
+    #[test]
+    fn exercising_is_cycling_on_the_bike() {
+        let g = cace_grammar();
+        let spec = g.spec(MacroActivity::Exercising.index());
+        assert_eq!(spec.primary_venue(), SubLocation::ExerciseBike);
+        let top = spec
+            .postural_weights
+            .iter()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(top, Postural::Cycling);
+    }
+
+    #[test]
+    fn dining_is_shared_with_high_join_probability() {
+        let g = cace_grammar();
+        let spec = g.spec(MacroActivity::Dining.index());
+        assert!(spec.shared);
+        assert!(spec.join_prob > 0.8);
+    }
+
+    #[test]
+    fn dining_to_exercising_is_dispreferred() {
+        let g = cace_grammar();
+        let row = &g.transition_weights[MacroActivity::Dining.index()];
+        assert!(row[MacroActivity::Exercising.index()] < 0.1);
+        assert!(row[MacroActivity::WatchingTv.index()] > 1.0);
+    }
+
+    #[test]
+    fn cooking_straddles_into_the_living_room() {
+        let g = cace_grammar();
+        let spec = g.spec(MacroActivity::Cooking.index());
+        assert!(spec.straddle_prob > 0.0);
+        assert!(spec.straddle_venues.contains(&SubLocation::Couch1));
+    }
+
+    #[test]
+    fn validation_catches_broken_grammars() {
+        let mut g = cace_grammar();
+        g.transition_weights[3][5] = -1.0;
+        assert!(g.validate().is_err());
+
+        let mut g = cace_grammar();
+        g.activities[2].venues.clear();
+        assert!(g.validate().is_err());
+
+        let mut g = cace_grammar();
+        g.activities[1].max_ticks = 0;
+        assert!(g.validate().is_err());
+
+        let mut g = cace_grammar();
+        g.filler = 99;
+        assert!(g.validate().is_err());
+    }
+}

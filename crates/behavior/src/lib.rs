@@ -1,0 +1,41 @@
+//! # cace-behavior
+//!
+//! Multi-inhabitant behavioral routine simulation.
+//!
+//! The paper evaluates on two datasets: (i) one month of naturalistic
+//! morning-routine data from five two-resident PogoPlug smart homes, and
+//! (ii) the CASAS multi-resident ADL dataset (26 pairs, 15 activities,
+//! motion sensors only). Neither dataset ships with this reproduction, so
+//! this crate generates behaviorally equivalent traces: a stochastic
+//! *activity grammar* drives a joint two-resident scheduler whose couplings
+//! (dining together, exclusive bathroom, join-in leisure) are exactly the
+//! correlations and constraints the CACE miners are designed to discover.
+//!
+//! The output of a simulation is a [`Session`]: per-tick ground truth
+//! (micro + macro states for both residents) plus the full sensor record
+//! from [`cace_sensing`].
+//!
+//! ```
+//! use cace_behavior::{cace_grammar, SessionConfig, simulate_session};
+//!
+//! let session = simulate_session(&cace_grammar(), &SessionConfig::tiny(), 42);
+//! assert!(session.ticks.len() >= 60);
+//! assert_eq!(session.n_activities, 11);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod casas;
+pub mod grammar;
+pub mod micro;
+pub mod schedule;
+pub mod session;
+
+pub use casas::{casas_grammar, generate_casas_dataset, CasasConfig};
+pub use grammar::{cace_grammar, ActivitySpec, Grammar};
+pub use schedule::{Episode, JointSchedule};
+pub use session::{
+    generate_cace_dataset, simulate_session, ObservedTick, Session, SessionConfig, SessionTick,
+    UserObservation,
+};

@@ -1,0 +1,359 @@
+//! Micro-state realization within scheduled macro episodes.
+//!
+//! Given the joint macro schedule, this module generates each resident's
+//! per-tick micro state — sub-location (with venue straddling), posture
+//! (via a feasibility-respecting Markov walk), oral gesture (with partner
+//! correlation during shared activities), and object touches.
+
+use cace_model::{Gestural, MicroState, Postural, SubLocation};
+use cace_sensing::{ObjectKind, UserTickTruth};
+use cace_signal::GaussianSampler;
+
+use crate::grammar::Grammar;
+use crate::schedule::JointSchedule;
+
+/// Next hop on the shortest feasible postural path from `current` toward
+/// `desired` (e.g. lying → sitting → standing → walking).
+///
+/// Returns `current` when already there.
+pub fn postural_step(current: Postural, desired: Postural) -> Postural {
+    if current == desired {
+        return current;
+    }
+    // Breadth-first search over the tiny feasibility graph.
+    let mut prev: [Option<Postural>; Postural::COUNT] = [None; Postural::COUNT];
+    let mut queue = std::collections::VecDeque::new();
+    prev[current.index()] = Some(current);
+    queue.push_back(current);
+    while let Some(node) = queue.pop_front() {
+        if node == desired {
+            break;
+        }
+        for &next in node.feasible_successors() {
+            if prev[next.index()].is_none() {
+                prev[next.index()] = Some(node);
+                queue.push_back(next);
+            }
+        }
+    }
+    // Walk back from `desired` to the first hop.
+    let mut hop = desired;
+    loop {
+        let parent = prev[hop.index()].expect("postural graph is connected");
+        if parent == current {
+            return hop;
+        }
+        hop = parent;
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct UserMicroState {
+    location: SubLocation,
+    posture: Postural,
+    /// The posture the resident is settling into; resampled occasionally so
+    /// dwell times look natural while the activity's dominant posture still
+    /// dominates the time budget.
+    target_posture: Postural,
+    gesture: Gestural,
+    /// Remaining ticks of a straddle excursion, if any.
+    straddle_remaining: usize,
+}
+
+/// Generates the micro-level ground truth for a whole schedule.
+///
+/// The output has one `[UserTickTruth; 2]` entry per tick, aligned with the
+/// schedule's labels.
+pub fn generate_micro(
+    grammar: &Grammar,
+    schedule: &JointSchedule,
+    rng: &mut GaussianSampler,
+) -> Vec<[UserTickTruth; 2]> {
+    let ticks = schedule.len();
+    let mut states = [
+        UserMicroState {
+            location: grammar.spec(schedule.labels[0][0]).primary_venue(),
+            posture: Postural::Lying,
+            target_posture: Postural::Lying,
+            gesture: Gestural::Silent,
+            straddle_remaining: 0,
+        },
+        UserMicroState {
+            location: grammar.spec(schedule.labels[1][0]).primary_venue(),
+            posture: Postural::Lying,
+            target_posture: Postural::Lying,
+            gesture: Gestural::Silent,
+            straddle_remaining: 0,
+        },
+    ];
+
+    let mut out = Vec::with_capacity(ticks);
+    for t in 0..ticks {
+        let mut tick: [UserTickTruth; 2] = [
+            UserTickTruth::of(MicroState::new(
+                states[0].posture,
+                states[0].gesture,
+                states[0].location,
+            )),
+            UserTickTruth::of(MicroState::new(
+                states[1].posture,
+                states[1].gesture,
+                states[1].location,
+            )),
+        ];
+        for u in 0..2 {
+            let activity = schedule.labels[u][t];
+            let spec = grammar.spec(activity);
+            let changed = t > 0 && schedule.labels[u][t - 1] != activity;
+            let state = &mut states[u];
+
+            // --- location ---
+            if changed {
+                state.straddle_remaining = 0;
+                state.location = spec.primary_venue();
+                // Arriving somewhere new means the resident walked there,
+                // and will settle into the new activity's dominant posture.
+                state.posture = postural_step(state.posture, Postural::Walking);
+                let weights: Vec<f64> =
+                    spec.postural_weights.iter().map(|&(_, w)| w).collect();
+                state.target_posture =
+                    spec.postural_weights[rng.weighted_choice(&weights)].0;
+            } else if state.straddle_remaining > 0 {
+                state.straddle_remaining -= 1;
+                if state.straddle_remaining == 0 {
+                    state.location = spec.primary_venue();
+                    state.posture = postural_step(state.posture, Postural::Walking);
+                }
+            } else if !spec.straddle_venues.is_empty() && rng.chance(spec.straddle_prob) {
+                let venue = spec.straddle_venues[rng.below(spec.straddle_venues.len())];
+                state.location = venue;
+                state.straddle_remaining = 2 + rng.below(5);
+                state.posture = postural_step(state.posture, Postural::Walking);
+            } else if spec.venues.len() > 1 && rng.chance(0.03) {
+                // Occasional movement between the activity's own venues.
+                state.location = spec.venues[rng.below(spec.venues.len())];
+            } else {
+                // --- posture (only when not forced to walk) ---
+                // Resample the target occasionally so dwell times vary.
+                if rng.chance(0.15) {
+                    let weights: Vec<f64> =
+                        spec.postural_weights.iter().map(|&(_, w)| w).collect();
+                    state.target_posture =
+                        spec.postural_weights[rng.weighted_choice(&weights)].0;
+                }
+                state.posture = postural_step(state.posture, state.target_posture);
+            }
+
+            // --- gesture ---
+            let gesture_stays = rng.chance(0.6);
+            if !gesture_stays {
+                let weights: Vec<f64> =
+                    spec.gestural_weights.iter().map(|&(_, w)| w).collect();
+                state.gesture = spec.gestural_weights[rng.weighted_choice(&weights)].0;
+            }
+            if !grammar.has_gestural {
+                state.gesture = Gestural::Silent;
+            }
+
+            // --- object touch ---
+            let object = if !spec.objects.is_empty() && rng.chance(spec.object_touch_prob) {
+                Some(spec.objects[rng.below(spec.objects.len())])
+            } else {
+                None
+            };
+
+            tick[u] = UserTickTruth {
+                micro: MicroState::new(state.posture, state.gesture, state.location),
+                object,
+                present: true,
+            };
+        }
+
+        // Partner gesture correlation: co-located residents in the same
+        // shared activity talk to each other.
+        if grammar.has_gestural
+            && schedule.labels[0][t] == schedule.labels[1][t]
+            && grammar.spec(schedule.labels[0][t]).shared
+            && tick[0].micro.location.room() == tick[1].micro.location.room()
+            && rng.chance(0.25)
+        {
+            for side in &mut tick {
+                let mut m = side.micro;
+                m.gestural = Gestural::Talking;
+                side.micro = m;
+            }
+            states[0].gesture = Gestural::Talking;
+            states[1].gesture = Gestural::Talking;
+        }
+
+        out.push(tick);
+    }
+    out
+}
+
+/// Sanity check: objects touched must belong to the activity being performed.
+pub fn objects_consistent(
+    grammar: &Grammar,
+    schedule: &JointSchedule,
+    micro: &[[UserTickTruth; 2]],
+) -> bool {
+    micro.iter().enumerate().all(|(t, tick)| {
+        (0..2).all(|u| match tick[u].object {
+            None => true,
+            Some(obj) => grammar.spec(schedule.labels[u][t]).objects.contains(&obj),
+        })
+    })
+}
+
+/// Convenience wrapper bundling the object kinds in use at one tick.
+pub fn objects_in_use(tick: &[UserTickTruth; 2]) -> Vec<ObjectKind> {
+    tick.iter().filter_map(|u| u.object).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grammar::cace_grammar;
+    use crate::schedule::generate_schedule;
+    use cace_model::MacroActivity;
+
+    fn make(seed: u64, ticks: usize) -> (Grammar, JointSchedule, Vec<[UserTickTruth; 2]>) {
+        let g = cace_grammar();
+        let mut rng = GaussianSampler::seed_from_u64(seed);
+        let s = generate_schedule(&g, ticks, MacroActivity::Sleeping.index(), &mut rng);
+        let m = generate_micro(&g, &s, &mut rng);
+        (g, s, m)
+    }
+
+    #[test]
+    fn one_entry_per_tick() {
+        let (_, s, m) = make(1, 400);
+        assert_eq!(m.len(), s.len());
+    }
+
+    #[test]
+    fn postural_step_respects_feasibility() {
+        // Every hop returned must be a feasible successor.
+        for from in Postural::ALL {
+            for to in Postural::ALL {
+                let hop = postural_step(from, to);
+                if from != to {
+                    assert!(
+                        from.can_transition_to(hop),
+                        "{from} -> {hop} infeasible (target {to})"
+                    );
+                }
+            }
+        }
+        // The canonical chains.
+        assert_eq!(postural_step(Postural::Lying, Postural::Walking), Postural::Sitting);
+        assert_eq!(postural_step(Postural::Sitting, Postural::Walking), Postural::Standing);
+        assert_eq!(postural_step(Postural::Standing, Postural::Walking), Postural::Walking);
+    }
+
+    #[test]
+    fn consecutive_postures_are_feasible() {
+        let (_, _, m) = make(2, 1000);
+        for u in 0..2 {
+            for w in m.windows(2) {
+                let a = w[0][u].micro.postural;
+                let b = w[1][u].micro.postural;
+                assert!(a.can_transition_to(b), "{a} -> {b} violates feasibility");
+            }
+        }
+    }
+
+    #[test]
+    fn locations_match_activity_venues_mostly() {
+        let (g, s, m) = make(3, 1000);
+        let mut at_venue = 0usize;
+        let mut total = 0usize;
+        for (t, tick) in m.iter().enumerate() {
+            for u in 0..2 {
+                let spec = g.spec(s.labels[u][t]);
+                total += 1;
+                if spec.venues.contains(&tick[u].micro.location)
+                    || spec.straddle_venues.contains(&tick[u].micro.location)
+                {
+                    at_venue += 1;
+                }
+            }
+        }
+        let frac = at_venue as f64 / total as f64;
+        assert!(frac > 0.95, "venue consistency {frac}");
+    }
+
+    #[test]
+    fn objects_are_consistent_with_activity() {
+        let (g, s, m) = make(4, 1500);
+        assert!(objects_consistent(&g, &s, &m));
+        let any_object = m.iter().any(|tick| !objects_in_use(tick).is_empty());
+        assert!(any_object, "some object touches should occur");
+    }
+
+    #[test]
+    fn exercising_produces_cycling_at_the_bike() {
+        let (_, s, m) = make(5, 3000);
+        let ex = MacroActivity::Exercising.index();
+        let mut cycling = 0usize;
+        let mut total = 0usize;
+        for (t, tick) in m.iter().enumerate() {
+            for u in 0..2 {
+                if s.labels[u][t] == ex {
+                    total += 1;
+                    if tick[u].micro.postural == Postural::Cycling
+                        && tick[u].micro.location == SubLocation::ExerciseBike
+                    {
+                        cycling += 1;
+                    }
+                }
+            }
+        }
+        if total > 50 {
+            let frac = cycling as f64 / total as f64;
+            assert!(frac > 0.4, "cycling-at-bike fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn shared_dining_produces_correlated_talking() {
+        let (g, s, m) = make(6, 3000);
+        let dining = MacroActivity::Dining.index();
+        let mut both_talking = 0usize;
+        let mut both_dining = 0usize;
+        for (t, tick) in m.iter().enumerate() {
+            if s.labels[0][t] == dining && s.labels[1][t] == dining {
+                both_dining += 1;
+                if tick[0].micro.gestural == Gestural::Talking
+                    && tick[1].micro.gestural == Gestural::Talking
+                {
+                    both_talking += 1;
+                }
+            }
+        }
+        let _ = g;
+        if both_dining > 50 {
+            let frac = both_talking as f64 / both_dining as f64;
+            assert!(frac > 0.15, "correlated talking fraction {frac}");
+        }
+    }
+
+    #[test]
+    fn no_gestural_grammar_stays_silent() {
+        let mut g = cace_grammar();
+        g.has_gestural = false;
+        let mut rng = GaussianSampler::seed_from_u64(7);
+        let s = generate_schedule(&g, 500, MacroActivity::Sleeping.index(), &mut rng);
+        let m = generate_micro(&g, &s, &mut rng);
+        assert!(m
+            .iter()
+            .all(|tick| tick.iter().all(|u| u.micro.gestural == Gestural::Silent)));
+    }
+
+    #[test]
+    fn determinism() {
+        let (_, _, a) = make(8, 300);
+        let (_, _, b) = make(8, 300);
+        assert_eq!(a, b);
+    }
+}

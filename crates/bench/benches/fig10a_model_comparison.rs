@@ -1,0 +1,138 @@
+//! **Fig 10(a)** — per-activity accuracy of HMM vs FCRF vs CHMM vs CHDBN.
+//!
+//! The paper's shape: CHDBN wins on every activity, ≈20 points over HMM,
+//! ≈8 over FCRF, ≈5 over CHMM.
+
+use cace_baselines::{CoupledHmm, Fcrf, FcrfConfig, Hmm};
+use cace_bench::{cace_corpus, header};
+use cace_core::classifiers::{extract_all, MicroClassifiers};
+use cace_core::{CaceConfig, CaceEngine};
+use cace_features::extract_session;
+use cace_model::MacroActivity;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+type Emissions = [Vec<Vec<f64>>; 2];
+
+fn emissions(
+    clf: &MicroClassifiers,
+    session: &cace_behavior::Session,
+    use_tag: bool,
+) -> Emissions {
+    let features = extract_session(session);
+    let mut out: Emissions = [Vec::new(), Vec::new()];
+    for u in 0..2 {
+        for t in 0..session.len() {
+            let f = &features.per_tick[t][u];
+            out[u].push(clf.macro_log_proba(
+                f.phone.as_ref().map(|v| v.as_slice()),
+                f.tag.as_ref().filter(|_| use_tag).map(|v| v.as_slice()),
+            ));
+        }
+    }
+    out
+}
+
+fn bench(c: &mut Criterion) {
+    let (train, test) = cace_corpus(1, 7, 300, 10001);
+    let n_macro = 11usize;
+
+    // Shared classifier head for the emission-based baselines.
+    let features = extract_all(&train);
+    let clf = MicroClassifiers::train(&train, &features, n_macro, 2, 17).unwrap();
+
+    // Models.
+    let chdbn = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+    let label_seqs: Vec<Vec<usize>> =
+        train.iter().flat_map(|s| [s.labels_of(0), s.labels_of(1)]).collect();
+    let hmm = Hmm::fit(&label_seqs, n_macro, 0.5).unwrap();
+    let paired: Vec<[Vec<usize>; 2]> =
+        train.iter().map(|s| [s.labels_of(0), s.labels_of(1)]).collect();
+    let chmm = CoupledHmm::fit(&paired, n_macro, 0.5).unwrap();
+    let mut fcrf = Fcrf::new(n_macro);
+    let fcrf_data: Vec<_> = train
+        .iter()
+        .map(|s| (emissions(&clf, s, true), [s.labels_of(0), s.labels_of(1)]))
+        .collect();
+    fcrf.fit(&fcrf_data, &FcrfConfig { epochs: 4, learning_rate: 0.05 }).unwrap();
+
+    // Per-activity accuracy: correct ticks / true ticks of the activity.
+    let mut correct = vec![[0usize; 4]; n_macro];
+    let mut total = vec![0usize; n_macro];
+    for session in &test {
+        let em = emissions(&clf, session, true);
+        let decoded: [[Vec<usize>; 2]; 4] = [
+            {
+                let r = chdbn.recognize(session).unwrap();
+                r.macros
+            },
+            [
+                hmm.viterbi(&em[0]).unwrap().macros,
+                hmm.viterbi(&em[1]).unwrap().macros,
+            ],
+            chmm.viterbi(&em).unwrap().macros,
+            fcrf.viterbi(&em).unwrap().macros,
+        ];
+        for u in 0..2 {
+            for (t, tick) in session.ticks.iter().enumerate() {
+                let truth = tick.labels[u];
+                total[truth] += 1;
+                for (m, path) in decoded.iter().enumerate() {
+                    if path[u][t] == truth {
+                        correct[truth][m] += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    header("Fig 10(a) — per-activity accuracy (%): CHDBN vs HMM vs CHMM vs FCRF");
+    println!(
+        "{:<18} {:>7} {:>7} {:>7} {:>7}",
+        "activity", "CHDBN", "HMM", "CHMM", "FCRF"
+    );
+    let mut overall = [0.0f64; 4];
+    let grand_total: usize = total.iter().sum();
+    for activity in MacroActivity::ALL {
+        let a = activity.index();
+        if total[a] == 0 {
+            continue;
+        }
+        let accs: Vec<f64> =
+            (0..4).map(|m| 100.0 * correct[a][m] as f64 / total[a] as f64).collect();
+        for m in 0..4 {
+            overall[m] += 100.0 * correct[a][m] as f64 / grand_total as f64;
+        }
+        println!(
+            "{:>2} {:<15} {:>6.1} {:>6.1} {:>6.1} {:>6.1}",
+            activity.paper_number(),
+            activity.label(),
+            accs[0],
+            accs[1],
+            accs[2],
+            accs[3]
+        );
+    }
+    // Column order in `decoded`: CHDBN, HMM, CHMM, FCRF.
+    println!(
+        "overall            {:>6.1} {:>6.1} {:>6.1} {:>6.1}   \
+         (paper: CHDBN > CHMM > FCRF > HMM, ≈95/90/87/75)",
+        overall[0], overall[1], overall[2], overall[3]
+    );
+
+    let session = &test[0];
+    c.bench_function("fig10a/chdbn_recognition", |b| {
+        b.iter(|| black_box(chdbn.recognize(black_box(session)).unwrap().states_explored))
+    });
+    let em = emissions(&clf, session, true);
+    c.bench_function("fig10a/chmm_decode", |b| {
+        b.iter(|| black_box(chmm.viterbi(black_box(&em)).unwrap().states_explored))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

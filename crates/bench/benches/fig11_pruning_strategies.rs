@@ -1,0 +1,75 @@
+//! **Fig 11(a, b)** — accuracy and computational overhead of the four
+//! pruning strategies NH, NCR, NCS, C2.
+//!
+//! The paper's headline: the full coupled model (NCS) is accurate but costs
+//! 15.96 s; adding the correlation miner (C2) keeps the accuracy and cuts
+//! the overhead 16-fold (0.96 s). NH and NCR are cheap-ish but far less
+//! accurate.
+
+use cace_bench::{cace_corpus, header, trained};
+use cace_core::Strategy;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (train, test) = cace_corpus(1, 7, 300, 12001);
+
+    header("Fig 11 — pruning strategies: accuracy and overhead");
+    println!(
+        "{:<5} {:>10} {:>16} {:>16} {:>10}",
+        "strat", "accuracy", "states explored", "transition ops", "wall (s)"
+    );
+    let mut rows = Vec::new();
+    for strategy in Strategy::ALL {
+        let engine = trained(&train, strategy);
+        let mut acc = 0.0;
+        let mut states = 0u64;
+        let mut ops = 0u64;
+        let mut wall = 0.0;
+        for session in &test {
+            let rec = engine.recognize(session).unwrap();
+            acc += rec.accuracy(session);
+            states += rec.states_explored;
+            ops += rec.transition_ops;
+            wall += rec.wall_seconds;
+        }
+        acc /= test.len() as f64;
+        println!(
+            "{:<5} {:>9.1}% {:>16} {:>16} {:>10.3}",
+            strategy.label(),
+            100.0 * acc,
+            states,
+            ops,
+            wall
+        );
+        rows.push((strategy, engine, ops, wall));
+    }
+
+    let ncs = rows.iter().find(|r| r.0 == Strategy::NaiveConstraint).unwrap();
+    let c2 = rows.iter().find(|r| r.0 == Strategy::CorrelationConstraint).unwrap();
+    println!(
+        "\nNCS → C2 overhead reduction: {:.1}× by transition ops, {:.1}× by wall \
+         clock (paper: 16×: 15.96 s → 0.96 s)",
+        ncs.2 as f64 / c2.2.max(1) as f64,
+        ncs.3 / c2.3.max(1e-9)
+    );
+    println!(
+        "(paper accuracies: NH 76.2 %, NCR 73 %, NCS ≈98 %, C2 95.1 %)"
+    );
+
+    let session = &test[0];
+    for (strategy, engine, _, _) in &rows {
+        c.bench_function(&format!("fig11/recognize_{}", strategy.label()), |b| {
+            b.iter(|| {
+                black_box(engine.recognize(black_box(session)).unwrap().states_explored)
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,76 @@
+//! **Fig 8(a)** — per-home accuracy: overall vs without-gestural vs
+//! without-sub-location.
+//!
+//! The paper's shape: removing the gestural stream costs a few points
+//! (95.1 % → 89.7 %), removing sub-location context costs the most
+//! (→ 80.5 %).
+
+use cace_bench::header;
+use cace_behavior::session::train_test_split;
+use cace_behavior::{cace_grammar, generate_cace_dataset, SessionConfig};
+use cace_core::{CaceConfig, CaceEngine};
+use cace_model::StateMask;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let grammar = cace_grammar();
+    header("Fig 8(a) — per-home accuracy under modality ablations");
+    println!(
+        "{:<8} {:>10} {:>18} {:>21}",
+        "home", "overall", "without gestural", "without sublocation"
+    );
+
+    let mut means = [0.0f64; 3];
+    let mut kept_engine = None;
+    let mut kept_session = None;
+    for home in 1..=5u32 {
+        let sessions = generate_cace_dataset(
+            &grammar,
+            1,
+            5,
+            &SessionConfig::standard().with_ticks(250).with_home(home),
+            8000 + u64::from(home),
+        );
+        let (train, test) = train_test_split(sessions, 0.8);
+        let mut row = [0.0f64; 3];
+        for (i, mask) in [StateMask::FULL, StateMask::NO_GESTURAL, StateMask::NO_LOCATION]
+            .into_iter()
+            .enumerate()
+        {
+            let engine =
+                CaceEngine::train(&train, &CaceConfig::default().with_mask(mask)).unwrap();
+            let mut acc = 0.0;
+            for session in &test {
+                acc += engine.recognize(session).unwrap().accuracy(session);
+            }
+            row[i] = 100.0 * acc / test.len() as f64;
+            means[i] += row[i] / 5.0;
+            if home == 1 && i == 0 {
+                kept_engine = Some(engine);
+                kept_session = Some(test[0].clone());
+            }
+        }
+        println!(
+            "home-{:<3} {:>9.1}% {:>17.1}% {:>20.1}%",
+            home, row[0], row[1], row[2]
+        );
+    }
+    println!(
+        "mean     {:>9.1}% {:>17.1}% {:>20.1}%   (paper: 95.1 / 89.7 / 80.5)",
+        means[0], means[1], means[2]
+    );
+
+    let engine = kept_engine.unwrap();
+    let session = kept_session.unwrap();
+    c.bench_function("fig8a/full_recognition", |b| {
+        b.iter(|| black_box(engine.recognize(black_box(&session)).unwrap().states_explored))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,99 @@
+//! **Fig 9** — CASAS dataset per-activity classification table.
+//!
+//! The paper reports 94.5 % overall (FP 1.4 %, precision 96.5 %, recall
+//! 94.5 %) and 99.3 % on shared activities such as Move Furniture and Play
+//! Checkers. Our CASAS substitute is a generator with the same schema (see
+//! DESIGN.md): 15 activities, ambient motion + item sensors, no gestural
+//! modality.
+
+use cace_bench::header;
+use cace_behavior::session::train_test_split;
+use cace_behavior::{generate_casas_dataset, CasasConfig};
+use cace_core::{CaceConfig, CaceEngine};
+use cace_eval::ConfusionMatrix;
+use cace_model::CasasActivity;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let cfg = CasasConfig {
+        pairs: 8,
+        sessions_per_pair: 2,
+        ticks: 250,
+        ..CasasConfig::default()
+    };
+    let sessions = generate_casas_dataset(&cfg, 9001);
+    let (train, test) = train_test_split(sessions, 0.8);
+    let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+
+    let mut confusion = ConfusionMatrix::new(engine.n_macro());
+    let mut shared_correct = 0usize;
+    let mut shared_total = 0usize;
+    for session in &test {
+        let rec = engine.recognize(session).unwrap();
+        for u in 0..2 {
+            confusion.record_all(&session.labels_of(u), &rec.macros[u]);
+        }
+        for (t, tick) in session.ticks.iter().enumerate() {
+            if tick.labels[0] == tick.labels[1]
+                && CasasActivity::from_index(tick.labels[0]).is_some_and(|a| a.is_joint())
+            {
+                for u in 0..2 {
+                    shared_total += 1;
+                    if rec.macros[u][t] == tick.labels[u] {
+                        shared_correct += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    header("Fig 9 — CASAS-style per-activity table");
+    println!(
+        "{:<27} {:>8} {:>10} {:>8} {:>8}",
+        "activity", "FP rate", "precision", "recall", "F1"
+    );
+    for activity in CasasActivity::ALL {
+        let m = confusion.class_metrics(activity.index());
+        if m.support == 0 {
+            continue;
+        }
+        println!(
+            "{:>2} {:<24} {:>8.3} {:>10.3} {:>8.3} {:>8.3}",
+            activity.paper_number(),
+            activity.label(),
+            m.fp_rate,
+            m.precision,
+            m.recall,
+            m.f_measure
+        );
+    }
+    let overall = confusion.weighted_metrics();
+    println!(
+        "overall: accuracy {:.1} %  FP {:.3}  precision {:.3}  recall {:.3}   \
+         (paper: 94.5 %, FP 1.4 %, P 96.5 %, R 94.5 %)",
+        100.0 * confusion.accuracy(),
+        overall.fp_rate,
+        overall.precision,
+        overall.recall
+    );
+    if shared_total > 0 {
+        println!(
+            "shared-activity accuracy: {:.1} % over {} user-ticks (paper: 99.3 %)",
+            100.0 * shared_correct as f64 / shared_total as f64,
+            shared_total
+        );
+    }
+
+    let session = &test[0];
+    c.bench_function("fig9/casas_recognition", |b| {
+        b.iter(|| black_box(engine.recognize(black_box(session)).unwrap().states_explored))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

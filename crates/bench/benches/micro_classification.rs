@@ -1,0 +1,76 @@
+//! **§VII-E micro-level accuracies** — gestural 95.3 % (FP 1.8 %) and
+//! postural ≈98.6 % (FP 0.6 %) in the paper.
+//!
+//! Trains the random-forest micro classifiers on held-in sessions, reports
+//! held-out accuracy and FP rate per modality, and times frame
+//! classification.
+
+use cace_bench::{cace_corpus, header};
+use cace_core::classifiers::{extract_all, MicroClassifiers};
+use cace_eval::ConfusionMatrix;
+use cace_model::{Gestural, Postural};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (train, test) = cace_corpus(1, 6, 300, 5001);
+    let train_features = extract_all(&train);
+    let clf = MicroClassifiers::train(&train, &train_features, 11, 1, 7).unwrap();
+
+    let test_features = extract_all(&test);
+    let mut postural = ConfusionMatrix::new(Postural::COUNT);
+    let mut gestural = ConfusionMatrix::new(Gestural::COUNT);
+    for (session, features) in test.iter().zip(&test_features) {
+        for (t, tick) in session.ticks.iter().enumerate() {
+            for u in 0..2 {
+                let f = &features.per_tick[t][u];
+                if let Some(phone) = &f.phone {
+                    let lp = clf.postural_log_proba(Some(phone.as_slice()));
+                    let pred = lp
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                        .unwrap()
+                        .0;
+                    postural.record(tick.truth[u].micro.postural.index(), pred);
+                }
+                if let Some(tag) = &f.tag {
+                    let lp = clf.gestural_log_proba(Some(tag.as_slice()));
+                    let pred = lp
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                        .unwrap()
+                        .0;
+                    gestural.record(tick.truth[u].micro.gestural.index(), pred);
+                }
+            }
+        }
+    }
+
+    header("§VII-E — micro-level classification (held-out)");
+    let pm = postural.weighted_metrics();
+    let gm = gestural.weighted_metrics();
+    println!(
+        "postural: accuracy {:.1} %  FP rate {:.1} %   (paper: ≈98.6 %, FP 0.6 %)",
+        100.0 * postural.accuracy(),
+        100.0 * pm.fp_rate
+    );
+    println!(
+        "gestural: accuracy {:.1} %  FP rate {:.1} %   (paper: 95.3 %, FP 1.8 %)",
+        100.0 * gestural.accuracy(),
+        100.0 * gm.fp_rate
+    );
+
+    let sample = test_features[0].per_tick[10][0].phone.clone().unwrap();
+    c.bench_function("micro/postural_frame_classification", |b| {
+        b.iter(|| black_box(clf.postural_log_proba(Some(black_box(sample.as_slice())))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! **Table IV** — some generated rules with confidence.
+//!
+//! Mines the association-rule set on the CACE-sim training corpus with the
+//! paper's thresholds (minSup 4 %, minConf 99 %), prints the strongest
+//! rules in Table IV style, and times the Apriori pass.
+
+use cace_bench::{cace_corpus, header};
+use cace_core::transactions::corpus;
+use cace_mining::rules::mine_negative_rules;
+use cace_mining::{mine_rules, AprioriConfig, AtomSpace};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let (train, _) = cace_corpus(1, 6, 300, 4001);
+    let space = AtomSpace::cace();
+    let txns = corpus(&space, &train);
+    let config = AprioriConfig { max_itemset: 3, ..AprioriConfig::paper_default() };
+
+    let mut rules = mine_rules(&txns, &space, &config);
+    rules.set_negatives(mine_negative_rules(&txns, &space, config.min_support * 0.5));
+
+    header("Table IV — generated rules with confidence (top 12 of each kind)");
+    println!(
+        "corpus: {} transactions; mined {} positive rules, {} negative rules",
+        txns.len(),
+        rules.rules().len(),
+        rules.negatives().len()
+    );
+    for rule in rules.top(12) {
+        println!("  {}", rules.render_rule(rule));
+    }
+    for neg in rules.negatives().iter().take(12) {
+        println!("  {}", rules.render_negative(neg));
+    }
+    println!(
+        "(paper: 58 unified rules on the CACE dataset; e.g. \
+         U1(t): (cycling ∨ sitting) ∧ SR1 ⇒ U1(t): exercising; (1))"
+    );
+
+    c.bench_function("table4/apriori_mining", |b| {
+        b.iter(|| {
+            let mined = mine_rules(black_box(&txns), &space, &config);
+            black_box(mined.rules().len())
+        })
+    });
+    c.bench_function("table4/negative_mining", |b| {
+        b.iter(|| black_box(mine_negative_rules(black_box(&txns), &space, 0.02).len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! **Table V** — start/end duration error of the four strategies.
+//!
+//! The paper: NH 16.9 %, NCR 20.6 %, NCS 7.72 %, C2 8.1 % — the coupled
+//! hierarchical strategies recover episode boundaries far better.
+
+use cace_bench::{cace_corpus, header, trained};
+use cace_core::Strategy;
+use cace_eval::mean_duration_error;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// Minimum true-episode length (ticks) scored, to keep the normalized error
+/// well-conditioned (the paper's example episodes are multi-minute).
+const MIN_EPISODE: usize = 8;
+
+fn bench(c: &mut Criterion) {
+    let (train, test) = cace_corpus(1, 7, 300, 13001);
+
+    header("Table V — start/end duration error");
+    println!("{:<5} {:>15}", "strat", "duration error");
+    let mut kept = None;
+    for strategy in Strategy::ALL {
+        let engine = trained(&train, strategy);
+        let mut err = 0.0;
+        let mut n = 0usize;
+        for session in &test {
+            let rec = engine.recognize(session).unwrap();
+            for u in 0..2 {
+                err += mean_duration_error(&session.labels_of(u), &rec.macros[u], MIN_EPISODE);
+                n += 1;
+            }
+        }
+        println!("{:<5} {:>14.1}%", strategy.label(), 100.0 * err / n as f64);
+        if strategy == Strategy::CorrelationConstraint {
+            kept = Some(engine);
+        }
+    }
+    println!("(paper: NH 16.9 %, NCR 20.6 %, NCS 7.72 %, C2 8.1 %)");
+
+    let engine = kept.unwrap();
+    let session = &test[0];
+    let rec = engine.recognize(session).unwrap();
+    c.bench_function("table5/duration_error_scoring", |b| {
+        b.iter(|| {
+            black_box(mean_duration_error(
+                black_box(&session.labels_of(0)),
+                black_box(&rec.macros[0]),
+                MIN_EPISODE,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

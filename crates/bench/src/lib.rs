@@ -1,0 +1,51 @@
+//! Shared helpers for the CACE benchmark harnesses.
+//!
+//! Every bench in `benches/` regenerates one table or figure of the paper's
+//! evaluation (§VII). The helpers here build the standard datasets and
+//! trained engines so the individual harnesses stay focused on their
+//! experiment. Absolute numbers differ from the paper (its substrate was a
+//! physical testbed; ours is the simulator documented in `DESIGN.md`) — the
+//! *shape* of each result is what the benches reproduce.
+
+use cace_behavior::session::train_test_split;
+use cace_behavior::{cace_grammar, generate_cace_dataset, Session, SessionConfig};
+use cace_core::{CaceConfig, CaceEngine, Strategy};
+
+/// Standard CACE-sim corpus: `sessions` recordings of `ticks` ticks in one
+/// home, split 80/20.
+pub fn cace_corpus(
+    home: u32,
+    sessions: usize,
+    ticks: usize,
+    seed: u64,
+) -> (Vec<Session>, Vec<Session>) {
+    let grammar = cace_grammar();
+    let data = generate_cace_dataset(
+        &grammar,
+        1,
+        sessions,
+        &SessionConfig::standard().with_ticks(ticks).with_home(home),
+        seed,
+    );
+    train_test_split(data, 0.8)
+}
+
+/// Trains an engine with the given strategy on the standard corpus.
+pub fn trained(train: &[Session], strategy: Strategy) -> CaceEngine {
+    CaceEngine::train(train, &CaceConfig::default().with_strategy(strategy))
+        .expect("training succeeds on simulated data")
+}
+
+/// Mean tick-level accuracy of an engine over test sessions.
+pub fn mean_accuracy(engine: &CaceEngine, test: &[Session]) -> f64 {
+    let mut acc = 0.0;
+    for session in test {
+        acc += engine.recognize(session).expect("recognition succeeds").accuracy(session);
+    }
+    acc / test.len().max(1) as f64
+}
+
+/// Prints a section header for the table output.
+pub fn header(title: &str) {
+    println!("\n=== {title} ===");
+}

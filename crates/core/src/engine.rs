@@ -1,0 +1,775 @@
+//! The CACE engine: training and run-time recognition.
+
+use std::time::Instant;
+
+use cace_baselines::Hmm;
+use cace_behavior::{ObservedTick, Session};
+use cace_features::SessionFeatures;
+use cace_hdbn::{
+    fit_em as hdbn_fit_em, CoupledHdbn, EmConfig, HdbnConfig, HdbnParams, SingleHdbn,
+    TickInput,
+};
+use cace_mining::constraint::{ConstraintMiner, LabeledSequence};
+use cace_mining::rules::mine_negative_rules;
+use cace_mining::{
+    initial_cace_rules, mine_rules, AprioriConfig, AtomSpace, CandidateTick, HierarchicalStats,
+    PruningEngine, RuleSet,
+};
+use cace_model::{ModelError, StateMask};
+
+use crate::classifiers::{extract_all, MicroClassifiers};
+use crate::evidence::{build_evidence, EvidenceConfig, PrevState};
+use crate::statespace::{build_tick_input, TickScores};
+use crate::strategy::Strategy;
+use crate::transactions::corpus;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct CaceConfig {
+    /// Pruning strategy (Fig 11).
+    pub strategy: Strategy,
+    /// Modality mask (Fig 8a ablations).
+    pub mask: StateMask,
+    /// Maximum micro candidates per user per tick for *unpruned* spaces
+    /// (the beam that keeps the coupled NCS decoder finite).
+    pub beam: usize,
+    /// Micro-candidate cap for the exhaustive NH strategy ("all possible
+    /// states in the state space"); much larger than `beam` because NH
+    /// refuses to exploit any structure to shrink its trellis.
+    pub nh_beam: usize,
+    /// Apriori thresholds (paper defaults: 4 % / 99 %).
+    pub apriori: AprioriConfig,
+    /// Whether to seed the rule set with the Base-application initial rules
+    /// (Fig 12, CACE vocabulary only).
+    pub use_initial_rules: bool,
+    /// Whether to refine parameters with EM after the constraint miner.
+    pub run_em: bool,
+    /// EM schedule when `run_em` is set.
+    pub em: EmConfig,
+    /// Evidence-promotion thresholds.
+    pub evidence: EvidenceConfig,
+    /// Training-tick stride for the classifiers.
+    pub classifier_stride: usize,
+    /// Inter-user coupling weight for coupled strategies (Augmentation 3
+    /// ablation; `1.0` = the mined co-occurrence CPT, `0.0` = independent
+    /// chains even under NCS/C2).
+    pub coupling_weight: f64,
+    /// Hierarchy weight (Augmentation 2 ablation; scales the
+    /// `P(micro | macro)` factors).
+    pub hierarchy_weight: f64,
+    /// RNG seed for classifier training.
+    pub seed: u64,
+}
+
+impl Default for CaceConfig {
+    fn default() -> Self {
+        Self {
+            strategy: Strategy::CorrelationConstraint,
+            mask: StateMask::FULL,
+            beam: 8,
+            nh_beam: 64,
+            apriori: AprioriConfig { max_itemset: 3, ..AprioriConfig::paper_default() },
+            use_initial_rules: false,
+            run_em: false,
+            em: EmConfig::default(),
+            evidence: EvidenceConfig::default(),
+            classifier_stride: 2,
+            coupling_weight: 1.0,
+            hierarchy_weight: 1.0,
+            seed: 0xCACE,
+        }
+    }
+}
+
+impl CaceConfig {
+    /// Builder-style strategy override.
+    pub fn with_strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Builder-style mask override.
+    pub fn with_mask(mut self, mask: StateMask) -> Self {
+        self.mask = mask;
+        self
+    }
+}
+
+/// Output of one recognition run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Recognition {
+    /// Decoded macro activities per user per tick.
+    pub macros: [Vec<usize>; 2],
+    /// Σ joint states instantiated (overhead metric 1).
+    pub states_explored: u64,
+    /// Σ transition evaluations (overhead metric 2).
+    pub transition_ops: u64,
+    /// Wall-clock seconds spent in recognition.
+    pub wall_seconds: f64,
+    /// Mean per-tick joint candidate-space size after pruning.
+    pub mean_joint_size: f64,
+    /// Total rule firings during pruning.
+    pub rules_fired: u64,
+}
+
+impl Recognition {
+    /// Tick-level accuracy against a session's ground truth.
+    pub fn accuracy(&self, session: &Session) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for u in 0..2 {
+            for (t, tick) in session.ticks.iter().enumerate() {
+                total += 1;
+                if self.macros[u][t] == tick.labels[u] {
+                    correct += 1;
+                }
+            }
+        }
+        correct as f64 / total.max(1) as f64
+    }
+}
+
+/// A trained CACE engine.
+#[derive(Debug, Clone)]
+pub struct CaceEngine {
+    config: CaceConfig,
+    space: AtomSpace,
+    n_macro: usize,
+    has_gestural: bool,
+    classifiers: MicroClassifiers,
+    rules: RuleSet,
+    pruner: Option<PruningEngine>,
+    stats: HierarchicalStats,
+    params: HdbnParams,
+    nh_log_trans: Vec<Vec<f64>>,
+    nh_hmm: Hmm,
+}
+
+impl CaceEngine {
+    /// Trains the full pipeline on labeled sessions.
+    ///
+    /// # Errors
+    /// Propagates classifier, miner, and parameter-construction failures;
+    /// rejects an empty training set.
+    pub fn train(sessions: &[Session], config: &CaceConfig) -> Result<Self, ModelError> {
+        let Some(first) = sessions.first() else {
+            return Err(ModelError::InsufficientData {
+                what: "engine training".into(),
+                available: 0,
+                required: 1,
+            });
+        };
+        let n_macro = first.n_activities;
+        let has_gestural = first.has_gestural;
+        let space = AtomSpace { n_macro, ..AtomSpace::cace() };
+
+        // Context planar.
+        let features = extract_all(sessions);
+        let classifiers = MicroClassifiers::train(
+            sessions,
+            &features,
+            n_macro,
+            config.classifier_stride,
+            config.seed,
+        )?;
+
+        // Correlation miner.
+        let mut rules = if config.strategy.uses_correlation_pruning() {
+            let txns = corpus(&space, sessions);
+            let mut mined = mine_rules(&txns, &space, &config.apriori);
+            // Keep only rules that carry runtime pruning power: current-time
+            // macro/location/room consequents, excluding the structural
+            // location→room tautologies (a sub-location trivially implies
+            // its room). This is the engine-side half of the paper's
+            // "redundant (e.g., transitive) rules were subsequently merged".
+            let filter_space = space.clone();
+            mined.retain_rules(|r| {
+                let Some(cons) = filter_space.decode(r.consequent) else {
+                    return false;
+                };
+                if cons.lag != 0 {
+                    return false;
+                }
+                match cons.atom {
+                    cace_mining::Atom::Macro(_) => true,
+                    cace_mining::Atom::Location(_) => true,
+                    cace_mining::Atom::Room(room) => !r.antecedent.iter().any(|&a| {
+                        matches!(
+                            filter_space.decode(a),
+                            Some(item) if item.user == cons.user
+                                && item.lag == 0
+                                && matches!(item.atom,
+                                    cace_mining::Atom::Location(l)
+                                        if filter_space.loc_to_room[l as usize]
+                                            == room as usize)
+                        )
+                    }),
+                    _ => false,
+                }
+            });
+            // Exclusivities only need each trigger to be nonvacuously
+            // frequent; half of minSup keeps short-but-regular activities
+            // (bathrooming) in scope.
+            let negatives =
+                mine_negative_rules(&txns, &space, config.apriori.min_support * 0.5);
+            mined.set_negatives(negatives);
+            mined
+        } else {
+            RuleSet::new(space.clone(), Vec::new())
+        };
+        if config.use_initial_rules && n_macro == 11 && has_gestural {
+            let initial = initial_cace_rules();
+            let mut negatives = rules.negatives().to_vec();
+            for neg in initial.negatives() {
+                if !negatives.contains(neg) {
+                    negatives.push(*neg);
+                }
+            }
+            rules.extend_rules(initial.rules().iter().cloned());
+            rules.set_negatives(negatives);
+        }
+        if config.strategy.per_user_rules_only() {
+            let filtered: Vec<_> = rules
+                .rules()
+                .iter()
+                .filter(|r| {
+                    let users: Vec<u8> = r
+                        .antecedent
+                        .iter()
+                        .chain(std::iter::once(&r.consequent))
+                        .filter_map(|&i| space.decode(i))
+                        .map(|item| item.user)
+                        .collect();
+                    users.windows(2).all(|w| w[0] == w[1])
+                })
+                .cloned()
+                .collect();
+            // NCR keeps a user's own micro→macro exclusions but loses the
+            // cross-user spatial exclusivities.
+            let negatives: Vec<_> = rules
+                .negatives()
+                .iter()
+                .filter(|neg| {
+                    match (space.decode(neg.if_item), space.decode(neg.then_not)) {
+                        (Some(a), Some(b)) => a.user == b.user,
+                        _ => false,
+                    }
+                })
+                .copied()
+                .collect();
+            rules = RuleSet::new(space.clone(), filtered);
+            rules.set_negatives(negatives);
+        }
+        let pruner = if config.strategy.uses_correlation_pruning() {
+            Some(PruningEngine::new(rules.clone()))
+        } else {
+            None
+        };
+
+        // Constraint miner.
+        let miner = ConstraintMiner { n_macro, ..ConstraintMiner::cace() };
+        let sequences: Vec<LabeledSequence> = sessions
+            .iter()
+            .map(|s| {
+                let mut seq = LabeledSequence::default();
+                for u in 0..2 {
+                    seq.macros[u] = s.labels_of(u);
+                    seq.posturals[u] =
+                        s.ticks.iter().map(|t| t.truth[u].micro.postural.index()).collect();
+                    seq.locations[u] =
+                        s.ticks.iter().map(|t| t.truth[u].micro.location.index()).collect();
+                    seq.gesturals[u] = if s.has_gestural {
+                        s.ticks.iter().map(|t| t.truth[u].micro.gestural.index()).collect()
+                    } else {
+                        Vec::new()
+                    };
+                }
+                seq
+            })
+            .collect();
+        let stats = miner.mine(&sequences)?;
+
+        let hdbn_config = HdbnConfig {
+            coupling_weight: if config.strategy.coupled() { config.coupling_weight } else { 0.0 },
+            hierarchy_weight: config.hierarchy_weight,
+            ..HdbnConfig::default()
+        };
+        let mut params = HdbnParams::new(stats.clone(), hdbn_config)?;
+
+        // NH flat transition table + macro HMM.
+        let label_seqs: Vec<Vec<usize>> = sessions
+            .iter()
+            .flat_map(|s| [s.labels_of(0), s.labels_of(1)])
+            .collect();
+        let nh_hmm = Hmm::fit(&label_seqs, n_macro, 0.5)?;
+        let nh_log_trans = {
+            let mut table = vec![vec![0.0; n_macro]; n_macro];
+            let mut counts = vec![vec![0.5f64; n_macro]; n_macro];
+            for seq in &label_seqs {
+                for w in seq.windows(2) {
+                    counts[w[0]][w[1]] += 1.0;
+                }
+            }
+            for (row, crow) in table.iter_mut().zip(&counts) {
+                let total: f64 = crow.iter().sum();
+                for (slot, &c) in row.iter_mut().zip(crow) {
+                    *slot = (c / total).ln();
+                }
+            }
+            table
+        };
+
+        let mut engine = Self {
+            config: config.clone(),
+            space,
+            n_macro,
+            has_gestural,
+            classifiers,
+            rules,
+            pruner,
+            stats,
+            params: params.clone(),
+            nh_log_trans,
+            nh_hmm,
+        };
+
+        // Optional EM refinement over the training tick inputs.
+        if config.run_em && config.strategy.hierarchical() {
+            let em_inputs: Vec<Vec<TickInput>> = sessions
+                .iter()
+                .zip(&features)
+                .map(|(s, f)| engine.tick_inputs_unpruned(s, f, config.beam))
+                .collect();
+            let outcome = hdbn_fit_em(params.clone(), &em_inputs, &config.em)?;
+            params = outcome.params;
+            engine.params = params;
+        }
+
+        Ok(engine)
+    }
+
+    /// The mined rule set (Table IV).
+    pub fn rules(&self) -> &RuleSet {
+        &self.rules
+    }
+
+    /// The constraint-mined statistics.
+    pub fn stats(&self) -> &HierarchicalStats {
+        &self.stats
+    }
+
+    /// The atom space in use.
+    pub fn space(&self) -> &AtomSpace {
+        &self.space
+    }
+
+    /// Number of macro activities.
+    pub fn n_macro(&self) -> usize {
+        self.n_macro
+    }
+
+
+    /// CASAS item-sensor evidence as a per-activity log-bonus (log-odds of
+    /// the fire/idle likelihoods; unattributed, so shared by both users).
+    fn item_bonus(&self, observed: &ObservedTick) -> Vec<f64> {
+        match &observed.items {
+            None => Vec::new(),
+            Some(items) => items
+                .iter()
+                .map(|&fired| if fired { 4.0 } else { -0.8 })
+                .collect(),
+        }
+    }
+
+    /// Sub-location motion restriction (CASAS state-space creation): "each
+    /// motion sensor firing means the sub-location is occupied" — so an
+    /// occupied resident must be at a fired sub-location. Applied only when
+    /// at least one sensor fired (otherwise no information).
+    fn restrict_to_fired(&self, observed: &ObservedTick, tick: &mut CandidateTick) {
+        let Some(fired) = &observed.subloc_motion else { return };
+        if !fired.iter().any(|&f| f) {
+            return;
+        }
+        for user in &mut tick.users {
+            for (l, slot) in user.locations.iter_mut().enumerate() {
+                if !fired[l] {
+                    *slot = false;
+                }
+            }
+            if user.locations.iter().all(|&b| !b) {
+                // Relax rather than empty the space (all-sensor dropout).
+                user.locations.iter_mut().for_each(|b| *b = true);
+            }
+        }
+    }
+
+    fn masked_observation(&self, observed: &ObservedTick) -> ObservedTick {
+        let mut out = observed.clone();
+        if !self.config.mask.location {
+            out.subloc_motion = None;
+            for user in &mut out.per_user {
+                user.beacon = None;
+            }
+            out.room_motion = [false; 6];
+        }
+        if !self.config.mask.gestural {
+            for user in &mut out.per_user {
+                user.tag = None;
+            }
+        }
+        out
+    }
+
+    fn tick_scores(&self, features: &SessionFeatures, t: usize) -> TickScores {
+        let score_of = |u: usize| -> (Vec<f64>, Option<Vec<f64>>) {
+            let f = &features.per_tick[t][u];
+            let postural = self
+                .classifiers
+                .postural_log_proba(f.phone.as_ref().map(|v| v.as_slice()));
+            let gestural = if self.has_gestural && self.config.mask.gestural {
+                Some(
+                    self.classifiers
+                        .gestural_log_proba(f.tag.as_ref().map(|v| v.as_slice())),
+                )
+            } else {
+                None
+            };
+            (postural, gestural)
+        };
+        let (p0, g0) = score_of(0);
+        let (p1, g1) = score_of(1);
+        TickScores { postural_lp: [p0, p1], gestural_lp: [g0, g1] }
+    }
+
+    /// Builds unpruned tick inputs (used by EM, NCS, and — with its larger
+    /// beam — NH).
+    fn tick_inputs_unpruned(
+        &self,
+        session: &Session,
+        features: &SessionFeatures,
+        beam: usize,
+    ) -> Vec<TickInput> {
+        (0..session.len())
+            .map(|t| {
+                let observed = self.masked_observation(&session.ticks[t].observed);
+                let scores = self.tick_scores(features, t);
+                let mut full = CandidateTick::full(&self.space);
+                if self.config.mask.location {
+                    self.restrict_to_fired(&observed, &mut full);
+                }
+                let mut input = build_tick_input(
+                    &self.space,
+                    &observed,
+                    &scores,
+                    &full.users,
+                    self.config.mask,
+                    self.has_gestural,
+                    beam,
+                );
+                input.macro_bonus = self.item_bonus(&observed);
+                input
+            })
+            .collect()
+    }
+
+    /// Builds pruned tick inputs, returning (inputs, joint sizes, firings).
+    fn tick_inputs_pruned(
+        &self,
+        session: &Session,
+        features: &SessionFeatures,
+    ) -> (Vec<TickInput>, Vec<u128>, u64) {
+        let pruner = self.pruner.as_ref().expect("pruning strategy");
+        let mut prev = [PrevState::default(), PrevState::default()];
+        let mut inputs = Vec::with_capacity(session.len());
+        let mut joint_sizes = Vec::with_capacity(session.len());
+        let mut fired = 0u64;
+        for t in 0..session.len() {
+            let observed = self.masked_observation(&session.ticks[t].observed);
+            let scores = self.tick_scores(features, t);
+            let gestural_lp: [Option<Vec<f64>>; 2] =
+                [scores.gestural_lp[0].clone(), scores.gestural_lp[1].clone()];
+            let evidence = build_evidence(
+                &self.space,
+                &observed,
+                &scores.postural_lp,
+                &gestural_lp,
+                &prev,
+                &self.config.evidence,
+            );
+            let mut tick = CandidateTick::full(&self.space);
+            if self.config.mask.location {
+                self.restrict_to_fired(&observed, &mut tick);
+            }
+            let report = pruner.prune(&evidence, &mut tick);
+            fired += (report.positive_fired + report.negative_fired) as u64;
+            joint_sizes.push(tick.joint_size());
+            let mut input = build_tick_input(
+                &self.space,
+                &observed,
+                &scores,
+                &tick.users,
+                self.config.mask,
+                self.has_gestural,
+                self.config.beam,
+            );
+            input.macro_bonus = self.item_bonus(&observed);
+            // Commit observed location as lag-1 evidence for the next tick.
+            for u in 0..2 {
+                prev[u] = PrevState {
+                    macro_id: None,
+                    location: observed.per_user[u]
+                        .beacon
+                        .as_ref()
+                        .filter(|b| b.in_home)
+                        .map(|b| b.nearest.index()),
+                };
+            }
+            inputs.push(input);
+        }
+        (inputs, joint_sizes, fired)
+    }
+
+    /// Runs recognition on one session.
+    ///
+    /// # Errors
+    /// Propagates decoding failures (e.g. emptied state spaces).
+    pub fn recognize(&self, session: &Session) -> Result<Recognition, ModelError> {
+        let start = Instant::now();
+        let features = cace_features::extract_session(session);
+
+        let result = match self.config.strategy {
+            Strategy::NaiveHmm => self.recognize_nh(session, &features),
+            Strategy::NaiveCorrelation => {
+                let (inputs, sizes, fired) = self.tick_inputs_pruned(session, &features);
+                let model = SingleHdbn::new(self.params.clone());
+                let mut states = 0u64;
+                let mut ops = 0u64;
+                let mut macros: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+                for u in 0..2 {
+                    let path = model.viterbi(&inputs, u)?;
+                    states += path.states_explored;
+                    // Single-chain transition work is |S|² per tick.
+                    ops += inputs
+                        .windows(2)
+                        .map(|w| {
+                            (w[0].joint_states(self.n_macro) as f64).sqrt() as u64
+                                * (w[1].joint_states(self.n_macro) as f64).sqrt() as u64
+                        })
+                        .sum::<u64>();
+                    macros[u] = path.macros;
+                }
+                Ok((macros, states, ops, sizes, fired))
+            }
+            Strategy::NaiveConstraint => {
+                let inputs = self.tick_inputs_unpruned(session, &features, self.config.beam);
+                let sizes: Vec<u128> =
+                    inputs.iter().map(|i| i.joint_states(self.n_macro) as u128).collect();
+                let model = CoupledHdbn::new(self.params.clone());
+                let path = model.viterbi(&inputs)?;
+                Ok((path.macros, path.states_explored, path.transition_ops, sizes, 0))
+            }
+            Strategy::CorrelationConstraint => {
+                let (inputs, sizes, fired) = self.tick_inputs_pruned(session, &features);
+                let model = CoupledHdbn::new(self.params.clone());
+                let path = model.viterbi(&inputs)?;
+                Ok((path.macros, path.states_explored, path.transition_ops, sizes, fired))
+            }
+        };
+        let (macros, states_explored, transition_ops, joint_sizes, rules_fired) = result?;
+
+        let mean_joint_size = if joint_sizes.is_empty() {
+            0.0
+        } else {
+            joint_sizes.iter().map(|&s| s as f64).sum::<f64>() / joint_sizes.len() as f64
+        };
+        Ok(Recognition {
+            macros,
+            states_explored,
+            transition_ops,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            mean_joint_size,
+            rules_fired,
+        })
+    }
+
+    /// NH: exhaustive flat product HMM per user.
+    #[allow(clippy::type_complexity)]
+    fn recognize_nh(
+        &self,
+        session: &Session,
+        features: &SessionFeatures,
+    ) -> Result<([Vec<usize>; 2], u64, u64, Vec<u128>, u64), ModelError> {
+        let inputs = self.tick_inputs_unpruned(session, features, self.config.nh_beam);
+        let sizes: Vec<u128> =
+            inputs.iter().map(|i| i.joint_states(self.n_macro) as u128).collect();
+        let mut macros: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
+        let mut states = 0u64;
+        let mut ops = 0u64;
+        for u in 0..2 {
+            // Per-tick macro emissions from the direct classifier.
+            let emissions: Vec<Vec<f64>> = (0..session.len())
+                .map(|t| {
+                    let f = &features.per_tick[t][u];
+                    self.classifiers.macro_log_proba(
+                        f.phone.as_ref().map(|v| v.as_slice()),
+                        f.tag.as_ref().filter(|_| self.config.mask.gestural)
+                            .map(|v| v.as_slice()),
+                    )
+                })
+                .collect();
+            let (path, s, o) = self.flat_product_viterbi(&inputs, &emissions, u)?;
+            states += s;
+            ops += o;
+            macros[u] = path;
+        }
+        Ok((macros, states, ops, sizes, 0))
+    }
+
+    /// Flat Viterbi over the (macro × micro-beam) product space with no
+    /// hierarchical structure — the "all possible states" NH decoder.
+    fn flat_product_viterbi(
+        &self,
+        inputs: &[TickInput],
+        macro_emissions: &[Vec<f64>],
+        user: usize,
+    ) -> Result<(Vec<usize>, u64, u64), ModelError> {
+        if inputs.is_empty() {
+            return Err(ModelError::InsufficientData {
+                what: "NH decoding".into(),
+                available: 0,
+                required: 1,
+            });
+        }
+        let n = self.n_macro;
+        let state_list = |t: usize| -> Vec<(usize, usize)> {
+            let cands = &inputs[t].candidates[user];
+            (0..n).flat_map(|a| (0..cands.len()).map(move |c| (a, c))).collect()
+        };
+        let emission = |t: usize, a: usize, c: usize| -> f64 {
+            macro_emissions[t][a]
+                + inputs[t].bonus(a)
+                + inputs[t].candidates[user][c].obs_loglik
+        };
+
+        let mut states = state_list(0);
+        let mut v: Vec<f64> =
+            states.iter().map(|&(a, c)| emission(0, a, c)).collect();
+        let mut states_explored = states.len() as u64;
+        let mut transition_ops = 0u64;
+        let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut all_states = vec![states.clone()];
+
+        for t in 1..inputs.len() {
+            let cur = state_list(t);
+            states_explored += cur.len() as u64;
+            transition_ops += (cur.len() * states.len()) as u64;
+            let mut v_new = vec![f64::NEG_INFINITY; cur.len()];
+            let mut back = vec![0u32; cur.len()];
+            for (j, &(a, c)) in cur.iter().enumerate() {
+                let mut best = f64::NEG_INFINITY;
+                let mut best_arg = 0u32;
+                for (jp, &(ap, _)) in states.iter().enumerate() {
+                    let score = v[jp] + self.nh_log_trans[ap][a];
+                    if score > best {
+                        best = score;
+                        best_arg = jp as u32;
+                    }
+                }
+                v_new[j] = best + emission(t, a, c);
+                back[j] = best_arg;
+            }
+            v = v_new;
+            backptrs.push(back);
+            states = cur.clone();
+            all_states.push(cur);
+        }
+
+        let mut j = v
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .map(|(i, _)| i)
+            .expect("nonempty trellis");
+        let mut path = vec![0usize; inputs.len()];
+        for t in (0..inputs.len()).rev() {
+            path[t] = all_states[t][j].0;
+            if t > 0 {
+                j = backptrs[t][j] as usize;
+            }
+        }
+        let _ = &self.nh_hmm; // macro-only fallback kept for API completeness
+        Ok((path, states_explored, transition_ops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cace_behavior::{cace_grammar, generate_cace_dataset, session::train_test_split,
+        SessionConfig};
+
+    fn dataset(n: usize, ticks: usize, seed: u64) -> Vec<Session> {
+        let g = cace_grammar();
+        generate_cace_dataset(
+            &g,
+            1,
+            n,
+            &SessionConfig::tiny().with_ticks(ticks),
+            seed,
+        )
+    }
+
+    #[test]
+    fn c2_engine_trains_and_recognizes_well() {
+        let sessions = dataset(4, 150, 11);
+        let (train, test) = train_test_split(sessions, 0.75);
+        let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+        assert!(!engine.rules().is_empty(), "rules should be mined");
+        let rec = engine.recognize(&test[0]).unwrap();
+        let acc = rec.accuracy(&test[0]);
+        assert!(acc > 0.5, "C2 accuracy too low: {acc}");
+        assert!(rec.rules_fired > 0, "pruning should fire rules");
+        assert!(rec.mean_joint_size < CandidateTick::full(engine.space()).joint_size() as f64);
+    }
+
+    #[test]
+    fn strategies_all_run() {
+        let sessions = dataset(3, 100, 12);
+        let (train, test) = train_test_split(sessions, 0.67);
+        for strategy in Strategy::ALL {
+            let cfg = CaceConfig::default().with_strategy(strategy);
+            let engine = CaceEngine::train(&train, &cfg).unwrap();
+            let rec = engine.recognize(&test[0]).unwrap();
+            assert_eq!(rec.macros[0].len(), test[0].len(), "{strategy}");
+            assert!(rec.wall_seconds >= 0.0);
+        }
+    }
+
+    #[test]
+    fn c2_explores_fewer_states_than_ncs() {
+        let sessions = dataset(3, 120, 13);
+        let (train, test) = train_test_split(sessions, 0.67);
+        let ncs = CaceEngine::train(
+            &train,
+            &CaceConfig::default().with_strategy(Strategy::NaiveConstraint),
+        )
+        .unwrap();
+        let c2 = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+        let rec_ncs = ncs.recognize(&test[0]).unwrap();
+        let rec_c2 = c2.recognize(&test[0]).unwrap();
+        assert!(
+            rec_c2.transition_ops * 2 < rec_ncs.transition_ops,
+            "C2 ops {} vs NCS ops {}",
+            rec_c2.transition_ops,
+            rec_ncs.transition_ops
+        );
+    }
+
+    #[test]
+    fn empty_training_set_is_rejected() {
+        assert!(matches!(
+            CaceEngine::train(&[], &CaceConfig::default()),
+            Err(ModelError::InsufficientData { .. })
+        ));
+    }
+}

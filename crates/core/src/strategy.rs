@@ -1,0 +1,102 @@
+//! The four pruning strategies of §VII-G.
+
+use std::fmt;
+
+/// Which combination of miners and coupling the engine runs with (Fig 11).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Strategy {
+    /// **NH** — Naive-HMM: exhaustive flat HMM per user over the unpruned
+    /// (macro × micro-beam) product state space, with the macro label
+    /// classified directly from frame features (no hierarchy, no miners).
+    NaiveHmm,
+    /// **NCR** — Naive-Correlation: per-user rule pruning (rules whose items
+    /// all belong to one user, as in ACE [1]) over per-user hierarchical
+    /// chains; no inter-user coupling.
+    NaiveCorrelation,
+    /// **NCS** — Naive-Constraint: the coupled HDBN with the constraint
+    /// miner's augmentations but *no* correlation pruning (the full coupled
+    /// state space).
+    NaiveConstraint,
+    /// **C2** — Correlation-Constraint: the full loosely-coupled HDBN with
+    /// both miners. The paper's proposed configuration.
+    #[default]
+    CorrelationConstraint,
+}
+
+impl Strategy {
+    /// All strategies in the paper's presentation order.
+    pub const ALL: [Strategy; 4] = [
+        Strategy::NaiveHmm,
+        Strategy::NaiveCorrelation,
+        Strategy::NaiveConstraint,
+        Strategy::CorrelationConstraint,
+    ];
+
+    /// Whether the correlation miner prunes the state space.
+    pub const fn uses_correlation_pruning(self) -> bool {
+        matches!(self, Strategy::NaiveCorrelation | Strategy::CorrelationConstraint)
+    }
+
+    /// Whether rules are restricted to single-user scope (NCR).
+    pub const fn per_user_rules_only(self) -> bool {
+        matches!(self, Strategy::NaiveCorrelation)
+    }
+
+    /// Whether the two chains are coupled at decode time.
+    pub const fn coupled(self) -> bool {
+        matches!(self, Strategy::NaiveConstraint | Strategy::CorrelationConstraint)
+    }
+
+    /// Whether the hierarchical (constraint-miner) structure is used at all.
+    pub const fn hierarchical(self) -> bool {
+        !matches!(self, Strategy::NaiveHmm)
+    }
+
+    /// The paper's abbreviation.
+    pub const fn label(self) -> &'static str {
+        match self {
+            Strategy::NaiveHmm => "NH",
+            Strategy::NaiveCorrelation => "NCR",
+            Strategy::NaiveConstraint => "NCS",
+            Strategy::CorrelationConstraint => "C2",
+        }
+    }
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_matrix_matches_paper() {
+        use Strategy::*;
+        assert!(!NaiveHmm.uses_correlation_pruning());
+        assert!(!NaiveHmm.coupled());
+        assert!(!NaiveHmm.hierarchical());
+
+        assert!(NaiveCorrelation.uses_correlation_pruning());
+        assert!(NaiveCorrelation.per_user_rules_only());
+        assert!(!NaiveCorrelation.coupled());
+
+        assert!(!NaiveConstraint.uses_correlation_pruning());
+        assert!(NaiveConstraint.coupled());
+
+        assert!(CorrelationConstraint.uses_correlation_pruning());
+        assert!(CorrelationConstraint.coupled());
+        assert!(!CorrelationConstraint.per_user_rules_only());
+    }
+
+    #[test]
+    fn labels_and_default() {
+        assert_eq!(Strategy::default(), Strategy::CorrelationConstraint);
+        let labels: Vec<&str> = Strategy::ALL.iter().map(|s| s.label()).collect();
+        assert_eq!(labels, vec!["NH", "NCR", "NCS", "C2"]);
+        assert_eq!(Strategy::NaiveConstraint.to_string(), "NCS");
+    }
+}

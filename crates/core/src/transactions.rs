@@ -1,0 +1,112 @@
+//! Training transactions for the rule miners (§V-A).
+//!
+//! Each transaction carries the context atoms of *both* users at `t` and
+//! `t − 1` — 94-element context tuples in the paper's counting — built from
+//! the labeled training sessions.
+
+use cace_behavior::Session;
+use cace_mining::item::atoms_of_tick;
+use cace_mining::{AtomSpace, Transaction};
+
+/// Builds the transaction corpus of one session.
+pub fn session_transactions(space: &AtomSpace, session: &Session) -> Vec<Transaction> {
+    let mut out = Vec::with_capacity(session.len());
+    for t in 0..session.len() {
+        let mut items = Vec::with_capacity(20);
+        for u in 0..2u8 {
+            for lag in 0..2u8 {
+                let Some(tick) = t.checked_sub(lag as usize).map(|i| &session.ticks[i])
+                else {
+                    continue;
+                };
+                let uu = u as usize;
+                let micro = tick.truth[uu].micro;
+                let gestural = if session.has_gestural {
+                    Some(micro.gestural.index())
+                } else {
+                    None
+                };
+                items.extend(atoms_of_tick(
+                    space,
+                    u,
+                    lag,
+                    tick.labels[uu],
+                    micro.postural.index(),
+                    gestural,
+                    micro.location.index(),
+                ));
+            }
+        }
+        out.push(Transaction::new(items));
+    }
+    out
+}
+
+/// Builds the corpus of a whole training set.
+pub fn corpus(space: &AtomSpace, sessions: &[Session]) -> Vec<Transaction> {
+    sessions
+        .iter()
+        .flat_map(|s| session_transactions(space, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cace_behavior::{cace_grammar, generate_casas_dataset, simulate_session, CasasConfig,
+        SessionConfig};
+    use cace_mining::item::Atom;
+
+    #[test]
+    fn transactions_have_both_lags_after_first_tick() {
+        let g = cace_grammar();
+        let session = simulate_session(&g, &SessionConfig::tiny(), 1);
+        let space = AtomSpace::cace();
+        let txns = session_transactions(&space, &session);
+        assert_eq!(txns.len(), session.len());
+        // First tick: only lag-0 items (2 users × 5 atoms).
+        assert_eq!(txns[0].len(), 10);
+        // Later ticks: up to 20 items (duplicates collapse).
+        assert!(txns[5].len() > 10);
+        assert!(txns[5].len() <= 20);
+    }
+
+    #[test]
+    fn items_decode_into_valid_atoms() {
+        let g = cace_grammar();
+        let session = simulate_session(&g, &SessionConfig::tiny(), 2);
+        let space = AtomSpace::cace();
+        for txn in session_transactions(&space, &session).iter().take(20) {
+            for &id in txn.items() {
+                let item = space.decode(id).expect("valid item");
+                assert!(item.user < 2 && item.lag < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn casas_transactions_have_no_gestural_atoms() {
+        let sessions = generate_casas_dataset(&CasasConfig::tiny(), 3);
+        let space = AtomSpace::casas();
+        let txns = corpus(&space, &sessions[..1]);
+        for txn in &txns {
+            for &id in txn.items() {
+                let item = space.decode(id).expect("valid item");
+                assert!(
+                    !matches!(item.atom, Atom::Gestural(_)),
+                    "CASAS transactions must not carry gestural atoms"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corpus_concatenates_sessions() {
+        let g = cace_grammar();
+        let s1 = simulate_session(&g, &SessionConfig::tiny(), 4);
+        let s2 = simulate_session(&g, &SessionConfig::tiny(), 5);
+        let space = AtomSpace::cace();
+        let total = corpus(&space, &[s1.clone(), s2.clone()]).len();
+        assert_eq!(total, s1.len() + s2.len());
+    }
+}

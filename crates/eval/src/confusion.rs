@@ -1,0 +1,262 @@
+//! Confusion matrices and derived per-class metrics.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Per-class metrics in the paper's table format.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassMetrics {
+    /// False-positive rate: `FP / (FP + TN)`.
+    pub fp_rate: f64,
+    /// Precision: `TP / (TP + FP)` (0 when the class is never predicted).
+    pub precision: f64,
+    /// Recall: `TP / (TP + FN)` (0 when the class never occurs).
+    pub recall: f64,
+    /// F-measure: harmonic mean of precision and recall.
+    pub f_measure: f64,
+    /// True occurrences of the class.
+    pub support: usize,
+}
+
+/// A dense n×n confusion matrix (`rows = truth`, `cols = prediction`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    n: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// An empty matrix over `n` classes.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn new(n: usize) -> Self {
+        assert!(n > 0, "confusion matrix needs at least one class");
+        Self { n, counts: vec![0; n * n] }
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> usize {
+        self.n
+    }
+
+    /// Records one (truth, prediction) pair.
+    ///
+    /// # Panics
+    /// Panics if either label is out of range.
+    pub fn record(&mut self, truth: usize, predicted: usize) {
+        assert!(truth < self.n && predicted < self.n, "label out of range");
+        self.counts[truth * self.n + predicted] += 1;
+    }
+
+    /// Records a whole pair of label sequences.
+    ///
+    /// # Panics
+    /// Panics if the sequences differ in length or contain bad labels.
+    pub fn record_all(&mut self, truth: &[usize], predicted: &[usize]) {
+        assert_eq!(truth.len(), predicted.len(), "sequence length mismatch");
+        for (&t, &p) in truth.iter().zip(predicted) {
+            self.record(t, p);
+        }
+    }
+
+    /// Merges another matrix (same class count) into this one.
+    ///
+    /// # Panics
+    /// Panics on class-count mismatch.
+    pub fn merge(&mut self, other: &ConfusionMatrix) {
+        assert_eq!(self.n, other.n, "class count mismatch");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Raw count at (truth, predicted).
+    pub fn count(&self, truth: usize, predicted: usize) -> u64 {
+        self.counts[truth * self.n + predicted]
+    }
+
+    /// Total samples recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Overall accuracy; 0 when empty.
+    pub fn accuracy(&self) -> f64 {
+        let total = self.total();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: u64 = (0..self.n).map(|i| self.count(i, i)).sum();
+        correct as f64 / total as f64
+    }
+
+    /// Metrics for one class (one-vs-rest).
+    pub fn class_metrics(&self, class: usize) -> ClassMetrics {
+        let tp = self.count(class, class);
+        let fn_: u64 = (0..self.n).filter(|&j| j != class).map(|j| self.count(class, j)).sum();
+        let fp: u64 = (0..self.n).filter(|&i| i != class).map(|i| self.count(i, class)).sum();
+        let tn = self.total() - tp - fn_ - fp;
+        let ratio = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        let precision = ratio(tp, tp + fp);
+        let recall = ratio(tp, tp + fn_);
+        let f_measure = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        ClassMetrics {
+            fp_rate: ratio(fp, fp + tn),
+            precision,
+            recall,
+            f_measure,
+            support: (tp + fn_) as usize,
+        }
+    }
+
+    /// Support-weighted averages of (fp_rate, precision, recall, f_measure)
+    /// — the paper's "Overall" table row.
+    pub fn weighted_metrics(&self) -> ClassMetrics {
+        let total = self.total() as f64;
+        if total == 0.0 {
+            return ClassMetrics {
+                fp_rate: 0.0,
+                precision: 0.0,
+                recall: 0.0,
+                f_measure: 0.0,
+                support: 0,
+            };
+        }
+        let mut acc = ClassMetrics {
+            fp_rate: 0.0,
+            precision: 0.0,
+            recall: 0.0,
+            f_measure: 0.0,
+            support: self.total() as usize,
+        };
+        for c in 0..self.n {
+            let m = self.class_metrics(c);
+            let w = m.support as f64 / total;
+            acc.fp_rate += w * m.fp_rate;
+            acc.precision += w * m.precision;
+            acc.recall += w * m.recall;
+            acc.f_measure += w * m.f_measure;
+        }
+        acc
+    }
+}
+
+impl fmt::Display for ConfusionMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "confusion matrix ({} classes, {} samples):", self.n, self.total())?;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                write!(f, "{:>6}", self.count(i, j))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> ConfusionMatrix {
+        let mut m = ConfusionMatrix::new(3);
+        // class 0: 8 correct, 2 confused with 1.
+        for _ in 0..8 {
+            m.record(0, 0);
+        }
+        for _ in 0..2 {
+            m.record(0, 1);
+        }
+        // class 1: 9 correct, 1 confused with 2.
+        for _ in 0..9 {
+            m.record(1, 1);
+        }
+        m.record(1, 2);
+        // class 2: 10 correct.
+        for _ in 0..10 {
+            m.record(2, 2);
+        }
+        m
+    }
+
+    #[test]
+    fn accuracy_and_counts() {
+        let m = sample_matrix();
+        assert_eq!(m.total(), 30);
+        assert!((m.accuracy() - 27.0 / 30.0).abs() < 1e-12);
+        assert_eq!(m.count(0, 1), 2);
+    }
+
+    #[test]
+    fn class_metrics_match_hand_computation() {
+        let m = sample_matrix();
+        let c1 = m.class_metrics(1);
+        // TP=9, FN=1, FP=2 (from class 0), TN=18.
+        assert!((c1.recall - 0.9).abs() < 1e-12);
+        assert!((c1.precision - 9.0 / 11.0).abs() < 1e-12);
+        assert!((c1.fp_rate - 2.0 / 20.0).abs() < 1e-12);
+        assert_eq!(c1.support, 10);
+        let expected_f = 2.0 * (9.0 / 11.0) * 0.9 / ((9.0 / 11.0) + 0.9);
+        assert!((c1.f_measure - expected_f).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_class_has_perfect_metrics() {
+        let m = sample_matrix();
+        let c2 = m.class_metrics(2);
+        assert_eq!(c2.recall, 1.0);
+        assert!((c2.precision - 10.0 / 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_metrics_are_support_weighted() {
+        let m = sample_matrix();
+        let w = m.weighted_metrics();
+        // All classes have support 10, so this equals the plain mean.
+        let mean_recall =
+            (0..3).map(|c| m.class_metrics(c).recall).sum::<f64>() / 3.0;
+        assert!((w.recall - mean_recall).abs() < 1e-12);
+        assert_eq!(w.support, 30);
+    }
+
+    #[test]
+    fn record_all_and_merge() {
+        let mut a = ConfusionMatrix::new(2);
+        a.record_all(&[0, 1, 1], &[0, 1, 0]);
+        let mut b = ConfusionMatrix::new(2);
+        b.record_all(&[0, 0], &[0, 0]);
+        a.merge(&b);
+        assert_eq!(a.total(), 5);
+        assert!((a.accuracy() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_metrics_are_zero() {
+        let m = ConfusionMatrix::new(4);
+        assert_eq!(m.accuracy(), 0.0);
+        let c = m.class_metrics(0);
+        assert_eq!(c.precision, 0.0);
+        assert_eq!(c.recall, 0.0);
+        assert_eq!(m.weighted_metrics().f_measure, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "label out of range")]
+    fn out_of_range_labels_panic() {
+        ConfusionMatrix::new(2).record(2, 0);
+    }
+
+    #[test]
+    fn display_renders_rows() {
+        let m = sample_matrix();
+        let s = m.to_string();
+        assert!(s.contains("3 classes"));
+        assert!(s.lines().count() >= 4);
+    }
+}

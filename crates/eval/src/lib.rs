@@ -1,0 +1,17 @@
+//! # cace-eval
+//!
+//! Evaluation metrics for the CACE experiments: confusion matrices with the
+//! paper's per-activity FP-rate / precision / recall / F-measure tables
+//! (Figs 8b, 9, 10b), weighted one-vs-rest ROC/PRC areas, the start/end
+//! duration error of §VII-G (Table V), and overhead accounting (Fig 11).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod confusion;
+pub mod duration;
+pub mod ranking;
+
+pub use confusion::{ClassMetrics, ConfusionMatrix};
+pub use duration::{episodes_of, mean_duration_error, Episode};
+pub use ranking::{roc_auc, weighted_auc};

@@ -1,0 +1,124 @@
+//! Ranking metrics: ROC AUC (one-vs-rest) and its support-weighted
+//! multi-class aggregate, matching the paper's "weighted ROC" figures.
+
+/// Binary ROC AUC from scores and boolean labels, computed with the
+/// rank-statistic (Mann–Whitney) formulation with tie correction.
+///
+/// Returns 0.5 when either class is absent (no ranking information).
+pub fn roc_auc(scores: &[f64], positives: &[bool]) -> f64 {
+    assert_eq!(scores.len(), positives.len(), "scores vs labels length mismatch");
+    let n_pos = positives.iter().filter(|&&p| p).count();
+    let n_neg = positives.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    // Rank scores ascending, averaging ranks over ties.
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| scores[a].partial_cmp(&scores[b]).expect("finite scores"));
+    let mut ranks = vec![0.0; scores.len()];
+    let mut i = 0;
+    while i < order.len() {
+        let mut j = i;
+        while j + 1 < order.len() && scores[order[j + 1]] == scores[order[i]] {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &idx in &order[i..=j] {
+            ranks[idx] = avg_rank;
+        }
+        i = j + 1;
+    }
+    let pos_rank_sum: f64 = ranks
+        .iter()
+        .zip(positives)
+        .filter(|&(_, &p)| p)
+        .map(|(&r, _)| r)
+        .sum();
+    let u = pos_rank_sum - (n_pos as f64) * (n_pos as f64 + 1.0) / 2.0;
+    u / (n_pos as f64 * n_neg as f64)
+}
+
+/// Support-weighted one-vs-rest AUC over `n_classes`.
+///
+/// `scores[t][c]` is the score of class `c` at sample `t`; `labels[t]` the
+/// true class.
+pub fn weighted_auc(scores: &[Vec<f64>], labels: &[usize], n_classes: usize) -> f64 {
+    assert_eq!(scores.len(), labels.len(), "scores vs labels length mismatch");
+    if labels.is_empty() {
+        return 0.5;
+    }
+    let mut total = 0.0;
+    let mut weight_sum = 0.0;
+    for c in 0..n_classes {
+        let support = labels.iter().filter(|&&l| l == c).count();
+        if support == 0 {
+            continue;
+        }
+        let class_scores: Vec<f64> = scores.iter().map(|row| row[c]).collect();
+        let positives: Vec<bool> = labels.iter().map(|&l| l == c).collect();
+        let auc = roc_auc(&class_scores, &positives);
+        let w = support as f64 / labels.len() as f64;
+        total += w * auc;
+        weight_sum += w;
+    }
+    if weight_sum == 0.0 {
+        0.5
+    } else {
+        total / weight_sum
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_separation_is_one() {
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        let labels = [false, false, true, true];
+        assert!((roc_auc(&scores, &labels) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_separation_is_zero() {
+        let scores = [0.9, 0.8, 0.1, 0.2];
+        let labels = [false, false, true, true];
+        assert!(roc_auc(&scores, &labels).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_like_ties_are_half() {
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let labels = [true, false, true, false];
+        assert!((roc_auc(&scores, &labels) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_labels_are_half() {
+        assert_eq!(roc_auc(&[0.1, 0.2], &[true, true]), 0.5);
+        assert_eq!(roc_auc(&[0.1, 0.2], &[false, false]), 0.5);
+    }
+
+    #[test]
+    fn partial_overlap_matches_hand_computation() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}.
+        // Pairs: (0.8>0.6), (0.8>0.2), (0.4<0.6), (0.4>0.2) → 3/4.
+        let scores = [0.8, 0.4, 0.6, 0.2];
+        let labels = [true, true, false, false];
+        assert!((roc_auc(&scores, &labels) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_auc_aggregates() {
+        // Three classes, perfectly ranked.
+        let labels = vec![0, 0, 1, 1, 2, 2];
+        let scores: Vec<Vec<f64>> = labels
+            .iter()
+            .map(|&l| {
+                (0..3).map(|c| if c == l { 1.0 } else { 0.0 }).collect()
+            })
+            .collect();
+        assert!((weighted_auc(&scores, &labels, 3) - 1.0).abs() < 1e-12);
+        assert_eq!(weighted_auc(&[], &[], 3), 0.5);
+    }
+}

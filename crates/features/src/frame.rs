@@ -1,0 +1,200 @@
+//! Frame-level feature extraction.
+
+use cace_sensing::IMU_RATE_HZ;
+use cace_signal::goertzel::goertzel_band;
+use cace_signal::stats::{
+    kurtosis, mean_abs_deviation, mean_crossings, pearson, signal_magnitude_area, skewness,
+    Summary,
+};
+use cace_signal::trajectory::ImuSample;
+
+use crate::schema::FEATURE_COUNT;
+
+/// The 32-dimensional feature vector of one frame (see
+/// [`crate::schema::feature_names`] for the layout).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureVector {
+    values: [f64; FEATURE_COUNT],
+}
+
+impl FeatureVector {
+    /// Extracts the features of one IMU frame.
+    ///
+    /// An empty frame yields the all-zero vector (the classifier treats it
+    /// as a missing observation).
+    pub fn from_frame(frame: &[ImuSample]) -> Self {
+        if frame.is_empty() {
+            return Self { values: [0.0; FEATURE_COUNT] };
+        }
+        let xs: Vec<f64> = frame.iter().map(|s| s.accel.x).collect();
+        let ys: Vec<f64> = frame.iter().map(|s| s.accel.y).collect();
+        let zs: Vec<f64> = frame.iter().map(|s| s.accel.z).collect();
+        let mags: Vec<f64> = frame.iter().map(|s| s.accel.norm()).collect();
+
+        let mag = Summary::of(&mags);
+        // De-meaned magnitude for spectral features: removes the gravity DC.
+        let ac: Vec<f64> = mags.iter().map(|m| m - mag.mean).collect();
+        let band = goertzel_band(&ac, IMU_RATE_HZ);
+
+        let sx = Summary::of(&xs);
+        let sy = Summary::of(&ys);
+        let sz = Summary::of(&zs);
+
+        // Tilt: angle between the mean acceleration vector and ẑ.
+        let tilts: Vec<f64> = frame
+            .iter()
+            .map(|s| {
+                let n = s.accel.norm();
+                if n == 0.0 {
+                    0.0
+                } else {
+                    (s.accel.z / n).clamp(-1.0, 1.0).acos()
+                }
+            })
+            .collect();
+        let tilt = Summary::of(&tilts);
+
+        let (dominant_bin, dominant_power) = band
+            .iter()
+            .copied()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite powers"))
+            .expect("band is nonempty");
+
+        let mut v = [0.0; FEATURE_COUNT];
+        v[0] = mag.mean;
+        v[1] = mag.variance;
+        v[2] = mag.std_dev();
+        v[3] = mag.min;
+        v[4] = mag.max;
+        v[5] = mag.range();
+        v[6] = mag.rms;
+        v[7] = mean_abs_deviation(&mags);
+        v[8] = mean_crossings(&mags) as f64;
+        v[9] = skewness(&mags);
+        v[10] = kurtosis(&mags);
+        v[11..16].copy_from_slice(&band);
+        v[16] = sx.mean;
+        v[17] = sx.std_dev();
+        v[18] = sx.variance;
+        v[19] = sy.mean;
+        v[20] = sy.std_dev();
+        v[21] = sy.variance;
+        v[22] = sz.mean;
+        v[23] = sz.std_dev();
+        v[24] = sz.variance;
+        v[25] = pearson(&xs, &ys);
+        v[26] = pearson(&xs, &zs);
+        v[27] = pearson(&ys, &zs);
+        v[28] = signal_magnitude_area(&xs, &ys, &zs);
+        v[29] = tilt.mean;
+        v[30] = tilt.std_dev();
+        v[31] = if dominant_power > 1e-12 { (dominant_bin + 1) as f64 } else { 0.0 };
+        Self { values: v }
+    }
+
+    /// The feature values as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// The feature values as an owned `Vec`.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.values.to_vec()
+    }
+
+    /// Whether every component is finite (guards classifier training).
+    pub fn is_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+    }
+}
+
+impl From<FeatureVector> for Vec<f64> {
+    fn from(f: FeatureVector) -> Vec<f64> {
+        f.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cace_model::{Gestural, Postural};
+    use cace_sensing::{ImuSynthesizer, NoiseConfig};
+    use cace_signal::GaussianSampler;
+
+    fn synth_frame(p: Postural, seed: u64) -> Vec<ImuSample> {
+        let synth = ImuSynthesizer::new(NoiseConfig::default());
+        let mut rng = GaussianSampler::seed_from_u64(seed);
+        synth.phone_frame(p, 75, &mut rng)
+    }
+
+    #[test]
+    fn vector_has_32_finite_components() {
+        let f = FeatureVector::from_frame(&synth_frame(Postural::Walking, 1));
+        assert_eq!(f.as_slice().len(), FEATURE_COUNT);
+        assert!(f.is_finite());
+    }
+
+    #[test]
+    fn empty_frame_yields_zero_vector() {
+        let f = FeatureVector::from_frame(&[]);
+        assert!(f.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn walking_and_lying_are_separable() {
+        // Key separability sanity check: the std of the magnitude stream
+        // must be far larger when walking.
+        let walk = FeatureVector::from_frame(&synth_frame(Postural::Walking, 2));
+        let lie = FeatureVector::from_frame(&synth_frame(Postural::Lying, 3));
+        assert!(
+            walk.as_slice()[2] > 3.0 * lie.as_slice()[2],
+            "walking std {} vs lying std {}",
+            walk.as_slice()[2],
+            lie.as_slice()[2]
+        );
+    }
+
+    #[test]
+    fn tilt_separates_sitting_from_standing() {
+        // Sitting tilts the pocket phone (profile tilt 0.9 rad) while
+        // standing keeps it upright.
+        let sit = FeatureVector::from_frame(&synth_frame(Postural::Sitting, 4));
+        let stand = FeatureVector::from_frame(&synth_frame(Postural::Standing, 5));
+        assert!(
+            sit.as_slice()[29] > stand.as_slice()[29] + 0.3,
+            "sit tilt {} vs stand tilt {}",
+            sit.as_slice()[29],
+            stand.as_slice()[29]
+        );
+    }
+
+    #[test]
+    fn dominant_bin_tracks_cadence() {
+        // Running (≈2.9 Hz) should have a higher dominant bin than cycling
+        // (≈1.4 Hz) in most draws.
+        let mut run_higher = 0;
+        for seed in 0..10 {
+            let run = FeatureVector::from_frame(&synth_frame(Postural::Running, 100 + seed));
+            let cyc = FeatureVector::from_frame(&synth_frame(Postural::Cycling, 200 + seed));
+            if run.as_slice()[31] >= cyc.as_slice()[31] {
+                run_higher += 1;
+            }
+        }
+        assert!(run_higher >= 7, "running bin should usually dominate: {run_higher}/10");
+    }
+
+    #[test]
+    fn gestural_frames_extract_too() {
+        let synth = ImuSynthesizer::new(NoiseConfig::default());
+        let mut rng = GaussianSampler::seed_from_u64(9);
+        let frame = synth.tag_frame(Gestural::Laughing, Postural::Sitting, 75, &mut rng);
+        let f = FeatureVector::from_frame(&frame);
+        assert!(f.is_finite());
+        // Laughing is a 5 Hz gesture; spectral energy should concentrate in
+        // the upper bins.
+        let low = f.as_slice()[11];
+        let high = f.as_slice()[15];
+        assert!(high > 0.0 && high + low > 0.0);
+    }
+}

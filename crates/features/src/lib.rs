@@ -1,0 +1,36 @@
+//! # cace-features
+//!
+//! The "context planar" of the CACE pipeline (Fig 2, step 2): feature
+//! extraction over ambient, mobile, and wearable sensor streams.
+//!
+//! §VII-E of the paper computes **32 statistical features** (mean, variance,
+//! standard deviation, extrema, magnitudes, Goertzel coefficients at 1–5 Hz,
+//! …) over each 1.5 s frame of the absolute acceleration trajectory, with
+//! 50 % overlap between frames. This crate implements that feature schema
+//! plus the session-level extraction that turns a simulated
+//! [`cace_behavior::Session`] into per-tick feature vectors for the
+//! micro-activity classifiers.
+//!
+//! ```
+//! use cace_features::{FeatureVector, FEATURE_COUNT};
+//! use cace_sensing::{ImuSynthesizer, NoiseConfig};
+//! use cace_model::Postural;
+//! use cace_signal::GaussianSampler;
+//!
+//! let mut rng = GaussianSampler::seed_from_u64(7);
+//! let synth = ImuSynthesizer::new(NoiseConfig::default());
+//! let frame = synth.phone_frame(Postural::Walking, 75, &mut rng);
+//! let features = FeatureVector::from_frame(&frame);
+//! assert_eq!(features.as_slice().len(), FEATURE_COUNT);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod frame;
+pub mod schema;
+pub mod session;
+
+pub use frame::FeatureVector;
+pub use schema::{feature_names, FEATURE_COUNT};
+pub use session::{extract_session, SessionFeatures, TickFeatures};

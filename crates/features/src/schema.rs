@@ -1,0 +1,69 @@
+//! The 32-feature frame schema.
+
+/// Number of features per frame, matching the paper's "total of 32
+/// statistical features".
+pub const FEATURE_COUNT: usize = 32;
+
+/// Human-readable names of the 32 features, in vector order.
+///
+/// Layout:
+/// * 0–10: statistics of the acceleration-magnitude stream
+///   (mean, variance, std, min, max, range, rms, mad, mean-crossings,
+///   skewness, kurtosis)
+/// * 11–15: Goertzel power at 1–5 Hz of the (de-meaned) magnitude stream
+/// * 16–24: per-axis mean, std, and AC energy (x, y, z)
+/// * 25–27: pairwise axis correlations (xy, xz, yz)
+/// * 28: signal magnitude area
+/// * 29–30: tilt mean and tilt std (gravity-direction features)
+/// * 31: dominant Goertzel bin (1–5, as f64; 0 when no energy)
+pub fn feature_names() -> [&'static str; FEATURE_COUNT] {
+    [
+        "mag_mean",
+        "mag_variance",
+        "mag_std",
+        "mag_min",
+        "mag_max",
+        "mag_range",
+        "mag_rms",
+        "mag_mad",
+        "mag_crossings",
+        "mag_skewness",
+        "mag_kurtosis",
+        "goertzel_1hz",
+        "goertzel_2hz",
+        "goertzel_3hz",
+        "goertzel_4hz",
+        "goertzel_5hz",
+        "x_mean",
+        "x_std",
+        "x_energy",
+        "y_mean",
+        "y_std",
+        "y_energy",
+        "z_mean",
+        "z_std",
+        "z_energy",
+        "corr_xy",
+        "corr_xz",
+        "corr_yz",
+        "sma",
+        "tilt_mean",
+        "tilt_std",
+        "dominant_bin",
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn thirty_two_unique_names() {
+        let names = feature_names();
+        assert_eq!(names.len(), 32);
+        let unique: HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), 32, "names must be unique");
+        assert!(names.iter().all(|n| !n.is_empty()));
+    }
+}

@@ -1,0 +1,126 @@
+//! Session-level feature extraction: from simulated sensor records to
+//! per-tick, per-user feature vectors.
+
+use cace_behavior::Session;
+
+use crate::frame::FeatureVector;
+
+/// Wearable features of one resident at one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TickFeatures {
+    /// Smartphone (postural) features; `None` when the frame was dropped.
+    pub phone: Option<FeatureVector>,
+    /// Neck-tag (gestural) features; `None` when dropped or absent (CASAS).
+    pub tag: Option<FeatureVector>,
+}
+
+/// All wearable features of one session, aligned with its ticks.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionFeatures {
+    /// `per_tick[t][u]` = features of resident `u` at tick `t`.
+    pub per_tick: Vec<[TickFeatures; 2]>,
+}
+
+impl SessionFeatures {
+    /// Number of ticks.
+    pub fn len(&self) -> usize {
+        self.per_tick.len()
+    }
+
+    /// Whether the extraction is empty.
+    pub fn is_empty(&self) -> bool {
+        self.per_tick.is_empty()
+    }
+
+    /// Fraction of phone frames that were missing (failure injection
+    /// diagnostics).
+    pub fn phone_dropout_rate(&self) -> f64 {
+        if self.per_tick.is_empty() {
+            return 0.0;
+        }
+        let missing = self
+            .per_tick
+            .iter()
+            .flat_map(|t| t.iter())
+            .filter(|f| f.phone.is_none())
+            .count();
+        missing as f64 / (2 * self.per_tick.len()) as f64
+    }
+}
+
+/// Extracts the wearable feature record of a whole session.
+pub fn extract_session(session: &Session) -> SessionFeatures {
+    let per_tick = session
+        .ticks
+        .iter()
+        .map(|tick| {
+            let features = |u: usize| -> TickFeatures {
+                let obs = &tick.observed.per_user[u];
+                TickFeatures {
+                    phone: obs.phone.as_deref().map(FeatureVector::from_frame),
+                    tag: obs.tag.as_deref().map(FeatureVector::from_frame),
+                }
+            };
+            [features(0), features(1)]
+        })
+        .collect();
+    SessionFeatures { per_tick }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cace_behavior::{cace_grammar, generate_casas_dataset, simulate_session, CasasConfig,
+        SessionConfig};
+    use cace_sensing::NoiseConfig;
+
+    #[test]
+    fn extraction_aligns_with_ticks() {
+        let g = cace_grammar();
+        let s = simulate_session(&g, &SessionConfig::tiny(), 1);
+        let f = extract_session(&s);
+        assert_eq!(f.len(), s.len());
+        assert!(!f.is_empty());
+        // Full noise default has no dropout.
+        assert_eq!(f.phone_dropout_rate(), 0.0);
+        assert!(f.per_tick[0][0].phone.is_some());
+        assert!(f.per_tick[0][1].tag.is_some());
+    }
+
+    #[test]
+    fn casas_sessions_have_no_tag_features() {
+        let sessions = generate_casas_dataset(&CasasConfig::tiny(), 2);
+        let f = extract_session(&sessions[0]);
+        assert!(f.per_tick.iter().all(|t| t[0].tag.is_none() && t[1].tag.is_none()));
+        assert!(f.per_tick.iter().any(|t| t[0].phone.is_some()));
+    }
+
+    #[test]
+    fn dropout_rate_is_reported() {
+        let g = cace_grammar();
+        let mut noise = NoiseConfig::default();
+        noise.imu_dropout = 0.5;
+        let cfg = SessionConfig::tiny().with_noise(noise);
+        let s = simulate_session(&g, &cfg, 3);
+        let f = extract_session(&s);
+        let rate = f.phone_dropout_rate();
+        assert!((rate - 0.5).abs() < 0.15, "dropout rate {rate}");
+    }
+
+    #[test]
+    fn all_extracted_vectors_are_finite() {
+        let g = cace_grammar();
+        let s = simulate_session(&g, &SessionConfig::tiny(), 4);
+        let f = extract_session(&s);
+        for tick in &f.per_tick {
+            for user in tick {
+                if let Some(v) = &user.phone {
+                    assert!(v.is_finite());
+                }
+                if let Some(v) = &user.tag {
+                    assert!(v.is_finite());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! Expectation–Maximization training of the HDBN parameters
+//! (`LearnParamsEM` in the paper's Fig 5 pseudocode).
+//!
+//! E-step: forward–backward over each training sequence's single-user chain
+//! collects expected sufficient statistics. M-step: rebuild the
+//! [`cace_mining::HierarchicalStats`] tables from the expected counts with
+//! Laplace smoothing. Iterates until the log-likelihood improvement falls
+//! below tolerance.
+
+use cace_mining::HierarchicalStats;
+use cace_model::ModelError;
+
+use crate::input::TickInput;
+use crate::params::{HdbnConfig, HdbnParams};
+use crate::single::{ExpectedCounts, SingleHdbn};
+
+/// EM schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EmConfig {
+    /// Maximum EM iterations.
+    pub max_iters: usize,
+    /// Relative log-likelihood improvement below which EM stops.
+    pub tol: f64,
+    /// Laplace pseudo-count used in the M-step.
+    pub laplace: f64,
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        Self { max_iters: 10, tol: 1e-4, laplace: 0.5 }
+    }
+}
+
+/// The result of an EM run.
+#[derive(Debug, Clone)]
+pub struct EmOutcome {
+    /// Re-estimated parameters.
+    pub params: HdbnParams,
+    /// Log-likelihood after each iteration (monotone up to xi
+    /// approximation and smoothing).
+    pub log_likelihoods: Vec<f64>,
+    /// Iterations actually performed.
+    pub iterations: usize,
+}
+
+/// Runs EM from initial parameters over per-user training sequences.
+///
+/// Each element of `sequences` is one session's tick inputs; both users'
+/// chains contribute counts (the coupled co-occurrence table is kept from
+/// the initial statistics — EM refines the per-chain hierarchical tables,
+/// matching the paper's training split between the constraint miner and
+/// `LearnParamsEM`).
+///
+/// # Errors
+/// Propagates inference errors and invalid re-estimated tables.
+pub fn fit_em(
+    initial: HdbnParams,
+    sequences: &[Vec<TickInput>],
+    config: &EmConfig,
+) -> Result<EmOutcome, ModelError> {
+    if sequences.is_empty() {
+        return Err(ModelError::InsufficientData {
+            what: "EM training".into(),
+            available: 0,
+            required: 1,
+        });
+    }
+    let hdbn_config: HdbnConfig = initial.config.clone();
+    let base = initial.stats.clone();
+    let mut params = initial;
+    let mut log_likelihoods = Vec::new();
+
+    for iter in 0..config.max_iters {
+        let model = SingleHdbn::new(params.clone());
+        let mut counts = ExpectedCounts::zeros(
+            base.n_macro,
+            base.n_postural,
+            base.n_gestural,
+            base.n_location,
+        );
+        for seq in sequences {
+            for user in 0..2 {
+                model.accumulate_counts(seq, user, &mut counts)?;
+            }
+        }
+        log_likelihoods.push(counts.log_likelihood);
+
+        params = HdbnParams::new(m_step(&base, &counts, config.laplace), hdbn_config.clone())?;
+
+        if iter > 0 {
+            let prev = log_likelihoods[iter - 1];
+            let cur = log_likelihoods[iter];
+            let rel = (cur - prev).abs() / prev.abs().max(1.0);
+            if rel < config.tol {
+                return Ok(EmOutcome {
+                    params,
+                    iterations: iter + 1,
+                    log_likelihoods,
+                });
+            }
+        }
+    }
+    let iterations = log_likelihoods.len();
+    Ok(EmOutcome { params, log_likelihoods, iterations })
+}
+
+/// M-step: expected counts → smoothed, normalized tables.
+fn m_step(base: &HierarchicalStats, counts: &ExpectedCounts, laplace: f64) -> HierarchicalStats {
+    let smooth_rows = |rows: &[Vec<f64>]| -> Vec<Vec<f64>> {
+        rows.iter()
+            .map(|row| {
+                let total: f64 = row.iter().sum::<f64>() + laplace * row.len() as f64;
+                row.iter().map(|&c| (c + laplace) / total).collect()
+            })
+            .collect()
+    };
+    let prior_total: f64 =
+        counts.prior.iter().sum::<f64>() + laplace * counts.prior.len() as f64;
+    let macro_prior: Vec<f64> =
+        counts.prior.iter().map(|&c| (c + laplace) / prior_total).collect();
+    let end_prob: Vec<f64> = counts
+        .end
+        .iter()
+        .zip(&counts.cont)
+        .map(|(&e, &c)| ((e + laplace) / (e + c + 2.0 * laplace)).clamp(1e-6, 1.0 - 1e-6))
+        .collect();
+
+    HierarchicalStats {
+        n_macro: base.n_macro,
+        n_postural: base.n_postural,
+        n_gestural: base.n_gestural,
+        n_location: base.n_location,
+        macro_prior,
+        intra_trans: smooth_rows(&counts.trans),
+        inter_cooc: base.inter_cooc.clone(), // coupled table kept fixed
+        end_prob,
+        postural_given_macro: smooth_rows(&counts.post),
+        gestural_given_macro: smooth_rows(&counts.gest),
+        location_given_macro: smooth_rows(&counts.loc),
+        postural_trans: smooth_rows(&counts.post_trans),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::MicroCandidate;
+    use cace_mining::constraint::{ConstraintMiner, LabeledSequence};
+
+    /// Ground-truth world: activity k ↔ posture/location k, runs of 10.
+    fn world_sequence(seed_shift: usize, ticks: usize) -> Vec<TickInput> {
+        (0..ticks)
+            .map(|t| {
+                let m = ((t + seed_shift) / 10) % 2;
+                let cands = |fav: usize| -> Vec<MicroCandidate> {
+                    (0..2)
+                        .map(|p| MicroCandidate {
+                            postural: p,
+                            gestural: Some(0),
+                            location: p,
+                            obs_loglik: if p == fav { 0.0 } else { -4.0 },
+                        })
+                        .collect()
+                };
+                TickInput {
+                    candidates: [cands(m), cands(m)],
+                    macro_candidates: [None, None],
+                    macro_bonus: Vec::new(),
+                }
+            })
+            .collect()
+    }
+
+    /// Deliberately weak initial statistics: heavily smoothed, but with the
+    /// faint correct correlation (activity k ↔ posture k) EM needs to break
+    /// the label symmetry.
+    fn weak_initial() -> HdbnParams {
+        let seq = LabeledSequence {
+            macros: [vec![0, 0, 0, 1, 1, 1], vec![1, 1, 1, 0, 0, 0]],
+            posturals: [vec![0, 0, 0, 1, 1, 1], vec![1, 1, 1, 0, 0, 0]],
+            gesturals: [vec![0; 6], vec![0; 6]],
+            locations: [vec![0, 0, 0, 1, 1, 1], vec![1, 1, 1, 0, 0, 0]],
+        };
+        let stats = ConstraintMiner {
+            laplace: 5.0, // heavy smoothing → nearly uniform
+            n_macro: 2,
+            n_postural: 2,
+            n_gestural: 2,
+            n_location: 2,
+        }
+        .mine(&[seq])
+        .unwrap();
+        HdbnParams::new(stats, HdbnConfig::uncoupled()).unwrap()
+    }
+
+    #[test]
+    fn em_improves_log_likelihood() {
+        let sequences = vec![world_sequence(0, 60), world_sequence(5, 60)];
+        let outcome = fit_em(
+            weak_initial(),
+            &sequences,
+            &EmConfig { max_iters: 5, tol: 0.0, laplace: 0.2 },
+        )
+        .unwrap();
+        assert_eq!(outcome.iterations, 5);
+        let first = outcome.log_likelihoods.first().copied().unwrap();
+        let last = outcome.log_likelihoods.last().copied().unwrap();
+        assert!(
+            last > first,
+            "EM should improve log-likelihood: {first} → {last} ({:?})",
+            outcome.log_likelihoods
+        );
+    }
+
+    #[test]
+    fn em_sharpens_the_hierarchy() {
+        let sequences = vec![world_sequence(0, 100)];
+        let outcome = fit_em(weak_initial(), &sequences, &EmConfig::default()).unwrap();
+        let stats = &outcome.params.stats;
+        // After EM, some activity should be strongly associated with
+        // posture 0 and the other with posture 1 (labels may swap).
+        let peak0 = stats.postural_given_macro[0][0].max(stats.postural_given_macro[0][1]);
+        let peak1 = stats.postural_given_macro[1][0].max(stats.postural_given_macro[1][1]);
+        assert!(peak0 > 0.75, "activity 0 posture CPT not sharpened: {peak0}");
+        assert!(peak1 > 0.75, "activity 1 posture CPT not sharpened: {peak1}");
+        assert!(stats.validate().is_ok());
+    }
+
+    #[test]
+    fn em_converges_early_with_loose_tolerance() {
+        let sequences = vec![world_sequence(0, 40)];
+        let outcome = fit_em(
+            weak_initial(),
+            &sequences,
+            &EmConfig { max_iters: 20, tol: 0.5, laplace: 0.5 },
+        )
+        .unwrap();
+        assert!(outcome.iterations < 20, "loose tol should stop early");
+    }
+
+    #[test]
+    fn em_rejects_empty_training_set() {
+        assert!(matches!(
+            fit_em(weak_initial(), &[], &EmConfig::default()),
+            Err(ModelError::InsufficientData { .. })
+        ));
+    }
+}

@@ -1,0 +1,166 @@
+//! Inference inputs: per-tick candidate micro states with observation
+//! log-likelihoods.
+
+use cace_mining::{AtomSpace, UserCandidates};
+
+/// One candidate micro tuple for one user at one tick, with the total
+//  observation log-likelihood of the wearable/ambient evidence given the
+/// tuple (Augmentation 4's `log N(o; μ, Γ)` or classifier log-probabilities).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MicroCandidate {
+    /// Postural id.
+    pub postural: usize,
+    /// Gestural id (`None` when the modality is absent).
+    pub gestural: Option<usize>,
+    /// Sub-location id.
+    pub location: usize,
+    /// `log P(observations | this micro tuple)`.
+    pub obs_loglik: f64,
+}
+
+/// The per-tick inference input for both users.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct TickInput {
+    /// Candidate micro tuples per user (nonempty for valid inference).
+    pub candidates: [Vec<MicroCandidate>; 2],
+    /// Allowed macro activities per user (`None` = all allowed).
+    pub macro_candidates: [Option<Vec<usize>>; 2],
+    /// Optional per-macro observation log-bonus shared by both users
+    /// (e.g. CASAS item-sensor evidence). Empty = no bonus.
+    pub macro_bonus: Vec<f64>,
+}
+
+impl TickInput {
+    /// Builds a tick input from pruned factorized candidates plus a scoring
+    /// function `score(user, postural, gestural, location) -> log-lik`.
+    ///
+    /// `use_gestural` controls whether the gestural dimension is expanded
+    /// (CACE) or collapsed (CASAS / ablation).
+    ///
+    /// Candidates are capped at `max_candidates` per user, keeping the
+    /// highest-scoring tuples — the beam that keeps the *unpruned* strategies
+    /// finite (the paper's NH strategy similarly bounds its state space by
+    /// classifier hypotheses).
+    pub fn from_candidates<F>(
+        space: &AtomSpace,
+        pruned: &[UserCandidates; 2],
+        use_gestural: bool,
+        max_candidates: usize,
+        mut score: F,
+    ) -> Self
+    where
+        F: FnMut(usize, usize, Option<usize>, usize) -> f64,
+    {
+        let mut out = TickInput::default();
+        for u in 0..2 {
+            let cand = &pruned[u];
+            let posturals = UserCandidates::allowed(&cand.posturals);
+            let gesturals: Vec<Option<usize>> = if use_gestural {
+                UserCandidates::allowed(&cand.gesturals).into_iter().map(Some).collect()
+            } else {
+                vec![None]
+            };
+            let locations = UserCandidates::allowed(&cand.locations);
+            let mut tuples = Vec::with_capacity(
+                posturals.len() * gesturals.len() * locations.len(),
+            );
+            for &p in &posturals {
+                for &g in &gesturals {
+                    for &l in &locations {
+                        tuples.push(MicroCandidate {
+                            postural: p,
+                            gestural: g,
+                            location: l,
+                            obs_loglik: score(u, p, g, l),
+                        });
+                    }
+                }
+            }
+            tuples.sort_by(|a, b| {
+                b.obs_loglik.partial_cmp(&a.obs_loglik).expect("finite log-liks")
+            });
+            tuples.truncate(max_candidates.max(1));
+            out.candidates[u] = tuples;
+
+            let macros = UserCandidates::allowed(&cand.macros);
+            out.macro_candidates[u] =
+                if macros.len() == space.n_macro { None } else { Some(macros) };
+        }
+        out
+    }
+
+    /// Macro-level observation bonus for activity `a` (0 when absent).
+    pub fn bonus(&self, a: usize) -> f64 {
+        self.macro_bonus.get(a).copied().unwrap_or(0.0)
+    }
+
+    /// The allowed macro ids for a user (all of `0..n_macro` when
+    /// unrestricted).
+    pub fn macros_for(&self, user: usize, n_macro: usize) -> Vec<usize> {
+        match &self.macro_candidates[user] {
+            Some(m) => m.clone(),
+            None => (0..n_macro).collect(),
+        }
+    }
+
+    /// Joint per-tick state count: `∏_u |macros_u| · |micro candidates_u|`
+    /// — the quantity the overhead experiments report.
+    pub fn joint_states(&self, n_macro: usize) -> u64 {
+        (0..2)
+            .map(|u| {
+                let nm = self
+                    .macro_candidates[u]
+                    .as_ref()
+                    .map(|m| m.len())
+                    .unwrap_or(n_macro) as u64;
+                nm * self.candidates[u].len().max(1) as u64
+            })
+            .product()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expansion_and_cap() {
+        let space = AtomSpace::cace();
+        let pruned = [UserCandidates::full(&space), UserCandidates::full(&space)];
+        let input = TickInput::from_candidates(&space, &pruned, true, 10, |_, p, _, _| {
+            -(p as f64) // prefer low postural ids
+        });
+        assert_eq!(input.candidates[0].len(), 10);
+        // Best candidates have postural 0.
+        assert_eq!(input.candidates[0][0].postural, 0);
+        assert!(input.macro_candidates[0].is_none());
+        assert_eq!(input.joint_states(11), (11 * 10) * (11 * 10));
+    }
+
+    #[test]
+    fn pruned_macro_candidates_are_recorded() {
+        let space = AtomSpace::cace();
+        let mut cand = UserCandidates::full(&space);
+        for a in 1..space.n_macro {
+            cand.macros[a] = false;
+        }
+        let pruned = [cand, UserCandidates::full(&space)];
+        let input =
+            TickInput::from_candidates(&space, &pruned, true, 5, |_, _, _, _| 0.0);
+        assert_eq!(input.macro_candidates[0], Some(vec![0]));
+        assert_eq!(input.macros_for(0, 11), vec![0]);
+        assert_eq!(input.macros_for(1, 11).len(), 11);
+        assert_eq!(input.joint_states(11), 5 * (11 * 5));
+    }
+
+    #[test]
+    fn casas_mode_collapses_gesturals() {
+        let space = AtomSpace::casas();
+        let pruned = [UserCandidates::full(&space), UserCandidates::full(&space)];
+        let input =
+            TickInput::from_candidates(&space, &pruned, false, 1000, |_, _, _, _| 0.0);
+        // 6 posturals × 14 locations, no gestural expansion.
+        assert_eq!(input.candidates[0].len(), 84);
+        assert!(input.candidates[0].iter().all(|c| c.gestural.is_none()));
+    }
+}

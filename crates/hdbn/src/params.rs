@@ -1,0 +1,240 @@
+//! HDBN parameters: log-space CPTs assembled from the constraint miner's
+//! statistics.
+
+use cace_mining::HierarchicalStats;
+use cace_model::ModelError;
+
+/// Structural configuration of the coupled model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HdbnConfig {
+    /// Weight of the inter-user concurrent coupling factor
+    /// (`0` = independent chains, `1` = full co-occurrence CPT).
+    pub coupling_weight: f64,
+    /// Weight of the hierarchical `P(micro | macro)` factors.
+    pub hierarchy_weight: f64,
+    /// Extra log-bonus for remaining in the same macro activity, on top of
+    /// the mined termination probability (stabilizes segmentation).
+    pub persistence_bonus: f64,
+}
+
+impl Default for HdbnConfig {
+    fn default() -> Self {
+        Self { coupling_weight: 1.0, hierarchy_weight: 1.0, persistence_bonus: 0.0 }
+    }
+}
+
+impl HdbnConfig {
+    /// A configuration with the inter-user coupling disabled (per-user
+    /// hierarchical model only).
+    pub fn uncoupled() -> Self {
+        Self { coupling_weight: 0.0, ..Self::default() }
+    }
+}
+
+/// Log-space parameter tables of the (coupled) HDBN.
+#[derive(Debug, Clone)]
+pub struct HdbnParams {
+    /// The mined statistics the tables were built from.
+    pub stats: HierarchicalStats,
+    /// Model configuration.
+    pub config: HdbnConfig,
+    /// `log P(macro)` prior (restart distribution, Eqn 12).
+    pub log_prior: Vec<f64>,
+    /// `log P(macro_t | macro_{t−1})` for macro changes, renormalized over
+    /// `j ≠ i`.
+    pub log_switch: Vec<Vec<f64>>,
+    /// `log P(end | macro)` and `log P(continue | macro)` (Augmentation 1).
+    pub log_end: Vec<f64>,
+    /// `log (1 − P(end | macro))`.
+    pub log_continue: Vec<f64>,
+    /// `log P(partner | macro)` concurrent coupling (Augmentation 3),
+    /// pre-scaled by `coupling_weight`.
+    pub log_cooc: Vec<Vec<f64>>,
+    /// `log P(postural | macro)` scaled by `hierarchy_weight`.
+    pub log_post: Vec<Vec<f64>>,
+    /// `log P(gestural | macro)` scaled by `hierarchy_weight`.
+    pub log_gest: Vec<Vec<f64>>,
+    /// `log P(location | macro)` scaled by `hierarchy_weight`.
+    pub log_loc: Vec<Vec<f64>>,
+    /// `log P(p_t | p_{t−1})` micro-level continuation.
+    pub log_post_trans: Vec<Vec<f64>>,
+}
+
+fn log_table(rows: &[Vec<f64>], scale: f64) -> Vec<Vec<f64>> {
+    rows.iter()
+        .map(|r| r.iter().map(|&p| scale * p.max(1e-12).ln()).collect())
+        .collect()
+}
+
+impl HdbnParams {
+    /// Builds log tables from mined statistics.
+    ///
+    /// # Errors
+    /// Propagates [`HierarchicalStats::validate`] failures.
+    pub fn new(stats: HierarchicalStats, config: HdbnConfig) -> Result<Self, ModelError> {
+        stats.validate()?;
+        let n = stats.n_macro;
+
+        let log_prior: Vec<f64> =
+            stats.macro_prior.iter().map(|&p| p.max(1e-12).ln()).collect();
+
+        // Switch table: transition distribution conditioned on leaving state
+        // i (diagonal removed, renormalized) — this is the `π_{i→j}` restart
+        // table of Eqn 12 informed by the mined intra-user constraints.
+        let mut log_switch = vec![vec![f64::NEG_INFINITY; n]; n];
+        for i in 0..n {
+            let off_mass: f64 = (0..n)
+                .filter(|&j| j != i)
+                .map(|j| stats.intra_trans[i][j])
+                .sum();
+            for j in 0..n {
+                if j != i && off_mass > 0.0 {
+                    log_switch[i][j] = (stats.intra_trans[i][j] / off_mass).max(1e-12).ln();
+                }
+            }
+        }
+
+        let log_end: Vec<f64> = stats.end_prob.iter().map(|&p| p.ln()).collect();
+        let log_continue: Vec<f64> = stats.end_prob.iter().map(|&p| (1.0 - p).ln()).collect();
+
+        Ok(Self {
+            log_prior,
+            log_switch,
+            log_end,
+            log_continue,
+            log_cooc: log_table(&stats.inter_cooc, config.coupling_weight),
+            log_post: log_table(&stats.postural_given_macro, config.hierarchy_weight),
+            log_gest: log_table(&stats.gestural_given_macro, config.hierarchy_weight),
+            log_loc: log_table(&stats.location_given_macro, config.hierarchy_weight),
+            log_post_trans: log_table(&stats.postural_trans, 1.0),
+            stats,
+            config,
+        })
+    }
+
+    /// Number of macro activities.
+    pub fn n_macro(&self) -> usize {
+        self.stats.n_macro
+    }
+
+    /// Hierarchical emission score of a micro tuple under a macro activity:
+    /// `log P(p|a) + log P(g|a) + log P(l|a)` (Augmentation 2).
+    ///
+    /// `gestural` is `None` when the modality is absent (CASAS).
+    pub fn hierarchy_score(
+        &self,
+        activity: usize,
+        postural: usize,
+        gestural: Option<usize>,
+        location: usize,
+    ) -> f64 {
+        let mut score = self.log_post[activity][postural] + self.log_loc[activity][location];
+        if let Some(g) = gestural {
+            score += self.log_gest[activity][g];
+        }
+        score
+    }
+
+    /// Transition score between consecutive per-user states.
+    ///
+    /// Same macro: continue (Eqns 11/13) — `log(1−p_end) + log P(p_t|p_{t−1})`
+    /// plus the persistence bonus. Different macro: terminate and restart
+    /// (Eqns 12/14) — `log p_end + log π_{i→j}` (micro restarts from the
+    /// hierarchy prior, which the emission side already scores).
+    pub fn transition_score(
+        &self,
+        prev_activity: usize,
+        prev_postural: usize,
+        activity: usize,
+        postural: usize,
+    ) -> f64 {
+        if activity == prev_activity {
+            self.log_continue[prev_activity]
+                + self.log_post_trans[prev_postural][postural]
+                + self.config.persistence_bonus
+        } else {
+            self.log_end[prev_activity] + self.log_switch[prev_activity][activity]
+        }
+    }
+
+    /// Concurrent inter-user coupling factor (Augmentation 3 / Prop 4).
+    pub fn coupling_score(&self, activity_u1: usize, activity_u2: usize) -> f64 {
+        self.log_cooc[activity_u1][activity_u2]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cace_mining::constraint::{ConstraintMiner, LabeledSequence};
+
+    pub(crate) fn toy_stats() -> HierarchicalStats {
+        // Two activities, strongly self-persistent, always co-occurring.
+        let mut macros = Vec::new();
+        for r in 0..40 {
+            for _ in 0..10 {
+                macros.push(r % 2);
+            }
+        }
+        let n = macros.len();
+        let seq = LabeledSequence {
+            macros: [macros.clone(), macros.clone()],
+            posturals: [macros.clone(), macros.clone()],
+            gesturals: [vec![0; n], vec![0; n]],
+            locations: [macros.clone(), macros],
+        };
+        let miner = ConstraintMiner {
+            laplace: 0.1,
+            n_macro: 2,
+            n_postural: 2,
+            n_gestural: 2,
+            n_location: 2,
+        };
+        miner.mine(&[seq]).unwrap()
+    }
+
+    #[test]
+    fn params_build_and_tables_are_finite_where_expected() {
+        let params = HdbnParams::new(toy_stats(), HdbnConfig::default()).unwrap();
+        assert_eq!(params.n_macro(), 2);
+        for i in 0..2 {
+            assert!(params.log_prior[i].is_finite());
+            assert!(params.log_end[i].is_finite());
+            assert!(params.log_continue[i].is_finite());
+            assert_eq!(params.log_switch[i][i], f64::NEG_INFINITY);
+        }
+    }
+
+    #[test]
+    fn continuation_beats_switching_for_persistent_activities() {
+        let params = HdbnParams::new(toy_stats(), HdbnConfig::default()).unwrap();
+        let stay = params.transition_score(0, 0, 0, 0);
+        let switch = params.transition_score(0, 0, 1, 1);
+        assert!(stay > switch, "stay {stay} vs switch {switch}");
+    }
+
+    #[test]
+    fn coupling_prefers_cooccurring_partners() {
+        let params = HdbnParams::new(toy_stats(), HdbnConfig::default()).unwrap();
+        assert!(params.coupling_score(0, 0) > params.coupling_score(0, 1));
+    }
+
+    #[test]
+    fn uncoupled_config_zeroes_coupling() {
+        let params = HdbnParams::new(toy_stats(), HdbnConfig::uncoupled()).unwrap();
+        assert_eq!(params.coupling_score(0, 1), 0.0);
+        assert_eq!(params.coupling_score(0, 0), 0.0);
+    }
+
+    #[test]
+    fn hierarchy_score_prefers_consistent_micro() {
+        let params = HdbnParams::new(toy_stats(), HdbnConfig::default()).unwrap();
+        // Activity 0 always had postural 0 / location 0.
+        let good = params.hierarchy_score(0, 0, Some(0), 0);
+        let bad = params.hierarchy_score(0, 1, Some(0), 1);
+        assert!(good > bad);
+        // Gestural omission path.
+        let no_gest = params.hierarchy_score(0, 0, None, 0);
+        assert!(no_gest.is_finite());
+    }
+}

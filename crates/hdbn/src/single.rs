@@ -1,0 +1,523 @@
+//! Single-inhabitant HDBN (paper Eqn 1): one hierarchical chain.
+//!
+//! Used (a) as the building block EM trains on, and (b) for uncoupled
+//! comparisons. States are (macro, micro-candidate) pairs exactly as in the
+//! coupled decoder, minus the partner coupling.
+
+use cace_model::ModelError;
+
+use crate::forward::{log_sum_exp, normalize_log};
+use crate::input::{MicroCandidate, TickInput};
+use crate::params::HdbnParams;
+
+/// A decoded single-chain trajectory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SinglePath {
+    /// Macro activity per tick.
+    pub macros: Vec<usize>,
+    /// Micro tuple per tick.
+    pub micros: Vec<MicroCandidate>,
+    /// Log-score of the decoded path.
+    pub log_prob: f64,
+    /// Σ_t |S(t)| states instantiated.
+    pub states_explored: u64,
+}
+
+/// Posterior marginals from forward–backward.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Posteriors {
+    /// `gamma[t][j]` — posterior of per-tick state `j` (aligned with the
+    /// tick's state enumeration).
+    pub gamma: Vec<Vec<f64>>,
+    /// Sequence log-likelihood.
+    pub log_likelihood: f64,
+}
+
+/// Expected sufficient statistics for one EM E-step.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct ExpectedCounts {
+    /// Expected macro-prior counts.
+    pub prior: Vec<f64>,
+    /// Expected macro transition counts (including the diagonal).
+    pub trans: Vec<Vec<f64>>,
+    /// Expected continue events per activity.
+    pub cont: Vec<f64>,
+    /// Expected end events per activity.
+    pub end: Vec<f64>,
+    /// Expected postural-given-macro counts.
+    pub post: Vec<Vec<f64>>,
+    /// Expected gestural-given-macro counts.
+    pub gest: Vec<Vec<f64>>,
+    /// Expected location-given-macro counts.
+    pub loc: Vec<Vec<f64>>,
+    /// Expected postural-transition counts.
+    pub post_trans: Vec<Vec<f64>>,
+    /// Total log-likelihood of the processed sequences.
+    pub log_likelihood: f64,
+}
+
+impl ExpectedCounts {
+    /// Zeroed counts for the given vocabulary sizes.
+    pub fn zeros(n_macro: usize, n_post: usize, n_gest: usize, n_loc: usize) -> Self {
+        Self {
+            prior: vec![0.0; n_macro],
+            trans: vec![vec![0.0; n_macro]; n_macro],
+            cont: vec![0.0; n_macro],
+            end: vec![0.0; n_macro],
+            post: vec![vec![0.0; n_post]; n_macro],
+            gest: vec![vec![0.0; n_gest]; n_macro],
+            loc: vec![vec![0.0; n_loc]; n_macro],
+            post_trans: vec![vec![0.0; n_post]; n_post],
+            log_likelihood: 0.0,
+        }
+    }
+}
+
+/// The single-chain hierarchical model.
+#[derive(Debug, Clone)]
+pub struct SingleHdbn {
+    params: HdbnParams,
+}
+
+struct Slice {
+    activities: Vec<usize>,
+    cands: Vec<usize>,
+    emissions: Vec<f64>,
+}
+
+impl SingleHdbn {
+    /// Wraps parameters.
+    pub fn new(params: HdbnParams) -> Self {
+        Self { params }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &HdbnParams {
+        &self.params
+    }
+
+    fn slice(&self, tick: &TickInput, user: usize) -> Slice {
+        let macros = tick.macros_for(user, self.params.n_macro());
+        let n = macros.len() * tick.candidates[user].len();
+        let mut activities = Vec::with_capacity(n);
+        let mut cands = Vec::with_capacity(n);
+        let mut emissions = Vec::with_capacity(n);
+        for &a in &macros {
+            for (c, cand) in tick.candidates[user].iter().enumerate() {
+                activities.push(a);
+                cands.push(c);
+                emissions.push(
+                    cand.obs_loglik
+                        + tick.bonus(a)
+                        + self.params.hierarchy_score(
+                            a,
+                            cand.postural,
+                            cand.gestural,
+                            cand.location,
+                        ),
+                );
+            }
+        }
+        Slice { activities, cands, emissions }
+    }
+
+    fn validate(&self, ticks: &[TickInput], user: usize) -> Result<(), ModelError> {
+        if ticks.is_empty() {
+            return Err(ModelError::InsufficientData {
+                what: "single-chain inference".into(),
+                available: 0,
+                required: 1,
+            });
+        }
+        for (t, tick) in ticks.iter().enumerate() {
+            if tick.candidates[user].is_empty()
+                || tick.macro_candidates[user].as_ref().is_some_and(|v| v.is_empty())
+            {
+                return Err(ModelError::EmptyStateSpace { tick: t });
+            }
+        }
+        Ok(())
+    }
+
+    /// Viterbi decoding of one user's chain.
+    ///
+    /// # Errors
+    /// Same conditions as [`crate::CoupledHdbn::viterbi`].
+    pub fn viterbi(&self, ticks: &[TickInput], user: usize) -> Result<SinglePath, ModelError> {
+        self.validate(ticks, user)?;
+        let p = &self.params;
+        let mut states_explored = 0u64;
+
+        let mut slices: Vec<Slice> = Vec::with_capacity(ticks.len());
+        slices.push(self.slice(&ticks[0], user));
+        let first = &slices[0];
+        let mut v: Vec<f64> = first
+            .activities
+            .iter()
+            .zip(&first.emissions)
+            .map(|(&a, &e)| p.log_prior[a] + e)
+            .collect();
+        states_explored += v.len() as u64;
+
+        let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
+        for tick in ticks.iter().skip(1) {
+            let cur = self.slice(tick, user);
+            let prev = slices.last().expect("nonempty");
+            let mut v_new = vec![f64::NEG_INFINITY; cur.activities.len()];
+            let mut back = vec![0u32; cur.activities.len()];
+            states_explored += cur.activities.len() as u64;
+            for (j, (&a, &e)) in cur.activities.iter().zip(&cur.emissions).enumerate() {
+                let p_new = tick.candidates[user][cur.cands[j]].postural;
+                let mut best = f64::NEG_INFINITY;
+                let mut best_arg = 0u32;
+                for (jp, &ap) in prev.activities.iter().enumerate() {
+                    let pp = slices.len(); // placeholder to avoid borrow issue
+                    let _ = pp;
+                    let p_prev = prevs_postural(ticks, slices.len() - 1, user, prev.cands[jp]);
+                    let score = v[jp] + p.transition_score(ap, p_prev, a, p_new);
+                    if score > best {
+                        best = score;
+                        best_arg = jp as u32;
+                    }
+                }
+                v_new[j] = best + e;
+                back[j] = best_arg;
+            }
+            v = v_new;
+            backptrs.push(back);
+            slices.push(cur);
+        }
+
+        let (mut j, log_prob) = v
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .map(|(i, &s)| (i, s))
+            .expect("nonempty trellis");
+
+        let t_total = ticks.len();
+        let mut macros = vec![0usize; t_total];
+        let mut micros =
+            vec![MicroCandidate { postural: 0, gestural: None, location: 0, obs_loglik: 0.0 };
+                t_total];
+        for t in (0..t_total).rev() {
+            macros[t] = slices[t].activities[j];
+            micros[t] = ticks[t].candidates[user][slices[t].cands[j]];
+            if t > 0 {
+                j = backptrs[t][j] as usize;
+            }
+        }
+        Ok(SinglePath { macros, micros, log_prob, states_explored })
+    }
+
+    /// Forward–backward posteriors of one user's chain.
+    ///
+    /// # Errors
+    /// Same conditions as [`viterbi`](Self::viterbi).
+    pub fn forward_backward(
+        &self,
+        ticks: &[TickInput],
+        user: usize,
+    ) -> Result<Posteriors, ModelError> {
+        self.validate(ticks, user)?;
+        let p = &self.params;
+        let slices: Vec<Slice> = ticks.iter().map(|t| self.slice(t, user)).collect();
+
+        // Forward (scaled).
+        let mut log_z = 0.0;
+        let mut alphas: Vec<Vec<f64>> = Vec::with_capacity(ticks.len());
+        let mut alpha: Vec<f64> = slices[0]
+            .activities
+            .iter()
+            .zip(&slices[0].emissions)
+            .map(|(&a, &e)| p.log_prior[a] + e)
+            .collect();
+        log_z += normalize_log(&mut alpha);
+        alphas.push(alpha.clone());
+
+        for t in 1..ticks.len() {
+            let cur = &slices[t];
+            let prev = &slices[t - 1];
+            let mut next = vec![f64::NEG_INFINITY; cur.activities.len()];
+            for (j, (&a, &e)) in cur.activities.iter().zip(&cur.emissions).enumerate() {
+                let p_new = ticks[t].candidates[user][cur.cands[j]].postural;
+                let terms: Vec<f64> = prev
+                    .activities
+                    .iter()
+                    .enumerate()
+                    .map(|(jp, &ap)| {
+                        let p_prev = ticks[t - 1].candidates[user][prev.cands[jp]].postural;
+                        alphas[t - 1][jp].max(1e-300).ln()
+                            + p.transition_score(ap, p_prev, a, p_new)
+                    })
+                    .collect();
+                next[j] = log_sum_exp(&terms) + e;
+            }
+            log_z += normalize_log(&mut next);
+            alphas.push(next.clone());
+        }
+
+        // Backward (scaled).
+        let mut betas: Vec<Vec<f64>> = vec![Vec::new(); ticks.len()];
+        let last = ticks.len() - 1;
+        betas[last] = vec![1.0; slices[last].activities.len()];
+        for t in (0..last).rev() {
+            let cur = &slices[t];
+            let nxt = &slices[t + 1];
+            let mut beta = vec![f64::NEG_INFINITY; cur.activities.len()];
+            for (j, &a) in cur.activities.iter().enumerate() {
+                let p_prev = ticks[t].candidates[user][cur.cands[j]].postural;
+                let terms: Vec<f64> = nxt
+                    .activities
+                    .iter()
+                    .enumerate()
+                    .map(|(jn, &an)| {
+                        let p_new = ticks[t + 1].candidates[user][nxt.cands[jn]].postural;
+                        betas[t + 1][jn].max(1e-300).ln()
+                            + p.transition_score(a, p_prev, an, p_new)
+                            + nxt.emissions[jn]
+                    })
+                    .collect();
+                beta[j] = log_sum_exp(&terms);
+            }
+            normalize_log(&mut beta);
+            betas[t] = beta;
+        }
+
+        // Gamma.
+        let gamma: Vec<Vec<f64>> = alphas
+            .iter()
+            .zip(&betas)
+            .map(|(a, b)| {
+                let mut g: Vec<f64> = a.iter().zip(b).map(|(x, y)| x * y).collect();
+                let total: f64 = g.iter().sum();
+                if total > 0.0 {
+                    for v in &mut g {
+                        *v /= total;
+                    }
+                }
+                g
+            })
+            .collect();
+
+        Ok(Posteriors { gamma, log_likelihood: log_z })
+    }
+
+    /// E-step: accumulates expected sufficient statistics of one sequence
+    /// into `counts`.
+    ///
+    /// # Errors
+    /// Same conditions as [`viterbi`](Self::viterbi).
+    pub fn accumulate_counts(
+        &self,
+        ticks: &[TickInput],
+        user: usize,
+        counts: &mut ExpectedCounts,
+    ) -> Result<(), ModelError> {
+        let posteriors = self.forward_backward(ticks, user)?;
+        counts.log_likelihood += posteriors.log_likelihood;
+        let slices: Vec<Slice> = ticks.iter().map(|t| self.slice(t, user)).collect();
+        let p = &self.params;
+
+        // Unary counts.
+        for (t, slice) in slices.iter().enumerate() {
+            for (j, &a) in slice.activities.iter().enumerate() {
+                let g = posteriors.gamma[t][j];
+                if g <= 0.0 {
+                    continue;
+                }
+                let cand = ticks[t].candidates[user][slice.cands[j]];
+                if t == 0 {
+                    counts.prior[a] += g;
+                }
+                counts.post[a][cand.postural] += g;
+                counts.loc[a][cand.location] += g;
+                if let Some(gest) = cand.gestural {
+                    counts.gest[a][gest] += g;
+                }
+            }
+        }
+
+        // Pairwise counts via per-tick xi (exact, using scaled alpha/beta).
+        // Recompute alpha/beta locally to keep the public Posteriors small.
+        let fb = posteriors; // gamma only; xi below approximated from
+                             // gamma-consistent local renormalization.
+        for t in 1..ticks.len() {
+            let prev = &slices[t - 1];
+            let cur = &slices[t];
+            // xi[jp][j] ∝ gamma_prev[jp] · trans · emission · gamma-consistency.
+            let mut xi = vec![0.0; prev.activities.len() * cur.activities.len()];
+            let mut total = 0.0;
+            for (jp, &ap) in prev.activities.iter().enumerate() {
+                let gp = fb.gamma[t - 1][jp];
+                if gp <= 0.0 {
+                    continue;
+                }
+                let p_prev = ticks[t - 1].candidates[user][prev.cands[jp]].postural;
+                for (j, &a) in cur.activities.iter().enumerate() {
+                    let gc = fb.gamma[t][j];
+                    if gc <= 0.0 {
+                        continue;
+                    }
+                    let p_new = ticks[t].candidates[user][cur.cands[j]].postural;
+                    let w = gp
+                        * gc
+                        * p.transition_score(ap, p_prev, a, p_new).exp().max(1e-300);
+                    xi[jp * cur.activities.len() + j] = w;
+                    total += w;
+                }
+            }
+            if total <= 0.0 {
+                continue;
+            }
+            for (jp, &ap) in prev.activities.iter().enumerate() {
+                let p_prev = ticks[t - 1].candidates[user][prev.cands[jp]].postural;
+                for (j, &a) in cur.activities.iter().enumerate() {
+                    let w = xi[jp * cur.activities.len() + j] / total;
+                    if w <= 0.0 {
+                        continue;
+                    }
+                    let p_new = ticks[t].candidates[user][cur.cands[j]].postural;
+                    counts.trans[ap][a] += w;
+                    if ap == a {
+                        counts.cont[a] += w;
+                        counts.post_trans[p_prev][p_new] += w;
+                    } else {
+                        counts.end[ap] += w;
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+fn prevs_postural(ticks: &[TickInput], t: usize, user: usize, cand: usize) -> usize {
+    ticks[t].candidates[user][cand].postural
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{HdbnConfig, HdbnParams};
+    use cace_mining::constraint::{ConstraintMiner, LabeledSequence};
+
+    fn toy_params() -> HdbnParams {
+        let mut macros = Vec::new();
+        for r in 0..40 {
+            for _ in 0..10 {
+                macros.push(r % 2);
+            }
+        }
+        let n = macros.len();
+        let seq = LabeledSequence {
+            macros: [macros.clone(), macros.clone()],
+            posturals: [macros.clone(), macros.clone()],
+            gesturals: [vec![0; n], vec![0; n]],
+            locations: [macros.clone(), macros],
+        };
+        let stats = ConstraintMiner {
+            laplace: 0.1,
+            n_macro: 2,
+            n_postural: 2,
+            n_gestural: 2,
+            n_location: 2,
+        }
+        .mine(&[seq])
+        .unwrap();
+        HdbnParams::new(stats, HdbnConfig::uncoupled()).unwrap()
+    }
+
+    fn obs_tick(m: usize, strength: f64) -> TickInput {
+        let cands = |fav: usize| -> Vec<MicroCandidate> {
+            (0..2)
+                .map(|p| MicroCandidate {
+                    postural: p,
+                    gestural: Some(0),
+                    location: p,
+                    obs_loglik: if p == fav { 0.0 } else { -strength },
+                })
+                .collect()
+        };
+        TickInput { candidates: [cands(m), cands(m)], macro_candidates: [None, None], macro_bonus: Vec::new() }
+    }
+
+    #[test]
+    fn viterbi_decodes_switches() {
+        let model = SingleHdbn::new(toy_params());
+        let ticks: Vec<TickInput> = (0..20)
+            .map(|t| obs_tick(usize::from(t >= 10), 5.0))
+            .collect();
+        let path = model.viterbi(&ticks, 0).unwrap();
+        assert_eq!(&path.macros[..8], &[0; 8]);
+        assert_eq!(&path.macros[12..], &[1; 8]);
+        assert!(path.log_prob.is_finite());
+    }
+
+    #[test]
+    fn forward_backward_is_confident_on_clear_data() {
+        let model = SingleHdbn::new(toy_params());
+        let ticks: Vec<TickInput> = (0..10).map(|_| obs_tick(0, 6.0)).collect();
+        let post = model.forward_backward(&ticks, 0).unwrap();
+        // At mid-sequence, posterior mass on (activity 0) states should be
+        // near 1. States are enumerated macro-major: activity 0 = first two.
+        let mid = &post.gamma[5];
+        let mass0: f64 = mid[..2].iter().sum();
+        assert!(mass0 > 0.95, "activity-0 mass {mass0}");
+        assert!(post.log_likelihood.is_finite());
+        // Each gamma row is a distribution.
+        for row in &post.gamma {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn viterbi_and_posterior_agree_on_easy_input() {
+        let model = SingleHdbn::new(toy_params());
+        let ticks: Vec<TickInput> = (0..12)
+            .map(|t| obs_tick(usize::from(t >= 6), 6.0))
+            .collect();
+        let path = model.viterbi(&ticks, 0).unwrap();
+        let post = model.forward_backward(&ticks, 0).unwrap();
+        for t in [1, 2, 3, 8, 9, 10] {
+            let best_state = post.gamma[t]
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0;
+            // State enumeration is macro-major with 2 candidates each.
+            assert_eq!(best_state / 2, path.macros[t], "tick {t}");
+        }
+    }
+
+    #[test]
+    fn counts_accumulate_plausibly() {
+        let model = SingleHdbn::new(toy_params());
+        let ticks: Vec<TickInput> = (0..30)
+            .map(|t| obs_tick(usize::from((t / 10) % 2 == 1), 5.0))
+            .collect();
+        let mut counts = ExpectedCounts::zeros(2, 2, 2, 2);
+        model.accumulate_counts(&ticks, 0, &mut counts).unwrap();
+        // Unary mass ≈ number of ticks.
+        let unary: f64 = counts.post.iter().flatten().sum();
+        assert!((unary - 30.0).abs() < 1e-6, "unary mass {unary}");
+        // Posture 0 dominates under activity 0.
+        assert!(counts.post[0][0] > 5.0 * counts.post[0][1]);
+        // Mostly self-transitions.
+        assert!(counts.trans[0][0] > counts.trans[0][1]);
+        assert!(counts.log_likelihood.is_finite());
+    }
+
+    #[test]
+    fn errors_on_empty() {
+        let model = SingleHdbn::new(toy_params());
+        assert!(model.viterbi(&[], 0).is_err());
+        let mut tick = obs_tick(0, 1.0);
+        tick.candidates[0].clear();
+        assert!(matches!(
+            model.forward_backward(&[tick], 0),
+            Err(ModelError::EmptyStateSpace { tick: 0 })
+        ));
+    }
+}

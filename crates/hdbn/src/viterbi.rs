@@ -1,0 +1,436 @@
+//! Joint Viterbi decoding of the loosely-coupled two-chain HDBN.
+//!
+//! The joint transition kernel decomposes as
+//! `f1(s1, s1′) + f2(s2, s2′) + g(a1, a2)` — per-chain hierarchical
+//! transitions plus a concurrent inter-user coupling — so the naive
+//! `O((|S1||S2|)²)` joint recursion folds into two passes of
+//! `O(|S1||S2|(|S1|+|S2|))`. Pruned candidate sets therefore translate
+//! directly into the paper's order-of-magnitude overhead reduction.
+
+use cace_model::ModelError;
+
+use crate::input::{MicroCandidate, TickInput};
+use crate::params::HdbnParams;
+
+/// One per-user trellis state: a macro activity over one micro candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct ChainState {
+    activity: usize,
+    cand: usize,
+}
+
+/// Per-tick, per-chain trellis slice.
+#[derive(Debug, Clone)]
+struct Slice {
+    states: Vec<ChainState>,
+    /// Postural id of each state's candidate (needed by the micro-level
+    /// transition factor).
+    posturals: Vec<usize>,
+    /// Emission score of each state.
+    emissions: Vec<f64>,
+}
+
+/// The decoded joint trajectory plus accounting for the overhead
+/// experiments.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JointPath {
+    /// Decoded macro activity per user per tick.
+    pub macros: [Vec<usize>; 2],
+    /// Decoded micro tuple per user per tick.
+    pub micros: [Vec<MicroCandidate>; 2],
+    /// Joint log-score (unnormalized) of the decoded path.
+    pub log_prob: f64,
+    /// Σ_t |S1(t)| · |S2(t)| — joint states instantiated.
+    pub states_explored: u64,
+    /// Σ_t |S1||S2|(|S1|+|S2|) — transition evaluations performed.
+    pub transition_ops: u64,
+}
+
+/// The loosely-coupled HDBN decoder.
+#[derive(Debug, Clone)]
+pub struct CoupledHdbn {
+    params: HdbnParams,
+}
+
+impl CoupledHdbn {
+    /// Wraps trained parameters.
+    pub fn new(params: HdbnParams) -> Self {
+        Self { params }
+    }
+
+    /// The parameters in use.
+    pub fn params(&self) -> &HdbnParams {
+        &self.params
+    }
+
+    fn slice(&self, input: &TickInput, user: usize) -> Slice {
+        let macros = input.macros_for(user, self.params.n_macro());
+        let n = macros.len() * input.candidates[user].len();
+        let mut states = Vec::with_capacity(n);
+        let mut posturals = Vec::with_capacity(n);
+        let mut emissions = Vec::with_capacity(n);
+        for &a in &macros {
+            for (c, cand) in input.candidates[user].iter().enumerate() {
+                states.push(ChainState { activity: a, cand: c });
+                posturals.push(cand.postural);
+                emissions.push(
+                    cand.obs_loglik
+                        + input.bonus(a)
+                        + self.params.hierarchy_score(
+                            a,
+                            cand.postural,
+                            cand.gestural,
+                            cand.location,
+                        ),
+                );
+            }
+        }
+        Slice { states, posturals, emissions }
+    }
+
+    /// Decodes the most likely joint state sequence (§III step 6: Viterbi at
+    /// runtime inference).
+    ///
+    /// # Errors
+    /// Returns [`ModelError::EmptyStateSpace`] if any tick has no candidates
+    /// for some user, and [`ModelError::InsufficientData`] for empty input.
+    pub fn viterbi(&self, ticks: &[TickInput]) -> Result<JointPath, ModelError> {
+        if ticks.is_empty() {
+            return Err(ModelError::InsufficientData {
+                what: "viterbi decoding".into(),
+                available: 0,
+                required: 1,
+            });
+        }
+        for (t, tick) in ticks.iter().enumerate() {
+            let empty_micro = tick.candidates.iter().any(|c| c.is_empty());
+            let empty_macro = tick
+                .macro_candidates
+                .iter()
+                .any(|m| m.as_ref().is_some_and(|v| v.is_empty()));
+            if empty_micro || empty_macro {
+                return Err(ModelError::EmptyStateSpace { tick: t });
+            }
+        }
+
+        let p = &self.params;
+        let mut states_explored = 0u64;
+        let mut transition_ops = 0u64;
+
+        let mut prev1 = self.slice(&ticks[0], 0);
+        let mut prev2 = self.slice(&ticks[0], 1);
+        states_explored += (prev1.states.len() * prev2.states.len()) as u64;
+
+        // V flattened as j1 * |S2| + j2.
+        let mut v: Vec<f64> =
+            Vec::with_capacity(prev1.states.len() * prev2.states.len());
+        for (j1, &s1) in prev1.states.iter().enumerate() {
+            let base1 = prev1.emissions[j1] + p.log_prior[s1.activity];
+            for (j2, &s2) in prev2.states.iter().enumerate() {
+                let base2 = prev2.emissions[j2] + p.log_prior[s2.activity];
+                v.push(base1 + base2 + p.coupling_score(s1.activity, s2.activity));
+            }
+        }
+
+        // Backpointers per tick (index into the previous tick's flattened
+        // joint trellis), plus the slices for backtracking.
+        let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut slices: Vec<(Slice, Slice)> = Vec::with_capacity(ticks.len());
+        slices.push((prev1.clone(), prev2.clone()));
+
+        for tick in ticks.iter().skip(1) {
+            let cur1 = self.slice(tick, 0);
+            let cur2 = self.slice(tick, 1);
+            let (k1, k2) = (prev1.states.len(), prev2.states.len());
+            let (m1, m2) = (cur1.states.len(), cur2.states.len());
+            states_explored += (m1 * m2) as u64;
+            transition_ops += (k1 as u64 * k2 as u64) * (m1 as u64 + m2 as u64);
+
+            // Pass 1 — fold chain 2:
+            // W[j1p * m2 + j2] = max_{j2p} V[j1p, j2p] + f2(j2p → j2).
+            let mut w = vec![f64::NEG_INFINITY; k1 * m2];
+            let mut w_arg = vec![0u32; k1 * m2];
+            for (j2, &s2) in cur2.states.iter().enumerate() {
+                // f2 depends only on (prev state, new state): precompute per
+                // j2 the column of scores over j2p.
+                let f2_col: Vec<f64> = (0..k2)
+                    .map(|j2p| {
+                        p.transition_score(
+                            prev2.states[j2p].activity,
+                            prev2.posturals[j2p],
+                            s2.activity,
+                            cur2.posturals[j2],
+                        )
+                    })
+                    .collect();
+                for j1p in 0..k1 {
+                    let row = &v[j1p * k2..(j1p + 1) * k2];
+                    let mut best = f64::NEG_INFINITY;
+                    let mut best_arg = 0u32;
+                    for (j2p, (&vv, &f2)) in row.iter().zip(&f2_col).enumerate() {
+                        let score = vv + f2;
+                        if score > best {
+                            best = score;
+                            best_arg = j2p as u32;
+                        }
+                    }
+                    w[j1p * m2 + j2] = best;
+                    w_arg[j1p * m2 + j2] = best_arg;
+                }
+            }
+
+            // Pass 2 — fold chain 1:
+            // V'[j1, j2] = max_{j1p} W[j1p, j2] + f1(j1p → j1), plus
+            // emissions and coupling.
+            let mut v_new = vec![f64::NEG_INFINITY; m1 * m2];
+            let mut back = vec![0u32; m1 * m2];
+            for (j1, &s1) in cur1.states.iter().enumerate() {
+                let f1_col: Vec<f64> = (0..k1)
+                    .map(|j1p| {
+                        p.transition_score(
+                            prev1.states[j1p].activity,
+                            prev1.posturals[j1p],
+                            s1.activity,
+                            cur1.posturals[j1],
+                        )
+                    })
+                    .collect();
+                for (j2, &s2) in cur2.states.iter().enumerate() {
+                    let mut best = f64::NEG_INFINITY;
+                    let mut best_j1p = 0usize;
+                    for (j1p, &f1) in f1_col.iter().enumerate() {
+                        let score = w[j1p * m2 + j2] + f1;
+                        if score > best {
+                            best = score;
+                            best_j1p = j1p;
+                        }
+                    }
+                    let emit = cur1.emissions[j1]
+                        + cur2.emissions[j2]
+                        + p.coupling_score(s1.activity, s2.activity);
+                    v_new[j1 * m2 + j2] = best + emit;
+                    // Recover j2p chosen inside W for (best_j1p, j2).
+                    let j2p = w_arg[best_j1p * m2 + j2];
+                    back[j1 * m2 + j2] = (best_j1p as u32) * (k2 as u32) + j2p;
+                }
+            }
+
+            v = v_new;
+            backptrs.push(back);
+            prev1 = cur1.clone();
+            prev2 = cur2.clone();
+            slices.push((cur1, cur2));
+        }
+
+        // Termination: best final joint state.
+        let m2_last = prev2.states.len();
+        let (mut flat, log_prob) = v
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+            .map(|(i, &s)| (i, s))
+            .expect("nonempty trellis");
+
+        // Backtrack.
+        let t_total = ticks.len();
+        let mut macros = [vec![0usize; t_total], vec![0usize; t_total]];
+        let mut micros = [
+            vec![MicroCandidate { postural: 0, gestural: None, location: 0, obs_loglik: 0.0 };
+                t_total],
+            vec![MicroCandidate { postural: 0, gestural: None, location: 0, obs_loglik: 0.0 };
+                t_total],
+        ];
+        let mut m2_cur = m2_last;
+        for t in (0..t_total).rev() {
+            let (s1_slice, s2_slice) = &slices[t];
+            let j1 = flat / m2_cur;
+            let j2 = flat % m2_cur;
+            let s1 = s1_slice.states[j1];
+            let s2 = s2_slice.states[j2];
+            macros[0][t] = s1.activity;
+            macros[1][t] = s2.activity;
+            micros[0][t] = ticks[t].candidates[0][s1.cand];
+            micros[1][t] = ticks[t].candidates[1][s2.cand];
+            if t > 0 {
+                flat = backptrs[t][flat] as usize;
+                m2_cur = slices[t - 1].1.states.len();
+            }
+        }
+
+        Ok(JointPath { macros, micros, log_prob, states_explored, transition_ops })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{HdbnConfig, HdbnParams};
+    use cace_mining::constraint::{ConstraintMiner, LabeledSequence};
+    use cace_mining::HierarchicalStats;
+
+    /// Stats for a 2-activity world where activity k has posture k and
+    /// location k, both users synchronized, runs of 10 ticks.
+    fn toy_stats() -> HierarchicalStats {
+        let mut macros = Vec::new();
+        for r in 0..40 {
+            for _ in 0..10 {
+                macros.push(r % 2);
+            }
+        }
+        let n = macros.len();
+        let seq = LabeledSequence {
+            macros: [macros.clone(), macros.clone()],
+            posturals: [macros.clone(), macros.clone()],
+            gesturals: [vec![0; n], vec![0; n]],
+            locations: [macros.clone(), macros],
+        };
+        ConstraintMiner { laplace: 0.1, n_macro: 2, n_postural: 2, n_gestural: 2, n_location: 2 }
+            .mine(&[seq])
+            .unwrap()
+    }
+
+    fn decoder(coupling: bool) -> CoupledHdbn {
+        let config = if coupling { HdbnConfig::default() } else { HdbnConfig::uncoupled() };
+        CoupledHdbn::new(HdbnParams::new(toy_stats(), config).unwrap())
+    }
+
+    /// A tick where the observation clearly favors micro state `m` for both
+    /// users (`strength` in log-odds).
+    fn obs_tick(m: usize, strength: f64) -> TickInput {
+        let cands = |fav: usize| -> Vec<MicroCandidate> {
+            (0..2)
+                .map(|p| MicroCandidate {
+                    postural: p,
+                    gestural: Some(0),
+                    location: p,
+                    obs_loglik: if p == fav { 0.0 } else { -strength },
+                })
+                .collect()
+        };
+        TickInput { candidates: [cands(m), cands(m)], macro_candidates: [None, None], macro_bonus: Vec::new() }
+    }
+
+    #[test]
+    fn decodes_clear_observations() {
+        let d = decoder(true);
+        let ticks: Vec<TickInput> = (0..20)
+            .map(|t| obs_tick(if t < 10 { 0 } else { 1 }, 5.0))
+            .collect();
+        let path = d.viterbi(&ticks).unwrap();
+        for t in 0..10 {
+            assert_eq!(path.macros[0][t], 0, "tick {t}");
+            assert_eq!(path.macros[1][t], 0, "tick {t}");
+        }
+        for t in 12..20 {
+            assert_eq!(path.macros[0][t], 1, "tick {t}");
+        }
+        assert!(path.log_prob.is_finite());
+        assert!(path.states_explored > 0);
+        assert!(path.transition_ops > 0);
+    }
+
+    #[test]
+    fn temporal_smoothing_overrides_single_glitch() {
+        let d = decoder(true);
+        let mut ticks: Vec<TickInput> = (0..15).map(|_| obs_tick(0, 2.0)).collect();
+        // One weakly contradictory tick in the middle.
+        ticks[7] = obs_tick(1, 0.3);
+        let path = d.viterbi(&ticks).unwrap();
+        assert_eq!(path.macros[0][7], 0, "persistence should absorb the glitch");
+    }
+
+    #[test]
+    fn coupling_pulls_ambiguous_partner() {
+        // User 1 sees clear evidence for activity 0; user 2 is ambiguous.
+        let make = |coupled: bool| {
+            let d = decoder(coupled);
+            let ticks: Vec<TickInput> = (0..10)
+                .map(|_| {
+                    let clear: Vec<MicroCandidate> = (0..2)
+                        .map(|p| MicroCandidate {
+                            postural: p,
+                            gestural: Some(0),
+                            location: p,
+                            obs_loglik: if p == 0 { 0.0 } else { -6.0 },
+                        })
+                        .collect();
+                    let ambiguous: Vec<MicroCandidate> = (0..2)
+                        .map(|p| MicroCandidate {
+                            postural: p,
+                            gestural: Some(0),
+                            location: p,
+                            obs_loglik: 0.0,
+                        })
+                        .collect();
+                    TickInput {
+                        candidates: [clear, ambiguous],
+                        macro_candidates: [None, None],
+                        macro_bonus: Vec::new(),
+                    }
+                })
+                .collect();
+            d.viterbi(&ticks).unwrap()
+        };
+        let coupled = make(true);
+        // With coupling, the ambiguous partner is pulled to activity 0
+        // (their co-occurrence statistics are perfectly synchronized).
+        assert!(coupled.macros[1].iter().all(|&a| a == 0));
+    }
+
+    #[test]
+    fn macro_candidate_restriction_is_respected() {
+        let d = decoder(true);
+        let mut ticks: Vec<TickInput> = (0..6).map(|_| obs_tick(0, 1.0)).collect();
+        for tick in &mut ticks {
+            tick.macro_candidates[0] = Some(vec![1]); // force activity 1
+        }
+        let path = d.viterbi(&ticks).unwrap();
+        assert!(path.macros[0].iter().all(|&a| a == 1));
+    }
+
+    #[test]
+    fn empty_input_and_empty_candidates_error() {
+        let d = decoder(true);
+        assert!(matches!(
+            d.viterbi(&[]),
+            Err(ModelError::InsufficientData { .. })
+        ));
+        let mut tick = obs_tick(0, 1.0);
+        tick.candidates[1].clear();
+        assert!(matches!(
+            d.viterbi(&[obs_tick(0, 1.0), tick]),
+            Err(ModelError::EmptyStateSpace { tick: 1 })
+        ));
+    }
+
+    #[test]
+    fn pruning_reduces_accounting() {
+        let d = decoder(true);
+        let full: Vec<TickInput> = (0..10).map(|_| obs_tick(0, 2.0)).collect();
+        let mut pruned = full.clone();
+        for tick in &mut pruned {
+            tick.macro_candidates = [Some(vec![0]), Some(vec![0])];
+            tick.candidates[0].truncate(1);
+            tick.candidates[1].truncate(1);
+        }
+        let full_path = d.viterbi(&full).unwrap();
+        let pruned_path = d.viterbi(&pruned).unwrap();
+        assert!(pruned_path.states_explored * 4 < full_path.states_explored);
+        assert!(pruned_path.transition_ops * 16 <= full_path.transition_ops);
+        // And the answer on this easy input is unchanged.
+        assert_eq!(pruned_path.macros[0], full_path.macros[0]);
+    }
+
+    #[test]
+    fn micro_path_aligns_with_macro_path() {
+        let d = decoder(true);
+        let ticks: Vec<TickInput> = (0..8).map(|_| obs_tick(1, 4.0)).collect();
+        let path = d.viterbi(&ticks).unwrap();
+        for t in 0..8 {
+            // In the toy world, activity 1 ↔ posture 1 / location 1.
+            assert_eq!(path.micros[0][t].postural, 1);
+            assert_eq!(path.micros[0][t].location, 1);
+            assert_eq!(path.macros[0][t], 1);
+        }
+    }
+}

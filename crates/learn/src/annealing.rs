@@ -1,0 +1,360 @@
+//! Deterministic annealing clustering (Rose, 1998), used by the paper
+//! (citing Muncaster & Ma [8]) to discover the representative low-level
+//! observation states whose Gaussians parameterize the HDBN emissions.
+//!
+//! The algorithm performs soft (Gibbs) assignments
+//! `p(c | x) ∝ w_c · exp(−‖x − μ_c‖² / T)` and anneals the temperature `T`
+//! downward; at high `T` all centers coincide (one effective cluster) and
+//! clusters split as `T` cools, avoiding poor local minima of plain k-means.
+
+use cace_model::ModelError;
+use cace_signal::GaussianSampler;
+
+use crate::gaussian::DiagonalGaussian;
+
+/// Annealing schedule and cluster-count configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AnnealingConfig {
+    /// Number of clusters to produce.
+    pub k: usize,
+    /// Initial temperature as a multiple of the data variance.
+    pub initial_temperature_scale: f64,
+    /// Multiplicative cooling factor per phase (in `(0, 1)`).
+    pub cooling: f64,
+    /// Final temperature (stop annealing when reached).
+    pub final_temperature: f64,
+    /// Soft-assignment iterations per temperature phase.
+    pub iterations_per_phase: usize,
+}
+
+impl Default for AnnealingConfig {
+    fn default() -> Self {
+        Self {
+            k: 8,
+            initial_temperature_scale: 2.0,
+            cooling: 0.6,
+            final_temperature: 1e-3,
+            iterations_per_phase: 8,
+        }
+    }
+}
+
+/// The result of deterministic-annealing clustering.
+#[derive(Debug, Clone)]
+pub struct DeterministicAnnealing {
+    centers: Vec<Vec<f64>>,
+    /// Per-cluster Gaussians fitted to the final hard assignment.
+    gaussians: Vec<DiagonalGaussian>,
+    assignments: Vec<usize>,
+}
+
+impl DeterministicAnnealing {
+    /// Clusters `samples` into `config.k` groups.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::InsufficientData`] if there are fewer samples
+    /// than clusters and [`ModelError::InvalidConfig`] for bad schedules.
+    pub fn fit(
+        samples: &[Vec<f64>],
+        config: &AnnealingConfig,
+        seed: u64,
+    ) -> Result<Self, ModelError> {
+        if config.k == 0 || !(0.0..1.0).contains(&config.cooling) {
+            return Err(ModelError::InvalidConfig(
+                "annealing needs k ≥ 1 and cooling in (0,1)".into(),
+            ));
+        }
+        if samples.len() < config.k {
+            return Err(ModelError::InsufficientData {
+                what: "annealing clustering".into(),
+                available: samples.len(),
+                required: config.k,
+            });
+        }
+        let d = samples[0].len();
+        if samples.iter().any(|s| s.len() != d) {
+            return Err(ModelError::InvalidConfig("ragged sample rows".into()));
+        }
+
+        let n = samples.len() as f64;
+        let mut rng = GaussianSampler::seed_from_u64(seed);
+
+        // Global mean and variance set the temperature scale.
+        let mut global_mean = vec![0.0; d];
+        for s in samples {
+            for (m, v) in global_mean.iter_mut().zip(s) {
+                *m += v / n;
+            }
+        }
+        let variance: f64 = samples
+            .iter()
+            .map(|s| {
+                s.iter()
+                    .zip(&global_mean)
+                    .map(|(a, b)| (a - b).powi(2))
+                    .sum::<f64>()
+            })
+            .sum::<f64>()
+            / n;
+
+        // All centers start at the global mean plus a tiny symmetric-
+        // breaking perturbation.
+        let mut centers: Vec<Vec<f64>> = (0..config.k)
+            .map(|_| {
+                global_mean
+                    .iter()
+                    .map(|m| m + rng.normal(0.0, 1e-3 * (variance.sqrt() + 1e-9)))
+                    .collect()
+            })
+            .collect();
+
+        let mut temperature =
+            (variance * config.initial_temperature_scale).max(config.final_temperature);
+        let mut responsibilities = vec![vec![0.0; config.k]; samples.len()];
+
+        loop {
+            for _ in 0..config.iterations_per_phase {
+                // E step: Gibbs responsibilities.
+                for (i, s) in samples.iter().enumerate() {
+                    let mut log_w: Vec<f64> = centers
+                        .iter()
+                        .map(|c| {
+                            -s.iter()
+                                .zip(c)
+                                .map(|(a, b)| (a - b).powi(2))
+                                .sum::<f64>()
+                                / temperature
+                        })
+                        .collect();
+                    let max = log_w.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+                    let mut total = 0.0;
+                    for w in &mut log_w {
+                        *w = (*w - max).exp();
+                        total += *w;
+                    }
+                    for (r, w) in responsibilities[i].iter_mut().zip(&log_w) {
+                        *r = w / total;
+                    }
+                }
+                // M step: weighted means.
+                for (c, center) in centers.iter_mut().enumerate() {
+                    let mut weight = 0.0;
+                    let mut acc = vec![0.0; d];
+                    for (i, s) in samples.iter().enumerate() {
+                        let r = responsibilities[i][c];
+                        weight += r;
+                        for (a, v) in acc.iter_mut().zip(s) {
+                            *a += r * v;
+                        }
+                    }
+                    if weight > 1e-12 {
+                        for (slot, a) in center.iter_mut().zip(acc) {
+                            *slot = a / weight;
+                        }
+                    } else {
+                        // Dead cluster: restart at a random sample.
+                        *center = samples[rng.below(samples.len())].clone();
+                    }
+                }
+            }
+            if temperature <= config.final_temperature {
+                break;
+            }
+            temperature = (temperature * config.cooling).max(config.final_temperature);
+            // Re-perturb to let coincident centers split as T cools.
+            for center in &mut centers {
+                for v in center.iter_mut() {
+                    *v += rng.normal(0.0, 1e-4 * (variance.sqrt() + 1e-9));
+                }
+            }
+        }
+
+        // Final hard assignment + per-cluster Gaussians.
+        let assignments: Vec<usize> = samples
+            .iter()
+            .map(|s| {
+                centers
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        let da: f64 =
+                            s.iter().zip(a.1).map(|(x, c)| (x - c).powi(2)).sum();
+                        let db: f64 =
+                            s.iter().zip(b.1).map(|(x, c)| (x - c).powi(2)).sum();
+                        da.partial_cmp(&db).expect("finite distances")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("k ≥ 1")
+            })
+            .collect();
+
+        let gaussians = (0..config.k)
+            .map(|c| {
+                let members: Vec<&[f64]> = samples
+                    .iter()
+                    .zip(&assignments)
+                    .filter(|&(_, &a)| a == c)
+                    .map(|(s, _)| s.as_slice())
+                    .collect();
+                if members.is_empty() {
+                    DiagonalGaussian::from_params(centers[c].clone(), vec![1.0; d])
+                } else {
+                    DiagonalGaussian::fit(&members).expect("nonempty cluster")
+                }
+            })
+            .collect();
+
+        Ok(Self { centers, gaussians, assignments })
+    }
+
+    /// The cluster centers.
+    pub fn centers(&self) -> &[Vec<f64>] {
+        &self.centers
+    }
+
+    /// Per-cluster fitted Gaussians (HDBN emission parameters).
+    pub fn gaussians(&self) -> &[DiagonalGaussian] {
+        &self.gaussians
+    }
+
+    /// Final hard assignment of each training sample.
+    pub fn assignments(&self) -> &[usize] {
+        &self.assignments
+    }
+
+    /// Nearest cluster of a new sample.
+    pub fn assign(&self, x: &[f64]) -> usize {
+        self.centers
+            .iter()
+            .enumerate()
+            .min_by(|a, b| {
+                let da: f64 = x.iter().zip(a.1).map(|(p, c)| (p - c).powi(2)).sum();
+                let db: f64 = x.iter().zip(b.1).map(|(p, c)| (p - c).powi(2)).sum();
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .map(|(i, _)| i)
+            .expect("k ≥ 1")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_blobs(seed: u64, per_blob: usize) -> (Vec<Vec<f64>>, Vec<usize>) {
+        let mut rng = GaussianSampler::seed_from_u64(seed);
+        let centers = [(0.0, 0.0), (8.0, 0.0), (0.0, 8.0)];
+        let mut xs = Vec::new();
+        let mut truth = Vec::new();
+        for (c, &(cx, cy)) in centers.iter().enumerate() {
+            for _ in 0..per_blob {
+                xs.push(vec![rng.normal(cx, 0.5), rng.normal(cy, 0.5)]);
+                truth.push(c);
+            }
+        }
+        (xs, truth)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let (xs, truth) = three_blobs(1, 60);
+        let config = AnnealingConfig { k: 3, ..AnnealingConfig::default() };
+        let da = DeterministicAnnealing::fit(&xs, &config, 2).unwrap();
+        // Clustering is label-invariant: check that same-truth pairs share a
+        // cluster and different-truth pairs do not (sampled).
+        let a = da.assignments();
+        let mut agree = 0;
+        let mut total = 0;
+        for i in (0..xs.len()).step_by(7) {
+            for j in (i + 1..xs.len()).step_by(11) {
+                total += 1;
+                let same_truth = truth[i] == truth[j];
+                let same_cluster = a[i] == a[j];
+                if same_truth == same_cluster {
+                    agree += 1;
+                }
+            }
+        }
+        let rate = agree as f64 / total as f64;
+        assert!(rate > 0.95, "pair agreement {rate}");
+    }
+
+    #[test]
+    fn centers_land_near_blob_means() {
+        let (xs, _) = three_blobs(3, 80);
+        let config = AnnealingConfig { k: 3, ..AnnealingConfig::default() };
+        let da = DeterministicAnnealing::fit(&xs, &config, 4).unwrap();
+        let expected = [(0.0, 0.0), (8.0, 0.0), (0.0, 8.0)];
+        for &(ex, ey) in &expected {
+            let nearest = da
+                .centers()
+                .iter()
+                .map(|c| ((c[0] - ex).powi(2) + (c[1] - ey).powi(2)).sqrt())
+                .fold(f64::INFINITY, f64::min);
+            assert!(nearest < 1.0, "no center near ({ex},{ey}): {nearest}");
+        }
+    }
+
+    #[test]
+    fn gaussians_cover_their_clusters() {
+        let (xs, _) = three_blobs(5, 50);
+        let config = AnnealingConfig { k: 3, ..AnnealingConfig::default() };
+        let da = DeterministicAnnealing::fit(&xs, &config, 6).unwrap();
+        // A point at a blob center should score best under its own Gaussian.
+        let own = da.assign(&[8.0, 0.0]);
+        let lp_own = da.gaussians()[own].log_pdf(&[8.0, 0.0]);
+        for (c, g) in da.gaussians().iter().enumerate() {
+            if c != own {
+                assert!(lp_own >= g.log_pdf(&[8.0, 0.0]), "cluster {c} outranks own");
+            }
+        }
+    }
+
+    #[test]
+    fn assignment_is_consistent_with_assign() {
+        let (xs, _) = three_blobs(7, 30);
+        let config = AnnealingConfig { k: 3, ..AnnealingConfig::default() };
+        let da = DeterministicAnnealing::fit(&xs, &config, 8).unwrap();
+        for (s, &a) in xs.iter().zip(da.assignments()) {
+            assert_eq!(da.assign(s), a);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_config_and_data() {
+        let xs = vec![vec![1.0], vec![2.0]];
+        assert!(matches!(
+            DeterministicAnnealing::fit(
+                &xs,
+                &AnnealingConfig { k: 0, ..AnnealingConfig::default() },
+                1
+            ),
+            Err(ModelError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            DeterministicAnnealing::fit(
+                &xs,
+                &AnnealingConfig { k: 5, ..AnnealingConfig::default() },
+                1
+            ),
+            Err(ModelError::InsufficientData { .. })
+        ));
+        assert!(matches!(
+            DeterministicAnnealing::fit(
+                &xs,
+                &AnnealingConfig { cooling: 1.5, k: 1, ..AnnealingConfig::default() },
+                1
+            ),
+            Err(ModelError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn determinism() {
+        let (xs, _) = three_blobs(9, 40);
+        let config = AnnealingConfig { k: 3, ..AnnealingConfig::default() };
+        let a = DeterministicAnnealing::fit(&xs, &config, 10).unwrap();
+        let b = DeterministicAnnealing::fit(&xs, &config, 10).unwrap();
+        assert_eq!(a.assignments(), b.assignments());
+    }
+}

@@ -1,0 +1,188 @@
+//! Multivariate Gaussian observation densities.
+//!
+//! Augmentation 4 of the paper models micro-level observations as
+//! multivariate Gaussians `N(o; μ_k, Γ_k)` per low-level state `k`. We use a
+//! diagonal covariance with variance flooring — the standard robust choice
+//! when the feature dimension (32) approaches the per-cluster sample count.
+
+use cace_model::ModelError;
+
+/// A diagonal-covariance multivariate Gaussian.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiagonalGaussian {
+    mean: Vec<f64>,
+    variance: Vec<f64>,
+    /// Cached `-½ Σ log(2π σ²)` normalization term.
+    log_norm: f64,
+}
+
+impl DiagonalGaussian {
+    /// Minimum variance floor applied per dimension.
+    pub const VARIANCE_FLOOR: f64 = 1e-4;
+
+    /// Fits mean and per-dimension variance from sample rows.
+    ///
+    /// # Errors
+    /// Returns [`ModelError::InsufficientData`] when `samples` is empty and
+    /// [`ModelError::LengthMismatch`] on ragged rows.
+    pub fn fit(samples: &[&[f64]]) -> Result<Self, ModelError> {
+        let n = samples.len();
+        if n == 0 {
+            return Err(ModelError::InsufficientData {
+                what: "gaussian fit".into(),
+                available: 0,
+                required: 1,
+            });
+        }
+        let d = samples[0].len();
+        if samples.iter().any(|s| s.len() != d) {
+            return Err(ModelError::LengthMismatch {
+                what: "gaussian sample dimensions".into(),
+                left: d,
+                right: samples.iter().map(|s| s.len()).find(|&l| l != d).unwrap_or(d),
+            });
+        }
+        let mut mean = vec![0.0; d];
+        for s in samples {
+            for (m, v) in mean.iter_mut().zip(*s) {
+                *m += v;
+            }
+        }
+        for m in &mut mean {
+            *m /= n as f64;
+        }
+        let mut variance = vec![0.0; d];
+        for s in samples {
+            for ((var, m), v) in variance.iter_mut().zip(&mean).zip(*s) {
+                *var += (v - m).powi(2);
+            }
+        }
+        for var in &mut variance {
+            *var = (*var / n as f64).max(Self::VARIANCE_FLOOR);
+        }
+        Ok(Self::from_params(mean, variance))
+    }
+
+    /// Constructs from explicit parameters (variances floored).
+    ///
+    /// # Panics
+    /// Panics if `mean` and `variance` lengths differ or are empty.
+    pub fn from_params(mean: Vec<f64>, mut variance: Vec<f64>) -> Self {
+        assert_eq!(mean.len(), variance.len(), "mean/variance dimension mismatch");
+        assert!(!mean.is_empty(), "gaussian needs at least one dimension");
+        for v in &mut variance {
+            *v = v.max(Self::VARIANCE_FLOOR);
+        }
+        let log_norm = -0.5
+            * variance
+                .iter()
+                .map(|v| (2.0 * std::f64::consts::PI * v).ln())
+                .sum::<f64>();
+        Self { mean, variance, log_norm }
+    }
+
+    /// Dimensionality.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// The mean vector.
+    pub fn mean(&self) -> &[f64] {
+        &self.mean
+    }
+
+    /// The per-dimension variances.
+    pub fn variance(&self) -> &[f64] {
+        &self.variance
+    }
+
+    /// Log-density at `x`.
+    ///
+    /// # Panics
+    /// Panics if `x.len() != self.dim()`.
+    pub fn log_pdf(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        let mahalanobis: f64 = x
+            .iter()
+            .zip(&self.mean)
+            .zip(&self.variance)
+            .map(|((xi, mi), vi)| (xi - mi).powi(2) / vi)
+            .sum();
+        self.log_norm - 0.5 * mahalanobis
+    }
+
+    /// Squared Euclidean distance from the mean (used by the annealing
+    /// clusterer).
+    pub fn sq_dist_to_mean(&self, x: &[f64]) -> f64 {
+        x.iter().zip(&self.mean).map(|(a, b)| (a - b).powi(2)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fit_recovers_moments() {
+        let samples: Vec<Vec<f64>> = vec![
+            vec![1.0, 10.0],
+            vec![2.0, 12.0],
+            vec![3.0, 14.0],
+            vec![4.0, 16.0],
+        ];
+        let refs: Vec<&[f64]> = samples.iter().map(|s| s.as_slice()).collect();
+        let g = DiagonalGaussian::fit(&refs).unwrap();
+        assert_eq!(g.mean(), &[2.5, 13.0]);
+        assert!((g.variance()[0] - 1.25).abs() < 1e-12);
+        assert!((g.variance()[1] - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn log_pdf_peaks_at_mean() {
+        let samples = vec![vec![0.0, 0.0], vec![2.0, 2.0]];
+        let refs: Vec<&[f64]> = samples.iter().map(|s| s.as_slice()).collect();
+        let g = DiagonalGaussian::fit(&refs).unwrap();
+        let at_mean = g.log_pdf(&[1.0, 1.0]);
+        assert!(at_mean > g.log_pdf(&[3.0, 3.0]));
+        assert!(at_mean > g.log_pdf(&[0.0, 2.0]) - 1e-12);
+    }
+
+    #[test]
+    fn log_pdf_matches_univariate_closed_form() {
+        let g = DiagonalGaussian::from_params(vec![0.0], vec![1.0]);
+        // Standard normal: log pdf(0) = -0.5 ln(2π).
+        let expected = -0.5 * (2.0 * std::f64::consts::PI).ln();
+        assert!((g.log_pdf(&[0.0]) - expected).abs() < 1e-12);
+        // pdf(1)/pdf(0) = exp(-1/2).
+        assert!((g.log_pdf(&[1.0]) - (expected - 0.5)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn variance_floor_prevents_degeneracy() {
+        let samples = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let refs: Vec<&[f64]> = samples.iter().map(|s| s.as_slice()).collect();
+        let g = DiagonalGaussian::fit(&refs).unwrap();
+        assert!(g.variance()[0] >= DiagonalGaussian::VARIANCE_FLOOR);
+        assert!(g.log_pdf(&[5.0]).is_finite());
+    }
+
+    #[test]
+    fn rejects_empty_and_ragged() {
+        assert!(matches!(
+            DiagonalGaussian::fit(&[]),
+            Err(ModelError::InsufficientData { .. })
+        ));
+        let a = [1.0, 2.0];
+        let b = [1.0];
+        assert!(matches!(
+            DiagonalGaussian::fit(&[&a, &b]),
+            Err(ModelError::LengthMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn sq_dist() {
+        let g = DiagonalGaussian::from_params(vec![1.0, 1.0], vec![1.0, 1.0]);
+        assert!((g.sq_dist_to_mean(&[4.0, 5.0]) - 25.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,31 @@
+//! # cace-learn
+//!
+//! Learning substrate for the CACE reproduction.
+//!
+//! The paper uses (i) WEKA's random forest for micro-activity classification
+//! (§VII-E), (ii) deterministic annealing clustering [8] to discover the
+//! low-level observation states whose Gaussians parameterize the HDBN
+//! emissions (Augmentation 4), and (iii) multivariate Gaussian observation
+//! densities. All three are implemented here from scratch.
+//!
+//! ```
+//! use cace_learn::{RandomForest, ForestConfig};
+//!
+//! let xs = vec![vec![0.0, 0.0], vec![0.1, 0.2], vec![5.0, 5.0], vec![4.9, 5.2]];
+//! let ys = vec![0, 0, 1, 1];
+//! let forest = RandomForest::fit(&xs, &ys, 2, &ForestConfig::default(), 42).unwrap();
+//! assert_eq!(forest.predict(&[5.1, 4.8]), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annealing;
+pub mod forest;
+pub mod gaussian;
+pub mod tree;
+
+pub use annealing::{AnnealingConfig, DeterministicAnnealing};
+pub use forest::{ForestConfig, RandomForest};
+pub use gaussian::DiagonalGaussian;
+pub use tree::{DecisionTree, TreeConfig};

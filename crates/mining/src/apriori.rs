@@ -1,0 +1,351 @@
+//! Apriori frequent-itemset mining and association-rule generation.
+//!
+//! §V-A of the paper: "Apriori algorithm is used to identify such rules",
+//! taking `minSup` and `minConf` parameters, with `minConf = 99 %` and
+//! `minSup = 4 %` chosen to "strike [a] good balance between tolerating
+//! occasional inconsistencies and highlighting the viable rules".
+
+use std::collections::HashMap;
+
+use crate::item::{AtomSpace, ItemId, Transaction};
+use crate::rules::{Rule, RuleSet};
+
+/// Mining thresholds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AprioriConfig {
+    /// Minimum support (fraction of transactions).
+    pub min_support: f64,
+    /// Minimum confidence for emitted rules.
+    pub min_confidence: f64,
+    /// Largest itemset size explored (antecedent + consequent).
+    pub max_itemset: usize,
+}
+
+impl AprioriConfig {
+    /// The paper's thresholds: minSup = 4 %, minConf = 99 %, itemsets up to
+    /// size 4 (three antecedent atoms plus the consequent, as in Table IV).
+    pub fn paper_default() -> Self {
+        Self { min_support: 0.04, min_confidence: 0.99, max_itemset: 4 }
+    }
+}
+
+impl Default for AprioriConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A frequent itemset with its support.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FrequentItemset {
+    /// Sorted items.
+    pub items: Vec<ItemId>,
+    /// Fraction of transactions containing the itemset.
+    pub support: f64,
+}
+
+/// Mines all frequent itemsets up to `config.max_itemset`.
+///
+/// Returns itemsets grouped by size (index 0 = singletons).
+pub fn mine_frequent_itemsets(
+    transactions: &[Transaction],
+    config: &AprioriConfig,
+) -> Vec<Vec<FrequentItemset>> {
+    if transactions.is_empty() {
+        return Vec::new();
+    }
+    let n = transactions.len() as f64;
+    let min_count = (config.min_support * n).ceil().max(1.0) as usize;
+
+    // L1.
+    let mut counts: HashMap<ItemId, usize> = HashMap::new();
+    for t in transactions {
+        for &i in t.items() {
+            *counts.entry(i).or_insert(0) += 1;
+        }
+    }
+    let mut level: Vec<Vec<ItemId>> = counts
+        .iter()
+        .filter(|&(_, &c)| c >= min_count)
+        .map(|(&i, _)| vec![i])
+        .collect();
+    level.sort();
+    let mut all_levels: Vec<Vec<FrequentItemset>> = Vec::new();
+    all_levels.push(
+        level
+            .iter()
+            .map(|set| FrequentItemset {
+                items: set.clone(),
+                support: counts[&set[0]] as f64 / n,
+            })
+            .collect(),
+    );
+
+    let mut k = 2usize;
+    while k <= config.max_itemset && !level.is_empty() {
+        // Candidate generation: join sets sharing the first k−2 items.
+        let mut candidates: Vec<Vec<ItemId>> = Vec::new();
+        for i in 0..level.len() {
+            for j in (i + 1)..level.len() {
+                let (a, b) = (&level[i], &level[j]);
+                if a[..k - 2] != b[..k - 2] {
+                    break; // sorted: once prefixes diverge, later j's diverge too
+                }
+                let mut cand = a.clone();
+                cand.push(b[k - 2]);
+                // Apriori prune: all (k−1)-subsets must be frequent.
+                let all_frequent = (0..cand.len()).all(|skip| {
+                    let sub: Vec<ItemId> = cand
+                        .iter()
+                        .enumerate()
+                        .filter(|&(idx, _)| idx != skip)
+                        .map(|(_, &v)| v)
+                        .collect();
+                    level.binary_search(&sub).is_ok()
+                });
+                if all_frequent {
+                    candidates.push(cand);
+                }
+            }
+        }
+
+        // Support counting.
+        let mut freq: Vec<FrequentItemset> = Vec::new();
+        let mut next_level: Vec<Vec<ItemId>> = Vec::new();
+        for cand in candidates {
+            let count = transactions.iter().filter(|t| t.contains_all(&cand)).count();
+            if count >= min_count {
+                freq.push(FrequentItemset {
+                    items: cand.clone(),
+                    support: count as f64 / n,
+                });
+                next_level.push(cand);
+            }
+        }
+        next_level.sort();
+        level = next_level;
+        all_levels.push(freq);
+        k += 1;
+    }
+    all_levels
+}
+
+/// Mines association rules `antecedent ⇒ consequent` (single consequent,
+/// matching the paper's `⟨c1, …, cn ⇒ R⟩` form), then drops redundant rules
+/// — a rule is redundant when a strictly more general rule (subset
+/// antecedent, same consequent) reaches at least its confidence. This is the
+/// paper's "redundant (e.g., transitive) rules were subsequently merged".
+pub fn mine_rules(
+    transactions: &[Transaction],
+    space: &AtomSpace,
+    config: &AprioriConfig,
+) -> RuleSet {
+    let levels = mine_frequent_itemsets(transactions, config);
+    if levels.is_empty() {
+        return RuleSet::new(space.clone(), Vec::new());
+    }
+    // Support lookup across all levels.
+    let mut support: HashMap<Vec<ItemId>, f64> = HashMap::new();
+    for level in &levels {
+        for set in level {
+            support.insert(set.items.clone(), set.support);
+        }
+    }
+
+    let mut rules: Vec<Rule> = Vec::new();
+    for level in levels.iter().skip(1) {
+        for set in level {
+            for (pos, &consequent) in set.items.iter().enumerate() {
+                let antecedent: Vec<ItemId> = set
+                    .items
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, _)| i != pos)
+                    .map(|(_, &v)| v)
+                    .collect();
+                let Some(&ant_support) = support.get(&antecedent) else {
+                    continue;
+                };
+                let confidence = set.support / ant_support;
+                if confidence >= config.min_confidence {
+                    rules.push(Rule {
+                        antecedent,
+                        consequent,
+                        support: set.support,
+                        confidence: confidence.min(1.0),
+                    });
+                }
+            }
+        }
+    }
+
+    // Redundancy filter.
+    rules.sort_by(|a, b| a.antecedent.len().cmp(&b.antecedent.len()));
+    let mut kept: Vec<Rule> = Vec::new();
+    'outer: for rule in rules {
+        for general in &kept {
+            if general.consequent == rule.consequent
+                && general.confidence >= rule.confidence - 1e-12
+                && is_subset(&general.antecedent, &rule.antecedent)
+            {
+                continue 'outer;
+            }
+        }
+        kept.push(rule);
+    }
+    RuleSet::new(space.clone(), kept)
+}
+
+fn is_subset(small: &[ItemId], big: &[ItemId]) -> bool {
+    small.iter().all(|i| big.binary_search(i).is_ok())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::{Atom, Item};
+
+    fn space() -> AtomSpace {
+        AtomSpace::cace()
+    }
+
+    fn id(space: &AtomSpace, user: u8, atom: Atom) -> ItemId {
+        space.encode(Item { user, lag: 0, atom })
+    }
+
+    /// Corpus where cycling ∧ SR1 always implies exercising (macro 0), plus
+    /// background noise transactions.
+    fn exercise_corpus(space: &AtomSpace) -> Vec<Transaction> {
+        let cycling = id(space, 0, Atom::Postural(3));
+        let sr1 = id(space, 0, Atom::Location(0));
+        let exercising = id(space, 0, Atom::Macro(0));
+        let sitting = id(space, 0, Atom::Postural(2));
+        let couch = id(space, 0, Atom::Location(1));
+        let tv = id(space, 0, Atom::Macro(3));
+        let mut corpus = Vec::new();
+        for _ in 0..30 {
+            corpus.push(Transaction::new(vec![cycling, sr1, exercising]));
+        }
+        for _ in 0..70 {
+            corpus.push(Transaction::new(vec![sitting, couch, tv]));
+        }
+        corpus
+    }
+
+    #[test]
+    fn frequent_itemsets_respect_support() {
+        let s = space();
+        let corpus = exercise_corpus(&s);
+        let levels = mine_frequent_itemsets(&corpus, &AprioriConfig::paper_default());
+        // Singletons: all six items are ≥ 4 % frequent.
+        assert_eq!(levels[0].len(), 6);
+        // The 3-itemsets {cycling,SR1,exercising} and {sitting,couch,TV}.
+        assert_eq!(levels[2].len(), 2);
+        for set in &levels[2] {
+            assert!(set.support >= 0.04);
+        }
+    }
+
+    #[test]
+    fn support_is_antitone_in_itemset_size() {
+        let s = space();
+        let corpus = exercise_corpus(&s);
+        let levels = mine_frequent_itemsets(&corpus, &AprioriConfig::paper_default());
+        let max_by_level: Vec<f64> = levels
+            .iter()
+            .filter(|l| !l.is_empty())
+            .map(|l| l.iter().map(|f| f.support).fold(0.0, f64::max))
+            .collect();
+        for w in max_by_level.windows(2) {
+            assert!(w[1] <= w[0] + 1e-12, "support must not grow with size");
+        }
+    }
+
+    #[test]
+    fn rules_capture_the_correlation() {
+        let s = space();
+        let corpus = exercise_corpus(&s);
+        let rules = mine_rules(&corpus, &s, &AprioriConfig::paper_default());
+        let cycling = id(&s, 0, Atom::Postural(3));
+        let exercising = id(&s, 0, Atom::Macro(0));
+        // Some rule must conclude "exercising" from cycling (alone or with
+        // SR1).
+        let found = rules.rules().iter().any(|r| {
+            r.consequent == exercising && r.antecedent.contains(&cycling)
+        });
+        assert!(found, "missing cycling ⇒ exercising rule:\n{rules}");
+        for r in rules.rules() {
+            assert!(r.confidence >= 0.99);
+            assert!(r.support >= 0.04);
+        }
+    }
+
+    #[test]
+    fn redundant_rules_are_merged() {
+        let s = space();
+        let corpus = exercise_corpus(&s);
+        let rules = mine_rules(&corpus, &s, &AprioriConfig::paper_default());
+        let exercising = id(&s, 0, Atom::Macro(0));
+        let cycling = id(&s, 0, Atom::Postural(3));
+        // Since {cycling} ⇒ exercising already has confidence 1, the longer
+        // {cycling, SR1} ⇒ exercising must have been dropped.
+        let longer = rules.rules().iter().any(|r| {
+            r.consequent == exercising
+                && r.antecedent.len() == 2
+                && r.antecedent.contains(&cycling)
+        });
+        assert!(!longer, "redundant specialization survived:\n{rules}");
+    }
+
+    #[test]
+    fn low_confidence_rules_are_dropped() {
+        let s = space();
+        let a = id(&s, 0, Atom::Postural(2));
+        let b = id(&s, 0, Atom::Macro(3));
+        let c = id(&s, 0, Atom::Macro(5));
+        // a co-occurs with b 60 % and with c 40 % — below 99 % confidence.
+        let mut corpus = Vec::new();
+        for _ in 0..60 {
+            corpus.push(Transaction::new(vec![a, b]));
+        }
+        for _ in 0..40 {
+            corpus.push(Transaction::new(vec![a, c]));
+        }
+        let rules = mine_rules(&corpus, &s, &AprioriConfig::paper_default());
+        assert!(
+            rules.rules().iter().all(|r| !r.antecedent.contains(&a) || r.consequent != b),
+            "60 % confidence rule must not survive minConf 99 %"
+        );
+    }
+
+    #[test]
+    fn empty_corpus_yields_no_rules() {
+        let s = space();
+        assert!(mine_rules(&[], &s, &AprioriConfig::paper_default()).rules().is_empty());
+        assert!(mine_frequent_itemsets(&[], &AprioriConfig::paper_default()).is_empty());
+    }
+
+    #[test]
+    fn support_counts_match_manual_computation() {
+        let s = space();
+        let a = id(&s, 0, Atom::Postural(0));
+        let b = id(&s, 1, Atom::Postural(0));
+        let corpus = vec![
+            Transaction::new(vec![a, b]),
+            Transaction::new(vec![a]),
+            Transaction::new(vec![b]),
+            Transaction::new(vec![a, b]),
+        ];
+        let cfg = AprioriConfig { min_support: 0.5, min_confidence: 0.5, max_itemset: 2 };
+        let levels = mine_frequent_itemsets(&corpus, &cfg);
+        let pair = levels[1]
+            .iter()
+            .find(|f| f.items == {
+                let mut v = vec![a, b];
+                v.sort_unstable();
+                v
+            })
+            .expect("pair {a,b} is 50 % frequent");
+        assert!((pair.support - 0.5).abs() < 1e-12);
+    }
+}

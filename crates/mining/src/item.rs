@@ -1,0 +1,353 @@
+//! Context atoms, items, and transactions for association-rule mining.
+//!
+//! §V-A of the paper: "we consider each context tuple [to] consist of 94
+//! context elements (47 for current time t and 47 for the previous time
+//! instant t − 1)". An [`Item`] is one context element *of one user at one
+//! lag*; a [`Transaction`] is the set of items that held around one tick.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// One atomic context predicate over runtime-sized vocabularies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Atom {
+    /// Macro activity with the given id.
+    Macro(u16),
+    /// Postural micro state.
+    Postural(u16),
+    /// Oral-gestural micro state.
+    Gestural(u16),
+    /// Sub-location.
+    Location(u16),
+    /// Room (PIR-level location).
+    Room(u16),
+}
+
+/// Sizes of the atom vocabularies plus the location→room map.
+///
+/// The CACE instantiation has 11 + 6 + 5 + 14 + 6 = 42 atoms per
+/// user-instant; CASAS swaps in 15 macro activities.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AtomSpace {
+    /// Number of macro activities.
+    pub n_macro: usize,
+    /// Number of postural states.
+    pub n_postural: usize,
+    /// Number of gestural states.
+    pub n_gestural: usize,
+    /// Number of sub-locations.
+    pub n_location: usize,
+    /// Number of rooms.
+    pub n_room: usize,
+    /// Room index of each sub-location.
+    pub loc_to_room: Vec<usize>,
+}
+
+impl AtomSpace {
+    /// The CACE vocabulary (Table III).
+    pub fn cace() -> Self {
+        use cace_model::{Gestural, MacroActivity, Postural, Room, SubLocation};
+        Self {
+            n_macro: MacroActivity::COUNT,
+            n_postural: Postural::COUNT,
+            n_gestural: Gestural::COUNT,
+            n_location: SubLocation::COUNT,
+            n_room: Room::COUNT,
+            loc_to_room: SubLocation::ALL.iter().map(|l| l.room().index()).collect(),
+        }
+    }
+
+    /// The CASAS vocabulary: 15 activities, same floor plan, no gestural
+    /// stream (the gestural dimension collapses to the single "silent"
+    /// placeholder and is never emitted into transactions).
+    pub fn casas() -> Self {
+        Self { n_macro: cace_model::CasasActivity::COUNT, ..Self::cace() }
+    }
+
+    /// Atoms per user-instant.
+    pub fn n_atoms(&self) -> usize {
+        self.n_macro + self.n_postural + self.n_gestural + self.n_location + self.n_room
+    }
+
+    /// Total distinct items: 2 users × 2 lags × atoms.
+    pub fn n_items(&self) -> usize {
+        4 * self.n_atoms()
+    }
+
+    /// Dense atom index.
+    ///
+    /// # Panics
+    /// Panics if the atom's id exceeds its vocabulary.
+    pub fn atom_index(&self, atom: Atom) -> usize {
+        match atom {
+            Atom::Macro(i) => {
+                assert!((i as usize) < self.n_macro, "macro id out of range");
+                i as usize
+            }
+            Atom::Postural(i) => {
+                assert!((i as usize) < self.n_postural, "postural id out of range");
+                self.n_macro + i as usize
+            }
+            Atom::Gestural(i) => {
+                assert!((i as usize) < self.n_gestural, "gestural id out of range");
+                self.n_macro + self.n_postural + i as usize
+            }
+            Atom::Location(i) => {
+                assert!((i as usize) < self.n_location, "location id out of range");
+                self.n_macro + self.n_postural + self.n_gestural + i as usize
+            }
+            Atom::Room(i) => {
+                assert!((i as usize) < self.n_room, "room id out of range");
+                self.n_macro + self.n_postural + self.n_gestural + self.n_location + i as usize
+            }
+        }
+    }
+
+    /// Inverse of [`atom_index`](Self::atom_index).
+    pub fn atom_from_index(&self, mut index: usize) -> Option<Atom> {
+        if index < self.n_macro {
+            return Some(Atom::Macro(index as u16));
+        }
+        index -= self.n_macro;
+        if index < self.n_postural {
+            return Some(Atom::Postural(index as u16));
+        }
+        index -= self.n_postural;
+        if index < self.n_gestural {
+            return Some(Atom::Gestural(index as u16));
+        }
+        index -= self.n_gestural;
+        if index < self.n_location {
+            return Some(Atom::Location(index as u16));
+        }
+        index -= self.n_location;
+        if index < self.n_room {
+            return Some(Atom::Room(index as u16));
+        }
+        None
+    }
+
+    /// Encodes an item into its dense id.
+    ///
+    /// # Panics
+    /// Panics if `user > 1` or `lag > 1` or the atom id is out of range.
+    pub fn encode(&self, item: Item) -> ItemId {
+        assert!(item.user < 2, "two-resident instantiation");
+        assert!(item.lag < 2, "lags are t (0) and t-1 (1)");
+        let slot = (item.user as usize * 2 + item.lag as usize) * self.n_atoms();
+        ItemId((slot + self.atom_index(item.atom)) as u32)
+    }
+
+    /// Decodes a dense id back into an item.
+    pub fn decode(&self, id: ItemId) -> Option<Item> {
+        let raw = id.0 as usize;
+        if raw >= self.n_items() {
+            return None;
+        }
+        let slot = raw / self.n_atoms();
+        let atom = self.atom_from_index(raw % self.n_atoms())?;
+        Some(Item { user: (slot / 2) as u8, lag: (slot % 2) as u8, atom })
+    }
+
+    /// Human-readable rendering of an item (Table IV style).
+    pub fn render(&self, id: ItemId) -> String {
+        match self.decode(id) {
+            None => format!("item#{}", id.0),
+            Some(item) => item.to_string(),
+        }
+    }
+}
+
+/// One context element of one user at one lag.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Item {
+    /// User chain (0 or 1).
+    pub user: u8,
+    /// Temporal lag: 0 = `t`, 1 = `t − 1`.
+    pub lag: u8,
+    /// The predicate.
+    pub atom: Atom,
+}
+
+impl fmt::Display for Item {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let lag = if self.lag == 0 { "t" } else { "t-1" };
+        let atom = match self.atom {
+            Atom::Macro(i) => format!("macro#{i}"),
+            Atom::Postural(i) => format!("postural#{i}"),
+            Atom::Gestural(i) => format!("gestural#{i}"),
+            Atom::Location(i) => format!("SR{}", i + 1),
+            Atom::Room(i) => format!("room#{i}"),
+        };
+        write!(f, "U{}({lag}): {atom}", self.user + 1)
+    }
+}
+
+/// Dense item identifier.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct ItemId(pub u32);
+
+/// A sorted, deduplicated set of items that held around one tick.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transaction {
+    items: Vec<ItemId>,
+}
+
+impl Transaction {
+    /// Builds a transaction (sorts and deduplicates).
+    pub fn new(mut items: Vec<ItemId>) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        Self { items }
+    }
+
+    /// The sorted items.
+    pub fn items(&self) -> &[ItemId] {
+        &self.items
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, id: ItemId) -> bool {
+        self.items.binary_search(&id).is_ok()
+    }
+
+    /// Whether the transaction contains every item of `subset` (both must be
+    /// sorted; `subset` typically is a candidate itemset).
+    pub fn contains_all(&self, subset: &[ItemId]) -> bool {
+        let mut pos = 0usize;
+        for &needle in subset {
+            match self.items[pos..].binary_search(&needle) {
+                Ok(offset) => pos += offset + 1,
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the transaction is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+/// Builds the pair of per-user atom lists for one tick of labeled context.
+///
+/// `macro_id`, `postural`, `gestural`, `location` are per-user dense ids;
+/// gestural entries are omitted when `include_gestural` is false (CASAS).
+#[allow(clippy::too_many_arguments)]
+pub fn atoms_of_tick(
+    space: &AtomSpace,
+    user: u8,
+    lag: u8,
+    macro_id: usize,
+    postural: usize,
+    gestural: Option<usize>,
+    location: usize,
+) -> Vec<ItemId> {
+    let mut out = vec![
+        space.encode(Item { user, lag, atom: Atom::Macro(macro_id as u16) }),
+        space.encode(Item { user, lag, atom: Atom::Postural(postural as u16) }),
+        space.encode(Item { user, lag, atom: Atom::Location(location as u16) }),
+        space.encode(Item {
+            user,
+            lag,
+            atom: Atom::Room(space.loc_to_room[location] as u16),
+        }),
+    ];
+    if let Some(g) = gestural {
+        out.push(space.encode(Item { user, lag, atom: Atom::Gestural(g as u16) }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cace_space_counts() {
+        let s = AtomSpace::cace();
+        assert_eq!(s.n_atoms(), 42);
+        assert_eq!(s.n_items(), 168);
+        let c = AtomSpace::casas();
+        assert_eq!(c.n_macro, 15);
+        assert_eq!(c.n_atoms(), 46);
+    }
+
+    #[test]
+    fn atom_index_roundtrip() {
+        let s = AtomSpace::cace();
+        for i in 0..s.n_atoms() {
+            let atom = s.atom_from_index(i).expect("in range");
+            assert_eq!(s.atom_index(atom), i);
+        }
+        assert_eq!(s.atom_from_index(s.n_atoms()), None);
+    }
+
+    #[test]
+    fn item_encode_decode_roundtrip() {
+        let s = AtomSpace::cace();
+        for user in 0..2u8 {
+            for lag in 0..2u8 {
+                for i in 0..s.n_atoms() {
+                    let atom = s.atom_from_index(i).unwrap();
+                    let item = Item { user, lag, atom };
+                    let id = s.encode(item);
+                    assert_eq!(s.decode(id), Some(item));
+                }
+            }
+        }
+        assert_eq!(s.decode(ItemId(s.n_items() as u32)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn encode_rejects_oversized_atom() {
+        let s = AtomSpace::cace();
+        s.encode(Item { user: 0, lag: 0, atom: Atom::Macro(99) });
+    }
+
+    #[test]
+    fn transaction_sorted_dedup_contains() {
+        let t = Transaction::new(vec![ItemId(5), ItemId(1), ItemId(5), ItemId(3)]);
+        assert_eq!(t.items(), &[ItemId(1), ItemId(3), ItemId(5)]);
+        assert!(t.contains(ItemId(3)));
+        assert!(!t.contains(ItemId(2)));
+        assert!(t.contains_all(&[ItemId(1), ItemId(5)]));
+        assert!(!t.contains_all(&[ItemId(1), ItemId(2)]));
+        assert!(t.contains_all(&[]));
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn atoms_of_tick_builds_room_atom() {
+        let s = AtomSpace::cace();
+        // Location 9 = SR10 kitchen; its room index must appear.
+        let atoms = atoms_of_tick(&s, 0, 0, 8, 1, Some(0), 9);
+        assert_eq!(atoms.len(), 5);
+        let decoded: Vec<Item> = atoms.iter().map(|&a| s.decode(a).unwrap()).collect();
+        let kitchen_room = s.loc_to_room[9] as u16;
+        assert!(decoded
+            .iter()
+            .any(|i| matches!(i.atom, Atom::Room(r) if r == kitchen_room)));
+        // Without gestural, 4 atoms.
+        assert_eq!(atoms_of_tick(&s, 1, 1, 0, 0, None, 0).len(), 4);
+    }
+
+    #[test]
+    fn render_is_table_iv_style() {
+        let s = AtomSpace::cace();
+        let id = s.encode(Item { user: 0, lag: 0, atom: Atom::Location(8) });
+        assert_eq!(s.render(id), "U1(t): SR9");
+        let id2 = s.encode(Item { user: 1, lag: 1, atom: Atom::Macro(2) });
+        assert_eq!(s.render(id2), "U2(t-1): macro#2");
+    }
+}

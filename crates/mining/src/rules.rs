@@ -1,0 +1,367 @@
+//! The rule language: positive association rules and negative exclusivity
+//! rules, with Table IV-style rendering.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::item::{AtomSpace, ItemId};
+
+/// A positive association rule `⟨c1, …, cn ⇒ R⟩` with its mining statistics.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Rule {
+    /// Sorted antecedent items.
+    pub antecedent: Vec<ItemId>,
+    /// The single consequent item.
+    pub consequent: ItemId,
+    /// Fraction of transactions containing antecedent ∪ {consequent}.
+    pub support: f64,
+    /// `support(antecedent ∪ {consequent}) / support(antecedent)`.
+    pub confidence: f64,
+}
+
+impl Rule {
+    /// Whether every antecedent item is in the (sorted) evidence set.
+    pub fn fires_on(&self, evidence: &[ItemId]) -> bool {
+        self.antecedent.iter().all(|i| evidence.binary_search(i).is_ok())
+    }
+}
+
+/// A negative exclusivity rule: `a(t) ⇒ ¬b(t)` — the two items never
+/// co-occur although both are individually frequent. Captures the paper's
+/// Proposition 2 examples (`U1: SR9 ⇒ U2: ¬SR9`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NegativeRule {
+    /// The trigger item.
+    pub if_item: ItemId,
+    /// The item that must then be absent.
+    pub then_not: ItemId,
+    /// Support of the trigger.
+    pub support: f64,
+}
+
+/// A set of mined rules plus the atom space for rendering/decoding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuleSet {
+    space: AtomSpace,
+    rules: Vec<Rule>,
+    negatives: Vec<NegativeRule>,
+}
+
+impl RuleSet {
+    /// Wraps a list of rules.
+    pub fn new(space: AtomSpace, rules: Vec<Rule>) -> Self {
+        Self { space, rules, negatives: Vec::new() }
+    }
+
+    /// The positive rules.
+    pub fn rules(&self) -> &[Rule] {
+        &self.rules
+    }
+
+    /// The negative exclusivity rules.
+    pub fn negatives(&self) -> &[NegativeRule] {
+        &self.negatives
+    }
+
+    /// The atom space.
+    pub fn space(&self) -> &AtomSpace {
+        &self.space
+    }
+
+    /// Total rule count (positive + negative).
+    pub fn len(&self) -> usize {
+        self.rules.len() + self.negatives.len()
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rules.is_empty() && self.negatives.is_empty()
+    }
+
+    /// Adds positive rules (deduplicating exact matches).
+    pub fn extend_rules<I: IntoIterator<Item = Rule>>(&mut self, rules: I) {
+        for rule in rules {
+            if !self.rules.iter().any(|r| {
+                r.antecedent == rule.antecedent && r.consequent == rule.consequent
+            }) {
+                self.rules.push(rule);
+            }
+        }
+    }
+
+    /// Replaces the negative rules.
+    pub fn set_negatives(&mut self, negatives: Vec<NegativeRule>) {
+        self.negatives = negatives;
+    }
+
+    /// Keeps only the positive rules satisfying the predicate.
+    pub fn retain_rules<F: FnMut(&Rule) -> bool>(&mut self, keep: F) {
+        self.rules.retain(keep);
+    }
+
+    /// The strongest rules by (confidence, support), for Table IV printing.
+    pub fn top(&self, n: usize) -> Vec<&Rule> {
+        let mut sorted: Vec<&Rule> = self.rules.iter().collect();
+        sorted.sort_by(|a, b| {
+            b.confidence
+                .partial_cmp(&a.confidence)
+                .expect("finite confidences")
+                .then(b.support.partial_cmp(&a.support).expect("finite supports"))
+        });
+        sorted.truncate(n);
+        sorted
+    }
+
+    /// Renders one rule in Table IV style.
+    pub fn render_rule(&self, rule: &Rule) -> String {
+        let ants: Vec<String> =
+            rule.antecedent.iter().map(|&i| self.space.render(i)).collect();
+        format!(
+            "{} ⇒ {}; ({:.2})",
+            ants.join(" ∧ "),
+            self.space.render(rule.consequent),
+            rule.confidence
+        )
+    }
+
+    /// Renders one negative rule in Table IV style.
+    pub fn render_negative(&self, rule: &NegativeRule) -> String {
+        format!(
+            "{} ⇒ ¬{}; (1)",
+            self.space.render(rule.if_item),
+            self.space.render(rule.then_not)
+        )
+    }
+}
+
+impl fmt::Display for RuleSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for rule in &self.rules {
+            writeln!(f, "{}", self.render_rule(rule))?;
+        }
+        for neg in &self.negatives {
+            writeln!(f, "{}", self.render_negative(neg))?;
+        }
+        Ok(())
+    }
+}
+
+/// Mines negative exclusivity rules: same-lag item pairs that are each
+/// individually frequent (support ≥ `min_item_support`) yet never co-occur.
+///
+/// Two families are produced, both capturing the paper's Proposition 2
+/// semantics:
+///
+/// * **Inter-user spatial exclusivities** — the same location atom held by
+///   both users (`U1: SR9 ⇒ ¬U2: SR9`).
+/// * **Intra-user micro→macro exclusions** — an observed location, room, or
+///   postural state of a user that never coincides with one of that user's
+///   macro activities (`U1: bed ⇒ ¬U1: cooking`). These are what lets the
+///   correlation miner collapse the *hidden* macro dimension from observed
+///   evidence, the main source of the paper's state-space reduction.
+pub fn mine_negative_rules(
+    transactions: &[crate::item::Transaction],
+    space: &AtomSpace,
+    min_item_support: f64,
+) -> Vec<NegativeRule> {
+    use crate::item::Atom;
+    if transactions.is_empty() {
+        return Vec::new();
+    }
+    let n = transactions.len() as f64;
+
+    // Candidate items: current-time location/room/postural/macro atoms.
+    let mut candidates: Vec<(ItemId, usize)> = Vec::new();
+    for raw in 0..space.n_items() as u32 {
+        let id = ItemId(raw);
+        let Some(item) = space.decode(id) else { continue };
+        if item.lag != 0 {
+            continue;
+        }
+        if !matches!(
+            item.atom,
+            Atom::Location(_) | Atom::Room(_) | Atom::Postural(_) | Atom::Macro(_)
+        ) {
+            continue;
+        }
+        let count = transactions.iter().filter(|t| t.contains(id)).count();
+        if count as f64 / n >= min_item_support {
+            candidates.push((id, count));
+        }
+    }
+
+    let mut out = Vec::new();
+    for &(a, count_a) in candidates.iter() {
+        for &(b, count_b) in candidates.iter() {
+            if a == b {
+                continue;
+            }
+            let (ia, ib) = (
+                space.decode(a).expect("candidate decodes"),
+                space.decode(b).expect("candidate decodes"),
+            );
+            let eligible = if ia.user != ib.user {
+                // Inter-user: same location atom for both users, emitted
+                // once per ordered pair (a < b avoids duplicates; the
+                // pruning engine applies them symmetrically anyway).
+                a < b
+                    && ia.atom == ib.atom
+                    && matches!(ia.atom, Atom::Location(_) | Atom::Room(_))
+            } else {
+                // Intra-user: observed micro context excludes a hidden
+                // macro activity.
+                matches!(
+                    ia.atom,
+                    Atom::Location(_) | Atom::Room(_) | Atom::Postural(_)
+                ) && matches!(ib.atom, Atom::Macro(_))
+            };
+            if !eligible {
+                continue;
+            }
+            let joint =
+                transactions.iter().filter(|t| t.contains(a) && t.contains(b)).count();
+            if joint == 0 {
+                out.push(NegativeRule {
+                    if_item: a,
+                    then_not: b,
+                    support: count_a.min(count_b) as f64 / n,
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::{Atom, Item, Transaction};
+
+    fn space() -> AtomSpace {
+        AtomSpace::cace()
+    }
+
+    fn loc(space: &AtomSpace, user: u8, l: u16) -> ItemId {
+        space.encode(Item { user, lag: 0, atom: Atom::Location(l) })
+    }
+
+    #[test]
+    fn fires_on_sorted_evidence() {
+        let s = space();
+        let a = loc(&s, 0, 0);
+        let b = loc(&s, 0, 1);
+        let c = loc(&s, 1, 2);
+        let mut ants = vec![a, b];
+        ants.sort_unstable();
+        let rule = Rule { antecedent: ants, consequent: c, support: 0.1, confidence: 1.0 };
+        let mut evidence = vec![b, a, c];
+        evidence.sort_unstable();
+        assert!(rule.fires_on(&evidence));
+        let mut partial = vec![a];
+        partial.sort_unstable();
+        assert!(!rule.fires_on(&partial));
+    }
+
+    #[test]
+    fn negative_mining_finds_bathroom_exclusivity() {
+        let s = space();
+        let u1_bath = loc(&s, 0, 8); // SR9
+        let u2_bath = loc(&s, 1, 8);
+        let u1_kitchen = loc(&s, 0, 9);
+        let u2_kitchen = loc(&s, 1, 9);
+        let mut corpus = Vec::new();
+        // Bathroom is used often but never by both.
+        for i in 0..100 {
+            if i % 3 == 0 {
+                corpus.push(Transaction::new(vec![u1_bath, u2_kitchen]));
+            } else if i % 3 == 1 {
+                corpus.push(Transaction::new(vec![u2_bath, u1_kitchen]));
+            } else {
+                corpus.push(Transaction::new(vec![u1_kitchen, u2_kitchen]));
+            }
+        }
+        let negs = mine_negative_rules(&corpus, &s, 0.04);
+        let found = negs.iter().any(|r| {
+            (r.if_item == u1_bath && r.then_not == u2_bath)
+                || (r.if_item == u2_bath && r.then_not == u1_bath)
+        });
+        assert!(found, "bathroom exclusivity not mined: {negs:?}");
+        // The kitchen IS shared, so no kitchen exclusivity.
+        let kitchen_rule = negs
+            .iter()
+            .any(|r| r.if_item == u1_kitchen && r.then_not == u2_kitchen);
+        assert!(!kitchen_rule, "kitchen is shared; no exclusivity expected");
+    }
+
+    #[test]
+    fn negative_mining_requires_frequency() {
+        let s = space();
+        let u1_porch = loc(&s, 0, 10);
+        let u2_porch = loc(&s, 1, 10);
+        let u1_kitchen = loc(&s, 0, 9);
+        let u2_kitchen = loc(&s, 1, 9);
+        // Porch appears once each (1 % support): too rare to conclude.
+        let mut corpus = vec![
+            Transaction::new(vec![u1_porch, u2_kitchen]),
+            Transaction::new(vec![u2_porch, u1_kitchen]),
+        ];
+        for _ in 0..98 {
+            corpus.push(Transaction::new(vec![u1_kitchen, u2_kitchen]));
+        }
+        let negs = mine_negative_rules(&corpus, &s, 0.04);
+        assert!(
+            !negs.iter().any(|r| r.if_item == u1_porch || r.if_item == u2_porch),
+            "rare items must not generate exclusivities"
+        );
+    }
+
+    #[test]
+    fn rendering_matches_table_iv_style() {
+        let s = space();
+        let cycling = s.encode(Item { user: 0, lag: 0, atom: Atom::Postural(3) });
+        let sr1 = loc(&s, 0, 0);
+        let exercising = s.encode(Item { user: 0, lag: 0, atom: Atom::Macro(0) });
+        let mut ants = vec![cycling, sr1];
+        ants.sort_unstable();
+        let set = RuleSet::new(
+            s,
+            vec![Rule { antecedent: ants, consequent: exercising, support: 0.1, confidence: 1.0 }],
+        );
+        let rendered = set.to_string();
+        assert!(rendered.contains("SR1"), "{rendered}");
+        assert!(rendered.contains("⇒"), "{rendered}");
+        assert!(rendered.contains("(1.00)"), "{rendered}");
+    }
+
+    #[test]
+    fn top_orders_by_confidence_then_support() {
+        let s = space();
+        let a = loc(&s, 0, 0);
+        let b = loc(&s, 0, 1);
+        let c = loc(&s, 1, 2);
+        let mk = |sup: f64, conf: f64| Rule {
+            antecedent: vec![a],
+            consequent: if sup > 0.15 { b } else { c },
+            support: sup,
+            confidence: conf,
+        };
+        let set = RuleSet::new(s, vec![mk(0.1, 0.99), mk(0.2, 1.0), mk(0.1, 1.0)]);
+        let top = set.top(2);
+        assert_eq!(top.len(), 2);
+        assert!(top[0].support >= top[1].support || top[0].confidence > top[1].confidence);
+        assert!((top[0].confidence - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn extend_rules_deduplicates() {
+        let s = space();
+        let a = loc(&s, 0, 0);
+        let b = loc(&s, 0, 1);
+        let rule = Rule { antecedent: vec![a], consequent: b, support: 0.5, confidence: 1.0 };
+        let mut set = RuleSet::new(s, vec![rule.clone()]);
+        set.extend_rules(vec![rule.clone(), rule]);
+        assert_eq!(set.rules().len(), 1);
+        assert_eq!(set.len(), 1);
+    }
+}

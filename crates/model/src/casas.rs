@@ -1,0 +1,98 @@
+//! CASAS-style multi-resident activity vocabulary.
+//!
+//! The paper's second evaluation (Fig 9) uses the CASAS multi-resident ADL
+//! dataset of Singla et al. [9]: 26 resident pairs performing fifteen
+//! scripted activities, several of them *joint* (performed by both residents
+//! together, e.g. moving furniture or playing checkers). The dataset exposes
+//! only ambient motion sensors — no gestural modality.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::activity::vocabulary;
+
+vocabulary! {
+    /// The fifteen CASAS multi-resident activities (Fig 9 rows 1–15).
+    CasasActivity {
+        /// 1 — Fill medication dispenser (resident A).
+        FillMedicationDispenser => "Fill Medication Dispenser",
+        /// 2 — Hang up clothes (resident B).
+        HangUpClothes => "Hang Up Clothes",
+        /// 3 — Move furniture (joint).
+        MoveFurniture => "Move Furniture",
+        /// 4 — Read magazine (resident A).
+        ReadMagazine => "Read Magazine",
+        /// 5 — Water plants (resident B).
+        WaterPlants => "Water Plants",
+        /// 6 — Sweep floor (resident A).
+        SweepFloor => "Sweep Floor",
+        /// 7 — Play checkers (joint).
+        PlayCheckers => "Play Checkers",
+        /// 8 — Set out dinner ingredients (resident B).
+        SetOutIngredients => "Set Out Ingredients",
+        /// 9 — Set dinner table (resident A).
+        SetTable => "Set Table",
+        /// 10 — Pay bills (resident B).
+        PayBills => "Pay Bills",
+        /// 11 — Gather food for picnic (resident A).
+        GatherFood => "Gather Food",
+        /// 12 — Retrieve dishes from cabinet (resident B).
+        RetrieveDishes => "Retrieve Dishes",
+        /// 13 — Pack picnic supplies (resident A).
+        PackSupplies => "Pack Supplies",
+        /// 14 — Pack picnic basket (joint).
+        PackPicnicBasket => "Pack Picnic Basket",
+        /// 15 — Idle / other (transitions, unscripted behavior).
+        Other => "Other",
+    }
+}
+
+impl CasasActivity {
+    /// Whether both residents perform this activity together.
+    ///
+    /// The paper reports 99.3 % accuracy on shared CASAS activities such as
+    /// *Move Furniture* and *Play Checkers*.
+    pub const fn is_joint(self) -> bool {
+        matches!(self, Self::MoveFurniture | Self::PlayCheckers | Self::PackPicnicBasket)
+    }
+
+    /// One-based row number in Fig 9.
+    pub const fn paper_number(self) -> usize {
+        self.index() + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifteen_activities() {
+        assert_eq!(CasasActivity::COUNT, 15);
+    }
+
+    #[test]
+    fn joint_activities_match_paper() {
+        assert!(CasasActivity::MoveFurniture.is_joint());
+        assert!(CasasActivity::PlayCheckers.is_joint());
+        assert!(!CasasActivity::SweepFloor.is_joint());
+        assert_eq!(
+            CasasActivity::ALL.iter().filter(|a| a.is_joint()).count(),
+            3
+        );
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for a in CasasActivity::ALL {
+            assert_eq!(CasasActivity::from_index(a.index()), Some(a));
+        }
+    }
+
+    #[test]
+    fn paper_numbers() {
+        assert_eq!(CasasActivity::FillMedicationDispenser.paper_number(), 1);
+        assert_eq!(CasasActivity::Other.paper_number(), 15);
+    }
+}

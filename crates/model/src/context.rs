@@ -1,0 +1,437 @@
+//! Composite context tuples: micro states, macro states, and joint states.
+//!
+//! Following §III of the paper, a user's context at time `t` is an
+//! m-dimensional tuple `context_ij(t)` with `j = 1` (micro) holding the
+//! postural, gestural, and sub-location elements, and `j = 2` (macro) holding
+//! the complex-activity element. The coupled models reason over *joint*
+//! states across the two residents.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Gestural, MacroActivity, Postural, Room, SubLocation};
+
+/// A fully specified micro-level context tuple `(postural, gestural, sub-location)`.
+///
+/// There are `6 × 5 × 14 = 420` distinct micro states per user; they are
+/// densely indexable via [`MicroState::index`] for CPT storage.
+///
+/// # Examples
+/// ```
+/// use cace_model::{MicroState, Postural, Gestural, SubLocation};
+/// let m = MicroState::new(Postural::Walking, Gestural::Talking, SubLocation::Kitchen);
+/// assert!(m.index() < MicroState::COUNT);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MicroState {
+    /// Postural element (smartphone IMU).
+    pub postural: Postural,
+    /// Oral-gestural element (neck SensorTag IMU).
+    pub gestural: Gestural,
+    /// Sub-location element (ambient sensors + iBeacons).
+    pub location: SubLocation,
+}
+
+impl MicroState {
+    /// Number of distinct micro states.
+    pub const COUNT: usize = Postural::COUNT * Gestural::COUNT * SubLocation::COUNT;
+
+    /// Creates a micro state from its three elements.
+    pub const fn new(postural: Postural, gestural: Gestural, location: SubLocation) -> Self {
+        Self { postural, gestural, location }
+    }
+
+    /// Dense index in `0..Self::COUNT`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        (self.postural.index() * Gestural::COUNT + self.gestural.index()) * SubLocation::COUNT
+            + self.location.index()
+    }
+
+    /// Inverse of [`index`](Self::index).
+    pub fn from_index(index: usize) -> Option<Self> {
+        if index >= Self::COUNT {
+            return None;
+        }
+        let location = SubLocation::from_index(index % SubLocation::COUNT)?;
+        let rest = index / SubLocation::COUNT;
+        let gestural = Gestural::from_index(rest % Gestural::COUNT)?;
+        let postural = Postural::from_index(rest / Gestural::COUNT)?;
+        Some(Self { postural, gestural, location })
+    }
+
+    /// Iterates over all micro states in index order.
+    pub fn all() -> impl Iterator<Item = MicroState> {
+        (0..Self::COUNT).map(|i| Self::from_index(i).expect("index in range"))
+    }
+
+    /// The room implied by the location element.
+    pub const fn room(self) -> Room {
+        self.location.room()
+    }
+
+    /// Whether a direct temporal transition `self → next` is posturally
+    /// feasible (paper Proposition 1 / intra-user correlation).
+    pub fn can_transition_to(self, next: MicroState) -> bool {
+        self.postural.can_transition_to(next.postural)
+    }
+}
+
+impl fmt::Display for MicroState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {}, {})", self.postural, self.gestural, self.location)
+    }
+}
+
+/// A macro-level context tuple `(activity, sub-location)`.
+///
+/// The paper's macro tuple carries the complex activity and the location in
+/// which it is currently being performed (activities may straddle locations
+/// over their lifetime, e.g. cooking while intermittently watching TV).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MacroState {
+    /// The complex activity.
+    pub activity: MacroActivity,
+    /// Where it is currently being performed.
+    pub location: SubLocation,
+}
+
+impl MacroState {
+    /// Number of distinct macro states.
+    pub const COUNT: usize = MacroActivity::COUNT * SubLocation::COUNT;
+
+    /// Creates a macro state.
+    pub const fn new(activity: MacroActivity, location: SubLocation) -> Self {
+        Self { activity, location }
+    }
+
+    /// Dense index in `0..Self::COUNT`.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.activity.index() * SubLocation::COUNT + self.location.index()
+    }
+
+    /// Inverse of [`index`](Self::index).
+    pub fn from_index(index: usize) -> Option<Self> {
+        if index >= Self::COUNT {
+            return None;
+        }
+        Some(Self {
+            activity: MacroActivity::from_index(index / SubLocation::COUNT)?,
+            location: SubLocation::from_index(index % SubLocation::COUNT)?,
+        })
+    }
+
+    /// Iterates over all macro states in index order.
+    pub fn all() -> impl Iterator<Item = MacroState> {
+        (0..Self::COUNT).map(|i| Self::from_index(i).expect("index in range"))
+    }
+
+    /// Whether the activity is being performed at one of its canonical venues.
+    pub fn at_canonical_venue(self) -> bool {
+        SubLocation::venues_of(self.activity).contains(&self.location)
+    }
+}
+
+impl fmt::Display for MacroState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({}, {})", self.activity, self.location)
+    }
+}
+
+/// The hierarchical context of one user at one instant: macro over micro.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct UserContext {
+    /// Hidden macro-level state.
+    pub macro_state: MacroState,
+    /// Micro-level state (partially observable).
+    pub micro_state: MicroState,
+}
+
+impl UserContext {
+    /// Creates a user context from its two levels.
+    pub const fn new(macro_state: MacroState, micro_state: MicroState) -> Self {
+        Self { macro_state, micro_state }
+    }
+
+    /// Whether the two levels agree on location.
+    ///
+    /// The hierarchy requires the macro tuple's location to match the micro
+    /// tuple's location at every instant (the macro activity is *currently*
+    /// performed wherever the user currently is).
+    pub fn is_location_consistent(self) -> bool {
+        self.macro_state.location == self.micro_state.location
+    }
+}
+
+impl fmt::Display for UserContext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} / {}", self.macro_state, self.micro_state)
+    }
+}
+
+/// A joint hidden state across the two coupled residents.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct JointState {
+    /// Context of user 1 (chain `l = 1`).
+    pub user1: UserContext,
+    /// Context of user 2 (chain `l = 2`).
+    pub user2: UserContext,
+}
+
+impl JointState {
+    /// Creates a joint state.
+    pub const fn new(user1: UserContext, user2: UserContext) -> Self {
+        Self { user1, user2 }
+    }
+
+    /// The context of the user with the given chain index (0 or 1).
+    ///
+    /// # Panics
+    /// Panics if `chain > 1`; the coupled model in this reproduction follows
+    /// the paper's two-resident instantiation.
+    pub fn chain(&self, chain: usize) -> UserContext {
+        match chain {
+            0 => self.user1,
+            1 => self.user2,
+            _ => panic!("coupled model has exactly two chains, got index {chain}"),
+        }
+    }
+
+    /// Whether the joint state violates physical exclusivity (both users
+    /// simultaneously in an exclusive sub-region such as the bathroom).
+    pub fn violates_exclusivity(&self) -> bool {
+        let l1 = self.user1.micro_state.location;
+        let l2 = self.user2.micro_state.location;
+        l1 == l2 && l1.is_exclusive()
+    }
+}
+
+impl fmt::Display for JointState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[U1 {} | U2 {}]", self.user1, self.user2)
+    }
+}
+
+/// An atomic context predicate, the unit of the association-rule transactions
+/// (§V-A: each transaction tuple holds the context elements of both users at
+/// `t` and `t − 1`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum ContextAtom {
+    /// A macro activity is in progress.
+    Macro(MacroActivity),
+    /// A postural micro state holds.
+    Postural(Postural),
+    /// A gestural micro state holds.
+    Gestural(Gestural),
+    /// The user is in a sub-location.
+    SubLoc(SubLocation),
+    /// The user is in a room (PIR-level context).
+    Room(Room),
+}
+
+impl ContextAtom {
+    /// Total number of distinct atoms
+    /// (`11 + 6 + 5 + 14 + 6 = 42` context states per user-instant).
+    pub const COUNT: usize = MacroActivity::COUNT
+        + Postural::COUNT
+        + Gestural::COUNT
+        + SubLocation::COUNT
+        + Room::COUNT;
+
+    /// Dense index in `0..Self::COUNT`.
+    pub const fn index(self) -> usize {
+        match self {
+            Self::Macro(a) => a.index(),
+            Self::Postural(p) => MacroActivity::COUNT + p.index(),
+            Self::Gestural(g) => MacroActivity::COUNT + Postural::COUNT + g.index(),
+            Self::SubLoc(s) => {
+                MacroActivity::COUNT + Postural::COUNT + Gestural::COUNT + s.index()
+            }
+            Self::Room(r) => {
+                MacroActivity::COUNT
+                    + Postural::COUNT
+                    + Gestural::COUNT
+                    + SubLocation::COUNT
+                    + r.index()
+            }
+        }
+    }
+
+    /// Inverse of [`index`](Self::index).
+    pub fn from_index(mut index: usize) -> Option<Self> {
+        if index < MacroActivity::COUNT {
+            return MacroActivity::from_index(index).map(Self::Macro);
+        }
+        index -= MacroActivity::COUNT;
+        if index < Postural::COUNT {
+            return Postural::from_index(index).map(Self::Postural);
+        }
+        index -= Postural::COUNT;
+        if index < Gestural::COUNT {
+            return Gestural::from_index(index).map(Self::Gestural);
+        }
+        index -= Gestural::COUNT;
+        if index < SubLocation::COUNT {
+            return SubLocation::from_index(index).map(Self::SubLoc);
+        }
+        index -= SubLocation::COUNT;
+        Room::from_index(index).map(Self::Room)
+    }
+
+    /// The atoms entailed by a full user context (used to build transactions).
+    pub fn atoms_of(ctx: UserContext) -> [ContextAtom; 5] {
+        [
+            Self::Macro(ctx.macro_state.activity),
+            Self::Postural(ctx.micro_state.postural),
+            Self::Gestural(ctx.micro_state.gestural),
+            Self::SubLoc(ctx.micro_state.location),
+            Self::Room(ctx.micro_state.room()),
+        ]
+    }
+
+    /// Whether a user context satisfies this atomic predicate.
+    pub fn holds_for(self, ctx: UserContext) -> bool {
+        match self {
+            Self::Macro(a) => ctx.macro_state.activity == a,
+            Self::Postural(p) => ctx.micro_state.postural == p,
+            Self::Gestural(g) => ctx.micro_state.gestural == g,
+            Self::SubLoc(s) => ctx.micro_state.location == s,
+            Self::Room(r) => ctx.micro_state.room() == r,
+        }
+    }
+}
+
+impl fmt::Display for ContextAtom {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Macro(a) => write!(f, "macro={a}"),
+            Self::Postural(p) => write!(f, "postural={p}"),
+            Self::Gestural(g) => write!(f, "gestural={g}"),
+            Self::SubLoc(s) => write!(f, "subloc={s}"),
+            Self::Room(r) => write!(f, "room={r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_context() -> UserContext {
+        UserContext::new(
+            MacroState::new(MacroActivity::Cooking, SubLocation::Kitchen),
+            MicroState::new(Postural::Standing, Gestural::Silent, SubLocation::Kitchen),
+        )
+    }
+
+    #[test]
+    fn micro_state_count() {
+        assert_eq!(MicroState::COUNT, 420);
+        assert_eq!(MicroState::all().count(), 420);
+    }
+
+    #[test]
+    fn micro_index_roundtrip_exhaustive() {
+        for (i, m) in MicroState::all().enumerate() {
+            assert_eq!(m.index(), i);
+            assert_eq!(MicroState::from_index(i), Some(m));
+        }
+        assert_eq!(MicroState::from_index(MicroState::COUNT), None);
+    }
+
+    #[test]
+    fn macro_index_roundtrip_exhaustive() {
+        for (i, m) in MacroState::all().enumerate() {
+            assert_eq!(m.index(), i);
+            assert_eq!(MacroState::from_index(i), Some(m));
+        }
+        assert_eq!(MacroState::COUNT, 154);
+    }
+
+    #[test]
+    fn atom_index_roundtrip_exhaustive() {
+        assert_eq!(ContextAtom::COUNT, 42);
+        for i in 0..ContextAtom::COUNT {
+            let atom = ContextAtom::from_index(i).expect("valid index");
+            assert_eq!(atom.index(), i);
+        }
+        assert_eq!(ContextAtom::from_index(ContextAtom::COUNT), None);
+    }
+
+    #[test]
+    fn atoms_of_context_all_hold() {
+        let ctx = sample_context();
+        for atom in ContextAtom::atoms_of(ctx) {
+            assert!(atom.holds_for(ctx), "{atom} should hold");
+        }
+        assert!(!ContextAtom::Macro(MacroActivity::Sleeping).holds_for(ctx));
+    }
+
+    #[test]
+    fn location_consistency() {
+        let ctx = sample_context();
+        assert!(ctx.is_location_consistent());
+        let inconsistent = UserContext::new(
+            MacroState::new(MacroActivity::Cooking, SubLocation::Kitchen),
+            MicroState::new(Postural::Standing, Gestural::Silent, SubLocation::Porch),
+        );
+        assert!(!inconsistent.is_location_consistent());
+    }
+
+    #[test]
+    fn exclusivity_violation_detected() {
+        let bathroom = UserContext::new(
+            MacroState::new(MacroActivity::Bathrooming, SubLocation::Bathroom),
+            MicroState::new(Postural::Standing, Gestural::Silent, SubLocation::Bathroom),
+        );
+        let joint = JointState::new(bathroom, bathroom);
+        assert!(joint.violates_exclusivity());
+
+        let kitchen = sample_context();
+        assert!(!JointState::new(kitchen, kitchen).violates_exclusivity());
+    }
+
+    #[test]
+    fn canonical_venue_check() {
+        assert!(MacroState::new(MacroActivity::Cooking, SubLocation::Kitchen)
+            .at_canonical_venue());
+        assert!(!MacroState::new(MacroActivity::Cooking, SubLocation::Bed)
+            .at_canonical_venue());
+    }
+
+    #[test]
+    fn chain_accessor() {
+        let ctx = sample_context();
+        let joint = JointState::new(ctx, ctx);
+        assert_eq!(joint.chain(0), ctx);
+        assert_eq!(joint.chain(1), ctx);
+    }
+
+    #[test]
+    #[should_panic(expected = "two chains")]
+    fn chain_accessor_panics_out_of_range() {
+        let ctx = sample_context();
+        JointState::new(ctx, ctx).chain(2);
+    }
+
+    #[test]
+    fn micro_transition_follows_postural_rules() {
+        let sitting = MicroState::new(Postural::Sitting, Gestural::Silent, SubLocation::Couch1);
+        let walking = MicroState::new(Postural::Walking, Gestural::Silent, SubLocation::Couch1);
+        let standing =
+            MicroState::new(Postural::Standing, Gestural::Silent, SubLocation::Couch1);
+        assert!(!sitting.can_transition_to(walking));
+        assert!(sitting.can_transition_to(standing));
+        assert!(standing.can_transition_to(walking));
+    }
+
+    #[test]
+    fn display_formats() {
+        let ctx = sample_context();
+        let s = ctx.to_string();
+        assert!(s.contains("Cooking"));
+        assert!(s.contains("standing"));
+    }
+}

@@ -1,0 +1,102 @@
+//! Error type shared by the workspace crates.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors surfaced by CACE model construction and inference.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A dense index was outside its vocabulary range.
+    IndexOutOfRange {
+        /// What was being indexed.
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+        /// The vocabulary size.
+        count: usize,
+    },
+    /// A probability table failed validation (e.g. a row does not sum to 1).
+    InvalidDistribution {
+        /// Which table or row failed.
+        what: String,
+        /// The offending mass.
+        mass: f64,
+    },
+    /// An operation needed training data that was empty or too small.
+    InsufficientData {
+        /// What the data was needed for.
+        what: String,
+        /// How many items were available.
+        available: usize,
+        /// How many were required.
+        required: usize,
+    },
+    /// Observation/label sequences disagree in length.
+    LengthMismatch {
+        /// Description of the two sequences.
+        what: String,
+        /// Left length.
+        left: usize,
+        /// Right length.
+        right: usize,
+    },
+    /// The pruning engine removed every candidate state at some tick, so
+    /// inference cannot proceed without relaxation.
+    EmptyStateSpace {
+        /// The tick at which all candidates were pruned.
+        tick: usize,
+    },
+    /// A model was used before being trained.
+    NotTrained {
+        /// The model that was not trained.
+        what: &'static str,
+    },
+    /// Configuration is inconsistent (bad thresholds, zero sizes, …).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::IndexOutOfRange { what, index, count } => {
+                write!(f, "index {index} out of range for {what} (size {count})")
+            }
+            Self::InvalidDistribution { what, mass } => {
+                write!(f, "invalid probability distribution for {what}: mass {mass}")
+            }
+            Self::InsufficientData { what, available, required } => write!(
+                f,
+                "insufficient data for {what}: {available} available, {required} required"
+            ),
+            Self::LengthMismatch { what, left, right } => {
+                write!(f, "length mismatch for {what}: {left} vs {right}")
+            }
+            Self::EmptyStateSpace { tick } => {
+                write!(f, "state space empty at tick {tick} after pruning")
+            }
+            Self::NotTrained { what } => write!(f, "{what} used before training"),
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_display_lowercase_and_informative() {
+        let e = ModelError::IndexOutOfRange { what: "MacroActivity", index: 12, count: 11 };
+        assert_eq!(e.to_string(), "index 12 out of range for MacroActivity (size 11)");
+        let e = ModelError::EmptyStateSpace { tick: 7 };
+        assert!(e.to_string().contains("tick 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,45 @@
+//! # cace-model
+//!
+//! Domain vocabulary shared by every crate in the CACE workspace.
+//!
+//! CACE (Constraints And Correlations mining Engine) recognizes *macro*
+//! (complex) activities of multiple inhabitants in a smart home from three
+//! micro-context modalities: postural activity, oral-gestural activity, and
+//! sub-location. This crate defines the closed vocabularies used throughout
+//! the system — the eleven macro activities of Table III in the paper, the
+//! postural and gestural micro states, the fourteen sub-locations SR1–SR14 of
+//! the PogoPlug testbed, the rooms they belong to, and the composite context
+//! tuples that the hierarchical models reason over.
+//!
+//! All vocabulary enums follow the same pattern: a `COUNT` constant, an `ALL`
+//! array for iteration, an `index`/`from_index` pair for dense table lookups,
+//! and `Display` labels matching the paper.
+//!
+//! ```
+//! use cace_model::{MacroActivity, MicroState, Postural, Gestural, SubLocation};
+//!
+//! let micro = MicroState::new(Postural::Sitting, Gestural::Silent, SubLocation::Couch1);
+//! assert_eq!(MicroState::from_index(micro.index()), Some(micro));
+//! assert_eq!(MacroActivity::ALL.len(), MacroActivity::COUNT);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod activity;
+pub mod casas;
+pub mod context;
+pub mod error;
+pub mod location;
+pub mod state_space;
+pub mod time;
+pub mod user;
+
+pub use activity::{Gestural, MacroActivity, Postural};
+pub use casas::CasasActivity;
+pub use context::{ContextAtom, JointState, MacroState, MicroState, UserContext};
+pub use error::ModelError;
+pub use location::{Room, SubLocation};
+pub use state_space::{JointStateSpace, MicroStateSpace, StateMask};
+pub use time::{Duration, SampleRate, TickIndex, TimeSpan};
+pub use user::{Household, UserId};

@@ -1,0 +1,243 @@
+//! Sub-locations SR1–SR14 and the rooms of the PogoPlug testbed.
+//!
+//! The paper divides a one-bedroom apartment into fourteen sub-regions
+//! (Fig 7, Table III) using five/six PIR sensors and nine iBeacons. Ambient
+//! PIR sensors report *room*-level occupancy; iBeacon trilateration refines
+//! this to the sub-region level.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::activity::vocabulary;
+use crate::MacroActivity;
+
+vocabulary! {
+    /// Rooms covered by the PIR sensors.
+    Room {
+        /// Living room (couches, dining table, exercise bike, reading table).
+        LivingRoom => "livingroom",
+        /// Bedroom (bed and closets).
+        Bedroom => "bedroom",
+        /// Bathroom — single occupancy.
+        Bathroom => "bathroom",
+        /// Kitchen.
+        Kitchen => "kitchen",
+        /// Porch.
+        Porch => "porch",
+        /// Corridor connecting the rooms.
+        Corridor => "corridor",
+    }
+}
+
+vocabulary! {
+    /// The fourteen sub-locations SR1–SR14 of Table III.
+    SubLocation {
+        /// SR1 — area of the exercise bike.
+        ExerciseBike => "SR1:exercise-bike",
+        /// SR2 — couch 1.
+        Couch1 => "SR2:couch-1",
+        /// SR3 — couch 2.
+        Couch2 => "SR3:couch-2",
+        /// SR4 — dining table.
+        DiningTable => "SR4:dining-table",
+        /// SR5 — bed.
+        Bed => "SR5:bed",
+        /// SR6 — closet 1.
+        Closet1 => "SR6:closet-1",
+        /// SR7 — reading table.
+        ReadingTable => "SR7:reading-table",
+        /// SR8 — closet 2.
+        Closet2 => "SR8:closet-2",
+        /// SR9 — bathroom.
+        Bathroom => "SR9:bathroom",
+        /// SR10 — kitchen.
+        Kitchen => "SR10:kitchen",
+        /// SR11 — porch.
+        Porch => "SR11:porch",
+        /// SR12 — rest of living room.
+        RestOfLivingRoom => "SR12:rest-of-livingroom",
+        /// SR13 — corridor.
+        Corridor => "SR13:corridor",
+        /// SR14 — rest of bedroom.
+        RestOfBedroom => "SR14:rest-of-bedroom",
+    }
+}
+
+impl SubLocation {
+    /// The room containing this sub-region (i.e. which PIR covers it).
+    pub const fn room(self) -> Room {
+        use SubLocation::*;
+        match self {
+            ExerciseBike | Couch1 | Couch2 | DiningTable | ReadingTable
+            | RestOfLivingRoom => Room::LivingRoom,
+            Bed | Closet1 | Closet2 | RestOfBedroom => Room::Bedroom,
+            Bathroom => Room::Bathroom,
+            Kitchen => Room::Kitchen,
+            Porch => Room::Porch,
+            Corridor => Room::Corridor,
+        }
+    }
+
+    /// Paper identifier `SR1`…`SR14`.
+    pub fn sr_name(self) -> String {
+        format!("SR{}", self.index() + 1)
+    }
+
+    /// Whether two residents can plausibly occupy this sub-region at once.
+    ///
+    /// The bathroom (and, for *sitting*, single-seat furniture) is exclusive;
+    /// this backs the paper's inter-user correlation
+    /// `U1(t): SR9 ⇒ U2(t): ¬SR9`.
+    pub const fn is_exclusive(self) -> bool {
+        matches!(self, SubLocation::Bathroom)
+    }
+
+    /// Nominal 2-D coordinates (meters) of the sub-region centroid in the
+    /// one-bedroom floor plan; used by the iBeacon trilateration substrate.
+    pub const fn centroid(self) -> (f64, f64) {
+        use SubLocation::*;
+        match self {
+            ExerciseBike => (1.0, 1.0),
+            Couch1 => (3.0, 1.0),
+            Couch2 => (4.5, 1.0),
+            DiningTable => (6.0, 1.5),
+            Bed => (1.5, 6.5),
+            Closet1 => (0.5, 5.0),
+            ReadingTable => (4.0, 2.8),
+            Closet2 => (3.0, 6.5),
+            Bathroom => (5.5, 6.0),
+            Kitchen => (7.0, 3.5),
+            Porch => (8.5, 1.0),
+            RestOfLivingRoom => (2.5, 2.2),
+            Corridor => (4.5, 4.5),
+            RestOfBedroom => (2.0, 5.3),
+        }
+    }
+
+    /// Sub-regions whose centroid lies in the given room.
+    pub fn in_room(room: Room) -> impl Iterator<Item = SubLocation> {
+        SubLocation::ALL.into_iter().filter(move |s| s.room() == room)
+    }
+
+    /// The canonical sub-location(s) where each macro activity is performed.
+    ///
+    /// These correspond to the "activity straddles locations" discussion in
+    /// the paper: the *primary* venue is listed first; secondary venues model
+    /// straddling (e.g. cooking spills into the dining table for plating).
+    pub fn venues_of(activity: MacroActivity) -> &'static [SubLocation] {
+        use MacroActivity as A;
+        use SubLocation::*;
+        match activity {
+            A::Exercising => &[ExerciseBike, RestOfLivingRoom],
+            A::PrepareClothes => &[Closet1, Closet2, RestOfBedroom],
+            A::Dining => &[DiningTable],
+            A::WatchingTv => &[Couch1, Couch2, RestOfLivingRoom],
+            A::PrepareFood => &[Kitchen, DiningTable],
+            A::Studying => &[ReadingTable],
+            A::Sleeping => &[Bed],
+            A::Bathrooming => &[Bathroom],
+            A::Cooking => &[Kitchen],
+            A::PastTimes => &[Porch, Couch1, Couch2],
+            A::Random => &[
+                Corridor,
+                RestOfLivingRoom,
+                RestOfBedroom,
+                Kitchen,
+                Porch,
+            ],
+        }
+    }
+}
+
+/// A straight-line distance helper on the floor plan.
+///
+/// # Examples
+/// ```
+/// use cace_model::location::{distance, SubLocation};
+/// let d = distance(SubLocation::Kitchen, SubLocation::Kitchen);
+/// assert_eq!(d, 0.0);
+/// ```
+pub fn distance(a: SubLocation, b: SubLocation) -> f64 {
+    let (ax, ay) = a.centroid();
+    let (bx, by) = b.centroid();
+    ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fourteen_subregions_six_rooms() {
+        assert_eq!(SubLocation::COUNT, 14);
+        assert_eq!(Room::COUNT, 6);
+    }
+
+    #[test]
+    fn sr_names_follow_paper_order() {
+        assert_eq!(SubLocation::ExerciseBike.sr_name(), "SR1");
+        assert_eq!(SubLocation::Bathroom.sr_name(), "SR9");
+        assert_eq!(SubLocation::RestOfBedroom.sr_name(), "SR14");
+    }
+
+    #[test]
+    fn every_room_has_a_subregion() {
+        for room in Room::ALL {
+            assert!(
+                SubLocation::in_room(room).count() >= 1,
+                "room {room} has no sub-region"
+            );
+        }
+    }
+
+    #[test]
+    fn living_room_has_six_subregions() {
+        assert_eq!(SubLocation::in_room(Room::LivingRoom).count(), 6);
+        assert_eq!(SubLocation::in_room(Room::Bedroom).count(), 4);
+    }
+
+    #[test]
+    fn bathroom_is_exclusive() {
+        assert!(SubLocation::Bathroom.is_exclusive());
+        assert!(!SubLocation::Kitchen.is_exclusive());
+    }
+
+    #[test]
+    fn venues_are_consistent_with_rooms() {
+        // Cooking happens in the kitchen room.
+        for v in SubLocation::venues_of(MacroActivity::Cooking) {
+            assert_eq!(v.room(), Room::Kitchen);
+        }
+        // Sleeping happens in the bedroom.
+        for v in SubLocation::venues_of(MacroActivity::Sleeping) {
+            assert_eq!(v.room(), Room::Bedroom);
+        }
+    }
+
+    #[test]
+    fn every_activity_has_a_venue() {
+        for a in MacroActivity::ALL {
+            assert!(!SubLocation::venues_of(a).is_empty());
+        }
+    }
+
+    #[test]
+    fn centroids_are_distinct() {
+        for a in SubLocation::ALL {
+            for b in SubLocation::ALL {
+                if a != b {
+                    assert!(distance(a, b) > 0.0, "{a} and {b} share a centroid");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_triangle() {
+        use SubLocation::*;
+        let (a, b, c) = (Kitchen, Bed, Porch);
+        assert!((distance(a, b) - distance(b, a)).abs() < 1e-12);
+        assert!(distance(a, c) <= distance(a, b) + distance(b, c) + 1e-12);
+    }
+}

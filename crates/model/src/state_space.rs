@@ -1,0 +1,407 @@
+//! State-space containers: per-user candidate sets and joint-space sizing.
+//!
+//! "State space explosion" is the paper's central computational challenge:
+//! with two users the coupled model's joint space at each tick is the product
+//! of both users' macro and micro candidate sets. The correlation miner
+//! shrinks the per-user candidate sets; this module provides the containers
+//! those prunes operate on, implemented as fixed-size bitsets for cheap
+//! intersection and counting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{MacroActivity, MicroState, SubLocation};
+
+/// Which micro-context modalities are available to the recognizer.
+///
+/// Fig 8(a) of the paper ablates the gestural and sub-location modalities;
+/// the CASAS dataset lacks the gestural modality entirely.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct StateMask {
+    /// Oral-gestural stream (neck SensorTag) available.
+    pub gestural: bool,
+    /// Sub-location stream (ambient PIR + iBeacons) available.
+    pub location: bool,
+}
+
+impl StateMask {
+    /// All modalities present (the full CACE configuration).
+    pub const FULL: StateMask = StateMask { gestural: true, location: true };
+    /// Gestural stream removed (Fig 8(a) "Without Gestural"; also CASAS).
+    pub const NO_GESTURAL: StateMask = StateMask { gestural: false, location: true };
+    /// Sub-location stream removed (Fig 8(a) "Without SubLocation").
+    pub const NO_LOCATION: StateMask = StateMask { gestural: true, location: false };
+}
+
+impl Default for StateMask {
+    fn default() -> Self {
+        Self::FULL
+    }
+}
+
+impl fmt::Display for StateMask {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.gestural, self.location) {
+            (true, true) => f.write_str("full"),
+            (false, true) => f.write_str("without-gestural"),
+            (true, false) => f.write_str("without-sublocation"),
+            (false, false) => f.write_str("postural-only"),
+        }
+    }
+}
+
+const MICRO_WORDS: usize = MicroState::COUNT.div_ceil(64);
+
+/// A set of candidate [`MicroState`]s for one user at one tick, stored as a
+/// 420-bit set.
+///
+/// # Examples
+/// ```
+/// use cace_model::{MicroStateSpace, MicroState};
+/// let mut space = MicroStateSpace::full();
+/// assert_eq!(space.len(), MicroState::COUNT);
+/// space.retain(|m| m.location == cace_model::SubLocation::Kitchen);
+/// assert_eq!(space.len(), 30); // 6 postures × 5 gestures
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MicroStateSpace {
+    words: [u64; MICRO_WORDS],
+}
+
+impl MicroStateSpace {
+    /// The empty candidate set.
+    pub const fn empty() -> Self {
+        Self { words: [0; MICRO_WORDS] }
+    }
+
+    /// Every micro state is a candidate.
+    pub fn full() -> Self {
+        let mut s = Self::empty();
+        for i in 0..MicroState::COUNT {
+            s.insert_index(i);
+        }
+        s
+    }
+
+    /// Builds a space from an iterator of candidates.
+    pub fn from_states<I: IntoIterator<Item = MicroState>>(states: I) -> Self {
+        let mut s = Self::empty();
+        for m in states {
+            s.insert(m);
+        }
+        s
+    }
+
+    #[inline]
+    fn insert_index(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    /// Adds a candidate.
+    #[inline]
+    pub fn insert(&mut self, m: MicroState) {
+        self.insert_index(m.index());
+    }
+
+    /// Removes a candidate; returns whether it was present.
+    pub fn remove(&mut self, m: MicroState) -> bool {
+        let i = m.index();
+        let was = self.contains(m);
+        self.words[i / 64] &= !(1 << (i % 64));
+        was
+    }
+
+    /// Whether the state is a candidate.
+    #[inline]
+    pub fn contains(&self, m: MicroState) -> bool {
+        let i = m.index();
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Whether the set is empty (pruning removed everything — an error
+    /// condition the engine must relax).
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|&w| w == 0)
+    }
+
+    /// Keeps only candidates satisfying the predicate.
+    pub fn retain<F: FnMut(MicroState) -> bool>(&mut self, mut keep: F) {
+        for m in Self::full().iter() {
+            if self.contains(m) && !keep(m) {
+                self.remove(m);
+            }
+        }
+    }
+
+    /// In-place intersection with another candidate set.
+    pub fn intersect(&mut self, other: &MicroStateSpace) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a &= *b;
+        }
+    }
+
+    /// In-place union with another candidate set.
+    pub fn union(&mut self, other: &MicroStateSpace) {
+        for (a, b) in self.words.iter_mut().zip(other.words.iter()) {
+            *a |= *b;
+        }
+    }
+
+    /// Iterates over the candidates in index order.
+    pub fn iter(&self) -> impl Iterator<Item = MicroState> + '_ {
+        (0..MicroState::COUNT)
+            .filter(move |&i| self.words[i / 64] & (1 << (i % 64)) != 0)
+            .map(|i| MicroState::from_index(i).expect("index in range"))
+    }
+
+    /// Candidates restricted to one sub-location.
+    pub fn at_location(location: SubLocation) -> Self {
+        Self::from_states(MicroState::all().filter(|m| m.location == location))
+    }
+}
+
+impl fmt::Debug for MicroStateSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MicroStateSpace({} states)", self.len())
+    }
+}
+
+impl Default for MicroStateSpace {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+impl FromIterator<MicroState> for MicroStateSpace {
+    fn from_iter<I: IntoIterator<Item = MicroState>>(iter: I) -> Self {
+        Self::from_states(iter)
+    }
+}
+
+impl Extend<MicroState> for MicroStateSpace {
+    fn extend<I: IntoIterator<Item = MicroState>>(&mut self, iter: I) {
+        for m in iter {
+            self.insert(m);
+        }
+    }
+}
+
+/// Macro-activity candidate set, an 11-bit mask.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct MacroSet(u16);
+
+impl MacroSet {
+    /// The empty set.
+    pub const EMPTY: MacroSet = MacroSet(0);
+
+    /// Every macro activity.
+    pub fn full() -> Self {
+        MacroSet((1 << MacroActivity::COUNT) - 1)
+    }
+
+    /// Adds an activity.
+    pub fn insert(&mut self, a: MacroActivity) {
+        self.0 |= 1 << a.index();
+    }
+
+    /// Removes an activity; returns whether it was present.
+    pub fn remove(&mut self, a: MacroActivity) -> bool {
+        let was = self.contains(a);
+        self.0 &= !(1 << a.index());
+        was
+    }
+
+    /// Membership test.
+    pub fn contains(&self, a: MacroActivity) -> bool {
+        self.0 & (1 << a.index()) != 0
+    }
+
+    /// Number of candidate activities.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether no activity remains.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// In-place intersection.
+    pub fn intersect(&mut self, other: MacroSet) {
+        self.0 &= other.0;
+    }
+
+    /// Iterates over candidates in index order.
+    pub fn iter(&self) -> impl Iterator<Item = MacroActivity> + '_ {
+        let bits = self.0;
+        MacroActivity::ALL
+            .into_iter()
+            .filter(move |a| bits & (1 << a.index()) != 0)
+    }
+}
+
+impl fmt::Debug for MacroSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl Default for MacroSet {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+impl FromIterator<MacroActivity> for MacroSet {
+    fn from_iter<I: IntoIterator<Item = MacroActivity>>(iter: I) -> Self {
+        let mut s = Self::EMPTY;
+        for a in iter {
+            s.insert(a);
+        }
+        s
+    }
+}
+
+/// The joint candidate space for both users at one tick: the Cartesian
+/// product of per-user macro and micro candidate sets.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JointStateSpace {
+    /// Micro candidates per user.
+    pub micro: [MicroStateSpace; 2],
+    /// Macro candidates per user.
+    pub macros: [MacroSet; 2],
+}
+
+impl JointStateSpace {
+    /// The completely unpruned joint space.
+    pub fn full() -> Self {
+        Self {
+            micro: [MicroStateSpace::full(), MicroStateSpace::full()],
+            macros: [MacroSet::full(), MacroSet::full()],
+        }
+    }
+
+    /// Size of the joint space: `∏_user |macro| · |micro|`.
+    ///
+    /// This is the quantity the correlation miner reduces by more than an
+    /// order of magnitude (the paper's 16-fold overhead claim scales with
+    /// this product).
+    pub fn joint_size(&self) -> u128 {
+        self.micro
+            .iter()
+            .zip(self.macros.iter())
+            .map(|(mi, ma)| mi.len() as u128 * ma.len() as u128)
+            .product()
+    }
+
+    /// Whether any user's candidate set became empty.
+    pub fn any_empty(&self) -> bool {
+        self.micro.iter().any(MicroStateSpace::is_empty)
+            || self.macros.iter().any(MacroSet::is_empty)
+    }
+}
+
+impl Default for JointStateSpace {
+    fn default() -> Self {
+        Self::full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gestural, Postural};
+
+    #[test]
+    fn full_micro_space_has_all_states() {
+        let s = MicroStateSpace::full();
+        assert_eq!(s.len(), 420);
+        assert!(!s.is_empty());
+        assert_eq!(s.iter().count(), 420);
+    }
+
+    #[test]
+    fn insert_remove_contains() {
+        let m = MicroState::new(Postural::Sitting, Gestural::Silent, SubLocation::Couch1);
+        let mut s = MicroStateSpace::empty();
+        assert!(!s.contains(m));
+        s.insert(m);
+        assert!(s.contains(m));
+        assert_eq!(s.len(), 1);
+        assert!(s.remove(m));
+        assert!(!s.remove(m));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn retain_by_location() {
+        let mut s = MicroStateSpace::full();
+        s.retain(|m| m.location == SubLocation::Kitchen);
+        assert_eq!(s.len(), Postural::COUNT * Gestural::COUNT);
+        assert!(s.iter().all(|m| m.location == SubLocation::Kitchen));
+    }
+
+    #[test]
+    fn intersection_and_union() {
+        let kitchen = MicroStateSpace::at_location(SubLocation::Kitchen);
+        let porch = MicroStateSpace::at_location(SubLocation::Porch);
+        let mut both = kitchen.clone();
+        both.union(&porch);
+        assert_eq!(both.len(), 60);
+        let mut none = kitchen.clone();
+        none.intersect(&porch);
+        assert!(none.is_empty());
+        let mut same = kitchen.clone();
+        same.intersect(&kitchen);
+        assert_eq!(same, kitchen);
+    }
+
+    #[test]
+    fn macro_set_operations() {
+        let mut s = MacroSet::full();
+        assert_eq!(s.len(), 11);
+        assert!(s.remove(MacroActivity::Cooking));
+        assert!(!s.contains(MacroActivity::Cooking));
+        assert_eq!(s.len(), 10);
+        s.insert(MacroActivity::Cooking);
+        assert_eq!(s.len(), 11);
+        let dining_only: MacroSet = [MacroActivity::Dining].into_iter().collect();
+        s.intersect(dining_only);
+        assert_eq!(s.iter().collect::<Vec<_>>(), vec![MacroActivity::Dining]);
+    }
+
+    #[test]
+    fn joint_size_is_product() {
+        let full = JointStateSpace::full();
+        let per_user = 420u128 * 11;
+        assert_eq!(full.joint_size(), per_user * per_user);
+
+        let mut pruned = full.clone();
+        pruned.micro[0] = MicroStateSpace::at_location(SubLocation::Kitchen);
+        pruned.macros[0] = [MacroActivity::Cooking].into_iter().collect();
+        assert_eq!(pruned.joint_size(), 30 * per_user);
+        assert!(!pruned.any_empty());
+    }
+
+    #[test]
+    fn empty_detection() {
+        let mut s = JointStateSpace::full();
+        s.macros[1] = MacroSet::EMPTY;
+        assert!(s.any_empty());
+        assert_eq!(s.joint_size(), 0);
+    }
+
+    #[test]
+    fn state_mask_labels() {
+        assert_eq!(StateMask::FULL.to_string(), "full");
+        assert_eq!(StateMask::NO_GESTURAL.to_string(), "without-gestural");
+        assert_eq!(StateMask::NO_LOCATION.to_string(), "without-sublocation");
+        assert_eq!(StateMask::default(), StateMask::FULL);
+    }
+}

@@ -1,0 +1,259 @@
+//! Discrete time: sample rates, tick indices, spans, and durations.
+//!
+//! The sensing substrate samples IMUs at 50 Hz (the paper's rate); the
+//! context planar aggregates samples into 1.5 s frames with 50 % overlap; the
+//! hierarchical models operate on the resulting frame-level tick sequence.
+
+use std::fmt;
+use std::ops::{Add, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// Sampling rate in Hertz.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SampleRate(pub u32);
+
+impl SampleRate {
+    /// The paper's IMU sampling rate (smartphone and SensorTag).
+    pub const IMU: SampleRate = SampleRate(50);
+
+    /// Seconds between consecutive samples.
+    pub fn period_secs(self) -> f64 {
+        1.0 / f64::from(self.0)
+    }
+
+    /// Number of samples spanning `secs` seconds (rounded down).
+    pub fn samples_in(self, secs: f64) -> usize {
+        (secs * f64::from(self.0)).floor() as usize
+    }
+}
+
+impl fmt::Display for SampleRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} Hz", self.0)
+    }
+}
+
+/// Index of a model-level time step (one 0.75 s frame hop in the default
+/// configuration).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TickIndex(pub usize);
+
+impl TickIndex {
+    /// The first tick of a trace.
+    pub const ZERO: TickIndex = TickIndex(0);
+
+    /// The next tick.
+    pub const fn next(self) -> TickIndex {
+        TickIndex(self.0 + 1)
+    }
+
+    /// The previous tick, or `None` at the start of the trace.
+    pub const fn prev(self) -> Option<TickIndex> {
+        match self.0 {
+            0 => None,
+            n => Some(TickIndex(n - 1)),
+        }
+    }
+}
+
+impl fmt::Display for TickIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+impl Add<usize> for TickIndex {
+    type Output = TickIndex;
+    fn add(self, rhs: usize) -> TickIndex {
+        TickIndex(self.0 + rhs)
+    }
+}
+
+impl Sub for TickIndex {
+    type Output = usize;
+    fn sub(self, rhs: TickIndex) -> usize {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+/// A half-open span of ticks `[start, end)`, e.g. the extent of one macro
+/// activity episode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct TimeSpan {
+    /// First tick of the span (inclusive).
+    pub start: TickIndex,
+    /// One past the last tick of the span (exclusive).
+    pub end: TickIndex,
+}
+
+impl TimeSpan {
+    /// Creates a span; `start` and `end` may be equal (empty span).
+    ///
+    /// # Panics
+    /// Panics if `end < start`.
+    pub fn new(start: TickIndex, end: TickIndex) -> Self {
+        assert!(end >= start, "span end {end} precedes start {start}");
+        Self { start, end }
+    }
+
+    /// Number of ticks covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the span covers no ticks.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the tick lies inside the span.
+    pub fn contains(&self, t: TickIndex) -> bool {
+        t >= self.start && t < self.end
+    }
+
+    /// Number of ticks shared with another span.
+    pub fn overlap(&self, other: &TimeSpan) -> usize {
+        let start = self.start.0.max(other.start.0);
+        let end = self.end.0.min(other.end.0);
+        end.saturating_sub(start)
+    }
+
+    /// The paper's start/end *duration error* between a true span and a
+    /// predicted span: `(|start delay| + |end shift|) / true length`
+    /// (§VII-G's cooking example: 5 min late start + 4 min early end over a
+    /// 30 min activity = 30 %).
+    pub fn duration_error(&self, predicted: &TimeSpan) -> f64 {
+        if self.is_empty() {
+            return if predicted.is_empty() { 0.0 } else { 1.0 };
+        }
+        let start_err = self.start.0.abs_diff(predicted.start.0);
+        let end_err = self.end.0.abs_diff(predicted.end.0);
+        (start_err + end_err) as f64 / self.len() as f64
+    }
+
+    /// Iterates over the ticks in the span.
+    pub fn iter(&self) -> impl Iterator<Item = TickIndex> {
+        (self.start.0..self.end.0).map(TickIndex)
+    }
+}
+
+impl fmt::Display for TimeSpan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {})", self.start, self.end)
+    }
+}
+
+/// Wall-clock-style duration measured in ticks, convertible to seconds given
+/// the frame hop.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct Duration {
+    ticks: usize,
+}
+
+impl Duration {
+    /// A duration of `ticks` model steps.
+    pub const fn from_ticks(ticks: usize) -> Self {
+        Self { ticks }
+    }
+
+    /// Number of model steps.
+    pub const fn ticks(self) -> usize {
+        self.ticks
+    }
+
+    /// Seconds, given a per-tick hop (the default pipeline hop is 0.75 s:
+    /// 1.5 s frames with 50 % overlap).
+    pub fn secs(self, hop_secs: f64) -> f64 {
+        self.ticks as f64 * hop_secs
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration::from_ticks(self.ticks + rhs.ticks)
+    }
+}
+
+impl fmt::Display for Duration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ticks", self.ticks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sample_rate_math() {
+        assert_eq!(SampleRate::IMU.period_secs(), 0.02);
+        assert_eq!(SampleRate::IMU.samples_in(1.5), 75);
+        assert_eq!(SampleRate(100).samples_in(0.5), 50);
+    }
+
+    #[test]
+    fn tick_arithmetic() {
+        let t = TickIndex(5);
+        assert_eq!(t.next(), TickIndex(6));
+        assert_eq!(t.prev(), Some(TickIndex(4)));
+        assert_eq!(TickIndex::ZERO.prev(), None);
+        assert_eq!(t + 3, TickIndex(8));
+        assert_eq!(TickIndex(8) - t, 3);
+    }
+
+    #[test]
+    fn span_basics() {
+        let s = TimeSpan::new(TickIndex(10), TickIndex(40));
+        assert_eq!(s.len(), 30);
+        assert!(s.contains(TickIndex(10)));
+        assert!(s.contains(TickIndex(39)));
+        assert!(!s.contains(TickIndex(40)));
+        assert!(!s.is_empty());
+        assert_eq!(s.iter().count(), 30);
+    }
+
+    #[test]
+    #[should_panic(expected = "precedes")]
+    fn span_rejects_reversed_bounds() {
+        TimeSpan::new(TickIndex(5), TickIndex(4));
+    }
+
+    #[test]
+    fn span_overlap() {
+        let a = TimeSpan::new(TickIndex(0), TickIndex(10));
+        let b = TimeSpan::new(TickIndex(5), TickIndex(15));
+        let c = TimeSpan::new(TickIndex(20), TickIndex(25));
+        assert_eq!(a.overlap(&b), 5);
+        assert_eq!(b.overlap(&a), 5);
+        assert_eq!(a.overlap(&c), 0);
+    }
+
+    #[test]
+    fn paper_duration_error_example() {
+        // Cooking: true 10:05–10:35 (30 min), predicted 10:10–10:39.
+        // Error = (5 + 4) / 30 = 30 %.
+        let truth = TimeSpan::new(TickIndex(5), TickIndex(35));
+        let predicted = TimeSpan::new(TickIndex(10), TickIndex(39));
+        let err = truth.duration_error(&predicted);
+        assert!((err - 0.3).abs() < 1e-12, "expected 0.3, got {err}");
+    }
+
+    #[test]
+    fn duration_error_of_exact_match_is_zero() {
+        let s = TimeSpan::new(TickIndex(3), TickIndex(9));
+        assert_eq!(s.duration_error(&s), 0.0);
+    }
+
+    #[test]
+    fn duration_conversion() {
+        let d = Duration::from_ticks(4);
+        assert!((d.secs(0.75) - 3.0).abs() < 1e-12);
+        assert_eq!((d + Duration::from_ticks(2)).ticks(), 6);
+    }
+}

@@ -1,0 +1,256 @@
+//! iBeacon ranging, trilateration, and sub-region localization.
+//!
+//! The paper deploys nine iBeacons; an Android app reports the distance
+//! between each resident's smartphone and every beacon, and "trilateration
+//! … detect[s] whether the carried smartphone is inside the smart home or
+//! not (multiple occupancy detection)" plus sub-region-level location.
+//!
+//! We place nine beacons over the one-bedroom floor plan, synthesize noisy
+//! range estimates from the resident's true position, and solve the
+//! weighted least-squares trilateration with a few Gauss–Newton steps.
+
+use cace_model::SubLocation;
+use cace_signal::GaussianSampler;
+
+use crate::NoiseConfig;
+
+/// Beacon coordinates (meters) covering the floor plan of Fig 7.
+pub const BEACON_POSITIONS: [(f64, f64); 9] = [
+    (0.5, 0.5),
+    (4.5, 0.5),
+    (8.5, 0.5),
+    (0.5, 3.5),
+    (4.5, 3.5),
+    (8.5, 3.5),
+    (0.5, 7.0),
+    (4.5, 7.0),
+    (8.0, 6.5),
+];
+
+/// Axis-aligned bounds of the apartment (meters); positions outside are
+/// treated as "not home".
+pub const HOME_BOUNDS: (f64, f64, f64, f64) = (-0.5, 9.5, -0.5, 8.0);
+
+/// Result of one localization attempt.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BeaconEstimate {
+    /// Estimated smartphone position (meters).
+    pub position: (f64, f64),
+    /// Sub-region whose centroid is nearest to the estimate.
+    pub nearest: SubLocation,
+    /// Whether the estimate falls inside the home bounds (occupancy).
+    pub in_home: bool,
+    /// Root-mean-square range residual (meters) — a confidence proxy.
+    pub residual: f64,
+}
+
+/// The beacon constellation plus its noise model.
+#[derive(Debug, Clone)]
+pub struct BeaconGrid {
+    positions: Vec<(f64, f64)>,
+    noise: NoiseConfig,
+}
+
+impl BeaconGrid {
+    /// The paper's nine-beacon deployment.
+    pub fn paper_default(noise: NoiseConfig) -> Self {
+        Self { positions: BEACON_POSITIONS.to_vec(), noise }
+    }
+
+    /// A custom constellation (≥ 3 beacons required for trilateration).
+    ///
+    /// # Panics
+    /// Panics if fewer than three beacons are given.
+    pub fn new(positions: Vec<(f64, f64)>, noise: NoiseConfig) -> Self {
+        assert!(positions.len() >= 3, "trilateration needs at least 3 beacons");
+        Self { positions, noise }
+    }
+
+    /// Number of beacons.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the constellation is empty (never true by construction).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Synthesizes the ranges a phone at `truth` would measure.
+    pub fn measure(&self, truth: (f64, f64), rng: &mut GaussianSampler) -> Vec<f64> {
+        self.positions
+            .iter()
+            .map(|&(bx, by)| {
+                let d = ((truth.0 - bx).powi(2) + (truth.1 - by).powi(2)).sqrt();
+                let factor = 1.0 + rng.normal(0.0, self.noise.beacon_range_noise);
+                (d * factor.max(0.05)).max(0.05)
+            })
+            .collect()
+    }
+
+    /// Solves for position from measured ranges via Gauss–Newton weighted
+    /// least squares, then snaps to the nearest sub-region centroid.
+    ///
+    /// # Panics
+    /// Panics if `ranges.len()` differs from the number of beacons.
+    pub fn localize(&self, ranges: &[f64]) -> BeaconEstimate {
+        assert_eq!(ranges.len(), self.positions.len(), "one range per beacon required");
+        // Initialize at the range-weighted centroid of the beacons (closer
+        // beacons get more weight).
+        let mut x = 0.0;
+        let mut y = 0.0;
+        let mut wsum = 0.0;
+        for (&(bx, by), &r) in self.positions.iter().zip(ranges) {
+            let w = 1.0 / (r * r + 1e-6);
+            x += w * bx;
+            y += w * by;
+            wsum += w;
+        }
+        x /= wsum;
+        y /= wsum;
+
+        // Gauss–Newton on f_i = |p - b_i| - r_i.
+        for _ in 0..12 {
+            let mut jtj = [[0.0f64; 2]; 2];
+            let mut jtr = [0.0f64; 2];
+            for (&(bx, by), &r) in self.positions.iter().zip(ranges) {
+                let dx = x - bx;
+                let dy = y - by;
+                let dist = (dx * dx + dy * dy).sqrt().max(1e-6);
+                let res = dist - r;
+                let (jx, jy) = (dx / dist, dy / dist);
+                jtj[0][0] += jx * jx;
+                jtj[0][1] += jx * jy;
+                jtj[1][0] += jx * jy;
+                jtj[1][1] += jy * jy;
+                jtr[0] += jx * res;
+                jtr[1] += jy * res;
+            }
+            let det = jtj[0][0] * jtj[1][1] - jtj[0][1] * jtj[1][0];
+            if det.abs() < 1e-12 {
+                break;
+            }
+            let step_x = (jtj[1][1] * jtr[0] - jtj[0][1] * jtr[1]) / det;
+            let step_y = (-jtj[1][0] * jtr[0] + jtj[0][0] * jtr[1]) / det;
+            x -= step_x;
+            y -= step_y;
+            if step_x.abs() + step_y.abs() < 1e-9 {
+                break;
+            }
+        }
+
+        let residual = {
+            let ss: f64 = self
+                .positions
+                .iter()
+                .zip(ranges)
+                .map(|(&(bx, by), &r)| {
+                    let d = ((x - bx).powi(2) + (y - by).powi(2)).sqrt();
+                    (d - r).powi(2)
+                })
+                .sum();
+            (ss / ranges.len() as f64).sqrt()
+        };
+
+        let nearest = SubLocation::ALL
+            .into_iter()
+            .min_by(|a, b| {
+                let da = dist2((x, y), a.centroid());
+                let db = dist2((x, y), b.centroid());
+                da.partial_cmp(&db).expect("finite distances")
+            })
+            .expect("nonempty vocabulary");
+
+        let (x0, x1, y0, y1) = HOME_BOUNDS;
+        let in_home = (x0..=x1).contains(&x) && (y0..=y1).contains(&y);
+
+        BeaconEstimate { position: (x, y), nearest, in_home, residual }
+    }
+
+    /// Convenience: measure at `truth` and localize in one call.
+    pub fn sense(&self, truth: (f64, f64), rng: &mut GaussianSampler) -> BeaconEstimate {
+        let ranges = self.measure(truth, rng);
+        self.localize(&ranges)
+    }
+}
+
+fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
+    (a.0 - b.0).powi(2) + (a.1 - b.1).powi(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noiseless_localization_is_exact() {
+        let grid = BeaconGrid::paper_default(NoiseConfig::noiseless());
+        let mut rng = GaussianSampler::seed_from_u64(1);
+        for loc in SubLocation::ALL {
+            let est = grid.sense(loc.centroid(), &mut rng);
+            assert!(
+                dist2(est.position, loc.centroid()) < 0.01,
+                "{loc}: {:?} vs {:?}",
+                est.position,
+                loc.centroid()
+            );
+            assert_eq!(est.nearest, loc, "snap failed for {loc}");
+            assert!(est.in_home);
+            assert!(est.residual < 1e-3);
+        }
+    }
+
+    #[test]
+    fn noisy_localization_mostly_snaps_right() {
+        let grid = BeaconGrid::paper_default(NoiseConfig::default());
+        let mut rng = GaussianSampler::seed_from_u64(2);
+        let mut hits = 0;
+        let trials = 300;
+        for i in 0..trials {
+            let loc = SubLocation::from_index(i % SubLocation::COUNT).unwrap();
+            let est = grid.sense(loc.centroid(), &mut rng);
+            if est.nearest == loc {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!(rate > 0.6, "snap accuracy too low: {rate}");
+    }
+
+    #[test]
+    fn outside_position_is_not_home() {
+        let grid = BeaconGrid::paper_default(NoiseConfig::noiseless());
+        let mut rng = GaussianSampler::seed_from_u64(3);
+        let est = grid.sense((25.0, 25.0), &mut rng);
+        assert!(!est.in_home, "25m away should be outside: {:?}", est.position);
+    }
+
+    #[test]
+    fn residual_grows_with_noise() {
+        let clean = BeaconGrid::paper_default(NoiseConfig::noiseless());
+        let mut noisy_cfg = NoiseConfig::noiseless();
+        noisy_cfg.beacon_range_noise = 0.5;
+        let noisy = BeaconGrid::paper_default(noisy_cfg);
+        let mut rng = GaussianSampler::seed_from_u64(4);
+        let truth = SubLocation::Kitchen.centroid();
+        let r_clean = clean.sense(truth, &mut rng).residual;
+        let mut worst = 0.0f64;
+        for _ in 0..10 {
+            worst = worst.max(noisy.sense(truth, &mut rng).residual);
+        }
+        assert!(worst > r_clean, "noise should raise residual: {worst} vs {r_clean}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_beacons_rejected() {
+        BeaconGrid::new(vec![(0.0, 0.0), (1.0, 1.0)], NoiseConfig::noiseless());
+    }
+
+    #[test]
+    #[should_panic(expected = "one range per beacon")]
+    fn range_count_checked() {
+        let grid = BeaconGrid::paper_default(NoiseConfig::noiseless());
+        grid.localize(&[1.0, 2.0]);
+    }
+}

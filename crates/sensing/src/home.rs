@@ -1,0 +1,332 @@
+//! The assembled smart home: all sensors driven by ground-truth context.
+//!
+//! [`SmartHome::sense_tick`] is the simulator's "physics step": given the
+//! true micro state of each resident for one 1.5 s tick, it produces exactly
+//! the observations the PogoPlug testbed would emit — PIR bank, object-sensor
+//! bank, per-resident iBeacon localization, and per-resident IMU frames.
+
+use cace_model::{MicroState, Room, UserId};
+use cace_signal::trajectory::ImuSample;
+use cace_signal::GaussianSampler;
+
+use crate::beacon::{BeaconEstimate, BeaconGrid};
+use crate::imu::ImuSynthesizer;
+use crate::object::{self, ObjectKind};
+use crate::pir;
+use crate::{NoiseConfig, SAMPLES_PER_TICK};
+
+/// Ground truth for one resident over one tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UserTickTruth {
+    /// True micro state (posture, gesture, sub-location).
+    pub micro: MicroState,
+    /// Object the resident is touching this tick, if any.
+    pub object: Option<ObjectKind>,
+    /// Whether the resident is inside the home (occupancy detection).
+    pub present: bool,
+}
+
+impl UserTickTruth {
+    /// A present resident with no object interaction.
+    pub const fn of(micro: MicroState) -> Self {
+        Self { micro, object: None, present: true }
+    }
+}
+
+/// Ground truth for the whole household over one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroundTruthTick {
+    /// Per-resident truth, indexed by chain.
+    pub users: [UserTickTruth; 2],
+}
+
+/// Ambient (unattributed) observations for one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmbientReading {
+    /// PIR firing per room (in `Room` index order).
+    pub pir: [bool; Room::COUNT],
+    /// Object-sensor firing (in `ObjectKind` index order).
+    pub objects: [bool; ObjectKind::COUNT],
+}
+
+impl AmbientReading {
+    /// Rooms whose PIR fired this tick.
+    pub fn occupied_rooms(&self) -> impl Iterator<Item = Room> + '_ {
+        Room::ALL.into_iter().filter(|r| self.pir[r.index()])
+    }
+
+    /// Objects whose sensor fired this tick.
+    pub fn fired_objects(&self) -> impl Iterator<Item = ObjectKind> + '_ {
+        ObjectKind::ALL.into_iter().filter(|o| self.objects[o.index()])
+    }
+}
+
+/// Per-resident wearable observations for one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WearableReading {
+    /// Smartphone IMU frame; `None` when the frame was dropped.
+    pub phone: Option<Vec<ImuSample>>,
+    /// Neck-tag IMU frame; `None` when the frame was dropped.
+    pub tag: Option<Vec<ImuSample>>,
+    /// iBeacon localization of the smartphone.
+    pub beacon: BeaconEstimate,
+}
+
+/// All observations for one tick.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SensorTick {
+    /// Shared ambient channel.
+    pub ambient: AmbientReading,
+    /// One wearable channel per resident (chain order).
+    pub wearables: [WearableReading; 2],
+}
+
+/// The simulated smart home.
+#[derive(Debug, Clone)]
+pub struct SmartHome {
+    synth: ImuSynthesizer,
+    beacons: BeaconGrid,
+    noise: NoiseConfig,
+    rng: GaussianSampler,
+    /// Smoothed resident positions (meters) for beacon simulation.
+    positions: [(f64, f64); 2],
+}
+
+impl SmartHome {
+    /// Creates a home with the given noise model and seed.
+    ///
+    /// # Panics
+    /// Panics if `noise` fails validation.
+    pub fn new(noise: NoiseConfig, seed: u64) -> Self {
+        noise.validate().expect("invalid noise configuration");
+        Self {
+            synth: ImuSynthesizer::new(noise.clone()),
+            beacons: BeaconGrid::paper_default(noise.clone()),
+            rng: GaussianSampler::seed_from_u64(seed),
+            positions: [(4.5, 3.5); 2],
+            noise,
+        }
+    }
+
+    /// The noise configuration in use.
+    pub fn noise(&self) -> &NoiseConfig {
+        &self.noise
+    }
+
+    /// Simulates every sensor for one tick of ground truth.
+    pub fn sense_tick(&mut self, truth: &GroundTruthTick) -> SensorTick {
+        // --- ambient: PIR ---
+        let occupants: Vec<_> = truth
+            .users
+            .iter()
+            .filter(|u| u.present)
+            .map(|u| (u.micro.location, u.micro.postural))
+            .collect();
+        let pir = pir::read_bank(&occupants, &self.noise, &mut self.rng);
+
+        // --- ambient: objects ---
+        let in_use: Vec<ObjectKind> = truth
+            .users
+            .iter()
+            .filter(|u| u.present)
+            .filter_map(|u| u.object)
+            .collect();
+        let objects = object::read_bank(&in_use, &self.noise, &mut self.rng);
+
+        // --- wearables ---
+        let mut wearables = Vec::with_capacity(2);
+        for (i, user) in truth.users.iter().enumerate() {
+            // Residents drift toward the centroid of their true sub-region.
+            let target = if user.present {
+                user.micro.location.centroid()
+            } else {
+                (30.0, 30.0) // far outside the home bounds
+            };
+            let p = self.positions[i];
+            let pull = 0.6;
+            let jitter = self.noise.position_jitter;
+            self.positions[i] = (
+                p.0 + pull * (target.0 - p.0) + self.rng.normal(0.0, jitter),
+                p.1 + pull * (target.1 - p.1) + self.rng.normal(0.0, jitter),
+            );
+            let beacon = self.beacons.sense(self.positions[i], &mut self.rng);
+
+            let phone = if self.synth.frame_dropped(&mut self.rng) {
+                None
+            } else {
+                Some(self.synth.phone_frame(
+                    user.micro.postural,
+                    SAMPLES_PER_TICK,
+                    &mut self.rng,
+                ))
+            };
+            let tag = if self.synth.frame_dropped(&mut self.rng) {
+                None
+            } else {
+                Some(self.synth.tag_frame(
+                    user.micro.gestural,
+                    user.micro.postural,
+                    SAMPLES_PER_TICK,
+                    &mut self.rng,
+                ))
+            };
+            wearables.push(WearableReading { phone, tag, beacon });
+        }
+        let w1 = wearables.pop().expect("two wearables");
+        let w0 = wearables.pop().expect("two wearables");
+
+        SensorTick { ambient: AmbientReading { pir, objects }, wearables: [w0, w1] }
+    }
+
+    /// The wearable channel index for a user.
+    pub fn channel_of(user: UserId) -> usize {
+        user.chain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cace_model::{Gestural, Postural, SubLocation};
+
+    fn truth(
+        l1: SubLocation,
+        p1: Postural,
+        l2: SubLocation,
+        p2: Postural,
+    ) -> GroundTruthTick {
+        GroundTruthTick {
+            users: [
+                UserTickTruth::of(MicroState::new(p1, Gestural::Silent, l1)),
+                UserTickTruth::of(MicroState::new(p2, Gestural::Talking, l2)),
+            ],
+        }
+    }
+
+    #[test]
+    fn tick_has_all_channels() {
+        let mut home = SmartHome::new(NoiseConfig::noiseless(), 1);
+        let t = truth(
+            SubLocation::Kitchen,
+            Postural::Walking,
+            SubLocation::Couch1,
+            Postural::Sitting,
+        );
+        let tick = home.sense_tick(&t);
+        assert!(tick.wearables[0].phone.as_ref().unwrap().len() == SAMPLES_PER_TICK);
+        assert!(tick.wearables[1].tag.as_ref().unwrap().len() == SAMPLES_PER_TICK);
+    }
+
+    #[test]
+    fn pir_follows_motion() {
+        let mut home = SmartHome::new(NoiseConfig::noiseless(), 2);
+        let t = truth(
+            SubLocation::Kitchen,
+            Postural::Walking,
+            SubLocation::Couch1,
+            Postural::Sitting,
+        );
+        let tick = home.sense_tick(&t);
+        assert!(tick.ambient.pir[Room::Kitchen.index()]);
+        assert!(!tick.ambient.pir[Room::LivingRoom.index()], "sitting does not trip PIR");
+        assert!(!tick.ambient.pir[Room::Bathroom.index()]);
+    }
+
+    #[test]
+    fn object_sensing_reflects_use() {
+        let mut home = SmartHome::new(NoiseConfig::noiseless(), 3);
+        let mut t = truth(
+            SubLocation::Kitchen,
+            Postural::Standing,
+            SubLocation::Couch1,
+            Postural::Sitting,
+        );
+        t.users[0].object = Some(ObjectKind::Stove);
+        let tick = home.sense_tick(&t);
+        assert!(tick.ambient.objects[ObjectKind::Stove.index()]);
+        assert!(!tick.ambient.objects[ObjectKind::TvRemote.index()]);
+    }
+
+    #[test]
+    fn beacons_converge_to_true_subregion() {
+        let mut home = SmartHome::new(NoiseConfig::noiseless(), 4);
+        let t = truth(
+            SubLocation::Kitchen,
+            Postural::Standing,
+            SubLocation::Bed,
+            Postural::Lying,
+        );
+        // A few ticks for the position low-pass to settle.
+        let mut tick = home.sense_tick(&t);
+        for _ in 0..6 {
+            tick = home.sense_tick(&t);
+        }
+        assert_eq!(tick.wearables[0].beacon.nearest, SubLocation::Kitchen);
+        assert_eq!(tick.wearables[1].beacon.nearest, SubLocation::Bed);
+        assert!(tick.wearables[0].beacon.in_home);
+    }
+
+    #[test]
+    fn absent_user_leaves_home() {
+        let mut home = SmartHome::new(NoiseConfig::noiseless(), 5);
+        let mut t = truth(
+            SubLocation::Kitchen,
+            Postural::Walking,
+            SubLocation::Porch,
+            Postural::Standing,
+        );
+        t.users[1].present = false;
+        let mut tick = home.sense_tick(&t);
+        for _ in 0..8 {
+            tick = home.sense_tick(&t);
+        }
+        assert!(!tick.wearables[1].beacon.in_home, "absent user should localize outside");
+        assert!(tick.wearables[0].beacon.in_home);
+    }
+
+    #[test]
+    fn dropout_produces_missing_frames() {
+        let mut cfg = NoiseConfig::noiseless();
+        cfg.imu_dropout = 1.0;
+        let mut home = SmartHome::new(cfg, 6);
+        let t = truth(
+            SubLocation::Kitchen,
+            Postural::Walking,
+            SubLocation::Couch1,
+            Postural::Sitting,
+        );
+        let tick = home.sense_tick(&t);
+        assert!(tick.wearables[0].phone.is_none());
+        assert!(tick.wearables[0].tag.is_none());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = truth(
+            SubLocation::Kitchen,
+            Postural::Walking,
+            SubLocation::Couch1,
+            Postural::Sitting,
+        );
+        let mut a = SmartHome::new(NoiseConfig::default(), 42);
+        let mut b = SmartHome::new(NoiseConfig::default(), 42);
+        assert_eq!(a.sense_tick(&t), b.sense_tick(&t));
+    }
+
+    #[test]
+    fn ambient_iterators() {
+        let mut home = SmartHome::new(NoiseConfig::noiseless(), 7);
+        let mut t = truth(
+            SubLocation::Kitchen,
+            Postural::Walking,
+            SubLocation::Couch1,
+            Postural::Sitting,
+        );
+        t.users[0].object = Some(ObjectKind::Fridge);
+        let tick = home.sense_tick(&t);
+        let rooms: Vec<Room> = tick.ambient.occupied_rooms().collect();
+        assert_eq!(rooms, vec![Room::Kitchen]);
+        let objs: Vec<ObjectKind> = tick.ambient.fired_objects().collect();
+        assert_eq!(objs, vec![ObjectKind::Fridge]);
+    }
+}

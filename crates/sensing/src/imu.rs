@@ -1,0 +1,254 @@
+//! Synthesis of 9-axis IMU streams for postural and oral-gestural activity.
+//!
+//! Each micro activity has a characteristic motion signature — a dominant
+//! oscillation frequency and amplitude plus an orientation regime. These
+//! signatures drive the synthetic accelerometer/gyroscope/magnetometer
+//! streams so the paper's feature set (32 statistics incl. Goertzel 1–5 Hz
+//! coefficients) separates the classes about as well as real hardware did.
+
+use cace_model::{Gestural, Postural};
+use cace_signal::trajectory::ImuSample;
+use cace_signal::{GaussianSampler, Vec3};
+
+use crate::{NoiseConfig, IMU_RATE_HZ};
+
+/// Motion signature of one micro activity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct MotionProfile {
+    /// Dominant oscillation frequency (Hz).
+    freq_hz: f64,
+    /// Peak acceleration amplitude (m/s²).
+    amp: f64,
+    /// Secondary-harmonic fraction.
+    harmonic: f64,
+    /// Baseline tilt of the device (radians about x̂).
+    tilt: f64,
+    /// Angular-rate amplitude (rad/s).
+    gyro_amp: f64,
+}
+
+const fn postural_profile(p: Postural) -> MotionProfile {
+    match p {
+        Postural::Walking => MotionProfile { freq_hz: 2.0, amp: 2.6, harmonic: 0.35, tilt: 0.0, gyro_amp: 0.8 },
+        Postural::Standing => MotionProfile { freq_hz: 0.4, amp: 0.15, harmonic: 0.0, tilt: 0.0, gyro_amp: 0.05 },
+        Postural::Sitting => MotionProfile { freq_hz: 0.3, amp: 0.10, harmonic: 0.0, tilt: 0.9, gyro_amp: 0.04 },
+        Postural::Cycling => MotionProfile { freq_hz: 1.4, amp: 1.6, harmonic: 0.5, tilt: 0.6, gyro_amp: 0.5 },
+        Postural::Lying => MotionProfile { freq_hz: 0.2, amp: 0.06, harmonic: 0.0, tilt: 1.5, gyro_amp: 0.02 },
+        Postural::Running => MotionProfile { freq_hz: 2.9, amp: 5.2, harmonic: 0.45, tilt: 0.1, gyro_amp: 1.6 },
+    }
+}
+
+const fn gestural_profile(g: Gestural) -> MotionProfile {
+    match g {
+        Gestural::Silent => MotionProfile { freq_hz: 0.3, amp: 0.05, harmonic: 0.0, tilt: 0.0, gyro_amp: 0.02 },
+        Gestural::Talking => MotionProfile { freq_hz: 4.0, amp: 0.55, harmonic: 0.3, tilt: 0.05, gyro_amp: 0.20 },
+        Gestural::Eating => MotionProfile { freq_hz: 1.2, amp: 1.05, harmonic: 0.25, tilt: 0.25, gyro_amp: 0.35 },
+        Gestural::Yawning => MotionProfile { freq_hz: 0.6, amp: 0.85, harmonic: 0.1, tilt: 0.35, gyro_amp: 0.25 },
+        Gestural::Laughing => MotionProfile { freq_hz: 5.0, amp: 1.25, harmonic: 0.4, tilt: 0.1, gyro_amp: 0.45 },
+    }
+}
+
+/// Synthesizes 9-axis IMU frames for the pocket smartphone (postural) and
+/// the neck SensorTag (oral-gestural).
+#[derive(Debug, Clone)]
+pub struct ImuSynthesizer {
+    noise: NoiseConfig,
+}
+
+impl ImuSynthesizer {
+    /// Creates a synthesizer with the given noise configuration.
+    pub fn new(noise: NoiseConfig) -> Self {
+        Self { noise }
+    }
+
+    /// The noise configuration in use.
+    pub fn noise(&self) -> &NoiseConfig {
+        &self.noise
+    }
+
+    fn frame(
+        &self,
+        profile: MotionProfile,
+        n: usize,
+        rng: &mut GaussianSampler,
+    ) -> Vec<ImuSample> {
+        let phase0 = rng.uniform() * std::f64::consts::TAU;
+        // Small per-frame variability so two frames of the same class are
+        // not identical: ±8 % frequency, ±15 % amplitude.
+        let freq = profile.freq_hz * (1.0 + 0.08 * rng.standard_normal().clamp(-2.0, 2.0));
+        let amp = profile.amp * (1.0 + 0.15 * rng.standard_normal().clamp(-2.0, 2.0)).abs();
+        let tilt = profile.tilt + 0.05 * rng.standard_normal();
+        let (sin_t, cos_t) = tilt.sin_cos();
+        // Gravity in the tilted body frame (rotation about x̂).
+        let gravity_body = Vec3::new(0.0, -9.81 * sin_t, 9.81 * cos_t);
+
+        (0..n)
+            .map(|i| {
+                let t = i as f64 / IMU_RATE_HZ;
+                let w = std::f64::consts::TAU * freq * t + phase0;
+                let motion = amp * (w.sin() + profile.harmonic * (2.0 * w).cos());
+                // Motion energy split across axes with a fixed pattern so
+                // axis statistics are informative.
+                let accel = Vec3::new(
+                    0.55 * motion + rng.normal(0.0, self.noise.imu_accel_noise),
+                    0.25 * motion + rng.normal(0.0, self.noise.imu_accel_noise),
+                    0.80 * motion + rng.normal(0.0, self.noise.imu_accel_noise),
+                ) + gravity_body;
+                let gyro = Vec3::new(
+                    profile.gyro_amp * w.cos() + rng.normal(0.0, self.noise.imu_gyro_noise),
+                    0.3 * profile.gyro_amp * w.sin()
+                        + rng.normal(0.0, self.noise.imu_gyro_noise),
+                    rng.normal(0.0, self.noise.imu_gyro_noise),
+                );
+                let mag = Vec3::new(cos_t, 0.0, -sin_t); // rough north reference
+                ImuSample { accel, gyro, mag }
+            })
+            .collect()
+    }
+
+    /// One smartphone frame of `n` samples for a postural state.
+    pub fn phone_frame(
+        &self,
+        postural: Postural,
+        n: usize,
+        rng: &mut GaussianSampler,
+    ) -> Vec<ImuSample> {
+        self.frame(postural_profile(postural), n, rng)
+    }
+
+    /// One neck-tag frame of `n` samples for a gestural state.
+    ///
+    /// The neck tag also picks up an attenuated copy of gross body motion,
+    /// which is why the paper's gestural accuracy (95.3 %) trails its
+    /// postural accuracy (98.6 %).
+    pub fn tag_frame(
+        &self,
+        gestural: Gestural,
+        postural: Postural,
+        n: usize,
+        rng: &mut GaussianSampler,
+    ) -> Vec<ImuSample> {
+        let gesture = self.frame(gestural_profile(gestural), n, rng);
+        let body = self.frame(postural_profile(postural), n, rng);
+        gesture
+            .into_iter()
+            .zip(body)
+            .map(|(g, b)| ImuSample {
+                // Body motion bleeds into the neck tag at ~35 % amplitude;
+                // subtract one gravity copy so it is not counted twice.
+                accel: g.accel + (b.accel - Vec3::new(0.0, 0.0, 9.81)) * 0.35,
+                gyro: g.gyro + b.gyro * 0.35,
+                mag: g.mag,
+            })
+            .collect()
+    }
+
+    /// Whether this frame should be dropped entirely (missing sensor value).
+    pub fn frame_dropped(&self, rng: &mut GaussianSampler) -> bool {
+        rng.chance(self.noise.imu_dropout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cace_signal::goertzel::goertzel_band;
+
+    /// AC energy of the accelerometer magnitude — removes the (tilt-
+    /// dependent) gravity baseline so only motion dynamics are compared.
+    fn ac_energy(frame: &[ImuSample]) -> f64 {
+        let mags: Vec<f64> = frame.iter().map(|s| s.accel.norm()).collect();
+        let mean = mags.iter().sum::<f64>() / mags.len() as f64;
+        mags.iter().map(|m| (m - mean).powi(2)).sum::<f64>() / mags.len() as f64
+    }
+
+    #[test]
+    fn frames_have_requested_length() {
+        let synth = ImuSynthesizer::new(NoiseConfig::default());
+        let mut rng = GaussianSampler::seed_from_u64(1);
+        assert_eq!(synth.phone_frame(Postural::Walking, 75, &mut rng).len(), 75);
+        assert_eq!(
+            synth.tag_frame(Gestural::Talking, Postural::Sitting, 75, &mut rng).len(),
+            75
+        );
+    }
+
+    #[test]
+    fn walking_has_more_energy_than_standing() {
+        let synth = ImuSynthesizer::new(NoiseConfig::noiseless());
+        let mut rng = GaussianSampler::seed_from_u64(2);
+        let walk = ac_energy(&synth.phone_frame(Postural::Walking, 150, &mut rng));
+        let stand = ac_energy(&synth.phone_frame(Postural::Standing, 150, &mut rng));
+        assert!(walk > 3.0 * stand, "walking energy {walk} vs standing {stand}");
+    }
+
+    #[test]
+    fn running_is_faster_than_cycling() {
+        // The Goertzel band should peak at a higher frequency for running.
+        let synth = ImuSynthesizer::new(NoiseConfig::noiseless());
+        let mut rng = GaussianSampler::seed_from_u64(3);
+        let peak_bin = |p: Postural, rng: &mut GaussianSampler| {
+            let frame = synth.phone_frame(p, 300, rng);
+            // Use the x-axis (pure motion component, no gravity).
+            let xs: Vec<f64> = frame.iter().map(|s| s.accel.x).collect();
+            let band = goertzel_band(&xs, IMU_RATE_HZ);
+            band.iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        let mut run_wins = 0;
+        for _ in 0..10 {
+            if peak_bin(Postural::Running, &mut rng) >= peak_bin(Postural::Cycling, &mut rng) {
+                run_wins += 1;
+            }
+        }
+        assert!(run_wins >= 8, "running should usually peak higher: {run_wins}/10");
+    }
+
+    #[test]
+    fn gestural_classes_differ_in_energy() {
+        let synth = ImuSynthesizer::new(NoiseConfig::noiseless());
+        let mut rng = GaussianSampler::seed_from_u64(4);
+        let energy = |g: Gestural, rng: &mut GaussianSampler| -> f64 {
+            let f = synth.tag_frame(g, Postural::Sitting, 150, rng);
+            ac_energy(&f)
+        };
+        let silent = energy(Gestural::Silent, &mut rng);
+        let laughing = energy(Gestural::Laughing, &mut rng);
+        assert!(laughing > 2.0 * silent, "laughing {laughing} vs silent {silent}");
+    }
+
+    #[test]
+    fn body_motion_bleeds_into_tag() {
+        let synth = ImuSynthesizer::new(NoiseConfig::noiseless());
+        let mut rng = GaussianSampler::seed_from_u64(5);
+        let e_still =
+            ac_energy(&synth.tag_frame(Gestural::Silent, Postural::Standing, 150, &mut rng));
+        let e_running =
+            ac_energy(&synth.tag_frame(Gestural::Silent, Postural::Running, 150, &mut rng));
+        assert!(e_running > 2.0 * e_still, "running bleed {e_running} vs {e_still}");
+    }
+
+    #[test]
+    fn dropout_rate_honored() {
+        let mut cfg = NoiseConfig::default();
+        cfg.imu_dropout = 0.3;
+        let synth = ImuSynthesizer::new(cfg);
+        let mut rng = GaussianSampler::seed_from_u64(6);
+        let dropped = (0..10_000).filter(|_| synth.frame_dropped(&mut rng)).count();
+        let rate = dropped as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "dropout rate {rate}");
+    }
+
+    #[test]
+    fn determinism_with_same_seed() {
+        let synth = ImuSynthesizer::new(NoiseConfig::default());
+        let mut a = GaussianSampler::seed_from_u64(9);
+        let mut b = GaussianSampler::seed_from_u64(9);
+        let fa = synth.phone_frame(Postural::Walking, 30, &mut a);
+        let fb = synth.phone_frame(Postural::Walking, 30, &mut b);
+        assert_eq!(fa, fb);
+    }
+}

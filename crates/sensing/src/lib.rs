@@ -1,0 +1,57 @@
+//! # cace-sensing
+//!
+//! Smart-home sensing substrate: a faithful simulator of the paper's
+//! PogoPlug testbed.
+//!
+//! The paper's deployment (§VII-A) instruments a one-bedroom apartment with
+//! six binary PIR motion sensors (one per room), eight object sensors with
+//! 55 % vibration sensitivity, nine iBeacons used for trilateration-based
+//! sub-region localization and multi-occupancy detection, plus a pocket
+//! smartphone and a neck-worn Simplelink SensorTag per resident, both
+//! sampled at 50 Hz.
+//!
+//! We do not have that hardware, so this crate *is* the hardware: given
+//! ground-truth micro states it synthesizes every sensor stream the real
+//! testbed would produce, with configurable noise so the downstream
+//! classifiers and models face a realistic (non-trivial) inference problem.
+//! See `DESIGN.md` at the workspace root for the substitution argument.
+//!
+//! ```
+//! use cace_sensing::{ImuSynthesizer, NoiseConfig};
+//! use cace_model::Postural;
+//! use cace_signal::GaussianSampler;
+//!
+//! let mut rng = GaussianSampler::seed_from_u64(1);
+//! let synth = ImuSynthesizer::new(NoiseConfig::default());
+//! let frame = synth.phone_frame(Postural::Walking, 75, &mut rng);
+//! assert_eq!(frame.len(), 75);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beacon;
+pub mod home;
+pub mod imu;
+pub mod noise;
+pub mod object;
+pub mod pir;
+
+pub use beacon::{BeaconEstimate, BeaconGrid};
+pub use home::{
+    AmbientReading, GroundTruthTick, SensorTick, SmartHome, UserTickTruth, WearableReading,
+};
+pub use imu::ImuSynthesizer;
+pub use noise::NoiseConfig;
+pub use object::ObjectKind;
+pub use pir::PirSensor;
+
+/// Samples per model tick: one 1.5 s frame at 50 Hz.
+///
+/// The end-to-end pipeline advances in 1.5 s ticks, each carrying one full
+/// IMU frame per device. (The 50 %-overlap sliding segmentation of §VII-E is
+/// exercised separately on continuous streams by `cace-features`.)
+pub const SAMPLES_PER_TICK: usize = 75;
+
+/// IMU sampling rate used throughout, matching the paper.
+pub const IMU_RATE_HZ: f64 = 50.0;

@@ -1,0 +1,139 @@
+//! Noise and failure-injection configuration for the sensing substrate.
+
+/// Noise knobs for every simulated sensor.
+///
+/// The defaults are tuned so the downstream micro classifiers land in the
+/// accuracy regime the paper reports (≈95 % gestural, ≈98.6 % postural) and
+/// the ambient channels carry occasional false/missed firings. Failure
+/// injection (paper §II motivates robustness to missing sensor values) is
+/// modeled by `imu_dropout` and the PIR/object error rates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NoiseConfig {
+    /// Std-dev of additive accelerometer noise (m/s²).
+    pub imu_accel_noise: f64,
+    /// Std-dev of additive gyroscope noise (rad/s).
+    pub imu_gyro_noise: f64,
+    /// Probability that a whole IMU frame is dropped (missing sensor value).
+    pub imu_dropout: f64,
+    /// Probability a PIR fires with nobody moving in its room.
+    pub pir_false_positive: f64,
+    /// Probability a PIR misses genuine motion.
+    pub pir_false_negative: f64,
+    /// Object-sensor vibration sensitivity in `[0, 1]`; the paper tuned the
+    /// hardware to 55 % ("best choice tested on trial and error basis").
+    pub object_sensitivity: f64,
+    /// Probability an object sensor fires from ambient vibration.
+    pub object_false_positive: f64,
+    /// Multiplicative std-dev of the iBeacon range estimates.
+    pub beacon_range_noise: f64,
+    /// Std-dev (meters) of the resident's position jitter inside a
+    /// sub-region between ticks.
+    pub position_jitter: f64,
+}
+
+impl Default for NoiseConfig {
+    fn default() -> Self {
+        Self {
+            imu_accel_noise: 0.35,
+            imu_gyro_noise: 0.05,
+            imu_dropout: 0.0,
+            pir_false_positive: 0.01,
+            pir_false_negative: 0.05,
+            object_sensitivity: 0.55,
+            object_false_positive: 0.01,
+            beacon_range_noise: 0.15,
+            position_jitter: 0.3,
+        }
+    }
+}
+
+impl NoiseConfig {
+    /// A noiseless configuration, useful for isolating model behavior in
+    /// tests.
+    pub fn noiseless() -> Self {
+        Self {
+            imu_accel_noise: 0.0,
+            imu_gyro_noise: 0.0,
+            imu_dropout: 0.0,
+            pir_false_positive: 0.0,
+            pir_false_negative: 0.0,
+            object_sensitivity: 1.0,
+            object_false_positive: 0.0,
+            beacon_range_noise: 0.0,
+            position_jitter: 0.0,
+        }
+    }
+
+    /// A degraded configuration for failure-injection experiments: frequent
+    /// IMU dropouts and unreliable ambient sensors.
+    pub fn degraded() -> Self {
+        Self {
+            imu_accel_noise: 0.8,
+            imu_gyro_noise: 0.15,
+            imu_dropout: 0.15,
+            pir_false_positive: 0.08,
+            pir_false_negative: 0.20,
+            object_sensitivity: 0.40,
+            object_false_positive: 0.06,
+            beacon_range_noise: 0.40,
+            position_jitter: 0.6,
+        }
+    }
+
+    /// Validates that all rates are inside `[0, 1]` and deviations are
+    /// nonnegative.
+    pub fn validate(&self) -> Result<(), String> {
+        let rates = [
+            ("imu_dropout", self.imu_dropout),
+            ("pir_false_positive", self.pir_false_positive),
+            ("pir_false_negative", self.pir_false_negative),
+            ("object_sensitivity", self.object_sensitivity),
+            ("object_false_positive", self.object_false_positive),
+        ];
+        for (name, value) in rates {
+            if !(0.0..=1.0).contains(&value) {
+                return Err(format!("{name} = {value} outside [0, 1]"));
+            }
+        }
+        let devs = [
+            ("imu_accel_noise", self.imu_accel_noise),
+            ("imu_gyro_noise", self.imu_gyro_noise),
+            ("beacon_range_noise", self.beacon_range_noise),
+            ("position_jitter", self.position_jitter),
+        ];
+        for (name, value) in devs {
+            if value < 0.0 {
+                return Err(format!("{name} = {value} negative"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_sensitivity() {
+        let c = NoiseConfig::default();
+        assert!((c.object_sensitivity - 0.55).abs() < 1e-12);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn presets_validate() {
+        assert!(NoiseConfig::noiseless().validate().is_ok());
+        assert!(NoiseConfig::degraded().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_bad_rates() {
+        let mut c = NoiseConfig::default();
+        c.pir_false_positive = 1.5;
+        assert!(c.validate().is_err());
+        let mut c = NoiseConfig::default();
+        c.beacon_range_noise = -0.1;
+        assert!(c.validate().is_err());
+    }
+}

@@ -1,0 +1,182 @@
+//! Binary high-sensitivity object sensors.
+//!
+//! The paper attaches eight wireless sensor tags to "concerned objects"; a
+//! tag fires when its object is touched or vibrated, indicating possession
+//! "by one or more inhabitants" (again unattributed). Sensitivity is tuned
+//! to 55 %.
+
+use cace_model::{MacroActivity, SubLocation};
+use cace_signal::GaussianSampler;
+
+use crate::NoiseConfig;
+
+use serde::{Deserialize, Serialize};
+
+/// The eight instrumented objects of the PogoPlug deployment.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum ObjectKind {
+    /// The exercise bike frame.
+    ExerciseBike,
+    /// Closet 1 door.
+    ClosetDoor1,
+    /// Closet 2 door.
+    ClosetDoor2,
+    /// Stove knob / pan area.
+    Stove,
+    /// Refrigerator door.
+    Fridge,
+    /// TV remote control.
+    TvRemote,
+    /// Dining ware (plates/cutlery drawer).
+    DiningWare,
+    /// Reading-table bookshelf.
+    BookShelf,
+}
+
+impl ObjectKind {
+    /// Number of object sensors.
+    pub const COUNT: usize = 8;
+
+    /// Every object, in index order.
+    pub const ALL: [ObjectKind; Self::COUNT] = [
+        ObjectKind::ExerciseBike,
+        ObjectKind::ClosetDoor1,
+        ObjectKind::ClosetDoor2,
+        ObjectKind::Stove,
+        ObjectKind::Fridge,
+        ObjectKind::TvRemote,
+        ObjectKind::DiningWare,
+        ObjectKind::BookShelf,
+    ];
+
+    /// Dense index in `0..Self::COUNT`.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Inverse of [`index`](Self::index).
+    pub fn from_index(index: usize) -> Option<Self> {
+        Self::ALL.get(index).copied()
+    }
+
+    /// Where the object lives.
+    pub const fn location(self) -> SubLocation {
+        match self {
+            ObjectKind::ExerciseBike => SubLocation::ExerciseBike,
+            ObjectKind::ClosetDoor1 => SubLocation::Closet1,
+            ObjectKind::ClosetDoor2 => SubLocation::Closet2,
+            ObjectKind::Stove => SubLocation::Kitchen,
+            ObjectKind::Fridge => SubLocation::Kitchen,
+            ObjectKind::TvRemote => SubLocation::Couch1,
+            ObjectKind::DiningWare => SubLocation::DiningTable,
+            ObjectKind::BookShelf => SubLocation::ReadingTable,
+        }
+    }
+
+    /// Objects a macro activity plausibly touches (drives the behavioral
+    /// simulator's ground truth).
+    pub fn used_by(activity: MacroActivity) -> &'static [ObjectKind] {
+        use MacroActivity as A;
+        use ObjectKind::*;
+        match activity {
+            A::Exercising => &[ExerciseBike],
+            A::PrepareClothes => &[ClosetDoor1, ClosetDoor2],
+            A::Dining => &[DiningWare],
+            A::WatchingTv => &[TvRemote],
+            A::PrepareFood => &[Fridge, DiningWare],
+            A::Studying => &[BookShelf],
+            A::Sleeping => &[],
+            A::Bathrooming => &[],
+            A::Cooking => &[Stove, Fridge],
+            A::PastTimes => &[],
+            A::Random => &[],
+        }
+    }
+}
+
+/// Simulates one reading of the full object-sensor bank.
+///
+/// `in_use` lists the objects currently being touched by any resident. A
+/// touched sensor fires with probability `object_sensitivity`; an untouched
+/// one fires with the false-positive rate.
+pub fn read_bank(
+    in_use: &[ObjectKind],
+    noise: &NoiseConfig,
+    rng: &mut GaussianSampler,
+) -> [bool; ObjectKind::COUNT] {
+    let mut out = [false; ObjectKind::COUNT];
+    for kind in ObjectKind::ALL {
+        let touched = in_use.contains(&kind);
+        out[kind.index()] = if touched {
+            rng.chance(noise.object_sensitivity)
+        } else {
+            rng.chance(noise.object_false_positive)
+        };
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_objects_with_roundtrip_indices() {
+        assert_eq!(ObjectKind::ALL.len(), 8);
+        for o in ObjectKind::ALL {
+            assert_eq!(ObjectKind::from_index(o.index()), Some(o));
+        }
+        assert_eq!(ObjectKind::from_index(8), None);
+    }
+
+    #[test]
+    fn objects_live_in_sensible_places() {
+        assert_eq!(ObjectKind::Stove.location(), SubLocation::Kitchen);
+        assert_eq!(ObjectKind::TvRemote.location().room(), cace_model::Room::LivingRoom);
+    }
+
+    #[test]
+    fn cooking_uses_the_stove() {
+        let objs = ObjectKind::used_by(MacroActivity::Cooking);
+        assert!(objs.contains(&ObjectKind::Stove));
+        assert!(ObjectKind::used_by(MacroActivity::Sleeping).is_empty());
+    }
+
+    #[test]
+    fn sensitivity_controls_hit_rate() {
+        let noise = NoiseConfig::default(); // 55 % sensitivity
+        let mut rng = GaussianSampler::seed_from_u64(1);
+        let trials = 10_000;
+        let hits = (0..trials)
+            .filter(|_| {
+                read_bank(&[ObjectKind::Stove], &noise, &mut rng)[ObjectKind::Stove.index()]
+            })
+            .count();
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.55).abs() < 0.02, "hit rate {rate}");
+    }
+
+    #[test]
+    fn untouched_objects_rarely_fire() {
+        let noise = NoiseConfig::default();
+        let mut rng = GaussianSampler::seed_from_u64(2);
+        let trials = 10_000;
+        let false_hits = (0..trials)
+            .filter(|_| read_bank(&[], &noise, &mut rng)[ObjectKind::Fridge.index()])
+            .count();
+        let rate = false_hits as f64 / trials as f64;
+        assert!(rate < 0.03, "false-positive rate {rate}");
+    }
+
+    #[test]
+    fn noiseless_bank_is_exact() {
+        let noise = NoiseConfig::noiseless();
+        let mut rng = GaussianSampler::seed_from_u64(3);
+        let bank = read_bank(&[ObjectKind::BookShelf], &noise, &mut rng);
+        for kind in ObjectKind::ALL {
+            assert_eq!(bank[kind.index()], kind == ObjectKind::BookShelf);
+        }
+    }
+}

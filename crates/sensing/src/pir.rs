@@ -1,0 +1,157 @@
+//! Binary passive-infrared motion sensors, one per room.
+//!
+//! A PIR "indicates whether a particular room is occupied by one or more
+//! *moving* individuals" (paper §III-A) — it cannot attribute motion to a
+//! specific resident, which is exactly the ambiguity the coupled model
+//! resolves.
+
+use cace_model::{Postural, Room, SubLocation};
+use cace_signal::GaussianSampler;
+
+use crate::NoiseConfig;
+
+/// One room's PIR sensor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PirSensor {
+    /// The room this sensor covers.
+    pub room: Room,
+}
+
+impl PirSensor {
+    /// Creates the sensor for a room.
+    pub const fn new(room: Room) -> Self {
+        Self { room }
+    }
+
+    /// Simulates one reading given the residents' true locations/postures.
+    ///
+    /// Fires when any present resident is in this room with a moving posture,
+    /// subject to the configured false-positive/false-negative rates.
+    pub fn read(
+        &self,
+        occupants: &[(SubLocation, Postural)],
+        noise: &NoiseConfig,
+        rng: &mut GaussianSampler,
+    ) -> bool {
+        let genuine = occupants
+            .iter()
+            .any(|(loc, posture)| loc.room() == self.room && posture.is_moving());
+        if genuine {
+            !rng.chance(noise.pir_false_negative)
+        } else {
+            rng.chance(noise.pir_false_positive)
+        }
+    }
+
+    /// The full bank of sensors, one per room, in `Room` index order.
+    pub fn bank() -> [PirSensor; Room::COUNT] {
+        let mut sensors = [PirSensor::new(Room::LivingRoom); Room::COUNT];
+        for (i, room) in Room::ALL.into_iter().enumerate() {
+            sensors[i] = PirSensor::new(room);
+        }
+        sensors
+    }
+}
+
+/// Reads the entire PIR bank into a per-room boolean array.
+pub fn read_bank(
+    occupants: &[(SubLocation, Postural)],
+    noise: &NoiseConfig,
+    rng: &mut GaussianSampler,
+) -> [bool; Room::COUNT] {
+    let mut out = [false; Room::COUNT];
+    for (i, sensor) in PirSensor::bank().into_iter().enumerate() {
+        out[i] = sensor.read(occupants, noise, rng);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_on_motion_in_room() {
+        let sensor = PirSensor::new(Room::Kitchen);
+        let noise = NoiseConfig::noiseless();
+        let mut rng = GaussianSampler::seed_from_u64(1);
+        assert!(sensor.read(
+            &[(SubLocation::Kitchen, Postural::Walking)],
+            &noise,
+            &mut rng
+        ));
+    }
+
+    #[test]
+    fn silent_posture_does_not_fire() {
+        let sensor = PirSensor::new(Room::Kitchen);
+        let noise = NoiseConfig::noiseless();
+        let mut rng = GaussianSampler::seed_from_u64(2);
+        assert!(!sensor.read(
+            &[(SubLocation::Kitchen, Postural::Standing)],
+            &noise,
+            &mut rng
+        ));
+    }
+
+    #[test]
+    fn motion_in_other_room_does_not_fire() {
+        let sensor = PirSensor::new(Room::Bedroom);
+        let noise = NoiseConfig::noiseless();
+        let mut rng = GaussianSampler::seed_from_u64(3);
+        assert!(!sensor.read(
+            &[(SubLocation::Kitchen, Postural::Walking)],
+            &noise,
+            &mut rng
+        ));
+    }
+
+    #[test]
+    fn any_of_multiple_occupants_triggers() {
+        let sensor = PirSensor::new(Room::LivingRoom);
+        let noise = NoiseConfig::noiseless();
+        let mut rng = GaussianSampler::seed_from_u64(4);
+        assert!(sensor.read(
+            &[
+                (SubLocation::Couch1, Postural::Sitting),
+                (SubLocation::RestOfLivingRoom, Postural::Walking),
+            ],
+            &noise,
+            &mut rng
+        ));
+    }
+
+    #[test]
+    fn error_rates_are_respected() {
+        let sensor = PirSensor::new(Room::Porch);
+        let mut noise = NoiseConfig::noiseless();
+        noise.pir_false_positive = 0.2;
+        let mut rng = GaussianSampler::seed_from_u64(5);
+        let fires = (0..10_000)
+            .filter(|_| sensor.read(&[], &noise, &mut rng))
+            .count();
+        let rate = fires as f64 / 10_000.0;
+        assert!((rate - 0.2).abs() < 0.02, "false-positive rate {rate}");
+    }
+
+    #[test]
+    fn bank_covers_all_rooms() {
+        let bank = PirSensor::bank();
+        for (i, room) in Room::ALL.into_iter().enumerate() {
+            assert_eq!(bank[i].room, room);
+        }
+    }
+
+    #[test]
+    fn read_bank_reflects_occupancy() {
+        let noise = NoiseConfig::noiseless();
+        let mut rng = GaussianSampler::seed_from_u64(6);
+        let readings = read_bank(
+            &[(SubLocation::Bed, Postural::Walking)],
+            &noise,
+            &mut rng,
+        );
+        assert!(readings[Room::Bedroom.index()]);
+        assert!(!readings[Room::Kitchen.index()]);
+    }
+}

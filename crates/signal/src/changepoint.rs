@@ -1,0 +1,174 @@
+//! Change-point detection over frame feature streams.
+//!
+//! The paper uses "a change-point detection-based classification method
+//! towards feature extraction" (§VII-E) for the gestural stream: candidate
+//! segment boundaries are placed where the statistical profile of the signal
+//! shifts, and classification votes are aggregated within segments. We
+//! implement a two-sided CUSUM detector on mean shift plus a segmentation
+//! helper.
+
+/// A contiguous segment `[start, end)` of frames between change points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Segment {
+    /// First frame index (inclusive).
+    pub start: usize,
+    /// One past the last frame index.
+    pub end: usize,
+}
+
+impl Segment {
+    /// Length of the segment.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the segment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// Two-sided CUSUM mean-shift detector.
+///
+/// Maintains high/low cumulative sums against a reference mean re-estimated
+/// after every detection; a change point fires when either sum exceeds the
+/// threshold `h` (expressed in units of the drift-adjusted deviation).
+#[derive(Debug, Clone)]
+pub struct ChangePointDetector {
+    /// Detection threshold (typical: 4–8 standard deviations).
+    threshold: f64,
+    /// Allowed slack before deviations accumulate.
+    drift: f64,
+    reference: Option<f64>,
+    count: usize,
+    sum_high: f64,
+    sum_low: f64,
+}
+
+impl ChangePointDetector {
+    /// Creates a detector with the given threshold and drift.
+    ///
+    /// # Panics
+    /// Panics if `threshold <= 0` or `drift < 0`.
+    pub fn new(threshold: f64, drift: f64) -> Self {
+        assert!(threshold > 0.0, "threshold must be positive");
+        assert!(drift >= 0.0, "drift must be nonnegative");
+        Self { threshold, drift, reference: None, count: 0, sum_high: 0.0, sum_low: 0.0 }
+    }
+
+    /// Feeds one observation; returns `true` when a change point fires.
+    ///
+    /// After a detection the detector re-anchors on the new level.
+    pub fn observe(&mut self, x: f64) -> bool {
+        match self.reference {
+            None => {
+                self.reference = Some(x);
+                self.count = 1;
+                false
+            }
+            Some(reference) => {
+                let dev = x - reference;
+                self.sum_high = (self.sum_high + dev - self.drift).max(0.0);
+                self.sum_low = (self.sum_low + (-dev) - self.drift).max(0.0);
+                if self.sum_high > self.threshold || self.sum_low > self.threshold {
+                    self.reset_to(x);
+                    true
+                } else {
+                    // Track the reference with an exponentially weighted mean
+                    // so slow drift is absorbed while abrupt shifts still
+                    // accumulate in the CUSUM sums.
+                    self.count += 1;
+                    self.reference = Some(reference + 0.1 * (x - reference));
+                    false
+                }
+            }
+        }
+    }
+
+    fn reset_to(&mut self, level: f64) {
+        self.reference = Some(level);
+        self.count = 1;
+        self.sum_high = 0.0;
+        self.sum_low = 0.0;
+    }
+
+    /// Segments a whole feature stream, returning segment boundaries.
+    ///
+    /// Always returns at least one segment covering the whole stream when
+    /// `stream` is nonempty.
+    pub fn segment(&mut self, stream: &[f64]) -> Vec<Segment> {
+        let mut segments = Vec::new();
+        let mut start = 0usize;
+        for (i, &x) in stream.iter().enumerate() {
+            if self.observe(x) && i > start {
+                segments.push(Segment { start, end: i });
+                start = i;
+            }
+        }
+        if start < stream.len() {
+            segments.push(Segment { start, end: stream.len() });
+        }
+        segments
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_change_in_constant_stream() {
+        let mut d = ChangePointDetector::new(5.0, 0.1);
+        let stream = vec![1.0; 100];
+        let segs = d.segment(&stream);
+        assert_eq!(segs, vec![Segment { start: 0, end: 100 }]);
+    }
+
+    #[test]
+    fn detects_a_level_shift() {
+        let mut d = ChangePointDetector::new(3.0, 0.1);
+        let mut stream = vec![0.0; 50];
+        stream.extend(vec![5.0; 50]);
+        let segs = d.segment(&stream);
+        assert!(segs.len() >= 2, "expected a split, got {segs:?}");
+        // The first boundary should fall very near sample 50.
+        let boundary = segs[0].end;
+        assert!((49..=53).contains(&boundary), "boundary at {boundary}");
+    }
+
+    #[test]
+    fn segments_cover_stream_without_gaps() {
+        let mut d = ChangePointDetector::new(2.0, 0.05);
+        let stream: Vec<f64> = (0..200)
+            .map(|i| if (i / 40) % 2 == 0 { 0.0 } else { 3.0 })
+            .collect();
+        let segs = d.segment(&stream);
+        assert_eq!(segs.first().unwrap().start, 0);
+        assert_eq!(segs.last().unwrap().end, stream.len());
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "segments must tile the stream");
+        }
+        assert!(segs.iter().all(|s| !s.is_empty()));
+    }
+
+    #[test]
+    fn empty_stream_yields_no_segments() {
+        let mut d = ChangePointDetector::new(2.0, 0.0);
+        assert!(d.segment(&[]).is_empty());
+    }
+
+    #[test]
+    fn drift_tolerance_suppresses_slow_ramps() {
+        // A very slow ramp with generous drift allowance should not fire.
+        let mut d = ChangePointDetector::new(5.0, 0.2);
+        let stream: Vec<f64> = (0..100).map(|i| i as f64 * 0.01).collect();
+        let segs = d.segment(&stream);
+        assert_eq!(segs.len(), 1, "slow ramp should stay one segment: {segs:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_threshold() {
+        ChangePointDetector::new(0.0, 0.1);
+    }
+}

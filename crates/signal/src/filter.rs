@@ -1,0 +1,216 @@
+//! Streaming filters: single-pole high-pass / low-pass and moving average.
+//!
+//! The paper applies a "high-band pass filter" to both IMUs before computing
+//! acceleration trajectories (§VII-D); the high-pass removes the gravity and
+//! orientation-drift components so only motion dynamics remain.
+
+use crate::Vec3;
+
+/// First-order IIR low-pass filter `y[n] = y[n−1] + α (x[n] − y[n−1])`.
+#[derive(Debug, Clone)]
+pub struct LowPassFilter {
+    alpha: f64,
+    state: Option<f64>,
+}
+
+impl LowPassFilter {
+    /// Creates a low-pass with cutoff `fc` Hz at sampling rate `fs` Hz.
+    ///
+    /// # Panics
+    /// Panics if `fc <= 0` or `fs <= 0`.
+    pub fn new(fc: f64, fs: f64) -> Self {
+        assert!(fc > 0.0 && fs > 0.0, "cutoff and sample rate must be positive");
+        let rc = 1.0 / (2.0 * std::f64::consts::PI * fc);
+        let dt = 1.0 / fs;
+        Self { alpha: dt / (rc + dt), state: None }
+    }
+
+    /// Filters one sample.
+    pub fn apply(&mut self, x: f64) -> f64 {
+        let y = match self.state {
+            None => x,
+            Some(prev) => prev + self.alpha * (x - prev),
+        };
+        self.state = Some(y);
+        y
+    }
+
+    /// Resets the filter state.
+    pub fn reset(&mut self) {
+        self.state = None;
+    }
+}
+
+/// First-order IIR high-pass filter (complement of [`LowPassFilter`]):
+/// `y[n] = α (y[n−1] + x[n] − x[n−1])`.
+#[derive(Debug, Clone)]
+pub struct HighPassFilter {
+    alpha: f64,
+    prev_x: Option<f64>,
+    prev_y: f64,
+}
+
+impl HighPassFilter {
+    /// Creates a high-pass with cutoff `fc` Hz at sampling rate `fs` Hz.
+    ///
+    /// # Panics
+    /// Panics if `fc <= 0` or `fs <= 0`.
+    pub fn new(fc: f64, fs: f64) -> Self {
+        assert!(fc > 0.0 && fs > 0.0, "cutoff and sample rate must be positive");
+        let rc = 1.0 / (2.0 * std::f64::consts::PI * fc);
+        let dt = 1.0 / fs;
+        Self { alpha: rc / (rc + dt), prev_x: None, prev_y: 0.0 }
+    }
+
+    /// Filters one sample.
+    pub fn apply(&mut self, x: f64) -> f64 {
+        let y = match self.prev_x {
+            None => 0.0, // a constant signal carries no pass-band content
+            Some(px) => self.alpha * (self.prev_y + x - px),
+        };
+        self.prev_x = Some(x);
+        self.prev_y = y;
+        y
+    }
+
+    /// Resets the filter state.
+    pub fn reset(&mut self) {
+        self.prev_x = None;
+        self.prev_y = 0.0;
+    }
+}
+
+/// Component-wise 3-axis high-pass, used for gravity removal on IMU streams.
+#[derive(Debug, Clone)]
+pub struct HighPassFilter3 {
+    x: HighPassFilter,
+    y: HighPassFilter,
+    z: HighPassFilter,
+}
+
+impl HighPassFilter3 {
+    /// Creates a 3-axis high-pass with cutoff `fc` Hz at rate `fs` Hz.
+    pub fn new(fc: f64, fs: f64) -> Self {
+        let f = HighPassFilter::new(fc, fs);
+        Self { x: f.clone(), y: f.clone(), z: f }
+    }
+
+    /// Filters one 3-axis sample.
+    pub fn apply(&mut self, v: Vec3) -> Vec3 {
+        Vec3::new(self.x.apply(v.x), self.y.apply(v.y), self.z.apply(v.z))
+    }
+}
+
+/// Simple moving average over a fixed window.
+#[derive(Debug, Clone)]
+pub struct MovingAverage {
+    window: usize,
+    buf: Vec<f64>,
+    next: usize,
+    filled: usize,
+    sum: f64,
+}
+
+impl MovingAverage {
+    /// Creates a moving average of the given window length.
+    ///
+    /// # Panics
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "window must be nonzero");
+        Self { window, buf: vec![0.0; window], next: 0, filled: 0, sum: 0.0 }
+    }
+
+    /// Pushes a sample and returns the current mean of the window.
+    pub fn apply(&mut self, x: f64) -> f64 {
+        if self.filled == self.window {
+            self.sum -= self.buf[self.next];
+        } else {
+            self.filled += 1;
+        }
+        self.buf[self.next] = x;
+        self.sum += x;
+        self.next = (self.next + 1) % self.window;
+        self.sum / self.filled as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn low_pass_tracks_dc() {
+        let mut lp = LowPassFilter::new(5.0, 50.0);
+        let mut y = 0.0;
+        for _ in 0..500 {
+            y = lp.apply(2.5);
+        }
+        assert!((y - 2.5).abs() < 1e-6, "low-pass should converge to DC level, got {y}");
+    }
+
+    #[test]
+    fn high_pass_rejects_dc() {
+        let mut hp = HighPassFilter::new(0.5, 50.0);
+        let mut y = f64::MAX;
+        for _ in 0..2000 {
+            y = hp.apply(9.81); // gravity-like constant
+        }
+        assert!(y.abs() < 1e-3, "high-pass should kill constants, got {y}");
+    }
+
+    #[test]
+    fn high_pass_passes_fast_oscillation() {
+        let fs = 50.0;
+        let mut hp = HighPassFilter::new(0.5, fs);
+        let mut max_out: f64 = 0.0;
+        for n in 0..500 {
+            let t = n as f64 / fs;
+            let x = (2.0 * std::f64::consts::PI * 10.0 * t).sin(); // 10 Hz
+            max_out = max_out.max(hp.apply(x).abs());
+        }
+        assert!(max_out > 0.8, "10 Hz should pass nearly unattenuated, got {max_out}");
+    }
+
+    #[test]
+    fn three_axis_filter_removes_gravity() {
+        let mut hp = HighPassFilter3::new(0.5, 50.0);
+        let gravity = Vec3::new(0.0, 0.0, 9.81);
+        let mut out = Vec3::ZERO;
+        for _ in 0..2000 {
+            out = hp.apply(gravity);
+        }
+        assert!(out.norm() < 1e-3);
+    }
+
+    #[test]
+    fn moving_average_of_constant_is_constant() {
+        let mut ma = MovingAverage::new(4);
+        for _ in 0..10 {
+            assert!((ma.apply(3.0) - 3.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn moving_average_window_behavior() {
+        let mut ma = MovingAverage::new(2);
+        assert_eq!(ma.apply(1.0), 1.0);
+        assert_eq!(ma.apply(3.0), 2.0);
+        assert_eq!(ma.apply(5.0), 4.0); // window now [3, 5]
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut hp = HighPassFilter::new(1.0, 50.0);
+        hp.apply(1.0);
+        hp.apply(2.0);
+        hp.reset();
+        assert_eq!(hp.apply(42.0), 0.0); // first sample after reset
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_cutoff_rejected() {
+        LowPassFilter::new(0.0, 50.0);
+    }
+}

@@ -1,0 +1,311 @@
+//! Quaternion algebra for 9-axis IMU orientation tracking.
+//!
+//! The paper (§VII-D) represents device orientation as unit quaternions
+//! `q = q_s + q_x î + q_y ĵ + q_z k̂` computed from 9-axis IMU fusion, and
+//! computes the smartphone's position relative to the neck-mounted SensorTag
+//! frame as `w = q_t · w₀ · q_t⁻¹` (Eqn 16) with `w₀ = ĵ` (unit length from
+//! neck to pocket).
+
+use crate::Vec3;
+use std::fmt;
+use std::ops::Mul;
+
+/// A quaternion `s + x·î + y·ĵ + z·k̂`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Quaternion {
+    /// Scalar part `q_s`.
+    pub s: f64,
+    /// Imaginary `î` coefficient.
+    pub x: f64,
+    /// Imaginary `ĵ` coefficient.
+    pub y: f64,
+    /// Imaginary `k̂` coefficient.
+    pub z: f64,
+}
+
+impl Quaternion {
+    /// The identity rotation.
+    pub const IDENTITY: Quaternion = Quaternion { s: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a quaternion from scalar and vector parts.
+    pub const fn new(s: f64, x: f64, y: f64, z: f64) -> Self {
+        Self { s, x, y, z }
+    }
+
+    /// A pure quaternion `0 + v`.
+    pub const fn pure(v: Vec3) -> Self {
+        Self { s: 0.0, x: v.x, y: v.y, z: v.z }
+    }
+
+    /// Rotation of `angle` radians about the given axis.
+    ///
+    /// The axis need not be normalized; a zero axis yields the identity.
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Self {
+        match axis.normalized() {
+            None => Self::IDENTITY,
+            Some(u) => {
+                let (sin, cos) = (angle / 2.0).sin_cos();
+                Self { s: cos, x: u.x * sin, y: u.y * sin, z: u.z * sin }
+            }
+        }
+    }
+
+    /// Intrinsic Z-Y-X Euler construction (yaw, pitch, roll in radians).
+    pub fn from_euler(yaw: f64, pitch: f64, roll: f64) -> Self {
+        let qz = Self::from_axis_angle(Vec3::Z, yaw);
+        let qy = Self::from_axis_angle(Vec3::Y, pitch);
+        let qx = Self::from_axis_angle(Vec3::X, roll);
+        qz * qy * qx
+    }
+
+    /// Vector (imaginary) part.
+    pub const fn vector(self) -> Vec3 {
+        Vec3::new(self.x, self.y, self.z)
+    }
+
+    /// Quaternion magnitude `|q|`.
+    pub fn magnitude(self) -> f64 {
+        (self.s * self.s + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Whether `|q| = 1` within `tol`.
+    pub fn is_unit(self, tol: f64) -> bool {
+        (self.magnitude() - 1.0).abs() <= tol
+    }
+
+    /// Conjugate `q* = s − x î − y ĵ − z k̂`.
+    pub const fn conjugate(self) -> Self {
+        Self { s: self.s, x: -self.x, y: -self.y, z: -self.z }
+    }
+
+    /// Multiplicative inverse; for unit quaternions this equals the
+    /// conjugate. Returns `None` for the zero quaternion.
+    pub fn inverse(self) -> Option<Self> {
+        let m2 = self.s * self.s + self.x * self.x + self.y * self.y + self.z * self.z;
+        if m2 == 0.0 {
+            return None;
+        }
+        let c = self.conjugate();
+        Some(Self { s: c.s / m2, x: c.x / m2, y: c.y / m2, z: c.z / m2 })
+    }
+
+    /// Rescales to unit magnitude; the zero quaternion becomes the identity.
+    pub fn normalized(self) -> Self {
+        let m = self.magnitude();
+        if m == 0.0 {
+            Self::IDENTITY
+        } else {
+            Self { s: self.s / m, x: self.x / m, y: self.y / m, z: self.z / m }
+        }
+    }
+
+    /// Rotates a vector: `q · (0 + v) · q⁻¹` (paper Eqn 16 with `w₀ = v`).
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        let q = self.normalized();
+        let inv = q.conjugate(); // unit quaternion inverse
+        (q * Quaternion::pure(v) * inv).vector()
+    }
+
+    /// The 3×3 rotation-matrix form (row-major) of the unit quaternion.
+    pub fn to_rotation_matrix(self) -> [[f64; 3]; 3] {
+        let q = self.normalized();
+        let (s, x, y, z) = (q.s, q.x, q.y, q.z);
+        [
+            [
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - s * z),
+                2.0 * (x * z + s * y),
+            ],
+            [
+                2.0 * (x * y + s * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - s * x),
+            ],
+            [
+                2.0 * (x * z - s * y),
+                2.0 * (y * z + s * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ],
+        ]
+    }
+
+    /// Incremental orientation update from a gyroscope reading.
+    ///
+    /// Integrates angular rate `omega` (rad/s, body frame) over `dt` seconds:
+    /// `q ← normalize(q + ½·q·(0, ω)·dt)`. This is the prediction step of the
+    /// complementary/Madgwick-style fusion the sensing substrate uses.
+    pub fn integrate_gyro(self, omega: Vec3, dt: f64) -> Self {
+        let dq = self * Quaternion::pure(omega);
+        let q = Quaternion::new(
+            self.s + 0.5 * dq.s * dt,
+            self.x + 0.5 * dq.x * dt,
+            self.y + 0.5 * dq.y * dt,
+            self.z + 0.5 * dq.z * dt,
+        );
+        q.normalized()
+    }
+
+    /// Spherical linear interpolation between unit quaternions.
+    pub fn slerp(self, other: Quaternion, t: f64) -> Quaternion {
+        let a = self.normalized();
+        let mut b = other.normalized();
+        let mut dot = a.s * b.s + a.x * b.x + a.y * b.y + a.z * b.z;
+        // Take the short arc.
+        if dot < 0.0 {
+            b = Quaternion::new(-b.s, -b.x, -b.y, -b.z);
+            dot = -dot;
+        }
+        if dot > 0.9995 {
+            // Nearly parallel: linear interpolation is numerically safer.
+            return Quaternion::new(
+                a.s + t * (b.s - a.s),
+                a.x + t * (b.x - a.x),
+                a.y + t * (b.y - a.y),
+                a.z + t * (b.z - a.z),
+            )
+            .normalized();
+        }
+        let theta = dot.clamp(-1.0, 1.0).acos();
+        let (sa, sb) = (((1.0 - t) * theta).sin(), (t * theta).sin());
+        let denom = theta.sin();
+        Quaternion::new(
+            (a.s * sa + b.s * sb) / denom,
+            (a.x * sa + b.x * sb) / denom,
+            (a.y * sa + b.y * sb) / denom,
+            (a.z * sa + b.z * sb) / denom,
+        )
+        .normalized()
+    }
+}
+
+impl Default for Quaternion {
+    fn default() -> Self {
+        Self::IDENTITY
+    }
+}
+
+impl Mul for Quaternion {
+    type Output = Quaternion;
+    /// Hamilton product.
+    fn mul(self, o: Quaternion) -> Quaternion {
+        Quaternion {
+            s: self.s * o.s - self.x * o.x - self.y * o.y - self.z * o.z,
+            x: self.s * o.x + self.x * o.s + self.y * o.z - self.z * o.y,
+            y: self.s * o.y - self.x * o.z + self.y * o.s + self.z * o.x,
+            z: self.s * o.z + self.x * o.y - self.y * o.x + self.z * o.s,
+        }
+    }
+}
+
+impl fmt::Display for Quaternion {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.4} + {:.4}i + {:.4}j + {:.4}k", self.s, self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    fn assert_vec_close(a: Vec3, b: Vec3) {
+        assert!((a - b).norm() < 1e-10, "{a} != {b}");
+    }
+
+    fn assert_vec_near(a: Vec3, b: Vec3, tol: f64) {
+        assert!((a - b).norm() < tol, "{a} != {b} (tol {tol})");
+    }
+
+    #[test]
+    fn identity_rotation_is_noop() {
+        let v = Vec3::new(1.0, -2.0, 3.0);
+        assert_vec_close(Quaternion::IDENTITY.rotate(v), v);
+    }
+
+    #[test]
+    fn quarter_turn_about_z() {
+        let q = Quaternion::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        assert_vec_close(q.rotate(Vec3::X), Vec3::Y);
+        assert_vec_close(q.rotate(Vec3::Y), -Vec3::X);
+        assert_vec_close(q.rotate(Vec3::Z), Vec3::Z);
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let q = Quaternion::from_euler(0.3, -1.1, 2.0);
+        let v = Vec3::new(0.4, -2.2, 1.7);
+        assert!((q.rotate(v).norm() - v.norm()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn composition_matches_sequential_rotation() {
+        let q1 = Quaternion::from_axis_angle(Vec3::X, 0.7);
+        let q2 = Quaternion::from_axis_angle(Vec3::Y, -0.4);
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        assert_vec_close((q2 * q1).rotate(v), q2.rotate(q1.rotate(v)));
+    }
+
+    #[test]
+    fn inverse_undoes_rotation() {
+        let q = Quaternion::from_euler(1.0, 0.5, -0.8);
+        let v = Vec3::new(-1.0, 0.5, 2.0);
+        let inv = q.inverse().expect("nonzero quaternion");
+        assert_vec_close(inv.rotate(q.rotate(v)), v);
+        assert_eq!(Quaternion::new(0.0, 0.0, 0.0, 0.0).inverse(), None);
+    }
+
+    #[test]
+    fn unit_magnitude_from_axis_angle() {
+        let q = Quaternion::from_axis_angle(Vec3::new(1.0, 2.0, 3.0), 2.1);
+        assert!(q.is_unit(1e-12));
+    }
+
+    #[test]
+    fn rotation_matrix_agrees_with_rotate() {
+        let q = Quaternion::from_euler(0.2, 0.9, -1.3);
+        let m = q.to_rotation_matrix();
+        let v = Vec3::new(0.5, -1.0, 2.0);
+        let mv = Vec3::new(
+            m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z,
+        );
+        assert_vec_close(mv, q.rotate(v));
+    }
+
+    #[test]
+    fn gyro_integration_approximates_axis_angle() {
+        // Integrate a constant 90°/s turn about z for 1 s in small steps.
+        let mut q = Quaternion::IDENTITY;
+        let omega = Vec3::new(0.0, 0.0, FRAC_PI_2);
+        let steps = 2000;
+        for _ in 0..steps {
+            q = q.integrate_gyro(omega, 1.0 / steps as f64);
+        }
+        let expected = Quaternion::from_axis_angle(Vec3::Z, FRAC_PI_2);
+        // First-order integration: accuracy bounded by O(dt), not exact.
+        assert_vec_near(q.rotate(Vec3::X), expected.rotate(Vec3::X), 1e-3);
+    }
+
+    #[test]
+    fn slerp_endpoints_and_midpoint() {
+        let a = Quaternion::IDENTITY;
+        let b = Quaternion::from_axis_angle(Vec3::Z, PI / 2.0);
+        assert_vec_close(a.slerp(b, 0.0).rotate(Vec3::X), Vec3::X);
+        assert_vec_close(a.slerp(b, 1.0).rotate(Vec3::X), Vec3::Y);
+        let mid = a.slerp(b, 0.5);
+        let expected = Quaternion::from_axis_angle(Vec3::Z, PI / 4.0);
+        assert_vec_close(mid.rotate(Vec3::X), expected.rotate(Vec3::X));
+    }
+
+    #[test]
+    fn eqn16_neck_to_pocket() {
+        // Paper Eqn 16: w = q · w0 · q^-1 with w0 = ĵ. With the body upright
+        // (identity orientation) the pocket sits one unit along ĵ; pitching
+        // the torso forward by 90° about x̂ maps ĵ onto k̂.
+        let w0 = Vec3::Y;
+        assert_vec_close(Quaternion::IDENTITY.rotate(w0), Vec3::Y);
+        let bent = Quaternion::from_axis_angle(Vec3::X, FRAC_PI_2);
+        assert_vec_close(bent.rotate(w0), Vec3::Z);
+    }
+}

@@ -1,0 +1,264 @@
+//! Deterministic random sampling for the sensing simulator.
+//!
+//! Every stochastic component of the workspace draws through
+//! [`GaussianSampler`], a self-contained xoshiro256++ generator with
+//! SplitMix64 seeding and a Box–Muller normal transform. Keeping the
+//! generator in-crate (rather than using `rand`'s `StdRng`, which documents
+//! itself as non-portable) guarantees that a single `u64` seed reproduces an
+//! entire synthetic dataset bit-for-bit on any platform.
+
+use crate::Vec3;
+
+/// xoshiro256++ core state.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Xoshiro256 {
+    s: [u64; 4],
+}
+
+impl Xoshiro256 {
+    /// SplitMix64 expansion of a 64-bit seed into the full state.
+    fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        Self { s: [next(), next(), next(), next()] }
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+/// A seeded source of Gaussian, uniform, and categorical variates.
+#[derive(Debug, Clone)]
+pub struct GaussianSampler {
+    rng: Xoshiro256,
+    spare: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Creates a sampler from a seed; equal seeds produce equal streams.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        Self { rng: Xoshiro256::seed_from_u64(seed), spare: None }
+    }
+
+    /// Derives an independent child sampler; children with distinct tags are
+    /// decorrelated from each other and from the parent's future output.
+    pub fn fork(&mut self, tag: u64) -> GaussianSampler {
+        let base = self.rng.next_u64();
+        GaussianSampler::seed_from_u64(base ^ tag.wrapping_mul(0xA24B_AED4_963E_E407))
+    }
+
+    /// A standard normal variate (mean 0, variance 1) via Box–Muller.
+    pub fn standard_normal(&mut self) -> f64 {
+        if let Some(z) = self.spare.take() {
+            return z;
+        }
+        let u1 = loop {
+            let u = self.uniform();
+            if u > f64::MIN_POSITIVE {
+                break u;
+            }
+        };
+        let u2 = self.uniform();
+        let r = (-2.0_f64 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// A normal variate with the given mean and standard deviation.
+    ///
+    /// # Panics
+    /// Panics if `std_dev < 0`.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be nonnegative");
+        mean + std_dev * self.standard_normal()
+    }
+
+    /// An isotropic 3-D Gaussian sample.
+    pub fn normal_vec3(&mut self, mean: Vec3, std_dev: f64) -> Vec3 {
+        Vec3::new(
+            self.normal(mean.x, std_dev),
+            self.normal(mean.y, std_dev),
+            self.normal(mean.z, std_dev),
+        )
+    }
+
+    /// A uniform variate in `[0, 1)`.
+    pub fn uniform(&mut self) -> f64 {
+        // 53 random mantissa bits.
+        (self.rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// A uniform variate in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f64, hi: f64) -> f64 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// A uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        // Lemire-style rejection-free bounded draw (slight modulo bias is
+        // negligible for the simulator's small n).
+        (self.rng.next_u64() % n as u64) as usize
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.uniform() < p.clamp(0.0, 1.0)
+    }
+
+    /// Chooses an index according to unnormalized nonnegative weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to zero or less.
+    pub fn weighted_choice(&mut self, weights: &[f64]) -> usize {
+        let total: f64 = weights.iter().sum();
+        assert!(
+            !weights.is_empty() && total > 0.0,
+            "weights must be nonempty with positive sum"
+        );
+        let mut target = self.uniform() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.rng.next_u64()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism() {
+        let mut a = GaussianSampler::seed_from_u64(7);
+        let mut b = GaussianSampler::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.standard_normal(), b.standard_normal());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = GaussianSampler::seed_from_u64(1);
+        let mut b = GaussianSampler::seed_from_u64(2);
+        let same = (0..32).filter(|_| a.standard_normal() == b.standard_normal()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn forks_are_decorrelated() {
+        let mut parent = GaussianSampler::seed_from_u64(3);
+        let mut c1 = parent.fork(1);
+        let mut c2 = parent.fork(2);
+        let same = (0..64).filter(|_| c1.next_u64() == c2.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn moments_are_about_right() {
+        let mut s = GaussianSampler::seed_from_u64(42);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| s.normal(3.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 3.0).abs() < 0.05, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.15, "variance {var}");
+    }
+
+    #[test]
+    fn uniform_is_in_unit_interval() {
+        let mut s = GaussianSampler::seed_from_u64(13);
+        for _ in 0..10_000 {
+            let u = s.uniform();
+            assert!((0.0..1.0).contains(&u));
+        }
+        let x = s.uniform_in(-2.0, 5.0);
+        assert!((-2.0..5.0).contains(&x));
+    }
+
+    #[test]
+    fn chance_frequencies() {
+        let mut s = GaussianSampler::seed_from_u64(9);
+        let hits = (0..20_000).filter(|_| s.chance(0.25)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "rate {rate}");
+        assert!(!(0..100).any(|_| s.chance(0.0)));
+        assert!((0..100).all(|_| s.chance(1.0)));
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut s = GaussianSampler::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..30_000 {
+            counts[s.weighted_choice(&[1.0, 2.0, 7.0])] += 1;
+        }
+        let f2 = counts[2] as f64 / 30_000.0;
+        assert!((f2 - 0.7).abs() < 0.02, "heavy weight frequency {f2}");
+        assert!(counts[0] < counts[1] && counts[1] < counts[2]);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut s = GaussianSampler::seed_from_u64(17);
+        let mut v: Vec<u32> = (0..100).collect();
+        s.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should move something");
+    }
+
+    #[test]
+    fn below_is_in_range() {
+        let mut s = GaussianSampler::seed_from_u64(11);
+        for _ in 0..1000 {
+            assert!(s.below(7) < 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_std_dev_rejected() {
+        GaussianSampler::seed_from_u64(0).normal(0.0, -1.0);
+    }
+}

@@ -1,0 +1,132 @@
+//! Frame segmentation: fixed-length windows with configurable overlap.
+//!
+//! The paper segments acceleration trajectories into 1.5 s frames with 50 %
+//! overlap ("best segment achieved from trial and error") before feature
+//! extraction.
+
+/// An iterator-producing view of a signal as overlapping frames.
+#[derive(Debug, Clone)]
+pub struct FrameWindows {
+    frame_len: usize,
+    hop: usize,
+}
+
+impl FrameWindows {
+    /// Creates a segmentation with `frame_len` samples per frame and a hop of
+    /// `frame_len − overlap` samples.
+    ///
+    /// # Panics
+    /// Panics if `frame_len == 0` or `overlap >= frame_len`.
+    pub fn new(frame_len: usize, overlap: usize) -> Self {
+        assert!(frame_len > 0, "frame length must be nonzero");
+        assert!(overlap < frame_len, "overlap must be smaller than the frame");
+        Self { frame_len, hop: frame_len - overlap }
+    }
+
+    /// The paper's default: 1.5 s frames with 50 % overlap at `fs` Hz.
+    pub fn paper_default(fs: f64) -> Self {
+        let frame_len = (1.5 * fs).round() as usize;
+        Self::new(frame_len, frame_len / 2)
+    }
+
+    /// Samples per frame.
+    pub const fn frame_len(&self) -> usize {
+        self.frame_len
+    }
+
+    /// Samples between consecutive frame starts.
+    pub const fn hop(&self) -> usize {
+        self.hop
+    }
+
+    /// Number of complete frames available in a signal of length `n`.
+    pub fn frame_count(&self, n: usize) -> usize {
+        if n < self.frame_len {
+            0
+        } else {
+            (n - self.frame_len) / self.hop + 1
+        }
+    }
+
+    /// Iterates over complete frames of `signal`.
+    pub fn iter<'a, T>(&self, signal: &'a [T]) -> impl Iterator<Item = &'a [T]> + 'a {
+        let frame_len = self.frame_len;
+        let hop = self.hop;
+        (0..self.frame_count(signal.len()))
+            .map(move |i| i * hop)
+            .map(move |start| &signal[start..start + frame_len])
+    }
+
+    /// Start sample index of frame `i`.
+    pub fn frame_start(&self, i: usize) -> usize {
+        i * self.hop
+    }
+
+    /// Maps a sample index to the *last* frame whose window starts at or
+    /// before it (`sample / hop`). Because the hop never exceeds the frame
+    /// length, that frame always covers the sample; near the end of a finite
+    /// signal it may be an incomplete frame that [`iter`](Self::iter) does
+    /// not emit, so callers should clamp to `frame_count - 1`.
+    pub fn frame_of_sample(&self, sample: usize) -> usize {
+        sample / self.hop
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_at_50hz() {
+        let w = FrameWindows::paper_default(50.0);
+        assert_eq!(w.frame_len(), 75);
+        assert_eq!(w.hop(), 38); // 75 - 37 (75/2 = 37 integer division)
+    }
+
+    #[test]
+    fn frame_counting() {
+        let w = FrameWindows::new(4, 2);
+        assert_eq!(w.frame_count(0), 0);
+        assert_eq!(w.frame_count(3), 0);
+        assert_eq!(w.frame_count(4), 1);
+        assert_eq!(w.frame_count(6), 2);
+        assert_eq!(w.frame_count(8), 3);
+    }
+
+    #[test]
+    fn frames_have_right_content() {
+        let signal: Vec<i32> = (0..8).collect();
+        let w = FrameWindows::new(4, 2);
+        let frames: Vec<&[i32]> = w.iter(&signal).collect();
+        assert_eq!(frames, vec![&[0, 1, 2, 3][..], &[2, 3, 4, 5], &[4, 5, 6, 7]]);
+    }
+
+    #[test]
+    fn no_overlap_partition() {
+        let signal: Vec<i32> = (0..9).collect();
+        let w = FrameWindows::new(3, 0);
+        let frames: Vec<&[i32]> = w.iter(&signal).collect();
+        assert_eq!(frames.len(), 3);
+        assert_eq!(frames[2], &[6, 7, 8]);
+    }
+
+    #[test]
+    fn frame_of_sample_contains_the_sample() {
+        let w = FrameWindows::new(4, 2);
+        assert_eq!(w.frame_of_sample(0), 0);
+        assert_eq!(w.frame_of_sample(3), 1);
+        assert_eq!(w.frame_of_sample(5), 2);
+        // Consistency: the frame returned actually contains the sample.
+        for s in 0..50 {
+            let f = w.frame_of_sample(s);
+            let start = w.frame_start(f);
+            assert!((start..start + w.frame_len()).contains(&s));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "overlap")]
+    fn rejects_full_overlap() {
+        FrameWindows::new(4, 4);
+    }
+}

@@ -1,0 +1,59 @@
+//! Failure injection: degrade the sensors (IMU dropouts, unreliable PIR,
+//! noisy beacons) and watch the coupled model hold up better than the
+//! uncoupled one — the robustness motivation of the paper's §II.
+//!
+//! Run with: `cargo run --release --example failure_injection`
+
+use cace::behavior::session::train_test_split;
+use cace::behavior::{cace_grammar, generate_cace_dataset, SessionConfig};
+use cace::core::{CaceConfig, CaceEngine, Strategy};
+use cace::sensing::NoiseConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let grammar = cace_grammar();
+
+    println!(
+        "{:<22} {:>14} {:>14}",
+        "sensor condition", "C2 (coupled)", "NCR (solo)"
+    );
+    for (name, noise) in [
+        ("default noise", NoiseConfig::default()),
+        ("degraded sensors", NoiseConfig::degraded()),
+    ] {
+        // Train on clean data, test under the given condition — models are
+        // deployed once but sensors degrade in the field.
+        let train_sessions = generate_cace_dataset(
+            &grammar,
+            1,
+            4,
+            &SessionConfig::standard().with_ticks(180),
+            77,
+        );
+        let (train, _) = train_test_split(train_sessions, 0.99);
+        let test_sessions = generate_cace_dataset(
+            &grammar,
+            1,
+            2,
+            &SessionConfig::standard().with_ticks(180).with_noise(noise),
+            78,
+        );
+
+        let mut row = Vec::new();
+        for strategy in [Strategy::CorrelationConstraint, Strategy::NaiveCorrelation] {
+            let engine =
+                CaceEngine::train(&train, &CaceConfig::default().with_strategy(strategy))?;
+            let mut acc = 0.0;
+            for session in &test_sessions {
+                acc += engine.recognize(session)?.accuracy(session);
+            }
+            row.push(100.0 * acc / test_sessions.len() as f64);
+        }
+        println!("{:<22} {:>13.1}% {:>13.1}%", name, row[0], row[1]);
+    }
+    println!(
+        "\nUnder degradation the inter-user coupling supplies the context the\n\
+         failed sensors no longer can — the gap between the columns should\n\
+         widen on the degraded row."
+    );
+    Ok(())
+}

@@ -1,0 +1,61 @@
+//! # CACE — Constraints And Correlations mining Engine
+//!
+//! A from-scratch Rust reproduction of *CACE: Exploiting Behavioral
+//! Interactions for Improved Activity Recognition in Multi-Inhabitant Smart
+//! Homes* (Alam, Roy, Misra, Taylor — ICDCS 2016).
+//!
+//! CACE recognizes complex ("macro") daily activities of multiple smart-home
+//! residents from postural, oral-gestural, and location micro-context, by
+//! (1) modeling each resident as a two-level hierarchical dynamic Bayesian
+//! network coupled to their housemate's chain, and (2) pruning the
+//! exponentially large joint state space with behaviorally mined
+//! *correlations* (deterministic association rules) and *constraints*
+//! (probabilistic transition/co-occurrence structure).
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | contents |
+//! |---|---|
+//! | [`model`] | activity/location vocabularies, context tuples, state spaces |
+//! | [`signal`] | quaternions, filters, Goertzel, framing, change-point detection |
+//! | [`sensing`] | PIR / object / iBeacon / IMU testbed simulator |
+//! | [`behavior`] | multi-inhabitant routine generator (CACE + CASAS datasets) |
+//! | [`features`] | the 32-feature frame schema and session extraction |
+//! | [`learn`] | random forests, deterministic-annealing clustering, Gaussians |
+//! | [`mining`] | Apriori, rule language, correlation & constraint miners |
+//! | [`hdbn`] | single/coupled HDBNs, EM training, Viterbi decoding |
+//! | [`baselines`] | HMM, coupled HMM, factorial CRF comparators |
+//! | [`eval`] | confusion matrices, duration error, ROC areas |
+//! | [`core`] | the end-to-end engine and the NH/NCR/NCS/C2 strategies |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use cace::behavior::{cace_grammar, generate_cace_dataset, SessionConfig};
+//! use cace::behavior::session::train_test_split;
+//! use cace::core::{CaceConfig, CaceEngine};
+//!
+//! let grammar = cace_grammar();
+//! let sessions = generate_cace_dataset(
+//!     &grammar, 1, 3, &SessionConfig::tiny().with_ticks(100), 7);
+//! let (train, test) = train_test_split(sessions, 0.67);
+//! let engine = CaceEngine::train(&train, &CaceConfig::default())?;
+//! let recognition = engine.recognize(&test[0])?;
+//! println!("accuracy: {:.1} %", 100.0 * recognition.accuracy(&test[0]));
+//! # Ok::<(), cace::model::ModelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use cace_baselines as baselines;
+pub use cace_behavior as behavior;
+pub use cace_core as core;
+pub use cace_eval as eval;
+pub use cace_features as features;
+pub use cace_hdbn as hdbn;
+pub use cace_learn as learn;
+pub use cace_mining as mining;
+pub use cace_model as model;
+pub use cace_sensing as sensing;
+pub use cace_signal as signal;

@@ -1,0 +1,136 @@
+//! Cross-crate comparison: the coupled HDBN against the HMM / CHMM / FCRF
+//! comparators on the same simulated data (the paper's Fig 10 setting).
+
+use cace::baselines::{CoupledHmm, Fcrf, FcrfConfig, Hmm};
+use cace::behavior::session::train_test_split;
+use cace::behavior::{cace_grammar, generate_cace_dataset, Session, SessionConfig};
+use cace::core::{CaceConfig, CaceEngine};
+use cace::features::extract_session;
+
+struct BaselineBench {
+    classifiers: cace::core::classifiers::MicroClassifiers,
+    n_macro: usize,
+}
+
+impl BaselineBench {
+    fn train(sessions: &[Session]) -> Self {
+        let features = cace::core::classifiers::extract_all(sessions);
+        let classifiers = cace::core::classifiers::MicroClassifiers::train(
+            sessions,
+            &features,
+            sessions[0].n_activities,
+            2,
+            99,
+        )
+        .unwrap();
+        Self { classifiers, n_macro: sessions[0].n_activities }
+    }
+
+    fn emissions(&self, session: &Session, use_tag: bool) -> [Vec<Vec<f64>>; 2] {
+        let features = extract_session(session);
+        let mut out = [Vec::new(), Vec::new()];
+        for u in 0..2 {
+            for t in 0..session.len() {
+                let f = &features.per_tick[t][u];
+                out[u].push(self.classifiers.macro_log_proba(
+                    f.phone.as_ref().map(|v| v.as_slice()),
+                    f.tag.as_ref().filter(|_| use_tag).map(|v| v.as_slice()),
+                ));
+            }
+        }
+        out
+    }
+
+    fn accuracy(&self, macros: &[Vec<usize>; 2], session: &Session) -> f64 {
+        let mut correct = 0usize;
+        let mut total = 0usize;
+        for u in 0..2 {
+            for (t, tick) in session.ticks.iter().enumerate() {
+                total += 1;
+                if macros[u][t] == tick.labels[u] {
+                    correct += 1;
+                }
+            }
+        }
+        correct as f64 / total as f64
+    }
+}
+
+#[test]
+fn chdbn_outperforms_or_matches_all_baselines() {
+    let grammar = cace_grammar();
+    let sessions = generate_cace_dataset(
+        &grammar,
+        1,
+        5,
+        &SessionConfig::tiny().with_ticks(180),
+        2016,
+    );
+    let (train, test) = train_test_split(sessions, 0.8);
+    let bench = BaselineBench::train(&train);
+
+    // CHDBN (C2).
+    let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+
+    // HMM.
+    let label_seqs: Vec<Vec<usize>> =
+        train.iter().flat_map(|s| [s.labels_of(0), s.labels_of(1)]).collect();
+    let hmm = Hmm::fit(&label_seqs, bench.n_macro, 0.5).unwrap();
+
+    // CHMM.
+    let paired: Vec<[Vec<usize>; 2]> =
+        train.iter().map(|s| [s.labels_of(0), s.labels_of(1)]).collect();
+    let chmm = CoupledHmm::fit(&paired, bench.n_macro, 0.5).unwrap();
+
+    // FCRF (wearable-only evidence).
+    let mut fcrf = Fcrf::new(bench.n_macro);
+    let fcrf_data: Vec<_> = train
+        .iter()
+        .map(|s| (bench.emissions(s, true), [s.labels_of(0), s.labels_of(1)]))
+        .collect();
+    fcrf.fit(&fcrf_data, &FcrfConfig { epochs: 3, learning_rate: 0.05 }).unwrap();
+
+    let mut acc = std::collections::HashMap::new();
+    for session in &test {
+        let chdbn = engine.recognize(session).unwrap();
+        *acc.entry("CHDBN").or_insert(0.0) += chdbn.accuracy(session);
+
+        let em = bench.emissions(session, true);
+        let h = [
+            hmm.viterbi(&em[0]).unwrap().macros,
+            hmm.viterbi(&em[1]).unwrap().macros,
+        ];
+        *acc.entry("HMM").or_insert(0.0) += bench.accuracy(&h, session);
+
+        let c = chmm.viterbi(&em).unwrap();
+        *acc.entry("CHMM").or_insert(0.0) += bench.accuracy(&c.macros, session);
+
+        let f = fcrf.viterbi(&em).unwrap();
+        *acc.entry("FCRF").or_insert(0.0) += bench.accuracy(&f.macros, session);
+    }
+    let n = test.len() as f64;
+    for v in acc.values_mut() {
+        *v /= n;
+    }
+
+    // Shape of Fig 10: the coupled hierarchical model should not lose to
+    // the flat per-user HMM, and should be competitive with every baseline.
+    assert!(
+        acc["CHDBN"] + 0.03 >= acc["HMM"],
+        "CHDBN {:.3} vs HMM {:.3} ({acc:?})",
+        acc["CHDBN"],
+        acc["HMM"]
+    );
+    assert!(
+        acc["CHDBN"] + 0.10 >= acc["CHMM"],
+        "CHDBN {:.3} should be competitive with CHMM {:.3}",
+        acc["CHDBN"],
+        acc["CHMM"]
+    );
+    assert!(
+        acc["CHDBN"] + 0.10 >= acc["FCRF"],
+        "CHDBN {:.3} should be competitive with FCRF {:.3}",
+        acc["CHDBN"],
+        acc["FCRF"]
+    );
+}

@@ -1,0 +1,76 @@
+//! Engine-configuration behaviors: augmentation weights, beams, evidence
+//! thresholds.
+
+use cace::behavior::session::train_test_split;
+use cace::behavior::{cace_grammar, generate_cace_dataset, SessionConfig};
+use cace::core::{CaceConfig, CaceEngine, Strategy};
+
+fn split(seed: u64) -> (Vec<cace::behavior::Session>, Vec<cace::behavior::Session>) {
+    let grammar = cace_grammar();
+    let data = generate_cace_dataset(
+        &grammar,
+        1,
+        4,
+        &SessionConfig::tiny().with_ticks(140),
+        seed,
+    );
+    train_test_split(data, 0.75)
+}
+
+#[test]
+fn zero_coupling_weight_still_decodes() {
+    let (train, test) = split(21);
+    let mut config = CaceConfig::default();
+    config.coupling_weight = 0.0;
+    let engine = CaceEngine::train(&train, &config).unwrap();
+    let rec = engine.recognize(&test[0]).unwrap();
+    assert!(rec.accuracy(&test[0]) > 0.3);
+}
+
+#[test]
+fn zero_hierarchy_weight_hurts_but_runs() {
+    let (train, test) = split(22);
+    let baseline = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+    let mut flat_config = CaceConfig::default();
+    flat_config.hierarchy_weight = 0.0;
+    let flat = CaceEngine::train(&train, &flat_config).unwrap();
+    let acc_base = baseline.recognize(&test[0]).unwrap().accuracy(&test[0]);
+    let acc_flat = flat.recognize(&test[0]).unwrap().accuracy(&test[0]);
+    // The hierarchy carries signal; dropping it must not help much.
+    assert!(
+        acc_base + 0.1 >= acc_flat,
+        "hierarchy off ({acc_flat}) should not clearly beat on ({acc_base})"
+    );
+}
+
+#[test]
+fn wider_beam_explores_more_states() {
+    let (train, test) = split(23);
+    let narrow_cfg = CaceConfig { beam: 2, ..CaceConfig::default() }
+        .with_strategy(Strategy::NaiveConstraint);
+    let wide_cfg = CaceConfig { beam: 12, ..CaceConfig::default() }
+        .with_strategy(Strategy::NaiveConstraint);
+    let narrow = CaceEngine::train(&train, &narrow_cfg).unwrap();
+    let wide = CaceEngine::train(&train, &wide_cfg).unwrap();
+    let rn = narrow.recognize(&test[0]).unwrap();
+    let rw = wide.recognize(&test[0]).unwrap();
+    assert!(rw.states_explored > rn.states_explored);
+    assert!(rw.transition_ops > rn.transition_ops);
+}
+
+#[test]
+fn strict_evidence_thresholds_reduce_rule_firings() {
+    let (train, test) = split(24);
+    let loose = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+    let mut strict_cfg = CaceConfig::default();
+    strict_cfg.evidence.postural_confidence = 0.999;
+    strict_cfg.evidence.gestural_confidence = 0.999;
+    strict_cfg.evidence.beacon_max_residual = 0.0;
+    let strict = CaceEngine::train(&train, &strict_cfg).unwrap();
+    let fl = loose.recognize(&test[0]).unwrap().rules_fired;
+    let fs = strict.recognize(&test[0]).unwrap().rules_fired;
+    assert!(
+        fs <= fl,
+        "stricter evidence must not fire more rules ({fs} vs {fl})"
+    );
+}

@@ -1,0 +1,142 @@
+//! Integration tests of the miners against the behavioral simulator: the
+//! rules CACE discovers must reflect the couplings the grammar encodes.
+
+use cace::behavior::{cace_grammar, generate_cace_dataset, SessionConfig};
+use cace::core::{CaceConfig, CaceEngine};
+use cace::mining::item::Atom;
+use cace::model::{MacroActivity, Postural, SubLocation};
+
+fn trained_engine(seed: u64) -> CaceEngine {
+    let grammar = cace_grammar();
+    let sessions = generate_cace_dataset(
+        &grammar,
+        1,
+        6,
+        &SessionConfig::tiny().with_ticks(250),
+        seed,
+    );
+    CaceEngine::train(&sessions, &CaceConfig::default()).unwrap()
+}
+
+#[test]
+fn miner_discovers_venue_activity_correlations() {
+    let engine = trained_engine(42);
+    let space = engine.space();
+    // Some rule must conclude a macro activity from micro context — the
+    // heart of Table IV.
+    let macro_rules = engine
+        .rules()
+        .rules()
+        .iter()
+        .filter(|r| {
+            matches!(
+                space.decode(r.consequent).map(|i| i.atom),
+                Some(Atom::Macro(_))
+            )
+        })
+        .count();
+    assert!(macro_rules > 0, "no micro ⇒ macro rules mined:\n{}", engine.rules());
+}
+
+#[test]
+fn miner_discovers_bathroom_exclusivity() {
+    let engine = trained_engine(43);
+    let space = engine.space();
+    let bath = SubLocation::Bathroom.index() as u16;
+    let found = engine.rules().negatives().iter().any(|neg| {
+        let a = space.decode(neg.if_item);
+        let b = space.decode(neg.then_not);
+        matches!(
+            (a.map(|i| i.atom), b.map(|i| i.atom)),
+            (Some(Atom::Location(x)), Some(Atom::Location(y))) if x == bath && y == bath
+        )
+    });
+    assert!(
+        found,
+        "bathroom exclusivity not mined; negatives: {:?}",
+        engine.rules().negatives()
+    );
+}
+
+#[test]
+fn mined_rule_confidences_respect_thresholds() {
+    let engine = trained_engine(44);
+    for rule in engine.rules().rules() {
+        assert!(rule.confidence >= 0.99, "rule below minConf: {rule:?}");
+        assert!(rule.support >= 0.04 - 1e-9, "rule below minSup: {rule:?}");
+        assert!(!rule.antecedent.is_empty());
+    }
+}
+
+#[test]
+fn rule_count_is_in_a_sane_band() {
+    // The paper reports 58 unified rules on its CACE dataset and 47 on
+    // CASAS. Our mined set is larger because (a) the simulator produces
+    // many perfectly deterministic contexts and (b) we keep the per-pair
+    // micro→macro exclusions explicit rather than merging them into
+    // disjunctive rules; the band below just guards against a blow-up.
+    let engine = trained_engine(45);
+    let n = engine.rules().len();
+    assert!(n >= 5, "too few rules: {n}");
+    assert!(n <= 1200, "rule explosion: {n}");
+}
+
+#[test]
+fn exercising_is_identified_by_cycling_at_the_bike() {
+    // Either a mined rule or the hierarchy statistics must tie cycling@SR1
+    // to Exercising strongly.
+    let engine = trained_engine(46);
+    let stats = engine.stats();
+    let ex = MacroActivity::Exercising.index();
+    let cycling = Postural::Cycling.index();
+    // P(cycling | exercising) must dominate P(cycling | other).
+    let p_ex = stats.postural_given_macro[ex][cycling];
+    for (a, row) in stats.postural_given_macro.iter().enumerate() {
+        if a != ex && a != MacroActivity::Random.index() {
+            assert!(
+                p_ex > row[cycling],
+                "cycling should be most typical of Exercising (vs activity {a})"
+            );
+        }
+    }
+    let bike = SubLocation::ExerciseBike.index();
+    assert!(
+        stats.location_given_macro[ex][bike] > 0.5,
+        "Exercising should concentrate at SR1: {}",
+        stats.location_given_macro[ex][bike]
+    );
+}
+
+#[test]
+fn inter_user_cooccurrence_reflects_shared_dining() {
+    let engine = trained_engine(47);
+    let stats = engine.stats();
+    let dining = MacroActivity::Dining.index();
+    // Given one resident dining, the partner's most likely concurrent
+    // activity should be dining too (Proposition 4's "dine together").
+    let row = &stats.inter_cooc[dining];
+    let best = row
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+        .unwrap()
+        .0;
+    assert_eq!(
+        best, dining,
+        "partner of a dining resident should most likely dine: {row:?}"
+    );
+}
+
+#[test]
+fn end_probabilities_reflect_episode_lengths() {
+    let engine = trained_engine(48);
+    let stats = engine.stats();
+    // Random is the short filler activity: its termination probability must
+    // exceed the long activities' (sleeping).
+    let random = stats.end_prob[MacroActivity::Random.index()];
+    let sleeping = stats.end_prob[MacroActivity::Sleeping.index()];
+    assert!(
+        random > sleeping,
+        "short filler should end more often: random {random} vs sleeping {sleeping}"
+    );
+}

@@ -1,0 +1,149 @@
+//! End-to-end integration tests across the whole workspace: simulate,
+//! train, recognize, evaluate.
+
+use cace::behavior::session::train_test_split;
+use cace::behavior::{
+    cace_grammar, generate_cace_dataset, generate_casas_dataset, CasasConfig, SessionConfig,
+};
+use cace::core::{CaceConfig, CaceEngine, Strategy};
+use cace::eval::ConfusionMatrix;
+use cace::model::StateMask;
+
+fn cace_split(
+    sessions: usize,
+    ticks: usize,
+    seed: u64,
+) -> (Vec<cace::behavior::Session>, Vec<cace::behavior::Session>) {
+    let grammar = cace_grammar();
+    let data = generate_cace_dataset(
+        &grammar,
+        1,
+        sessions,
+        &SessionConfig::tiny().with_ticks(ticks),
+        seed,
+    );
+    train_test_split(data, 0.75)
+}
+
+#[test]
+fn c2_pipeline_reaches_high_accuracy() {
+    let (train, test) = cace_split(4, 180, 1);
+    let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+    let mut confusion = ConfusionMatrix::new(engine.n_macro());
+    for session in &test {
+        let rec = engine.recognize(session).unwrap();
+        for u in 0..2 {
+            confusion.record_all(&session.labels_of(u), &rec.macros[u]);
+        }
+    }
+    let acc = confusion.accuracy();
+    assert!(acc > 0.6, "C2 accuracy {acc} too low for a clean simulation");
+}
+
+#[test]
+fn full_modality_beats_ablations_on_average() {
+    let (train, test) = cace_split(4, 160, 2);
+    let mut scores = Vec::new();
+    for mask in [StateMask::FULL, StateMask::NO_LOCATION] {
+        let engine =
+            CaceEngine::train(&train, &CaceConfig::default().with_mask(mask)).unwrap();
+        let mut acc = 0.0;
+        for session in &test {
+            acc += engine.recognize(session).unwrap().accuracy(session);
+        }
+        scores.push(acc / test.len() as f64);
+    }
+    assert!(
+        scores[0] + 0.02 > scores[1],
+        "full {:.3} should not lose clearly to location-ablated {:.3}",
+        scores[0],
+        scores[1]
+    );
+}
+
+#[test]
+fn coupled_strategies_beat_flat_hmm() {
+    let (train, test) = cace_split(4, 160, 3);
+    let mut by_strategy = std::collections::HashMap::new();
+    for strategy in Strategy::ALL {
+        let engine =
+            CaceEngine::train(&train, &CaceConfig::default().with_strategy(strategy))
+                .unwrap();
+        let mut acc = 0.0;
+        for session in &test {
+            acc += engine.recognize(session).unwrap().accuracy(session);
+        }
+        by_strategy.insert(strategy.label(), acc / test.len() as f64);
+    }
+    // The coupled hierarchical configuration should at least match NH.
+    assert!(
+        by_strategy["C2"] + 0.05 >= by_strategy["NH"],
+        "C2 {:.3} vs NH {:.3}",
+        by_strategy["C2"],
+        by_strategy["NH"]
+    );
+}
+
+#[test]
+fn c2_prunes_the_state_space_by_an_order_of_magnitude() {
+    let (train, test) = cace_split(4, 150, 4);
+    let ncs = CaceEngine::train(
+        &train,
+        &CaceConfig::default().with_strategy(Strategy::NaiveConstraint),
+    )
+    .unwrap();
+    let c2 = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+    let mut ncs_ops = 0u64;
+    let mut c2_ops = 0u64;
+    for session in &test {
+        ncs_ops += ncs.recognize(session).unwrap().transition_ops;
+        c2_ops += c2.recognize(session).unwrap().transition_ops;
+    }
+    let ratio = ncs_ops as f64 / c2_ops.max(1) as f64;
+    assert!(ratio > 4.0, "pruning speedup only {ratio:.1}× (paper: 16×)");
+}
+
+#[test]
+fn casas_pipeline_runs_without_gestural_modality() {
+    let cfg = CasasConfig { pairs: 2, sessions_per_pair: 2, ticks: 120, ..CasasConfig::default() };
+    let sessions = generate_casas_dataset(&cfg, 5);
+    let (train, test) = train_test_split(sessions, 0.75);
+    let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+    assert_eq!(engine.n_macro(), 15);
+    let rec = engine.recognize(&test[0]).unwrap();
+    let acc = rec.accuracy(&test[0]);
+    assert!(acc > 0.3, "CASAS accuracy {acc} collapsed");
+}
+
+#[test]
+fn recognition_is_deterministic() {
+    let (train, test) = cace_split(3, 100, 6);
+    let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+    let a = engine.recognize(&test[0]).unwrap();
+    let b = engine.recognize(&test[0]).unwrap();
+    assert_eq!(a.macros, b.macros);
+    assert_eq!(a.states_explored, b.states_explored);
+}
+
+#[test]
+fn em_refinement_does_not_break_the_pipeline() {
+    let (train, test) = cace_split(3, 100, 7);
+    let mut config = CaceConfig::default();
+    config.run_em = true;
+    config.em.max_iters = 2;
+    let engine = CaceEngine::train(&train, &config).unwrap();
+    let rec = engine.recognize(&test[0]).unwrap();
+    assert!(rec.accuracy(&test[0]) > 0.3);
+}
+
+#[test]
+fn initial_rules_work_without_any_mined_data_effect() {
+    let (train, test) = cace_split(3, 100, 8);
+    let mut config = CaceConfig::default();
+    config.use_initial_rules = true;
+    let engine = CaceEngine::train(&train, &config).unwrap();
+    // Initial rules add 12 positive + 2 negative entries on top of mining.
+    assert!(engine.rules().len() >= 14);
+    let rec = engine.recognize(&test[0]).unwrap();
+    assert!(rec.rules_fired > 0);
+}

@@ -1,0 +1,364 @@
+//! Property-based tests (proptest) over the core data structures and
+//! inference invariants.
+
+use proptest::prelude::*;
+
+use cace::hdbn::{log_sum_exp, CoupledHdbn, HdbnConfig, HdbnParams, MicroCandidate, TickInput};
+use cace::mining::constraint::{ConstraintMiner, LabeledSequence};
+use cace::mining::{mine_frequent_itemsets, AprioriConfig, Transaction};
+use cace::mining::{AtomSpace, ItemId};
+use cace::model::{MicroState, MicroStateSpace, TickIndex, TimeSpan};
+use cace::signal::{Quaternion, Vec3};
+
+// ---------- quaternion algebra ----------
+
+fn arb_vec3() -> impl Strategy<Value = Vec3> {
+    (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0).prop_map(|(x, y, z)| Vec3::new(x, y, z))
+}
+
+fn arb_quat() -> impl Strategy<Value = Quaternion> {
+    (arb_vec3(), -3.1f64..3.1).prop_map(|(axis, angle)| {
+        Quaternion::from_axis_angle(
+            if axis.norm() < 1e-6 { Vec3::X } else { axis },
+            angle,
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn rotation_preserves_norm(q in arb_quat(), v in arb_vec3()) {
+        let rotated = q.rotate(v);
+        prop_assert!((rotated.norm() - v.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rotation_composition_is_homomorphic(a in arb_quat(), b in arb_quat(), v in arb_vec3()) {
+        let lhs = (a * b).rotate(v);
+        let rhs = a.rotate(b.rotate(v));
+        prop_assert!((lhs - rhs).norm() < 1e-8);
+    }
+
+    #[test]
+    fn unit_quaternion_inverse_is_conjugate(q in arb_quat(), v in arb_vec3()) {
+        let inv = q.inverse().expect("unit quaternions are invertible");
+        let back = inv.rotate(q.rotate(v));
+        prop_assert!((back - v).norm() < 1e-8);
+    }
+
+    #[test]
+    fn dot_product_invariant_under_rotation(q in arb_quat(), a in arb_vec3(), b in arb_vec3()) {
+        let before = a.dot(b);
+        let after = q.rotate(a).dot(q.rotate(b));
+        prop_assert!((before - after).abs() < 1e-8);
+    }
+}
+
+// ---------- micro-state bitsets ----------
+
+fn arb_micro_states() -> impl Strategy<Value = Vec<MicroState>> {
+    prop::collection::vec(0usize..MicroState::COUNT, 0..40).prop_map(|ids| {
+        ids.into_iter()
+            .map(|i| MicroState::from_index(i).expect("in range"))
+            .collect()
+    })
+}
+
+proptest! {
+    #[test]
+    fn bitset_matches_reference_set(states in arb_micro_states()) {
+        let space = MicroStateSpace::from_states(states.clone());
+        let reference: std::collections::HashSet<MicroState> = states.into_iter().collect();
+        prop_assert_eq!(space.len(), reference.len());
+        for m in MicroState::all() {
+            prop_assert_eq!(space.contains(m), reference.contains(&m));
+        }
+    }
+
+    #[test]
+    fn intersection_is_subset_of_both(a in arb_micro_states(), b in arb_micro_states()) {
+        let sa = MicroStateSpace::from_states(a);
+        let sb = MicroStateSpace::from_states(b);
+        let mut inter = sa.clone();
+        inter.intersect(&sb);
+        prop_assert!(inter.len() <= sa.len());
+        prop_assert!(inter.len() <= sb.len());
+        for m in inter.iter() {
+            prop_assert!(sa.contains(m) && sb.contains(m));
+        }
+        // union ⊇ both
+        let mut uni = sa.clone();
+        uni.union(&sb);
+        prop_assert!(uni.len() >= sa.len().max(sb.len()));
+        // |A| + |B| = |A∪B| + |A∩B|
+        prop_assert_eq!(sa.len() + sb.len(), uni.len() + inter.len());
+    }
+}
+
+// ---------- time spans ----------
+
+proptest! {
+    #[test]
+    fn duration_error_is_zero_iff_exact(s in 0usize..100, len in 1usize..50, ds in 0usize..10, de in 0usize..10) {
+        // The predicted span must be well-formed (start ≤ end).
+        prop_assume!(ds <= len + de);
+        let truth = TimeSpan::new(TickIndex(s), TickIndex(s + len));
+        let predicted = TimeSpan::new(TickIndex(s + ds), TickIndex(s + len + de));
+        let err = truth.duration_error(&predicted);
+        if ds == 0 && de == 0 {
+            prop_assert_eq!(err, 0.0);
+        } else {
+            prop_assert!(err > 0.0);
+            prop_assert!((err - (ds + de) as f64 / len as f64).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_bounded(a in 0usize..50, al in 0usize..30, b in 0usize..50, bl in 0usize..30) {
+        let sa = TimeSpan::new(TickIndex(a), TickIndex(a + al));
+        let sb = TimeSpan::new(TickIndex(b), TickIndex(b + bl));
+        prop_assert_eq!(sa.overlap(&sb), sb.overlap(&sa));
+        prop_assert!(sa.overlap(&sb) <= al.min(bl));
+    }
+}
+
+// ---------- Apriori invariants ----------
+
+fn arb_corpus() -> impl Strategy<Value = Vec<Transaction>> {
+    prop::collection::vec(
+        prop::collection::vec(0u32..30, 1..8)
+            .prop_map(|items| Transaction::new(items.into_iter().map(ItemId).collect())),
+        5..60,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn apriori_support_is_antitone(corpus in arb_corpus()) {
+        let cfg = AprioriConfig { min_support: 0.1, min_confidence: 0.5, max_itemset: 3 };
+        let levels = mine_frequent_itemsets(&corpus, &cfg);
+        // Every reported support is correct and ≥ minSup; every subset of a
+        // frequent itemset is frequent (downward closure).
+        for level in &levels {
+            for set in level {
+                let count = corpus.iter().filter(|t| t.contains_all(&set.items)).count();
+                let support = count as f64 / corpus.len() as f64;
+                prop_assert!((support - set.support).abs() < 1e-12);
+                prop_assert!(set.support >= cfg.min_support - 1e-12);
+            }
+        }
+        for (k, level) in levels.iter().enumerate().skip(1) {
+            for set in level {
+                for skip in 0..set.items.len() {
+                    let sub: Vec<ItemId> = set
+                        .items
+                        .iter()
+                        .enumerate()
+                        .filter(|&(i, _)| i != skip)
+                        .map(|(_, &v)| v)
+                        .collect();
+                    prop_assert!(
+                        levels[k - 1].iter().any(|f| f.items == sub),
+                        "downward closure violated"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------- constraint-miner CPT normalization ----------
+
+fn arb_labeled_sequence() -> impl Strategy<Value = LabeledSequence> {
+    (2usize..40).prop_flat_map(|n| {
+        let seqs = prop::collection::vec(0usize..3, n);
+        (seqs.clone(), seqs.clone(), seqs.clone(), seqs).prop_map(
+            move |(m1, m2, p, l)| LabeledSequence {
+                macros: [m1.clone(), m2],
+                posturals: [p.clone(), p],
+                gesturals: [vec![0; n], vec![0; n]],
+                locations: [l.clone(), l],
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn mined_stats_always_validate(seq in arb_labeled_sequence()) {
+        let miner = ConstraintMiner {
+            laplace: 0.5,
+            n_macro: 3,
+            n_postural: 3,
+            n_gestural: 2,
+            n_location: 3,
+        };
+        let stats = miner.mine(&[seq]).expect("well-formed sequence");
+        prop_assert!(stats.validate().is_ok());
+        for row in &stats.intra_trans {
+            prop_assert!(row.iter().all(|&p| p > 0.0));
+        }
+        for &e in &stats.end_prob {
+            prop_assert!((0.0..=1.0).contains(&e));
+        }
+    }
+}
+
+// ---------- coupled Viterbi optimality vs brute force ----------
+
+fn toy_params(coupling: bool) -> HdbnParams {
+    let mut macros = Vec::new();
+    for r in 0..20 {
+        for _ in 0..5 {
+            macros.push(r % 2);
+        }
+    }
+    let n = macros.len();
+    let seq = LabeledSequence {
+        macros: [macros.clone(), macros.clone()],
+        posturals: [macros.clone(), macros.clone()],
+        gesturals: [vec![0; n], vec![0; n]],
+        locations: [macros.clone(), macros],
+    };
+    let stats = ConstraintMiner {
+        laplace: 0.3,
+        n_macro: 2,
+        n_postural: 2,
+        n_gestural: 2,
+        n_location: 2,
+    }
+    .mine(&[seq])
+    .unwrap();
+    let cfg = if coupling { HdbnConfig::default() } else { HdbnConfig::uncoupled() };
+    HdbnParams::new(stats, cfg).unwrap()
+}
+
+fn brute_force_best(params: &HdbnParams, ticks: &[TickInput]) -> f64 {
+    // Enumerate every joint path over per-user states (a, cand).
+    let states_at = |t: usize, u: usize| -> Vec<(usize, usize)> {
+        (0..2usize)
+            .flat_map(|a| (0..ticks[t].candidates[u].len()).map(move |c| (a, c)))
+            .collect()
+    };
+    let emission = |t: usize, u: usize, s: (usize, usize)| -> f64 {
+        let cand = ticks[t].candidates[u][s.1];
+        cand.obs_loglik
+            + params.hierarchy_score(s.0, cand.postural, cand.gestural, cand.location)
+    };
+    let mut best = f64::NEG_INFINITY;
+    // Paths are tuples of joint states; enumerate recursively.
+    fn recurse(
+        params: &HdbnParams,
+        ticks: &[TickInput],
+        t: usize,
+        prev: Option<((usize, usize), (usize, usize))>,
+        score: f64,
+        states_at: &dyn Fn(usize, usize) -> Vec<(usize, usize)>,
+        emission: &dyn Fn(usize, usize, (usize, usize)) -> f64,
+        best: &mut f64,
+    ) {
+        if t == ticks.len() {
+            if score > *best {
+                *best = score;
+            }
+            return;
+        }
+        for s1 in states_at(t, 0) {
+            for s2 in states_at(t, 1) {
+                let mut step = emission(t, 0, s1)
+                    + emission(t, 1, s2)
+                    + params.coupling_score(s1.0, s2.0);
+                match prev {
+                    None => {
+                        step += params.log_prior[s1.0] + params.log_prior[s2.0];
+                    }
+                    Some((p1, p2)) => {
+                        let p1_post = ticks[t - 1].candidates[0][p1.1].postural;
+                        let p2_post = ticks[t - 1].candidates[1][p2.1].postural;
+                        let c1 = ticks[t].candidates[0][s1.1].postural;
+                        let c2 = ticks[t].candidates[1][s2.1].postural;
+                        step += params.transition_score(p1.0, p1_post, s1.0, c1)
+                            + params.transition_score(p2.0, p2_post, s2.0, c2);
+                    }
+                }
+                recurse(
+                    params,
+                    ticks,
+                    t + 1,
+                    Some((s1, s2)),
+                    score + step,
+                    states_at,
+                    emission,
+                    best,
+                );
+            }
+        }
+    }
+    recurse(params, ticks, 0, None, 0.0, &states_at, &emission, &mut best);
+    best
+}
+
+fn arb_ticks() -> impl Strategy<Value = Vec<TickInput>> {
+    prop::collection::vec(
+        prop::collection::vec(-3.0f64..0.0, 4),
+        2..4,
+    )
+    .prop_map(|liks| {
+        liks.into_iter()
+            .map(|row| {
+                let cands = |base: usize| -> Vec<MicroCandidate> {
+                    (0..2)
+                        .map(|p| MicroCandidate {
+                            postural: p,
+                            gestural: Some(0),
+                            location: p,
+                            obs_loglik: row[base + p],
+                        })
+                        .collect()
+                };
+                TickInput { candidates: [cands(0), cands(2)], macro_candidates: [None, None], macro_bonus: Vec::new() }
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn coupled_viterbi_matches_brute_force(ticks in arb_ticks()) {
+        let params = toy_params(true);
+        let decoder = CoupledHdbn::new(params.clone());
+        let path = decoder.viterbi(&ticks).expect("decodable");
+        let brute = brute_force_best(&params, &ticks);
+        prop_assert!(
+            (path.log_prob - brute).abs() < 1e-9,
+            "viterbi {} vs brute force {}", path.log_prob, brute
+        );
+    }
+}
+
+// ---------- log-sum-exp ----------
+
+proptest! {
+    #[test]
+    fn log_sum_exp_bounds(xs in prop::collection::vec(-50.0f64..50.0, 1..20)) {
+        let lse = log_sum_exp(&xs);
+        let max = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        prop_assert!(lse >= max - 1e-12);
+        prop_assert!(lse <= max + (xs.len() as f64).ln() + 1e-12);
+    }
+}
+
+// ---------- atom space ----------
+
+proptest! {
+    #[test]
+    fn atom_space_item_roundtrip(raw in 0u32..168) {
+        let space = AtomSpace::cace();
+        let id = ItemId(raw);
+        let item = space.decode(id).expect("in range");
+        prop_assert_eq!(space.encode(item), id);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the sensing substrate: trilateration geometry,
+//! sensor statistics, and simulator determinism.
+
+use proptest::prelude::*;
+
+use cace::model::{Gestural, MicroState, Postural, SubLocation};
+use cace::sensing::{BeaconGrid, GroundTruthTick, NoiseConfig, SmartHome, UserTickTruth};
+use cace::signal::GaussianSampler;
+
+// ---------- trilateration ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn noiseless_trilateration_recovers_any_indoor_point(
+        x in 0.5f64..8.5,
+        y in 0.5f64..7.0,
+    ) {
+        let grid = BeaconGrid::paper_default(NoiseConfig::noiseless());
+        let mut rng = GaussianSampler::seed_from_u64(1);
+        let est = grid.sense((x, y), &mut rng);
+        let err = ((est.position.0 - x).powi(2) + (est.position.1 - y).powi(2)).sqrt();
+        prop_assert!(err < 0.05, "position error {err} at ({x}, {y})");
+        prop_assert!(est.in_home);
+    }
+
+    #[test]
+    fn noisy_trilateration_error_is_bounded(
+        x in 1.0f64..8.0,
+        y in 1.0f64..6.5,
+        seed in 0u64..500,
+    ) {
+        let grid = BeaconGrid::paper_default(NoiseConfig::default());
+        let mut rng = GaussianSampler::seed_from_u64(seed);
+        let est = grid.sense((x, y), &mut rng);
+        let err = ((est.position.0 - x).powi(2) + (est.position.1 - y).powi(2)).sqrt();
+        // 15 % multiplicative range noise over a ≤ 10 m apartment cannot
+        // produce arbitrarily wild solutions from 9 beacons.
+        prop_assert!(err < 4.0, "position error {err}");
+    }
+}
+
+// ---------- sensor banks ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn smart_home_is_deterministic_for_any_truth(
+        p1 in 0usize..Postural::COUNT,
+        g1 in 0usize..Gestural::COUNT,
+        l1 in 0usize..SubLocation::COUNT,
+        p2 in 0usize..Postural::COUNT,
+        g2 in 0usize..Gestural::COUNT,
+        l2 in 0usize..SubLocation::COUNT,
+        seed in 0u64..1000,
+    ) {
+        let truth = GroundTruthTick {
+            users: [
+                UserTickTruth::of(MicroState::new(
+                    Postural::from_index(p1).unwrap(),
+                    Gestural::from_index(g1).unwrap(),
+                    SubLocation::from_index(l1).unwrap(),
+                )),
+                UserTickTruth::of(MicroState::new(
+                    Postural::from_index(p2).unwrap(),
+                    Gestural::from_index(g2).unwrap(),
+                    SubLocation::from_index(l2).unwrap(),
+                )),
+            ],
+        };
+        let mut a = SmartHome::new(NoiseConfig::default(), seed);
+        let mut b = SmartHome::new(NoiseConfig::default(), seed);
+        prop_assert_eq!(a.sense_tick(&truth), b.sense_tick(&truth));
+    }
+
+    #[test]
+    fn noiseless_pir_never_fires_without_motion(
+        l1 in 0usize..SubLocation::COUNT,
+        l2 in 0usize..SubLocation::COUNT,
+        seed in 0u64..200,
+    ) {
+        // Both residents sitting: no PIR may fire under a noiseless model.
+        let truth = GroundTruthTick {
+            users: [
+                UserTickTruth::of(MicroState::new(
+                    Postural::Sitting,
+                    Gestural::Silent,
+                    SubLocation::from_index(l1).unwrap(),
+                )),
+                UserTickTruth::of(MicroState::new(
+                    Postural::Lying,
+                    Gestural::Silent,
+                    SubLocation::from_index(l2).unwrap(),
+                )),
+            ],
+        };
+        let mut home = SmartHome::new(NoiseConfig::noiseless(), seed);
+        let tick = home.sense_tick(&truth);
+        prop_assert!(tick.ambient.pir.iter().all(|&f| !f));
+    }
+
+    #[test]
+    fn noiseless_pir_always_fires_for_a_walker(
+        l in 0usize..SubLocation::COUNT,
+        seed in 0u64..200,
+    ) {
+        let loc = SubLocation::from_index(l).unwrap();
+        let truth = GroundTruthTick {
+            users: [
+                UserTickTruth::of(MicroState::new(Postural::Walking, Gestural::Silent, loc)),
+                UserTickTruth::of(MicroState::new(
+                    Postural::Sitting,
+                    Gestural::Silent,
+                    SubLocation::Couch1,
+                )),
+            ],
+        };
+        let mut home = SmartHome::new(NoiseConfig::noiseless(), seed);
+        let tick = home.sense_tick(&truth);
+        prop_assert!(tick.ambient.pir[loc.room().index()]);
+    }
+}
+
+// ---------- IMU synthesis ----------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn imu_frames_are_finite_for_all_states(
+        p in 0usize..Postural::COUNT,
+        g in 0usize..Gestural::COUNT,
+        seed in 0u64..500,
+    ) {
+        use cace::sensing::ImuSynthesizer;
+        let synth = ImuSynthesizer::new(NoiseConfig::default());
+        let mut rng = GaussianSampler::seed_from_u64(seed);
+        let posture = Postural::from_index(p).unwrap();
+        let gesture = Gestural::from_index(g).unwrap();
+        for s in synth.phone_frame(posture, 75, &mut rng) {
+            prop_assert!(s.accel.is_finite() && s.gyro.is_finite());
+        }
+        for s in synth.tag_frame(gesture, posture, 75, &mut rng) {
+            prop_assert!(s.accel.is_finite() && s.gyro.is_finite());
+        }
+    }
+}
