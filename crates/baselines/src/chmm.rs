@@ -100,10 +100,7 @@ impl CoupledHmm {
     ///
     /// # Errors
     /// Returns emission-shape errors from validation.
-    pub fn viterbi(
-        &self,
-        emissions: &[EmissionSeq; 2],
-    ) -> Result<CoupledPath, ModelError> {
+    pub fn viterbi(&self, emissions: &[EmissionSeq; 2]) -> Result<CoupledPath, ModelError> {
         validate_emissions(&emissions[0], self.n)?;
         validate_emissions(&emissions[1], self.n)?;
         if emissions[0].len() != emissions[1].len() {
@@ -122,10 +119,7 @@ impl CoupledHmm {
         let mut v: Vec<f64> = (0..nn)
             .map(|j| {
                 let (a1, a2) = (j / n, j % n);
-                self.log_prior[a1]
-                    + self.log_prior[a2]
-                    + emissions[0][0][a1]
-                    + emissions[1][0][a2]
+                self.log_prior[a1] + self.log_prior[a2] + emissions[0][0][a1] + emissions[1][0][a2]
             })
             .collect();
         let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
@@ -177,7 +171,11 @@ impl CoupledHmm {
                 j = backptrs[t][j] as usize;
             }
         }
-        Ok(CoupledPath { macros, log_prob, states_explored })
+        Ok(CoupledPath {
+            macros,
+            log_prob,
+            states_explored,
+        })
     }
 }
 
@@ -188,7 +186,11 @@ mod tests {
     fn clear(labels: &[usize], n: usize, strength: f64) -> EmissionSeq {
         labels
             .iter()
-            .map(|&l| (0..n).map(|a| if a == l { 0.0 } else { -strength }).collect())
+            .map(|&l| {
+                (0..n)
+                    .map(|a| if a == l { 0.0 } else { -strength })
+                    .collect()
+            })
             .collect()
     }
 

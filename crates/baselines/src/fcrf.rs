@@ -25,7 +25,10 @@ pub struct FcrfConfig {
 
 impl Default for FcrfConfig {
     fn default() -> Self {
-        Self { epochs: 5, learning_rate: 0.1 }
+        Self {
+            epochs: 5,
+            learning_rate: 0.1,
+        }
     }
 }
 
@@ -153,8 +156,7 @@ impl Fcrf {
                 + self.cross[a1][a2]
         };
 
-        let mut v: Vec<f64> =
-            (0..nn).map(|j| node(0, j / n, j % n)).collect();
+        let mut v: Vec<f64> = (0..nn).map(|j| node(0, j / n, j % n)).collect();
         let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
         for t in 1..t_total {
             states_explored += nn as u64;
@@ -197,7 +199,11 @@ impl Fcrf {
                 j = backptrs[t][j] as usize;
             }
         }
-        Ok(CoupledPath { macros, log_prob, states_explored })
+        Ok(CoupledPath {
+            macros,
+            log_prob,
+            states_explored,
+        })
     }
 }
 
@@ -208,7 +214,11 @@ mod tests {
     fn clear(labels: &[usize], n: usize, strength: f64) -> EmissionSeq {
         labels
             .iter()
-            .map(|&l| (0..n).map(|a| if a == l { 0.0 } else { -strength }).collect())
+            .map(|&l| {
+                (0..n)
+                    .map(|a| if a == l { 0.0 } else { -strength })
+                    .collect()
+            })
             .collect()
     }
 
@@ -237,12 +247,18 @@ mod tests {
         let before = fcrf.viterbi(&session.0).unwrap();
         assert_eq!(before.macros[0][2], 1);
         fcrf.fit(
-            &[session.clone()],
-            &FcrfConfig { epochs: 20, learning_rate: 0.05 },
+            std::slice::from_ref(&session),
+            &FcrfConfig {
+                epochs: 20,
+                learning_rate: 0.05,
+            },
         )
         .unwrap();
         let after = fcrf.viterbi(&session.0).unwrap();
-        assert_eq!(after.macros[0], gold, "trained FCRF should smooth the glitch");
+        assert_eq!(
+            after.macros[0], gold,
+            "trained FCRF should smooth the glitch"
+        );
     }
 
     #[test]
@@ -260,14 +276,25 @@ mod tests {
             [runs.clone(), runs.clone()],
         );
         let mut fcrf = Fcrf::new(2);
-        fcrf.fit(&[session], &FcrfConfig { epochs: 10, learning_rate: 0.05 }).unwrap();
+        fcrf.fit(
+            &[session],
+            &FcrfConfig {
+                epochs: 10,
+                learning_rate: 0.05,
+            },
+        )
+        .unwrap();
         let labels = vec![0, 0, 0, 0];
         let flat: EmissionSeq = labels.iter().map(|_| vec![0.0, 0.0]).collect();
         let path = fcrf.viterbi(&[clear(&labels, 2, 3.0), flat]).unwrap();
         // Perceptron potentials are coarse; demand a clear majority pull
         // rather than a perfect copy.
         let agree = path.macros[1].iter().filter(|&&a| a == 0).count();
-        assert!(agree >= 3, "cross potential should couple: {:?}", path.macros[1]);
+        assert!(
+            agree >= 3,
+            "cross potential should couple: {:?}",
+            path.macros[1]
+        );
     }
 
     #[test]

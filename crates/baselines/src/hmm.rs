@@ -19,7 +19,11 @@ impl Hmm {
     /// # Errors
     /// Returns [`ModelError::InsufficientData`] when no labels are given and
     /// [`ModelError::InvalidConfig`] on out-of-range labels.
-    pub fn fit(sequences: &[Vec<usize>], n_states: usize, laplace: f64) -> Result<Self, ModelError> {
+    pub fn fit(
+        sequences: &[Vec<usize>],
+        n_states: usize,
+        laplace: f64,
+    ) -> Result<Self, ModelError> {
         if sequences.iter().map(|s| s.len()).sum::<usize>() == 0 {
             return Err(ModelError::InsufficientData {
                 what: "HMM training".into(),
@@ -49,7 +53,11 @@ impl Hmm {
                 row.iter().map(|&c| (c / total).ln()).collect()
             })
             .collect();
-        Ok(Self { n: n_states, log_prior, log_trans })
+        Ok(Self {
+            n: n_states,
+            log_prior,
+            log_trans,
+        })
     }
 
     /// Number of states.
@@ -100,7 +108,11 @@ impl Hmm {
                 a = backptrs[t][a] as usize;
             }
         }
-        Ok(BaselinePath { macros, log_prob, states_explored })
+        Ok(BaselinePath {
+            macros,
+            log_prob,
+            states_explored,
+        })
     }
 }
 
@@ -111,7 +123,11 @@ mod tests {
     fn clear_emissions(labels: &[usize], n: usize, strength: f64) -> EmissionSeq {
         labels
             .iter()
-            .map(|&l| (0..n).map(|a| if a == l { 0.0 } else { -strength }).collect())
+            .map(|&l| {
+                (0..n)
+                    .map(|a| if a == l { 0.0 } else { -strength })
+                    .collect()
+            })
             .collect()
     }
 

@@ -55,7 +55,12 @@ impl Default for CasasConfig {
 impl CasasConfig {
     /// A small configuration for fast tests.
     pub fn tiny() -> Self {
-        Self { pairs: 2, sessions_per_pair: 1, ticks: 80, ..Self::default() }
+        Self {
+            pairs: 2,
+            sessions_per_pair: 1,
+            ticks: 80,
+            ..Self::default()
+        }
     }
 }
 
@@ -158,7 +163,10 @@ fn casasify(mut session: Session, cfg: &CasasConfig, rng: &mut GaussianSampler) 
         let mut fired = [false; 14];
         for (s, slot) in fired.iter_mut().enumerate() {
             let loc = SubLocation::from_index(s).expect("14 sub-locations");
-            let occupied = tick.truth.iter().any(|u| u.present && u.micro.location == loc);
+            let occupied = tick
+                .truth
+                .iter()
+                .any(|u| u.present && u.micro.location == loc);
             *slot = if occupied {
                 rng.chance(cfg.fire_probability)
             } else {
@@ -168,7 +176,7 @@ fn casasify(mut session: Session, cfg: &CasasConfig, rng: &mut GaussianSampler) 
         tick.observed.subloc_motion = Some(fired);
         let mut items = vec![false; n_activities];
         for (a, slot) in items.iter_mut().enumerate() {
-            let active = tick.labels.iter().any(|&l| l == a);
+            let active = tick.labels.contains(&a);
             *slot = if active {
                 rng.chance(cfg.item_fire_probability)
             } else {
@@ -233,9 +241,11 @@ mod tests {
                 assert!(tick.observed.subloc_motion.is_some());
                 assert!(tick.observed.per_user[0].tag.is_none());
                 assert!(tick.observed.per_user[0].beacon.is_none());
-                assert!(tick.observed.per_user[0].phone.is_some()
-                    || tick.observed.per_user[1].phone.is_some()
-                    || tick.observed.per_user[0].phone.is_none());
+                assert!(
+                    tick.observed.per_user[0].phone.is_some()
+                        || tick.observed.per_user[1].phone.is_some()
+                        || tick.observed.per_user[0].phone.is_none()
+                );
             }
         }
     }
@@ -258,10 +268,7 @@ mod tests {
                 // No spurious firings: every firing has an occupant.
                 for (i, &f) in fired.iter().enumerate() {
                     if f {
-                        assert!(tick
-                            .truth
-                            .iter()
-                            .any(|u| u.micro.location.index() == i));
+                        assert!(tick.truth.iter().any(|u| u.micro.location.index() == i));
                     }
                 }
             }

@@ -109,8 +109,12 @@ impl Grammar {
             if row.iter().any(|&w| w < 0.0 || !w.is_finite()) {
                 return Err(format!("transition row {i} has invalid weight"));
             }
-            let off_diag: f64 =
-                row.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &w)| w).sum();
+            let off_diag: f64 = row
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, &w)| w)
+                .sum();
             if off_diag <= 0.0 {
                 return Err(format!("activity {i} has no outgoing transition"));
             }
@@ -226,7 +230,11 @@ pub fn cace_grammar() -> Grammar {
             max_ticks,
             shared: shared || matches!(a, A::WatchingTv),
             join_prob,
-            object_touch_prob: if ObjectKind::used_by(a).is_empty() { 0.0 } else { 0.35 },
+            object_touch_prob: if ObjectKind::used_by(a).is_empty() {
+                0.0
+            } else {
+                0.35
+            },
             objects: ObjectKind::used_by(a).to_vec(),
         }
     };

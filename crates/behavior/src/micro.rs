@@ -114,10 +114,8 @@ pub fn generate_micro(
                 // Arriving somewhere new means the resident walked there,
                 // and will settle into the new activity's dominant posture.
                 state.posture = postural_step(state.posture, Postural::Walking);
-                let weights: Vec<f64> =
-                    spec.postural_weights.iter().map(|&(_, w)| w).collect();
-                state.target_posture =
-                    spec.postural_weights[rng.weighted_choice(&weights)].0;
+                let weights: Vec<f64> = spec.postural_weights.iter().map(|&(_, w)| w).collect();
+                state.target_posture = spec.postural_weights[rng.weighted_choice(&weights)].0;
             } else if state.straddle_remaining > 0 {
                 state.straddle_remaining -= 1;
                 if state.straddle_remaining == 0 {
@@ -136,10 +134,8 @@ pub fn generate_micro(
                 // --- posture (only when not forced to walk) ---
                 // Resample the target occasionally so dwell times vary.
                 if rng.chance(0.15) {
-                    let weights: Vec<f64> =
-                        spec.postural_weights.iter().map(|&(_, w)| w).collect();
-                    state.target_posture =
-                        spec.postural_weights[rng.weighted_choice(&weights)].0;
+                    let weights: Vec<f64> = spec.postural_weights.iter().map(|&(_, w)| w).collect();
+                    state.target_posture = spec.postural_weights[rng.weighted_choice(&weights)].0;
                 }
                 state.posture = postural_step(state.posture, state.target_posture);
             }
@@ -147,8 +143,7 @@ pub fn generate_micro(
             // --- gesture ---
             let gesture_stays = rng.chance(0.6);
             if !gesture_stays {
-                let weights: Vec<f64> =
-                    spec.gestural_weights.iter().map(|&(_, w)| w).collect();
+                let weights: Vec<f64> = spec.gestural_weights.iter().map(|&(_, w)| w).collect();
                 state.gesture = spec.gestural_weights[rng.weighted_choice(&weights)].0;
             }
             if !grammar.has_gestural {
@@ -246,9 +241,18 @@ mod tests {
             }
         }
         // The canonical chains.
-        assert_eq!(postural_step(Postural::Lying, Postural::Walking), Postural::Sitting);
-        assert_eq!(postural_step(Postural::Sitting, Postural::Walking), Postural::Standing);
-        assert_eq!(postural_step(Postural::Standing, Postural::Walking), Postural::Walking);
+        assert_eq!(
+            postural_step(Postural::Lying, Postural::Walking),
+            Postural::Sitting
+        );
+        assert_eq!(
+            postural_step(Postural::Sitting, Postural::Walking),
+            Postural::Standing
+        );
+        assert_eq!(
+            postural_step(Postural::Standing, Postural::Walking),
+            Postural::Walking
+        );
     }
 
     #[test]

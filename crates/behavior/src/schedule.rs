@@ -15,8 +15,8 @@
 //!   grammar's transition matrix, which encodes constraints such as "no
 //!   exercising right after dining" (Proposition 3).
 
-use cace_model::TimeSpan;
 use cace_model::TickIndex;
+use cace_model::TimeSpan;
 use cace_signal::GaussianSampler;
 
 use crate::grammar::Grammar;
@@ -88,7 +88,10 @@ pub fn generate_schedule(
 ) -> JointSchedule {
     grammar.validate().expect("invalid grammar");
     assert!(ticks > 0, "schedule must cover at least one tick");
-    assert!(start_activity < grammar.len(), "start activity out of range");
+    assert!(
+        start_activity < grammar.len(),
+        "start activity out of range"
+    );
 
     let draw_duration = |id: usize, rng: &mut GaussianSampler| -> usize {
         let spec = grammar.spec(id);
@@ -132,7 +135,11 @@ pub fn generate_schedule(
                     let jitter = 1 + rng.below(4);
                     duration = partner.remaining.saturating_add(jitter).max(2);
                 }
-                users[u] = UserState { activity: next, remaining: duration, episode_start: t };
+                users[u] = UserState {
+                    activity: next,
+                    remaining: duration,
+                    episode_start: t,
+                };
             }
             labels[u].push(users[u].activity);
             users[u].remaining -= 1;
@@ -156,10 +163,7 @@ fn pick_next(
 ) -> usize {
     // Coupling 1: join the partner's shared activity.
     let partner_spec = grammar.spec(partner_activity);
-    if partner_spec.shared
-        && partner_activity != current
-        && rng.chance(partner_spec.join_prob)
-    {
+    if partner_spec.shared && partner_activity != current && rng.chance(partner_spec.join_prob) {
         return partner_activity;
     }
 

@@ -6,8 +6,7 @@
 
 use cace_model::Room;
 use cace_sensing::{
-    BeaconEstimate, GroundTruthTick, NoiseConfig, ObjectKind, SensorTick, SmartHome,
-    UserTickTruth,
+    BeaconEstimate, GroundTruthTick, NoiseConfig, ObjectKind, SensorTick, SmartHome, UserTickTruth,
 };
 use cace_signal::trajectory::ImuSample;
 use cace_signal::GaussianSampler;
@@ -54,8 +53,16 @@ impl From<SensorTick> for ObservedTick {
             items: None,
             objects: tick.ambient.objects,
             per_user: [
-                UserObservation { phone: w0.phone, tag: w0.tag, beacon: Some(w0.beacon) },
-                UserObservation { phone: w1.phone, tag: w1.tag, beacon: Some(w1.beacon) },
+                UserObservation {
+                    phone: w0.phone,
+                    tag: w0.tag,
+                    beacon: Some(w0.beacon),
+                },
+                UserObservation {
+                    phone: w1.phone,
+                    tag: w1.tag,
+                    beacon: Some(w1.beacon),
+                },
             ],
         }
     }
@@ -121,12 +128,22 @@ impl SessionConfig {
     /// The default experimental session: 400 ticks (10 minutes of activity)
     /// with the default noise model.
     pub fn standard() -> Self {
-        Self { ticks: 400, noise: NoiseConfig::default(), start_activity: 6, home_id: 1 }
+        Self {
+            ticks: 400,
+            noise: NoiseConfig::default(),
+            start_activity: 6,
+            home_id: 1,
+        }
     }
 
     /// A tiny session for fast unit tests.
     pub fn tiny() -> Self {
-        Self { ticks: 80, noise: NoiseConfig::default(), start_activity: 6, home_id: 1 }
+        Self {
+            ticks: 80,
+            noise: NoiseConfig::default(),
+            start_activity: 6,
+            home_id: 1,
+        }
     }
 
     /// Builder-style override of the tick count.
@@ -269,8 +286,7 @@ mod tests {
     #[test]
     fn dataset_covers_all_homes() {
         let g = cace_grammar();
-        let sessions =
-            generate_cace_dataset(&g, 5, 2, &SessionConfig::tiny(), 3);
+        let sessions = generate_cace_dataset(&g, 5, 2, &SessionConfig::tiny(), 3);
         assert_eq!(sessions.len(), 10);
         for home in 1..=5u32 {
             assert_eq!(sessions.iter().filter(|s| s.home_id == home).count(), 2);

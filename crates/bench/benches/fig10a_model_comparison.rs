@@ -14,11 +14,7 @@ use std::hint::black_box;
 
 type Emissions = [Vec<Vec<f64>>; 2];
 
-fn emissions(
-    clf: &MicroClassifiers,
-    session: &cace_behavior::Session,
-    use_tag: bool,
-) -> Emissions {
+fn emissions(clf: &MicroClassifiers, session: &cace_behavior::Session, use_tag: bool) -> Emissions {
     let features = extract_session(session);
     let mut out: Emissions = [Vec::new(), Vec::new()];
     for u in 0..2 {
@@ -43,18 +39,29 @@ fn bench(c: &mut Criterion) {
 
     // Models.
     let chdbn = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
-    let label_seqs: Vec<Vec<usize>> =
-        train.iter().flat_map(|s| [s.labels_of(0), s.labels_of(1)]).collect();
+    let label_seqs: Vec<Vec<usize>> = train
+        .iter()
+        .flat_map(|s| [s.labels_of(0), s.labels_of(1)])
+        .collect();
     let hmm = Hmm::fit(&label_seqs, n_macro, 0.5).unwrap();
-    let paired: Vec<[Vec<usize>; 2]> =
-        train.iter().map(|s| [s.labels_of(0), s.labels_of(1)]).collect();
+    let paired: Vec<[Vec<usize>; 2]> = train
+        .iter()
+        .map(|s| [s.labels_of(0), s.labels_of(1)])
+        .collect();
     let chmm = CoupledHmm::fit(&paired, n_macro, 0.5).unwrap();
     let mut fcrf = Fcrf::new(n_macro);
     let fcrf_data: Vec<_> = train
         .iter()
         .map(|s| (emissions(&clf, s, true), [s.labels_of(0), s.labels_of(1)]))
         .collect();
-    fcrf.fit(&fcrf_data, &FcrfConfig { epochs: 4, learning_rate: 0.05 }).unwrap();
+    fcrf.fit(
+        &fcrf_data,
+        &FcrfConfig {
+            epochs: 4,
+            learning_rate: 0.05,
+        },
+    )
+    .unwrap();
 
     // Per-activity accuracy: correct ticks / true ticks of the activity.
     let mut correct = vec![[0usize; 4]; n_macro];
@@ -98,8 +105,9 @@ fn bench(c: &mut Criterion) {
         if total[a] == 0 {
             continue;
         }
-        let accs: Vec<f64> =
-            (0..4).map(|m| 100.0 * correct[a][m] as f64 / total[a] as f64).collect();
+        let accs: Vec<f64> = (0..4)
+            .map(|m| 100.0 * correct[a][m] as f64 / total[a] as f64)
+            .collect();
         for m in 0..4 {
             overall[m] += 100.0 * correct[a][m] as f64 / grand_total as f64;
         }

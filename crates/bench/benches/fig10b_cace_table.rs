@@ -22,8 +22,8 @@ fn bench(c: &mut Criterion) {
     // estimate for the weighted-ROC row.
     let mut scores: Vec<Vec<f64>> = Vec::new();
     let mut labels: Vec<usize> = Vec::new();
-    for session in &test {
-        let rec = engine.recognize(session).unwrap();
+    let recs = engine.recognize_batch(&test).unwrap();
+    for (session, rec) in test.iter().zip(&recs) {
         for u in 0..2 {
             confusion.record_all(&session.labels_of(u), &rec.macros[u]);
             for (t, tick) in session.ticks.iter().enumerate() {
@@ -92,7 +92,14 @@ fn bench(c: &mut Criterion) {
 
     let session = &test[0];
     c.bench_function("fig10b/c2_recognition", |b| {
-        b.iter(|| black_box(engine.recognize(black_box(session)).unwrap().states_explored))
+        b.iter(|| {
+            black_box(
+                engine
+                    .recognize(black_box(session))
+                    .unwrap()
+                    .states_explored,
+            )
+        })
     });
 }
 

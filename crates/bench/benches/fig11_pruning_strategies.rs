@@ -45,23 +45,32 @@ fn bench(c: &mut Criterion) {
         rows.push((strategy, engine, ops, wall));
     }
 
-    let ncs = rows.iter().find(|r| r.0 == Strategy::NaiveConstraint).unwrap();
-    let c2 = rows.iter().find(|r| r.0 == Strategy::CorrelationConstraint).unwrap();
+    let ncs = rows
+        .iter()
+        .find(|r| r.0 == Strategy::NaiveConstraint)
+        .unwrap();
+    let c2 = rows
+        .iter()
+        .find(|r| r.0 == Strategy::CorrelationConstraint)
+        .unwrap();
     println!(
         "\nNCS → C2 overhead reduction: {:.1}× by transition ops, {:.1}× by wall \
          clock (paper: 16×: 15.96 s → 0.96 s)",
         ncs.2 as f64 / c2.2.max(1) as f64,
         ncs.3 / c2.3.max(1e-9)
     );
-    println!(
-        "(paper accuracies: NH 76.2 %, NCR 73 %, NCS ≈98 %, C2 95.1 %)"
-    );
+    println!("(paper accuracies: NH 76.2 %, NCR 73 %, NCS ≈98 %, C2 95.1 %)");
 
     let session = &test[0];
     for (strategy, engine, _, _) in &rows {
         c.bench_function(&format!("fig11/recognize_{}", strategy.label()), |b| {
             b.iter(|| {
-                black_box(engine.recognize(black_box(session)).unwrap().states_explored)
+                black_box(
+                    engine
+                        .recognize(black_box(session))
+                        .unwrap()
+                        .states_explored,
+                )
             })
         });
     }

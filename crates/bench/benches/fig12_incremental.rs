@@ -5,9 +5,9 @@
 //! at 100 %, model-building overhead grows with sample size, and the
 //! user-provided initial rules improve both curves early on.
 
-use cace_bench::header;
 use cace_behavior::session::train_test_split;
 use cace_behavior::{cace_grammar, generate_cace_dataset, SessionConfig};
+use cace_bench::header;
 use cace_core::{CaceConfig, CaceEngine};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -30,29 +30,29 @@ fn bench(c: &mut Criterion) {
         "sample", "acc (no init)", "acc (init)", "build s (no)", "build s (init)"
     );
     for percent in [10usize, 30, 50, 70, 90, 100] {
-        let n = ((train_full.len() * percent + 99) / 100).max(1);
+        let n = (train_full.len() * percent).div_ceil(100).max(1);
         let slice = &train_full[..n];
         let mut row = Vec::new();
         for use_initial in [false, true] {
-            let mut config = CaceConfig::default();
-            config.use_initial_rules = use_initial;
+            let config = CaceConfig {
+                use_initial_rules: use_initial,
+                ..CaceConfig::default()
+            };
             let start = Instant::now();
             let engine = CaceEngine::train(slice, &config).unwrap();
             let build = start.elapsed().as_secs_f64();
-            let mut acc = 0.0;
-            for session in &test {
-                acc += engine.recognize(session).unwrap().accuracy(session);
-            }
+            let acc: f64 = engine
+                .recognize_batch(&test)
+                .unwrap()
+                .iter()
+                .zip(&test)
+                .map(|(rec, session)| rec.accuracy(session))
+                .sum();
             row.push((100.0 * acc / test.len() as f64, build));
         }
         println!(
             "{:>3}% ({:>2})   {:>13.1}% {:>13.1}% {:>16.2} {:>16.2}",
-            percent,
-            n,
-            row[0].0,
-            row[1].0,
-            row[0].1,
-            row[1].1
+            percent, n, row[0].0, row[1].0, row[0].1, row[1].1
         );
     }
     println!(
@@ -64,8 +64,7 @@ fn bench(c: &mut Criterion) {
     let slice = &train_full[..train_full.len() / 2];
     c.bench_function("fig12/train_half_sample", |b| {
         b.iter(|| {
-            let engine =
-                CaceEngine::train(black_box(slice), &CaceConfig::default()).unwrap();
+            let engine = CaceEngine::train(black_box(slice), &CaceConfig::default()).unwrap();
             black_box(engine.rules().len())
         })
     });

@@ -5,9 +5,9 @@
 //! (95.1 % → 89.7 %), removing sub-location context costs the most
 //! (→ 80.5 %).
 
-use cace_bench::header;
 use cace_behavior::session::train_test_split;
 use cace_behavior::{cace_grammar, generate_cace_dataset, SessionConfig};
+use cace_bench::header;
 use cace_core::{CaceConfig, CaceEngine};
 use cace_model::StateMask;
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -34,12 +34,15 @@ fn bench(c: &mut Criterion) {
         );
         let (train, test) = train_test_split(sessions, 0.8);
         let mut row = [0.0f64; 3];
-        for (i, mask) in [StateMask::FULL, StateMask::NO_GESTURAL, StateMask::NO_LOCATION]
-            .into_iter()
-            .enumerate()
+        for (i, mask) in [
+            StateMask::FULL,
+            StateMask::NO_GESTURAL,
+            StateMask::NO_LOCATION,
+        ]
+        .into_iter()
+        .enumerate()
         {
-            let engine =
-                CaceEngine::train(&train, &CaceConfig::default().with_mask(mask)).unwrap();
+            let engine = CaceEngine::train(&train, &CaceConfig::default().with_mask(mask)).unwrap();
             let mut acc = 0.0;
             for session in &test {
                 acc += engine.recognize(session).unwrap().accuracy(session);
@@ -64,7 +67,14 @@ fn bench(c: &mut Criterion) {
     let engine = kept_engine.unwrap();
     let session = kept_session.unwrap();
     c.bench_function("fig8a/full_recognition", |b| {
-        b.iter(|| black_box(engine.recognize(black_box(&session)).unwrap().states_explored))
+        b.iter(|| {
+            black_box(
+                engine
+                    .recognize(black_box(&session))
+                    .unwrap()
+                    .states_explored,
+            )
+        })
     });
 }
 

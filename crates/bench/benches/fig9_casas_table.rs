@@ -6,9 +6,9 @@
 //! DESIGN.md): 15 activities, ambient motion + item sensors, no gestural
 //! modality.
 
-use cace_bench::header;
 use cace_behavior::session::train_test_split;
 use cace_behavior::{generate_casas_dataset, CasasConfig};
+use cace_bench::header;
 use cace_core::{CaceConfig, CaceEngine};
 use cace_eval::ConfusionMatrix;
 use cace_model::CasasActivity;
@@ -29,8 +29,8 @@ fn bench(c: &mut Criterion) {
     let mut confusion = ConfusionMatrix::new(engine.n_macro());
     let mut shared_correct = 0usize;
     let mut shared_total = 0usize;
-    for session in &test {
-        let rec = engine.recognize(session).unwrap();
+    let recs = engine.recognize_batch(&test).unwrap();
+    for (session, rec) in test.iter().zip(&recs) {
         for u in 0..2 {
             confusion.record_all(&session.labels_of(u), &rec.macros[u]);
         }
@@ -87,7 +87,25 @@ fn bench(c: &mut Criterion) {
 
     let session = &test[0];
     c.bench_function("fig9/casas_recognition", |b| {
-        b.iter(|| black_box(engine.recognize(black_box(session)).unwrap().states_explored))
+        b.iter(|| {
+            black_box(
+                engine
+                    .recognize(black_box(session))
+                    .unwrap()
+                    .states_explored,
+            )
+        })
+    });
+    c.bench_function("fig9/sequential_eval", |b| {
+        b.iter(|| {
+            black_box(&test)
+                .iter()
+                .map(|s| engine.recognize(s).unwrap().states_explored)
+                .sum::<u64>()
+        })
+    });
+    c.bench_function("fig9/batch_eval", |b| {
+        b.iter(|| black_box(engine.recognize_batch(black_box(&test)).unwrap().len()))
     });
 }
 

@@ -15,7 +15,10 @@ fn bench(c: &mut Criterion) {
     let (train, _) = cace_corpus(1, 6, 300, 4001);
     let space = AtomSpace::cace();
     let txns = corpus(&space, &train);
-    let config = AprioriConfig { max_itemset: 3, ..AprioriConfig::paper_default() };
+    let config = AprioriConfig {
+        max_itemset: 3,
+        ..AprioriConfig::paper_default()
+    };
 
     let mut rules = mine_rules(&txns, &space, &config);
     rules.set_negatives(mine_negative_rules(&txns, &space, config.min_support * 0.5));

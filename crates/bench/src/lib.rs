@@ -38,10 +38,12 @@ pub fn trained(train: &[Session], strategy: Strategy) -> CaceEngine {
 
 /// Mean tick-level accuracy of an engine over test sessions.
 pub fn mean_accuracy(engine: &CaceEngine, test: &[Session]) -> f64 {
-    let mut acc = 0.0;
-    for session in test {
-        acc += engine.recognize(session).expect("recognition succeeds").accuracy(session);
-    }
+    let recognitions = engine.recognize_batch(test).expect("recognition succeeds");
+    let acc: f64 = recognitions
+        .iter()
+        .zip(test)
+        .map(|(rec, session)| rec.accuracy(session))
+        .sum();
     acc / test.len().max(1) as f64
 }
 

@@ -1,0 +1,96 @@
+//! Parallel batch recognition.
+//!
+//! Heavy evaluation workloads — the fig 9 / fig 10 table benches, k-fold
+//! sweeps, multi-home corpora — recognize many independent sessions
+//! against one trained engine. [`CaceEngine::recognize_batch`] fans those
+//! sessions out across all cores with rayon while sharing the read-only
+//! model:
+//!
+//! * the trained [`CaceEngine`] is borrowed immutably by every worker
+//!   (training state is never mutated during recognition), and the HDBN
+//!   parameter tables inside it are `Arc`-backed, so per-session decoders
+//!   alias one parameter set instead of copying CPTs;
+//! * everything per-session — feature extraction, candidate pruning, and
+//!   the Viterbi trellis — is allocated inside the worker, so sessions
+//!   share no mutable state.
+//!
+//! Fan-out preserves order and determinism: `recognize_batch` returns
+//! exactly `[recognize(s) for s in sessions]`, bit-for-bit on the decoded
+//! macro sequences (wall-clock fields aside), and short-circuits to the
+//! first error in input order.
+
+use std::time::Instant;
+
+use cace_behavior::Session;
+use cace_model::ModelError;
+use rayon::prelude::*;
+
+use crate::engine::{CaceEngine, Recognition};
+
+/// Outcome of a timed batch run: per-session recognitions plus the
+/// aggregate wall-clock accounting a throughput experiment needs.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One [`Recognition`] per input session, in input order.
+    pub recognitions: Vec<Recognition>,
+    /// Wall-clock seconds for the whole fan-out.
+    pub wall_seconds: f64,
+    /// Worker threads the fan-out had available.
+    pub workers: usize,
+}
+
+impl BatchReport {
+    /// Sessions recognized per wall-clock second.
+    pub fn sessions_per_second(&self) -> f64 {
+        self.recognitions.len() as f64 / self.wall_seconds.max(1e-12)
+    }
+
+    /// Sum of the per-session recognition times *as measured during this
+    /// parallel run*. An upper-bound proxy for one-core cost only: worker
+    /// contention inflates each term, so do not derive a speedup claim
+    /// from it — time an actual sequential loop instead (as
+    /// `examples/batch_speedup.rs` does).
+    pub fn sequential_seconds(&self) -> f64 {
+        self.recognitions.iter().map(|r| r.wall_seconds).sum()
+    }
+}
+
+impl CaceEngine {
+    /// Recognizes a batch of sessions in parallel.
+    ///
+    /// Results are in input order and identical to calling
+    /// [`recognize`](CaceEngine::recognize) per session (modulo the
+    /// measured `wall_seconds` in each [`Recognition`]).
+    ///
+    /// # Errors
+    /// Returns the first (in input order) per-session recognition failure.
+    pub fn recognize_batch(&self, sessions: &[Session]) -> Result<Vec<Recognition>, ModelError> {
+        sessions
+            .par_iter()
+            .map(|session| self.recognize(session))
+            .collect()
+    }
+
+    /// [`recognize_batch`](CaceEngine::recognize_batch) with wall-clock and
+    /// worker accounting for throughput experiments.
+    ///
+    /// # Errors
+    /// Returns the first (in input order) per-session recognition failure.
+    pub fn recognize_batch_report(&self, sessions: &[Session]) -> Result<BatchReport, ModelError> {
+        let start = Instant::now();
+        let recognitions = self.recognize_batch(sessions)?;
+        Ok(BatchReport {
+            recognitions,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            workers: rayon::current_num_threads(),
+        })
+    }
+}
+
+// recognize_batch shares one `&CaceEngine` across worker threads; keep the
+// engine (and everything it contains) `Sync` so that stays true by
+// construction.
+const _: () = {
+    const fn assert_sync<T: Sync>() {}
+    assert_sync::<CaceEngine>();
+};

@@ -22,7 +22,10 @@ pub struct MicroClassifiers {
 }
 
 fn forest_config() -> ForestConfig {
-    ForestConfig { n_trees: 12, ..ForestConfig::default() }
+    ForestConfig {
+        n_trees: 12,
+        ..ForestConfig::default()
+    }
 }
 
 /// Zero-vector placeholder for a dropped frame when concatenating features.
@@ -105,7 +108,11 @@ impl MicroClassifiers {
         };
         let direct_macro =
             RandomForest::fit(&macro_x, &macro_y, n_macro, &forest_config(), seed ^ 0x79b9)?;
-        Ok(Self { postural, gestural, direct_macro })
+        Ok(Self {
+            postural,
+            gestural,
+            direct_macro,
+        })
     }
 
     /// Postural log-probabilities of one tick's phone features (uniform

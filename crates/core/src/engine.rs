@@ -1,13 +1,13 @@
 //! The CACE engine: training and run-time recognition.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use cace_baselines::Hmm;
 use cace_behavior::{ObservedTick, Session};
 use cace_features::SessionFeatures;
 use cace_hdbn::{
-    fit_em as hdbn_fit_em, CoupledHdbn, EmConfig, HdbnConfig, HdbnParams, SingleHdbn,
-    TickInput,
+    fit_em as hdbn_fit_em, CoupledHdbn, EmConfig, HdbnConfig, HdbnParams, SingleHdbn, TickInput,
 };
 use cace_mining::constraint::{ConstraintMiner, LabeledSequence};
 use cace_mining::rules::mine_negative_rules;
@@ -68,7 +68,10 @@ impl Default for CaceConfig {
             mask: StateMask::FULL,
             beam: 8,
             nh_beam: 64,
-            apriori: AprioriConfig { max_itemset: 3, ..AprioriConfig::paper_default() },
+            apriori: AprioriConfig {
+                max_itemset: 3,
+                ..AprioriConfig::paper_default()
+            },
             use_initial_rules: false,
             run_em: false,
             em: EmConfig::default(),
@@ -140,7 +143,7 @@ pub struct CaceEngine {
     rules: RuleSet,
     pruner: Option<PruningEngine>,
     stats: HierarchicalStats,
-    params: HdbnParams,
+    params: Arc<HdbnParams>,
     nh_log_trans: Vec<Vec<f64>>,
     nh_hmm: Hmm,
 }
@@ -161,7 +164,10 @@ impl CaceEngine {
         };
         let n_macro = first.n_activities;
         let has_gestural = first.has_gestural;
-        let space = AtomSpace { n_macro, ..AtomSpace::cace() };
+        let space = AtomSpace {
+            n_macro,
+            ..AtomSpace::cace()
+        };
 
         // Context planar.
         let features = extract_all(sessions);
@@ -210,8 +216,7 @@ impl CaceEngine {
             // Exclusivities only need each trigger to be nonvacuously
             // frequent; half of minSup keeps short-but-regular activities
             // (bathrooming) in scope.
-            let negatives =
-                mine_negative_rules(&txns, &space, config.apriori.min_support * 0.5);
+            let negatives = mine_negative_rules(&txns, &space, config.apriori.min_support * 0.5);
             mined.set_negatives(negatives);
             mined
         } else {
@@ -249,12 +254,12 @@ impl CaceEngine {
             let negatives: Vec<_> = rules
                 .negatives()
                 .iter()
-                .filter(|neg| {
-                    match (space.decode(neg.if_item), space.decode(neg.then_not)) {
+                .filter(
+                    |neg| match (space.decode(neg.if_item), space.decode(neg.then_not)) {
                         (Some(a), Some(b)) => a.user == b.user,
                         _ => false,
-                    }
-                })
+                    },
+                )
                 .copied()
                 .collect();
             rules = RuleSet::new(space.clone(), filtered);
@@ -267,19 +272,31 @@ impl CaceEngine {
         };
 
         // Constraint miner.
-        let miner = ConstraintMiner { n_macro, ..ConstraintMiner::cace() };
+        let miner = ConstraintMiner {
+            n_macro,
+            ..ConstraintMiner::cace()
+        };
         let sequences: Vec<LabeledSequence> = sessions
             .iter()
             .map(|s| {
                 let mut seq = LabeledSequence::default();
                 for u in 0..2 {
                     seq.macros[u] = s.labels_of(u);
-                    seq.posturals[u] =
-                        s.ticks.iter().map(|t| t.truth[u].micro.postural.index()).collect();
-                    seq.locations[u] =
-                        s.ticks.iter().map(|t| t.truth[u].micro.location.index()).collect();
+                    seq.posturals[u] = s
+                        .ticks
+                        .iter()
+                        .map(|t| t.truth[u].micro.postural.index())
+                        .collect();
+                    seq.locations[u] = s
+                        .ticks
+                        .iter()
+                        .map(|t| t.truth[u].micro.location.index())
+                        .collect();
                     seq.gesturals[u] = if s.has_gestural {
-                        s.ticks.iter().map(|t| t.truth[u].micro.gestural.index()).collect()
+                        s.ticks
+                            .iter()
+                            .map(|t| t.truth[u].micro.gestural.index())
+                            .collect()
                     } else {
                         Vec::new()
                     };
@@ -290,11 +307,15 @@ impl CaceEngine {
         let stats = miner.mine(&sequences)?;
 
         let hdbn_config = HdbnConfig {
-            coupling_weight: if config.strategy.coupled() { config.coupling_weight } else { 0.0 },
+            coupling_weight: if config.strategy.coupled() {
+                config.coupling_weight
+            } else {
+                0.0
+            },
             hierarchy_weight: config.hierarchy_weight,
             ..HdbnConfig::default()
         };
-        let mut params = HdbnParams::new(stats.clone(), hdbn_config)?;
+        let params = HdbnParams::new(stats.clone(), hdbn_config)?;
 
         // NH flat transition table + macro HMM.
         let label_seqs: Vec<Vec<usize>> = sessions
@@ -328,21 +349,22 @@ impl CaceEngine {
             rules,
             pruner,
             stats,
-            params: params.clone(),
+            params: Arc::new(params),
             nh_log_trans,
             nh_hmm,
         };
 
-        // Optional EM refinement over the training tick inputs.
+        // Optional EM refinement over the training tick inputs. EM needs
+        // an owned parameter set to mutate, so the CPT tables are cloned
+        // out of the Arc here and nowhere else.
         if config.run_em && config.strategy.hierarchical() {
             let em_inputs: Vec<Vec<TickInput>> = sessions
                 .iter()
                 .zip(&features)
                 .map(|(s, f)| engine.tick_inputs_unpruned(s, f, config.beam))
                 .collect();
-            let outcome = hdbn_fit_em(params.clone(), &em_inputs, &config.em)?;
-            params = outcome.params;
-            engine.params = params;
+            let outcome = hdbn_fit_em((*engine.params).clone(), &em_inputs, &config.em)?;
+            engine.params = Arc::new(outcome.params);
         }
 
         Ok(engine)
@@ -368,7 +390,6 @@ impl CaceEngine {
         self.n_macro
     }
 
-
     /// CASAS item-sensor evidence as a per-activity log-bonus (log-odds of
     /// the fire/idle likelihoods; unattributed, so shared by both users).
     fn item_bonus(&self, observed: &ObservedTick) -> Vec<f64> {
@@ -386,7 +407,9 @@ impl CaceEngine {
     /// occupied resident must be at a fired sub-location. Applied only when
     /// at least one sensor fired (otherwise no information).
     fn restrict_to_fired(&self, observed: &ObservedTick, tick: &mut CandidateTick) {
-        let Some(fired) = &observed.subloc_motion else { return };
+        let Some(fired) = &observed.subloc_motion else {
+            return;
+        };
         if !fired.iter().any(|&f| f) {
             return;
         }
@@ -438,7 +461,10 @@ impl CaceEngine {
         };
         let (p0, g0) = score_of(0);
         let (p1, g1) = score_of(1);
-        TickScores { postural_lp: [p0, p1], gestural_lp: [g0, g1] }
+        TickScores {
+            postural_lp: [p0, p1],
+            gestural_lp: [g0, g1],
+        }
     }
 
     /// Builds unpruned tick inputs (used by EM, NCS, and — with its larger
@@ -541,7 +567,7 @@ impl CaceEngine {
             Strategy::NaiveHmm => self.recognize_nh(session, &features),
             Strategy::NaiveCorrelation => {
                 let (inputs, sizes, fired) = self.tick_inputs_pruned(session, &features);
-                let model = SingleHdbn::new(self.params.clone());
+                let model = SingleHdbn::from_shared(Arc::clone(&self.params));
                 let mut states = 0u64;
                 let mut ops = 0u64;
                 let mut macros: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
@@ -562,17 +588,31 @@ impl CaceEngine {
             }
             Strategy::NaiveConstraint => {
                 let inputs = self.tick_inputs_unpruned(session, &features, self.config.beam);
-                let sizes: Vec<u128> =
-                    inputs.iter().map(|i| i.joint_states(self.n_macro) as u128).collect();
-                let model = CoupledHdbn::new(self.params.clone());
+                let sizes: Vec<u128> = inputs
+                    .iter()
+                    .map(|i| i.joint_states(self.n_macro) as u128)
+                    .collect();
+                let model = CoupledHdbn::from_shared(Arc::clone(&self.params));
                 let path = model.viterbi(&inputs)?;
-                Ok((path.macros, path.states_explored, path.transition_ops, sizes, 0))
+                Ok((
+                    path.macros,
+                    path.states_explored,
+                    path.transition_ops,
+                    sizes,
+                    0,
+                ))
             }
             Strategy::CorrelationConstraint => {
                 let (inputs, sizes, fired) = self.tick_inputs_pruned(session, &features);
-                let model = CoupledHdbn::new(self.params.clone());
+                let model = CoupledHdbn::from_shared(Arc::clone(&self.params));
                 let path = model.viterbi(&inputs)?;
-                Ok((path.macros, path.states_explored, path.transition_ops, sizes, fired))
+                Ok((
+                    path.macros,
+                    path.states_explored,
+                    path.transition_ops,
+                    sizes,
+                    fired,
+                ))
             }
         };
         let (macros, states_explored, transition_ops, joint_sizes, rules_fired) = result?;
@@ -600,8 +640,10 @@ impl CaceEngine {
         features: &SessionFeatures,
     ) -> Result<([Vec<usize>; 2], u64, u64, Vec<u128>, u64), ModelError> {
         let inputs = self.tick_inputs_unpruned(session, features, self.config.nh_beam);
-        let sizes: Vec<u128> =
-            inputs.iter().map(|i| i.joint_states(self.n_macro) as u128).collect();
+        let sizes: Vec<u128> = inputs
+            .iter()
+            .map(|i| i.joint_states(self.n_macro) as u128)
+            .collect();
         let mut macros: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
         let mut states = 0u64;
         let mut ops = 0u64;
@@ -612,7 +654,9 @@ impl CaceEngine {
                     let f = &features.per_tick[t][u];
                     self.classifiers.macro_log_proba(
                         f.phone.as_ref().map(|v| v.as_slice()),
-                        f.tag.as_ref().filter(|_| self.config.mask.gestural)
+                        f.tag
+                            .as_ref()
+                            .filter(|_| self.config.mask.gestural)
                             .map(|v| v.as_slice()),
                     )
                 })
@@ -643,17 +687,16 @@ impl CaceEngine {
         let n = self.n_macro;
         let state_list = |t: usize| -> Vec<(usize, usize)> {
             let cands = &inputs[t].candidates[user];
-            (0..n).flat_map(|a| (0..cands.len()).map(move |c| (a, c))).collect()
+            (0..n)
+                .flat_map(|a| (0..cands.len()).map(move |c| (a, c)))
+                .collect()
         };
         let emission = |t: usize, a: usize, c: usize| -> f64 {
-            macro_emissions[t][a]
-                + inputs[t].bonus(a)
-                + inputs[t].candidates[user][c].obs_loglik
+            macro_emissions[t][a] + inputs[t].bonus(a) + inputs[t].candidates[user][c].obs_loglik
         };
 
         let mut states = state_list(0);
-        let mut v: Vec<f64> =
-            states.iter().map(|&(a, c)| emission(0, a, c)).collect();
+        let mut v: Vec<f64> = states.iter().map(|&(a, c)| emission(0, a, c)).collect();
         let mut states_explored = states.len() as u64;
         let mut transition_ops = 0u64;
         let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
@@ -705,18 +748,13 @@ impl CaceEngine {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cace_behavior::{cace_grammar, generate_cace_dataset, session::train_test_split,
-        SessionConfig};
+    use cace_behavior::{
+        cace_grammar, generate_cace_dataset, session::train_test_split, SessionConfig,
+    };
 
     fn dataset(n: usize, ticks: usize, seed: u64) -> Vec<Session> {
         let g = cace_grammar();
-        generate_cace_dataset(
-            &g,
-            1,
-            n,
-            &SessionConfig::tiny().with_ticks(ticks),
-            seed,
-        )
+        generate_cace_dataset(&g, 1, n, &SessionConfig::tiny().with_ticks(ticks), seed)
     }
 
     #[test]

@@ -105,7 +105,11 @@ pub fn build_evidence(
         }
         // Lag-1 committed state.
         if let Some(m) = prev[uu].macro_id {
-            evidence.push(space.encode(Item { user: u, lag: 1, atom: Atom::Macro(m as u16) }));
+            evidence.push(space.encode(Item {
+                user: u,
+                lag: 1,
+                atom: Atom::Macro(m as u16),
+            }));
         }
         if let Some(l) = prev[uu].location {
             evidence.push(space.encode(Item {
@@ -147,9 +151,7 @@ mod tests {
         // There must be at least one location atom per user.
         let locs = evidence
             .iter()
-            .filter(|&&id| {
-                matches!(space.decode(id).unwrap().atom, Atom::Location(_))
-            })
+            .filter(|&&id| matches!(space.decode(id).unwrap().atom, Atom::Location(_)))
             .count();
         assert!(locs >= 1, "expected location evidence, got {evidence:?}");
         // Sorted and unique.
@@ -217,7 +219,10 @@ mod tests {
         };
         let uniform = vec![-(6f64).ln(); 6];
         let prev = [
-            PrevState { macro_id: Some(2), location: Some(9) },
+            PrevState {
+                macro_id: Some(2),
+                location: Some(9),
+            },
             PrevState::default(),
         ];
         let evidence = build_evidence(
@@ -228,8 +233,7 @@ mod tests {
             &prev,
             &EvidenceConfig::default(),
         );
-        let decoded: Vec<Item> =
-            evidence.iter().map(|&i| space.decode(i).unwrap()).collect();
+        let decoded: Vec<Item> = evidence.iter().map(|&i| space.decode(i).unwrap()).collect();
         assert!(decoded
             .iter()
             .any(|i| i.lag == 1 && matches!(i.atom, Atom::Macro(2))));

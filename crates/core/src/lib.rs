@@ -14,7 +14,8 @@
 //! 5. **Loosely-coupled HDBN** — [`cace_hdbn`] parameters from the
 //!    constraint miner, optionally refined by EM.
 //! 6. **Inference engine** — joint Viterbi decoding with overhead
-//!    accounting.
+//!    accounting, plus a rayon-parallel multi-session fan-out ([`batch`])
+//!    that shares the trained model read-only across cores.
 //!
 //! The four pruning strategies of §VII-G (NH, NCR, NCS, C2) are expressed
 //! as [`Strategy`] values; Fig 8(a)'s modality ablations as
@@ -35,6 +36,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod classifiers;
 pub mod engine;
 pub mod evidence;
@@ -42,6 +44,7 @@ pub mod statespace;
 pub mod strategy;
 pub mod transactions;
 
+pub use batch::BatchReport;
 pub use classifiers::MicroClassifiers;
 pub use engine::{CaceConfig, CaceEngine, Recognition};
 pub use strategy::Strategy;

@@ -49,7 +49,11 @@ pub fn location_score(
     // co-located moving candidates.
     let room = location.room().index();
     if postural.is_moving() {
-        score += if observed.room_motion[room] { 0.3 } else { -1.0 };
+        score += if observed.room_motion[room] {
+            0.3
+        } else {
+            -1.0
+        };
     }
     if informed {
         score
@@ -89,9 +93,13 @@ pub fn build_tick_input(
     use_gestural: bool,
     beam: usize,
 ) -> TickInput {
-    TickInput::from_candidates(space, pruned, use_gestural && mask.gestural, beam, |u, p, g, l| {
-        micro_score(observed, scores, u, p, g, l, mask)
-    })
+    TickInput::from_candidates(
+        space,
+        pruned,
+        use_gestural && mask.gestural,
+        beam,
+        |u, p, g, l| micro_score(observed, scores, u, p, g, l, mask),
+    )
 }
 
 #[cfg(test)]
@@ -139,7 +147,10 @@ mod tests {
                 ) > true_score + 1e-9
             })
             .count();
-        assert!(better <= 2, "true location should rank near the top ({better} better)");
+        assert!(
+            better <= 2,
+            "true location should rank near the top ({better} better)"
+        );
     }
 
     #[test]
@@ -148,8 +159,24 @@ mod tests {
         let session = simulate_session(&g, &SessionConfig::tiny(), 2);
         let tick = &session.ticks[10];
         let scores = uniform_scores();
-        let s1 = micro_score(&tick.observed, &scores, 0, 1, Some(0), 0, StateMask::NO_LOCATION);
-        let s2 = micro_score(&tick.observed, &scores, 0, 1, Some(0), 9, StateMask::NO_LOCATION);
+        let s1 = micro_score(
+            &tick.observed,
+            &scores,
+            0,
+            1,
+            Some(0),
+            0,
+            StateMask::NO_LOCATION,
+        );
+        let s2 = micro_score(
+            &tick.observed,
+            &scores,
+            0,
+            1,
+            Some(0),
+            9,
+            StateMask::NO_LOCATION,
+        );
         assert_eq!(s1, s2, "without location the sub-location must not matter");
     }
 

@@ -34,7 +34,10 @@ impl Strategy {
 
     /// Whether the correlation miner prunes the state space.
     pub const fn uses_correlation_pruning(self) -> bool {
-        matches!(self, Strategy::NaiveCorrelation | Strategy::CorrelationConstraint)
+        matches!(
+            self,
+            Strategy::NaiveCorrelation | Strategy::CorrelationConstraint
+        )
     }
 
     /// Whether rules are restricted to single-user scope (NCR).
@@ -44,7 +47,10 @@ impl Strategy {
 
     /// Whether the two chains are coupled at decode time.
     pub const fn coupled(self) -> bool {
-        matches!(self, Strategy::NaiveConstraint | Strategy::CorrelationConstraint)
+        matches!(
+            self,
+            Strategy::NaiveConstraint | Strategy::CorrelationConstraint
+        )
     }
 
     /// Whether the hierarchical (constraint-miner) structure is used at all.

@@ -15,8 +15,7 @@ pub fn session_transactions(space: &AtomSpace, session: &Session) -> Vec<Transac
         let mut items = Vec::with_capacity(20);
         for u in 0..2u8 {
             for lag in 0..2u8 {
-                let Some(tick) = t.checked_sub(lag as usize).map(|i| &session.ticks[i])
-                else {
+                let Some(tick) = t.checked_sub(lag as usize).map(|i| &session.ticks[i]) else {
                     continue;
                 };
                 let uu = u as usize;
@@ -53,8 +52,9 @@ pub fn corpus(space: &AtomSpace, sessions: &[Session]) -> Vec<Transaction> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cace_behavior::{cace_grammar, generate_casas_dataset, simulate_session, CasasConfig,
-        SessionConfig};
+    use cace_behavior::{
+        cace_grammar, generate_casas_dataset, simulate_session, CasasConfig, SessionConfig,
+    };
     use cace_mining::item::Atom;
 
     #[test]

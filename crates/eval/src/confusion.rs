@@ -33,7 +33,10 @@ impl ConfusionMatrix {
     /// Panics if `n == 0`.
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "confusion matrix needs at least one class");
-        Self { n, counts: vec![0; n * n] }
+        Self {
+            n,
+            counts: vec![0; n * n],
+        }
     }
 
     /// Number of classes.
@@ -95,10 +98,22 @@ impl ConfusionMatrix {
     /// Metrics for one class (one-vs-rest).
     pub fn class_metrics(&self, class: usize) -> ClassMetrics {
         let tp = self.count(class, class);
-        let fn_: u64 = (0..self.n).filter(|&j| j != class).map(|j| self.count(class, j)).sum();
-        let fp: u64 = (0..self.n).filter(|&i| i != class).map(|i| self.count(i, class)).sum();
+        let fn_: u64 = (0..self.n)
+            .filter(|&j| j != class)
+            .map(|j| self.count(class, j))
+            .sum();
+        let fp: u64 = (0..self.n)
+            .filter(|&i| i != class)
+            .map(|i| self.count(i, class))
+            .sum();
         let tn = self.total() - tp - fn_ - fp;
-        let ratio = |num: u64, den: u64| if den == 0 { 0.0 } else { num as f64 / den as f64 };
+        let ratio = |num: u64, den: u64| {
+            if den == 0 {
+                0.0
+            } else {
+                num as f64 / den as f64
+            }
+        };
         let precision = ratio(tp, tp + fp);
         let recall = ratio(tp, tp + fn_);
         let f_measure = if precision + recall == 0.0 {
@@ -149,7 +164,12 @@ impl ConfusionMatrix {
 
 impl fmt::Display for ConfusionMatrix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "confusion matrix ({} classes, {} samples):", self.n, self.total())?;
+        writeln!(
+            f,
+            "confusion matrix ({} classes, {} samples):",
+            self.n,
+            self.total()
+        )?;
         for i in 0..self.n {
             for j in 0..self.n {
                 write!(f, "{:>6}", self.count(i, j))?;
@@ -219,8 +239,7 @@ mod tests {
         let m = sample_matrix();
         let w = m.weighted_metrics();
         // All classes have support 10, so this equals the plain mean.
-        let mean_recall =
-            (0..3).map(|c| m.class_metrics(c).recall).sum::<f64>() / 3.0;
+        let mean_recall = (0..3).map(|c| m.class_metrics(c).recall).sum::<f64>() / 3.0;
         assert!((w.recall - mean_recall).abs() < 1e-12);
         assert_eq!(w.support, 30);
     }

@@ -44,7 +44,11 @@ pub fn episodes_of(labels: &[usize]) -> Vec<Episode> {
     let mut start = 0usize;
     for t in 1..=labels.len() {
         if t == labels.len() || labels[t] != labels[start] {
-            out.push(Episode { activity: labels[start], start, end: t });
+            out.push(Episode {
+                activity: labels[start],
+                start,
+                end: t,
+            });
             start = t;
         }
     }
@@ -97,9 +101,21 @@ mod tests {
         assert_eq!(
             eps,
             vec![
-                Episode { activity: 0, start: 0, end: 2 },
-                Episode { activity: 1, start: 2, end: 5 },
-                Episode { activity: 0, start: 5, end: 6 },
+                Episode {
+                    activity: 0,
+                    start: 0,
+                    end: 2
+                },
+                Episode {
+                    activity: 1,
+                    start: 2,
+                    end: 5
+                },
+                Episode {
+                    activity: 0,
+                    start: 5,
+                    end: 6
+                },
             ]
         );
         assert!(episodes_of(&[]).is_empty());

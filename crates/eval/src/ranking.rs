@@ -6,7 +6,11 @@
 ///
 /// Returns 0.5 when either class is absent (no ranking information).
 pub fn roc_auc(scores: &[f64], positives: &[bool]) -> f64 {
-    assert_eq!(scores.len(), positives.len(), "scores vs labels length mismatch");
+    assert_eq!(
+        scores.len(),
+        positives.len(),
+        "scores vs labels length mismatch"
+    );
     let n_pos = positives.iter().filter(|&&p| p).count();
     let n_neg = positives.len() - n_pos;
     if n_pos == 0 || n_neg == 0 {
@@ -43,7 +47,11 @@ pub fn roc_auc(scores: &[f64], positives: &[bool]) -> f64 {
 /// `scores[t][c]` is the score of class `c` at sample `t`; `labels[t]` the
 /// true class.
 pub fn weighted_auc(scores: &[Vec<f64>], labels: &[usize], n_classes: usize) -> f64 {
-    assert_eq!(scores.len(), labels.len(), "scores vs labels length mismatch");
+    assert_eq!(
+        scores.len(),
+        labels.len(),
+        "scores vs labels length mismatch"
+    );
     if labels.is_empty() {
         return 0.5;
     }
@@ -114,9 +122,7 @@ mod tests {
         let labels = vec![0, 0, 1, 1, 2, 2];
         let scores: Vec<Vec<f64>> = labels
             .iter()
-            .map(|&l| {
-                (0..3).map(|c| if c == l { 1.0 } else { 0.0 }).collect()
-            })
+            .map(|&l| (0..3).map(|c| if c == l { 1.0 } else { 0.0 }).collect())
             .collect();
         assert!((weighted_auc(&scores, &labels, 3) - 1.0).abs() < 1e-12);
         assert_eq!(weighted_auc(&[], &[], 3), 0.5);

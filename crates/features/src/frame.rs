@@ -3,8 +3,7 @@
 use cace_sensing::IMU_RATE_HZ;
 use cace_signal::goertzel::goertzel_band;
 use cace_signal::stats::{
-    kurtosis, mean_abs_deviation, mean_crossings, pearson, signal_magnitude_area, skewness,
-    Summary,
+    kurtosis, mean_abs_deviation, mean_crossings, pearson, signal_magnitude_area, skewness, Summary,
 };
 use cace_signal::trajectory::ImuSample;
 
@@ -24,7 +23,9 @@ impl FeatureVector {
     /// as a missing observation).
     pub fn from_frame(frame: &[ImuSample]) -> Self {
         if frame.is_empty() {
-            return Self { values: [0.0; FEATURE_COUNT] };
+            return Self {
+                values: [0.0; FEATURE_COUNT],
+            };
         }
         let xs: Vec<f64> = frame.iter().map(|s| s.accel.x).collect();
         let ys: Vec<f64> = frame.iter().map(|s| s.accel.y).collect();
@@ -89,7 +90,11 @@ impl FeatureVector {
         v[28] = signal_magnitude_area(&xs, &ys, &zs);
         v[29] = tilt.mean;
         v[30] = tilt.std_dev();
-        v[31] = if dominant_power > 1e-12 { (dominant_bin + 1) as f64 } else { 0.0 };
+        v[31] = if dominant_power > 1e-12 {
+            (dominant_bin + 1) as f64
+        } else {
+            0.0
+        };
         Self { values: v }
     }
 
@@ -181,7 +186,10 @@ mod tests {
                 run_higher += 1;
             }
         }
-        assert!(run_higher >= 7, "running bin should usually dominate: {run_higher}/10");
+        assert!(
+            run_higher >= 7,
+            "running bin should usually dominate: {run_higher}/10"
+        );
     }
 
     #[test]

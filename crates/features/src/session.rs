@@ -70,8 +70,9 @@ pub fn extract_session(session: &Session) -> SessionFeatures {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cace_behavior::{cace_grammar, generate_casas_dataset, simulate_session, CasasConfig,
-        SessionConfig};
+    use cace_behavior::{
+        cace_grammar, generate_casas_dataset, simulate_session, CasasConfig, SessionConfig,
+    };
     use cace_sensing::NoiseConfig;
 
     #[test]
@@ -91,15 +92,20 @@ mod tests {
     fn casas_sessions_have_no_tag_features() {
         let sessions = generate_casas_dataset(&CasasConfig::tiny(), 2);
         let f = extract_session(&sessions[0]);
-        assert!(f.per_tick.iter().all(|t| t[0].tag.is_none() && t[1].tag.is_none()));
+        assert!(f
+            .per_tick
+            .iter()
+            .all(|t| t[0].tag.is_none() && t[1].tag.is_none()));
         assert!(f.per_tick.iter().any(|t| t[0].phone.is_some()));
     }
 
     #[test]
     fn dropout_rate_is_reported() {
         let g = cace_grammar();
-        let mut noise = NoiseConfig::default();
-        noise.imu_dropout = 0.5;
+        let noise = NoiseConfig {
+            imu_dropout: 0.5,
+            ..NoiseConfig::default()
+        };
         let cfg = SessionConfig::tiny().with_noise(noise);
         let s = simulate_session(&g, &cfg, 3);
         let f = extract_session(&s);

@@ -27,7 +27,11 @@ pub struct EmConfig {
 
 impl Default for EmConfig {
     fn default() -> Self {
-        Self { max_iters: 10, tol: 1e-4, laplace: 0.5 }
+        Self {
+            max_iters: 10,
+            tol: 1e-4,
+            laplace: 0.5,
+        }
     }
 }
 
@@ -101,7 +105,11 @@ pub fn fit_em(
         }
     }
     let iterations = log_likelihoods.len();
-    Ok(EmOutcome { params, log_likelihoods, iterations })
+    Ok(EmOutcome {
+        params,
+        log_likelihoods,
+        iterations,
+    })
 }
 
 /// M-step: expected counts → smoothed, normalized tables.
@@ -114,10 +122,12 @@ fn m_step(base: &HierarchicalStats, counts: &ExpectedCounts, laplace: f64) -> Hi
             })
             .collect()
     };
-    let prior_total: f64 =
-        counts.prior.iter().sum::<f64>() + laplace * counts.prior.len() as f64;
-    let macro_prior: Vec<f64> =
-        counts.prior.iter().map(|&c| (c + laplace) / prior_total).collect();
+    let prior_total: f64 = counts.prior.iter().sum::<f64>() + laplace * counts.prior.len() as f64;
+    let macro_prior: Vec<f64> = counts
+        .prior
+        .iter()
+        .map(|&c| (c + laplace) / prior_total)
+        .collect();
     let end_prob: Vec<f64> = counts
         .end
         .iter()
@@ -199,7 +209,11 @@ mod tests {
         let outcome = fit_em(
             weak_initial(),
             &sequences,
-            &EmConfig { max_iters: 5, tol: 0.0, laplace: 0.2 },
+            &EmConfig {
+                max_iters: 5,
+                tol: 0.0,
+                laplace: 0.2,
+            },
         )
         .unwrap();
         assert_eq!(outcome.iterations, 5);
@@ -221,8 +235,14 @@ mod tests {
         // posture 0 and the other with posture 1 (labels may swap).
         let peak0 = stats.postural_given_macro[0][0].max(stats.postural_given_macro[0][1]);
         let peak1 = stats.postural_given_macro[1][0].max(stats.postural_given_macro[1][1]);
-        assert!(peak0 > 0.75, "activity 0 posture CPT not sharpened: {peak0}");
-        assert!(peak1 > 0.75, "activity 1 posture CPT not sharpened: {peak1}");
+        assert!(
+            peak0 > 0.75,
+            "activity 0 posture CPT not sharpened: {peak0}"
+        );
+        assert!(
+            peak1 > 0.75,
+            "activity 1 posture CPT not sharpened: {peak1}"
+        );
         assert!(stats.validate().is_ok());
     }
 
@@ -232,7 +252,11 @@ mod tests {
         let outcome = fit_em(
             weak_initial(),
             &sequences,
-            &EmConfig { max_iters: 20, tol: 0.5, laplace: 0.5 },
+            &EmConfig {
+                max_iters: 20,
+                tol: 0.5,
+                laplace: 0.5,
+            },
         )
         .unwrap();
         assert!(outcome.iterations < 20, "loose tol should stop early");

@@ -56,14 +56,16 @@ impl TickInput {
             let cand = &pruned[u];
             let posturals = UserCandidates::allowed(&cand.posturals);
             let gesturals: Vec<Option<usize>> = if use_gestural {
-                UserCandidates::allowed(&cand.gesturals).into_iter().map(Some).collect()
+                UserCandidates::allowed(&cand.gesturals)
+                    .into_iter()
+                    .map(Some)
+                    .collect()
             } else {
                 vec![None]
             };
             let locations = UserCandidates::allowed(&cand.locations);
-            let mut tuples = Vec::with_capacity(
-                posturals.len() * gesturals.len() * locations.len(),
-            );
+            let mut tuples =
+                Vec::with_capacity(posturals.len() * gesturals.len() * locations.len());
             for &p in &posturals {
                 for &g in &gesturals {
                     for &l in &locations {
@@ -77,14 +79,19 @@ impl TickInput {
                 }
             }
             tuples.sort_by(|a, b| {
-                b.obs_loglik.partial_cmp(&a.obs_loglik).expect("finite log-liks")
+                b.obs_loglik
+                    .partial_cmp(&a.obs_loglik)
+                    .expect("finite log-liks")
             });
             tuples.truncate(max_candidates.max(1));
             out.candidates[u] = tuples;
 
             let macros = UserCandidates::allowed(&cand.macros);
-            out.macro_candidates[u] =
-                if macros.len() == space.n_macro { None } else { Some(macros) };
+            out.macro_candidates[u] = if macros.len() == space.n_macro {
+                None
+            } else {
+                Some(macros)
+            };
         }
         out
     }
@@ -108,8 +115,7 @@ impl TickInput {
     pub fn joint_states(&self, n_macro: usize) -> u64 {
         (0..2)
             .map(|u| {
-                let nm = self
-                    .macro_candidates[u]
+                let nm = self.macro_candidates[u]
                     .as_ref()
                     .map(|m| m.len())
                     .unwrap_or(n_macro) as u64;
@@ -145,8 +151,7 @@ mod tests {
             cand.macros[a] = false;
         }
         let pruned = [cand, UserCandidates::full(&space)];
-        let input =
-            TickInput::from_candidates(&space, &pruned, true, 5, |_, _, _, _| 0.0);
+        let input = TickInput::from_candidates(&space, &pruned, true, 5, |_, _, _, _| 0.0);
         assert_eq!(input.macro_candidates[0], Some(vec![0]));
         assert_eq!(input.macros_for(0, 11), vec![0]);
         assert_eq!(input.macros_for(1, 11).len(), 11);
@@ -157,8 +162,7 @@ mod tests {
     fn casas_mode_collapses_gesturals() {
         let space = AtomSpace::casas();
         let pruned = [UserCandidates::full(&space), UserCandidates::full(&space)];
-        let input =
-            TickInput::from_candidates(&space, &pruned, false, 1000, |_, _, _, _| 0.0);
+        let input = TickInput::from_candidates(&space, &pruned, false, 1000, |_, _, _, _| 0.0);
         // 6 posturals × 14 locations, no gestural expansion.
         assert_eq!(input.candidates[0].len(), 84);
         assert!(input.candidates[0].iter().all(|c| c.gestural.is_none()));

@@ -19,7 +19,11 @@ pub struct HdbnConfig {
 
 impl Default for HdbnConfig {
     fn default() -> Self {
-        Self { coupling_weight: 1.0, hierarchy_weight: 1.0, persistence_bonus: 0.0 }
+        Self {
+            coupling_weight: 1.0,
+            hierarchy_weight: 1.0,
+            persistence_bonus: 0.0,
+        }
     }
 }
 
@@ -27,7 +31,10 @@ impl HdbnConfig {
     /// A configuration with the inter-user coupling disabled (per-user
     /// hierarchical model only).
     pub fn uncoupled() -> Self {
-        Self { coupling_weight: 0.0, ..Self::default() }
+        Self {
+            coupling_weight: 0.0,
+            ..Self::default()
+        }
     }
 }
 
@@ -75,8 +82,11 @@ impl HdbnParams {
         stats.validate()?;
         let n = stats.n_macro;
 
-        let log_prior: Vec<f64> =
-            stats.macro_prior.iter().map(|&p| p.max(1e-12).ln()).collect();
+        let log_prior: Vec<f64> = stats
+            .macro_prior
+            .iter()
+            .map(|&p| p.max(1e-12).ln())
+            .collect();
 
         // Switch table: transition distribution conditioned on leaving state
         // i (diagonal removed, renormalized) — this is the `π_{i→j}` restart

@@ -74,9 +74,13 @@ impl ExpectedCounts {
 }
 
 /// The single-chain hierarchical model.
+///
+/// Parameters are [`Arc`]-shared for the same reason as
+/// [`crate::CoupledHdbn`]: batch recognition decodes many sessions against
+/// one read-only trained model, with per-call trellis scratch.
 #[derive(Debug, Clone)]
 pub struct SingleHdbn {
-    params: HdbnParams,
+    params: std::sync::Arc<HdbnParams>,
 }
 
 struct Slice {
@@ -88,6 +92,13 @@ struct Slice {
 impl SingleHdbn {
     /// Wraps parameters.
     pub fn new(params: HdbnParams) -> Self {
+        Self {
+            params: std::sync::Arc::new(params),
+        }
+    }
+
+    /// Wraps an already-shared parameter set without copying it.
+    pub fn from_shared(params: std::sync::Arc<HdbnParams>) -> Self {
         Self { params }
     }
 
@@ -118,7 +129,11 @@ impl SingleHdbn {
                 );
             }
         }
-        Slice { activities, cands, emissions }
+        Slice {
+            activities,
+            cands,
+            emissions,
+        }
     }
 
     fn validate(&self, ticks: &[TickInput], user: usize) -> Result<(), ModelError> {
@@ -131,7 +146,9 @@ impl SingleHdbn {
         }
         for (t, tick) in ticks.iter().enumerate() {
             if tick.candidates[user].is_empty()
-                || tick.macro_candidates[user].as_ref().is_some_and(|v| v.is_empty())
+                || tick.macro_candidates[user]
+                    .as_ref()
+                    .is_some_and(|v| v.is_empty())
             {
                 return Err(ModelError::EmptyStateSpace { tick: t });
             }
@@ -197,9 +214,15 @@ impl SingleHdbn {
 
         let t_total = ticks.len();
         let mut macros = vec![0usize; t_total];
-        let mut micros =
-            vec![MicroCandidate { postural: 0, gestural: None, location: 0, obs_loglik: 0.0 };
-                t_total];
+        let mut micros = vec![
+            MicroCandidate {
+                postural: 0,
+                gestural: None,
+                location: 0,
+                obs_loglik: 0.0
+            };
+            t_total
+        ];
         for t in (0..t_total).rev() {
             macros[t] = slices[t].activities[j];
             micros[t] = ticks[t].candidates[user][slices[t].cands[j]];
@@ -207,7 +230,12 @@ impl SingleHdbn {
                 j = backptrs[t][j] as usize;
             }
         }
-        Ok(SinglePath { macros, micros, log_prob, states_explored })
+        Ok(SinglePath {
+            macros,
+            micros,
+            log_prob,
+            states_explored,
+        })
     }
 
     /// Forward–backward posteriors of one user's chain.
@@ -300,7 +328,10 @@ impl SingleHdbn {
             })
             .collect();
 
-        Ok(Posteriors { gamma, log_likelihood: log_z })
+        Ok(Posteriors {
+            gamma,
+            log_likelihood: log_z,
+        })
     }
 
     /// E-step: accumulates expected sufficient statistics of one sequence
@@ -360,9 +391,7 @@ impl SingleHdbn {
                         continue;
                     }
                     let p_new = ticks[t].candidates[user][cur.cands[j]].postural;
-                    let w = gp
-                        * gc
-                        * p.transition_score(ap, p_prev, a, p_new).exp().max(1e-300);
+                    let w = gp * gc * p.transition_score(ap, p_prev, a, p_new).exp().max(1e-300);
                     xi[jp * cur.activities.len() + j] = w;
                     total += w;
                 }
@@ -439,7 +468,11 @@ mod tests {
                 })
                 .collect()
         };
-        TickInput { candidates: [cands(m), cands(m)], macro_candidates: [None, None], macro_bonus: Vec::new() }
+        TickInput {
+            candidates: [cands(m), cands(m)],
+            macro_candidates: [None, None],
+            macro_bonus: Vec::new(),
+        }
     }
 
     #[test]

@@ -7,6 +7,8 @@
 //! `O(|S1||S2|(|S1|+|S2|))`. Pruned candidate sets therefore translate
 //! directly into the paper's order-of-magnitude overhead reduction.
 
+use std::sync::Arc;
+
 use cace_model::ModelError;
 
 use crate::input::{MicroCandidate, TickInput};
@@ -47,14 +49,27 @@ pub struct JointPath {
 }
 
 /// The loosely-coupled HDBN decoder.
+///
+/// Parameters are held behind an [`Arc`], so many decoders — e.g. one per
+/// worker in a batch-recognition fan-out — can share one read-only trained
+/// model without copying its CPTs. Each [`viterbi`](Self::viterbi) call
+/// allocates its own trellis, so a shared decoder is safe to use from
+/// multiple threads concurrently.
 #[derive(Debug, Clone)]
 pub struct CoupledHdbn {
-    params: HdbnParams,
+    params: Arc<HdbnParams>,
 }
 
 impl CoupledHdbn {
     /// Wraps trained parameters.
     pub fn new(params: HdbnParams) -> Self {
+        Self {
+            params: Arc::new(params),
+        }
+    }
+
+    /// Wraps an already-shared parameter set without copying it.
+    pub fn from_shared(params: Arc<HdbnParams>) -> Self {
         Self { params }
     }
 
@@ -71,7 +86,10 @@ impl CoupledHdbn {
         let mut emissions = Vec::with_capacity(n);
         for &a in &macros {
             for (c, cand) in input.candidates[user].iter().enumerate() {
-                states.push(ChainState { activity: a, cand: c });
+                states.push(ChainState {
+                    activity: a,
+                    cand: c,
+                });
                 posturals.push(cand.postural);
                 emissions.push(
                     cand.obs_loglik
@@ -85,7 +103,11 @@ impl CoupledHdbn {
                 );
             }
         }
-        Slice { states, posturals, emissions }
+        Slice {
+            states,
+            posturals,
+            emissions,
+        }
     }
 
     /// Decodes the most likely joint state sequence (§III step 6: Viterbi at
@@ -122,8 +144,7 @@ impl CoupledHdbn {
         states_explored += (prev1.states.len() * prev2.states.len()) as u64;
 
         // V flattened as j1 * |S2| + j2.
-        let mut v: Vec<f64> =
-            Vec::with_capacity(prev1.states.len() * prev2.states.len());
+        let mut v: Vec<f64> = Vec::with_capacity(prev1.states.len() * prev2.states.len());
         for (j1, &s1) in prev1.states.iter().enumerate() {
             let base1 = prev1.emissions[j1] + p.log_prior[s1.activity];
             for (j2, &s2) in prev2.states.iter().enumerate() {
@@ -235,10 +256,24 @@ impl CoupledHdbn {
         let t_total = ticks.len();
         let mut macros = [vec![0usize; t_total], vec![0usize; t_total]];
         let mut micros = [
-            vec![MicroCandidate { postural: 0, gestural: None, location: 0, obs_loglik: 0.0 };
-                t_total],
-            vec![MicroCandidate { postural: 0, gestural: None, location: 0, obs_loglik: 0.0 };
-                t_total],
+            vec![
+                MicroCandidate {
+                    postural: 0,
+                    gestural: None,
+                    location: 0,
+                    obs_loglik: 0.0
+                };
+                t_total
+            ],
+            vec![
+                MicroCandidate {
+                    postural: 0,
+                    gestural: None,
+                    location: 0,
+                    obs_loglik: 0.0
+                };
+                t_total
+            ],
         ];
         let mut m2_cur = m2_last;
         for t in (0..t_total).rev() {
@@ -257,7 +292,13 @@ impl CoupledHdbn {
             }
         }
 
-        Ok(JointPath { macros, micros, log_prob, states_explored, transition_ops })
+        Ok(JointPath {
+            macros,
+            micros,
+            log_prob,
+            states_explored,
+            transition_ops,
+        })
     }
 }
 
@@ -284,13 +325,23 @@ mod tests {
             gesturals: [vec![0; n], vec![0; n]],
             locations: [macros.clone(), macros],
         };
-        ConstraintMiner { laplace: 0.1, n_macro: 2, n_postural: 2, n_gestural: 2, n_location: 2 }
-            .mine(&[seq])
-            .unwrap()
+        ConstraintMiner {
+            laplace: 0.1,
+            n_macro: 2,
+            n_postural: 2,
+            n_gestural: 2,
+            n_location: 2,
+        }
+        .mine(&[seq])
+        .unwrap()
     }
 
     fn decoder(coupling: bool) -> CoupledHdbn {
-        let config = if coupling { HdbnConfig::default() } else { HdbnConfig::uncoupled() };
+        let config = if coupling {
+            HdbnConfig::default()
+        } else {
+            HdbnConfig::uncoupled()
+        };
         CoupledHdbn::new(HdbnParams::new(toy_stats(), config).unwrap())
     }
 
@@ -307,7 +358,11 @@ mod tests {
                 })
                 .collect()
         };
-        TickInput { candidates: [cands(m), cands(m)], macro_candidates: [None, None], macro_bonus: Vec::new() }
+        TickInput {
+            candidates: [cands(m), cands(m)],
+            macro_candidates: [None, None],
+            macro_bonus: Vec::new(),
+        }
     }
 
     #[test]

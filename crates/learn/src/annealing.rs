@@ -119,10 +119,7 @@ impl DeterministicAnnealing {
                     let mut log_w: Vec<f64> = centers
                         .iter()
                         .map(|c| {
-                            -s.iter()
-                                .zip(c)
-                                .map(|(a, b)| (a - b).powi(2))
-                                .sum::<f64>()
+                            -s.iter().zip(c).map(|(a, b)| (a - b).powi(2)).sum::<f64>()
                                 / temperature
                         })
                         .collect();
@@ -177,10 +174,8 @@ impl DeterministicAnnealing {
                     .iter()
                     .enumerate()
                     .min_by(|a, b| {
-                        let da: f64 =
-                            s.iter().zip(a.1).map(|(x, c)| (x - c).powi(2)).sum();
-                        let db: f64 =
-                            s.iter().zip(b.1).map(|(x, c)| (x - c).powi(2)).sum();
+                        let da: f64 = s.iter().zip(a.1).map(|(x, c)| (x - c).powi(2)).sum();
+                        let db: f64 = s.iter().zip(b.1).map(|(x, c)| (x - c).powi(2)).sum();
                         da.partial_cmp(&db).expect("finite distances")
                     })
                     .map(|(i, _)| i)
@@ -204,7 +199,11 @@ impl DeterministicAnnealing {
             })
             .collect();
 
-        Ok(Self { centers, gaussians, assignments })
+        Ok(Self {
+            centers,
+            gaussians,
+            assignments,
+        })
     }
 
     /// The cluster centers.
@@ -258,7 +257,10 @@ mod tests {
     #[test]
     fn recovers_well_separated_blobs() {
         let (xs, truth) = three_blobs(1, 60);
-        let config = AnnealingConfig { k: 3, ..AnnealingConfig::default() };
+        let config = AnnealingConfig {
+            k: 3,
+            ..AnnealingConfig::default()
+        };
         let da = DeterministicAnnealing::fit(&xs, &config, 2).unwrap();
         // Clustering is label-invariant: check that same-truth pairs share a
         // cluster and different-truth pairs do not (sampled).
@@ -282,7 +284,10 @@ mod tests {
     #[test]
     fn centers_land_near_blob_means() {
         let (xs, _) = three_blobs(3, 80);
-        let config = AnnealingConfig { k: 3, ..AnnealingConfig::default() };
+        let config = AnnealingConfig {
+            k: 3,
+            ..AnnealingConfig::default()
+        };
         let da = DeterministicAnnealing::fit(&xs, &config, 4).unwrap();
         let expected = [(0.0, 0.0), (8.0, 0.0), (0.0, 8.0)];
         for &(ex, ey) in &expected {
@@ -298,7 +303,10 @@ mod tests {
     #[test]
     fn gaussians_cover_their_clusters() {
         let (xs, _) = three_blobs(5, 50);
-        let config = AnnealingConfig { k: 3, ..AnnealingConfig::default() };
+        let config = AnnealingConfig {
+            k: 3,
+            ..AnnealingConfig::default()
+        };
         let da = DeterministicAnnealing::fit(&xs, &config, 6).unwrap();
         // A point at a blob center should score best under its own Gaussian.
         let own = da.assign(&[8.0, 0.0]);
@@ -313,7 +321,10 @@ mod tests {
     #[test]
     fn assignment_is_consistent_with_assign() {
         let (xs, _) = three_blobs(7, 30);
-        let config = AnnealingConfig { k: 3, ..AnnealingConfig::default() };
+        let config = AnnealingConfig {
+            k: 3,
+            ..AnnealingConfig::default()
+        };
         let da = DeterministicAnnealing::fit(&xs, &config, 8).unwrap();
         for (s, &a) in xs.iter().zip(da.assignments()) {
             assert_eq!(da.assign(s), a);
@@ -326,7 +337,10 @@ mod tests {
         assert!(matches!(
             DeterministicAnnealing::fit(
                 &xs,
-                &AnnealingConfig { k: 0, ..AnnealingConfig::default() },
+                &AnnealingConfig {
+                    k: 0,
+                    ..AnnealingConfig::default()
+                },
                 1
             ),
             Err(ModelError::InvalidConfig(_))
@@ -334,7 +348,10 @@ mod tests {
         assert!(matches!(
             DeterministicAnnealing::fit(
                 &xs,
-                &AnnealingConfig { k: 5, ..AnnealingConfig::default() },
+                &AnnealingConfig {
+                    k: 5,
+                    ..AnnealingConfig::default()
+                },
                 1
             ),
             Err(ModelError::InsufficientData { .. })
@@ -342,7 +359,11 @@ mod tests {
         assert!(matches!(
             DeterministicAnnealing::fit(
                 &xs,
-                &AnnealingConfig { cooling: 1.5, k: 1, ..AnnealingConfig::default() },
+                &AnnealingConfig {
+                    cooling: 1.5,
+                    k: 1,
+                    ..AnnealingConfig::default()
+                },
                 1
             ),
             Err(ModelError::InvalidConfig(_))
@@ -352,7 +373,10 @@ mod tests {
     #[test]
     fn determinism() {
         let (xs, _) = three_blobs(9, 40);
-        let config = AnnealingConfig { k: 3, ..AnnealingConfig::default() };
+        let config = AnnealingConfig {
+            k: 3,
+            ..AnnealingConfig::default()
+        };
         let a = DeterministicAnnealing::fit(&xs, &config, 10).unwrap();
         let b = DeterministicAnnealing::fit(&xs, &config, 10).unwrap();
         assert_eq!(a.assignments(), b.assignments());

@@ -23,8 +23,12 @@ impl Default for ForestConfig {
     fn default() -> Self {
         Self {
             n_trees: 20,
-            tree: TreeConfig { max_depth: 12, min_split: 4, feature_subsample: None,
-                threshold_candidates: 12 },
+            tree: TreeConfig {
+                max_depth: 12,
+                min_split: 4,
+                feature_subsample: None,
+                threshold_candidates: 12,
+            },
             bootstrap_fraction: 1.0,
         }
     }
@@ -51,7 +55,9 @@ impl RandomForest {
         seed: u64,
     ) -> Result<Self, ModelError> {
         if config.n_trees == 0 {
-            return Err(ModelError::InvalidConfig("forest needs at least one tree".into()));
+            return Err(ModelError::InvalidConfig(
+                "forest needs at least one tree".into(),
+            ));
         }
         if xs.is_empty() {
             return Err(ModelError::InsufficientData {
@@ -69,8 +75,9 @@ impl RandomForest {
         }
 
         let mut rng = GaussianSampler::seed_from_u64(seed);
-        let sample_n =
-            ((xs.len() as f64) * config.bootstrap_fraction).round().max(1.0) as usize;
+        let sample_n = ((xs.len() as f64) * config.bootstrap_fraction)
+            .round()
+            .max(1.0) as usize;
 
         let mut trees = Vec::with_capacity(config.n_trees);
         for t in 0..config.n_trees {
@@ -83,7 +90,13 @@ impl RandomForest {
                 bx.push(xs[i].clone());
                 by.push(ys[i]);
             }
-            trees.push(DecisionTree::fit(&bx, &by, n_classes, &tree_config, &mut tree_rng)?);
+            trees.push(DecisionTree::fit(
+                &bx,
+                &by,
+                n_classes,
+                &tree_config,
+                &mut tree_rng,
+            )?);
         }
         Ok(Self { trees, n_classes })
     }
@@ -137,7 +150,11 @@ impl RandomForest {
         if xs.is_empty() {
             return 0.0;
         }
-        let correct = xs.iter().zip(ys).filter(|(x, &y)| self.predict(x) == y).count();
+        let correct = xs
+            .iter()
+            .zip(ys)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
         correct as f64 / xs.len() as f64
     }
 }
@@ -200,7 +217,10 @@ mod tests {
             &xs,
             &ys,
             4,
-            &ForestConfig { n_trees: 1, ..ForestConfig::default() },
+            &ForestConfig {
+                n_trees: 1,
+                ..ForestConfig::default()
+            },
             10,
         )
         .unwrap();
@@ -208,7 +228,10 @@ mod tests {
             &xs,
             &ys,
             4,
-            &ForestConfig { n_trees: 30, ..ForestConfig::default() },
+            &ForestConfig {
+                n_trees: 30,
+                ..ForestConfig::default()
+            },
             10,
         )
         .unwrap();
@@ -223,7 +246,10 @@ mod tests {
             &xs,
             &ys,
             4,
-            &ForestConfig { n_trees: 0, ..ForestConfig::default() },
+            &ForestConfig {
+                n_trees: 0,
+                ..ForestConfig::default()
+            },
             12,
         );
         assert!(matches!(err, Err(ModelError::InvalidConfig(_))));

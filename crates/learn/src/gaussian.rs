@@ -39,7 +39,11 @@ impl DiagonalGaussian {
             return Err(ModelError::LengthMismatch {
                 what: "gaussian sample dimensions".into(),
                 left: d,
-                right: samples.iter().map(|s| s.len()).find(|&l| l != d).unwrap_or(d),
+                right: samples
+                    .iter()
+                    .map(|s| s.len())
+                    .find(|&l| l != d)
+                    .unwrap_or(d),
             });
         }
         let mut mean = vec![0.0; d];
@@ -68,7 +72,11 @@ impl DiagonalGaussian {
     /// # Panics
     /// Panics if `mean` and `variance` lengths differ or are empty.
     pub fn from_params(mean: Vec<f64>, mut variance: Vec<f64>) -> Self {
-        assert_eq!(mean.len(), variance.len(), "mean/variance dimension mismatch");
+        assert_eq!(
+            mean.len(),
+            variance.len(),
+            "mean/variance dimension mismatch"
+        );
         assert!(!mean.is_empty(), "gaussian needs at least one dimension");
         for v in &mut variance {
             *v = v.max(Self::VARIANCE_FLOOR);
@@ -78,7 +86,11 @@ impl DiagonalGaussian {
                 .iter()
                 .map(|v| (2.0 * std::f64::consts::PI * v).ln())
                 .sum::<f64>();
-        Self { mean, variance, log_norm }
+        Self {
+            mean,
+            variance,
+            log_norm,
+        }
     }
 
     /// Dimensionality.
@@ -139,7 +151,7 @@ mod tests {
 
     #[test]
     fn log_pdf_peaks_at_mean() {
-        let samples = vec![vec![0.0, 0.0], vec![2.0, 2.0]];
+        let samples = [vec![0.0, 0.0], vec![2.0, 2.0]];
         let refs: Vec<&[f64]> = samples.iter().map(|s| s.as_slice()).collect();
         let g = DiagonalGaussian::fit(&refs).unwrap();
         let at_mean = g.log_pdf(&[1.0, 1.0]);
@@ -159,7 +171,7 @@ mod tests {
 
     #[test]
     fn variance_floor_prevents_degeneracy() {
-        let samples = vec![vec![5.0], vec![5.0], vec![5.0]];
+        let samples = [vec![5.0], vec![5.0], vec![5.0]];
         let refs: Vec<&[f64]> = samples.iter().map(|s| s.as_slice()).collect();
         let g = DiagonalGaussian::fit(&refs).unwrap();
         assert!(g.variance()[0] >= DiagonalGaussian::VARIANCE_FLOOR);

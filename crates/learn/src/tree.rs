@@ -18,7 +18,12 @@ pub struct TreeConfig {
 
 impl Default for TreeConfig {
     fn default() -> Self {
-        Self { max_depth: 12, min_split: 4, feature_subsample: None, threshold_candidates: 16 }
+        Self {
+            max_depth: 12,
+            min_split: 4,
+            feature_subsample: None,
+            threshold_candidates: 16,
+        }
     }
 }
 
@@ -88,8 +93,11 @@ impl DecisionTree {
             return Err(ModelError::InvalidConfig("label out of range".into()));
         }
 
-        let mut tree =
-            Self { nodes: Vec::new(), n_classes, n_features };
+        let mut tree = Self {
+            nodes: Vec::new(),
+            n_classes,
+            n_features,
+        };
         let indices: Vec<usize> = (0..xs.len()).collect();
         tree.build(xs, ys, indices, 0, config, rng);
         Ok(tree)
@@ -142,7 +150,12 @@ impl DecisionTree {
         let me = self.nodes.len() - 1;
         let left = self.build(xs, ys, left_idx, depth + 1, config, rng);
         let right = self.build(xs, ys, right_idx, depth + 1, config, rng);
-        self.nodes[me] = Node::Split { feature, threshold, left, right };
+        self.nodes[me] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         me
     }
 
@@ -202,9 +215,8 @@ impl DecisionTree {
                     .zip(&left_counts)
                     .map(|(p, l)| p - l)
                     .collect();
-                let child =
-                    (left_n / total) * gini(&left_counts, left_n)
-                        + (right_n / total) * gini(&right_counts, right_n);
+                let child = (left_n / total) * gini(&left_counts, left_n)
+                    + (right_n / total) * gini(&right_counts, right_n);
                 let gain = parent_gini - child;
                 if gain > best.2 {
                     best = (f, threshold, gain);
@@ -239,8 +251,17 @@ impl DecisionTree {
         loop {
             match &self.nodes[node] {
                 Node::Leaf { dist } => return dist.clone(),
-                Node::Split { feature, threshold, left, right } => {
-                    node = if x[*feature] <= *threshold { *left } else { *right };
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    node = if x[*feature] <= *threshold {
+                        *left
+                    } else {
+                        *right
+                    };
                 }
             }
         }
@@ -310,7 +331,11 @@ mod tests {
             ys.push(usize::from(a ^ b));
         }
         let tree = DecisionTree::fit(&xs, &ys, 2, &TreeConfig::default(), &mut rng).unwrap();
-        let acc = xs.iter().zip(&ys).filter(|(x, &y)| tree.predict(x) == y).count() as f64
+        let acc = xs
+            .iter()
+            .zip(&ys)
+            .filter(|(x, &y)| tree.predict(x) == y)
+            .count() as f64
             / xs.len() as f64;
         assert!(acc > 0.95, "XOR accuracy {acc}");
     }
@@ -335,7 +360,10 @@ mod tests {
             &xs,
             &ys,
             3,
-            &TreeConfig { max_depth: 1, ..TreeConfig::default() },
+            &TreeConfig {
+                max_depth: 1,
+                ..TreeConfig::default()
+            },
             &mut rng,
         )
         .unwrap();

@@ -25,7 +25,11 @@ impl AprioriConfig {
     /// The paper's thresholds: minSup = 4 %, minConf = 99 %, itemsets up to
     /// size 4 (three antecedent atoms plus the consequent, as in Table IV).
     pub fn paper_default() -> Self {
-        Self { min_support: 0.04, min_confidence: 0.99, max_itemset: 4 }
+        Self {
+            min_support: 0.04,
+            min_confidence: 0.99,
+            max_itemset: 4,
+        }
     }
 }
 
@@ -113,7 +117,10 @@ pub fn mine_frequent_itemsets(
         let mut freq: Vec<FrequentItemset> = Vec::new();
         let mut next_level: Vec<Vec<ItemId>> = Vec::new();
         for cand in candidates {
-            let count = transactions.iter().filter(|t| t.contains_all(&cand)).count();
+            let count = transactions
+                .iter()
+                .filter(|t| t.contains_all(&cand))
+                .count();
             if count >= min_count {
                 freq.push(FrequentItemset {
                     items: cand.clone(),
@@ -180,7 +187,7 @@ pub fn mine_rules(
     }
 
     // Redundancy filter.
-    rules.sort_by(|a, b| a.antecedent.len().cmp(&b.antecedent.len()));
+    rules.sort_by_key(|r| r.antecedent.len());
     let mut kept: Vec<Rule> = Vec::new();
     'outer: for rule in rules {
         for general in &kept {
@@ -270,9 +277,10 @@ mod tests {
         let exercising = id(&s, 0, Atom::Macro(0));
         // Some rule must conclude "exercising" from cycling (alone or with
         // SR1).
-        let found = rules.rules().iter().any(|r| {
-            r.consequent == exercising && r.antecedent.contains(&cycling)
-        });
+        let found = rules
+            .rules()
+            .iter()
+            .any(|r| r.consequent == exercising && r.antecedent.contains(&cycling));
         assert!(found, "missing cycling ⇒ exercising rule:\n{rules}");
         for r in rules.rules() {
             assert!(r.confidence >= 0.99);
@@ -290,9 +298,7 @@ mod tests {
         // Since {cycling} ⇒ exercising already has confidence 1, the longer
         // {cycling, SR1} ⇒ exercising must have been dropped.
         let longer = rules.rules().iter().any(|r| {
-            r.consequent == exercising
-                && r.antecedent.len() == 2
-                && r.antecedent.contains(&cycling)
+            r.consequent == exercising && r.antecedent.len() == 2 && r.antecedent.contains(&cycling)
         });
         assert!(!longer, "redundant specialization survived:\n{rules}");
     }
@@ -313,7 +319,10 @@ mod tests {
         }
         let rules = mine_rules(&corpus, &s, &AprioriConfig::paper_default());
         assert!(
-            rules.rules().iter().all(|r| !r.antecedent.contains(&a) || r.consequent != b),
+            rules
+                .rules()
+                .iter()
+                .all(|r| !r.antecedent.contains(&a) || r.consequent != b),
             "60 % confidence rule must not survive minConf 99 %"
         );
     }
@@ -321,7 +330,9 @@ mod tests {
     #[test]
     fn empty_corpus_yields_no_rules() {
         let s = space();
-        assert!(mine_rules(&[], &s, &AprioriConfig::paper_default()).rules().is_empty());
+        assert!(mine_rules(&[], &s, &AprioriConfig::paper_default())
+            .rules()
+            .is_empty());
         assert!(mine_frequent_itemsets(&[], &AprioriConfig::paper_default()).is_empty());
     }
 
@@ -336,14 +347,20 @@ mod tests {
             Transaction::new(vec![b]),
             Transaction::new(vec![a, b]),
         ];
-        let cfg = AprioriConfig { min_support: 0.5, min_confidence: 0.5, max_itemset: 2 };
+        let cfg = AprioriConfig {
+            min_support: 0.5,
+            min_confidence: 0.5,
+            max_itemset: 2,
+        };
         let levels = mine_frequent_itemsets(&corpus, &cfg);
         let pair = levels[1]
             .iter()
-            .find(|f| f.items == {
-                let mut v = vec![a, b];
-                v.sort_unstable();
-                v
+            .find(|f| {
+                f.items == {
+                    let mut v = vec![a, b];
+                    v.sort_unstable();
+                    v
+                }
             })
             .expect("pair {a,b} is 50 % frequent");
         assert!((pair.support - 0.5).abs() < 1e-12);

@@ -79,7 +79,8 @@ pub struct HierarchicalStats {
 
 impl HierarchicalStats {
     fn assert_row_normalized(rows: &[Vec<f64>]) -> bool {
-        rows.iter().all(|r| (r.iter().sum::<f64>() - 1.0).abs() < 1e-9)
+        rows.iter()
+            .all(|r| (r.iter().sum::<f64>() - 1.0).abs() < 1e-9)
     }
 
     /// Validates that every stored distribution is normalized.
@@ -138,12 +139,21 @@ pub struct ConstraintMiner {
 impl ConstraintMiner {
     /// A miner for the CACE vocabulary sizes.
     pub fn cace() -> Self {
-        Self { laplace: 0.5, n_macro: 11, n_postural: 6, n_gestural: 5, n_location: 14 }
+        Self {
+            laplace: 0.5,
+            n_macro: 11,
+            n_postural: 6,
+            n_gestural: 5,
+            n_location: 14,
+        }
     }
 
     /// A miner for the CASAS vocabulary sizes.
     pub fn casas() -> Self {
-        Self { n_macro: 15, ..Self::cace() }
+        Self {
+            n_macro: 15,
+            ..Self::cace()
+        }
     }
 
     /// Mines the full [`HierarchicalStats`] from labeled sequences.
@@ -262,8 +272,8 @@ mod tests {
             }
         }
         let n = macros.len();
-        let posturals: Vec<usize> = macros.iter().map(|&m| m).collect();
-        let locations: Vec<usize> = macros.iter().map(|&m| m).collect();
+        let posturals: Vec<usize> = macros.clone();
+        let locations: Vec<usize> = macros.clone();
         LabeledSequence {
             macros: [macros.clone(), macros],
             posturals: [posturals.clone(), posturals],
@@ -273,7 +283,13 @@ mod tests {
     }
 
     fn miner() -> ConstraintMiner {
-        ConstraintMiner { laplace: 0.1, n_macro: 3, n_postural: 3, n_gestural: 2, n_location: 3 }
+        ConstraintMiner {
+            laplace: 0.1,
+            n_macro: 3,
+            n_postural: 3,
+            n_gestural: 2,
+            n_location: 3,
+        }
     }
 
     #[test]
@@ -298,7 +314,11 @@ mod tests {
     fn end_probability_matches_run_length() {
         let stats = miner().mine(&[synchronized_sequence(20, 10)]).unwrap();
         // Runs of 10 ticks → P(end) ≈ 1/10.
-        assert!((stats.end_prob[0] - 0.1).abs() < 0.05, "end prob {}", stats.end_prob[0]);
+        assert!(
+            (stats.end_prob[0] - 0.1).abs() < 0.05,
+            "end prob {}",
+            stats.end_prob[0]
+        );
     }
 
     #[test]

@@ -119,14 +119,23 @@ impl UserCandidates {
 
     /// Whether any dimension has been emptied.
     pub fn any_empty(&self) -> bool {
-        [&self.macros, &self.posturals, &self.gesturals, &self.locations]
-            .iter()
-            .any(|d| d.iter().all(|&b| !b))
+        [
+            &self.macros,
+            &self.posturals,
+            &self.gesturals,
+            &self.locations,
+        ]
+        .iter()
+        .any(|d| d.iter().all(|&b| !b))
     }
 
     /// Indices of allowed values in a dimension.
     pub fn allowed(dim: &[bool]) -> Vec<usize> {
-        dim.iter().enumerate().filter(|&(_, &b)| b).map(|(i, _)| i).collect()
+        dim.iter()
+            .enumerate()
+            .filter(|&(_, &b)| b)
+            .map(|(i, _)| i)
+            .collect()
     }
 }
 
@@ -140,7 +149,9 @@ pub struct CandidateTick {
 impl CandidateTick {
     /// Everything allowed for both users.
     pub fn full(space: &AtomSpace) -> Self {
-        Self { users: [UserCandidates::full(space), UserCandidates::full(space)] }
+        Self {
+            users: [UserCandidates::full(space), UserCandidates::full(space)],
+        }
     }
 
     /// Joint state count across both users (the paper's explosion metric).
@@ -184,7 +195,10 @@ impl PruningEngine {
     /// Iterates to a fixed point (rules can cascade, as in the paper's
     /// living-room example where a location rule enables a macro rule).
     pub fn prune(&self, evidence: &[ItemId], tick: &mut CandidateTick) -> PruneReport {
-        debug_assert!(evidence.windows(2).all(|w| w[0] <= w[1]), "evidence must be sorted");
+        debug_assert!(
+            evidence.windows(2).all(|w| w[0] <= w[1]),
+            "evidence must be sorted"
+        );
         let space = self.rules.space().clone();
         let mut report = PruneReport::default();
         // Two passes reach the fixed point for cascades whose intermediate
@@ -197,12 +211,13 @@ impl PruningEngine {
                 if !rule.fires_on(evidence) {
                     continue;
                 }
-                let Some(item) = space.decode(rule.consequent) else { continue };
+                let Some(item) = space.decode(rule.consequent) else {
+                    continue;
+                };
                 if item.lag != 0 {
                     continue; // past-state consequents carry no runtime prune
                 }
-                let removed =
-                    tick.users[item.user as usize].restrict(&space, item.atom);
+                let removed = tick.users[item.user as usize].restrict(&space, item.atom);
                 if removed > 0 {
                     report.positive_fired += 1;
                     report.removed += removed;
@@ -213,7 +228,9 @@ impl PruningEngine {
                 if evidence.binary_search(&neg.if_item).is_err() {
                     continue;
                 }
-                let Some(item) = space.decode(neg.then_not) else { continue };
+                let Some(item) = space.decode(neg.then_not) else {
+                    continue;
+                };
                 if item.lag != 0 {
                     continue;
                 }
@@ -245,11 +262,7 @@ mod tests {
         s.encode(Item { user, lag: 0, atom })
     }
 
-    fn engine_with(
-        s: &AtomSpace,
-        rules: Vec<Rule>,
-        negatives: Vec<NegativeRule>,
-    ) -> PruningEngine {
+    fn engine_with(s: &AtomSpace, rules: Vec<Rule>, negatives: Vec<NegativeRule>) -> PruningEngine {
         let mut set = RuleSet::new(s.clone(), rules);
         set.set_negatives(negatives);
         PruningEngine::new(set)
@@ -317,13 +330,20 @@ mod tests {
         let s = space();
         let u1_bath = enc(&s, 0, Atom::Location(8));
         let u2_bath = enc(&s, 1, Atom::Location(8));
-        let neg = NegativeRule { if_item: u1_bath, then_not: u2_bath, support: 0.2 };
+        let neg = NegativeRule {
+            if_item: u1_bath,
+            then_not: u2_bath,
+            support: 0.2,
+        };
         let engine = engine_with(&s, vec![], vec![neg]);
 
         let mut tick = CandidateTick::full(&s);
         let report = engine.prune(&[u1_bath], &mut tick);
         assert_eq!(report.negative_fired, 1);
-        assert!(!tick.users[1].locations[8], "partner bathroom must be pruned");
+        assert!(
+            !tick.users[1].locations[8],
+            "partner bathroom must be pruned"
+        );
         assert_eq!(tick.users[1].locations.iter().filter(|&&b| b).count(), 13);
     }
 

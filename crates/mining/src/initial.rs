@@ -25,12 +25,32 @@ pub fn initial_cace_rules() -> RuleSet {
     // primary venue is unambiguous (exactly the ones a resident would define
     // through the app: bike ⇒ exercising, bed ⇒ sleeping, …).
     let definitions: [(MacroActivity, SubLocation, Postural); 6] = [
-        (MacroActivity::Exercising, SubLocation::ExerciseBike, Postural::Cycling),
+        (
+            MacroActivity::Exercising,
+            SubLocation::ExerciseBike,
+            Postural::Cycling,
+        ),
         (MacroActivity::Sleeping, SubLocation::Bed, Postural::Lying),
-        (MacroActivity::Studying, SubLocation::ReadingTable, Postural::Sitting),
-        (MacroActivity::Dining, SubLocation::DiningTable, Postural::Sitting),
-        (MacroActivity::Bathrooming, SubLocation::Bathroom, Postural::Standing),
-        (MacroActivity::WatchingTv, SubLocation::Couch1, Postural::Sitting),
+        (
+            MacroActivity::Studying,
+            SubLocation::ReadingTable,
+            Postural::Sitting,
+        ),
+        (
+            MacroActivity::Dining,
+            SubLocation::DiningTable,
+            Postural::Sitting,
+        ),
+        (
+            MacroActivity::Bathrooming,
+            SubLocation::Bathroom,
+            Postural::Standing,
+        ),
+        (
+            MacroActivity::WatchingTv,
+            SubLocation::Couch1,
+            Postural::Sitting,
+        ),
     ];
 
     for user in 0..2u8 {
@@ -67,13 +87,29 @@ pub fn initial_cace_rules() -> RuleSet {
     let bath = SubLocation::Bathroom.index() as u16;
     let negatives = vec![
         NegativeRule {
-            if_item: space.encode(Item { user: 0, lag: 0, atom: Atom::Location(bath) }),
-            then_not: space.encode(Item { user: 1, lag: 0, atom: Atom::Location(bath) }),
+            if_item: space.encode(Item {
+                user: 0,
+                lag: 0,
+                atom: Atom::Location(bath),
+            }),
+            then_not: space.encode(Item {
+                user: 1,
+                lag: 0,
+                atom: Atom::Location(bath),
+            }),
             support: 0.05,
         },
         NegativeRule {
-            if_item: space.encode(Item { user: 1, lag: 0, atom: Atom::Location(bath) }),
-            then_not: space.encode(Item { user: 0, lag: 0, atom: Atom::Location(bath) }),
+            if_item: space.encode(Item {
+                user: 1,
+                lag: 0,
+                atom: Atom::Location(bath),
+            }),
+            then_not: space.encode(Item {
+                user: 0,
+                lag: 0,
+                atom: Atom::Location(bath),
+            }),
             support: 0.05,
         },
     ];

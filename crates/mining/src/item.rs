@@ -62,7 +62,10 @@ impl AtomSpace {
     /// stream (the gestural dimension collapses to the single "silent"
     /// placeholder and is never emitted into transactions).
     pub fn casas() -> Self {
-        Self { n_macro: cace_model::CasasActivity::COUNT, ..Self::cace() }
+        Self {
+            n_macro: cace_model::CasasActivity::COUNT,
+            ..Self::cace()
+        }
     }
 
     /// Atoms per user-instant.
@@ -147,7 +150,11 @@ impl AtomSpace {
         }
         let slot = raw / self.n_atoms();
         let atom = self.atom_from_index(raw % self.n_atoms())?;
-        Some(Item { user: (slot / 2) as u8, lag: (slot % 2) as u8, atom })
+        Some(Item {
+            user: (slot / 2) as u8,
+            lag: (slot % 2) as u8,
+            atom,
+        })
     }
 
     /// Human-readable rendering of an item (Table IV style).
@@ -185,9 +192,7 @@ impl fmt::Display for Item {
 }
 
 /// Dense item identifier.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct ItemId(pub u32);
 
 /// A sorted, deduplicated set of items that held around one tick.
@@ -253,9 +258,21 @@ pub fn atoms_of_tick(
     location: usize,
 ) -> Vec<ItemId> {
     let mut out = vec![
-        space.encode(Item { user, lag, atom: Atom::Macro(macro_id as u16) }),
-        space.encode(Item { user, lag, atom: Atom::Postural(postural as u16) }),
-        space.encode(Item { user, lag, atom: Atom::Location(location as u16) }),
+        space.encode(Item {
+            user,
+            lag,
+            atom: Atom::Macro(macro_id as u16),
+        }),
+        space.encode(Item {
+            user,
+            lag,
+            atom: Atom::Postural(postural as u16),
+        }),
+        space.encode(Item {
+            user,
+            lag,
+            atom: Atom::Location(location as u16),
+        }),
         space.encode(Item {
             user,
             lag,
@@ -263,7 +280,11 @@ pub fn atoms_of_tick(
         }),
     ];
     if let Some(g) = gestural {
-        out.push(space.encode(Item { user, lag, atom: Atom::Gestural(g as u16) }));
+        out.push(space.encode(Item {
+            user,
+            lag,
+            atom: Atom::Gestural(g as u16),
+        }));
     }
     out
 }
@@ -312,7 +333,11 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn encode_rejects_oversized_atom() {
         let s = AtomSpace::cace();
-        s.encode(Item { user: 0, lag: 0, atom: Atom::Macro(99) });
+        s.encode(Item {
+            user: 0,
+            lag: 0,
+            atom: Atom::Macro(99),
+        });
     }
 
     #[test]
@@ -345,9 +370,17 @@ mod tests {
     #[test]
     fn render_is_table_iv_style() {
         let s = AtomSpace::cace();
-        let id = s.encode(Item { user: 0, lag: 0, atom: Atom::Location(8) });
+        let id = s.encode(Item {
+            user: 0,
+            lag: 0,
+            atom: Atom::Location(8),
+        });
         assert_eq!(s.render(id), "U1(t): SR9");
-        let id2 = s.encode(Item { user: 1, lag: 1, atom: Atom::Macro(2) });
+        let id2 = s.encode(Item {
+            user: 1,
+            lag: 1,
+            atom: Atom::Macro(2),
+        });
         assert_eq!(s.render(id2), "U2(t-1): macro#2");
     }
 }

@@ -23,7 +23,9 @@ pub struct Rule {
 impl Rule {
     /// Whether every antecedent item is in the (sorted) evidence set.
     pub fn fires_on(&self, evidence: &[ItemId]) -> bool {
-        self.antecedent.iter().all(|i| evidence.binary_search(i).is_ok())
+        self.antecedent
+            .iter()
+            .all(|i| evidence.binary_search(i).is_ok())
     }
 }
 
@@ -51,7 +53,11 @@ pub struct RuleSet {
 impl RuleSet {
     /// Wraps a list of rules.
     pub fn new(space: AtomSpace, rules: Vec<Rule>) -> Self {
-        Self { space, rules, negatives: Vec::new() }
+        Self {
+            space,
+            rules,
+            negatives: Vec::new(),
+        }
     }
 
     /// The positive rules.
@@ -82,9 +88,11 @@ impl RuleSet {
     /// Adds positive rules (deduplicating exact matches).
     pub fn extend_rules<I: IntoIterator<Item = Rule>>(&mut self, rules: I) {
         for rule in rules {
-            if !self.rules.iter().any(|r| {
-                r.antecedent == rule.antecedent && r.consequent == rule.consequent
-            }) {
+            if !self
+                .rules
+                .iter()
+                .any(|r| r.antecedent == rule.antecedent && r.consequent == rule.consequent)
+            {
                 self.rules.push(rule);
             }
         }
@@ -115,8 +123,11 @@ impl RuleSet {
 
     /// Renders one rule in Table IV style.
     pub fn render_rule(&self, rule: &Rule) -> String {
-        let ants: Vec<String> =
-            rule.antecedent.iter().map(|&i| self.space.render(i)).collect();
+        let ants: Vec<String> = rule
+            .antecedent
+            .iter()
+            .map(|&i| self.space.render(i))
+            .collect();
         format!(
             "{} ⇒ {}; ({:.2})",
             ants.join(" ∧ "),
@@ -175,7 +186,9 @@ pub fn mine_negative_rules(
     let mut candidates: Vec<(ItemId, usize)> = Vec::new();
     for raw in 0..space.n_items() as u32 {
         let id = ItemId(raw);
-        let Some(item) = space.decode(id) else { continue };
+        let Some(item) = space.decode(id) else {
+            continue;
+        };
         if item.lag != 0 {
             continue;
         }
@@ -205,9 +218,7 @@ pub fn mine_negative_rules(
                 // Inter-user: same location atom for both users, emitted
                 // once per ordered pair (a < b avoids duplicates; the
                 // pruning engine applies them symmetrically anyway).
-                a < b
-                    && ia.atom == ib.atom
-                    && matches!(ia.atom, Atom::Location(_) | Atom::Room(_))
+                a < b && ia.atom == ib.atom && matches!(ia.atom, Atom::Location(_) | Atom::Room(_))
             } else {
                 // Intra-user: observed micro context excludes a hidden
                 // macro activity.
@@ -219,8 +230,10 @@ pub fn mine_negative_rules(
             if !eligible {
                 continue;
             }
-            let joint =
-                transactions.iter().filter(|t| t.contains(a) && t.contains(b)).count();
+            let joint = transactions
+                .iter()
+                .filter(|t| t.contains(a) && t.contains(b))
+                .count();
             if joint == 0 {
                 out.push(NegativeRule {
                     if_item: a,
@@ -243,7 +256,11 @@ mod tests {
     }
 
     fn loc(space: &AtomSpace, user: u8, l: u16) -> ItemId {
-        space.encode(Item { user, lag: 0, atom: Atom::Location(l) })
+        space.encode(Item {
+            user,
+            lag: 0,
+            atom: Atom::Location(l),
+        })
     }
 
     #[test]
@@ -254,7 +271,12 @@ mod tests {
         let c = loc(&s, 1, 2);
         let mut ants = vec![a, b];
         ants.sort_unstable();
-        let rule = Rule { antecedent: ants, consequent: c, support: 0.1, confidence: 1.0 };
+        let rule = Rule {
+            antecedent: ants,
+            consequent: c,
+            support: 0.1,
+            confidence: 1.0,
+        };
         let mut evidence = vec![b, a, c];
         evidence.sort_unstable();
         assert!(rule.fires_on(&evidence));
@@ -311,7 +333,9 @@ mod tests {
         }
         let negs = mine_negative_rules(&corpus, &s, 0.04);
         assert!(
-            !negs.iter().any(|r| r.if_item == u1_porch || r.if_item == u2_porch),
+            !negs
+                .iter()
+                .any(|r| r.if_item == u1_porch || r.if_item == u2_porch),
             "rare items must not generate exclusivities"
         );
     }
@@ -319,14 +343,27 @@ mod tests {
     #[test]
     fn rendering_matches_table_iv_style() {
         let s = space();
-        let cycling = s.encode(Item { user: 0, lag: 0, atom: Atom::Postural(3) });
+        let cycling = s.encode(Item {
+            user: 0,
+            lag: 0,
+            atom: Atom::Postural(3),
+        });
         let sr1 = loc(&s, 0, 0);
-        let exercising = s.encode(Item { user: 0, lag: 0, atom: Atom::Macro(0) });
+        let exercising = s.encode(Item {
+            user: 0,
+            lag: 0,
+            atom: Atom::Macro(0),
+        });
         let mut ants = vec![cycling, sr1];
         ants.sort_unstable();
         let set = RuleSet::new(
             s,
-            vec![Rule { antecedent: ants, consequent: exercising, support: 0.1, confidence: 1.0 }],
+            vec![Rule {
+                antecedent: ants,
+                consequent: exercising,
+                support: 0.1,
+                confidence: 1.0,
+            }],
         );
         let rendered = set.to_string();
         assert!(rendered.contains("SR1"), "{rendered}");
@@ -358,7 +395,12 @@ mod tests {
         let s = space();
         let a = loc(&s, 0, 0);
         let b = loc(&s, 0, 1);
-        let rule = Rule { antecedent: vec![a], consequent: b, support: 0.5, confidence: 1.0 };
+        let rule = Rule {
+            antecedent: vec![a],
+            consequent: b,
+            support: 0.5,
+            confidence: 1.0,
+        };
         let mut set = RuleSet::new(s, vec![rule.clone()]);
         set.extend_rules(vec![rule.clone(), rule]);
         assert_eq!(set.rules().len(), 1);

@@ -54,7 +54,10 @@ impl CasasActivity {
     /// The paper reports 99.3 % accuracy on shared CASAS activities such as
     /// *Move Furniture* and *Play Checkers*.
     pub const fn is_joint(self) -> bool {
-        matches!(self, Self::MoveFurniture | Self::PlayCheckers | Self::PackPicnicBasket)
+        matches!(
+            self,
+            Self::MoveFurniture | Self::PlayCheckers | Self::PackPicnicBasket
+        )
     }
 
     /// One-based row number in Fig 9.

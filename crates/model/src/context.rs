@@ -39,7 +39,11 @@ impl MicroState {
 
     /// Creates a micro state from its three elements.
     pub const fn new(postural: Postural, gestural: Gestural, location: SubLocation) -> Self {
-        Self { postural, gestural, location }
+        Self {
+            postural,
+            gestural,
+            location,
+        }
     }
 
     /// Dense index in `0..Self::COUNT`.
@@ -58,7 +62,11 @@ impl MicroState {
         let rest = index / SubLocation::COUNT;
         let gestural = Gestural::from_index(rest % Gestural::COUNT)?;
         let postural = Postural::from_index(rest / Gestural::COUNT)?;
-        Some(Self { postural, gestural, location })
+        Some(Self {
+            postural,
+            gestural,
+            location,
+        })
     }
 
     /// Iterates over all micro states in index order.
@@ -80,7 +88,11 @@ impl MicroState {
 
 impl fmt::Display for MicroState {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "({}, {}, {})", self.postural, self.gestural, self.location)
+        write!(
+            f,
+            "({}, {}, {})",
+            self.postural, self.gestural, self.location
+        )
     }
 }
 
@@ -152,7 +164,10 @@ pub struct UserContext {
 impl UserContext {
     /// Creates a user context from its two levels.
     pub const fn new(macro_state: MacroState, micro_state: MicroState) -> Self {
-        Self { macro_state, micro_state }
+        Self {
+            macro_state,
+            micro_state,
+        }
     }
 
     /// Whether the two levels agree on location.
@@ -234,11 +249,8 @@ pub enum ContextAtom {
 impl ContextAtom {
     /// Total number of distinct atoms
     /// (`11 + 6 + 5 + 14 + 6 = 42` context states per user-instant).
-    pub const COUNT: usize = MacroActivity::COUNT
-        + Postural::COUNT
-        + Gestural::COUNT
-        + SubLocation::COUNT
-        + Room::COUNT;
+    pub const COUNT: usize =
+        MacroActivity::COUNT + Postural::COUNT + Gestural::COUNT + SubLocation::COUNT + Room::COUNT;
 
     /// Dense index in `0..Self::COUNT`.
     pub const fn index(self) -> usize {
@@ -246,9 +258,7 @@ impl ContextAtom {
             Self::Macro(a) => a.index(),
             Self::Postural(p) => MacroActivity::COUNT + p.index(),
             Self::Gestural(g) => MacroActivity::COUNT + Postural::COUNT + g.index(),
-            Self::SubLoc(s) => {
-                MacroActivity::COUNT + Postural::COUNT + Gestural::COUNT + s.index()
-            }
+            Self::SubLoc(s) => MacroActivity::COUNT + Postural::COUNT + Gestural::COUNT + s.index(),
             Self::Room(r) => {
                 MacroActivity::COUNT
                     + Postural::COUNT
@@ -395,10 +405,8 @@ mod tests {
 
     #[test]
     fn canonical_venue_check() {
-        assert!(MacroState::new(MacroActivity::Cooking, SubLocation::Kitchen)
-            .at_canonical_venue());
-        assert!(!MacroState::new(MacroActivity::Cooking, SubLocation::Bed)
-            .at_canonical_venue());
+        assert!(MacroState::new(MacroActivity::Cooking, SubLocation::Kitchen).at_canonical_venue());
+        assert!(!MacroState::new(MacroActivity::Cooking, SubLocation::Bed).at_canonical_venue());
     }
 
     #[test]
@@ -420,8 +428,7 @@ mod tests {
     fn micro_transition_follows_postural_rules() {
         let sitting = MicroState::new(Postural::Sitting, Gestural::Silent, SubLocation::Couch1);
         let walking = MicroState::new(Postural::Walking, Gestural::Silent, SubLocation::Couch1);
-        let standing =
-            MicroState::new(Postural::Standing, Gestural::Silent, SubLocation::Couch1);
+        let standing = MicroState::new(Postural::Standing, Gestural::Silent, SubLocation::Couch1);
         assert!(!sitting.can_transition_to(walking));
         assert!(sitting.can_transition_to(standing));
         assert!(standing.can_transition_to(walking));

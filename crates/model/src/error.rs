@@ -62,9 +62,16 @@ impl fmt::Display for ModelError {
                 write!(f, "index {index} out of range for {what} (size {count})")
             }
             Self::InvalidDistribution { what, mass } => {
-                write!(f, "invalid probability distribution for {what}: mass {mass}")
+                write!(
+                    f,
+                    "invalid probability distribution for {what}: mass {mass}"
+                )
             }
-            Self::InsufficientData { what, available, required } => write!(
+            Self::InsufficientData {
+                what,
+                available,
+                required,
+            } => write!(
                 f,
                 "insufficient data for {what}: {available} available, {required} required"
             ),
@@ -88,8 +95,15 @@ mod tests {
 
     #[test]
     fn errors_display_lowercase_and_informative() {
-        let e = ModelError::IndexOutOfRange { what: "MacroActivity", index: 12, count: 11 };
-        assert_eq!(e.to_string(), "index 12 out of range for MacroActivity (size 11)");
+        let e = ModelError::IndexOutOfRange {
+            what: "MacroActivity",
+            index: 12,
+            count: 11,
+        };
+        assert_eq!(
+            e.to_string(),
+            "index 12 out of range for MacroActivity (size 11)"
+        );
         let e = ModelError::EmptyStateSpace { tick: 7 };
         assert!(e.to_string().contains("tick 7"));
     }

@@ -69,8 +69,9 @@ impl SubLocation {
     pub const fn room(self) -> Room {
         use SubLocation::*;
         match self {
-            ExerciseBike | Couch1 | Couch2 | DiningTable | ReadingTable
-            | RestOfLivingRoom => Room::LivingRoom,
+            ExerciseBike | Couch1 | Couch2 | DiningTable | ReadingTable | RestOfLivingRoom => {
+                Room::LivingRoom
+            }
             Bed | Closet1 | Closet2 | RestOfBedroom => Room::Bedroom,
             Bathroom => Room::Bathroom,
             Kitchen => Room::Kitchen,
@@ -117,7 +118,9 @@ impl SubLocation {
 
     /// Sub-regions whose centroid lies in the given room.
     pub fn in_room(room: Room) -> impl Iterator<Item = SubLocation> {
-        SubLocation::ALL.into_iter().filter(move |s| s.room() == room)
+        SubLocation::ALL
+            .into_iter()
+            .filter(move |s| s.room() == room)
     }
 
     /// The canonical sub-location(s) where each macro activity is performed.
@@ -139,13 +142,7 @@ impl SubLocation {
             A::Bathrooming => &[Bathroom],
             A::Cooking => &[Kitchen],
             A::PastTimes => &[Porch, Couch1, Couch2],
-            A::Random => &[
-                Corridor,
-                RestOfLivingRoom,
-                RestOfBedroom,
-                Kitchen,
-                Porch,
-            ],
+            A::Random => &[Corridor, RestOfLivingRoom, RestOfBedroom, Kitchen, Porch],
         }
     }
 }

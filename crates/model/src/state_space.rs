@@ -27,11 +27,20 @@ pub struct StateMask {
 
 impl StateMask {
     /// All modalities present (the full CACE configuration).
-    pub const FULL: StateMask = StateMask { gestural: true, location: true };
+    pub const FULL: StateMask = StateMask {
+        gestural: true,
+        location: true,
+    };
     /// Gestural stream removed (Fig 8(a) "Without Gestural"; also CASAS).
-    pub const NO_GESTURAL: StateMask = StateMask { gestural: false, location: true };
+    pub const NO_GESTURAL: StateMask = StateMask {
+        gestural: false,
+        location: true,
+    };
     /// Sub-location stream removed (Fig 8(a) "Without SubLocation").
-    pub const NO_LOCATION: StateMask = StateMask { gestural: true, location: false };
+    pub const NO_LOCATION: StateMask = StateMask {
+        gestural: true,
+        location: false,
+    };
 }
 
 impl Default for StateMask {
@@ -72,7 +81,9 @@ pub struct MicroStateSpace {
 impl MicroStateSpace {
     /// The empty candidate set.
     pub const fn empty() -> Self {
-        Self { words: [0; MICRO_WORDS] }
+        Self {
+            words: [0; MICRO_WORDS],
+        }
     }
 
     /// Every micro state is a candidate.

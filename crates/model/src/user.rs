@@ -50,7 +50,10 @@ pub struct Household {
 impl Household {
     /// Creates a two-resident household, the paper's evaluated configuration.
     pub const fn pair(home_id: u32) -> Self {
-        Self { home_id, residents: 2 }
+        Self {
+            home_id,
+            residents: 2,
+        }
     }
 
     /// Iterates over the resident ids of this household.

@@ -54,7 +54,10 @@ pub struct BeaconGrid {
 impl BeaconGrid {
     /// The paper's nine-beacon deployment.
     pub fn paper_default(noise: NoiseConfig) -> Self {
-        Self { positions: BEACON_POSITIONS.to_vec(), noise }
+        Self {
+            positions: BEACON_POSITIONS.to_vec(),
+            noise,
+        }
     }
 
     /// A custom constellation (≥ 3 beacons required for trilateration).
@@ -62,7 +65,10 @@ impl BeaconGrid {
     /// # Panics
     /// Panics if fewer than three beacons are given.
     pub fn new(positions: Vec<(f64, f64)>, noise: NoiseConfig) -> Self {
-        assert!(positions.len() >= 3, "trilateration needs at least 3 beacons");
+        assert!(
+            positions.len() >= 3,
+            "trilateration needs at least 3 beacons"
+        );
         Self { positions, noise }
     }
 
@@ -94,7 +100,11 @@ impl BeaconGrid {
     /// # Panics
     /// Panics if `ranges.len()` differs from the number of beacons.
     pub fn localize(&self, ranges: &[f64]) -> BeaconEstimate {
-        assert_eq!(ranges.len(), self.positions.len(), "one range per beacon required");
+        assert_eq!(
+            ranges.len(),
+            self.positions.len(),
+            "one range per beacon required"
+        );
         // Initialize at the range-weighted centroid of the beacons (closer
         // beacons get more weight).
         let mut x = 0.0;
@@ -164,7 +174,12 @@ impl BeaconGrid {
         let (x0, x1, y0, y1) = HOME_BOUNDS;
         let in_home = (x0..=x1).contains(&x) && (y0..=y1).contains(&y);
 
-        BeaconEstimate { position: (x, y), nearest, in_home, residual }
+        BeaconEstimate {
+            position: (x, y),
+            nearest,
+            in_home,
+            residual,
+        }
     }
 
     /// Convenience: measure at `truth` and localize in one call.
@@ -222,7 +237,11 @@ mod tests {
         let grid = BeaconGrid::paper_default(NoiseConfig::noiseless());
         let mut rng = GaussianSampler::seed_from_u64(3);
         let est = grid.sense((25.0, 25.0), &mut rng);
-        assert!(!est.in_home, "25m away should be outside: {:?}", est.position);
+        assert!(
+            !est.in_home,
+            "25m away should be outside: {:?}",
+            est.position
+        );
     }
 
     #[test]
@@ -238,7 +257,10 @@ mod tests {
         for _ in 0..10 {
             worst = worst.max(noisy.sense(truth, &mut rng).residual);
         }
-        assert!(worst > r_clean, "noise should raise residual: {worst} vs {r_clean}");
+        assert!(
+            worst > r_clean,
+            "noise should raise residual: {worst} vs {r_clean}"
+        );
     }
 
     #[test]

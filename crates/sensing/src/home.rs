@@ -29,7 +29,11 @@ pub struct UserTickTruth {
 impl UserTickTruth {
     /// A present resident with no object interaction.
     pub const fn of(micro: MicroState) -> Self {
-        Self { micro, object: None, present: true }
+        Self {
+            micro,
+            object: None,
+            present: true,
+        }
     }
 }
 
@@ -57,7 +61,9 @@ impl AmbientReading {
 
     /// Objects whose sensor fired this tick.
     pub fn fired_objects(&self) -> impl Iterator<Item = ObjectKind> + '_ {
-        ObjectKind::ALL.into_iter().filter(|o| self.objects[o.index()])
+        ObjectKind::ALL
+            .into_iter()
+            .filter(|o| self.objects[o.index()])
     }
 }
 
@@ -154,11 +160,10 @@ impl SmartHome {
             let phone = if self.synth.frame_dropped(&mut self.rng) {
                 None
             } else {
-                Some(self.synth.phone_frame(
-                    user.micro.postural,
-                    SAMPLES_PER_TICK,
-                    &mut self.rng,
-                ))
+                Some(
+                    self.synth
+                        .phone_frame(user.micro.postural, SAMPLES_PER_TICK, &mut self.rng),
+                )
             };
             let tag = if self.synth.frame_dropped(&mut self.rng) {
                 None
@@ -175,7 +180,10 @@ impl SmartHome {
         let w1 = wearables.pop().expect("two wearables");
         let w0 = wearables.pop().expect("two wearables");
 
-        SensorTick { ambient: AmbientReading { pir, objects }, wearables: [w0, w1] }
+        SensorTick {
+            ambient: AmbientReading { pir, objects },
+            wearables: [w0, w1],
+        }
     }
 
     /// The wearable channel index for a user.
@@ -189,12 +197,7 @@ mod tests {
     use super::*;
     use cace_model::{Gestural, Postural, SubLocation};
 
-    fn truth(
-        l1: SubLocation,
-        p1: Postural,
-        l2: SubLocation,
-        p2: Postural,
-    ) -> GroundTruthTick {
+    fn truth(l1: SubLocation, p1: Postural, l2: SubLocation, p2: Postural) -> GroundTruthTick {
         GroundTruthTick {
             users: [
                 UserTickTruth::of(MicroState::new(p1, Gestural::Silent, l1)),
@@ -228,7 +231,10 @@ mod tests {
         );
         let tick = home.sense_tick(&t);
         assert!(tick.ambient.pir[Room::Kitchen.index()]);
-        assert!(!tick.ambient.pir[Room::LivingRoom.index()], "sitting does not trip PIR");
+        assert!(
+            !tick.ambient.pir[Room::LivingRoom.index()],
+            "sitting does not trip PIR"
+        );
         assert!(!tick.ambient.pir[Room::Bathroom.index()]);
     }
 
@@ -280,7 +286,10 @@ mod tests {
         for _ in 0..8 {
             tick = home.sense_tick(&t);
         }
-        assert!(!tick.wearables[1].beacon.in_home, "absent user should localize outside");
+        assert!(
+            !tick.wearables[1].beacon.in_home,
+            "absent user should localize outside"
+        );
         assert!(tick.wearables[0].beacon.in_home);
     }
 

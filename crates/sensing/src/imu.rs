@@ -29,22 +29,88 @@ struct MotionProfile {
 
 const fn postural_profile(p: Postural) -> MotionProfile {
     match p {
-        Postural::Walking => MotionProfile { freq_hz: 2.0, amp: 2.6, harmonic: 0.35, tilt: 0.0, gyro_amp: 0.8 },
-        Postural::Standing => MotionProfile { freq_hz: 0.4, amp: 0.15, harmonic: 0.0, tilt: 0.0, gyro_amp: 0.05 },
-        Postural::Sitting => MotionProfile { freq_hz: 0.3, amp: 0.10, harmonic: 0.0, tilt: 0.9, gyro_amp: 0.04 },
-        Postural::Cycling => MotionProfile { freq_hz: 1.4, amp: 1.6, harmonic: 0.5, tilt: 0.6, gyro_amp: 0.5 },
-        Postural::Lying => MotionProfile { freq_hz: 0.2, amp: 0.06, harmonic: 0.0, tilt: 1.5, gyro_amp: 0.02 },
-        Postural::Running => MotionProfile { freq_hz: 2.9, amp: 5.2, harmonic: 0.45, tilt: 0.1, gyro_amp: 1.6 },
+        Postural::Walking => MotionProfile {
+            freq_hz: 2.0,
+            amp: 2.6,
+            harmonic: 0.35,
+            tilt: 0.0,
+            gyro_amp: 0.8,
+        },
+        Postural::Standing => MotionProfile {
+            freq_hz: 0.4,
+            amp: 0.15,
+            harmonic: 0.0,
+            tilt: 0.0,
+            gyro_amp: 0.05,
+        },
+        Postural::Sitting => MotionProfile {
+            freq_hz: 0.3,
+            amp: 0.10,
+            harmonic: 0.0,
+            tilt: 0.9,
+            gyro_amp: 0.04,
+        },
+        Postural::Cycling => MotionProfile {
+            freq_hz: 1.4,
+            amp: 1.6,
+            harmonic: 0.5,
+            tilt: 0.6,
+            gyro_amp: 0.5,
+        },
+        Postural::Lying => MotionProfile {
+            freq_hz: 0.2,
+            amp: 0.06,
+            harmonic: 0.0,
+            tilt: 1.5,
+            gyro_amp: 0.02,
+        },
+        Postural::Running => MotionProfile {
+            freq_hz: 2.9,
+            amp: 5.2,
+            harmonic: 0.45,
+            tilt: 0.1,
+            gyro_amp: 1.6,
+        },
     }
 }
 
 const fn gestural_profile(g: Gestural) -> MotionProfile {
     match g {
-        Gestural::Silent => MotionProfile { freq_hz: 0.3, amp: 0.05, harmonic: 0.0, tilt: 0.0, gyro_amp: 0.02 },
-        Gestural::Talking => MotionProfile { freq_hz: 4.0, amp: 0.55, harmonic: 0.3, tilt: 0.05, gyro_amp: 0.20 },
-        Gestural::Eating => MotionProfile { freq_hz: 1.2, amp: 1.05, harmonic: 0.25, tilt: 0.25, gyro_amp: 0.35 },
-        Gestural::Yawning => MotionProfile { freq_hz: 0.6, amp: 0.85, harmonic: 0.1, tilt: 0.35, gyro_amp: 0.25 },
-        Gestural::Laughing => MotionProfile { freq_hz: 5.0, amp: 1.25, harmonic: 0.4, tilt: 0.1, gyro_amp: 0.45 },
+        Gestural::Silent => MotionProfile {
+            freq_hz: 0.3,
+            amp: 0.05,
+            harmonic: 0.0,
+            tilt: 0.0,
+            gyro_amp: 0.02,
+        },
+        Gestural::Talking => MotionProfile {
+            freq_hz: 4.0,
+            amp: 0.55,
+            harmonic: 0.3,
+            tilt: 0.05,
+            gyro_amp: 0.20,
+        },
+        Gestural::Eating => MotionProfile {
+            freq_hz: 1.2,
+            amp: 1.05,
+            harmonic: 0.25,
+            tilt: 0.25,
+            gyro_amp: 0.35,
+        },
+        Gestural::Yawning => MotionProfile {
+            freq_hz: 0.6,
+            amp: 0.85,
+            harmonic: 0.1,
+            tilt: 0.35,
+            gyro_amp: 0.25,
+        },
+        Gestural::Laughing => MotionProfile {
+            freq_hz: 5.0,
+            amp: 1.25,
+            harmonic: 0.4,
+            tilt: 0.1,
+            gyro_amp: 0.45,
+        },
     }
 }
 
@@ -66,12 +132,7 @@ impl ImuSynthesizer {
         &self.noise
     }
 
-    fn frame(
-        &self,
-        profile: MotionProfile,
-        n: usize,
-        rng: &mut GaussianSampler,
-    ) -> Vec<ImuSample> {
+    fn frame(&self, profile: MotionProfile, n: usize, rng: &mut GaussianSampler) -> Vec<ImuSample> {
         let phase0 = rng.uniform() * std::f64::consts::TAU;
         // Small per-frame variability so two frames of the same class are
         // not identical: ±8 % frequency, ±15 % amplitude.
@@ -96,8 +157,7 @@ impl ImuSynthesizer {
                 ) + gravity_body;
                 let gyro = Vec3::new(
                     profile.gyro_amp * w.cos() + rng.normal(0.0, self.noise.imu_gyro_noise),
-                    0.3 * profile.gyro_amp * w.sin()
-                        + rng.normal(0.0, self.noise.imu_gyro_noise),
+                    0.3 * profile.gyro_amp * w.sin() + rng.normal(0.0, self.noise.imu_gyro_noise),
                     rng.normal(0.0, self.noise.imu_gyro_noise),
                 );
                 let mag = Vec3::new(cos_t, 0.0, -sin_t); // rough north reference
@@ -168,7 +228,9 @@ mod tests {
         let mut rng = GaussianSampler::seed_from_u64(1);
         assert_eq!(synth.phone_frame(Postural::Walking, 75, &mut rng).len(), 75);
         assert_eq!(
-            synth.tag_frame(Gestural::Talking, Postural::Sitting, 75, &mut rng).len(),
+            synth
+                .tag_frame(Gestural::Talking, Postural::Sitting, 75, &mut rng)
+                .len(),
             75
         );
     }
@@ -179,7 +241,10 @@ mod tests {
         let mut rng = GaussianSampler::seed_from_u64(2);
         let walk = ac_energy(&synth.phone_frame(Postural::Walking, 150, &mut rng));
         let stand = ac_energy(&synth.phone_frame(Postural::Standing, 150, &mut rng));
-        assert!(walk > 3.0 * stand, "walking energy {walk} vs standing {stand}");
+        assert!(
+            walk > 3.0 * stand,
+            "walking energy {walk} vs standing {stand}"
+        );
     }
 
     #[test]
@@ -204,7 +269,10 @@ mod tests {
                 run_wins += 1;
             }
         }
-        assert!(run_wins >= 8, "running should usually peak higher: {run_wins}/10");
+        assert!(
+            run_wins >= 8,
+            "running should usually peak higher: {run_wins}/10"
+        );
     }
 
     #[test]
@@ -217,7 +285,10 @@ mod tests {
         };
         let silent = energy(Gestural::Silent, &mut rng);
         let laughing = energy(Gestural::Laughing, &mut rng);
-        assert!(laughing > 2.0 * silent, "laughing {laughing} vs silent {silent}");
+        assert!(
+            laughing > 2.0 * silent,
+            "laughing {laughing} vs silent {silent}"
+        );
     }
 
     #[test]
@@ -228,16 +299,23 @@ mod tests {
             ac_energy(&synth.tag_frame(Gestural::Silent, Postural::Standing, 150, &mut rng));
         let e_running =
             ac_energy(&synth.tag_frame(Gestural::Silent, Postural::Running, 150, &mut rng));
-        assert!(e_running > 2.0 * e_still, "running bleed {e_running} vs {e_still}");
+        assert!(
+            e_running > 2.0 * e_still,
+            "running bleed {e_running} vs {e_still}"
+        );
     }
 
     #[test]
     fn dropout_rate_honored() {
-        let mut cfg = NoiseConfig::default();
-        cfg.imu_dropout = 0.3;
+        let cfg = NoiseConfig {
+            imu_dropout: 0.3,
+            ..NoiseConfig::default()
+        };
         let synth = ImuSynthesizer::new(cfg);
         let mut rng = GaussianSampler::seed_from_u64(6);
-        let dropped = (0..10_000).filter(|_| synth.frame_dropped(&mut rng)).count();
+        let dropped = (0..10_000)
+            .filter(|_| synth.frame_dropped(&mut rng))
+            .count();
         let rate = dropped as f64 / 10_000.0;
         assert!((rate - 0.3).abs() < 0.02, "dropout rate {rate}");
     }

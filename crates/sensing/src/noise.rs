@@ -129,11 +129,15 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_rates() {
-        let mut c = NoiseConfig::default();
-        c.pir_false_positive = 1.5;
+        let c = NoiseConfig {
+            pir_false_positive: 1.5,
+            ..NoiseConfig::default()
+        };
         assert!(c.validate().is_err());
-        let mut c = NoiseConfig::default();
-        c.beacon_range_noise = -0.1;
+        let c = NoiseConfig {
+            beacon_range_noise: -0.1,
+            ..NoiseConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 }

@@ -13,9 +13,7 @@ use crate::NoiseConfig;
 use serde::{Deserialize, Serialize};
 
 /// The eight instrumented objects of the PogoPlug deployment.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum ObjectKind {
     /// The exercise bike frame.
     ExerciseBike,
@@ -134,7 +132,10 @@ mod tests {
     #[test]
     fn objects_live_in_sensible_places() {
         assert_eq!(ObjectKind::Stove.location(), SubLocation::Kitchen);
-        assert_eq!(ObjectKind::TvRemote.location().room(), cace_model::Room::LivingRoom);
+        assert_eq!(
+            ObjectKind::TvRemote.location().room(),
+            cace_model::Room::LivingRoom
+        );
     }
 
     #[test]

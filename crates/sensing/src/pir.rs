@@ -146,11 +146,7 @@ mod tests {
     fn read_bank_reflects_occupancy() {
         let noise = NoiseConfig::noiseless();
         let mut rng = GaussianSampler::seed_from_u64(6);
-        let readings = read_bank(
-            &[(SubLocation::Bed, Postural::Walking)],
-            &noise,
-            &mut rng,
-        );
+        let readings = read_bank(&[(SubLocation::Bed, Postural::Walking)], &noise, &mut rng);
         assert!(readings[Room::Bedroom.index()]);
         assert!(!readings[Room::Kitchen.index()]);
     }

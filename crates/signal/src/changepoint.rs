@@ -53,7 +53,14 @@ impl ChangePointDetector {
     pub fn new(threshold: f64, drift: f64) -> Self {
         assert!(threshold > 0.0, "threshold must be positive");
         assert!(drift >= 0.0, "drift must be nonnegative");
-        Self { threshold, drift, reference: None, count: 0, sum_high: 0.0, sum_low: 0.0 }
+        Self {
+            threshold,
+            drift,
+            reference: None,
+            count: 0,
+            sum_high: 0.0,
+            sum_low: 0.0,
+        }
     }
 
     /// Feeds one observation; returns `true` when a change point fires.
@@ -106,7 +113,10 @@ impl ChangePointDetector {
             }
         }
         if start < stream.len() {
-            segments.push(Segment { start, end: stream.len() });
+            segments.push(Segment {
+                start,
+                end: stream.len(),
+            });
         }
         segments
     }

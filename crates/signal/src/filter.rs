@@ -19,10 +19,16 @@ impl LowPassFilter {
     /// # Panics
     /// Panics if `fc <= 0` or `fs <= 0`.
     pub fn new(fc: f64, fs: f64) -> Self {
-        assert!(fc > 0.0 && fs > 0.0, "cutoff and sample rate must be positive");
+        assert!(
+            fc > 0.0 && fs > 0.0,
+            "cutoff and sample rate must be positive"
+        );
         let rc = 1.0 / (2.0 * std::f64::consts::PI * fc);
         let dt = 1.0 / fs;
-        Self { alpha: dt / (rc + dt), state: None }
+        Self {
+            alpha: dt / (rc + dt),
+            state: None,
+        }
     }
 
     /// Filters one sample.
@@ -56,10 +62,17 @@ impl HighPassFilter {
     /// # Panics
     /// Panics if `fc <= 0` or `fs <= 0`.
     pub fn new(fc: f64, fs: f64) -> Self {
-        assert!(fc > 0.0 && fs > 0.0, "cutoff and sample rate must be positive");
+        assert!(
+            fc > 0.0 && fs > 0.0,
+            "cutoff and sample rate must be positive"
+        );
         let rc = 1.0 / (2.0 * std::f64::consts::PI * fc);
         let dt = 1.0 / fs;
-        Self { alpha: rc / (rc + dt), prev_x: None, prev_y: 0.0 }
+        Self {
+            alpha: rc / (rc + dt),
+            prev_x: None,
+            prev_y: 0.0,
+        }
     }
 
     /// Filters one sample.
@@ -92,7 +105,11 @@ impl HighPassFilter3 {
     /// Creates a 3-axis high-pass with cutoff `fc` Hz at rate `fs` Hz.
     pub fn new(fc: f64, fs: f64) -> Self {
         let f = HighPassFilter::new(fc, fs);
-        Self { x: f.clone(), y: f.clone(), z: f }
+        Self {
+            x: f.clone(),
+            y: f.clone(),
+            z: f,
+        }
     }
 
     /// Filters one 3-axis sample.
@@ -118,7 +135,13 @@ impl MovingAverage {
     /// Panics if `window == 0`.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "window must be nonzero");
-        Self { window, buf: vec![0.0; window], next: 0, filled: 0, sum: 0.0 }
+        Self {
+            window,
+            buf: vec![0.0; window],
+            next: 0,
+            filled: 0,
+            sum: 0.0,
+        }
     }
 
     /// Pushes a sample and returns the current mean of the window.
@@ -146,7 +169,10 @@ mod tests {
         for _ in 0..500 {
             y = lp.apply(2.5);
         }
-        assert!((y - 2.5).abs() < 1e-6, "low-pass should converge to DC level, got {y}");
+        assert!(
+            (y - 2.5).abs() < 1e-6,
+            "low-pass should converge to DC level, got {y}"
+        );
     }
 
     #[test]
@@ -169,7 +195,10 @@ mod tests {
             let x = (2.0 * std::f64::consts::PI * 10.0 * t).sin(); // 10 Hz
             max_out = max_out.max(hp.apply(x).abs());
         }
-        assert!(max_out > 0.8, "10 Hz should pass nearly unattenuated, got {max_out}");
+        assert!(
+            max_out > 0.8,
+            "10 Hz should pass nearly unattenuated, got {max_out}"
+        );
     }
 
     #[test]

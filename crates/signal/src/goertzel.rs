@@ -63,7 +63,9 @@ mod tests {
     use std::f64::consts::PI;
 
     fn tone(freq: f64, fs: f64, n: usize) -> Vec<f64> {
-        (0..n).map(|i| (2.0 * PI * freq * i as f64 / fs).sin()).collect()
+        (0..n)
+            .map(|i| (2.0 * PI * freq * i as f64 / fs).sin())
+            .collect()
     }
 
     #[test]
@@ -110,7 +112,10 @@ mod tests {
         let s2: Vec<f64> = s1.iter().map(|x| 2.0 * x).collect();
         let p1 = goertzel_power(&s1, 3.0, fs);
         let p2 = goertzel_power(&s2, 3.0, fs);
-        assert!((p2 / p1 - 4.0).abs() < 1e-6, "doubling amplitude quadruples power");
+        assert!(
+            (p2 / p1 - 4.0).abs() < 1e-6,
+            "doubling amplitude quadruples power"
+        );
     }
 
     #[test]

@@ -25,7 +25,12 @@ pub struct Quaternion {
 
 impl Quaternion {
     /// The identity rotation.
-    pub const IDENTITY: Quaternion = Quaternion { s: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Quaternion = Quaternion {
+        s: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a quaternion from scalar and vector parts.
     pub const fn new(s: f64, x: f64, y: f64, z: f64) -> Self {
@@ -34,7 +39,12 @@ impl Quaternion {
 
     /// A pure quaternion `0 + v`.
     pub const fn pure(v: Vec3) -> Self {
-        Self { s: 0.0, x: v.x, y: v.y, z: v.z }
+        Self {
+            s: 0.0,
+            x: v.x,
+            y: v.y,
+            z: v.z,
+        }
     }
 
     /// Rotation of `angle` radians about the given axis.
@@ -45,7 +55,12 @@ impl Quaternion {
             None => Self::IDENTITY,
             Some(u) => {
                 let (sin, cos) = (angle / 2.0).sin_cos();
-                Self { s: cos, x: u.x * sin, y: u.y * sin, z: u.z * sin }
+                Self {
+                    s: cos,
+                    x: u.x * sin,
+                    y: u.y * sin,
+                    z: u.z * sin,
+                }
             }
         }
     }
@@ -75,7 +90,12 @@ impl Quaternion {
 
     /// Conjugate `q* = s − x î − y ĵ − z k̂`.
     pub const fn conjugate(self) -> Self {
-        Self { s: self.s, x: -self.x, y: -self.y, z: -self.z }
+        Self {
+            s: self.s,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 
     /// Multiplicative inverse; for unit quaternions this equals the
@@ -86,7 +106,12 @@ impl Quaternion {
             return None;
         }
         let c = self.conjugate();
-        Some(Self { s: c.s / m2, x: c.x / m2, y: c.y / m2, z: c.z / m2 })
+        Some(Self {
+            s: c.s / m2,
+            x: c.x / m2,
+            y: c.y / m2,
+            z: c.z / m2,
+        })
     }
 
     /// Rescales to unit magnitude; the zero quaternion becomes the identity.
@@ -95,7 +120,12 @@ impl Quaternion {
         if m == 0.0 {
             Self::IDENTITY
         } else {
-            Self { s: self.s / m, x: self.x / m, y: self.y / m, z: self.z / m }
+            Self {
+                s: self.s / m,
+                x: self.x / m,
+                y: self.y / m,
+                z: self.z / m,
+            }
         }
     }
 
@@ -199,7 +229,11 @@ impl Mul for Quaternion {
 
 impl fmt::Display for Quaternion {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.4} + {:.4}i + {:.4}j + {:.4}k", self.s, self.x, self.y, self.z)
+        write!(
+            f,
+            "{:.4} + {:.4}i + {:.4}j + {:.4}k",
+            self.s, self.x, self.y, self.z
+        )
     }
 }
 

@@ -26,7 +26,9 @@ impl Xoshiro256 {
             z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
             z ^ (z >> 31)
         };
-        Self { s: [next(), next(), next(), next()] }
+        Self {
+            s: [next(), next(), next(), next()],
+        }
     }
 
     #[inline]
@@ -56,7 +58,10 @@ pub struct GaussianSampler {
 impl GaussianSampler {
     /// Creates a sampler from a seed; equal seeds produce equal streams.
     pub fn seed_from_u64(seed: u64) -> Self {
-        Self { rng: Xoshiro256::seed_from_u64(seed), spare: None }
+        Self {
+            rng: Xoshiro256::seed_from_u64(seed),
+            spare: None,
+        }
     }
 
     /// Derives an independent child sampler; children with distinct tags are
@@ -180,7 +185,9 @@ mod tests {
     fn different_seeds_differ() {
         let mut a = GaussianSampler::seed_from_u64(1);
         let mut b = GaussianSampler::seed_from_u64(2);
-        let same = (0..32).filter(|_| a.standard_normal() == b.standard_normal()).count();
+        let same = (0..32)
+            .filter(|_| a.standard_normal() == b.standard_normal())
+            .count();
         assert!(same < 4);
     }
 

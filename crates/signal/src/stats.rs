@@ -33,7 +33,14 @@ impl Summary {
         let min = samples.iter().copied().fold(f64::INFINITY, f64::min);
         let max = samples.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         let rms = (samples.iter().map(|x| x * x).sum::<f64>() / n).sqrt();
-        Self { count: samples.len(), mean, variance, min, max, rms }
+        Self {
+            count: samples.len(),
+            mean,
+            variance,
+            min,
+            max,
+            rms,
+        }
     }
 
     /// Population standard deviation.
@@ -79,10 +86,7 @@ pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
         return 0.0;
     }
     let n = a.len() as f64;
-    let (ma, mb) = (
-        a.iter().sum::<f64>() / n,
-        b.iter().sum::<f64>() / n,
-    );
+    let (ma, mb) = (a.iter().sum::<f64>() / n, b.iter().sum::<f64>() / n);
     let mut cov = 0.0;
     let mut va = 0.0;
     let mut vb = 0.0;
@@ -104,7 +108,10 @@ pub fn signal_magnitude_area(x: &[f64], y: &[f64], z: &[f64]) -> f64 {
     if n == 0 {
         return 0.0;
     }
-    (0..n).map(|i| x[i].abs() + y[i].abs() + z[i].abs()).sum::<f64>() / n as f64
+    (0..n)
+        .map(|i| x[i].abs() + y[i].abs() + z[i].abs())
+        .sum::<f64>()
+        / n as f64
 }
 
 /// Sample skewness (0 for symmetric, empty, or constant signals).
@@ -154,7 +161,9 @@ mod tests {
     fn mad_and_crossings() {
         assert!((mean_abs_deviation(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
         // A sawtooth around its mean crosses many times.
-        let saw: Vec<f64> = (0..20).map(|i| if i % 2 == 0 { 1.0 } else { -1.0 }).collect();
+        let saw: Vec<f64> = (0..20)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
         assert_eq!(mean_crossings(&saw), 19);
         assert_eq!(mean_crossings(&[5.0; 10]), 0);
     }
@@ -177,8 +186,9 @@ mod tests {
 
     #[test]
     fn sma() {
-        assert!((signal_magnitude_area(&[1.0, -1.0], &[2.0, -2.0], &[3.0, -3.0]) - 6.0).abs()
-            < 1e-12);
+        assert!(
+            (signal_magnitude_area(&[1.0, -1.0], &[2.0, -2.0], &[3.0, -3.0]) - 6.0).abs() < 1e-12
+        );
         assert_eq!(signal_magnitude_area(&[], &[], &[]), 0.0);
     }
 

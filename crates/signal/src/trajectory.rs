@@ -100,8 +100,7 @@ impl TrajectoryBuilder {
             let axis = est_down.cross(measured_down);
             let angle = axis.norm().asin().min(0.5);
             if angle > 1e-9 {
-                let correction =
-                    Quaternion::from_axis_angle(axis, -angle * self.correction_gain);
+                let correction = Quaternion::from_axis_angle(axis, -angle * self.correction_gain);
                 self.orientation = (self.orientation * correction).normalized();
             }
         }
@@ -110,7 +109,11 @@ impl TrajectoryBuilder {
         let accel_world = self.high_pass.apply(accel_world_raw);
         // 4. Eqn 16 relative position.
         let relative_position = self.orientation.rotate(self.mount_offset);
-        TrajectoryPoint { orientation: self.orientation, accel_world, relative_position }
+        TrajectoryPoint {
+            orientation: self.orientation,
+            accel_world,
+            relative_position,
+        }
     }
 
     /// Processes a whole stream.
@@ -131,7 +134,11 @@ mod tests {
 
     fn still_sample() -> ImuSample {
         // Device flat: accelerometer measures +g on z (reaction to gravity).
-        ImuSample { accel: Vec3::new(0.0, 0.0, 9.81), gyro: Vec3::ZERO, mag: Vec3::X }
+        ImuSample {
+            accel: Vec3::new(0.0, 0.0, 9.81),
+            gyro: Vec3::ZERO,
+            mag: Vec3::X,
+        }
     }
 
     #[test]
@@ -141,7 +148,11 @@ mod tests {
         let points = tb.process(&stream);
         let tail = &points[400..];
         for p in tail {
-            assert!(p.accel_world.norm() < 0.05, "residual accel {}", p.accel_world);
+            assert!(
+                p.accel_world.norm() < 0.05,
+                "residual accel {}",
+                p.accel_world
+            );
         }
     }
 
@@ -163,7 +174,10 @@ mod tests {
         let points = tb.process(&stream);
         let abs = absolute_acceleration(&points[100..]);
         let mean_energy = abs.iter().sum::<f64>() / abs.len() as f64;
-        assert!(mean_energy > 0.5, "shaking should register, got {mean_energy}");
+        assert!(
+            mean_energy > 0.5,
+            "shaking should register, got {mean_energy}"
+        );
     }
 
     #[test]
@@ -182,7 +196,11 @@ mod tests {
         let omega = Vec3::new(std::f64::consts::FRAC_PI_2, 0.0, 0.0);
         let mut last = tb.push(ImuSample::default());
         for _ in 0..fs as usize {
-            last = tb.push(ImuSample { accel: Vec3::ZERO, gyro: omega, mag: Vec3::X });
+            last = tb.push(ImuSample {
+                accel: Vec3::ZERO,
+                gyro: omega,
+                mag: Vec3::X,
+            });
         }
         assert!(
             last.relative_position.dot(Vec3::Y) < 0.2,

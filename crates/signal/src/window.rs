@@ -19,8 +19,14 @@ impl FrameWindows {
     /// Panics if `frame_len == 0` or `overlap >= frame_len`.
     pub fn new(frame_len: usize, overlap: usize) -> Self {
         assert!(frame_len > 0, "frame length must be nonzero");
-        assert!(overlap < frame_len, "overlap must be smaller than the frame");
-        Self { frame_len, hop: frame_len - overlap }
+        assert!(
+            overlap < frame_len,
+            "overlap must be smaller than the frame"
+        );
+        Self {
+            frame_len,
+            hop: frame_len - overlap,
+        }
     }
 
     /// The paper's default: 1.5 s frames with 50 % overlap at `fs` Hz.
@@ -98,7 +104,10 @@ mod tests {
         let signal: Vec<i32> = (0..8).collect();
         let w = FrameWindows::new(4, 2);
         let frames: Vec<&[i32]> = w.iter(&signal).collect();
-        assert_eq!(frames, vec![&[0, 1, 2, 3][..], &[2, 3, 4, 5], &[4, 5, 6, 7]]);
+        assert_eq!(
+            frames,
+            vec![&[0, 1, 2, 3][..], &[2, 3, 4, 5], &[4, 5, 6, 7]]
+        );
     }
 
     #[test]

@@ -23,14 +23,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (train, test) = train_test_split(sessions, 0.8);
 
     let evaluate = |coupling: f64, hierarchy: f64| -> Result<f64, cace::model::ModelError> {
-        let mut config = CaceConfig::default();
-        config.coupling_weight = coupling;
-        config.hierarchy_weight = hierarchy;
+        let config = CaceConfig {
+            coupling_weight: coupling,
+            hierarchy_weight: hierarchy,
+            ..CaceConfig::default()
+        };
         let engine = CaceEngine::train(&train, &config)?;
-        let mut acc = 0.0;
-        for session in &test {
-            acc += engine.recognize(session)?.accuracy(session);
-        }
+        let recognitions = engine.recognize_batch(&test)?;
+        let acc: f64 = recognitions
+            .iter()
+            .zip(&test)
+            .map(|(rec, session)| rec.accuracy(session))
+            .sum();
         Ok(100.0 * acc / test.len() as f64)
     };
 

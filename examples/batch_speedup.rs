@@ -1,0 +1,74 @@
+//! Sequential vs. parallel batch recognition on the fig 9 (CASAS-style)
+//! workload: 12 test sessions decoded by one trained C2 engine.
+//!
+//! ```text
+//! cargo run --release --example batch_speedup
+//! ```
+//!
+//! Prints per-mode wall time and the resulting speedup. On a single-core
+//! host the two are expected to tie (the rayon fan-out degenerates to the
+//! sequential loop); with N cores the batch path approaches min(N, 12)×.
+
+use std::time::Instant;
+
+use cace::behavior::session::train_test_split;
+use cace::behavior::{generate_casas_dataset, CasasConfig};
+use cace::core::{CaceConfig, CaceEngine};
+
+fn main() {
+    let cfg = CasasConfig {
+        pairs: 8,
+        sessions_per_pair: 2,
+        ticks: 250,
+        ..CasasConfig::default()
+    };
+    let sessions = generate_casas_dataset(&cfg, 9001);
+    let (train, mut test) = train_test_split(sessions, 0.8);
+    // Fix the eval batch at 12 sessions (recycle if the split is short).
+    while test.len() < 12 {
+        let recycled = test[test.len() % 3].clone();
+        test.push(recycled);
+    }
+    test.truncate(12);
+
+    println!(
+        "training C2 engine on {} CASAS-style sessions ...",
+        train.len()
+    );
+    let engine = CaceEngine::train(&train, &CaceConfig::default()).expect("training succeeds");
+
+    // Warm-up decode so neither mode pays first-touch costs.
+    engine.recognize(&test[0]).expect("warm-up succeeds");
+
+    let t0 = Instant::now();
+    let sequential: Vec<_> = test
+        .iter()
+        .map(|s| engine.recognize(s).expect("recognition succeeds"))
+        .collect();
+    let sequential_secs = t0.elapsed().as_secs_f64();
+
+    let report = engine
+        .recognize_batch_report(&test)
+        .expect("batch succeeds");
+
+    for (i, (seq, par)) in sequential.iter().zip(&report.recognitions).enumerate() {
+        assert_eq!(
+            seq.macros, par.macros,
+            "session {i}: batch must match sequential"
+        );
+    }
+
+    println!("sessions:            {}", test.len());
+    println!("workers:             {}", report.workers);
+    println!("sequential loop:     {sequential_secs:.3} s");
+    println!("parallel batch:      {:.3} s", report.wall_seconds);
+    println!(
+        "speedup:             {:.2}x",
+        sequential_secs / report.wall_seconds.max(1e-12)
+    );
+    println!(
+        "batch throughput:    {:.2} sessions/s",
+        report.sessions_per_second()
+    );
+    println!("predictions:         identical (checked bit-for-bit)");
+}

@@ -10,7 +10,12 @@ use cace::eval::ConfusionMatrix;
 use cace::model::CasasActivity;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let cfg = CasasConfig { pairs: 6, sessions_per_pair: 2, ticks: 200, ..CasasConfig::default() };
+    let cfg = CasasConfig {
+        pairs: 6,
+        sessions_per_pair: 2,
+        ticks: 200,
+        ..CasasConfig::default()
+    };
     let sessions = generate_casas_dataset(&cfg, 9);
     let (train, test) = train_test_split(sessions, 0.75);
     println!(
@@ -33,8 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Checkers).
         for (t, tick) in session.ticks.iter().enumerate() {
             if tick.labels[0] == tick.labels[1]
-                && CasasActivity::from_index(tick.labels[0])
-                    .is_some_and(|a| a.is_joint())
+                && CasasActivity::from_index(tick.labels[0]).is_some_and(|a| a.is_joint())
             {
                 shared_total += 2;
                 for u in 0..2 {
@@ -46,7 +50,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("\n{:<26} {:>8} {:>10} {:>8} {:>8}", "activity", "FP rate", "precision", "recall", "F1");
+    println!(
+        "\n{:<26} {:>8} {:>10} {:>8} {:>8}",
+        "activity", "FP rate", "precision", "recall", "F1"
+    );
     for activity in CasasActivity::ALL {
         let m = confusion.class_metrics(activity.index());
         if m.support == 0 {

@@ -40,8 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         let mut row = Vec::new();
         for strategy in [Strategy::CorrelationConstraint, Strategy::NaiveCorrelation] {
-            let engine =
-                CaceEngine::train(&train, &CaceConfig::default().with_strategy(strategy))?;
+            let engine = CaceEngine::train(&train, &CaceConfig::default().with_strategy(strategy))?;
             let mut acc = 0.0;
             for session in &test_sessions {
                 acc += engine.recognize(session)?.accuracy(session);

@@ -10,7 +10,10 @@ use cace::model::StateMask;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let grammar = cace_grammar();
-    println!("{:<8} {:>10} {:>18} {:>20}", "home", "overall", "without gestural", "without sublocation");
+    println!(
+        "{:<8} {:>10} {:>18} {:>20}",
+        "home", "overall", "without gestural", "without sublocation"
+    );
 
     for home in 1..=5u32 {
         let sessions = generate_cace_dataset(
@@ -23,9 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let (train, test) = train_test_split(sessions, 0.75);
 
         let mut row = Vec::new();
-        for mask in [StateMask::FULL, StateMask::NO_GESTURAL, StateMask::NO_LOCATION] {
-            let engine =
-                CaceEngine::train(&train, &CaceConfig::default().with_mask(mask))?;
+        for mask in [
+            StateMask::FULL,
+            StateMask::NO_GESTURAL,
+            StateMask::NO_LOCATION,
+        ] {
+            let engine = CaceEngine::train(&train, &CaceConfig::default().with_mask(mask))?;
             let mut correct = 0.0;
             let mut total = 0.0;
             for session in &test {

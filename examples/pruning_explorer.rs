@@ -26,8 +26,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut ops = Vec::new();
     for strategy in Strategy::ALL {
-        let engine =
-            CaceEngine::train(&train, &CaceConfig::default().with_strategy(strategy))?;
+        let engine = CaceEngine::train(&train, &CaceConfig::default().with_strategy(strategy))?;
         let rec = engine.recognize(session)?;
         let dur: f64 = (0..2)
             .map(|u| mean_duration_error(&session.labels_of(u), &rec.macros[u], 5))
@@ -45,7 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ops.push((strategy, rec.transition_ops));
     }
 
-    let ncs = ops.iter().find(|(s, _)| *s == Strategy::NaiveConstraint).unwrap().1;
+    let ncs = ops
+        .iter()
+        .find(|(s, _)| *s == Strategy::NaiveConstraint)
+        .unwrap()
+        .1;
     let c2 = ops
         .iter()
         .find(|(s, _)| *s == Strategy::CorrelationConstraint)

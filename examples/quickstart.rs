@@ -57,7 +57,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 4. Per-activity report (the paper's Fig 10(b) format).
     println!("\nper-activity metrics:");
-    println!("{:<16} {:>8} {:>10} {:>8} {:>8}", "activity", "FP rate", "precision", "recall", "F1");
+    println!(
+        "{:<16} {:>8} {:>10} {:>8} {:>8}",
+        "activity", "FP rate", "precision", "recall", "F1"
+    );
     for activity in MacroActivity::ALL {
         let m = confusion.class_metrics(activity.index());
         if m.support == 0 {

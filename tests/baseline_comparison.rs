@@ -23,7 +23,10 @@ impl BaselineBench {
             99,
         )
         .unwrap();
-        Self { classifiers, n_macro: sessions[0].n_activities }
+        Self {
+            classifiers,
+            n_macro: sessions[0].n_activities,
+        }
     }
 
     fn emissions(&self, session: &Session, use_tag: bool) -> [Vec<Vec<f64>>; 2] {
@@ -59,13 +62,8 @@ impl BaselineBench {
 #[test]
 fn chdbn_outperforms_or_matches_all_baselines() {
     let grammar = cace_grammar();
-    let sessions = generate_cace_dataset(
-        &grammar,
-        1,
-        5,
-        &SessionConfig::tiny().with_ticks(180),
-        2016,
-    );
+    let sessions =
+        generate_cace_dataset(&grammar, 1, 5, &SessionConfig::tiny().with_ticks(180), 2016);
     let (train, test) = train_test_split(sessions, 0.8);
     let bench = BaselineBench::train(&train);
 
@@ -73,13 +71,17 @@ fn chdbn_outperforms_or_matches_all_baselines() {
     let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
 
     // HMM.
-    let label_seqs: Vec<Vec<usize>> =
-        train.iter().flat_map(|s| [s.labels_of(0), s.labels_of(1)]).collect();
+    let label_seqs: Vec<Vec<usize>> = train
+        .iter()
+        .flat_map(|s| [s.labels_of(0), s.labels_of(1)])
+        .collect();
     let hmm = Hmm::fit(&label_seqs, bench.n_macro, 0.5).unwrap();
 
     // CHMM.
-    let paired: Vec<[Vec<usize>; 2]> =
-        train.iter().map(|s| [s.labels_of(0), s.labels_of(1)]).collect();
+    let paired: Vec<[Vec<usize>; 2]> = train
+        .iter()
+        .map(|s| [s.labels_of(0), s.labels_of(1)])
+        .collect();
     let chmm = CoupledHmm::fit(&paired, bench.n_macro, 0.5).unwrap();
 
     // FCRF (wearable-only evidence).
@@ -88,7 +90,14 @@ fn chdbn_outperforms_or_matches_all_baselines() {
         .iter()
         .map(|s| (bench.emissions(s, true), [s.labels_of(0), s.labels_of(1)]))
         .collect();
-    fcrf.fit(&fcrf_data, &FcrfConfig { epochs: 3, learning_rate: 0.05 }).unwrap();
+    fcrf.fit(
+        &fcrf_data,
+        &FcrfConfig {
+            epochs: 3,
+            learning_rate: 0.05,
+        },
+    )
+    .unwrap();
 
     let mut acc = std::collections::HashMap::new();
     for session in &test {

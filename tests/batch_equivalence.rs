@@ -1,0 +1,96 @@
+//! `recognize_batch` must be a drop-in replacement for a sequential
+//! `recognize` loop: same predictions, same overhead accounting, same
+//! ordering — for every pruning strategy.
+
+use cace::behavior::session::train_test_split;
+use cace::behavior::{cace_grammar, generate_cace_dataset, SessionConfig};
+use cace::core::{CaceConfig, CaceEngine, Strategy};
+
+fn corpus() -> (Vec<cace::behavior::Session>, Vec<cace::behavior::Session>) {
+    let grammar = cace_grammar();
+    let sessions = generate_cace_dataset(
+        &grammar,
+        1,
+        6,
+        &SessionConfig::tiny().with_ticks(90),
+        20260727,
+    );
+    train_test_split(sessions, 0.5)
+}
+
+#[test]
+fn batch_matches_sequential_for_every_strategy() {
+    let (train, test) = corpus();
+    assert!(test.len() >= 2, "need a real batch");
+    for strategy in Strategy::ALL {
+        let engine = CaceEngine::train(&train, &CaceConfig::default().with_strategy(strategy))
+            .expect("training succeeds");
+        let batch = engine
+            .recognize_batch(&test)
+            .expect("batch recognition succeeds");
+        assert_eq!(
+            batch.len(),
+            test.len(),
+            "{strategy}: one result per session"
+        );
+        for (i, session) in test.iter().enumerate() {
+            let sequential = engine
+                .recognize(session)
+                .expect("sequential recognition succeeds");
+            // Bit-for-bit identical predicted macro sequences, and identical
+            // deterministic overhead accounting; only wall-clock may differ.
+            assert_eq!(
+                batch[i].macros, sequential.macros,
+                "{strategy}: session {i} macros"
+            );
+            assert_eq!(
+                batch[i].states_explored, sequential.states_explored,
+                "{strategy}: session {i} states_explored"
+            );
+            assert_eq!(
+                batch[i].transition_ops, sequential.transition_ops,
+                "{strategy}: session {i} transition_ops"
+            );
+            assert_eq!(
+                batch[i].rules_fired, sequential.rules_fired,
+                "{strategy}: session {i} rules_fired"
+            );
+            assert_eq!(
+                batch[i].mean_joint_size, sequential.mean_joint_size,
+                "{strategy}: session {i} mean_joint_size"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_is_deterministic_across_runs() {
+    let (train, test) = corpus();
+    let engine = CaceEngine::train(&train, &CaceConfig::default()).expect("training succeeds");
+    let a = engine.recognize_batch(&test).expect("first run");
+    let b = engine.recognize_batch(&test).expect("second run");
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.macros, y.macros);
+    }
+}
+
+#[test]
+fn batch_report_accounts_for_the_whole_run() {
+    let (train, test) = corpus();
+    let engine = CaceEngine::train(&train, &CaceConfig::default()).expect("training succeeds");
+    let report = engine
+        .recognize_batch_report(&test)
+        .expect("report succeeds");
+    assert_eq!(report.recognitions.len(), test.len());
+    assert!(report.workers >= 1);
+    assert!(report.wall_seconds > 0.0);
+    assert!(report.sessions_per_second() > 0.0);
+    assert!(report.sequential_seconds() > 0.0);
+}
+
+#[test]
+fn empty_batch_is_fine() {
+    let (train, _) = corpus();
+    let engine = CaceEngine::train(&train, &CaceConfig::default()).expect("training succeeds");
+    assert!(engine.recognize_batch(&[]).expect("empty batch").is_empty());
+}

@@ -7,21 +7,17 @@ use cace::core::{CaceConfig, CaceEngine, Strategy};
 
 fn split(seed: u64) -> (Vec<cace::behavior::Session>, Vec<cace::behavior::Session>) {
     let grammar = cace_grammar();
-    let data = generate_cace_dataset(
-        &grammar,
-        1,
-        4,
-        &SessionConfig::tiny().with_ticks(140),
-        seed,
-    );
+    let data = generate_cace_dataset(&grammar, 1, 4, &SessionConfig::tiny().with_ticks(140), seed);
     train_test_split(data, 0.75)
 }
 
 #[test]
 fn zero_coupling_weight_still_decodes() {
     let (train, test) = split(21);
-    let mut config = CaceConfig::default();
-    config.coupling_weight = 0.0;
+    let config = CaceConfig {
+        coupling_weight: 0.0,
+        ..CaceConfig::default()
+    };
     let engine = CaceEngine::train(&train, &config).unwrap();
     let rec = engine.recognize(&test[0]).unwrap();
     assert!(rec.accuracy(&test[0]) > 0.3);
@@ -31,8 +27,10 @@ fn zero_coupling_weight_still_decodes() {
 fn zero_hierarchy_weight_hurts_but_runs() {
     let (train, test) = split(22);
     let baseline = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
-    let mut flat_config = CaceConfig::default();
-    flat_config.hierarchy_weight = 0.0;
+    let flat_config = CaceConfig {
+        hierarchy_weight: 0.0,
+        ..CaceConfig::default()
+    };
     let flat = CaceEngine::train(&train, &flat_config).unwrap();
     let acc_base = baseline.recognize(&test[0]).unwrap().accuracy(&test[0]);
     let acc_flat = flat.recognize(&test[0]).unwrap().accuracy(&test[0]);
@@ -46,10 +44,16 @@ fn zero_hierarchy_weight_hurts_but_runs() {
 #[test]
 fn wider_beam_explores_more_states() {
     let (train, test) = split(23);
-    let narrow_cfg = CaceConfig { beam: 2, ..CaceConfig::default() }
-        .with_strategy(Strategy::NaiveConstraint);
-    let wide_cfg = CaceConfig { beam: 12, ..CaceConfig::default() }
-        .with_strategy(Strategy::NaiveConstraint);
+    let narrow_cfg = CaceConfig {
+        beam: 2,
+        ..CaceConfig::default()
+    }
+    .with_strategy(Strategy::NaiveConstraint);
+    let wide_cfg = CaceConfig {
+        beam: 12,
+        ..CaceConfig::default()
+    }
+    .with_strategy(Strategy::NaiveConstraint);
     let narrow = CaceEngine::train(&train, &narrow_cfg).unwrap();
     let wide = CaceEngine::train(&train, &wide_cfg).unwrap();
     let rn = narrow.recognize(&test[0]).unwrap();

@@ -16,7 +16,10 @@ fn toy_params(coupled: bool) -> HdbnParams {
     let n = macros.len();
     let seq = LabeledSequence {
         macros: [macros.clone(), macros.clone()],
-        posturals: [macros.iter().map(|&m| m % 2).collect(), macros.iter().map(|&m| m % 2).collect()],
+        posturals: [
+            macros.iter().map(|&m| m % 2).collect(),
+            macros.iter().map(|&m| m % 2).collect(),
+        ],
         gesturals: [vec![0; n], vec![0; n]],
         locations: [macros.clone(), macros],
     };
@@ -29,7 +32,11 @@ fn toy_params(coupled: bool) -> HdbnParams {
     }
     .mine(&[seq])
     .unwrap();
-    let config = if coupled { HdbnConfig::default() } else { HdbnConfig::uncoupled() };
+    let config = if coupled {
+        HdbnConfig::default()
+    } else {
+        HdbnConfig::uncoupled()
+    };
     HdbnParams::new(stats, config).unwrap()
 }
 
@@ -89,8 +96,7 @@ fn macro_bonus_shifts_the_decode() {
         tick.macro_bonus = vec![0.0, 0.0, 50.0];
     }
     let boosted = decoder.viterbi(&ticks).unwrap();
-    let count2 =
-        boosted.macros[0].iter().filter(|&&a| a == 2).count();
+    let count2 = boosted.macros[0].iter().filter(|&&a| a == 2).count();
     assert_eq!(count2, 10, "bonus should dominate: {:?}", boosted.macros[0]);
     assert_ne!(neutral.macros, boosted.macros);
 }
@@ -107,10 +113,26 @@ fn pruning_a_known_true_state_is_never_done_by_sound_rules() {
     // (sleeping).
     use cace::mining::item::{Atom, Item};
     let mut evidence = vec![
-        space.encode(Item { user: 0, lag: 0, atom: Atom::Postural(3) }),
-        space.encode(Item { user: 0, lag: 0, atom: Atom::Location(0) }),
-        space.encode(Item { user: 1, lag: 0, atom: Atom::Postural(4) }),
-        space.encode(Item { user: 1, lag: 0, atom: Atom::Location(4) }),
+        space.encode(Item {
+            user: 0,
+            lag: 0,
+            atom: Atom::Postural(3),
+        }),
+        space.encode(Item {
+            user: 0,
+            lag: 0,
+            atom: Atom::Location(0),
+        }),
+        space.encode(Item {
+            user: 1,
+            lag: 0,
+            atom: Atom::Postural(4),
+        }),
+        space.encode(Item {
+            user: 1,
+            lag: 0,
+            atom: Atom::Location(4),
+        }),
     ];
     evidence.sort_unstable();
     let mut tick = CandidateTick::full(&space);
@@ -151,8 +173,16 @@ fn rule_engine_is_idempotent() {
     let engine = PruningEngine::new(rules);
     use cace::mining::item::{Atom, Item};
     let mut evidence = vec![
-        space.encode(Item { user: 0, lag: 0, atom: Atom::Postural(3) }),
-        space.encode(Item { user: 0, lag: 0, atom: Atom::Location(0) }),
+        space.encode(Item {
+            user: 0,
+            lag: 0,
+            atom: Atom::Postural(3),
+        }),
+        space.encode(Item {
+            user: 0,
+            lag: 0,
+            atom: Atom::Location(0),
+        }),
     ];
     evidence.sort_unstable();
     let mut once = CandidateTick::full(&space);

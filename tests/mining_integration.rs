@@ -8,13 +8,8 @@ use cace::model::{MacroActivity, Postural, SubLocation};
 
 fn trained_engine(seed: u64) -> CaceEngine {
     let grammar = cace_grammar();
-    let sessions = generate_cace_dataset(
-        &grammar,
-        1,
-        6,
-        &SessionConfig::tiny().with_ticks(250),
-        seed,
-    );
+    let sessions =
+        generate_cace_dataset(&grammar, 1, 6, &SessionConfig::tiny().with_ticks(250), seed);
     CaceEngine::train(&sessions, &CaceConfig::default()).unwrap()
 }
 
@@ -35,7 +30,11 @@ fn miner_discovers_venue_activity_correlations() {
             )
         })
         .count();
-    assert!(macro_rules > 0, "no micro ⇒ macro rules mined:\n{}", engine.rules());
+    assert!(
+        macro_rules > 0,
+        "no micro ⇒ macro rules mined:\n{}",
+        engine.rules()
+    );
 }
 
 #[test]

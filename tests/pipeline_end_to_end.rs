@@ -37,7 +37,10 @@ fn c2_pipeline_reaches_high_accuracy() {
         }
     }
     let acc = confusion.accuracy();
-    assert!(acc > 0.6, "C2 accuracy {acc} too low for a clean simulation");
+    assert!(
+        acc > 0.6,
+        "C2 accuracy {acc} too low for a clean simulation"
+    );
 }
 
 #[test]
@@ -45,8 +48,7 @@ fn full_modality_beats_ablations_on_average() {
     let (train, test) = cace_split(4, 160, 2);
     let mut scores = Vec::new();
     for mask in [StateMask::FULL, StateMask::NO_LOCATION] {
-        let engine =
-            CaceEngine::train(&train, &CaceConfig::default().with_mask(mask)).unwrap();
+        let engine = CaceEngine::train(&train, &CaceConfig::default().with_mask(mask)).unwrap();
         let mut acc = 0.0;
         for session in &test {
             acc += engine.recognize(session).unwrap().accuracy(session);
@@ -67,8 +69,7 @@ fn coupled_strategies_beat_flat_hmm() {
     let mut by_strategy = std::collections::HashMap::new();
     for strategy in Strategy::ALL {
         let engine =
-            CaceEngine::train(&train, &CaceConfig::default().with_strategy(strategy))
-                .unwrap();
+            CaceEngine::train(&train, &CaceConfig::default().with_strategy(strategy)).unwrap();
         let mut acc = 0.0;
         for session in &test {
             acc += engine.recognize(session).unwrap().accuracy(session);
@@ -105,7 +106,12 @@ fn c2_prunes_the_state_space_by_an_order_of_magnitude() {
 
 #[test]
 fn casas_pipeline_runs_without_gestural_modality() {
-    let cfg = CasasConfig { pairs: 2, sessions_per_pair: 2, ticks: 120, ..CasasConfig::default() };
+    let cfg = CasasConfig {
+        pairs: 2,
+        sessions_per_pair: 2,
+        ticks: 120,
+        ..CasasConfig::default()
+    };
     let sessions = generate_casas_dataset(&cfg, 5);
     let (train, test) = train_test_split(sessions, 0.75);
     let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
@@ -128,8 +134,10 @@ fn recognition_is_deterministic() {
 #[test]
 fn em_refinement_does_not_break_the_pipeline() {
     let (train, test) = cace_split(3, 100, 7);
-    let mut config = CaceConfig::default();
-    config.run_em = true;
+    let mut config = CaceConfig {
+        run_em: true,
+        ..CaceConfig::default()
+    };
     config.em.max_iters = 2;
     let engine = CaceEngine::train(&train, &config).unwrap();
     let rec = engine.recognize(&test[0]).unwrap();
@@ -139,8 +147,10 @@ fn em_refinement_does_not_break_the_pipeline() {
 #[test]
 fn initial_rules_work_without_any_mined_data_effect() {
     let (train, test) = cace_split(3, 100, 8);
-    let mut config = CaceConfig::default();
-    config.use_initial_rules = true;
+    let config = CaceConfig {
+        use_initial_rules: true,
+        ..CaceConfig::default()
+    };
     let engine = CaceEngine::train(&train, &config).unwrap();
     // Initial rules add 12 positive + 2 negative entries on top of mining.
     assert!(engine.rules().len() >= 14);

@@ -18,10 +18,7 @@ fn arb_vec3() -> impl Strategy<Value = Vec3> {
 
 fn arb_quat() -> impl Strategy<Value = Quaternion> {
     (arb_vec3(), -3.1f64..3.1).prop_map(|(axis, angle)| {
-        Quaternion::from_axis_angle(
-            if axis.norm() < 1e-6 { Vec3::X } else { axis },
-            angle,
-        )
+        Quaternion::from_axis_angle(if axis.norm() < 1e-6 { Vec3::X } else { axis }, angle)
     })
 }
 
@@ -173,14 +170,14 @@ proptest! {
 fn arb_labeled_sequence() -> impl Strategy<Value = LabeledSequence> {
     (2usize..40).prop_flat_map(|n| {
         let seqs = prop::collection::vec(0usize..3, n);
-        (seqs.clone(), seqs.clone(), seqs.clone(), seqs).prop_map(
-            move |(m1, m2, p, l)| LabeledSequence {
+        (seqs.clone(), seqs.clone(), seqs.clone(), seqs).prop_map(move |(m1, m2, p, l)| {
+            LabeledSequence {
                 macros: [m1.clone(), m2],
                 posturals: [p.clone(), p],
                 gesturals: [vec![0; n], vec![0; n]],
                 locations: [l.clone(), l],
-            },
-        )
+            }
+        })
     })
 }
 
@@ -231,7 +228,11 @@ fn toy_params(coupling: bool) -> HdbnParams {
     }
     .mine(&[seq])
     .unwrap();
-    let cfg = if coupling { HdbnConfig::default() } else { HdbnConfig::uncoupled() };
+    let cfg = if coupling {
+        HdbnConfig::default()
+    } else {
+        HdbnConfig::uncoupled()
+    };
     HdbnParams::new(stats, cfg).unwrap()
 }
 
@@ -244,8 +245,7 @@ fn brute_force_best(params: &HdbnParams, ticks: &[TickInput]) -> f64 {
     };
     let emission = |t: usize, u: usize, s: (usize, usize)| -> f64 {
         let cand = ticks[t].candidates[u][s.1];
-        cand.obs_loglik
-            + params.hierarchy_score(s.0, cand.postural, cand.gestural, cand.location)
+        cand.obs_loglik + params.hierarchy_score(s.0, cand.postural, cand.gestural, cand.location)
     };
     let mut best = f64::NEG_INFINITY;
     // Paths are tuples of joint states; enumerate recursively.
@@ -267,9 +267,8 @@ fn brute_force_best(params: &HdbnParams, ticks: &[TickInput]) -> f64 {
         }
         for s1 in states_at(t, 0) {
             for s2 in states_at(t, 1) {
-                let mut step = emission(t, 0, s1)
-                    + emission(t, 1, s2)
-                    + params.coupling_score(s1.0, s2.0);
+                let mut step =
+                    emission(t, 0, s1) + emission(t, 1, s2) + params.coupling_score(s1.0, s2.0);
                 match prev {
                     None => {
                         step += params.log_prior[s1.0] + params.log_prior[s2.0];
@@ -296,16 +295,14 @@ fn brute_force_best(params: &HdbnParams, ticks: &[TickInput]) -> f64 {
             }
         }
     }
-    recurse(params, ticks, 0, None, 0.0, &states_at, &emission, &mut best);
+    recurse(
+        params, ticks, 0, None, 0.0, &states_at, &emission, &mut best,
+    );
     best
 }
 
 fn arb_ticks() -> impl Strategy<Value = Vec<TickInput>> {
-    prop::collection::vec(
-        prop::collection::vec(-3.0f64..0.0, 4),
-        2..4,
-    )
-    .prop_map(|liks| {
+    prop::collection::vec(prop::collection::vec(-3.0f64..0.0, 4), 2..4).prop_map(|liks| {
         liks.into_iter()
             .map(|row| {
                 let cands = |base: usize| -> Vec<MicroCandidate> {
@@ -318,7 +315,11 @@ fn arb_ticks() -> impl Strategy<Value = Vec<TickInput>> {
                         })
                         .collect()
                 };
-                TickInput { candidates: [cands(0), cands(2)], macro_candidates: [None, None], macro_bonus: Vec::new() }
+                TickInput {
+                    candidates: [cands(0), cands(2)],
+                    macro_candidates: [None, None],
+                    macro_bonus: Vec::new(),
+                }
             })
             .collect()
     })

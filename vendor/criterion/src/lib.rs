@@ -1,0 +1,247 @@
+//! Offline stand-in for crates.io `criterion`.
+//!
+//! Implements the harness surface the CACE benches use —
+//! `Criterion::default().sample_size(n)`, `bench_function`, `Bencher::iter`,
+//! `criterion_group!` / `criterion_main!`, and `black_box` — with a plain
+//! `std::time::Instant` measurement loop. Statistical machinery (outlier
+//! classification, regression vs. saved baselines, HTML reports) is out of
+//! scope; each benchmark reports min / median / mean / max wall time.
+//!
+//! Harness flags (criterion-compatible where it matters):
+//! * `--test` — run each benchmark body exactly once and skip measurement
+//!   (what `cargo test --benches` passes).
+//! * `--quick` — 2 samples, no warm-up: the CI smoke mode.
+//! * `<filter>` / `--bench <name>` etc. — positional filters select
+//!   benchmark ids by substring; other flags are accepted and ignored.
+//!
+//! When network access is available, delete the `vendor/criterion` path
+//! dependency from the root `Cargo.toml`; the bench sources build against
+//! the real crate unchanged.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver: configuration plus CLI-derived run mode.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    quick: bool,
+    test_mode: bool,
+    filters: Vec<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            quick: false,
+            test_mode: false,
+            filters: Vec::new(),
+        }
+    }
+}
+
+impl Criterion {
+    /// Set the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Fold harness CLI arguments into the configuration (called by
+    /// `criterion_main!`).
+    pub fn configure_from_args(&mut self) {
+        let mut explicit_sample_size = None;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => self.quick = true,
+                "--test" => self.test_mode = true,
+                "--bench" => {}
+                "--sample-size" => {
+                    explicit_sample_size = args.next().and_then(|v| v.parse::<usize>().ok());
+                }
+                other if other.starts_with("--") => {
+                    // Unrecognized flag (real criterion has many). If the
+                    // next token doesn't look like a flag, assume it is
+                    // this flag's value and consume it too — otherwise it
+                    // would be misread as a benchmark filter and silently
+                    // deselect everything.
+                    if args.peek().is_some_and(|next| !next.starts_with("--")) {
+                        let _ = args.next();
+                    }
+                }
+                filter => self.filters.push(filter.to_string()),
+            }
+        }
+        if self.quick {
+            self.sample_size = 2;
+        }
+        if let Some(n) = explicit_sample_size {
+            self.sample_size = n.max(2);
+        }
+    }
+
+    /// Run one benchmark if it matches the CLI filter.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.filters.is_empty() && !self.filters.iter().any(|p| id.contains(p.as_str())) {
+            return self;
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            quick: self.quick,
+            test_mode: self.test_mode,
+            samples: Vec::new(),
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {id} ... ok");
+        } else {
+            report(id, &mut bencher.samples);
+        }
+        self
+    }
+}
+
+/// Timing context handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    sample_size: usize,
+    quick: bool,
+    test_mode: bool,
+    samples: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measure `routine`, recording `sample_size` samples of its mean
+    /// per-iteration wall time.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up and per-sample iteration count: aim for samples of at
+        // least ~2 ms so Instant resolution is negligible, without burning
+        // minutes on slow routines.
+        let mut iters_per_sample = 1usize;
+        if !self.quick {
+            let t0 = Instant::now();
+            black_box(routine());
+            let once = t0.elapsed().max(Duration::from_nanos(1));
+            iters_per_sample = (Duration::from_millis(2).as_nanos() / once.as_nanos())
+                .clamp(1, 1_000_000) as usize;
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed().as_secs_f64();
+            self.samples.push(elapsed / iters_per_sample as f64);
+        }
+    }
+}
+
+fn report(id: &str, samples: &mut [f64]) {
+    if samples.is_empty() {
+        println!("{id:<48} (no samples)");
+        return;
+    }
+    samples.sort_by(|a, b| a.total_cmp(b));
+    let min = samples[0];
+    let max = samples[samples.len() - 1];
+    let median = samples[samples.len() / 2];
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    println!(
+        "{id:<48} time: [{} {} {}] (mean {}, {} samples)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(max),
+        fmt_time(mean),
+        samples.len(),
+    );
+}
+
+fn fmt_time(seconds: f64) -> String {
+    if seconds < 1e-6 {
+        format!("{:.2} ns", seconds * 1e9)
+    } else if seconds < 1e-3 {
+        format!("{:.2} µs", seconds * 1e6)
+    } else if seconds < 1.0 {
+        format!("{:.2} ms", seconds * 1e3)
+    } else {
+        format!("{seconds:.3} s")
+    }
+}
+
+/// Declare a benchmark group. Both the `name/config/targets` form the CACE
+/// benches use and the positional short form are supported.
+#[macro_export]
+macro_rules! criterion_group {
+    (
+        name = $name:ident;
+        config = $config:expr;
+        targets = $($target:path),+ $(,)?
+    ) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            criterion.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generate the harness `main` running the named groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut b = Bencher {
+            sample_size: 5,
+            quick: true,
+            test_mode: false,
+            samples: Vec::new(),
+        };
+        let mut n = 0u64;
+        b.iter(|| {
+            n += 1;
+            n
+        });
+        assert_eq!(b.samples.len(), 5);
+        assert!(b.samples.iter().all(|&s| s >= 0.0));
+    }
+
+    #[test]
+    fn fmt_time_picks_sane_units() {
+        assert!(fmt_time(3.2e-9).ends_with("ns"));
+        assert!(fmt_time(3.2e-6).ends_with("µs"));
+        assert!(fmt_time(3.2e-3).ends_with("ms"));
+        assert!(fmt_time(3.2).ends_with('s'));
+    }
+}

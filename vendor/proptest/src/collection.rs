@@ -1,0 +1,76 @@
+//! Collection strategies: `prop::collection::vec`.
+
+use std::ops::Range;
+
+use crate::rng::TestRng;
+use crate::strategy::Strategy;
+
+/// Length specification for [`vec`]: an exact length or a half-open range.
+#[derive(Debug, Clone)]
+pub struct SizeRange {
+    start: usize,
+    end: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange {
+            start: n,
+            end: n + 1,
+        }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range {}..{}", r.start, r.end);
+        SizeRange {
+            start: r.start,
+            end: r.end,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+/// The strategy returned by [`vec`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = (self.size.end - self.size.start) as u64;
+        let len = self.size.start + rng.next_below(span) as usize;
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lengths_and_elements_in_range() {
+        let mut rng = TestRng::seed_from_u64(3);
+        let s = vec(0usize..4, 2..9);
+        for _ in 0..300 {
+            let v = s.sample(&mut rng);
+            assert!((2..9).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 4));
+        }
+        let exact = vec(0usize..4, 5);
+        assert_eq!(exact.sample(&mut rng).len(), 5);
+    }
+}

@@ -1,0 +1,36 @@
+//! Offline stand-in for crates.io `proptest`.
+//!
+//! Implements the subset of proptest the CACE test suite uses — the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map`, integer
+//! and float range strategies, tuple strategies, `prop::collection::vec`,
+//! and the `proptest!` / `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` macros — over a deterministic splitmix64 generator seeded
+//! from the test name, so runs are reproducible in CI.
+//!
+//! Differences from the real crate (acceptable for an offline container):
+//! no shrinking on failure, no persisted failure regressions, and
+//! assertion failures panic immediately instead of being routed through a
+//! `TestCaseError`. When network access is available, delete the
+//! `vendor/proptest` path dependency from the root `Cargo.toml`; the same
+//! test code builds against the real crate unchanged.
+
+pub mod collection;
+pub mod rng;
+pub mod strategy;
+pub mod test_runner;
+
+mod macros;
+
+/// Alias module so `prop::collection::vec(..)` resolves as it does under
+/// the real crate's prelude.
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The subset of `proptest::prelude` the workspace uses.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}

@@ -1,0 +1,96 @@
+//! Case runner and configuration for the `proptest!` macro.
+
+use crate::rng::{seed_for, TestRng};
+
+/// Marker returned by `prop_assume!` when a sampled case does not satisfy
+/// the test's preconditions; the runner discards the case and draws again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reject;
+
+/// Runner configuration (`ProptestConfig` under the prelude).
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Number of accepted cases each property must pass.
+    pub cases: u32,
+}
+
+impl Config {
+    /// Configuration running `cases` accepted cases per property.
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 64 }
+    }
+}
+
+/// Type-inference helper used by the `proptest!` expansion: forces the test
+/// body closure to `Result<(), Reject>` so `prop_assume!`'s early return
+/// resolves without annotations at the call site.
+pub fn run_case<F: FnOnce() -> Result<(), Reject>>(case: F) -> Result<(), Reject> {
+    case()
+}
+
+/// Drive one property: draw cases from `case` until `config.cases` have
+/// been accepted, discarding rejected draws (with a runaway guard mirroring
+/// the real crate's `max_global_rejects`).
+pub fn run_cases<F>(name: &str, config: &Config, mut case: F)
+where
+    F: FnMut(&mut TestRng) -> Result<(), Reject>,
+{
+    let mut rng = TestRng::seed_from_u64(seed_for(name));
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = 1024 + config.cases * 16;
+    while accepted < config.cases {
+        match case(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected < max_rejects,
+                    "property `{name}`: too many rejected cases \
+                     ({rejected} rejects for {accepted} accepted)"
+                );
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_requested_cases() {
+        let mut n = 0;
+        run_cases("counting", &Config::with_cases(17), |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 17);
+    }
+
+    #[test]
+    fn rejected_cases_are_redrawn() {
+        let mut draws = 0;
+        run_cases("rejecting", &Config::with_cases(5), |rng| {
+            draws += 1;
+            if rng.next_u64() % 2 == 0 {
+                Err(Reject)
+            } else {
+                Ok(())
+            }
+        });
+        assert!(draws >= 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "too many rejected cases")]
+    fn runaway_rejection_panics() {
+        run_cases("hopeless", &Config::with_cases(1), |_| Err(Reject));
+    }
+}

@@ -1,0 +1,197 @@
+//! The parallel-iterator subset: `par_iter().map(f).collect()`.
+//!
+//! A [`ParallelIterator`] here is a description of an indexable workload:
+//! it knows its length and how to produce the item at a given index. The
+//! only driver is [`ParallelIterator::collect`], which splits the index
+//! range into one contiguous chunk per worker thread, runs the chunks under
+//! `std::thread::scope`, and concatenates the per-chunk outputs in input
+//! order.
+
+use std::thread;
+
+/// Conversion from `&Self` into a parallel iterator (rayon's
+/// `IntoParallelRefIterator`).
+pub trait IntoParallelRefIterator<'data> {
+    /// The borrowed item type.
+    type Item: 'data;
+    /// The parallel iterator produced by [`par_iter`](Self::par_iter).
+    type Iter: ParallelIterator<Item = Self::Item>;
+
+    /// Borrow `self` as a parallel iterator over `&Item`.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+    type Item = &'data T;
+    type Iter = ParSliceIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParSliceIter<'data, T> {
+        ParSliceIter { slice: self }
+    }
+}
+
+impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+    type Item = &'data T;
+    type Iter = ParSliceIter<'data, T>;
+
+    fn par_iter(&'data self) -> ParSliceIter<'data, T> {
+        ParSliceIter { slice: self }
+    }
+}
+
+/// Collecting the items of a parallel iterator into a container.
+///
+/// Implemented for `Vec<T>` and — as in rayon — for `Result<Vec<T>, E>`,
+/// which short-circuits to the first error *in input order*.
+pub trait FromParallelIterator<T>: Sized {
+    /// Build the container from items delivered in input order.
+    fn from_ordered_items(items: Vec<T>) -> Self;
+}
+
+impl<T> FromParallelIterator<T> for Vec<T> {
+    fn from_ordered_items(items: Vec<T>) -> Self {
+        items
+    }
+}
+
+impl<T, E> FromParallelIterator<Result<T, E>> for Result<Vec<T>, E> {
+    fn from_ordered_items(items: Vec<Result<T, E>>) -> Self {
+        items.into_iter().collect()
+    }
+}
+
+/// An indexable parallel workload.
+pub trait ParallelIterator: Sized + Sync {
+    /// Item produced for each index.
+    type Item: Send;
+
+    /// Number of items in the workload.
+    fn len(&self) -> usize;
+
+    /// Whether the workload is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produce the item at `index` (called from worker threads).
+    fn item_at(&self, index: usize) -> Self::Item;
+
+    /// Map each item through `f` in parallel.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Sync,
+    {
+        Map { base: self, f }
+    }
+
+    /// Execute the workload across worker threads and collect the results
+    /// in input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        let n = self.len();
+        let workers = crate::current_num_threads().clamp(1, n.max(1));
+        if workers <= 1 || n <= 1 {
+            let items = (0..n).map(|i| self.item_at(i)).collect();
+            return C::from_ordered_items(items);
+        }
+        let chunk = n.div_ceil(workers);
+        let this = &self;
+        let mut chunks: Vec<Vec<Self::Item>> = thread::scope(|scope| {
+            let handles: Vec<_> = (0..n)
+                .step_by(chunk)
+                .map(|start| {
+                    let end = (start + chunk).min(n);
+                    scope.spawn(move || (start..end).map(|i| this.item_at(i)).collect::<Vec<_>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(chunk) => chunk,
+                    // Propagate the worker's original panic payload, as
+                    // real rayon does.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        let mut items = Vec::with_capacity(n);
+        for c in &mut chunks {
+            items.append(c);
+        }
+        C::from_ordered_items(items)
+    }
+}
+
+/// Parallel iterator over `&[T]` (rayon's `rayon::slice::Iter`).
+#[derive(Debug)]
+pub struct ParSliceIter<'data, T> {
+    slice: &'data [T],
+}
+
+impl<'data, T: Sync> ParallelIterator for ParSliceIter<'data, T> {
+    type Item = &'data T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    fn item_at(&self, index: usize) -> &'data T {
+        &self.slice[index]
+    }
+}
+
+/// Mapped parallel iterator (rayon's `rayon::iter::Map`).
+#[derive(Debug)]
+pub struct Map<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<I, R, F> ParallelIterator for Map<I, F>
+where
+    I: ParallelIterator,
+    R: Send,
+    F: Fn(I::Item) -> R + Sync,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    fn item_at(&self, index: usize) -> R {
+        (self.f)(self.base.item_at(index))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = xs.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn result_collect_short_circuits_in_order() {
+        let xs: Vec<u64> = (0..100).collect();
+        let r: Result<Vec<u64>, u64> = xs
+            .par_iter()
+            .map(|&x| if x >= 40 { Err(x) } else { Ok(x) })
+            .collect();
+        assert_eq!(r, Err(40));
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let xs: Vec<u64> = Vec::new();
+        let ys: Vec<u64> = xs.par_iter().map(|&x| x).collect();
+        assert!(ys.is_empty());
+        let one = [7u64];
+        let ys: Vec<u64> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(ys, vec![8]);
+    }
+}

@@ -1,0 +1,41 @@
+//! Offline stand-in for crates.io `rayon`.
+//!
+//! Implements the narrow parallel-iterator surface the CACE workspace uses
+//! (`slice.par_iter().map(f).collect()`, plus `current_num_threads`) on top
+//! of `std::thread::scope`, so the batch-recognition fan-out gets real
+//! multi-core execution without a registry fetch. Work is split into
+//! contiguous chunks, one per worker, and chunk results are concatenated in
+//! input order — so collection order (and therefore output) is identical to
+//! the sequential iterator, exactly as rayon guarantees.
+//!
+//! When network access is available, delete the `vendor/rayon` path
+//! dependency from the root `Cargo.toml`; the same source code builds
+//! against the real crate unchanged.
+
+use std::num::NonZeroUsize;
+use std::thread;
+
+pub mod iter;
+
+/// Rayon-compatible prelude: bring the parallel-iterator traits into scope.
+pub mod prelude {
+    pub use crate::iter::{FromParallelIterator, IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Number of worker threads a parallel operation will fan out to.
+///
+/// Mirrors `rayon::current_num_threads`: the `RAYON_NUM_THREADS`
+/// environment variable if set and positive, otherwise the machine's
+/// available parallelism (1 if that cannot be determined).
+pub fn current_num_threads() -> usize {
+    if let Some(n) = std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}

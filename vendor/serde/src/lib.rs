@@ -1,0 +1,26 @@
+//! Offline stand-in for crates.io `serde`.
+//!
+//! The CACE workspace marks its domain types `#[derive(Serialize,
+//! Deserialize)]` so downstream consumers can pick a wire format, but no
+//! crate in the workspace serializes anything yet — the derives are pure
+//! markers. This shim therefore exports the two derive macros with empty
+//! expansions, which is exactly enough for `use serde::{Deserialize,
+//! Serialize};` + `#[derive(...)]` to compile in an offline container.
+//!
+//! When network access (or a vendored registry) is available, delete the
+//! `vendor/serde` path dependency from the root `Cargo.toml` and the same
+//! source code builds against the real crate unchanged.
+
+use proc_macro::TokenStream;
+
+/// Derive-macro stand-in for `serde::Serialize`. Expands to nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derive-macro stand-in for `serde::Deserialize`. Expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
