@@ -1,4 +1,4 @@
-//! The coupled HMM baseline [4]: two flat macro chains with cross-chain
+//! The coupled HMM baseline \[4\]: two flat macro chains with cross-chain
 //! transition coupling.
 
 use cace_model::ModelError;

@@ -1,4 +1,4 @@
-//! The factorial CRF baseline [5], trained with structured-perceptron
+//! The factorial CRF baseline \[5\], trained with structured-perceptron
 //! updates.
 //!
 //! A factorial CRF over two chains scores a joint labeling with node

@@ -1,4 +1,4 @@
-//! The per-user flat HMM baseline [9].
+//! The per-user flat HMM baseline \[9\].
 
 use cace_model::ModelError;
 

@@ -2,12 +2,12 @@
 //!
 //! The three comparator models of the paper's Fig 10:
 //!
-//! * [`Hmm`] — the per-user HMM of Singla et al. [9]: one flat macro-state
+//! * [`Hmm`] — the per-user HMM of Singla et al. \[9\]: one flat macro-state
 //!   chain per resident, no coupling, no hierarchy ("built an individual
 //!   HMM model for each user").
-//! * [`CoupledHmm`] — the CHMM of Roy et al. [4]: two flat macro chains with
+//! * [`CoupledHmm`] — the CHMM of Roy et al. \[4\]: two flat macro chains with
 //!   inter-user transition coupling over ambient + postural evidence.
-//! * [`Fcrf`] — the factorial CRF of Wang et al. [5]: two coupled chains
+//! * [`Fcrf`] — the factorial CRF of Wang et al. \[5\]: two coupled chains
 //!   trained discriminatively (structured-perceptron updates over node,
 //!   within-chain, and cross-chain potentials), relying on wearable
 //!   evidence only.
@@ -16,6 +16,20 @@
 //! (`log P(observations_t | activity)` per user), so the *modality*
 //! differences between the baselines are expressed by what the caller puts
 //! into those scores — exactly how the original systems differed.
+//!
+//! ```
+//! use cace_baselines::Hmm;
+//!
+//! // Two activities, mostly self-transitioning.
+//! let labels = vec![vec![0, 0, 0, 1, 1, 1, 0, 0, 1, 1]];
+//! let hmm = Hmm::fit(&labels, 2, 0.5).unwrap();
+//! // Clear per-tick evidence for activity 1, one glitchy tick in the middle.
+//! let emissions: Vec<Vec<f64>> = (0..5)
+//!     .map(|t| if t == 2 { vec![-0.4, -1.0] } else { vec![-3.0, -0.1] })
+//!     .collect();
+//! let path = hmm.viterbi(&emissions).unwrap();
+//! assert_eq!(path.macros, vec![1, 1, 1, 1, 1], "persistence absorbs the glitch");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,7 +1,7 @@
 //! CASAS-shaped multi-resident dataset generation.
 //!
 //! The paper's second evaluation (Fig 9) uses the CASAS dataset of Singla et
-//! al. [9]: 26 resident pairs (40 distinct users) performing fifteen
+//! al. \[9\]: 26 resident pairs (40 distinct users) performing fifteen
 //! scripted activities — several joint — observed through a dense grid of
 //! ambient motion sensors and smartphone (postural) readings, with **no
 //! gestural modality**. "Each motion sensor firing means the sub-location …

@@ -6,6 +6,20 @@
 //! experiment. Absolute numbers differ from the paper (its substrate was a
 //! physical testbed; ours is the simulator documented in `DESIGN.md`) — the
 //! *shape* of each result is what the benches reproduce.
+//!
+//! See `ARCHITECTURE.md` for the full figure/table → bench mapping.
+//!
+//! ```no_run
+//! use cace_bench::{cace_corpus, mean_accuracy, trained};
+//! use cace_core::Strategy;
+//!
+//! let (train, test) = cace_corpus(1, 10, 250, 14000);
+//! let engine = trained(&train, Strategy::CorrelationConstraint);
+//! assert!(mean_accuracy(&engine, &test) > 0.5);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use cace_behavior::session::train_test_split;
 use cace_behavior::{cace_grammar, generate_cace_dataset, Session, SessionConfig};

@@ -4,7 +4,7 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cace_baselines::Hmm;
-use cace_behavior::{ObservedTick, Session};
+use cace_behavior::Session;
 use cace_features::SessionFeatures;
 use cace_hdbn::{
     fit_em as hdbn_fit_em, CoupledHdbn, EmConfig, HdbnConfig, HdbnParams, SingleHdbn, TickInput,
@@ -12,14 +12,15 @@ use cace_hdbn::{
 use cace_mining::constraint::{ConstraintMiner, LabeledSequence};
 use cace_mining::rules::mine_negative_rules;
 use cace_mining::{
-    initial_cace_rules, mine_rules, AprioriConfig, AtomSpace, CandidateTick, HierarchicalStats,
-    PruningEngine, RuleSet,
+    initial_cace_rules, mine_rules, AprioriConfig, AtomSpace, HierarchicalStats, PruningEngine,
+    RuleSet,
 };
 use cace_model::{ModelError, StateMask};
 
 use crate::classifiers::{extract_all, MicroClassifiers};
-use crate::evidence::{build_evidence, EvidenceConfig, PrevState};
-use crate::statespace::{build_tick_input, TickScores};
+use crate::evidence::{EvidenceConfig, PrevState};
+use crate::nh;
+use crate::statespace::TickPreparer;
 use crate::strategy::Strategy;
 use crate::transactions::corpus;
 
@@ -135,17 +136,17 @@ impl Recognition {
 /// A trained CACE engine.
 #[derive(Debug, Clone)]
 pub struct CaceEngine {
-    config: CaceConfig,
-    space: AtomSpace,
-    n_macro: usize,
-    has_gestural: bool,
-    classifiers: MicroClassifiers,
-    rules: RuleSet,
-    pruner: Option<PruningEngine>,
-    stats: HierarchicalStats,
-    params: Arc<HdbnParams>,
-    nh_log_trans: Vec<Vec<f64>>,
-    nh_hmm: Hmm,
+    pub(crate) config: CaceConfig,
+    pub(crate) space: AtomSpace,
+    pub(crate) n_macro: usize,
+    pub(crate) has_gestural: bool,
+    pub(crate) classifiers: MicroClassifiers,
+    pub(crate) rules: RuleSet,
+    pub(crate) pruner: Option<PruningEngine>,
+    pub(crate) stats: HierarchicalStats,
+    pub(crate) params: Arc<HdbnParams>,
+    pub(crate) nh_log_trans: Vec<Vec<f64>>,
+    pub(crate) nh_hmm: Hmm,
 }
 
 impl CaceEngine {
@@ -390,80 +391,36 @@ impl CaceEngine {
         self.n_macro
     }
 
-    /// CASAS item-sensor evidence as a per-activity log-bonus (log-odds of
-    /// the fire/idle likelihoods; unattributed, so shared by both users).
-    fn item_bonus(&self, observed: &ObservedTick) -> Vec<f64> {
-        match &observed.items {
-            None => Vec::new(),
-            Some(items) => items
-                .iter()
-                .map(|&fired| if fired { 4.0 } else { -0.8 })
-                .collect(),
-        }
-    }
-
-    /// Sub-location motion restriction (CASAS state-space creation): "each
-    /// motion sensor firing means the sub-location is occupied" — so an
-    /// occupied resident must be at a fired sub-location. Applied only when
-    /// at least one sensor fired (otherwise no information).
-    fn restrict_to_fired(&self, observed: &ObservedTick, tick: &mut CandidateTick) {
-        let Some(fired) = &observed.subloc_motion else {
-            return;
-        };
-        if !fired.iter().any(|&f| f) {
-            return;
-        }
-        for user in &mut tick.users {
-            for (l, slot) in user.locations.iter_mut().enumerate() {
-                if !fired[l] {
-                    *slot = false;
-                }
-            }
-            if user.locations.iter().all(|&b| !b) {
-                // Relax rather than empty the space (all-sensor dropout).
-                user.locations.iter_mut().for_each(|b| *b = true);
-            }
-        }
-    }
-
-    fn masked_observation(&self, observed: &ObservedTick) -> ObservedTick {
-        let mut out = observed.clone();
-        if !self.config.mask.location {
-            out.subloc_motion = None;
-            for user in &mut out.per_user {
-                user.beacon = None;
-            }
-            out.room_motion = [false; 6];
-        }
-        if !self.config.mask.gestural {
-            for user in &mut out.per_user {
-                user.tag = None;
-            }
-        }
-        out
-    }
-
-    fn tick_scores(&self, features: &SessionFeatures, t: usize) -> TickScores {
-        let score_of = |u: usize| -> (Vec<f64>, Option<Vec<f64>>) {
-            let f = &features.per_tick[t][u];
-            let postural = self
-                .classifiers
-                .postural_log_proba(f.phone.as_ref().map(|v| v.as_slice()));
-            let gestural = if self.has_gestural && self.config.mask.gestural {
-                Some(
-                    self.classifiers
-                        .gestural_log_proba(f.tag.as_ref().map(|v| v.as_slice())),
-                )
+    /// The shared per-tick preparation pipeline, configured for this
+    /// engine's strategy. `use_pruner` selects the correlation-pruning
+    /// variant (requires a pruning strategy); `beam` is the per-user
+    /// micro-candidate cap.
+    pub(crate) fn tick_preparer(&self, beam: usize, use_pruner: bool) -> TickPreparer<'_> {
+        TickPreparer {
+            space: &self.space,
+            classifiers: &self.classifiers,
+            pruner: if use_pruner {
+                Some(self.pruner.as_ref().expect("pruning strategy"))
             } else {
                 None
-            };
-            (postural, gestural)
-        };
-        let (p0, g0) = score_of(0);
-        let (p1, g1) = score_of(1);
-        TickScores {
-            postural_lp: [p0, p1],
-            gestural_lp: [g0, g1],
+            },
+            mask: self.config.mask,
+            has_gestural: self.has_gestural,
+            beam,
+            evidence: self.config.evidence,
+        }
+    }
+
+    /// The preparer matching this engine's recognition path: pruned with
+    /// the standard beam for NCR/C2, unpruned with the NH beam for NH,
+    /// unpruned with the standard beam for NCS.
+    pub(crate) fn runtime_preparer(&self) -> TickPreparer<'_> {
+        match self.config.strategy {
+            Strategy::NaiveHmm => self.tick_preparer(self.config.nh_beam, false),
+            Strategy::NaiveConstraint => self.tick_preparer(self.config.beam, false),
+            Strategy::NaiveCorrelation | Strategy::CorrelationConstraint => {
+                self.tick_preparer(self.config.beam, true)
+            }
         }
     }
 
@@ -475,25 +432,13 @@ impl CaceEngine {
         features: &SessionFeatures,
         beam: usize,
     ) -> Vec<TickInput> {
+        let preparer = self.tick_preparer(beam, false);
+        let mut prev = [PrevState::default(), PrevState::default()];
         (0..session.len())
             .map(|t| {
-                let observed = self.masked_observation(&session.ticks[t].observed);
-                let scores = self.tick_scores(features, t);
-                let mut full = CandidateTick::full(&self.space);
-                if self.config.mask.location {
-                    self.restrict_to_fired(&observed, &mut full);
-                }
-                let mut input = build_tick_input(
-                    &self.space,
-                    &observed,
-                    &scores,
-                    &full.users,
-                    self.config.mask,
-                    self.has_gestural,
-                    beam,
-                );
-                input.macro_bonus = self.item_bonus(&observed);
-                input
+                preparer
+                    .prepare(&session.ticks[t].observed, &features.per_tick[t], &mut prev)
+                    .input
             })
             .collect()
     }
@@ -504,53 +449,17 @@ impl CaceEngine {
         session: &Session,
         features: &SessionFeatures,
     ) -> (Vec<TickInput>, Vec<u128>, u64) {
-        let pruner = self.pruner.as_ref().expect("pruning strategy");
+        let preparer = self.tick_preparer(self.config.beam, true);
         let mut prev = [PrevState::default(), PrevState::default()];
         let mut inputs = Vec::with_capacity(session.len());
         let mut joint_sizes = Vec::with_capacity(session.len());
         let mut fired = 0u64;
         for t in 0..session.len() {
-            let observed = self.masked_observation(&session.ticks[t].observed);
-            let scores = self.tick_scores(features, t);
-            let gestural_lp: [Option<Vec<f64>>; 2] =
-                [scores.gestural_lp[0].clone(), scores.gestural_lp[1].clone()];
-            let evidence = build_evidence(
-                &self.space,
-                &observed,
-                &scores.postural_lp,
-                &gestural_lp,
-                &prev,
-                &self.config.evidence,
-            );
-            let mut tick = CandidateTick::full(&self.space);
-            if self.config.mask.location {
-                self.restrict_to_fired(&observed, &mut tick);
-            }
-            let report = pruner.prune(&evidence, &mut tick);
-            fired += (report.positive_fired + report.negative_fired) as u64;
-            joint_sizes.push(tick.joint_size());
-            let mut input = build_tick_input(
-                &self.space,
-                &observed,
-                &scores,
-                &tick.users,
-                self.config.mask,
-                self.has_gestural,
-                self.config.beam,
-            );
-            input.macro_bonus = self.item_bonus(&observed);
-            // Commit observed location as lag-1 evidence for the next tick.
-            for u in 0..2 {
-                prev[u] = PrevState {
-                    macro_id: None,
-                    location: observed.per_user[u]
-                        .beacon
-                        .as_ref()
-                        .filter(|b| b.in_home)
-                        .map(|b| b.nearest.index()),
-                };
-            }
-            inputs.push(input);
+            let prepared =
+                preparer.prepare(&session.ticks[t].observed, &features.per_tick[t], &mut prev);
+            fired += prepared.rules_fired;
+            joint_sizes.push(prepared.joint_size);
+            inputs.push(prepared.input);
         }
         (inputs, joint_sizes, fired)
     }
@@ -644,22 +553,18 @@ impl CaceEngine {
             .iter()
             .map(|i| i.joint_states(self.n_macro) as u128)
             .collect();
+        let preparer = self.tick_preparer(self.config.nh_beam, false);
+        // Per-tick macro emissions from the direct classifier.
+        let mut all_emissions: Vec<[Vec<f64>; 2]> = (0..session.len())
+            .map(|t| preparer.nh_macro_emissions(&features.per_tick[t]))
+            .collect();
         let mut macros: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
         let mut states = 0u64;
         let mut ops = 0u64;
         for u in 0..2 {
-            // Per-tick macro emissions from the direct classifier.
-            let emissions: Vec<Vec<f64>> = (0..session.len())
-                .map(|t| {
-                    let f = &features.per_tick[t][u];
-                    self.classifiers.macro_log_proba(
-                        f.phone.as_ref().map(|v| v.as_slice()),
-                        f.tag
-                            .as_ref()
-                            .filter(|_| self.config.mask.gestural)
-                            .map(|v| v.as_slice()),
-                    )
-                })
+            let emissions: Vec<Vec<f64>> = all_emissions
+                .iter_mut()
+                .map(|e| std::mem::take(&mut e[u]))
                 .collect();
             let (path, s, o) = self.flat_product_viterbi(&inputs, &emissions, u)?;
             states += s;
@@ -670,7 +575,9 @@ impl CaceEngine {
     }
 
     /// Flat Viterbi over the (macro × micro-beam) product space with no
-    /// hierarchical structure — the "all possible states" NH decoder.
+    /// hierarchical structure — the "all possible states" NH decoder,
+    /// driven through the step functions in [`crate::nh`] (shared with the
+    /// streaming path).
     fn flat_product_viterbi(
         &self,
         inputs: &[TickInput],
@@ -685,42 +592,20 @@ impl CaceEngine {
             });
         }
         let n = self.n_macro;
-        let state_list = |t: usize| -> Vec<(usize, usize)> {
-            let cands = &inputs[t].candidates[user];
-            (0..n)
-                .flat_map(|a| (0..cands.len()).map(move |c| (a, c)))
-                .collect()
-        };
-        let emission = |t: usize, a: usize, c: usize| -> f64 {
-            macro_emissions[t][a] + inputs[t].bonus(a) + inputs[t].candidates[user][c].obs_loglik
-        };
 
-        let mut states = state_list(0);
-        let mut v: Vec<f64> = states.iter().map(|&(a, c)| emission(0, a, c)).collect();
+        let mut states = nh::states(&inputs[0], user, n);
+        let mut v = nh::emissions(&inputs[0], user, &states, &macro_emissions[0]);
         let mut states_explored = states.len() as u64;
         let mut transition_ops = 0u64;
         let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
         let mut all_states = vec![states.clone()];
 
         for t in 1..inputs.len() {
-            let cur = state_list(t);
+            let cur = nh::states(&inputs[t], user, n);
+            let emit = nh::emissions(&inputs[t], user, &cur, &macro_emissions[t]);
             states_explored += cur.len() as u64;
             transition_ops += (cur.len() * states.len()) as u64;
-            let mut v_new = vec![f64::NEG_INFINITY; cur.len()];
-            let mut back = vec![0u32; cur.len()];
-            for (j, &(a, c)) in cur.iter().enumerate() {
-                let mut best = f64::NEG_INFINITY;
-                let mut best_arg = 0u32;
-                for (jp, &(ap, _)) in states.iter().enumerate() {
-                    let score = v[jp] + self.nh_log_trans[ap][a];
-                    if score > best {
-                        best = score;
-                        best_arg = jp as u32;
-                    }
-                }
-                v_new[j] = best + emission(t, a, c);
-                back[j] = best_arg;
-            }
+            let (v_new, back) = nh::step(&self.nh_log_trans, &states, &v, &cur, &emit);
             v = v_new;
             backptrs.push(back);
             states = cur.clone();
@@ -751,6 +636,7 @@ mod tests {
     use cace_behavior::{
         cace_grammar, generate_cace_dataset, session::train_test_split, SessionConfig,
     };
+    use cace_mining::CandidateTick;
 
     fn dataset(n: usize, ticks: usize, seed: u64) -> Vec<Session> {
         let g = cace_grammar();

@@ -15,7 +15,9 @@
 //!    constraint miner, optionally refined by EM.
 //! 6. **Inference engine** — joint Viterbi decoding with overhead
 //!    accounting, plus a rayon-parallel multi-session fan-out ([`batch`])
-//!    that shares the trained model read-only across cores.
+//!    that shares the trained model read-only across cores, plus an online
+//!    fixed-lag path ([`stream`]) that consumes ticks as they arrive and a
+//!    [`StreamRouter`] that multiplexes many concurrent homes.
 //!
 //! The four pruning strategies of §VII-G (NH, NCR, NCS, C2) are expressed
 //! as [`Strategy`] values; Fig 8(a)'s modality ablations as
@@ -40,11 +42,15 @@ pub mod batch;
 pub mod classifiers;
 pub mod engine;
 pub mod evidence;
+mod nh;
 pub mod statespace;
 pub mod strategy;
+pub mod stream;
 pub mod transactions;
 
 pub use batch::BatchReport;
+pub use cace_hdbn::Lag;
 pub use classifiers::MicroClassifiers;
 pub use engine::{CaceConfig, CaceEngine, Recognition};
 pub use strategy::Strategy;
+pub use stream::{stream_session, StreamDecision, StreamRouter, StreamingRecognizer};

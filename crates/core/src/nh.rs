@@ -1,0 +1,181 @@
+//! The NH (Naive-HMM) flat product decoder, factored into per-tick DP
+//! steps.
+//!
+//! NH refuses every piece of CACE structure: no hierarchy, no miners, no
+//! coupling — just a flat Viterbi over the (macro × micro-beam) product
+//! space per user, with macro emissions classified directly from frame
+//! features. The step functions here are shared between the batch decoder
+//! (`CaceEngine::recognize` under [`crate::Strategy::NaiveHmm`]) and the
+//! streaming [`OnlineFlat`] frontier, which keeps the two bit-identical.
+
+use std::collections::VecDeque;
+
+use cace_hdbn::{Lag, TickInput};
+
+/// One flat product state: (macro activity, micro-candidate index).
+pub(crate) type FlatState = (usize, usize);
+
+/// The tick's product state list, enumerated macro-major.
+pub(crate) fn states(input: &TickInput, user: usize, n_macro: usize) -> Vec<FlatState> {
+    let cands = &input.candidates[user];
+    (0..n_macro)
+        .flat_map(|a| (0..cands.len()).map(move |c| (a, c)))
+        .collect()
+}
+
+/// Emission scores aligned with [`states`]: direct macro classification
+/// plus the item bonus plus the candidate observation log-likelihood.
+pub(crate) fn emissions(
+    input: &TickInput,
+    user: usize,
+    states: &[FlatState],
+    macro_lp: &[f64],
+) -> Vec<f64> {
+    states
+        .iter()
+        .map(|&(a, c)| macro_lp[a] + input.bonus(a) + input.candidates[user][c].obs_loglik)
+        .collect()
+}
+
+/// One flat DP step over the macro transition table.
+pub(crate) fn step(
+    log_trans: &[Vec<f64>],
+    prev: &[FlatState],
+    v: &[f64],
+    cur: &[FlatState],
+    emit: &[f64],
+) -> (Vec<f64>, Vec<u32>) {
+    let mut v_new = vec![f64::NEG_INFINITY; cur.len()];
+    let mut back = vec![0u32; cur.len()];
+    for (j, &(a, _)) in cur.iter().enumerate() {
+        let mut best = f64::NEG_INFINITY;
+        let mut best_arg = 0u32;
+        for (jp, &(ap, _)) in prev.iter().enumerate() {
+            let score = v[jp] + log_trans[ap][a];
+            if score > best {
+                best = score;
+                best_arg = jp as u32;
+            }
+        }
+        v_new[j] = best + emit[j];
+        back[j] = best_arg;
+    }
+    (v_new, back)
+}
+
+fn argmax(v: &[f64]) -> usize {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+        .map(|(i, _)| i)
+        .expect("nonempty trellis")
+}
+
+struct FlatEntry {
+    states: Vec<FlatState>,
+    back: Vec<u32>,
+}
+
+/// Streaming NH frontier for one user, mirroring the online decoders in
+/// `cace-hdbn`: push per-tick (states, emissions), emit fixed-lag macro
+/// decisions, finalize into the full macro path plus overhead accounting.
+pub(crate) struct OnlineFlat<'a> {
+    log_trans: &'a [Vec<f64>],
+    lag: Lag,
+    v: Vec<f64>,
+    window: VecDeque<FlatEntry>,
+    base: usize,
+    pushed: usize,
+    emitted: Vec<usize>,
+    states_explored: u64,
+    transition_ops: u64,
+}
+
+impl<'a> OnlineFlat<'a> {
+    pub(crate) fn new(log_trans: &'a [Vec<f64>], lag: Lag) -> Self {
+        Self {
+            log_trans,
+            lag,
+            v: Vec::new(),
+            window: VecDeque::new(),
+            base: 0,
+            pushed: 0,
+            emitted: Vec::new(),
+            states_explored: 0,
+            transition_ops: 0,
+        }
+    }
+
+    /// Consumes one tick's state list and aligned emissions; returns the
+    /// ripened `(tick, macro)` decision, if any.
+    pub(crate) fn push(
+        &mut self,
+        states: Vec<FlatState>,
+        emit: Vec<f64>,
+    ) -> Option<(usize, usize)> {
+        self.states_explored += states.len() as u64;
+        let back = if self.pushed == 0 {
+            self.v = emit;
+            Vec::new()
+        } else {
+            let prev = self.window.back().expect("nonempty window");
+            self.transition_ops += (states.len() * prev.states.len()) as u64;
+            let (v_new, back) = step(self.log_trans, &prev.states, &self.v, &states, &emit);
+            self.v = v_new;
+            back
+        };
+        self.window.push_back(FlatEntry { states, back });
+        self.pushed += 1;
+        self.emit_ready()
+    }
+
+    fn state_at(&self, idx: usize) -> usize {
+        let mut j = argmax(&self.v);
+        for i in (idx + 1..self.window.len()).rev() {
+            j = self.window[i].back[j] as usize;
+        }
+        j
+    }
+
+    fn emit_ready(&mut self) -> Option<(usize, usize)> {
+        let Lag::Fixed(lag) = self.lag else {
+            return None;
+        };
+        let last = self.pushed - 1;
+        if last < lag {
+            return None;
+        }
+        let tick = last - lag;
+        let idx = tick - self.base;
+        let j = self.state_at(idx);
+        let macro_id = self.window[idx].states[j].0;
+        self.emitted.push(macro_id);
+        while self.base <= tick && self.window.len() > 1 {
+            self.window.pop_front();
+            self.base += 1;
+        }
+        Some((tick, macro_id))
+    }
+
+    /// Ends the stream: `(macro path, states explored, transition ops)`.
+    /// Returns `None` if no tick was ever pushed.
+    pub(crate) fn finalize(mut self) -> Option<(Vec<usize>, u64, u64)> {
+        if self.pushed == 0 {
+            return None;
+        }
+        let mut j = argmax(&self.v);
+        let committed = self.emitted.len();
+        let mut tail = Vec::with_capacity(self.pushed - committed);
+        for t in (committed..self.pushed).rev() {
+            let idx = t - self.base;
+            tail.push(self.window[idx].states[j].0);
+            if idx > 0 {
+                j = self.window[idx].back[j] as usize;
+            }
+        }
+        tail.reverse();
+        let mut macros = std::mem::take(&mut self.emitted);
+        macros.extend(tail);
+        Some((macros, self.states_explored, self.transition_ops))
+    }
+}

@@ -1,11 +1,16 @@
 //! State-space creation (Fig 2, step 3): per-tick candidate sets scored
-//! against the observations.
+//! against the observations, plus the shared per-tick preparation pipeline
+//! ([`TickPreparer`]) that the batch, EM, and streaming paths all run.
 
 use cace_behavior::ObservedTick;
-use cace_mining::{AtomSpace, UserCandidates};
+use cace_features::TickFeatures;
+use cace_mining::{AtomSpace, CandidateTick, PruningEngine, UserCandidates};
 use cace_model::{Postural, StateMask, SubLocation};
 
 use cace_hdbn::TickInput;
+
+use crate::classifiers::MicroClassifiers;
+use crate::evidence::{build_evidence, EvidenceConfig, PrevState};
 
 /// Gaussian-ish width (meters) of the beacon location score.
 const BEACON_SIGMA: f64 = 1.2;
@@ -100,6 +105,210 @@ pub fn build_tick_input(
         beam,
         |u, p, g, l| micro_score(observed, scores, u, p, g, l, mask),
     )
+}
+
+/// A fully prepared inference tick: the decoder input plus the pruning
+/// accounting the overhead experiments report.
+#[derive(Debug, Clone)]
+pub struct PreparedTick {
+    /// The decoder-ready tick input (scored, beamed candidates plus macro
+    /// restrictions and item-sensor bonus).
+    pub input: TickInput,
+    /// Post-pruning factorized candidate-space size
+    /// ([`CandidateTick::joint_size`]) — what the correlation-pruning
+    /// strategies report as per-tick joint size.
+    pub joint_size: u128,
+    /// Rules fired while pruning this tick (0 on the unpruned paths).
+    pub rules_fired: u64,
+}
+
+/// The per-tick preparation pipeline shared by every recognition path.
+///
+/// One tick's journey from raw observation to decoder input — masking the
+/// ablated modalities, scoring the micro classifiers, restricting to fired
+/// sub-locations, firing the correlation pruner, beaming candidates, and
+/// attaching the CASAS item bonus — used to live inline in
+/// `CaceEngine::recognize`. It is now a standalone unit so that
+/// [`CaceEngine::recognize`](crate::CaceEngine::recognize) (and through it
+/// `recognize_batch`), EM training, and the streaming
+/// [`StreamingRecognizer`](crate::stream::StreamingRecognizer) run the
+/// *same* code on each tick: batch recognition is `prepare` mapped over a
+/// recorded session, streaming is `prepare` applied as ticks arrive.
+///
+/// Construction goes through `CaceEngine` (the trained model owns the
+/// classifiers and pruner this borrows).
+#[derive(Debug, Clone)]
+pub struct TickPreparer<'a> {
+    pub(crate) space: &'a AtomSpace,
+    pub(crate) classifiers: &'a MicroClassifiers,
+    /// `Some` on the correlation-pruning strategies (NCR, C2).
+    pub(crate) pruner: Option<&'a PruningEngine>,
+    pub(crate) mask: StateMask,
+    pub(crate) has_gestural: bool,
+    pub(crate) beam: usize,
+    pub(crate) evidence: EvidenceConfig,
+}
+
+impl TickPreparer<'_> {
+    /// Applies the modality mask (Fig 8a ablations) to an observation.
+    fn masked_observation(&self, observed: &ObservedTick) -> ObservedTick {
+        let mut out = observed.clone();
+        if !self.mask.location {
+            out.subloc_motion = None;
+            for user in &mut out.per_user {
+                user.beacon = None;
+            }
+            out.room_motion = [false; 6];
+        }
+        if !self.mask.gestural {
+            for user in &mut out.per_user {
+                user.tag = None;
+            }
+        }
+        out
+    }
+
+    /// CASAS item-sensor evidence as a per-activity log-bonus (log-odds of
+    /// the fire/idle likelihoods; unattributed, so shared by both users).
+    fn item_bonus(&self, observed: &ObservedTick) -> Vec<f64> {
+        match &observed.items {
+            None => Vec::new(),
+            Some(items) => items
+                .iter()
+                .map(|&fired| if fired { 4.0 } else { -0.8 })
+                .collect(),
+        }
+    }
+
+    /// Sub-location motion restriction (CASAS state-space creation): "each
+    /// motion sensor firing means the sub-location is occupied" — so an
+    /// occupied resident must be at a fired sub-location. Applied only when
+    /// at least one sensor fired (otherwise no information).
+    fn restrict_to_fired(&self, observed: &ObservedTick, tick: &mut CandidateTick) {
+        let Some(fired) = &observed.subloc_motion else {
+            return;
+        };
+        if !fired.iter().any(|&f| f) {
+            return;
+        }
+        for user in &mut tick.users {
+            for (l, slot) in user.locations.iter_mut().enumerate() {
+                if !fired[l] {
+                    *slot = false;
+                }
+            }
+            if user.locations.iter().all(|&b| !b) {
+                // Relax rather than empty the space (all-sensor dropout).
+                user.locations.iter_mut().for_each(|b| *b = true);
+            }
+        }
+    }
+
+    /// Micro-classifier log-probabilities for one tick's features.
+    pub fn scores(&self, features: &[TickFeatures; 2]) -> TickScores {
+        let score_of = |u: usize| -> (Vec<f64>, Option<Vec<f64>>) {
+            let f = &features[u];
+            let postural = self
+                .classifiers
+                .postural_log_proba(f.phone.as_ref().map(|v| v.as_slice()));
+            let gestural = if self.has_gestural && self.mask.gestural {
+                Some(
+                    self.classifiers
+                        .gestural_log_proba(f.tag.as_ref().map(|v| v.as_slice())),
+                )
+            } else {
+                None
+            };
+            (postural, gestural)
+        };
+        let (p0, g0) = score_of(0);
+        let (p1, g1) = score_of(1);
+        TickScores {
+            postural_lp: [p0, p1],
+            gestural_lp: [g0, g1],
+        }
+    }
+
+    /// Per-user *macro* emission log-probabilities — the flat NH decoder's
+    /// direct classification of the macro activity from frame features.
+    pub fn nh_macro_emissions(&self, features: &[TickFeatures; 2]) -> [Vec<f64>; 2] {
+        let emit = |u: usize| {
+            let f = &features[u];
+            self.classifiers.macro_log_proba(
+                f.phone.as_ref().map(|v| v.as_slice()),
+                f.tag
+                    .as_ref()
+                    .filter(|_| self.mask.gestural)
+                    .map(|v| v.as_slice()),
+            )
+        };
+        [emit(0), emit(1)]
+    }
+
+    /// Prepares one tick end to end.
+    ///
+    /// `prev` is the lag-1 evidence scratch: the committed state of the
+    /// previous tick, which the pruner's lag-1 rules fire on. It is
+    /// updated in place with this tick's committed observation, so driving
+    /// `prepare` tick by tick (streaming) threads exactly the state the
+    /// batch loop threads.
+    pub fn prepare(
+        &self,
+        observed: &ObservedTick,
+        features: &[TickFeatures; 2],
+        prev: &mut [PrevState; 2],
+    ) -> PreparedTick {
+        let observed = self.masked_observation(observed);
+        let scores = self.scores(features);
+        let mut tick = CandidateTick::full(self.space);
+        if self.mask.location {
+            self.restrict_to_fired(&observed, &mut tick);
+        }
+        let rules_fired = match self.pruner {
+            Some(pruner) => {
+                let gestural_lp: [Option<Vec<f64>>; 2] =
+                    [scores.gestural_lp[0].clone(), scores.gestural_lp[1].clone()];
+                let evidence = build_evidence(
+                    self.space,
+                    &observed,
+                    &scores.postural_lp,
+                    &gestural_lp,
+                    prev,
+                    &self.evidence,
+                );
+                let report = pruner.prune(&evidence, &mut tick);
+                (report.positive_fired + report.negative_fired) as u64
+            }
+            None => 0,
+        };
+        let joint_size = tick.joint_size();
+        let mut input = build_tick_input(
+            self.space,
+            &observed,
+            &scores,
+            &tick.users,
+            self.mask,
+            self.has_gestural,
+            self.beam,
+        );
+        input.macro_bonus = self.item_bonus(&observed);
+        // Commit observed location as lag-1 evidence for the next tick.
+        for u in 0..2 {
+            prev[u] = PrevState {
+                macro_id: None,
+                location: observed.per_user[u]
+                    .beacon
+                    .as_ref()
+                    .filter(|b| b.in_home)
+                    .map(|b| b.nearest.index()),
+            };
+        }
+        PreparedTick {
+            input,
+            joint_size,
+            rules_fired,
+        }
+    }
 }
 
 #[cfg(test)]

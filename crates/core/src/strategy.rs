@@ -10,7 +10,7 @@ pub enum Strategy {
     /// classified directly from frame features (no hierarchy, no miners).
     NaiveHmm,
     /// **NCR** — Naive-Correlation: per-user rule pruning (rules whose items
-    /// all belong to one user, as in ACE [1]) over per-user hierarchical
+    /// all belong to one user, as in ACE \[1\]) over per-user hierarchical
     /// chains; no inter-user coupling.
     NaiveCorrelation,
     /// **NCS** — Naive-Constraint: the coupled HDBN with the constraint

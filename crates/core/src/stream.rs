@@ -1,0 +1,488 @@
+//! Streaming (run-time) recognition: consume sensor ticks as they arrive.
+//!
+//! [`CaceEngine::recognize`] needs the complete session upfront; a deployed
+//! smart home produces one [`ObservedTick`] per second. A
+//! [`StreamingRecognizer`] closes that gap: each
+//! [`push`](StreamingRecognizer::push) extracts the tick's wearable
+//! features, runs the *same* per-tick preparation pipeline as the batch
+//! path ([`TickPreparer`](crate::statespace::TickPreparer)), and advances
+//! an online fixed-lag Viterbi frontier ([`cace_hdbn::online`]) by one DP
+//! step — constant decoding work per tick, a backpointer window bounded at
+//! `lag + 2` ticks, no re-decoding of the growing prefix. (The emitted
+//! decision history does accumulate, one decision per tick, so that
+//! [`finish`](StreamingRecognizer::finish) can return the session-level
+//! [`Recognition`].)
+//!
+//! The smoothing [`Lag`] trades latency for accuracy: `Lag::Fixed(0)` is
+//! greedy filtering, larger lags converge on the batch answer, and
+//! [`Lag::Unbounded`] (or any lag at least the stream length) makes
+//! [`finish`](StreamingRecognizer::finish) **bit-identical** to
+//! [`CaceEngine::recognize`] — same macros, same `states_explored`, same
+//! `transition_ops`, same `rules_fired`, same `mean_joint_size` — for every
+//! strategy (NH, NCR, NCS, C2). `tests/streaming_equivalence.rs` asserts
+//! this.
+//!
+//! [`StreamRouter`] multiplexes many concurrent homes over rayon: one
+//! recognizer per home, one parallel fan-out per arriving round of ticks.
+//!
+//! ```no_run
+//! use cace_behavior::{cace_grammar, generate_cace_dataset, SessionConfig};
+//! use cace_core::{CaceConfig, CaceEngine, Lag};
+//!
+//! let sessions = generate_cace_dataset(&cace_grammar(), 1, 3, &SessionConfig::tiny(), 7);
+//! let engine = CaceEngine::train(&sessions[..2], &CaceConfig::default()).unwrap();
+//! let mut stream = engine.stream(Lag::Fixed(5));
+//! for tick in &sessions[2].ticks {
+//!     if let Some(decision) = stream.push(&tick.observed).unwrap() {
+//!         println!("tick {}: users doing {:?}", decision.tick, decision.macros);
+//!     }
+//! }
+//! let recognition = stream.finish().unwrap(); // full session decode
+//! # let _ = recognition;
+//! ```
+
+use std::time::Instant;
+
+use cace_behavior::{ObservedTick, Session};
+use cace_features::extract_tick;
+use cace_hdbn::{
+    CoupledHdbn, Lag, OnlineCoupledViterbi, OnlineSingleViterbi, SingleHdbn, TickInput,
+};
+use cace_model::ModelError;
+use rayon::prelude::*;
+
+use crate::engine::{CaceEngine, Recognition};
+use crate::evidence::PrevState;
+use crate::nh::{self, OnlineFlat};
+use crate::strategy::Strategy;
+
+/// A smoothed per-tick decision emitted mid-stream (fixed lag only).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamDecision {
+    /// The tick index this decision is for (`ticks pushed - 1 - lag`).
+    pub tick: usize,
+    /// Decoded macro activity per user.
+    pub macros: [usize; 2],
+}
+
+/// The per-strategy online decoder state.
+enum Decoder<'a> {
+    /// NH: one flat product frontier per user.
+    Nh([OnlineFlat<'a>; 2]),
+    /// NCR: one hierarchical chain frontier per user.
+    Single([OnlineSingleViterbi; 2]),
+    /// NCS / C2: the coupled joint frontier.
+    Coupled(OnlineCoupledViterbi),
+}
+
+/// Incremental recognition over one home's tick stream.
+///
+/// Create with [`CaceEngine::stream`]; see the [module docs](self) for the
+/// equivalence guarantees and an example.
+pub struct StreamingRecognizer<'a> {
+    engine: &'a CaceEngine,
+    lag: Lag,
+    decoder: Decoder<'a>,
+    prev: [PrevState; 2],
+    pushed: usize,
+    /// Running Σ per-tick joint sizes (as f64, in push order — the same
+    /// accumulation `recognize` performs over its collected vector).
+    joint_size_sum: f64,
+    rules_fired: u64,
+    /// √joint-states of the previous tick (NCR transition accounting).
+    ncr_prev_sqrt: u64,
+    ncr_ops: u64,
+    wall_seconds: f64,
+}
+
+impl CaceEngine {
+    /// Opens a streaming recognizer against this trained engine.
+    ///
+    /// Many recognizers may stream concurrently against one engine: the
+    /// engine is only read, and the HDBN parameters are `Arc`-shared into
+    /// each decoder frontier.
+    pub fn stream(&self, lag: Lag) -> StreamingRecognizer<'_> {
+        let decoder = match self.config.strategy {
+            Strategy::NaiveHmm => Decoder::Nh([
+                OnlineFlat::new(&self.nh_log_trans, lag),
+                OnlineFlat::new(&self.nh_log_trans, lag),
+            ]),
+            Strategy::NaiveCorrelation => {
+                let model = SingleHdbn::from_shared(std::sync::Arc::clone(&self.params));
+                Decoder::Single([
+                    OnlineSingleViterbi::new(model.clone(), 0, lag),
+                    OnlineSingleViterbi::new(model, 1, lag),
+                ])
+            }
+            Strategy::NaiveConstraint | Strategy::CorrelationConstraint => {
+                let model = CoupledHdbn::from_shared(std::sync::Arc::clone(&self.params));
+                Decoder::Coupled(OnlineCoupledViterbi::new(model, lag))
+            }
+        };
+        StreamingRecognizer {
+            engine: self,
+            lag,
+            decoder,
+            prev: [PrevState::default(), PrevState::default()],
+            pushed: 0,
+            joint_size_sum: 0.0,
+            rules_fired: 0,
+            ncr_prev_sqrt: 0,
+            ncr_ops: 0,
+            wall_seconds: 0.0,
+        }
+    }
+}
+
+impl StreamingRecognizer<'_> {
+    /// The smoothing lag this stream was opened with.
+    pub fn lag(&self) -> Lag {
+        self.lag
+    }
+
+    /// Ticks consumed so far.
+    pub fn ticks_pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Consumes one observed tick; returns the newly ripened fixed-lag
+    /// decision, if any.
+    ///
+    /// # Errors
+    /// Propagates an emptied per-tick state space
+    /// ([`ModelError::EmptyStateSpace`]).
+    pub fn push(&mut self, observed: &ObservedTick) -> Result<Option<StreamDecision>, ModelError> {
+        let start = Instant::now();
+        let features = extract_tick(observed);
+        let preparer = self.engine.runtime_preparer();
+        let prepared = preparer.prepare(observed, &features, &mut self.prev);
+        self.rules_fired += prepared.rules_fired;
+
+        let strategy = self.engine.config.strategy;
+        let n_macro = self.engine.n_macro;
+        // Per-tick joint-size accounting, matching the batch path's choice
+        // of metric per strategy.
+        if strategy.uses_correlation_pruning() {
+            self.joint_size_sum += prepared.joint_size as f64;
+        } else {
+            self.joint_size_sum += (prepared.input.joint_states(n_macro) as u128) as f64;
+        }
+        if strategy == Strategy::NaiveCorrelation {
+            let sqrt = (prepared.input.joint_states(n_macro) as f64).sqrt() as u64;
+            if self.pushed > 0 {
+                self.ncr_ops += self.ncr_prev_sqrt * sqrt;
+            }
+            self.ncr_prev_sqrt = sqrt;
+        }
+
+        let decision = self.advance(&prepared.input, &features, &preparer)?;
+        self.pushed += 1;
+        self.wall_seconds += start.elapsed().as_secs_f64();
+        Ok(decision)
+    }
+
+    fn advance(
+        &mut self,
+        input: &TickInput,
+        features: &[cace_features::TickFeatures; 2],
+        preparer: &crate::statespace::TickPreparer<'_>,
+    ) -> Result<Option<StreamDecision>, ModelError> {
+        match &mut self.decoder {
+            Decoder::Coupled(online) => Ok(online.push(input)?.map(|d| StreamDecision {
+                tick: d.tick,
+                macros: d.macros,
+            })),
+            Decoder::Single(chains) => {
+                let d0 = chains[0].push(input)?;
+                let d1 = chains[1].push(input)?;
+                Ok(d0.zip(d1).map(|(a, b)| {
+                    debug_assert_eq!(a.tick, b.tick);
+                    StreamDecision {
+                        tick: a.tick,
+                        macros: [a.macro_id, b.macro_id],
+                    }
+                }))
+            }
+            Decoder::Nh(flats) => {
+                let macro_lp = preparer.nh_macro_emissions(features);
+                let n_macro = self.engine.n_macro;
+                let mut out = [None, None];
+                for u in 0..2 {
+                    let states = nh::states(input, u, n_macro);
+                    let emit = nh::emissions(input, u, &states, &macro_lp[u]);
+                    out[u] = flats[u].push(states, emit);
+                }
+                Ok(out[0]
+                    .zip(out[1])
+                    .map(|((tick, m0), (_, m1))| StreamDecision {
+                        tick,
+                        macros: [m0, m1],
+                    }))
+            }
+        }
+    }
+
+    /// Ends the stream: resolves every not-yet-committed tick and returns
+    /// the session-level [`Recognition`].
+    ///
+    /// With `lag >=` the stream length (or [`Lag::Unbounded`]) the result
+    /// is bit-identical to [`CaceEngine::recognize`] on the same ticks,
+    /// except `wall_seconds`, which reports the accumulated streaming time.
+    ///
+    /// # Errors
+    /// [`ModelError::InsufficientData`] if no tick was ever pushed.
+    pub fn finish(self) -> Result<Recognition, ModelError> {
+        let start = Instant::now();
+        let pushed = self.pushed;
+        let (macros, states_explored, transition_ops) = match self.decoder {
+            Decoder::Coupled(online) => {
+                let path = online.finalize()?;
+                (path.macros, path.states_explored, path.transition_ops)
+            }
+            Decoder::Single(chains) => {
+                let [c0, c1] = chains;
+                let p0 = c0.finalize()?;
+                let p1 = c1.finalize()?;
+                // The batch path charges the |S|²-per-tick single-chain
+                // transition work once per user.
+                (
+                    [p0.macros, p1.macros],
+                    p0.states_explored + p1.states_explored,
+                    2 * self.ncr_ops,
+                )
+            }
+            Decoder::Nh(flats) => {
+                let [f0, f1] = flats;
+                let err = || ModelError::InsufficientData {
+                    what: "NH decoding".into(),
+                    available: 0,
+                    required: 1,
+                };
+                let (m0, s0, o0) = f0.finalize().ok_or_else(err)?;
+                let (m1, s1, o1) = f1.finalize().ok_or_else(err)?;
+                ([m0, m1], s0 + s1, o0 + o1)
+            }
+        };
+        let mean_joint_size = if pushed == 0 {
+            0.0
+        } else {
+            self.joint_size_sum / pushed as f64
+        };
+        Ok(Recognition {
+            macros,
+            states_explored,
+            transition_ops,
+            wall_seconds: self.wall_seconds + start.elapsed().as_secs_f64(),
+            mean_joint_size,
+            rules_fired: self.rules_fired,
+        })
+    }
+}
+
+/// Multiplexes many concurrent homes' tick streams over rayon.
+///
+/// Each home owns an independent [`StreamingRecognizer`]; a
+/// [`push_round`](Self::push_round) fans the arriving ticks out across all
+/// cores while every recognizer aliases the one read-only trained engine.
+/// Throughput therefore scales with cores × homes, which is the serving
+/// story `examples/streaming_demo.rs` measures.
+pub struct StreamRouter<'a> {
+    homes: Vec<(u64, StreamingRecognizer<'a>)>,
+}
+
+impl<'a> StreamRouter<'a> {
+    /// An empty router.
+    pub fn new() -> Self {
+        Self { homes: Vec::new() }
+    }
+
+    /// A router serving `n` homes (ids `0..n`) with one recognizer each.
+    pub fn with_homes(engine: &'a CaceEngine, n: usize, lag: Lag) -> Self {
+        let mut router = Self::new();
+        for id in 0..n as u64 {
+            router.add_home(id, engine.stream(lag));
+        }
+        router
+    }
+
+    /// Registers a home's stream. Ids are caller-chosen and reported back
+    /// by [`finish`](Self::finish).
+    pub fn add_home(&mut self, id: u64, stream: StreamingRecognizer<'a>) {
+        self.homes.push((id, stream));
+    }
+
+    /// Number of homes currently routed.
+    pub fn len(&self) -> usize {
+        self.homes.len()
+    }
+
+    /// Whether the router has no homes.
+    pub fn is_empty(&self) -> bool {
+        self.homes.is_empty()
+    }
+
+    /// Delivers one round of ticks — `inputs[i]` to home `i`, `None` for a
+    /// home with no tick this round — in parallel across all cores.
+    /// Returns each home's ripened decision, aligned with `inputs`.
+    ///
+    /// # Errors
+    /// The first (in home order) per-home recognition failure.
+    pub fn push_round(
+        &mut self,
+        inputs: &[Option<&ObservedTick>],
+    ) -> Result<Vec<Option<StreamDecision>>, ModelError> {
+        assert_eq!(
+            inputs.len(),
+            self.homes.len(),
+            "one input slot per routed home"
+        );
+        let mut work: Vec<(&mut StreamingRecognizer<'a>, Option<&ObservedTick>)> = self
+            .homes
+            .iter_mut()
+            .map(|(_, s)| s)
+            .zip(inputs.iter().copied())
+            .collect();
+        work.par_iter_mut()
+            .map(|(stream, tick)| match tick {
+                Some(t) => stream.push(t),
+                None => Ok(None),
+            })
+            .collect()
+    }
+
+    /// Finishes every stream in parallel, returning `(home id,`
+    /// [`Recognition`]`)` pairs in registration order.
+    ///
+    /// # Errors
+    /// The first (in home order) per-home finalization failure.
+    pub fn finish(self) -> Result<Vec<(u64, Recognition)>, ModelError> {
+        let mut slots: Vec<(u64, Option<StreamingRecognizer<'a>>)> = self
+            .homes
+            .into_iter()
+            .map(|(id, s)| (id, Some(s)))
+            .collect();
+        slots
+            .par_iter_mut()
+            .map(|(id, slot)| {
+                let stream = slot.take().expect("finish visits each slot once");
+                stream.finish().map(|r| (*id, r))
+            })
+            .collect()
+    }
+}
+
+impl Default for StreamRouter<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Drives a recorded session through a streaming recognizer tick by tick —
+/// the test/bench harness for batch-vs-streaming comparisons.
+///
+/// Returns the mid-stream decisions and the final [`Recognition`].
+///
+/// # Errors
+/// Propagates any per-tick or finalization failure.
+pub fn stream_session(
+    engine: &CaceEngine,
+    session: &Session,
+    lag: Lag,
+) -> Result<(Vec<StreamDecision>, Recognition), ModelError> {
+    let mut stream = engine.stream(lag);
+    let mut decisions = Vec::new();
+    for tick in &session.ticks {
+        if let Some(d) = stream.push(&tick.observed)? {
+            decisions.push(d);
+        }
+    }
+    let recognition = stream.finish()?;
+    Ok((decisions, recognition))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CaceConfig;
+    use cace_behavior::{
+        cace_grammar, generate_cace_dataset, session::train_test_split, SessionConfig,
+    };
+
+    fn corpus() -> (Vec<Session>, Vec<Session>) {
+        let sessions = generate_cace_dataset(
+            &cace_grammar(),
+            1,
+            4,
+            &SessionConfig::tiny().with_ticks(80),
+            31,
+        );
+        train_test_split(sessions, 0.75)
+    }
+
+    #[test]
+    fn unbounded_stream_matches_batch_for_default_strategy() {
+        let (train, test) = corpus();
+        let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+        let batch = engine.recognize(&test[0]).unwrap();
+        let (decisions, streamed) = stream_session(&engine, &test[0], Lag::Unbounded).unwrap();
+        assert!(decisions.is_empty(), "unbounded lag never emits mid-stream");
+        assert_eq!(streamed.macros, batch.macros);
+        assert_eq!(streamed.states_explored, batch.states_explored);
+        assert_eq!(streamed.transition_ops, batch.transition_ops);
+        assert_eq!(streamed.rules_fired, batch.rules_fired);
+        assert_eq!(streamed.mean_joint_size, batch.mean_joint_size);
+    }
+
+    #[test]
+    fn fixed_lag_emits_and_covers_the_whole_session() {
+        let (train, test) = corpus();
+        let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+        let lag = 6;
+        let (decisions, streamed) = stream_session(&engine, &test[0], Lag::Fixed(lag)).unwrap();
+        assert_eq!(decisions.len(), test[0].len() - lag);
+        for (i, d) in decisions.iter().enumerate() {
+            assert_eq!(d.tick, i);
+        }
+        assert_eq!(streamed.macros[0].len(), test[0].len());
+        // Emitted decisions are embedded unchanged in the final path.
+        for d in &decisions {
+            assert_eq!(streamed.macros[0][d.tick], d.macros[0]);
+            assert_eq!(streamed.macros[1][d.tick], d.macros[1]);
+        }
+    }
+
+    #[test]
+    fn router_matches_individual_streams() {
+        let (train, test) = corpus();
+        let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+        let mut router = StreamRouter::new();
+        for (i, _) in test.iter().enumerate() {
+            router.add_home(i as u64 + 100, engine.stream(Lag::Unbounded));
+        }
+        let max_len = test.iter().map(Session::len).max().unwrap();
+        for t in 0..max_len {
+            let inputs: Vec<Option<&ObservedTick>> = test
+                .iter()
+                .map(|s| s.ticks.get(t).map(|tick| &tick.observed))
+                .collect();
+            router.push_round(&inputs).unwrap();
+        }
+        let finished = router.finish().unwrap();
+        assert_eq!(finished.len(), test.len());
+        for ((id, streamed), session) in finished.iter().zip(&test) {
+            assert!(*id >= 100);
+            let batch = engine.recognize(session).unwrap();
+            assert_eq!(streamed.macros, batch.macros);
+        }
+    }
+
+    #[test]
+    fn empty_stream_errors_like_empty_session() {
+        let (train, _) = corpus();
+        let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+        assert!(matches!(
+            engine.stream(Lag::Unbounded).finish(),
+            Err(ModelError::InsufficientData { .. })
+        ));
+    }
+}

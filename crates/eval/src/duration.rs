@@ -3,7 +3,7 @@
 //! The paper scores how well a recognizer recovers activity *episode
 //! boundaries*: for each true episode, find the best-matching predicted
 //! episode of the same activity (the best-interval approach of Tapia et
-//! al. [20]) and charge `(|start offset| + |end offset|) / true length`.
+//! al. \[20\]) and charge `(|start offset| + |end offset|) / true length`.
 //! Unmatched episodes are charged an error of 1.
 
 use serde::{Deserialize, Serialize};

@@ -4,6 +4,17 @@
 //! paper's per-activity FP-rate / precision / recall / F-measure tables
 //! (Figs 8b, 9, 10b), weighted one-vs-rest ROC/PRC areas, the start/end
 //! duration error of §VII-G (Table V), and overhead accounting (Fig 11).
+//!
+//! ```
+//! use cace_eval::ConfusionMatrix;
+//!
+//! let mut cm = ConfusionMatrix::new(3);
+//! cm.record_all(&[0, 0, 1, 2, 2], &[0, 1, 1, 2, 2]);
+//! assert_eq!(cm.total(), 5);
+//! assert!((cm.accuracy() - 0.8).abs() < 1e-12);
+//! let class0 = cm.class_metrics(0);
+//! assert!((class0.recall - 0.5).abs() < 1e-12, "one of two zeros was missed");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

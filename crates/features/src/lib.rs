@@ -33,4 +33,4 @@ pub mod session;
 
 pub use frame::FeatureVector;
 pub use schema::{feature_names, FEATURE_COUNT};
-pub use session::{extract_session, SessionFeatures, TickFeatures};
+pub use session::{extract_session, extract_tick, SessionFeatures, TickFeatures};

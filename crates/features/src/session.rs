@@ -48,21 +48,28 @@ impl SessionFeatures {
     }
 }
 
+/// Extracts both residents' wearable features of one observed tick — the
+/// unit of work a streaming recognizer performs as each tick arrives.
+///
+/// [`extract_session`] is exactly this function mapped over a recorded
+/// session, so batch and streaming recognition score identical features.
+pub fn extract_tick(observed: &cace_behavior::ObservedTick) -> [TickFeatures; 2] {
+    let features = |u: usize| -> TickFeatures {
+        let obs = &observed.per_user[u];
+        TickFeatures {
+            phone: obs.phone.as_deref().map(FeatureVector::from_frame),
+            tag: obs.tag.as_deref().map(FeatureVector::from_frame),
+        }
+    };
+    [features(0), features(1)]
+}
+
 /// Extracts the wearable feature record of a whole session.
 pub fn extract_session(session: &Session) -> SessionFeatures {
     let per_tick = session
         .ticks
         .iter()
-        .map(|tick| {
-            let features = |u: usize| -> TickFeatures {
-                let obs = &tick.observed.per_user[u];
-                TickFeatures {
-                    phone: obs.phone.as_deref().map(FeatureVector::from_frame),
-                    tag: obs.tag.as_deref().map(FeatureVector::from_frame),
-                }
-            };
-            [features(0), features(1)]
-        })
+        .map(|tick| extract_tick(&tick.observed))
         .collect();
     SessionFeatures { per_tick }
 }

@@ -25,6 +25,9 @@
 //! `O(|S|²)`-per-tick joint recursion into
 //! `O(|S1||S2|(|S1|+|S2|))` — the implementation-level reason pruned
 //! candidate sets translate into the paper's 16-fold overhead reduction.
+//! The same recursion also runs *incrementally*: the [`online`] module
+//! maintains the trellis frontier tick by tick with fixed-lag smoothing,
+//! for run-time recognition on live sensor streams.
 //!
 //! The crate is deliberately index-based (runtime vocabulary sizes), so the
 //! same machinery serves the 11-activity CACE and 15-activity CASAS
@@ -36,6 +39,7 @@
 pub mod em;
 pub mod forward;
 pub mod input;
+pub mod online;
 pub mod params;
 pub mod single;
 pub mod viterbi;
@@ -43,6 +47,7 @@ pub mod viterbi;
 pub use em::{fit_em, EmConfig, EmOutcome};
 pub use forward::log_sum_exp;
 pub use input::{MicroCandidate, TickInput};
+pub use online::{Lag, OnlineCoupledViterbi, OnlineSingleViterbi, SmoothedChain, SmoothedJoint};
 pub use params::{HdbnConfig, HdbnParams};
 pub use single::SingleHdbn;
 pub use viterbi::{CoupledHdbn, JointPath};

@@ -1,0 +1,670 @@
+//! Online (streaming) Viterbi decoding with fixed-lag smoothing.
+//!
+//! The batch decoders in [`crate::viterbi`] and [`crate::single`] need the
+//! whole session upfront; a smart-home runtime gets one sensor tick at a
+//! time. The decoders here maintain the *trellis frontier* — the best
+//! log-score of every current joint state — plus a bounded backpointer
+//! window, and advance it by one DP step per pushed tick:
+//! `O(|S1||S2|(|S1|+|S2|))` for the coupled chain, `O(|S|²)` for a single
+//! chain, exactly the per-tick cost of the batch recursion and *without*
+//! re-decoding the growing prefix.
+//!
+//! Smoothing is controlled by a [`Lag`]:
+//!
+//! * [`Lag::Unbounded`] never commits mid-stream; `finalize` backtracks the
+//!   full trellis. Because every frontier update goes through the same
+//!   shared step functions as the batch decoder, the result is
+//!   **bit-identical** to [`crate::CoupledHdbn::viterbi`] /
+//!   [`crate::SingleHdbn::viterbi`] — equality of every float, not just of
+//!   the argmax.
+//! * [`Lag::Fixed(l)`](Lag::Fixed) emits the decision for tick `t - l`
+//!   right after consuming tick `t` (classic fixed-lag smoothing), keeping
+//!   the backpointer window at `l + 2` entries regardless of stream length.
+//!   A `Lag::Fixed(l)` with `l >=` the eventual stream length behaves like
+//!   `Unbounded` (no decision ever ripens mid-stream), so it is also
+//!   bit-identical to the batch path.
+//!
+//! ```
+//! use cace_hdbn::{Lag, MicroCandidate, TickInput};
+//! # use cace_mining::constraint::{ConstraintMiner, LabeledSequence};
+//! # use cace_hdbn::{CoupledHdbn, HdbnConfig, HdbnParams, OnlineCoupledViterbi};
+//! # let macros: Vec<usize> = (0..400).map(|i| (i / 10) % 2).collect();
+//! # let n = macros.len();
+//! # let seq = LabeledSequence {
+//! #     macros: [macros.clone(), macros.clone()],
+//! #     posturals: [macros.clone(), macros.clone()],
+//! #     gesturals: [vec![0; n], vec![0; n]],
+//! #     locations: [macros.clone(), macros],
+//! # };
+//! # let stats = ConstraintMiner {
+//! #     laplace: 0.1, n_macro: 2, n_postural: 2, n_gestural: 2, n_location: 2,
+//! # }.mine(&[seq]).unwrap();
+//! # let model = CoupledHdbn::new(HdbnParams::new(stats, HdbnConfig::default()).unwrap());
+//! # let tick = |m: usize| {
+//! #     let cands: Vec<MicroCandidate> = (0..2).map(|p| MicroCandidate {
+//! #         postural: p, gestural: Some(0), location: p,
+//! #         obs_loglik: if p == m { 0.0 } else { -4.0 },
+//! #     }).collect();
+//! #     TickInput { candidates: [cands.clone(), cands], macro_candidates: [None, None],
+//! #                 macro_bonus: Vec::new() }
+//! # };
+//! let mut online = OnlineCoupledViterbi::new(model.clone(), Lag::Fixed(2));
+//! for t in 0..10 {
+//!     if let Some(decision) = online.push(&tick(0)).unwrap() {
+//!         // Ticks ripen `lag` steps after arrival.
+//!         assert_eq!(decision.tick, t - 2);
+//!         assert_eq!(decision.macros, [0, 0]);
+//!     }
+//! }
+//! // The tail (the last `lag` ticks) is resolved at finalization.
+//! let path = online.finalize().unwrap();
+//! assert_eq!(path.macros[0].len(), 10);
+//! ```
+
+use std::collections::VecDeque;
+
+use cace_model::ModelError;
+
+use crate::input::{MicroCandidate, TickInput};
+use crate::single::{self, SingleHdbn, SinglePath};
+use crate::viterbi::{self, CoupledHdbn, JointPath, Slice};
+
+/// Fixed-lag smoothing horizon of an online decoder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Lag {
+    /// Never commit mid-stream; decode everything at finalization.
+    /// Bit-identical to the batch Viterbi decoders.
+    Unbounded,
+    /// Emit the decision for tick `t - lag` after consuming tick `t`,
+    /// keeping the backpointer window bounded at `lag + 2` entries.
+    Fixed(usize),
+}
+
+impl Lag {
+    /// Convenience constructor mirroring `Lag::Fixed`.
+    pub fn ticks(lag: usize) -> Self {
+        Lag::Fixed(lag)
+    }
+
+    /// Whether this lag never emits mid-stream decisions.
+    pub fn is_unbounded(&self) -> bool {
+        matches!(self, Lag::Unbounded)
+    }
+}
+
+/// A mid-stream decision of [`OnlineCoupledViterbi`]: the smoothed joint
+/// state of one (now `lag`-old) tick.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoothedJoint {
+    /// The tick index this decision is for (`pushed - 1 - lag`).
+    pub tick: usize,
+    /// Decoded macro activity per user.
+    pub macros: [usize; 2],
+    /// Decoded micro tuple per user.
+    pub micros: [MicroCandidate; 2],
+}
+
+/// A mid-stream decision of [`OnlineSingleViterbi`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SmoothedChain {
+    /// The tick index this decision is for.
+    pub tick: usize,
+    /// Decoded macro activity.
+    pub macro_id: usize,
+    /// Decoded micro tuple.
+    pub micro: MicroCandidate,
+}
+
+/// One retained tick of the coupled backpointer window.
+#[derive(Debug, Clone)]
+struct JointEntry {
+    s1: Slice,
+    s2: Slice,
+    /// Backpointers into the previous tick's flattened frontier (empty for
+    /// the first tick of the stream).
+    back: Vec<u32>,
+    /// The tick's candidate tuples, retained so decisions can report
+    /// micro states after the [`TickInput`] is gone.
+    cands: [Vec<MicroCandidate>; 2],
+}
+
+fn argmax(v: &[f64]) -> (usize, f64) {
+    v.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
+        .map(|(i, &s)| (i, s))
+        .expect("nonempty trellis")
+}
+
+/// Incremental fixed-lag decoder for the loosely-coupled two-chain HDBN.
+///
+/// Feed ticks with [`push`](Self::push); finish with
+/// [`finalize`](Self::finalize). See the [module docs](self) for the
+/// equivalence guarantees.
+#[derive(Debug, Clone)]
+pub struct OnlineCoupledViterbi {
+    model: CoupledHdbn,
+    lag: Lag,
+    /// Current frontier, flattened as `j1 * |S2| + j2`.
+    v: Vec<f64>,
+    /// Backpointer window: entries for ticks `base .. pushed`.
+    window: VecDeque<JointEntry>,
+    /// Tick index of `window[0]`.
+    base: usize,
+    /// Ticks consumed so far.
+    pushed: usize,
+    /// Decisions already emitted (prefix of the stream).
+    emitted_macros: [Vec<usize>; 2],
+    emitted_micros: [Vec<MicroCandidate>; 2],
+    states_explored: u64,
+    transition_ops: u64,
+}
+
+impl OnlineCoupledViterbi {
+    /// Starts an empty stream against a trained model.
+    pub fn new(model: CoupledHdbn, lag: Lag) -> Self {
+        Self {
+            model,
+            lag,
+            v: Vec::new(),
+            window: VecDeque::new(),
+            base: 0,
+            pushed: 0,
+            emitted_macros: [Vec::new(), Vec::new()],
+            emitted_micros: [Vec::new(), Vec::new()],
+            states_explored: 0,
+            transition_ops: 0,
+        }
+    }
+
+    /// Ticks consumed so far.
+    pub fn ticks_pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Current backpointer-window length (bounded by `lag + 2` for
+    /// [`Lag::Fixed`]).
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Consumes one tick, advancing the frontier by one DP step; returns
+    /// the newly ripened fixed-lag decision, if any.
+    ///
+    /// # Errors
+    /// [`ModelError::EmptyStateSpace`] if the tick has no candidates for
+    /// some user.
+    pub fn push(&mut self, tick: &TickInput) -> Result<Option<SmoothedJoint>, ModelError> {
+        viterbi::validate_tick(tick, self.pushed)?;
+        let cur1 = self.model.slice(tick, 0);
+        let cur2 = self.model.slice(tick, 1);
+        let cands = [tick.candidates[0].clone(), tick.candidates[1].clone()];
+        let back = if self.pushed == 0 {
+            self.v = viterbi::joint_init(self.model.params(), &cur1, &cur2);
+            self.states_explored += (cur1.states.len() * cur2.states.len()) as u64;
+            Vec::new()
+        } else {
+            let prev = self.window.back().expect("nonempty window");
+            let (k1, k2) = (prev.s1.states.len(), prev.s2.states.len());
+            let (m1, m2) = (cur1.states.len(), cur2.states.len());
+            self.states_explored += (m1 * m2) as u64;
+            self.transition_ops += (k1 as u64 * k2 as u64) * (m1 as u64 + m2 as u64);
+            let (v_new, back) = viterbi::joint_step(
+                self.model.params(),
+                &prev.s1,
+                &prev.s2,
+                &self.v,
+                &cur1,
+                &cur2,
+            );
+            self.v = v_new;
+            back
+        };
+        self.window.push_back(JointEntry {
+            s1: cur1,
+            s2: cur2,
+            back,
+            cands,
+        });
+        self.pushed += 1;
+        Ok(self.emit_ready())
+    }
+
+    /// Walks the backpointer window from the current frontier argmax down
+    /// to window index `idx`, returning the flattened state there.
+    fn flat_at(&self, idx: usize) -> usize {
+        let (mut flat, _) = argmax(&self.v);
+        for i in (idx + 1..self.window.len()).rev() {
+            flat = self.window[i].back[flat] as usize;
+        }
+        flat
+    }
+
+    fn decode(&self, idx: usize, flat: usize) -> ([usize; 2], [MicroCandidate; 2]) {
+        let entry = &self.window[idx];
+        let m2 = entry.s2.states.len();
+        let st1 = entry.s1.states[flat / m2];
+        let st2 = entry.s2.states[flat % m2];
+        (
+            [st1.activity, st2.activity],
+            [entry.cands[0][st1.cand], entry.cands[1][st2.cand]],
+        )
+    }
+
+    fn emit_ready(&mut self) -> Option<SmoothedJoint> {
+        let Lag::Fixed(lag) = self.lag else {
+            return None;
+        };
+        let last = self.pushed - 1;
+        if last < lag {
+            return None;
+        }
+        let tick = last - lag;
+        debug_assert_eq!(tick, self.emitted_macros[0].len());
+        let idx = tick - self.base;
+        let flat = self.flat_at(idx);
+        let (macros, micros) = self.decode(idx, flat);
+        for u in 0..2 {
+            self.emitted_macros[u].push(macros[u]);
+            self.emitted_micros[u].push(micros[u]);
+        }
+        // Entries at or before the emitted tick are never read again —
+        // except the newest entry, which the next step needs as `prev`.
+        while self.base <= tick && self.window.len() > 1 {
+            self.window.pop_front();
+            self.base += 1;
+        }
+        Some(SmoothedJoint {
+            tick,
+            macros,
+            micros,
+        })
+    }
+
+    /// Ends the stream: emits every not-yet-committed tick by backtracking
+    /// from the final frontier and returns the full decoded path.
+    ///
+    /// Under [`Lag::Unbounded`] (or a fixed lag at least as long as the
+    /// stream) the returned [`JointPath`] is bit-identical to
+    /// [`CoupledHdbn::viterbi`] on the same ticks.
+    ///
+    /// # Errors
+    /// [`ModelError::InsufficientData`] if no tick was ever pushed.
+    pub fn finalize(mut self) -> Result<JointPath, ModelError> {
+        if self.pushed == 0 {
+            return Err(ModelError::InsufficientData {
+                what: "viterbi decoding".into(),
+                available: 0,
+                required: 1,
+            });
+        }
+        let (mut flat, log_prob) = argmax(&self.v);
+        let committed = self.emitted_macros[0].len();
+        // Tail decisions for ticks committed..pushed, resolved against the
+        // final frontier (newest first, then reversed into place).
+        let mut tail: Vec<([usize; 2], [MicroCandidate; 2])> =
+            Vec::with_capacity(self.pushed - committed);
+        for t in (committed..self.pushed).rev() {
+            let idx = t - self.base;
+            tail.push(self.decode(idx, flat));
+            if idx > 0 {
+                flat = self.window[idx].back[flat] as usize;
+            }
+        }
+        tail.reverse();
+        let mut macros = std::mem::take(&mut self.emitted_macros);
+        let mut micros = std::mem::take(&mut self.emitted_micros);
+        for (m, c) in tail {
+            for u in 0..2 {
+                macros[u].push(m[u]);
+                micros[u].push(c[u]);
+            }
+        }
+        Ok(JointPath {
+            macros,
+            micros,
+            log_prob,
+            states_explored: self.states_explored,
+            transition_ops: self.transition_ops,
+        })
+    }
+}
+
+/// One retained tick of a single-chain backpointer window.
+#[derive(Debug, Clone)]
+struct ChainEntry {
+    slice: single::Slice,
+    back: Vec<u32>,
+    cands: Vec<MicroCandidate>,
+}
+
+/// Incremental fixed-lag decoder for one user's hierarchical chain — the
+/// streaming counterpart of [`SingleHdbn::viterbi`].
+pub struct OnlineSingleViterbi {
+    model: SingleHdbn,
+    user: usize,
+    lag: Lag,
+    v: Vec<f64>,
+    window: VecDeque<ChainEntry>,
+    base: usize,
+    pushed: usize,
+    emitted_macros: Vec<usize>,
+    emitted_micros: Vec<MicroCandidate>,
+    states_explored: u64,
+}
+
+impl OnlineSingleViterbi {
+    /// Starts an empty stream decoding `user`'s chain.
+    pub fn new(model: SingleHdbn, user: usize, lag: Lag) -> Self {
+        Self {
+            model,
+            user,
+            lag,
+            v: Vec::new(),
+            window: VecDeque::new(),
+            base: 0,
+            pushed: 0,
+            emitted_macros: Vec::new(),
+            emitted_micros: Vec::new(),
+            states_explored: 0,
+        }
+    }
+
+    /// Ticks consumed so far.
+    pub fn ticks_pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Current backpointer-window length.
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Consumes one tick; returns the newly ripened decision, if any.
+    ///
+    /// # Errors
+    /// [`ModelError::EmptyStateSpace`] if the tick has no candidates for
+    /// this user.
+    pub fn push(&mut self, tick: &TickInput) -> Result<Option<SmoothedChain>, ModelError> {
+        single::validate_tick_user(tick, self.pushed, self.user)?;
+        let cur = self.model.slice(tick, self.user);
+        let cands = tick.candidates[self.user].clone();
+        self.states_explored += cur.activities.len() as u64;
+        let back = if self.pushed == 0 {
+            self.v = single::chain_init(self.model.params(), &cur);
+            Vec::new()
+        } else {
+            let prev = self.window.back().expect("nonempty window");
+            let (v_new, back) = single::chain_step(self.model.params(), &prev.slice, &self.v, &cur);
+            self.v = v_new;
+            back
+        };
+        self.window.push_back(ChainEntry {
+            slice: cur,
+            back,
+            cands,
+        });
+        self.pushed += 1;
+        Ok(self.emit_ready())
+    }
+
+    fn state_at(&self, idx: usize) -> usize {
+        let (mut j, _) = argmax(&self.v);
+        for i in (idx + 1..self.window.len()).rev() {
+            j = self.window[i].back[j] as usize;
+        }
+        j
+    }
+
+    fn emit_ready(&mut self) -> Option<SmoothedChain> {
+        let Lag::Fixed(lag) = self.lag else {
+            return None;
+        };
+        let last = self.pushed - 1;
+        if last < lag {
+            return None;
+        }
+        let tick = last - lag;
+        let idx = tick - self.base;
+        let j = self.state_at(idx);
+        let entry = &self.window[idx];
+        let decision = SmoothedChain {
+            tick,
+            macro_id: entry.slice.activities[j],
+            micro: entry.cands[entry.slice.cands[j]],
+        };
+        self.emitted_macros.push(decision.macro_id);
+        self.emitted_micros.push(decision.micro);
+        while self.base <= tick && self.window.len() > 1 {
+            self.window.pop_front();
+            self.base += 1;
+        }
+        Some(decision)
+    }
+
+    /// Ends the stream, resolving the uncommitted tail; bit-identical to
+    /// [`SingleHdbn::viterbi`] when no mid-stream decision was emitted.
+    ///
+    /// # Errors
+    /// [`ModelError::InsufficientData`] if no tick was ever pushed.
+    pub fn finalize(mut self) -> Result<SinglePath, ModelError> {
+        if self.pushed == 0 {
+            return Err(ModelError::InsufficientData {
+                what: "single-chain inference".into(),
+                available: 0,
+                required: 1,
+            });
+        }
+        let (mut j, log_prob) = argmax(&self.v);
+        let committed = self.emitted_macros.len();
+        let mut tail: Vec<(usize, MicroCandidate)> = Vec::with_capacity(self.pushed - committed);
+        for t in (committed..self.pushed).rev() {
+            let idx = t - self.base;
+            let entry = &self.window[idx];
+            tail.push((entry.slice.activities[j], entry.cands[entry.slice.cands[j]]));
+            if idx > 0 {
+                j = entry.back[j] as usize;
+            }
+        }
+        tail.reverse();
+        let mut macros = std::mem::take(&mut self.emitted_macros);
+        let mut micros = std::mem::take(&mut self.emitted_micros);
+        for (m, c) in tail {
+            macros.push(m);
+            micros.push(c);
+        }
+        Ok(SinglePath {
+            macros,
+            micros,
+            log_prob,
+            states_explored: self.states_explored,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::params::{HdbnConfig, HdbnParams};
+    use cace_mining::constraint::{ConstraintMiner, LabeledSequence};
+
+    fn toy_params(coupled: bool) -> HdbnParams {
+        let mut macros = Vec::new();
+        for r in 0..40 {
+            for _ in 0..10 {
+                macros.push(r % 2);
+            }
+        }
+        let n = macros.len();
+        let seq = LabeledSequence {
+            macros: [macros.clone(), macros.clone()],
+            posturals: [macros.clone(), macros.clone()],
+            gesturals: [vec![0; n], vec![0; n]],
+            locations: [macros.clone(), macros],
+        };
+        let stats = ConstraintMiner {
+            laplace: 0.1,
+            n_macro: 2,
+            n_postural: 2,
+            n_gestural: 2,
+            n_location: 2,
+        }
+        .mine(&[seq])
+        .unwrap();
+        let config = if coupled {
+            HdbnConfig::default()
+        } else {
+            HdbnConfig::uncoupled()
+        };
+        HdbnParams::new(stats, config).unwrap()
+    }
+
+    fn obs_tick(m: usize, strength: f64) -> TickInput {
+        let cands = |fav: usize| -> Vec<MicroCandidate> {
+            (0..2)
+                .map(|p| MicroCandidate {
+                    postural: p,
+                    gestural: Some(0),
+                    location: p,
+                    obs_loglik: if p == fav { 0.0 } else { -strength },
+                })
+                .collect()
+        };
+        TickInput {
+            candidates: [cands(m), cands(m)],
+            macro_candidates: [None, None],
+            macro_bonus: Vec::new(),
+        }
+    }
+
+    fn glitchy_ticks() -> Vec<TickInput> {
+        (0..30)
+            .map(|t| {
+                let m = usize::from(t >= 15);
+                let strength = if t % 7 == 3 { 0.4 } else { 3.0 };
+                obs_tick(if t % 11 == 5 { 1 - m } else { m }, strength)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn unbounded_lag_is_bit_identical_to_batch_coupled() {
+        let model = CoupledHdbn::new(toy_params(true));
+        let ticks = glitchy_ticks();
+        let batch = model.viterbi(&ticks).unwrap();
+        let mut online = OnlineCoupledViterbi::new(model, Lag::Unbounded);
+        for tick in &ticks {
+            assert_eq!(online.push(tick).unwrap(), None, "unbounded never emits");
+        }
+        let streamed = online.finalize().unwrap();
+        assert_eq!(streamed, batch, "full JointPath equality, floats included");
+    }
+
+    #[test]
+    fn long_fixed_lag_is_bit_identical_to_batch_coupled() {
+        let model = CoupledHdbn::new(toy_params(true));
+        let ticks = glitchy_ticks();
+        let batch = model.viterbi(&ticks).unwrap();
+        let mut online = OnlineCoupledViterbi::new(model, Lag::Fixed(ticks.len()));
+        for tick in &ticks {
+            assert_eq!(online.push(tick).unwrap(), None);
+        }
+        assert_eq!(online.finalize().unwrap(), batch);
+    }
+
+    #[test]
+    fn unbounded_lag_is_bit_identical_to_batch_single() {
+        let model = SingleHdbn::new(toy_params(false));
+        let ticks = glitchy_ticks();
+        for user in 0..2 {
+            let batch = model.viterbi(&ticks, user).unwrap();
+            let mut online = OnlineSingleViterbi::new(model.clone(), user, Lag::Unbounded);
+            for tick in &ticks {
+                assert_eq!(online.push(tick).unwrap(), None);
+            }
+            assert_eq!(online.finalize().unwrap(), batch, "user {user}");
+        }
+    }
+
+    #[test]
+    fn fixed_lag_emits_on_schedule_and_bounds_the_window() {
+        let lag = 4;
+        let model = CoupledHdbn::new(toy_params(true));
+        let mut online = OnlineCoupledViterbi::new(model, Lag::Fixed(lag));
+        let ticks = glitchy_ticks();
+        let mut decisions = Vec::new();
+        for (t, tick) in ticks.iter().enumerate() {
+            let emitted = online.push(tick).unwrap();
+            if t < lag {
+                assert!(emitted.is_none(), "tick {t} before the lag horizon");
+            } else {
+                let d = emitted.expect("ripened decision");
+                assert_eq!(d.tick, t - lag);
+                decisions.push(d);
+            }
+            assert!(
+                online.window_len() <= lag + 2,
+                "window {} at tick {t}",
+                online.window_len()
+            );
+        }
+        assert_eq!(decisions.len(), ticks.len() - lag);
+        let path = online.finalize().unwrap();
+        assert_eq!(path.macros[0].len(), ticks.len());
+        // The emitted prefix is embedded unchanged in the final path.
+        for d in &decisions {
+            assert_eq!(path.macros[0][d.tick], d.macros[0]);
+            assert_eq!(path.macros[1][d.tick], d.macros[1]);
+        }
+    }
+
+    #[test]
+    fn fixed_lag_decisions_recover_clear_activities() {
+        // Zero lag = greedy filtering; still trivially correct on
+        // unambiguous input.
+        let model = CoupledHdbn::new(toy_params(true));
+        let mut online = OnlineCoupledViterbi::new(model, Lag::Fixed(0));
+        for t in 0..20 {
+            let m = usize::from(t >= 10);
+            let d = online.push(&obs_tick(m, 6.0)).unwrap().expect("lag 0");
+            assert_eq!(d.tick, t);
+            assert_eq!(d.macros, [m, m], "tick {t}");
+        }
+        assert_eq!(online.window_len(), 1, "lag-0 window stays minimal");
+    }
+
+    #[test]
+    fn single_chain_fixed_lag_matches_schedule() {
+        let model = SingleHdbn::new(toy_params(false));
+        let mut online = OnlineSingleViterbi::new(model, 0, Lag::Fixed(3));
+        let ticks = glitchy_ticks();
+        for (t, tick) in ticks.iter().enumerate() {
+            let emitted = online.push(tick).unwrap();
+            assert_eq!(emitted.is_some(), t >= 3, "tick {t}");
+            if let Some(d) = emitted {
+                assert_eq!(d.tick, t - 3);
+            }
+            assert!(online.window_len() <= 5);
+        }
+        let path = online.finalize().unwrap();
+        assert_eq!(path.macros.len(), ticks.len());
+    }
+
+    #[test]
+    fn streaming_errors_mirror_batch_errors() {
+        let model = CoupledHdbn::new(toy_params(true));
+        let online = OnlineCoupledViterbi::new(model.clone(), Lag::Unbounded);
+        assert!(matches!(
+            online.finalize(),
+            Err(ModelError::InsufficientData { .. })
+        ));
+        let mut online = OnlineCoupledViterbi::new(model, Lag::Unbounded);
+        online.push(&obs_tick(0, 1.0)).unwrap();
+        let mut bad = obs_tick(0, 1.0);
+        bad.candidates[1].clear();
+        assert!(matches!(
+            online.push(&bad),
+            Err(ModelError::EmptyStateSpace { tick: 1 })
+        ));
+    }
+}

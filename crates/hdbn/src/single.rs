@@ -75,7 +75,7 @@ impl ExpectedCounts {
 
 /// The single-chain hierarchical model.
 ///
-/// Parameters are [`Arc`]-shared for the same reason as
+/// Parameters are [`Arc`](std::sync::Arc)-shared for the same reason as
 /// [`crate::CoupledHdbn`]: batch recognition decodes many sessions against
 /// one read-only trained model, with per-call trellis scratch.
 #[derive(Debug, Clone)]
@@ -83,10 +83,73 @@ pub struct SingleHdbn {
     params: std::sync::Arc<HdbnParams>,
 }
 
-struct Slice {
-    activities: Vec<usize>,
-    cands: Vec<usize>,
-    emissions: Vec<f64>,
+#[derive(Debug, Clone)]
+pub(crate) struct Slice {
+    pub(crate) activities: Vec<usize>,
+    pub(crate) cands: Vec<usize>,
+    pub(crate) posturals: Vec<usize>,
+    pub(crate) emissions: Vec<f64>,
+}
+
+/// Rejects a tick that would empty one user's chain trellis.
+pub(crate) fn validate_tick_user(
+    tick: &TickInput,
+    t: usize,
+    user: usize,
+) -> Result<(), ModelError> {
+    if tick.candidates[user].is_empty()
+        || tick.macro_candidates[user]
+            .as_ref()
+            .is_some_and(|v| v.is_empty())
+    {
+        return Err(ModelError::EmptyStateSpace { tick: t });
+    }
+    Ok(())
+}
+
+/// First-tick chain frontier: macro prior plus emission per state.
+///
+/// Shared by the batch decoder and
+/// [`crate::online::OnlineSingleViterbi`] so the two stay bit-identical.
+pub(crate) fn chain_init(p: &HdbnParams, slice: &Slice) -> Vec<f64> {
+    slice
+        .activities
+        .iter()
+        .zip(&slice.emissions)
+        .map(|(&a, &e)| p.log_prior[a] + e)
+        .collect()
+}
+
+/// One single-chain DP step: the new frontier plus, per new state, the
+/// backpointer into the previous tick's frontier.
+///
+/// The single implementation of the recursion, called by both the batch
+/// [`SingleHdbn::viterbi`] and the incremental
+/// [`crate::online::OnlineSingleViterbi`].
+pub(crate) fn chain_step(
+    p: &HdbnParams,
+    prev: &Slice,
+    v: &[f64],
+    cur: &Slice,
+) -> (Vec<f64>, Vec<u32>) {
+    let mut v_new = vec![f64::NEG_INFINITY; cur.activities.len()];
+    let mut back = vec![0u32; cur.activities.len()];
+    for (j, (&a, &e)) in cur.activities.iter().zip(&cur.emissions).enumerate() {
+        let p_new = cur.posturals[j];
+        let mut best = f64::NEG_INFINITY;
+        let mut best_arg = 0u32;
+        for (jp, &ap) in prev.activities.iter().enumerate() {
+            let p_prev = prev.posturals[jp];
+            let score = v[jp] + p.transition_score(ap, p_prev, a, p_new);
+            if score > best {
+                best = score;
+                best_arg = jp as u32;
+            }
+        }
+        v_new[j] = best + e;
+        back[j] = best_arg;
+    }
+    (v_new, back)
 }
 
 impl SingleHdbn {
@@ -107,16 +170,18 @@ impl SingleHdbn {
         &self.params
     }
 
-    fn slice(&self, tick: &TickInput, user: usize) -> Slice {
+    pub(crate) fn slice(&self, tick: &TickInput, user: usize) -> Slice {
         let macros = tick.macros_for(user, self.params.n_macro());
         let n = macros.len() * tick.candidates[user].len();
         let mut activities = Vec::with_capacity(n);
         let mut cands = Vec::with_capacity(n);
+        let mut posturals = Vec::with_capacity(n);
         let mut emissions = Vec::with_capacity(n);
         for &a in &macros {
             for (c, cand) in tick.candidates[user].iter().enumerate() {
                 activities.push(a);
                 cands.push(c);
+                posturals.push(cand.postural);
                 emissions.push(
                     cand.obs_loglik
                         + tick.bonus(a)
@@ -132,6 +197,7 @@ impl SingleHdbn {
         Slice {
             activities,
             cands,
+            posturals,
             emissions,
         }
     }
@@ -145,13 +211,7 @@ impl SingleHdbn {
             });
         }
         for (t, tick) in ticks.iter().enumerate() {
-            if tick.candidates[user].is_empty()
-                || tick.macro_candidates[user]
-                    .as_ref()
-                    .is_some_and(|v| v.is_empty())
-            {
-                return Err(ModelError::EmptyStateSpace { tick: t });
-            }
+            validate_tick_user(tick, t, user)?;
         }
         Ok(())
     }
@@ -167,39 +227,15 @@ impl SingleHdbn {
 
         let mut slices: Vec<Slice> = Vec::with_capacity(ticks.len());
         slices.push(self.slice(&ticks[0], user));
-        let first = &slices[0];
-        let mut v: Vec<f64> = first
-            .activities
-            .iter()
-            .zip(&first.emissions)
-            .map(|(&a, &e)| p.log_prior[a] + e)
-            .collect();
+        let mut v = chain_init(p, &slices[0]);
         states_explored += v.len() as u64;
 
         let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
         for tick in ticks.iter().skip(1) {
             let cur = self.slice(tick, user);
             let prev = slices.last().expect("nonempty");
-            let mut v_new = vec![f64::NEG_INFINITY; cur.activities.len()];
-            let mut back = vec![0u32; cur.activities.len()];
             states_explored += cur.activities.len() as u64;
-            for (j, (&a, &e)) in cur.activities.iter().zip(&cur.emissions).enumerate() {
-                let p_new = tick.candidates[user][cur.cands[j]].postural;
-                let mut best = f64::NEG_INFINITY;
-                let mut best_arg = 0u32;
-                for (jp, &ap) in prev.activities.iter().enumerate() {
-                    let pp = slices.len(); // placeholder to avoid borrow issue
-                    let _ = pp;
-                    let p_prev = prevs_postural(ticks, slices.len() - 1, user, prev.cands[jp]);
-                    let score = v[jp] + p.transition_score(ap, p_prev, a, p_new);
-                    if score > best {
-                        best = score;
-                        best_arg = jp as u32;
-                    }
-                }
-                v_new[j] = best + e;
-                back[j] = best_arg;
-            }
+            let (v_new, back) = chain_step(p, prev, &v, &cur);
             v = v_new;
             backptrs.push(back);
             slices.push(cur);
@@ -419,10 +455,6 @@ impl SingleHdbn {
         }
         Ok(())
     }
-}
-
-fn prevs_postural(ticks: &[TickInput], t: usize, user: usize, cand: usize) -> usize {
-    ticks[t].candidates[user][cand].postural
 }
 
 #[cfg(test)]

@@ -16,20 +16,140 @@ use crate::params::HdbnParams;
 
 /// One per-user trellis state: a macro activity over one micro candidate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-struct ChainState {
-    activity: usize,
-    cand: usize,
+pub(crate) struct ChainState {
+    pub(crate) activity: usize,
+    pub(crate) cand: usize,
 }
 
 /// Per-tick, per-chain trellis slice.
 #[derive(Debug, Clone)]
-struct Slice {
-    states: Vec<ChainState>,
+pub(crate) struct Slice {
+    pub(crate) states: Vec<ChainState>,
     /// Postural id of each state's candidate (needed by the micro-level
     /// transition factor).
-    posturals: Vec<usize>,
+    pub(crate) posturals: Vec<usize>,
     /// Emission score of each state.
-    emissions: Vec<f64>,
+    pub(crate) emissions: Vec<f64>,
+}
+
+/// Rejects a tick that would empty the joint trellis.
+pub(crate) fn validate_tick(tick: &TickInput, t: usize) -> Result<(), ModelError> {
+    let empty_micro = tick.candidates.iter().any(|c| c.is_empty());
+    let empty_macro = tick
+        .macro_candidates
+        .iter()
+        .any(|m| m.as_ref().is_some_and(|v| v.is_empty()));
+    if empty_micro || empty_macro {
+        return Err(ModelError::EmptyStateSpace { tick: t });
+    }
+    Ok(())
+}
+
+/// First-tick joint frontier: per-chain emissions plus macro priors plus the
+/// inter-user coupling, flattened as `j1 * |S2| + j2`.
+///
+/// Shared by the batch decoder and [`crate::online::OnlineCoupledViterbi`]
+/// so the two paths stay bit-identical.
+pub(crate) fn joint_init(p: &HdbnParams, s1: &Slice, s2: &Slice) -> Vec<f64> {
+    let mut v = Vec::with_capacity(s1.states.len() * s2.states.len());
+    for (j1, &st1) in s1.states.iter().enumerate() {
+        let base1 = s1.emissions[j1] + p.log_prior[st1.activity];
+        for (j2, &st2) in s2.states.iter().enumerate() {
+            let base2 = s2.emissions[j2] + p.log_prior[st2.activity];
+            v.push(base1 + base2 + p.coupling_score(st1.activity, st2.activity));
+        }
+    }
+    v
+}
+
+/// One joint DP step: folds chain 2 then chain 1 exactly as documented in
+/// the module header, returning the new frontier and, per new joint state,
+/// the flattened backpointer into the previous tick's frontier.
+///
+/// This is the single implementation of the recursion; the batch
+/// [`CoupledHdbn::viterbi`] and the incremental
+/// [`crate::online::OnlineCoupledViterbi`] both call it, which is what
+/// makes the streamed path bit-identical to the batch path.
+pub(crate) fn joint_step(
+    p: &HdbnParams,
+    prev1: &Slice,
+    prev2: &Slice,
+    v: &[f64],
+    cur1: &Slice,
+    cur2: &Slice,
+) -> (Vec<f64>, Vec<u32>) {
+    let (k1, k2) = (prev1.states.len(), prev2.states.len());
+    let (m1, m2) = (cur1.states.len(), cur2.states.len());
+
+    // Pass 1 — fold chain 2:
+    // W[j1p * m2 + j2] = max_{j2p} V[j1p, j2p] + f2(j2p → j2).
+    let mut w = vec![f64::NEG_INFINITY; k1 * m2];
+    let mut w_arg = vec![0u32; k1 * m2];
+    for (j2, &s2) in cur2.states.iter().enumerate() {
+        // f2 depends only on (prev state, new state): precompute per
+        // j2 the column of scores over j2p.
+        let f2_col: Vec<f64> = (0..k2)
+            .map(|j2p| {
+                p.transition_score(
+                    prev2.states[j2p].activity,
+                    prev2.posturals[j2p],
+                    s2.activity,
+                    cur2.posturals[j2],
+                )
+            })
+            .collect();
+        for j1p in 0..k1 {
+            let row = &v[j1p * k2..(j1p + 1) * k2];
+            let mut best = f64::NEG_INFINITY;
+            let mut best_arg = 0u32;
+            for (j2p, (&vv, &f2)) in row.iter().zip(&f2_col).enumerate() {
+                let score = vv + f2;
+                if score > best {
+                    best = score;
+                    best_arg = j2p as u32;
+                }
+            }
+            w[j1p * m2 + j2] = best;
+            w_arg[j1p * m2 + j2] = best_arg;
+        }
+    }
+
+    // Pass 2 — fold chain 1:
+    // V'[j1, j2] = max_{j1p} W[j1p, j2] + f1(j1p → j1), plus
+    // emissions and coupling.
+    let mut v_new = vec![f64::NEG_INFINITY; m1 * m2];
+    let mut back = vec![0u32; m1 * m2];
+    for (j1, &s1) in cur1.states.iter().enumerate() {
+        let f1_col: Vec<f64> = (0..k1)
+            .map(|j1p| {
+                p.transition_score(
+                    prev1.states[j1p].activity,
+                    prev1.posturals[j1p],
+                    s1.activity,
+                    cur1.posturals[j1],
+                )
+            })
+            .collect();
+        for (j2, &s2) in cur2.states.iter().enumerate() {
+            let mut best = f64::NEG_INFINITY;
+            let mut best_j1p = 0usize;
+            for (j1p, &f1) in f1_col.iter().enumerate() {
+                let score = w[j1p * m2 + j2] + f1;
+                if score > best {
+                    best = score;
+                    best_j1p = j1p;
+                }
+            }
+            let emit = cur1.emissions[j1]
+                + cur2.emissions[j2]
+                + p.coupling_score(s1.activity, s2.activity);
+            v_new[j1 * m2 + j2] = best + emit;
+            // Recover j2p chosen inside W for (best_j1p, j2).
+            let j2p = w_arg[best_j1p * m2 + j2];
+            back[j1 * m2 + j2] = (best_j1p as u32) * (k2 as u32) + j2p;
+        }
+    }
+    (v_new, back)
 }
 
 /// The decoded joint trajectory plus accounting for the overhead
@@ -78,7 +198,7 @@ impl CoupledHdbn {
         &self.params
     }
 
-    fn slice(&self, input: &TickInput, user: usize) -> Slice {
+    pub(crate) fn slice(&self, input: &TickInput, user: usize) -> Slice {
         let macros = input.macros_for(user, self.params.n_macro());
         let n = macros.len() * input.candidates[user].len();
         let mut states = Vec::with_capacity(n);
@@ -125,14 +245,7 @@ impl CoupledHdbn {
             });
         }
         for (t, tick) in ticks.iter().enumerate() {
-            let empty_micro = tick.candidates.iter().any(|c| c.is_empty());
-            let empty_macro = tick
-                .macro_candidates
-                .iter()
-                .any(|m| m.as_ref().is_some_and(|v| v.is_empty()));
-            if empty_micro || empty_macro {
-                return Err(ModelError::EmptyStateSpace { tick: t });
-            }
+            validate_tick(tick, t)?;
         }
 
         let p = &self.params;
@@ -144,14 +257,7 @@ impl CoupledHdbn {
         states_explored += (prev1.states.len() * prev2.states.len()) as u64;
 
         // V flattened as j1 * |S2| + j2.
-        let mut v: Vec<f64> = Vec::with_capacity(prev1.states.len() * prev2.states.len());
-        for (j1, &s1) in prev1.states.iter().enumerate() {
-            let base1 = prev1.emissions[j1] + p.log_prior[s1.activity];
-            for (j2, &s2) in prev2.states.iter().enumerate() {
-                let base2 = prev2.emissions[j2] + p.log_prior[s2.activity];
-                v.push(base1 + base2 + p.coupling_score(s1.activity, s2.activity));
-            }
-        }
+        let mut v = joint_init(p, &prev1, &prev2);
 
         // Backpointers per tick (index into the previous tick's flattened
         // joint trellis), plus the slices for backtracking.
@@ -167,74 +273,7 @@ impl CoupledHdbn {
             states_explored += (m1 * m2) as u64;
             transition_ops += (k1 as u64 * k2 as u64) * (m1 as u64 + m2 as u64);
 
-            // Pass 1 — fold chain 2:
-            // W[j1p * m2 + j2] = max_{j2p} V[j1p, j2p] + f2(j2p → j2).
-            let mut w = vec![f64::NEG_INFINITY; k1 * m2];
-            let mut w_arg = vec![0u32; k1 * m2];
-            for (j2, &s2) in cur2.states.iter().enumerate() {
-                // f2 depends only on (prev state, new state): precompute per
-                // j2 the column of scores over j2p.
-                let f2_col: Vec<f64> = (0..k2)
-                    .map(|j2p| {
-                        p.transition_score(
-                            prev2.states[j2p].activity,
-                            prev2.posturals[j2p],
-                            s2.activity,
-                            cur2.posturals[j2],
-                        )
-                    })
-                    .collect();
-                for j1p in 0..k1 {
-                    let row = &v[j1p * k2..(j1p + 1) * k2];
-                    let mut best = f64::NEG_INFINITY;
-                    let mut best_arg = 0u32;
-                    for (j2p, (&vv, &f2)) in row.iter().zip(&f2_col).enumerate() {
-                        let score = vv + f2;
-                        if score > best {
-                            best = score;
-                            best_arg = j2p as u32;
-                        }
-                    }
-                    w[j1p * m2 + j2] = best;
-                    w_arg[j1p * m2 + j2] = best_arg;
-                }
-            }
-
-            // Pass 2 — fold chain 1:
-            // V'[j1, j2] = max_{j1p} W[j1p, j2] + f1(j1p → j1), plus
-            // emissions and coupling.
-            let mut v_new = vec![f64::NEG_INFINITY; m1 * m2];
-            let mut back = vec![0u32; m1 * m2];
-            for (j1, &s1) in cur1.states.iter().enumerate() {
-                let f1_col: Vec<f64> = (0..k1)
-                    .map(|j1p| {
-                        p.transition_score(
-                            prev1.states[j1p].activity,
-                            prev1.posturals[j1p],
-                            s1.activity,
-                            cur1.posturals[j1],
-                        )
-                    })
-                    .collect();
-                for (j2, &s2) in cur2.states.iter().enumerate() {
-                    let mut best = f64::NEG_INFINITY;
-                    let mut best_j1p = 0usize;
-                    for (j1p, &f1) in f1_col.iter().enumerate() {
-                        let score = w[j1p * m2 + j2] + f1;
-                        if score > best {
-                            best = score;
-                            best_j1p = j1p;
-                        }
-                    }
-                    let emit = cur1.emissions[j1]
-                        + cur2.emissions[j2]
-                        + p.coupling_score(s1.activity, s2.activity);
-                    v_new[j1 * m2 + j2] = best + emit;
-                    // Recover j2p chosen inside W for (best_j1p, j2).
-                    let j2p = w_arg[best_j1p * m2 + j2];
-                    back[j1 * m2 + j2] = (best_j1p as u32) * (k2 as u32) + j2p;
-                }
-            }
+            let (v_new, back) = joint_step(p, &prev1, &prev2, &v, &cur1, &cur2);
 
             v = v_new;
             backptrs.push(back);

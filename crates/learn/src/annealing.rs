@@ -1,5 +1,5 @@
 //! Deterministic annealing clustering (Rose, 1998), used by the paper
-//! (citing Muncaster & Ma [8]) to discover the representative low-level
+//! (citing Muncaster & Ma \[8\]) to discover the representative low-level
 //! observation states whose Gaussians parameterize the HDBN emissions.
 //!
 //! The algorithm performs soft (Gibbs) assignments

@@ -3,7 +3,7 @@
 //! Learning substrate for the CACE reproduction.
 //!
 //! The paper uses (i) WEKA's random forest for micro-activity classification
-//! (§VII-E), (ii) deterministic annealing clustering [8] to discover the
+//! (§VII-E), (ii) deterministic annealing clustering \[8\] to discover the
 //! low-level observation states whose Gaussians parameterize the HDBN
 //! emissions (Augmentation 4), and (iii) multivariate Gaussian observation
 //! densities. All three are implemented here from scratch.

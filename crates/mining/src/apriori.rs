@@ -2,7 +2,7 @@
 //!
 //! §V-A of the paper: "Apriori algorithm is used to identify such rules",
 //! taking `minSup` and `minConf` parameters, with `minConf = 99 %` and
-//! `minSup = 4 %` chosen to "strike [a] good balance between tolerating
+//! `minSup = 4 %` chosen to "strike \[a\] good balance between tolerating
 //! occasional inconsistencies and highlighting the viable rules".
 
 use std::collections::HashMap;

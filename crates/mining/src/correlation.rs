@@ -1,7 +1,7 @@
 //! The correlation miner's runtime half: deterministic state-space pruning.
 //!
 //! §V-B of the paper: mined rules "eliminate various infeasible state
-//! combination[s] from the HDBN". Candidates are kept factorized per user —
+//! combination\[s\] from the HDBN". Candidates are kept factorized per user —
 //! a macro-activity set plus per-dimension micro sets — so the joint state
 //! count is the product the paper's complexity argument is about, and rule
 //! application is a cheap set restriction.

@@ -1,6 +1,6 @@
 //! Context atoms, items, and transactions for association-rule mining.
 //!
-//! §V-A of the paper: "we consider each context tuple [to] consist of 94
+//! §V-A of the paper: "we consider each context tuple \[to\] consist of 94
 //! context elements (47 for current time t and 47 for the previous time
 //! instant t − 1)". An [`Item`] is one context element *of one user at one
 //! lag*; a [`Transaction`] is the set of items that held around one tick.

@@ -1,7 +1,7 @@
 //! CASAS-style multi-resident activity vocabulary.
 //!
 //! The paper's second evaluation (Fig 9) uses the CASAS multi-resident ADL
-//! dataset of Singla et al. [9]: 26 resident pairs performing fifteen
+//! dataset of Singla et al. \[9\]: 26 resident pairs performing fifteen
 //! scripted activities, several of them *joint* (performed by both residents
 //! together, e.g. moving furniture or playing checkers). The dataset exposes
 //! only ambient motion sensors — no gestural modality.

@@ -2,7 +2,7 @@
 //!
 //! The paper deploys nine iBeacons; an Android app reports the distance
 //! between each resident's smartphone and every beacon, and "trilateration
-//! … detect[s] whether the carried smartphone is inside the smart home or
+//! … detect\[s\] whether the carried smartphone is inside the smart home or
 //! not (multiple occupancy detection)" plus sub-region-level location.
 //!
 //! We place nine beacons over the one-bedroom floor plan, synthesize noisy

@@ -1,0 +1,128 @@
+//! Streaming recognition must be a faithful online rendition of the batch
+//! engine: with a lag covering the whole session, `StreamingRecognizer` is
+//! bit-identical to `CaceEngine::recognize` — decoded macros *and* the
+//! deterministic overhead accounting — for every pruning strategy.
+
+use proptest::prelude::*;
+
+use cace::behavior::session::train_test_split;
+use cace::behavior::{cace_grammar, generate_cace_dataset, Session, SessionConfig};
+use cace::core::{stream_session, CaceConfig, CaceEngine, Lag, Recognition, Strategy};
+
+fn corpus(ticks: usize, seed: u64) -> (Vec<Session>, Vec<Session>) {
+    let sessions = generate_cace_dataset(
+        &cace_grammar(),
+        1,
+        4,
+        &SessionConfig::tiny().with_ticks(ticks),
+        seed,
+    );
+    train_test_split(sessions, 0.75)
+}
+
+fn assert_identical(streamed: &Recognition, batch: &Recognition, label: &str) {
+    assert_eq!(streamed.macros, batch.macros, "{label}: macros");
+    assert_eq!(
+        streamed.states_explored, batch.states_explored,
+        "{label}: states_explored"
+    );
+    assert_eq!(
+        streamed.transition_ops, batch.transition_ops,
+        "{label}: transition_ops"
+    );
+    assert_eq!(
+        streamed.rules_fired, batch.rules_fired,
+        "{label}: rules_fired"
+    );
+    assert_eq!(
+        streamed.mean_joint_size, batch.mean_joint_size,
+        "{label}: mean_joint_size"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Random session shapes × all four strategies: an unbounded-lag
+    /// stream reproduces batch recognition bit for bit.
+    #[test]
+    fn streamed_equals_batch_across_strategies(
+        ticks in 45usize..80,
+        seed in 0u64..1_000,
+    ) {
+        let (train, test) = corpus(ticks, seed);
+        for strategy in Strategy::ALL {
+            let config = CaceConfig::default().with_strategy(strategy);
+            let engine = CaceEngine::train(&train, &config).expect("training succeeds");
+            for session in &test {
+                let batch = engine.recognize(session).expect("batch recognition");
+                let (decisions, streamed) =
+                    stream_session(&engine, session, Lag::Unbounded).expect("streamed recognition");
+                prop_assert!(decisions.is_empty(), "{strategy}: unbounded lag never emits");
+                assert_identical(&streamed, &batch, strategy.label());
+            }
+        }
+    }
+}
+
+#[test]
+fn finite_lag_covering_the_session_is_also_bit_identical() {
+    let (train, test) = corpus(70, 42);
+    for strategy in Strategy::ALL {
+        let config = CaceConfig::default().with_strategy(strategy);
+        let engine = CaceEngine::train(&train, &config).expect("training succeeds");
+        let session = &test[0];
+        let batch = engine.recognize(session).expect("batch recognition");
+        // lag == session length: no decision ever ripens mid-stream, so the
+        // decode is the full-trellis backtrack — identical to batch.
+        let (decisions, streamed) = stream_session(&engine, session, Lag::Fixed(session.len()))
+            .expect("streamed recognition");
+        assert!(decisions.is_empty(), "{strategy}: lag >= len never emits");
+        assert_identical(&streamed, &batch, strategy.label());
+    }
+}
+
+#[test]
+fn short_lag_emits_a_decision_per_ripened_tick_for_every_strategy() {
+    let (train, test) = corpus(60, 7);
+    let lag = 5;
+    for strategy in Strategy::ALL {
+        let config = CaceConfig::default().with_strategy(strategy);
+        let engine = CaceEngine::train(&train, &config).expect("training succeeds");
+        let session = &test[0];
+        let (decisions, streamed) =
+            stream_session(&engine, session, Lag::Fixed(lag)).expect("streamed recognition");
+        assert_eq!(
+            decisions.len(),
+            session.len() - lag,
+            "{strategy}: one decision per tick past the lag horizon"
+        );
+        for (i, d) in decisions.iter().enumerate() {
+            assert_eq!(d.tick, i, "{strategy}: decisions arrive in tick order");
+        }
+        // The final path embeds every already-emitted decision unchanged.
+        for d in &decisions {
+            assert_eq!(streamed.macros[0][d.tick], d.macros[0], "{strategy}");
+            assert_eq!(streamed.macros[1][d.tick], d.macros[1], "{strategy}");
+        }
+        assert_eq!(streamed.macros[0].len(), session.len(), "{strategy}");
+    }
+}
+
+#[test]
+fn short_lag_accuracy_stays_close_to_batch() {
+    let (train, test) = corpus(80, 99);
+    let engine = CaceEngine::train(&train, &CaceConfig::default()).expect("training succeeds");
+    let session = &test[0];
+    let batch = engine.recognize(session).expect("batch recognition");
+    let batch_acc = batch.accuracy(session);
+    let (_, streamed) =
+        stream_session(&engine, session, Lag::Fixed(10)).expect("streamed recognition");
+    let stream_acc = streamed.accuracy(session);
+    // Fixed-lag smoothing trades a bounded amount of accuracy for bounded
+    // latency; with a 10-tick lag the delta should be small.
+    assert!(
+        batch_acc - stream_acc <= 0.10,
+        "lag-10 accuracy {stream_acc} fell too far below batch {batch_acc}"
+    );
+}

@@ -5,7 +5,7 @@ use std::ops::Range;
 use crate::rng::TestRng;
 use crate::strategy::Strategy;
 
-/// Length specification for [`vec`]: an exact length or a half-open range.
+/// Length specification for [`vec()`]: an exact length or a half-open range.
 #[derive(Debug, Clone)]
 pub struct SizeRange {
     start: usize,
@@ -40,7 +40,7 @@ pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S
     }
 }
 
-/// The strategy returned by [`vec`].
+/// The strategy returned by [`vec()`].
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,

@@ -122,6 +122,119 @@ pub trait ParallelIterator: Sized + Sync {
     }
 }
 
+/// Conversion from `&mut Self` into a parallel iterator over mutable
+/// references (rayon's `IntoParallelRefMutIterator`).
+pub trait IntoParallelRefMutIterator<'data> {
+    /// The mutably borrowed item type.
+    type Item: 'data;
+    /// The parallel iterator produced by [`par_iter_mut`](Self::par_iter_mut).
+    type Iter;
+
+    /// Borrow `self` as a parallel iterator over `&mut Item`.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for [T] {
+    type Item = &'data mut T;
+    type Iter = ParSliceIterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> ParSliceIterMut<'data, T> {
+        ParSliceIterMut { slice: self }
+    }
+}
+
+impl<'data, T: Send + 'data> IntoParallelRefMutIterator<'data> for Vec<T> {
+    type Item = &'data mut T;
+    type Iter = ParSliceIterMut<'data, T>;
+
+    fn par_iter_mut(&'data mut self) -> ParSliceIterMut<'data, T> {
+        ParSliceIterMut { slice: self }
+    }
+}
+
+/// Parallel iterator over `&mut [T]` (rayon's `rayon::slice::IterMut`).
+///
+/// The driver hands each worker a disjoint contiguous chunk via
+/// `chunks_mut`, so mutable access never aliases — no `unsafe` needed.
+#[derive(Debug)]
+pub struct ParSliceIterMut<'data, T> {
+    slice: &'data mut [T],
+}
+
+impl<'data, T: Send> ParSliceIterMut<'data, T> {
+    /// Map each mutable reference through `f` in parallel.
+    pub fn map<R, F>(self, f: F) -> MapMut<'data, T, F>
+    where
+        R: Send,
+        F: Fn(&'data mut T) -> R + Sync,
+    {
+        MapMut {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Run `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&'data mut T) + Sync,
+    {
+        let _: Vec<()> = self.map(f).collect();
+    }
+}
+
+/// Mapped mutable parallel iterator (rayon's map over `par_iter_mut`).
+#[derive(Debug)]
+pub struct MapMut<'data, T, F> {
+    slice: &'data mut [T],
+    f: F,
+}
+
+impl<'data, T, R, F> MapMut<'data, T, F>
+where
+    T: Send,
+    R: Send,
+    F: Fn(&'data mut T) -> R + Sync,
+{
+    /// Execute the workload across worker threads and collect the results
+    /// in input order.
+    ///
+    /// `IntoIterator::into_iter` (not `iter_mut`) on the `&'data mut [T]`
+    /// chunks is load-bearing: it preserves the full `'data` lifetime the
+    /// mapper `F` was declared with, where `iter_mut` would reborrow for a
+    /// shorter local lifetime.
+    #[allow(clippy::into_iter_on_ref)]
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let n = self.slice.len();
+        let workers = crate::current_num_threads().clamp(1, n.max(1));
+        if workers <= 1 || n <= 1 {
+            let items: Vec<R> = self.slice.into_iter().map(&self.f).collect();
+            return C::from_ordered_items(items);
+        }
+        let chunk = n.div_ceil(workers);
+        let f = &self.f;
+        let mut chunks: Vec<Vec<R>> = thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .slice
+                .chunks_mut(chunk)
+                .map(|ch| scope.spawn(move || ch.into_iter().map(f).collect::<Vec<R>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(chunk) => chunk,
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .collect()
+        });
+        let mut items = Vec::with_capacity(n);
+        for c in &mut chunks {
+            items.append(c);
+        }
+        C::from_ordered_items(items)
+    }
+}
+
 /// Parallel iterator over `&[T]` (rayon's `rayon::slice::Iter`).
 #[derive(Debug)]
 pub struct ParSliceIter<'data, T> {
@@ -183,6 +296,23 @@ mod tests {
             .map(|&x| if x >= 40 { Err(x) } else { Ok(x) })
             .collect();
         assert_eq!(r, Err(40));
+    }
+
+    #[test]
+    fn par_iter_mut_mutates_in_place_and_collects_in_order() {
+        let mut xs: Vec<u64> = (0..500).collect();
+        let seen: Vec<u64> = xs
+            .par_iter_mut()
+            .map(|x| {
+                *x += 1;
+                *x
+            })
+            .collect();
+        assert_eq!(seen, (1..=500).collect::<Vec<_>>());
+        assert_eq!(xs, (1..=500).collect::<Vec<_>>());
+        xs.par_iter_mut().for_each(|x| *x *= 2);
+        assert_eq!(xs[0], 2);
+        assert_eq!(xs[499], 1000);
     }
 
     #[test]

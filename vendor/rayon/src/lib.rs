@@ -19,7 +19,9 @@ pub mod iter;
 
 /// Rayon-compatible prelude: bring the parallel-iterator traits into scope.
 pub mod prelude {
-    pub use crate::iter::{FromParallelIterator, IntoParallelRefIterator, ParallelIterator};
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
 }
 
 /// Number of worker threads a parallel operation will fan out to.
