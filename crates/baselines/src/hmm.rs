@@ -1,11 +1,15 @@
 //! The per-user flat HMM baseline \[9\].
 
 use cace_model::ModelError;
+use serde::{Deserialize, Serialize};
 
 use crate::{argmax, validate_emissions, BaselinePath, EmissionSeq};
 
 /// A flat HMM over macro activities.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Serializable so a trained NH engine can be persisted alongside the
+/// hierarchical tables (the `CaceEngine` snapshot embeds one).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Hmm {
     n: usize,
     log_prior: Vec<f64>,

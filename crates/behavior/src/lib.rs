@@ -36,6 +36,6 @@ pub use casas::{casas_grammar, generate_casas_dataset, CasasConfig};
 pub use grammar::{cace_grammar, ActivitySpec, Grammar};
 pub use schedule::{Episode, JointSchedule};
 pub use session::{
-    generate_cace_dataset, simulate_session, ObservedTick, Session, SessionConfig, SessionTick,
-    UserObservation,
+    generate_cace_dataset, simulate_session, train_test_split, try_train_test_split, ObservedTick,
+    Session, SessionConfig, SessionTick, UserObservation,
 };

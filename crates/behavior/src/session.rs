@@ -4,7 +4,7 @@
 //! the equivalent of one recorded morning in one smart home of the paper's
 //! deployment.
 
-use cace_model::Room;
+use cace_model::{ModelError, Room};
 use cace_sensing::{
     BeaconEstimate, GroundTruthTick, NoiseConfig, ObjectKind, SensorTick, SmartHome, UserTickTruth,
 };
@@ -225,23 +225,55 @@ pub fn generate_cace_dataset(
     sessions
 }
 
-/// Splits sessions into (train, test) by session index.
+/// Splits sessions into (train, test) by session index, guaranteeing both
+/// halves are non-empty.
+///
+/// The rounded split point is clamped to `[1, len − 1]`, so even extreme
+/// fractions (e.g. `0.01` over three sessions) leave at least one session
+/// on each side.
+///
+/// # Errors
+/// [`ModelError::InvalidConfig`] if `train_fraction` is outside `(0, 1)`
+/// (NaN included), and [`ModelError::InsufficientData`] for fewer than two
+/// sessions — one session cannot populate both halves, and an empty input
+/// cannot populate either.
+pub fn try_train_test_split(
+    sessions: Vec<Session>,
+    train_fraction: f64,
+) -> Result<(Vec<Session>, Vec<Session>), ModelError> {
+    if !(train_fraction > 0.0 && train_fraction < 1.0) {
+        return Err(ModelError::InvalidConfig(format!(
+            "train fraction must be in (0, 1), got {train_fraction}"
+        )));
+    }
+    let n = sessions.len();
+    if n < 2 {
+        return Err(ModelError::InsufficientData {
+            what: "train/test split (both halves must be non-empty)".into(),
+            available: n,
+            required: 2,
+        });
+    }
+    let n_train = (((n as f64) * train_fraction).round() as usize).clamp(1, n - 1);
+    let mut train = sessions;
+    let test = train.split_off(n_train);
+    Ok((train, test))
+}
+
+/// Panicking convenience wrapper around [`try_train_test_split`] for tests,
+/// examples, and benches where a bad split is a programming error.
 ///
 /// # Panics
-/// Panics if `train_fraction` is outside `(0, 1)`.
+/// Panics with the underlying [`ModelError`] message if `train_fraction`
+/// is outside `(0, 1)` or fewer than two sessions were provided.
 pub fn train_test_split(
     sessions: Vec<Session>,
     train_fraction: f64,
 ) -> (Vec<Session>, Vec<Session>) {
-    assert!(
-        train_fraction > 0.0 && train_fraction < 1.0,
-        "train fraction must be in (0, 1)"
-    );
-    let n_train = ((sessions.len() as f64) * train_fraction).round().max(1.0) as usize;
-    let n_train = n_train.min(sessions.len().saturating_sub(1)).max(1);
-    let mut train = sessions;
-    let test = train.split_off(n_train);
-    (train, test)
+    match try_train_test_split(sessions, train_fraction) {
+        Ok(split) => split,
+        Err(e) => panic!("train_test_split: {e}"),
+    }
 }
 
 #[cfg(test)]
@@ -317,6 +349,46 @@ mod tests {
     #[should_panic(expected = "train fraction")]
     fn split_rejects_bad_fraction() {
         train_test_split(Vec::new(), 1.5);
+    }
+
+    #[test]
+    fn split_guarantees_both_halves_nonempty() {
+        let g = cace_grammar();
+        // Extreme fractions over a small set must still leave ≥ 1 session
+        // on each side instead of silently returning an empty half.
+        for fraction in [0.01, 0.5, 0.99] {
+            let sessions = generate_cace_dataset(&g, 1, 3, &SessionConfig::tiny(), 6);
+            let (train, test) = try_train_test_split(sessions, fraction).unwrap();
+            assert!(!train.is_empty(), "fraction {fraction}: empty train");
+            assert!(!test.is_empty(), "fraction {fraction}: empty test");
+            assert_eq!(train.len() + test.len(), 3);
+        }
+    }
+
+    #[test]
+    fn split_rejects_degenerate_inputs_with_clear_errors() {
+        let g = cace_grammar();
+        // Empty input: previously a cryptic `split_off` index panic.
+        assert!(matches!(
+            try_train_test_split(Vec::new(), 0.75),
+            Err(ModelError::InsufficientData { available: 0, .. })
+        ));
+        // One session: previously returned an empty test set.
+        let one = generate_cace_dataset(&g, 1, 1, &SessionConfig::tiny(), 7);
+        assert!(matches!(
+            try_train_test_split(one, 0.75),
+            Err(ModelError::InsufficientData { available: 1, .. })
+        ));
+        // Out-of-range and NaN fractions.
+        let two = generate_cace_dataset(&g, 1, 2, &SessionConfig::tiny(), 8);
+        assert!(matches!(
+            try_train_test_split(two.clone(), 0.0),
+            Err(ModelError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            try_train_test_split(two, f64::NAN),
+            Err(ModelError::InvalidConfig(_))
+        ));
     }
 
     #[test]

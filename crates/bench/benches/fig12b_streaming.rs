@@ -62,7 +62,9 @@ fn bench(c: &mut Criterion) {
         let inputs: Vec<Option<&ObservedTick>> = vec![Some(&session.ticks[t].observed); homes];
         router.push_round(&inputs).unwrap();
     }
-    router.finish().unwrap();
+    for (_, result) in router.finish() {
+        result.unwrap();
+    }
     let wall = t0.elapsed().as_secs_f64();
     println!(
         "router: {homes} homes x {rounds} ticks in {wall:.3} s = {:.0} ticks/s",

@@ -1,0 +1,129 @@
+//! **Training & persistence** — the train-once/serve-many pipeline costs:
+//! EM throughput with the E-step fanned across cores (sequential vs
+//! `RAYON_NUM_THREADS=4`) and engine-snapshot save/load latency.
+//!
+//! The paper trains offline and never revisits the cost; serving millions
+//! of homes does — retraining on fresh data is gated by `LearnParamsEM`
+//! (forward–backward over every sequence per iteration, the slowest
+//! training stage), and model rollout is gated by snapshot round-trip
+//! latency. Expected shape: the E-step scales ~linearly with cores until
+//! the per-sequence grain runs out (the fan-out unit is one session), and
+//! the snapshot round-trip stays in the low milliseconds — far below a
+//! training run — so "publish to registry, reload in N serving processes"
+//! is effectively free.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cace_bench::{cace_corpus, header};
+use cace_core::{CaceConfig, CaceEngine};
+use cace_hdbn::{
+    e_step, fit_em_shared, EmConfig, HdbnConfig, HdbnParams, MicroCandidate, SingleHdbn, TickInput,
+};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// EM tick inputs synthesized from ground truth: 8 candidates per user per
+/// tick, the true micro tuple favored — the same shape `CaceEngine::train`
+/// feeds `LearnParamsEM`, without depending on engine-internal preparers.
+fn em_inputs(sessions: &[cace_behavior::Session]) -> Vec<Vec<TickInput>> {
+    sessions
+        .iter()
+        .map(|session| {
+            session
+                .ticks
+                .iter()
+                .map(|tick| {
+                    let cands = |u: usize| -> Vec<MicroCandidate> {
+                        let truth = tick.truth[u].micro;
+                        (0..8)
+                            .map(|k| MicroCandidate {
+                                postural: (truth.postural.index() + k) % 6,
+                                gestural: Some((truth.gestural.index() + k) % 5),
+                                location: (truth.location.index() + k) % 14,
+                                obs_loglik: -(k as f64) * 1.5,
+                            })
+                            .collect()
+                    };
+                    TickInput {
+                        candidates: [cands(0), cands(1)],
+                        macro_candidates: [None, None],
+                        macro_bonus: Vec::new(),
+                    }
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench(c: &mut Criterion) {
+    let (train, test) = cace_corpus(1, 8, 120, 15003);
+    let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+    let params = Arc::new(
+        HdbnParams::new(engine.stats().clone(), HdbnConfig::default())
+            .expect("trained stats are valid"),
+    );
+    let inputs = em_inputs(&train);
+    let model = SingleHdbn::from_shared(Arc::clone(&params));
+
+    header("Training & persistence — parallel EM + snapshot round-trip");
+    println!(
+        "corpus: {} sessions x 120 ticks = {} EM sequences (2 chains each)",
+        train.len(),
+        inputs.len()
+    );
+
+    // One-shot wall-clock headline for a full 3-iteration EM run per
+    // worker count (criterion's own loop would thrash the env var).
+    for workers in ["1", "4"] {
+        std::env::set_var("RAYON_NUM_THREADS", workers);
+        let t0 = Instant::now();
+        let outcome = fit_em_shared(
+            Arc::clone(&params),
+            &inputs,
+            &EmConfig {
+                max_iters: 3,
+                tol: 0.0,
+                laplace: 0.5,
+            },
+        )
+        .unwrap();
+        let wall = t0.elapsed().as_secs_f64();
+        println!(
+            "fit_em (3 iters) RAYON_NUM_THREADS={workers}: {wall:.3} s (final ll {:.1})",
+            outcome.log_likelihoods.last().unwrap()
+        );
+        black_box(outcome);
+    }
+
+    // Criterion targets: one E-step pass, sequential vs 4 workers.
+    std::env::set_var("RAYON_NUM_THREADS", "1");
+    c.bench_function("train_persist/e_step_seq1", |b| {
+        b.iter(|| e_step(black_box(&model), black_box(&inputs)).unwrap())
+    });
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    c.bench_function("train_persist/e_step_par4", |b| {
+        b.iter(|| e_step(black_box(&model), black_box(&inputs)).unwrap())
+    });
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    // Snapshot save/load latency (string round-trip; the fs layer adds
+    // only the read/write syscalls).
+    let snapshot = engine.to_snapshot_string();
+    println!("snapshot size: {:.1} KiB", snapshot.len() as f64 / 1024.0);
+    c.bench_function("train_persist/snapshot_save", |b| {
+        b.iter(|| black_box(engine.to_snapshot_string()))
+    });
+    c.bench_function("train_persist/snapshot_load", |b| {
+        b.iter(|| CaceEngine::from_snapshot_str(black_box(&snapshot)).unwrap())
+    });
+
+    let reloaded = CaceEngine::from_snapshot_str(&snapshot).unwrap();
+    let a = engine.recognize(&test[0]).unwrap();
+    let b = reloaded.recognize(&test[0]).unwrap();
+    assert_eq!(a.macros, b.macros, "reloaded engine must serve identically");
+    println!("reload verified: recognize output identical to trained engine");
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

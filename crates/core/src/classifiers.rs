@@ -9,9 +9,12 @@ use cace_behavior::Session;
 use cace_features::{extract_session, SessionFeatures};
 use cace_learn::{ForestConfig, RandomForest};
 use cace_model::{Gestural, ModelError, Postural};
+use serde::{Deserialize, Serialize};
 
 /// Trained micro classifiers plus the NH macro classifier.
-#[derive(Debug, Clone)]
+///
+/// Serializable as part of the engine snapshot (train once, serve many).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MicroClassifiers {
     /// Postural forest (smartphone features).
     pub postural: RandomForest,

@@ -7,7 +7,8 @@ use cace_baselines::Hmm;
 use cace_behavior::Session;
 use cace_features::SessionFeatures;
 use cace_hdbn::{
-    fit_em as hdbn_fit_em, CoupledHdbn, EmConfig, HdbnConfig, HdbnParams, SingleHdbn, TickInput,
+    fit_em_shared as hdbn_fit_em_shared, CoupledHdbn, EmConfig, HdbnConfig, HdbnParams, SingleHdbn,
+    TickInput,
 };
 use cace_mining::constraint::{ConstraintMiner, LabeledSequence};
 use cace_mining::rules::mine_negative_rules;
@@ -25,7 +26,7 @@ use crate::strategy::Strategy;
 use crate::transactions::corpus;
 
 /// Engine configuration.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
 pub struct CaceConfig {
     /// Pruning strategy (Fig 11).
     pub strategy: Strategy,
@@ -355,16 +356,17 @@ impl CaceEngine {
             nh_hmm,
         };
 
-        // Optional EM refinement over the training tick inputs. EM needs
-        // an owned parameter set to mutate, so the CPT tables are cloned
-        // out of the Arc here and nowhere else.
+        // Optional EM refinement over the training tick inputs. The initial
+        // tables are lent to EM through the same `Arc` the engine serves
+        // from; EM's E-step fans sequences across cores and only the
+        // M-step allocates fresh tables.
         if config.run_em && config.strategy.hierarchical() {
             let em_inputs: Vec<Vec<TickInput>> = sessions
                 .iter()
                 .zip(&features)
                 .map(|(s, f)| engine.tick_inputs_unpruned(s, f, config.beam))
                 .collect();
-            let outcome = hdbn_fit_em((*engine.params).clone(), &em_inputs, &config.em)?;
+            let outcome = hdbn_fit_em_shared(Arc::clone(&engine.params), &em_inputs, &config.em)?;
             engine.params = Arc::new(outcome.params);
         }
 

@@ -10,9 +10,10 @@
 use cace_behavior::ObservedTick;
 use cace_mining::item::{Atom, Item};
 use cace_mining::{AtomSpace, ItemId};
+use serde::{Deserialize, Serialize};
 
 /// Confidence thresholds for promoting classifier outputs to evidence.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EvidenceConfig {
     /// Minimum posterior probability to assert a postural state.
     pub postural_confidence: f64,

@@ -43,6 +43,7 @@ pub mod classifiers;
 pub mod engine;
 pub mod evidence;
 mod nh;
+pub mod snapshot;
 pub mod statespace;
 pub mod strategy;
 pub mod stream;
@@ -53,4 +54,4 @@ pub use cace_hdbn::Lag;
 pub use classifiers::MicroClassifiers;
 pub use engine::{CaceConfig, CaceEngine, Recognition};
 pub use strategy::Strategy;
-pub use stream::{stream_session, StreamDecision, StreamRouter, StreamingRecognizer};
+pub use stream::{stream_session, HomeRound, StreamDecision, StreamRouter, StreamingRecognizer};

@@ -1,0 +1,267 @@
+//! Engine snapshots: persist a trained [`CaceEngine`] and reload it in a
+//! fresh serving process — the "train once, serve many" half of the
+//! paper's pipeline at production scale.
+//!
+//! A snapshot is a single text file:
+//!
+//! ```text
+//! CACE-SNAPSHOT v1 fnv1a64=<16-hex checksum of payload>
+//! <one-line JSON payload>
+//! ```
+//!
+//! The payload serializes everything recognition depends on — the engine
+//! configuration, atom space, trained forests, mined rule set, the
+//! constraint miner's statistics, the (possibly EM-refined) HDBN
+//! parameters, and the NH baseline tables — through the `serde` shim's
+//! lossless JSON backend (finite `f64`s round-trip bit-exactly). Derived
+//! artifacts are *rebuilt* on load rather than stored: the HDBN log tables
+//! re-derive from `(stats, config)` and the pruning engine from the rule
+//! set, so a loaded engine's `recognize`/`stream` output is bit-identical
+//! to the engine that was saved (`tests/persistence_roundtrip.rs` asserts
+//! this across all four strategies).
+
+use std::fs;
+use std::path::Path;
+use std::sync::Arc;
+
+use cace_hdbn::HdbnParams;
+use cace_mining::PruningEngine;
+use cace_model::ModelError;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::CaceEngine;
+
+/// Leading magic token of the header line.
+const MAGIC: &str = "CACE-SNAPSHOT";
+/// Current snapshot format version.
+const VERSION: u32 = 1;
+
+/// 64-bit FNV-1a over the payload bytes (fast, dependency-free integrity
+/// check — corruption detection, not cryptographic authentication).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn persist_err(what: impl Into<String>) -> ModelError {
+    ModelError::Persistence { what: what.into() }
+}
+
+/// Deserializes one named field of the snapshot payload.
+fn field<T: Deserialize>(payload: &serde::Value, name: &str) -> Result<T, ModelError> {
+    let value = payload
+        .expect_field(name, "engine snapshot")
+        .map_err(|e| persist_err(e.to_string()))?;
+    T::deserialize(value).map_err(|e| persist_err(format!("field `{name}`: {e}")))
+}
+
+impl CaceEngine {
+    /// Renders the trained engine as a self-contained snapshot string
+    /// (versioned header + checksum + JSON payload).
+    pub fn to_snapshot_string(&self) -> String {
+        let payload = serde::json::value_to_string(&serde::Value::Map(vec![
+            ("config".to_string(), self.config.serialize()),
+            ("space".to_string(), self.space.serialize()),
+            ("n_macro".to_string(), self.n_macro.serialize()),
+            ("has_gestural".to_string(), self.has_gestural.serialize()),
+            ("classifiers".to_string(), self.classifiers.serialize()),
+            ("rules".to_string(), self.rules.serialize()),
+            ("stats".to_string(), self.stats.serialize()),
+            ("params".to_string(), self.params.as_ref().serialize()),
+            ("nh_log_trans".to_string(), self.nh_log_trans.serialize()),
+            ("nh_hmm".to_string(), self.nh_hmm.serialize()),
+        ]));
+        let checksum = fnv1a64(payload.as_bytes());
+        format!("{MAGIC} v{VERSION} fnv1a64={checksum:016x}\n{payload}")
+    }
+
+    /// Reconstructs an engine from [`to_snapshot_string`](Self::to_snapshot_string) output.
+    ///
+    /// # Errors
+    /// [`ModelError::Persistence`] on a malformed header, an unsupported
+    /// version, a checksum mismatch, or an invalid payload.
+    pub fn from_snapshot_str(text: &str) -> Result<Self, ModelError> {
+        let (header, payload) = text
+            .split_once('\n')
+            .ok_or_else(|| persist_err("snapshot has no header line"))?;
+        // Tolerate one trailing newline (editors, `>>`, eol normalization):
+        // the payload is a single JSON line, so a bare line ending after it
+        // cannot be content — strip it before hashing.
+        let payload = payload
+            .strip_suffix('\n')
+            .map(|p| p.strip_suffix('\r').unwrap_or(p))
+            .unwrap_or(payload);
+        let mut tokens = header.split_whitespace();
+        if tokens.next() != Some(MAGIC) {
+            return Err(persist_err(format!(
+                "not a {MAGIC} file (header `{header}`)"
+            )));
+        }
+        let version = tokens
+            .next()
+            .and_then(|t| t.strip_prefix('v'))
+            .and_then(|t| t.parse::<u32>().ok())
+            .ok_or_else(|| persist_err(format!("malformed version in header `{header}`")))?;
+        if version != VERSION {
+            return Err(persist_err(format!(
+                "unsupported snapshot version {version} (this build reads v{VERSION})"
+            )));
+        }
+        let stated = tokens
+            .next()
+            .and_then(|t| t.strip_prefix("fnv1a64="))
+            .and_then(|t| u64::from_str_radix(t, 16).ok())
+            .ok_or_else(|| persist_err(format!("malformed checksum in header `{header}`")))?;
+        let actual = fnv1a64(payload.as_bytes());
+        if stated != actual {
+            return Err(persist_err(format!(
+                "checksum mismatch: header says {stated:016x}, payload hashes to {actual:016x}"
+            )));
+        }
+
+        let payload = serde::json::value_from_str(payload)
+            .map_err(|e| persist_err(format!("payload parse error: {e}")))?;
+        let config: crate::engine::CaceConfig = field(&payload, "config")?;
+        let rules: cace_mining::RuleSet = field(&payload, "rules")?;
+        // Derived state is rebuilt, not stored: the pruning engine from the
+        // rules, the HDBN log tables (inside `HdbnParams::deserialize`)
+        // from the mined statistics.
+        let pruner = if config.strategy.uses_correlation_pruning() {
+            Some(PruningEngine::new(rules.clone()))
+        } else {
+            None
+        };
+        let params: HdbnParams = field(&payload, "params")?;
+        Ok(Self {
+            space: field(&payload, "space")?,
+            n_macro: field(&payload, "n_macro")?,
+            has_gestural: field(&payload, "has_gestural")?,
+            classifiers: field(&payload, "classifiers")?,
+            stats: field(&payload, "stats")?,
+            params: Arc::new(params),
+            nh_log_trans: field(&payload, "nh_log_trans")?,
+            nh_hmm: field(&payload, "nh_hmm")?,
+            config,
+            rules,
+            pruner,
+        })
+    }
+
+    /// Writes the trained engine to `path` as a versioned, checksummed
+    /// snapshot.
+    ///
+    /// # Errors
+    /// [`ModelError::Persistence`] on I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ModelError> {
+        let path = path.as_ref();
+        fs::write(path, self.to_snapshot_string())
+            .map_err(|e| persist_err(format!("writing {}: {e}", path.display())))
+    }
+
+    /// Loads an engine previously written by [`save`](Self::save) —
+    /// typically in a fresh serving process that never saw the training
+    /// data.
+    ///
+    /// # Errors
+    /// [`ModelError::Persistence`] on I/O failure or any verification
+    /// failure described in [`from_snapshot_str`](Self::from_snapshot_str).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ModelError> {
+        let path = path.as_ref();
+        let text = fs::read_to_string(path)
+            .map_err(|e| persist_err(format!("reading {}: {e}", path.display())))?;
+        Self::from_snapshot_str(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CaceConfig;
+    use crate::strategy::Strategy;
+    use cace_behavior::{cace_grammar, generate_cace_dataset, SessionConfig};
+
+    fn tiny_engine(strategy: Strategy) -> (CaceEngine, Vec<cace_behavior::Session>) {
+        let sessions = generate_cace_dataset(
+            &cace_grammar(),
+            1,
+            3,
+            &SessionConfig::tiny().with_ticks(60),
+            91,
+        );
+        let engine = CaceEngine::train(
+            &sessions[..2],
+            &CaceConfig::default().with_strategy(strategy),
+        )
+        .unwrap();
+        (engine, sessions)
+    }
+
+    #[test]
+    fn snapshot_string_round_trips_with_identical_recognition() {
+        let (engine, sessions) = tiny_engine(Strategy::CorrelationConstraint);
+        let text = engine.to_snapshot_string();
+        let loaded = CaceEngine::from_snapshot_str(&text).unwrap();
+        let a = engine.recognize(&sessions[2]).unwrap();
+        let b = loaded.recognize(&sessions[2]).unwrap();
+        assert_eq!(a.macros, b.macros);
+        assert_eq!(a.states_explored, b.states_explored);
+        assert_eq!(a.transition_ops, b.transition_ops);
+        assert_eq!(a.rules_fired, b.rules_fired);
+        assert_eq!(a.mean_joint_size.to_bits(), b.mean_joint_size.to_bits());
+    }
+
+    #[test]
+    fn header_is_versioned_and_checksummed() {
+        let (engine, _) = tiny_engine(Strategy::NaiveCorrelation);
+        let text = engine.to_snapshot_string();
+        assert!(text.starts_with("CACE-SNAPSHOT v1 fnv1a64="));
+
+        // Flip one payload byte → checksum mismatch.
+        let mut corrupted = text.clone();
+        let flip_at = corrupted.rfind("0.").unwrap_or(corrupted.len() - 2);
+        corrupted.replace_range(flip_at..flip_at + 1, "9");
+        assert!(matches!(
+            CaceEngine::from_snapshot_str(&corrupted),
+            Err(ModelError::Persistence { .. })
+        ));
+
+        // Wrong version.
+        let wrong = text.replacen("v1", "v9", 1);
+        let err = CaceEngine::from_snapshot_str(&wrong).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+
+        // Not a snapshot at all.
+        assert!(matches!(
+            CaceEngine::from_snapshot_str("hello\nworld"),
+            Err(ModelError::Persistence { .. })
+        ));
+
+        // One appended trailing newline (editor save, `>>`, eol
+        // normalization) must still load.
+        assert!(CaceEngine::from_snapshot_str(&format!("{text}\n")).is_ok());
+        assert!(CaceEngine::from_snapshot_str(&format!("{text}\r\n")).is_ok());
+        // But not two — that is content corruption.
+        assert!(CaceEngine::from_snapshot_str(&format!("{text}\n\n")).is_err());
+    }
+
+    #[test]
+    fn save_and_load_via_filesystem() {
+        let (engine, sessions) = tiny_engine(Strategy::NaiveHmm);
+        let path =
+            std::env::temp_dir().join(format!("cace_snapshot_test_{}.cace", std::process::id()));
+        engine.save(&path).unwrap();
+        let loaded = CaceEngine::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let a = engine.recognize(&sessions[2]).unwrap();
+        let b = loaded.recognize(&sessions[2]).unwrap();
+        assert_eq!(a.macros, b.macros);
+        assert!(matches!(
+            CaceEngine::load(&path),
+            Err(ModelError::Persistence { .. })
+        ));
+    }
+}

@@ -2,8 +2,10 @@
 
 use std::fmt;
 
+use serde::{Deserialize, Serialize};
+
 /// Which combination of miners and coupling the engine runs with (Fig 11).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum Strategy {
     /// **NH** — Naive-HMM: exhaustive flat HMM per user over the unpruned
     /// (macro × micro-beam) product state space, with the macro label

@@ -93,6 +93,12 @@ pub struct StreamingRecognizer<'a> {
     ncr_prev_sqrt: u64,
     ncr_ops: u64,
     wall_seconds: f64,
+    /// Fault injection: fail the push of this tick index. The mining
+    /// layer's never-empty-a-dimension guards make an organic decode
+    /// failure unreachable from a well-formed engine, so the router's
+    /// failure containment is exercised through this hook.
+    #[cfg(test)]
+    poison_tick: Option<usize>,
 }
 
 impl CaceEngine {
@@ -130,6 +136,8 @@ impl CaceEngine {
             ncr_prev_sqrt: 0,
             ncr_ops: 0,
             wall_seconds: 0.0,
+            #[cfg(test)]
+            poison_tick: None,
         }
     }
 }
@@ -152,6 +160,10 @@ impl StreamingRecognizer<'_> {
     /// Propagates an emptied per-tick state space
     /// ([`ModelError::EmptyStateSpace`]).
     pub fn push(&mut self, observed: &ObservedTick) -> Result<Option<StreamDecision>, ModelError> {
+        #[cfg(test)]
+        if self.poison_tick == Some(self.pushed) {
+            return Err(ModelError::EmptyStateSpace { tick: self.pushed });
+        }
         let start = Instant::now();
         let features = extract_tick(observed);
         let preparer = self.engine.runtime_preparer();
@@ -279,6 +291,42 @@ impl StreamingRecognizer<'_> {
     }
 }
 
+/// Per-home outcome of one [`StreamRouter::push_round`].
+#[derive(Debug, Clone)]
+pub enum HomeRound {
+    /// The home's stream advanced; a ripened fixed-lag decision may have
+    /// been emitted.
+    Advanced(Option<StreamDecision>),
+    /// The home's tick failed recognition this round. The home is now
+    /// quarantined: later rounds skip it, and [`StreamRouter::finish`]
+    /// reports this error instead of a [`Recognition`].
+    Failed(ModelError),
+    /// The home was quarantined by an earlier round; its tick (if any) was
+    /// not delivered.
+    Quarantined,
+}
+
+impl HomeRound {
+    /// The decision of an advanced home (`None` for failed/quarantined
+    /// homes as well as rounds that ripened nothing).
+    pub fn decision(&self) -> Option<StreamDecision> {
+        match self {
+            HomeRound::Advanced(d) => *d,
+            _ => None,
+        }
+    }
+}
+
+/// One home slot inside the router.
+struct Home<'a> {
+    id: u64,
+    stream: StreamingRecognizer<'a>,
+    /// The first recognition error this home hit, if any. A faulted home
+    /// is quarantined: its stream stops receiving ticks (so the *other*
+    /// homes keep serving) and `finish` surfaces the fault.
+    fault: Option<ModelError>,
+}
+
 /// Multiplexes many concurrent homes' tick streams over rayon.
 ///
 /// Each home owns an independent [`StreamingRecognizer`]; a
@@ -286,8 +334,14 @@ impl StreamingRecognizer<'_> {
 /// cores while every recognizer aliases the one read-only trained engine.
 /// Throughput therefore scales with cores × homes, which is the serving
 /// story `examples/streaming_demo.rs` measures.
+///
+/// Failures are isolated per home: a tick that empties one home's state
+/// space quarantines *that* home (reported as [`HomeRound::Failed`], then
+/// [`HomeRound::Quarantined`]) while every other home's stream keeps
+/// advancing — no home is left desynchronized by a neighbour's bad sensor
+/// data, and the serving loop never panics on malformed rounds.
 pub struct StreamRouter<'a> {
-    homes: Vec<(u64, StreamingRecognizer<'a>)>,
+    homes: Vec<Home<'a>>,
 }
 
 impl<'a> StreamRouter<'a> {
@@ -308,10 +362,14 @@ impl<'a> StreamRouter<'a> {
     /// Registers a home's stream. Ids are caller-chosen and reported back
     /// by [`finish`](Self::finish).
     pub fn add_home(&mut self, id: u64, stream: StreamingRecognizer<'a>) {
-        self.homes.push((id, stream));
+        self.homes.push(Home {
+            id,
+            stream,
+            fault: None,
+        });
     }
 
-    /// Number of homes currently routed.
+    /// Number of homes currently routed (healthy and quarantined).
     pub fn len(&self) -> usize {
         self.homes.len()
     }
@@ -321,51 +379,81 @@ impl<'a> StreamRouter<'a> {
         self.homes.is_empty()
     }
 
-    /// Delivers one round of ticks — `inputs[i]` to home `i`, `None` for a
-    /// home with no tick this round — in parallel across all cores.
-    /// Returns each home's ripened decision, aligned with `inputs`.
-    ///
-    /// # Errors
-    /// The first (in home order) per-home recognition failure.
-    pub fn push_round(
-        &mut self,
-        inputs: &[Option<&ObservedTick>],
-    ) -> Result<Vec<Option<StreamDecision>>, ModelError> {
-        assert_eq!(
-            inputs.len(),
-            self.homes.len(),
-            "one input slot per routed home"
-        );
-        let mut work: Vec<(&mut StreamingRecognizer<'a>, Option<&ObservedTick>)> = self
-            .homes
-            .iter_mut()
-            .map(|(_, s)| s)
-            .zip(inputs.iter().copied())
-            .collect();
-        work.par_iter_mut()
-            .map(|(stream, tick)| match tick {
-                Some(t) => stream.push(t),
-                None => Ok(None),
-            })
+    /// Ids and errors of the homes quarantined so far, in registration
+    /// order.
+    pub fn quarantined(&self) -> Vec<(u64, &ModelError)> {
+        self.homes
+            .iter()
+            .filter_map(|h| h.fault.as_ref().map(|e| (h.id, e)))
             .collect()
     }
 
-    /// Finishes every stream in parallel, returning `(home id,`
-    /// [`Recognition`]`)` pairs in registration order.
+    /// Delivers one round of ticks — `inputs[i]` to home `i`, `None` for a
+    /// home with no tick this round — in parallel across all cores.
+    /// Returns each home's outcome, aligned with `inputs`.
+    ///
+    /// A failing home is quarantined and reported in its slot; the other
+    /// homes' streams still advance in the same round, so the router never
+    /// desynchronizes (`ticks_pushed` only ever differs for quarantined
+    /// homes).
     ///
     /// # Errors
-    /// The first (in home order) per-home finalization failure.
-    pub fn finish(self) -> Result<Vec<(u64, Recognition)>, ModelError> {
-        let mut slots: Vec<(u64, Option<StreamingRecognizer<'a>>)> = self
+    /// [`ModelError::LengthMismatch`] when `inputs` does not have exactly
+    /// one slot per routed home (per-home failures are *not* errors here —
+    /// they come back as [`HomeRound::Failed`]).
+    pub fn push_round(
+        &mut self,
+        inputs: &[Option<&ObservedTick>],
+    ) -> Result<Vec<HomeRound>, ModelError> {
+        if inputs.len() != self.homes.len() {
+            return Err(ModelError::LengthMismatch {
+                what: "router input slots vs routed homes".into(),
+                left: inputs.len(),
+                right: self.homes.len(),
+            });
+        }
+        let mut work: Vec<(&mut Home<'a>, Option<&ObservedTick>)> =
+            self.homes.iter_mut().zip(inputs.iter().copied()).collect();
+        let outcomes: Vec<HomeRound> = work
+            .par_iter_mut()
+            .map(|(home, tick)| {
+                if home.fault.is_some() {
+                    return HomeRound::Quarantined;
+                }
+                match tick {
+                    None => HomeRound::Advanced(None),
+                    Some(t) => match home.stream.push(t) {
+                        Ok(decision) => HomeRound::Advanced(decision),
+                        Err(e) => {
+                            home.fault = Some(e.clone());
+                            HomeRound::Failed(e)
+                        }
+                    },
+                }
+            })
+            .collect();
+        Ok(outcomes)
+    }
+
+    /// Finishes every stream in parallel, returning per-home results in
+    /// registration order: the session-level [`Recognition`] for healthy
+    /// homes, the quarantining error for faulted ones (finalization
+    /// failures of healthy homes are likewise reported in their slot).
+    pub fn finish(self) -> Vec<(u64, Result<Recognition, ModelError>)> {
+        let mut slots: Vec<(u64, Option<ModelError>, Option<StreamingRecognizer<'a>>)> = self
             .homes
             .into_iter()
-            .map(|(id, s)| (id, Some(s)))
+            .map(|h| (h.id, h.fault, Some(h.stream)))
             .collect();
         slots
             .par_iter_mut()
-            .map(|(id, slot)| {
+            .map(|(id, fault, slot)| {
                 let stream = slot.take().expect("finish visits each slot once");
-                stream.finish().map(|r| (*id, r))
+                let result = match fault.take() {
+                    Some(e) => Err(e),
+                    None => stream.finish(),
+                };
+                (*id, result)
             })
             .collect()
     }
@@ -465,15 +553,114 @@ mod tests {
                 .iter()
                 .map(|s| s.ticks.get(t).map(|tick| &tick.observed))
                 .collect();
-            router.push_round(&inputs).unwrap();
+            let round = router.push_round(&inputs).unwrap();
+            assert!(round.iter().all(|r| matches!(r, HomeRound::Advanced(_))));
         }
-        let finished = router.finish().unwrap();
+        assert!(router.quarantined().is_empty());
+        let finished = router.finish();
         assert_eq!(finished.len(), test.len());
-        for ((id, streamed), session) in finished.iter().zip(&test) {
+        for ((id, result), session) in finished.iter().zip(&test) {
             assert!(*id >= 100);
+            let streamed = result.as_ref().unwrap();
             let batch = engine.recognize(session).unwrap();
             assert_eq!(streamed.macros, batch.macros);
         }
+    }
+
+    #[test]
+    fn router_rejects_mismatched_slot_count_without_panicking() {
+        let (train, test) = corpus();
+        let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+        let mut router = StreamRouter::with_homes(&engine, 2, Lag::Unbounded);
+        let inputs = vec![Some(&test[0].ticks[0].observed)];
+        assert!(matches!(
+            router.push_round(&inputs),
+            Err(ModelError::LengthMismatch {
+                left: 1,
+                right: 2,
+                ..
+            })
+        ));
+        // The malformed round must not have advanced anyone.
+        let ok_inputs = vec![Some(&test[0].ticks[0].observed), None];
+        let round = router.push_round(&ok_inputs).unwrap();
+        assert!(matches!(round[0], HomeRound::Advanced(_)));
+    }
+
+    #[test]
+    fn router_quarantines_failing_home_and_keeps_serving_the_rest() {
+        let (train, test) = corpus();
+        let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+
+        let poison_at = 3usize;
+        let mut poisoned_stream = engine.stream(Lag::Unbounded);
+        poisoned_stream.poison_tick = Some(poison_at);
+
+        let mut router = StreamRouter::new();
+        router.add_home(7, engine.stream(Lag::Unbounded));
+        router.add_home(8, poisoned_stream);
+        router.add_home(9, engine.stream(Lag::Unbounded));
+
+        let session = &test[0];
+        for (t, tick) in session.ticks.iter().enumerate() {
+            let inputs = vec![Some(&tick.observed); 3];
+            let round = router.push_round(&inputs).unwrap();
+            // The healthy homes advance on every round, including the one
+            // where their neighbour fails.
+            assert!(matches!(round[0], HomeRound::Advanced(_)), "tick {t}");
+            assert!(matches!(round[2], HomeRound::Advanced(_)), "tick {t}");
+            if t < poison_at {
+                assert!(matches!(round[1], HomeRound::Advanced(_)), "tick {t}");
+            } else if t == poison_at {
+                assert!(
+                    matches!(
+                        round[1],
+                        HomeRound::Failed(ModelError::EmptyStateSpace { .. })
+                    ),
+                    "poisoned tick must fail, got {:?}",
+                    round[1]
+                );
+            } else {
+                assert!(
+                    matches!(round[1], HomeRound::Quarantined),
+                    "tick {t}: failed home must stay quarantined"
+                );
+            }
+        }
+        let quarantined = router.quarantined();
+        assert_eq!(quarantined.len(), 1);
+        assert_eq!(quarantined[0].0, 8);
+
+        // The healthy homes were never desynchronized by the failure and
+        // finish with the exact batch answer; the faulted home reports its
+        // error instead of a bogus recognition.
+        let finished = router.finish();
+        let batch = engine.recognize(session).unwrap();
+        for (id, result) in &finished {
+            match id {
+                7 | 9 => assert_eq!(result.as_ref().unwrap().macros, batch.macros),
+                8 => assert!(matches!(result, Err(ModelError::EmptyStateSpace { .. }))),
+                _ => panic!("unexpected home id {id}"),
+            }
+        }
+    }
+
+    #[test]
+    fn router_finish_reports_per_home_failures() {
+        let (train, test) = corpus();
+        let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+        let mut router = StreamRouter::with_homes(&engine, 2, Lag::Unbounded);
+        // Home 0 receives ticks, home 1 never does — finishing an empty
+        // stream is a per-home error, not a router-wide abort.
+        for tick in &test[0].ticks[..10] {
+            router.push_round(&[Some(&tick.observed), None]).unwrap();
+        }
+        let finished = router.finish();
+        assert!(finished[0].1.is_ok());
+        assert!(matches!(
+            finished[1].1,
+            Err(ModelError::InsufficientData { .. })
+        ));
     }
 
     #[test]

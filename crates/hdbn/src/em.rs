@@ -2,20 +2,31 @@
 //! (`LearnParamsEM` in the paper's Fig 5 pseudocode).
 //!
 //! E-step: forward–backward over each training sequence's single-user chain
-//! collects expected sufficient statistics. M-step: rebuild the
-//! [`cace_mining::HierarchicalStats`] tables from the expected counts with
-//! Laplace smoothing. Iterates until the log-likelihood improvement falls
-//! below tolerance.
+//! collects expected sufficient statistics — fanned out across cores with
+//! one [`ExpectedCounts`] accumulator per sequence and an input-order
+//! merge-reduce ([`e_step`]), so the parallel counts are **bit-identical**
+//! to a sequential pass regardless of `RAYON_NUM_THREADS`. M-step: rebuild
+//! the [`cace_mining::HierarchicalStats`] tables from the expected counts
+//! with Laplace smoothing. Iterates until the log-likelihood improvement
+//! falls below tolerance.
+//!
+//! The parameters are shared by [`Arc`] across iterations: each E-step
+//! wraps the current `HdbnParams` without copying the CPT tables (the same
+//! per-call deep clone batch recognition eliminated), and only the M-step
+//! allocates a fresh table set.
+
+use std::sync::Arc;
 
 use cace_mining::HierarchicalStats;
 use cace_model::ModelError;
+use rayon::prelude::*;
 
 use crate::input::TickInput;
 use crate::params::{HdbnConfig, HdbnParams};
 use crate::single::{ExpectedCounts, SingleHdbn};
 
 /// EM schedule.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct EmConfig {
     /// Maximum EM iterations.
     pub max_iters: usize,
@@ -47,18 +58,72 @@ pub struct EmOutcome {
     pub iterations: usize,
 }
 
+/// One parallel E-step: expected sufficient statistics of every training
+/// sequence under `model`, fanned out across cores.
+///
+/// Each sequence gets its own zeroed [`ExpectedCounts`] (both users' chains
+/// contribute), and the per-sequence accumulators are merged in input
+/// order. The summation tree is therefore fixed by the *data*, not by the
+/// worker count: running under `RAYON_NUM_THREADS=1` and
+/// `RAYON_NUM_THREADS=4` produces bit-identical counts
+/// (`tests/em_training.rs` asserts this).
+///
+/// # Errors
+/// Propagates per-sequence inference failures (first failing sequence in
+/// input order).
+pub fn e_step(
+    model: &SingleHdbn,
+    sequences: &[Vec<TickInput>],
+) -> Result<ExpectedCounts, ModelError> {
+    let stats = &model.params().stats;
+    let (nm, np, ng, nl) = (
+        stats.n_macro,
+        stats.n_postural,
+        stats.n_gestural,
+        stats.n_location,
+    );
+    let per_sequence: Vec<ExpectedCounts> = sequences
+        .par_iter()
+        .map(|seq| {
+            let mut counts = ExpectedCounts::zeros(nm, np, ng, nl);
+            for user in 0..2 {
+                model.accumulate_counts(seq, user, &mut counts)?;
+            }
+            Ok(counts)
+        })
+        .collect::<Result<Vec<_>, ModelError>>()?;
+    let mut total = ExpectedCounts::zeros(nm, np, ng, nl);
+    for counts in &per_sequence {
+        total.merge(counts);
+    }
+    Ok(total)
+}
+
 /// Runs EM from initial parameters over per-user training sequences.
 ///
 /// Each element of `sequences` is one session's tick inputs; both users'
 /// chains contribute counts (the coupled co-occurrence table is kept from
 /// the initial statistics — EM refines the per-chain hierarchical tables,
 /// matching the paper's training split between the constraint miner and
-/// `LearnParamsEM`).
+/// `LearnParamsEM`). The E-step fans sequences across cores via [`e_step`].
 ///
 /// # Errors
 /// Propagates inference errors and invalid re-estimated tables.
 pub fn fit_em(
     initial: HdbnParams,
+    sequences: &[Vec<TickInput>],
+    config: &EmConfig,
+) -> Result<EmOutcome, ModelError> {
+    fit_em_shared(Arc::new(initial), sequences, config)
+}
+
+/// [`fit_em`] over already-`Arc`-shared initial parameters (e.g. a trained
+/// engine's tables), avoiding the up-front CPT copy entirely.
+///
+/// # Errors
+/// Same conditions as [`fit_em`].
+pub fn fit_em_shared(
+    initial: Arc<HdbnParams>,
     sequences: &[Vec<TickInput>],
     config: &EmConfig,
 ) -> Result<EmOutcome, ModelError> {
@@ -75,38 +140,33 @@ pub fn fit_em(
     let mut log_likelihoods = Vec::new();
 
     for iter in 0..config.max_iters {
-        let model = SingleHdbn::new(params.clone());
-        let mut counts = ExpectedCounts::zeros(
-            base.n_macro,
-            base.n_postural,
-            base.n_gestural,
-            base.n_location,
-        );
-        for seq in sequences {
-            for user in 0..2 {
-                model.accumulate_counts(seq, user, &mut counts)?;
-            }
-        }
+        // The model aliases the current parameters; no table copy happens
+        // between iterations.
+        let model = SingleHdbn::from_shared(Arc::clone(&params));
+        let counts = e_step(&model, sequences)?;
+        drop(model);
         log_likelihoods.push(counts.log_likelihood);
 
-        params = HdbnParams::new(m_step(&base, &counts, config.laplace), hdbn_config.clone())?;
+        params = Arc::new(HdbnParams::new(
+            m_step(&base, &counts, config.laplace),
+            hdbn_config.clone(),
+        )?);
 
         if iter > 0 {
             let prev = log_likelihoods[iter - 1];
             let cur = log_likelihoods[iter];
             let rel = (cur - prev).abs() / prev.abs().max(1.0);
             if rel < config.tol {
-                return Ok(EmOutcome {
-                    params,
-                    iterations: iter + 1,
-                    log_likelihoods,
-                });
+                break;
             }
         }
     }
     let iterations = log_likelihoods.len();
     Ok(EmOutcome {
-        params,
+        // The M-step's Arc is never shared further, so this unwraps
+        // without copying; the fallback clone only fires for a zero-
+        // iteration schedule returning the caller's shared initial tables.
+        params: Arc::try_unwrap(params).unwrap_or_else(|shared| (*shared).clone()),
         log_likelihoods,
         iterations,
     })

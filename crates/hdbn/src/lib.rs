@@ -44,7 +44,7 @@ pub mod params;
 pub mod single;
 pub mod viterbi;
 
-pub use em::{fit_em, EmConfig, EmOutcome};
+pub use em::{e_step, fit_em, fit_em_shared, EmConfig, EmOutcome};
 pub use forward::log_sum_exp;
 pub use input::{MicroCandidate, TickInput};
 pub use online::{Lag, OnlineCoupledViterbi, OnlineSingleViterbi, SmoothedChain, SmoothedJoint};

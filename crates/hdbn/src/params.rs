@@ -3,9 +3,10 @@
 
 use cace_mining::HierarchicalStats;
 use cace_model::ModelError;
+use serde::{Deserialize, Serialize};
 
 /// Structural configuration of the coupled model.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HdbnConfig {
     /// Weight of the inter-user concurrent coupling factor
     /// (`0` = independent chains, `1` = full co-occurrence CPT).
@@ -170,6 +171,29 @@ impl HdbnParams {
     /// Concurrent inter-user coupling factor (Augmentation 3 / Prop 4).
     pub fn coupling_score(&self, activity_u1: usize, activity_u2: usize) -> f64 {
         self.log_cooc[activity_u1][activity_u2]
+    }
+}
+
+// The log tables are a pure, deterministic function of (stats, config), so
+// persistence stores only those two and rebuilds the tables through
+// `HdbnParams::new` on load — the reconstructed tables are bit-identical
+// because the float pipeline (`ln`, renormalization) reruns on bit-identical
+// inputs.
+impl serde::Serialize for HdbnParams {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("stats".to_string(), self.stats.serialize()),
+            ("config".to_string(), self.config.serialize()),
+        ])
+    }
+}
+
+impl serde::Deserialize for HdbnParams {
+    fn deserialize(value: &serde::Value) -> Result<Self, serde::Error> {
+        let stats = HierarchicalStats::deserialize(value.expect_field("stats", "HdbnParams")?)?;
+        let config = HdbnConfig::deserialize(value.expect_field("config", "HdbnParams")?)?;
+        Self::new(stats, config)
+            .map_err(|e| serde::Error::msg(format!("invalid HdbnParams tables: {e}")))
     }
 }
 

@@ -71,6 +71,38 @@ impl ExpectedCounts {
             log_likelihood: 0.0,
         }
     }
+
+    /// Adds another accumulator element-wise (the reduce half of the
+    /// parallel E-step's map-reduce: per-sequence counts are computed
+    /// independently, then merged in input order so the result does not
+    /// depend on how many workers ran the map).
+    ///
+    /// # Panics
+    /// Panics if the two accumulators were built for different vocabulary
+    /// sizes.
+    pub fn merge(&mut self, other: &ExpectedCounts) {
+        fn add_vec(acc: &mut [f64], inc: &[f64]) {
+            assert_eq!(acc.len(), inc.len(), "expected-count shapes must match");
+            for (a, b) in acc.iter_mut().zip(inc) {
+                *a += b;
+            }
+        }
+        fn add_rows(acc: &mut [Vec<f64>], inc: &[Vec<f64>]) {
+            assert_eq!(acc.len(), inc.len(), "expected-count shapes must match");
+            for (a, b) in acc.iter_mut().zip(inc) {
+                add_vec(a, b);
+            }
+        }
+        add_vec(&mut self.prior, &other.prior);
+        add_rows(&mut self.trans, &other.trans);
+        add_vec(&mut self.cont, &other.cont);
+        add_vec(&mut self.end, &other.end);
+        add_rows(&mut self.post, &other.post);
+        add_rows(&mut self.gest, &other.gest);
+        add_rows(&mut self.loc, &other.loc);
+        add_rows(&mut self.post_trans, &other.post_trans);
+        self.log_likelihood += other.log_likelihood;
+    }
 }
 
 /// The single-chain hierarchical model.

@@ -5,6 +5,7 @@
 
 use cace_model::ModelError;
 use cace_signal::GaussianSampler;
+use serde::{Deserialize, Serialize};
 
 use crate::tree::{argmax, DecisionTree, TreeConfig};
 
@@ -35,7 +36,10 @@ impl Default for ForestConfig {
 }
 
 /// A trained random-forest classifier.
-#[derive(Debug, Clone)]
+///
+/// Serializable so trained models can be persisted and served without
+/// re-training (the `CaceEngine` snapshot embeds its forests).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RandomForest {
     trees: Vec<DecisionTree>,
     n_classes: usize,

@@ -2,6 +2,7 @@
 
 use cace_model::ModelError;
 use cace_signal::GaussianSampler;
+use serde::{Deserialize, Serialize};
 
 /// Decision-tree hyperparameters.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,7 +28,7 @@ impl Default for TreeConfig {
     }
 }
 
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 enum Node {
     Leaf {
         /// Class-probability distribution at the leaf.
@@ -42,7 +43,10 @@ enum Node {
 }
 
 /// A trained CART classifier.
-#[derive(Debug, Clone)]
+///
+/// Serializable so trained models can be persisted and served without
+/// re-training (the `CaceEngine` snapshot embeds its forests).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DecisionTree {
     nodes: Vec<Node>,
     n_classes: usize,

@@ -7,11 +7,13 @@
 
 use std::collections::HashMap;
 
+use serde::{Deserialize, Serialize};
+
 use crate::item::{AtomSpace, ItemId, Transaction};
 use crate::rules::{Rule, RuleSet};
 
 /// Mining thresholds.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AprioriConfig {
     /// Minimum support (fraction of transactions).
     pub min_support: f64,

@@ -53,6 +53,13 @@ pub enum ModelError {
     },
     /// Configuration is inconsistent (bad thresholds, zero sizes, …).
     InvalidConfig(String),
+    /// A model snapshot could not be written, read, or verified (I/O
+    /// failure, header/version mismatch, checksum mismatch, or a
+    /// malformed payload).
+    Persistence {
+        /// What failed, including the underlying cause.
+        what: String,
+    },
 }
 
 impl fmt::Display for ModelError {
@@ -83,6 +90,7 @@ impl fmt::Display for ModelError {
             }
             Self::NotTrained { what } => write!(f, "{what} used before training"),
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Self::Persistence { what } => write!(f, "model persistence failed: {what}"),
         }
     }
 }

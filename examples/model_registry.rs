@@ -1,0 +1,135 @@
+//! Model registry walkthrough: train once (parallel EM), snapshot to disk,
+//! then serve from a *fresh* engine that never saw the training data —
+//! verifying that batch and streaming recognition from the reloaded model
+//! are bit-identical to the trainer's.
+//!
+//! This is the production split the paper's pipeline implies (mine + EM
+//! offline, recognize online) and the smoke test CI runs: any drift
+//! between the trained and reloaded engines exits non-zero.
+//!
+//! Run with: `cargo run --release --example model_registry`
+
+use std::time::Instant;
+
+use cace::behavior::session::train_test_split;
+use cace::behavior::{cace_grammar, generate_cace_dataset, SessionConfig};
+use cace::core::{stream_session, CaceConfig, CaceEngine, Lag, Recognition};
+
+fn assert_identical(a: &Recognition, b: &Recognition, label: &str) {
+    assert_eq!(a.macros, b.macros, "{label}: decoded macros differ");
+    assert_eq!(
+        a.states_explored, b.states_explored,
+        "{label}: states_explored differ"
+    );
+    assert_eq!(
+        a.transition_ops, b.transition_ops,
+        "{label}: transition_ops differ"
+    );
+    assert_eq!(a.rules_fired, b.rules_fired, "{label}: rules_fired differ");
+    assert_eq!(
+        a.mean_joint_size.to_bits(),
+        b.mean_joint_size.to_bits(),
+        "{label}: mean_joint_size differs"
+    );
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ---- 1. train once (the "training cluster") ----
+    let grammar = cace_grammar();
+    let sessions = generate_cace_dataset(
+        &grammar,
+        /* homes */ 1,
+        /* sessions per home */ 5,
+        &SessionConfig::standard().with_ticks(160),
+        /* seed */ 20160627,
+    );
+    let (train, test) = train_test_split(sessions, 0.6);
+    let config = CaceConfig {
+        run_em: true, // exercise LearnParamsEM's parallel E-step
+        ..CaceConfig::default()
+    };
+
+    // The vendored rayon reads RAYON_NUM_THREADS per fan-out; train with
+    // the 4-worker EM E-step. An optional sequential timing run (for a
+    // seq-vs-par headline; `train_persist.rs` benches this properly) is
+    // gated behind CACE_REGISTRY_TIMING=1 so the CI smoke step trains once.
+    let train_seq = if std::env::var_os("CACE_REGISTRY_TIMING").is_some() {
+        std::env::set_var("RAYON_NUM_THREADS", "1");
+        let t0 = Instant::now();
+        let _seq_engine = CaceEngine::train(&train, &config)?;
+        Some(t0.elapsed().as_secs_f64())
+    } else {
+        None
+    };
+
+    std::env::set_var("RAYON_NUM_THREADS", "4");
+    let t0 = Instant::now();
+    let engine = CaceEngine::train(&train, &config)?;
+    let train_par = t0.elapsed().as_secs_f64();
+    std::env::remove_var("RAYON_NUM_THREADS");
+
+    println!(
+        "-- training (mine + forests + EM over {} sessions) --",
+        train.len()
+    );
+    if let Some(seq) = train_seq {
+        println!("RAYON_NUM_THREADS=1: {seq:.2} s");
+        println!(
+            "RAYON_NUM_THREADS=4: {train_par:.2} s  ({:.2}x)",
+            seq / train_par.max(1e-9)
+        );
+    } else {
+        println!("RAYON_NUM_THREADS=4: {train_par:.2} s (set CACE_REGISTRY_TIMING=1 for the sequential comparison)");
+    }
+
+    // ---- 2. publish to the registry (snapshot to disk) ----
+    let path =
+        std::env::temp_dir().join(format!("cace_model_registry_{}.cace", std::process::id()));
+    let t0 = Instant::now();
+    engine.save(&path)?;
+    let save_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let bytes = std::fs::metadata(&path)?.len();
+    println!("\n-- registry publish --");
+    println!(
+        "snapshot: {} ({:.1} KiB) in {save_ms:.1} ms",
+        path.display(),
+        bytes as f64 / 1024.0
+    );
+
+    // ---- 3. load in a fresh "serving" engine ----
+    let t0 = Instant::now();
+    let serving = CaceEngine::load(&path)?;
+    let load_ms = t0.elapsed().as_secs_f64() * 1e3;
+    std::fs::remove_file(&path).ok();
+    println!("reload:   {load_ms:.1} ms");
+
+    // ---- 4. serve: batch + streaming, diffed against the trainer ----
+    let trained_batch = engine.recognize_batch(&test)?;
+    let served_batch = serving.recognize_batch(&test)?;
+    for (i, (a, b)) in trained_batch.iter().zip(&served_batch).enumerate() {
+        assert_identical(a, b, &format!("batch session {i}"));
+    }
+    println!("\n-- serving ({} held-out sessions) --", test.len());
+    println!("batch recognize:    bit-identical to trained engine");
+
+    for (i, session) in test.iter().enumerate() {
+        let (_, streamed_trained) = stream_session(&engine, session, Lag::Fixed(8))?;
+        let (_, streamed_served) = stream_session(&serving, session, Lag::Fixed(8))?;
+        assert_identical(
+            &streamed_trained,
+            &streamed_served,
+            &format!("stream session {i}"),
+        );
+    }
+    println!("streaming (lag 8):  bit-identical to trained engine");
+
+    let accuracy: f64 = served_batch
+        .iter()
+        .zip(&test)
+        .map(|(rec, session)| rec.accuracy(session))
+        .sum::<f64>()
+        / test.len() as f64;
+    println!("mean accuracy:      {:.1}%", 100.0 * accuracy);
+    println!("\nmodel registry round-trip OK");
+    Ok(())
+}

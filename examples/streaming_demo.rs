@@ -111,12 +111,20 @@ fn main() {
         total_ticks += inputs.iter().flatten().count();
         router.push_round(&inputs).expect("round succeeds");
     }
-    let finished = router.finish().expect("finish succeeds");
+    assert!(
+        router.quarantined().is_empty(),
+        "no home should fault on clean data"
+    );
+    let finished = router.finish();
     let wall = t0.elapsed().as_secs_f64();
     let mean_acc: f64 = finished
         .iter()
         .zip(&per_home)
-        .map(|((_, rec), session)| rec.accuracy(session))
+        .map(|((_, rec), session)| {
+            rec.as_ref()
+                .expect("healthy home finishes")
+                .accuracy(session)
+        })
         .sum::<f64>()
         / homes as f64;
     println!("\n-- router throughput ({homes} concurrent homes) --");

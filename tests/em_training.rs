@@ -1,0 +1,206 @@
+//! EM training guarantees: the log-likelihood trajectory is non-decreasing
+//! (up to smoothing/xi-approximation tolerance), the `tol` early stop
+//! triggers, and the rayon-parallel E-step is **bit-identical** to a
+//! sequential accumulation — the fan-out must never change the numbers.
+
+use std::sync::Arc;
+
+use cace::hdbn::single::ExpectedCounts;
+use cace::hdbn::{
+    e_step, fit_em, fit_em_shared, EmConfig, HdbnConfig, HdbnParams, MicroCandidate, SingleHdbn,
+    TickInput,
+};
+use cace::mining::constraint::{ConstraintMiner, LabeledSequence};
+
+/// Ground-truth world: activity k ↔ posture/location k, runs of 10 ticks.
+fn world_sequence(seed_shift: usize, ticks: usize) -> Vec<TickInput> {
+    (0..ticks)
+        .map(|t| {
+            let m = ((t + seed_shift) / 10) % 2;
+            let cands = |fav: usize| -> Vec<MicroCandidate> {
+                (0..2)
+                    .map(|p| MicroCandidate {
+                        postural: p,
+                        gestural: Some(0),
+                        location: p,
+                        obs_loglik: if p == fav { 0.0 } else { -4.0 },
+                    })
+                    .collect()
+            };
+            TickInput {
+                candidates: [cands(m), cands(m)],
+                macro_candidates: [None, None],
+                macro_bonus: Vec::new(),
+            }
+        })
+        .collect()
+}
+
+/// Weak (heavily smoothed) initial statistics with a faint correct
+/// correlation for EM to sharpen.
+fn weak_initial() -> HdbnParams {
+    let seq = LabeledSequence {
+        macros: [vec![0, 0, 0, 1, 1, 1], vec![1, 1, 1, 0, 0, 0]],
+        posturals: [vec![0, 0, 0, 1, 1, 1], vec![1, 1, 1, 0, 0, 0]],
+        gesturals: [vec![0; 6], vec![0; 6]],
+        locations: [vec![0, 0, 0, 1, 1, 1], vec![1, 1, 1, 0, 0, 0]],
+    };
+    let stats = ConstraintMiner {
+        laplace: 5.0,
+        n_macro: 2,
+        n_postural: 2,
+        n_gestural: 2,
+        n_location: 2,
+    }
+    .mine(&[seq])
+    .unwrap();
+    HdbnParams::new(stats, HdbnConfig::uncoupled()).unwrap()
+}
+
+fn training_set() -> Vec<Vec<TickInput>> {
+    vec![
+        world_sequence(0, 60),
+        world_sequence(5, 60),
+        world_sequence(3, 40),
+    ]
+}
+
+#[test]
+fn log_likelihood_is_non_decreasing_across_iterations() {
+    let outcome = fit_em(
+        weak_initial(),
+        &training_set(),
+        &EmConfig {
+            max_iters: 8,
+            tol: 0.0,
+            laplace: 0.3,
+        },
+    )
+    .unwrap();
+    assert_eq!(outcome.iterations, 8);
+    assert_eq!(outcome.log_likelihoods.len(), 8);
+    for pair in outcome.log_likelihoods.windows(2) {
+        // EM's exact E-step guarantees monotonicity for the *unsmoothed*
+        // objective; the Laplace-smoothed M-step and the gamma-consistent
+        // xi approximation can pull the plain log-likelihood down by ~1 %
+        // near convergence, so allow that much relative slack.
+        let slack = 0.02 * pair[0].abs().max(1.0);
+        assert!(
+            pair[1] >= pair[0] - slack,
+            "log-likelihood decreased: {} -> {} (trajectory {:?})",
+            pair[0],
+            pair[1],
+            outcome.log_likelihoods
+        );
+    }
+    // And it must actually improve overall, not just hold steady.
+    let first = outcome.log_likelihoods.first().unwrap();
+    let last = outcome.log_likelihoods.last().unwrap();
+    assert!(last > first, "no overall improvement: {first} -> {last}");
+}
+
+#[test]
+fn tolerance_early_stop_triggers_and_reports_true_iteration_count() {
+    let outcome = fit_em(
+        weak_initial(),
+        &training_set(),
+        &EmConfig {
+            max_iters: 50,
+            tol: 0.05,
+            laplace: 0.5,
+        },
+    )
+    .unwrap();
+    assert!(
+        outcome.iterations < 50,
+        "loose tolerance must stop early, ran {}",
+        outcome.iterations
+    );
+    assert!(outcome.iterations >= 2, "needs two points to compare");
+    assert_eq!(outcome.log_likelihoods.len(), outcome.iterations);
+    // The stopping condition held at the recorded last step.
+    let n = outcome.iterations;
+    let prev = outcome.log_likelihoods[n - 2];
+    let cur = outcome.log_likelihoods[n - 1];
+    assert!((cur - prev).abs() / prev.abs().max(1.0) < 0.05);
+}
+
+fn assert_counts_bit_identical(a: &ExpectedCounts, b: &ExpectedCounts, label: &str) {
+    let flat = |c: &ExpectedCounts| -> Vec<u64> {
+        c.prior
+            .iter()
+            .chain(c.cont.iter())
+            .chain(c.end.iter())
+            .chain(c.trans.iter().flatten())
+            .chain(c.post.iter().flatten())
+            .chain(c.gest.iter().flatten())
+            .chain(c.loc.iter().flatten())
+            .chain(c.post_trans.iter().flatten())
+            .chain(std::iter::once(&c.log_likelihood))
+            .map(|v| v.to_bits())
+            .collect()
+    };
+    assert_eq!(
+        flat(a),
+        flat(b),
+        "{label}: expected counts must match bitwise"
+    );
+}
+
+#[test]
+fn parallel_e_step_is_bit_identical_to_sequential() {
+    let sequences = training_set();
+    let model = SingleHdbn::new(weak_initial());
+    let stats = &model.params().stats;
+
+    // Hand-rolled sequential reference: per-sequence accumulators merged in
+    // input order, no rayon involved.
+    let mut reference = ExpectedCounts::zeros(
+        stats.n_macro,
+        stats.n_postural,
+        stats.n_gestural,
+        stats.n_location,
+    );
+    for seq in &sequences {
+        let mut counts = ExpectedCounts::zeros(
+            stats.n_macro,
+            stats.n_postural,
+            stats.n_gestural,
+            stats.n_location,
+        );
+        for user in 0..2 {
+            model.accumulate_counts(seq, user, &mut counts).unwrap();
+        }
+        reference.merge(&counts);
+    }
+
+    // The rayon fan-out path under different worker counts. The env var is
+    // read per fan-out by the vendored rayon, so this exercises the real
+    // 4-worker chunking.
+    for workers in ["1", "2", "4"] {
+        std::env::set_var("RAYON_NUM_THREADS", workers);
+        let parallel = e_step(&model, &sequences).unwrap();
+        assert_counts_bit_identical(&parallel, &reference, &format!("{workers} workers"));
+    }
+    std::env::remove_var("RAYON_NUM_THREADS");
+}
+
+#[test]
+fn shared_params_em_matches_owned_params_em() {
+    let config = EmConfig {
+        max_iters: 4,
+        tol: 0.0,
+        laplace: 0.4,
+    };
+    let sequences = training_set();
+    let owned = fit_em(weak_initial(), &sequences, &config).unwrap();
+    let shared = fit_em_shared(Arc::new(weak_initial()), &sequences, &config).unwrap();
+    assert_eq!(owned.iterations, shared.iterations);
+    let bits = |lls: &[f64]| lls.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+    assert_eq!(bits(&owned.log_likelihoods), bits(&shared.log_likelihoods));
+    assert_eq!(
+        serde::json::to_string(&owned.params.stats),
+        serde::json::to_string(&shared.params.stats),
+        "re-estimated tables must be identical"
+    );
+}

@@ -1,0 +1,138 @@
+//! Model persistence must be lossless in the only sense that matters for
+//! serving: a trained engine saved to disk and reloaded in a fresh
+//! "process" (a fresh `CaceEngine` value that never saw the training data)
+//! produces **bit-identical** batch and streaming recognition across all
+//! four strategies (NH/NCR/NCS/C2), EM-refined parameters included.
+
+use proptest::prelude::*;
+
+use cace::behavior::session::train_test_split;
+use cace::behavior::{cace_grammar, generate_cace_dataset, Session, SessionConfig};
+use cace::core::{stream_session, CaceConfig, CaceEngine, Lag, Recognition, Strategy};
+use cace::model::ModelError;
+
+fn corpus(ticks: usize, seed: u64) -> (Vec<Session>, Vec<Session>) {
+    let sessions = generate_cace_dataset(
+        &cace_grammar(),
+        1,
+        4,
+        &SessionConfig::tiny().with_ticks(ticks),
+        seed,
+    );
+    train_test_split(sessions, 0.75)
+}
+
+fn assert_identical(reloaded: &Recognition, original: &Recognition, label: &str) {
+    assert_eq!(reloaded.macros, original.macros, "{label}: macros");
+    assert_eq!(
+        reloaded.states_explored, original.states_explored,
+        "{label}: states_explored"
+    );
+    assert_eq!(
+        reloaded.transition_ops, original.transition_ops,
+        "{label}: transition_ops"
+    );
+    assert_eq!(
+        reloaded.rules_fired, original.rules_fired,
+        "{label}: rules_fired"
+    );
+    assert_eq!(
+        reloaded.mean_joint_size.to_bits(),
+        original.mean_joint_size.to_bits(),
+        "{label}: mean_joint_size"
+    );
+}
+
+/// Unique-per-case snapshot path in the system temp dir.
+fn snapshot_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!(
+        "cace_persistence_roundtrip_{}_{tag}.cace",
+        std::process::id()
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Random corpus shapes × all four strategies: save → load → recognize
+    /// and save → load → stream are bit-identical to the trained engine.
+    #[test]
+    fn saved_and_loaded_engine_serves_identically(
+        ticks in 45usize..70,
+        seed in 0u64..1_000,
+        em_flag in 0u8..2,
+    ) {
+        let run_em = em_flag == 1;
+        let (train, test) = corpus(ticks, seed);
+        for strategy in Strategy::ALL {
+            let config = CaceConfig {
+                run_em,
+                ..CaceConfig::default().with_strategy(strategy)
+            };
+            let trained = CaceEngine::train(&train, &config).expect("training succeeds");
+
+            let path = snapshot_path(&format!("{strategy}_{ticks}_{seed}"));
+            trained.save(&path).expect("snapshot write");
+            let reloaded = CaceEngine::load(&path).expect("snapshot read");
+            std::fs::remove_file(&path).ok();
+
+            for (i, session) in test.iter().enumerate() {
+                let label = format!("{strategy} session {i}");
+                // Batch recognition.
+                let original = trained.recognize(session).expect("batch on trained");
+                let from_disk = reloaded.recognize(session).expect("batch on reloaded");
+                assert_identical(&from_disk, &original, &label);
+
+                // Streaming: unbounded lag (bit-identical to batch) and a
+                // short fixed lag (mid-stream decisions must agree too).
+                for lag in [Lag::Unbounded, Lag::Fixed(5)] {
+                    let (decisions_a, streamed_a) =
+                        stream_session(&trained, session, lag).expect("stream on trained");
+                    let (decisions_b, streamed_b) =
+                        stream_session(&reloaded, session, lag).expect("stream on reloaded");
+                    prop_assert_eq!(&decisions_a, &decisions_b, "{}: {:?} decisions", &label, lag);
+                    assert_identical(&streamed_b, &streamed_a, &format!("{label} {lag:?}"));
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn snapshot_reload_survives_a_second_generation() {
+    // load(save(load(save(e)))) — the persistence layer is idempotent, so a
+    // model registry can re-publish a loaded engine without drift.
+    let (train, test) = corpus(50, 41);
+    let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+    let gen1 = CaceEngine::from_snapshot_str(&engine.to_snapshot_string()).unwrap();
+    let gen2 = CaceEngine::from_snapshot_str(&gen1.to_snapshot_string()).unwrap();
+    assert_eq!(
+        engine.to_snapshot_string(),
+        gen2.to_snapshot_string(),
+        "snapshot text must be stable across generations"
+    );
+    let a = engine.recognize(&test[0]).unwrap();
+    let b = gen2.recognize(&test[0]).unwrap();
+    assert_identical(&b, &a, "second generation");
+}
+
+#[test]
+fn tampered_snapshots_are_rejected() {
+    let (train, _) = corpus(50, 42);
+    let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+    let good = engine.to_snapshot_string();
+
+    // Payload tampering → checksum mismatch.
+    let tampered = good.replacen("\"beam\":8", "\"beam\":9", 1);
+    assert_ne!(tampered, good, "tamper target must exist");
+    assert!(matches!(
+        CaceEngine::from_snapshot_str(&tampered),
+        Err(ModelError::Persistence { .. })
+    ));
+
+    // Truncation → checksum mismatch.
+    assert!(matches!(
+        CaceEngine::from_snapshot_str(&good[..good.len() - 10]),
+        Err(ModelError::Persistence { .. })
+    ));
+}

@@ -1,0 +1,197 @@
+//! [`Serialize`] / [`Deserialize`] implementations for the std types the
+//! workspace's derived structures are built from.
+
+use crate::{Deserialize, Error, Serialize, Value};
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_bool()
+    }
+}
+
+macro_rules! unsigned_impl {
+    ($($ty:ty),+) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_u64()?;
+                <$ty>::try_from(raw).map_err(|_| {
+                    Error::msg(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )+};
+}
+unsigned_impl!(u8, u16, u32, u64, usize);
+
+macro_rules! signed_impl {
+    ($($ty:ty),+) => {$(
+        impl Serialize for $ty {
+            fn serialize(&self) -> Value {
+                let v = *self as i64;
+                if v >= 0 {
+                    Value::UInt(v as u64)
+                } else {
+                    Value::Int(v)
+                }
+            }
+        }
+        impl Deserialize for $ty {
+            fn deserialize(value: &Value) -> Result<Self, Error> {
+                let raw = value.as_i64()?;
+                <$ty>::try_from(raw).map_err(|_| {
+                    Error::msg(format!(
+                        "integer {raw} out of range for {}",
+                        stringify!($ty)
+                    ))
+                })
+            }
+        }
+    )+};
+}
+signed_impl!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_f64()
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        // Exact for every value that originated as an f32 (f32→f64 widening
+        // is lossless, and the narrowing cast inverts it).
+        Ok(value.as_f64()? as f32)
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_str().map(str::to_owned)
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let s = value.as_str()?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::msg(format!("expected single char, found {s:?}"))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(inner) => inner.serialize(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        value.as_seq()?.iter().map(T::deserialize).collect()
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value.as_seq()?;
+        if items.len() != N {
+            return Err(Error::msg(format!(
+                "expected array of {N} elements, found {}",
+                items.len()
+            )));
+        }
+        let parsed: Vec<T> = items.iter().map(T::deserialize).collect::<Result<_, _>>()?;
+        parsed
+            .try_into()
+            .map_err(|_| Error::msg("array length changed during deserialization"))
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn serialize(&self) -> Value {
+        Value::Seq(vec![self.0.serialize(), self.1.serialize()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        let items = value.expect_elements(2, "2-tuple")?;
+        Ok((A::deserialize(&items[0])?, B::deserialize(&items[1])?))
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}

@@ -1,0 +1,457 @@
+//! Compact JSON-style text backend for the [`Value`] data model.
+//!
+//! The encoding is ordinary JSON except for the float specials: finite
+//! floats are written with Rust's shortest round-trip formatting (so every
+//! finite `f64` re-parses to the *same bits*), and the non-standard bare
+//! tokens `inf`, `-inf`, and `NaN` encode the IEEE specials that JSON
+//! proper cannot represent. Integers are written as plain decimal and kept
+//! distinct from floats on re-parse (a float always carries a `.`, an
+//! exponent, or a special token).
+
+use crate::{Deserialize, Error, Serialize, Value};
+
+/// Serializes any [`Serialize`] value to the compact text encoding.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> String {
+    value_to_string(&value.serialize())
+}
+
+/// Parses the text encoding into any [`Deserialize`] type.
+///
+/// # Errors
+/// Malformed text or a data-model mismatch.
+pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
+    T::deserialize(&value_from_str(text)?)
+}
+
+/// Renders a [`Value`] in the compact text encoding.
+pub fn value_to_string(value: &Value) -> String {
+    let mut out = String::new();
+    write_value(value, &mut out);
+    out
+}
+
+fn write_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(true) => out.push_str("true"),
+        Value::Bool(false) => out.push_str("false"),
+        Value::UInt(v) => out.push_str(&v.to_string()),
+        Value::Int(v) => out.push_str(&v.to_string()),
+        Value::Float(v) => write_float(*v, out),
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (key, item)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(key, out);
+                out.push(':');
+                write_value(item, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_float(v: f64, out: &mut String) {
+    if v.is_nan() {
+        out.push_str("NaN");
+    } else if v == f64::INFINITY {
+        out.push_str("inf");
+    } else if v == f64::NEG_INFINITY {
+        out.push_str("-inf");
+    } else {
+        // `{:?}` is Rust's shortest round-trip float formatting and always
+        // marks the value as a float (`1.0`, `2.5e-308`), so the reader can
+        // distinguish it from an integer.
+        out.push_str(&format!("{v:?}"));
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses the compact text encoding into a [`Value`].
+///
+/// # Errors
+/// Malformed text (unexpected token, unterminated string, trailing junk).
+pub fn value_from_str(text: &str) -> Result<Value, Error> {
+    let mut parser = Parser { text, pos: 0 };
+    let value = parser.parse_value()?;
+    parser.skip_whitespace();
+    if parser.pos != parser.text.len() {
+        return Err(parser.error("trailing characters after value"));
+    }
+    Ok(value)
+}
+
+struct Parser<'a> {
+    text: &'a str,
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, msg: &str) -> Error {
+        Error::msg(format!("{msg} at byte {}", self.pos))
+    }
+
+    fn bytes(&self) -> &'a [u8] {
+        self.text.as_bytes()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes().get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, expected: u8) -> Result<(), Error> {
+        if self.peek() == Some(expected) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", expected as char)))
+        }
+    }
+
+    fn eat_keyword(&mut self, word: &str) -> bool {
+        if self.text[self.pos..].starts_with(word) {
+            self.pos += word.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_whitespace();
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'n') => {
+                if self.eat_keyword("null") {
+                    Ok(Value::Null)
+                } else {
+                    Err(self.error("invalid token"))
+                }
+            }
+            Some(b't') => {
+                if self.eat_keyword("true") {
+                    Ok(Value::Bool(true))
+                } else {
+                    Err(self.error("invalid token"))
+                }
+            }
+            Some(b'f') => {
+                if self.eat_keyword("false") {
+                    Ok(Value::Bool(false))
+                } else {
+                    Err(self.error("invalid token"))
+                }
+            }
+            Some(b'N') => {
+                if self.eat_keyword("NaN") {
+                    Ok(Value::Float(f64::NAN))
+                } else {
+                    Err(self.error("invalid token"))
+                }
+            }
+            Some(b'i') => {
+                if self.eat_keyword("inf") {
+                    Ok(Value::Float(f64::INFINITY))
+                } else {
+                    Err(self.error("invalid token"))
+                }
+            }
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(b'-') if self.text[self.pos..].starts_with("-inf") => {
+                self.pos += 4;
+                Ok(Value::Float(f64::NEG_INFINITY))
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(self.error(&format!("unexpected character `{}`", c as char))),
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+        ) {
+            self.pos += 1;
+        }
+        let token = &self.text[start..self.pos];
+        if token.contains(['.', 'e', 'E']) {
+            token
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| self.error("invalid float literal"))
+        } else if token.starts_with('-') {
+            token
+                .parse::<i64>()
+                .map(Value::Int)
+                .map_err(|_| self.error("invalid integer literal"))
+        } else {
+            token
+                .parse::<u64>()
+                .map(Value::UInt)
+                .map_err(|_| self.error("invalid integer literal"))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        let mut chunk_start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    out.push_str(&self.text[chunk_start..self.pos]);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    out.push_str(&self.text[chunk_start..self.pos]);
+                    self.pos += 1;
+                    let escaped = self.peek().ok_or_else(|| self.error("bad escape"))?;
+                    self.pos += 1;
+                    match escaped {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let unit = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&unit) {
+                                // Surrogate pair.
+                                if !self.eat_keyword("\\u") {
+                                    return Err(self.error("lone leading surrogate"));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..0xE000).contains(&low) {
+                                    return Err(self.error("invalid trailing surrogate"));
+                                }
+                                let code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.error("invalid surrogate pair"))?
+                            } else {
+                                char::from_u32(unit)
+                                    .ok_or_else(|| self.error("invalid unicode escape"))?
+                            };
+                            out.push(c);
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                    chunk_start = self.pos;
+                }
+                Some(_) => {
+                    // Raw UTF-8 content; advance a full char to keep slice
+                    // boundaries valid.
+                    let c = self.text[self.pos..]
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.error("invalid utf-8 position"))?;
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, Error> {
+        let hex = self
+            .text
+            .get(self.pos..self.pos + 4)
+            .ok_or_else(|| self.error("truncated unicode escape"))?;
+        let unit =
+            u32::from_str_radix(hex, 16).map_err(|_| self.error("invalid unicode escape"))?;
+        self.pos += 4;
+        Ok(unit)
+    }
+
+    fn parse_seq(&mut self) -> Result<Value, Error> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                _ => return Err(self.error("expected `,` or `]`")),
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Value, Error> {
+        self.eat(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.eat(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Map(entries));
+                }
+                _ => return Err(self.error("expected `,` or `}`")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_round_trip() {
+        for v in [
+            Value::Null,
+            Value::Bool(true),
+            Value::Bool(false),
+            Value::UInt(0),
+            Value::UInt(u64::MAX),
+            Value::Int(-42),
+            Value::Int(i64::MIN),
+            Value::Str(String::new()),
+            Value::Str("hi \"there\"\n\\ π €".to_string()),
+        ] {
+            let text = value_to_string(&v);
+            assert_eq!(value_from_str(&text).unwrap(), v, "{text}");
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_bit_exactly() {
+        for bits in [
+            0u64,
+            (-0.0f64).to_bits(),
+            1.0f64.to_bits(),
+            (1.0f64 / 3.0).to_bits(),
+            f64::MIN_POSITIVE.to_bits(),
+            5e-324f64.to_bits(), // subnormal
+            f64::MAX.to_bits(),
+            f64::INFINITY.to_bits(),
+            f64::NEG_INFINITY.to_bits(),
+            (-123.456e-78f64).to_bits(),
+        ] {
+            let v = f64::from_bits(bits);
+            let text = value_to_string(&Value::Float(v));
+            let back = match value_from_str(&text).unwrap() {
+                Value::Float(f) => f,
+                other => panic!("float {text} parsed as {other:?}"),
+            };
+            assert_eq!(back.to_bits(), bits, "{text}");
+        }
+        // NaN survives as NaN (payload bits are not promised).
+        let text = value_to_string(&Value::Float(f64::NAN));
+        assert_eq!(text, "NaN");
+        assert!(matches!(value_from_str(&text).unwrap(), Value::Float(f) if f.is_nan()));
+    }
+
+    #[test]
+    fn collections_round_trip() {
+        let v = Value::Map(vec![
+            ("empty".to_string(), Value::Seq(Vec::new())),
+            (
+                "rows".to_string(),
+                Value::Seq(vec![
+                    Value::Seq(vec![Value::Float(1.5), Value::Float(-2.25)]),
+                    Value::Seq(vec![Value::Float(f64::NEG_INFINITY)]),
+                ]),
+            ),
+            ("nested".to_string(), Value::Map(vec![])),
+        ]);
+        let text = value_to_string(&v);
+        assert_eq!(value_from_str(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn typed_round_trip_via_impls() {
+        let rows: Vec<Vec<f64>> = vec![vec![0.1, 0.9], vec![f64::NEG_INFINITY, 0.0]];
+        let text = to_string(&rows);
+        let back: Vec<Vec<f64>> = from_str(&text).unwrap();
+        assert_eq!(rows.len(), back.len());
+        for (a, b) in rows.iter().flatten().zip(back.iter().flatten()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+
+        let arr: [Vec<usize>; 2] = [vec![1, 2, 3], vec![]];
+        let back: [Vec<usize>; 2] = from_str(&to_string(&arr)).unwrap();
+        assert_eq!(arr, back);
+
+        let opt: Option<String> = Some("x".into());
+        assert_eq!(from_str::<Option<String>>(&to_string(&opt)).unwrap(), opt);
+        assert_eq!(from_str::<Option<String>>("null").unwrap(), None::<String>);
+    }
+
+    #[test]
+    fn malformed_inputs_error() {
+        assert!(value_from_str("").is_err());
+        assert!(value_from_str("[1,").is_err());
+        assert!(value_from_str("{\"a\" 1}").is_err());
+        assert!(value_from_str("\"unterminated").is_err());
+        assert!(value_from_str("12 34").is_err());
+        assert!(value_from_str("infx").is_err());
+    }
+}

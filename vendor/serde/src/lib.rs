@@ -1,26 +1,278 @@
-//! Offline stand-in for crates.io `serde`.
+//! Offline stand-in for crates.io `serde` — with a *working* data model.
 //!
-//! The CACE workspace marks its domain types `#[derive(Serialize,
-//! Deserialize)]` so downstream consumers can pick a wire format, but no
-//! crate in the workspace serializes anything yet — the derives are pure
-//! markers. This shim therefore exports the two derive macros with empty
-//! expansions, which is exactly enough for `use serde::{Deserialize,
-//! Serialize};` + `#[derive(...)]` to compile in an offline container.
+//! Earlier revisions of this shim exported `#[derive(Serialize,
+//! Deserialize)]` as empty markers; since the persistence layer landed
+//! (`CaceEngine::save` / `CaceEngine::load` in `cace-core`), the derives are
+//! real. The shim now provides:
 //!
-//! When network access (or a vendored registry) is available, delete the
-//! `vendor/serde` path dependency from the root `Cargo.toml` and the same
-//! source code builds against the real crate unchanged.
+//! - the [`Serialize`] / [`Deserialize`] traits over a minimal [`Value`]
+//!   data model (null, bool, integers, floats, strings, sequences, and
+//!   ordered string-keyed maps),
+//! - derive macros (re-exported from the sibling `serde_derive` shim) that
+//!   expand to real impls for the struct/enum shapes this workspace uses,
+//! - a JSON-style text backend in [`json`] whose `f64` round-trip is
+//!   **bit-exact**: finite floats use Rust's shortest round-trip formatting,
+//!   and the non-JSON tokens `inf` / `-inf` / `NaN` cover the specials
+//!   (NaN payload bits are not preserved — every NaN reads back as the
+//!   canonical quiet NaN).
+//!
+//! The surface intentionally deviates from real serde's
+//! visitor/`Serializer` architecture: the workspace's persistence needs are
+//! one self-describing format, so `serialize(&self) -> Value` +
+//! `deserialize(&Value) -> Result<Self, Error>` is enough and keeps the
+//! offline shim reviewable. When network access is available, swap in the
+//! real `serde`/`serde_derive`/`serde_json` as described in
+//! vendor/README.md; the `#[derive(...)]` sites build unchanged, and only
+//! the thin call sites of [`json::to_string`] / [`json::from_str`] (all in
+//! `cace-core`'s snapshot module) need the rename to their `serde_json`
+//! equivalents.
 
-use proc_macro::TokenStream;
+use std::fmt;
 
-/// Derive-macro stand-in for `serde::Serialize`. Expands to nothing.
-#[proc_macro_derive(Serialize, attributes(serde))]
-pub fn derive_serialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+pub use serde_derive::{Deserialize, Serialize};
+
+mod impls;
+pub mod json;
+
+/// Serialization/deserialization failure (malformed text, a type mismatch,
+/// a missing field, or an unknown enum variant).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
 }
 
-/// Derive-macro stand-in for `serde::Deserialize`. Expands to nothing.
-#[proc_macro_derive(Deserialize, attributes(serde))]
-pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
-    TokenStream::new()
+impl Error {
+    /// Creates an error carrying `msg`.
+    pub fn msg(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The self-describing data model every [`Serialize`] impl targets.
+///
+/// Maps preserve insertion order (struct fields serialize in declaration
+/// order), which keeps the text encoding deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence (`Option::None`, unit structs).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A signed (negative) integer.
+    Int(i64),
+    /// A double-precision float.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable kind for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::UInt(_) | Value::Int(_) => "integer",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Seq(_) => "sequence",
+            Value::Map(_) => "map",
+        }
+    }
+
+    /// The boolean payload.
+    ///
+    /// # Errors
+    /// Type mismatch.
+    pub fn as_bool(&self) -> Result<bool, Error> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(Error::msg(format!("expected bool, found {}", other.kind()))),
+        }
+    }
+
+    /// The value as a `u64`.
+    ///
+    /// # Errors
+    /// Type mismatch or a negative integer.
+    pub fn as_u64(&self) -> Result<u64, Error> {
+        match self {
+            Value::UInt(v) => Ok(*v),
+            Value::Int(v) if *v >= 0 => Ok(*v as u64),
+            other => Err(Error::msg(format!(
+                "expected unsigned integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as an `i64`.
+    ///
+    /// # Errors
+    /// Type mismatch or overflow.
+    pub fn as_i64(&self) -> Result<i64, Error> {
+        match self {
+            Value::Int(v) => Ok(*v),
+            Value::UInt(v) => {
+                i64::try_from(*v).map_err(|_| Error::msg(format!("integer {v} overflows i64")))
+            }
+            other => Err(Error::msg(format!(
+                "expected integer, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The value as an `f64` (integers convert losslessly when small).
+    ///
+    /// # Errors
+    /// Type mismatch.
+    pub fn as_f64(&self) -> Result<f64, Error> {
+        match self {
+            Value::Float(v) => Ok(*v),
+            Value::UInt(v) => Ok(*v as f64),
+            Value::Int(v) => Ok(*v as f64),
+            other => Err(Error::msg(format!(
+                "expected float, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The string payload.
+    ///
+    /// # Errors
+    /// Type mismatch.
+    pub fn as_str(&self) -> Result<&str, Error> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(Error::msg(format!(
+                "expected string, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// The sequence payload.
+    ///
+    /// # Errors
+    /// Type mismatch.
+    pub fn as_seq(&self) -> Result<&[Value], Error> {
+        match self {
+            Value::Seq(items) => Ok(items),
+            other => Err(Error::msg(format!(
+                "expected sequence, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Looks up `name` in a map value (derive support for named fields).
+    ///
+    /// # Errors
+    /// Non-map value or missing field.
+    pub fn expect_field(&self, name: &str, what: &str) -> Result<&Value, Error> {
+        match self {
+            Value::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == name)
+                .map(|(_, v)| v)
+                .ok_or_else(|| Error::msg(format!("missing field `{name}` for {what}"))),
+            other => Err(Error::msg(format!(
+                "expected map for {what}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// A sequence of exactly `n` elements (derive support for tuples).
+    ///
+    /// # Errors
+    /// Non-sequence value or wrong length.
+    pub fn expect_elements(&self, n: usize, what: &str) -> Result<&[Value], Error> {
+        let items = self
+            .as_seq()
+            .map_err(|e| Error::msg(format!("{what}: {e}")))?;
+        if items.len() != n {
+            return Err(Error::msg(format!(
+                "expected {n} elements for {what}, found {}",
+                items.len()
+            )));
+        }
+        Ok(items)
+    }
+
+    /// Splits an externally-tagged enum value into `(variant, payload)`:
+    /// a bare string is a unit variant, a single-entry map is a data
+    /// variant (derive support for enums).
+    ///
+    /// # Errors
+    /// Any other shape.
+    pub fn expect_variant(&self, what: &str) -> Result<(&str, Option<&Value>), Error> {
+        match self {
+            Value::Str(s) => Ok((s.as_str(), None)),
+            Value::Map(entries) if entries.len() == 1 => {
+                Ok((entries[0].0.as_str(), Some(&entries[0].1)))
+            }
+            other => Err(Error::msg(format!(
+                "expected enum variant for {what}, found {}",
+                other.kind()
+            ))),
+        }
+    }
+
+    /// Asserts a unit variant carried no payload (derive support).
+    ///
+    /// # Errors
+    /// A payload was present.
+    pub fn expect_unit_payload(payload: Option<&Value>, what: &str) -> Result<(), Error> {
+        match payload {
+            None => Ok(()),
+            Some(_) => Err(Error::msg(format!("unexpected payload for {what}"))),
+        }
+    }
+
+    /// Asserts a data variant carried a payload (derive support).
+    ///
+    /// # Errors
+    /// No payload was present.
+    pub fn expect_some_payload<'a>(
+        payload: Option<&'a Value>,
+        what: &str,
+    ) -> Result<&'a Value, Error> {
+        payload.ok_or_else(|| Error::msg(format!("missing payload for {what}")))
+    }
+}
+
+/// Conversion of a value into the [`Value`] data model.
+///
+/// Derivable via `#[derive(Serialize)]` for non-generic structs and enums.
+pub trait Serialize {
+    /// Converts `self` into the data model.
+    fn serialize(&self) -> Value;
+}
+
+/// Reconstruction of a value from the [`Value`] data model.
+///
+/// Derivable via `#[derive(Deserialize)]` for non-generic structs and enums.
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self` from the data model.
+    ///
+    /// # Errors
+    /// Type mismatches, missing fields, unknown variants.
+    fn deserialize(value: &Value) -> Result<Self, Error>;
 }

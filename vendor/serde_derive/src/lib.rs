@@ -1,0 +1,392 @@
+//! Offline stand-in for crates.io `serde_derive`.
+//!
+//! Expands `#[derive(Serialize, Deserialize)]` into real implementations of
+//! the `serde` shim's traits, which serialize through the shim's
+//! [`Value`](../serde/enum.Value.html) data model. The expansion is produced
+//! by a small token-level parser (no `syn`/`quote` available offline) that
+//! understands the shapes this workspace actually uses:
+//!
+//! - structs with named fields,
+//! - tuple structs (newtype structs serialize transparently),
+//! - unit structs,
+//! - enums with unit, tuple, and struct variants.
+//!
+//! Generic type parameters, lifetimes on the deriving type, and the
+//! `#[serde(...)]` field attributes are **not** supported; a derive on such
+//! a type fails loudly at macro-expansion time rather than silently
+//! miscompiling. When the real `serde`/`serde_derive` crates are swapped
+//! back in (see vendor/README.md), the same derive invocations expand to the
+//! genuine impls unchanged.
+
+use proc_macro::{Delimiter, Spacing, TokenStream, TokenTree};
+
+/// The shape of a parsed `struct`/`enum` body.
+enum Data {
+    /// `struct S { a: A, b: B }` — field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// `struct S(A, B);` — field count.
+    TupleStruct(usize),
+    /// `struct S;`
+    UnitStruct,
+    /// `enum E { ... }` — variants in declaration order.
+    Enum(Vec<(String, Shape)>),
+}
+
+/// The shape of one enum variant.
+enum Shape {
+    /// `Variant`
+    Unit,
+    /// `Variant(A, B)` — field count.
+    Tuple(usize),
+    /// `Variant { a: A }` — field names.
+    Named(Vec<String>),
+}
+
+/// Derive macro for `serde::Serialize` (shim data model).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let (name, data) = parse_item(input);
+    expand_serialize(&name, &data)
+        .parse()
+        .expect("serde shim derive: generated Serialize impl must parse")
+}
+
+/// Derive macro for `serde::Deserialize` (shim data model).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let (name, data) = parse_item(input);
+    expand_deserialize(&name, &data)
+        .parse()
+        .expect("serde shim derive: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+type Tokens = std::iter::Peekable<proc_macro::token_stream::IntoIter>;
+
+fn is_punct(tok: &TokenTree, ch: char) -> bool {
+    matches!(tok, TokenTree::Punct(p) if p.as_char() == ch)
+}
+
+/// Skips `#[...]` attributes (including expanded doc comments).
+fn skip_attributes(toks: &mut Tokens) {
+    while toks.peek().is_some_and(|t| is_punct(t, '#')) {
+        toks.next();
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {}
+            other => panic!("serde shim derive: malformed attribute, got {other:?}"),
+        }
+    }
+}
+
+/// Skips `pub` / `pub(crate)` / `pub(in ...)` visibility qualifiers.
+fn skip_visibility(toks: &mut Tokens) {
+    if toks
+        .peek()
+        .is_some_and(|t| matches!(t, TokenTree::Ident(i) if i.to_string() == "pub"))
+    {
+        toks.next();
+        if toks.peek().is_some_and(
+            |t| matches!(t, TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis),
+        ) {
+            toks.next();
+        }
+    }
+}
+
+/// Consumes tokens until a top-level `,` (angle-bracket aware) or the end of
+/// the stream. Returns whether any non-comma token was consumed.
+fn skip_to_comma(toks: &mut Tokens) -> bool {
+    let mut depth = 0i64;
+    let mut arrow_dash = false;
+    let mut saw_any = false;
+    while let Some(tok) = toks.peek() {
+        let mut next_arrow_dash = false;
+        if let TokenTree::Punct(p) = tok {
+            let c = p.as_char();
+            if c == ',' && depth == 0 {
+                toks.next();
+                return saw_any;
+            }
+            if c == '<' {
+                depth += 1;
+            }
+            // `->` must not close an angle bracket.
+            if c == '>' && !arrow_dash {
+                depth -= 1;
+            }
+            next_arrow_dash = c == '-' && p.spacing() == Spacing::Joint;
+        }
+        arrow_dash = next_arrow_dash;
+        saw_any = true;
+        toks.next();
+    }
+    saw_any
+}
+
+/// Counts the comma-separated fields of a tuple struct/variant body.
+fn tuple_arity(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut count = 0usize;
+    while toks.peek().is_some() {
+        if skip_to_comma(&mut toks) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Parses the `{ name: Type, ... }` body of a struct or struct variant.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attributes(&mut toks);
+        skip_visibility(&mut toks);
+        match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(name)) => {
+                match toks.next() {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+                    other => panic!(
+                        "serde shim derive: expected `:` after field `{name}`, got {other:?}"
+                    ),
+                }
+                fields.push(name.to_string());
+                skip_to_comma(&mut toks);
+            }
+            Some(other) => panic!("serde shim derive: expected field name, got {other}"),
+        }
+    }
+    fields
+}
+
+/// Parses the `{ Variant, Variant(T), Variant { f: T } }` body of an enum.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Shape)> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attributes(&mut toks);
+        match toks.next() {
+            None => break,
+            Some(TokenTree::Ident(name)) => {
+                let shape = match toks.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let arity = tuple_arity(g.stream());
+                        toks.next();
+                        Shape::Tuple(arity)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let fields = parse_named_fields(g.stream());
+                        toks.next();
+                        Shape::Named(fields)
+                    }
+                    _ => Shape::Unit,
+                };
+                // Skip an optional `= discriminant` up to the separator.
+                skip_to_comma(&mut toks);
+                variants.push((name.to_string(), shape));
+            }
+            Some(other) => panic!("serde shim derive: expected variant name, got {other}"),
+        }
+    }
+    variants
+}
+
+/// Parses a full `struct`/`enum` item into its name and shape.
+fn parse_item(input: TokenStream) -> (String, Data) {
+    let mut toks = input.into_iter().peekable();
+    skip_attributes(&mut toks);
+    skip_visibility(&mut toks);
+
+    let kind = match toks.next() {
+        Some(TokenTree::Ident(i)) if i.to_string() == "struct" || i.to_string() == "enum" => {
+            i.to_string()
+        }
+        other => panic!("serde shim derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde shim derive: expected type name, got {other:?}"),
+    };
+    if toks.peek().is_some_and(|t| is_punct(t, '<')) {
+        panic!("serde shim derive: generic type `{name}` is not supported by the offline shim");
+    }
+
+    let data = if kind == "enum" {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("serde shim derive: expected enum body, got {other:?}"),
+        }
+    } else {
+        match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Data::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Data::TupleStruct(tuple_arity(g.stream()))
+            }
+            Some(tok) if is_punct(&tok, ';') => Data::UnitStruct,
+            other => panic!("serde shim derive: expected struct body, got {other:?}"),
+        }
+    };
+    (name, data)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+const SER: &str = "::serde::Serialize::serialize";
+const DE: &str = "::serde::Deserialize::deserialize";
+
+fn string_from(text: &str) -> String {
+    format!("::std::string::String::from(\"{text}\")")
+}
+
+fn expand_serialize(name: &str, data: &Data) -> String {
+    let body = match data {
+        Data::NamedStruct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({}, {SER}(&self.{f}))", string_from(f)))
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Data::TupleStruct(0) | Data::UnitStruct => "::serde::Value::Null".to_string(),
+        Data::TupleStruct(1) => format!("{SER}(&self.0)"),
+        Data::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n).map(|i| format!("{SER}(&self.{i})")).collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Data::Enum(variants) => {
+            assert!(
+                !variants.is_empty(),
+                "serde shim derive: cannot derive for empty enum `{name}`"
+            );
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    Shape::Unit => {
+                        format!("Self::{v} => ::serde::Value::Str({}),", string_from(v))
+                    }
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let payload = if *n == 1 {
+                            format!("{SER}(__f0)")
+                        } else {
+                            let items: Vec<String> =
+                                binds.iter().map(|b| format!("{SER}({b})")).collect();
+                            format!("::serde::Value::Seq(::std::vec![{}])", items.join(", "))
+                        };
+                        format!(
+                            "Self::{v}({}) => ::serde::Value::Map(::std::vec![({}, {payload})]),",
+                            binds.join(", "),
+                            string_from(v)
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let entries: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("({}, {SER}({f}))", string_from(f)))
+                            .collect();
+                        format!(
+                            "Self::{v} {{ {} }} => ::serde::Value::Map(::std::vec![({}, \
+                             ::serde::Value::Map(::std::vec![{}]))]),",
+                            fields.join(", "),
+                            string_from(v),
+                            entries.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Serialize for {name} {{ \
+         fn serialize(&self) -> ::serde::Value {{ {body} }} }}"
+    )
+}
+
+fn expand_deserialize(name: &str, data: &Data) -> String {
+    let body = match data {
+        Data::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: {DE}(__value.expect_field(\"{f}\", \"{name}\")?)?"))
+                .collect();
+            format!("::std::result::Result::Ok(Self {{ {} }})", inits.join(", "))
+        }
+        Data::TupleStruct(0) | Data::UnitStruct => {
+            "{ let _ = __value; ::std::result::Result::Ok(Self) }".to_string()
+        }
+        Data::TupleStruct(1) => format!("::std::result::Result::Ok(Self({DE}(__value)?))"),
+        Data::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n).map(|i| format!("{DE}(&__el[{i}])?")).collect();
+            format!(
+                "{{ let __el = __value.expect_elements({n}, \"{name}\")?; \
+                 ::std::result::Result::Ok(Self({})) }}",
+                inits.join(", ")
+            )
+        }
+        Data::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, shape)| match shape {
+                    Shape::Unit => format!(
+                        "\"{v}\" => {{ \
+                         ::serde::Value::expect_unit_payload(__payload, \"{name}::{v}\")?; \
+                         ::std::result::Result::Ok(Self::{v}) }}"
+                    ),
+                    Shape::Tuple(1) => format!(
+                        "\"{v}\" => {{ let __p = \
+                         ::serde::Value::expect_some_payload(__payload, \"{name}::{v}\")?; \
+                         ::std::result::Result::Ok(Self::{v}({DE}(__p)?)) }}"
+                    ),
+                    Shape::Tuple(n) => {
+                        let inits: Vec<String> =
+                            (0..*n).map(|i| format!("{DE}(&__el[{i}])?")).collect();
+                        format!(
+                            "\"{v}\" => {{ let __p = \
+                             ::serde::Value::expect_some_payload(__payload, \"{name}::{v}\")?; \
+                             let __el = __p.expect_elements({n}, \"{name}::{v}\")?; \
+                             ::std::result::Result::Ok(Self::{v}({})) }}",
+                            inits.join(", ")
+                        )
+                    }
+                    Shape::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!("{f}: {DE}(__p.expect_field(\"{f}\", \"{name}::{v}\")?)?")
+                            })
+                            .collect();
+                        format!(
+                            "\"{v}\" => {{ let __p = \
+                             ::serde::Value::expect_some_payload(__payload, \"{name}::{v}\")?; \
+                             ::std::result::Result::Ok(Self::{v} {{ {} }}) }}",
+                            inits.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "{{ let (__variant, __payload) = __value.expect_variant(\"{name}\")?; \
+                 match __variant {{ {} __other => ::std::result::Result::Err(\
+                 ::serde::Error::msg(::std::format!(\
+                 \"unknown variant `{{}}` for {name}\", __other))) }} }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived] impl ::serde::Deserialize for {name} {{ \
+         fn deserialize(__value: &::serde::Value) -> \
+         ::std::result::Result<Self, ::serde::Error> {{ {body} }} }}"
+    )
+}
