@@ -1,0 +1,185 @@
+//! **Beam sweep** — frontier-pruned decoding: per-tick latency vs macro
+//! accuracy, per strategy and per beam width.
+//!
+//! The coupled decoder is the serving hot path; CACE's correlation rules
+//! prune the *candidate* space, and the decoder beam
+//! ([`cace_core::DecoderConfig`]) prunes the *frontier* on top. This bench
+//! quantifies the second lever: a sweep table over NH/NCR/NCS/C2 on the
+//! CACE simulator, the headline C2 speedup-vs-accuracy claim on the fig9
+//! (CASAS-style) workload — the target shape is **≥3× per-tick speedup at
+//! a beam whose macro accuracy stays within 1 point of exact** — and
+//! criterion targets for the steady-state streaming push at each width.
+
+use cace_behavior::session::train_test_split;
+use cace_behavior::{generate_casas_dataset, CasasConfig, Session};
+use cace_bench::{cace_corpus, header, trained};
+use cace_core::{CaceEngine, DecoderConfig, Lag, Strategy};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Mean accuracy and total recognize wall-time of an engine over test
+/// sessions.
+fn measure(engine: &CaceEngine, test: &[Session]) -> (f64, f64, u64) {
+    let mut acc = 0.0;
+    let mut wall = 0.0;
+    let mut ops = 0u64;
+    for session in test {
+        let rec = engine.recognize(session).expect("recognition succeeds");
+        acc += rec.accuracy(session);
+        wall += rec.wall_seconds;
+        ops += rec.transition_ops;
+    }
+    (acc / test.len().max(1) as f64, wall, ops)
+}
+
+/// The sweep widths, as divisors of the strategy's frontier bound.
+const DIVISORS: [usize; 4] = [4, 16, 64, 256];
+
+fn sweep_table(label: &str, engines: &[(Strategy, CaceEngine)], test: &[Session]) {
+    header(&format!("Beam sweep — {label}"));
+    println!(
+        "{:<6} {:>12} {:>9} {:>8} {:>14} {:>10} {:>9}",
+        "strat", "beam", "acc", "Δacc", "trans ops", "wall (s)", "speedup"
+    );
+    for (strategy, exact_engine) in engines {
+        let bound = exact_engine.frontier_bound();
+        let (exact_acc, exact_wall, exact_ops) = measure(exact_engine, test);
+        println!(
+            "{:<6} {:>12} {:>8.1}% {:>8} {:>14} {:>10.3} {:>9}",
+            strategy.label(),
+            "exact",
+            100.0 * exact_acc,
+            "-",
+            exact_ops,
+            exact_wall,
+            "1.00x"
+        );
+        for &divisor in &DIVISORS {
+            let k = (bound / divisor).max(1);
+            let engine = exact_engine.with_decoder(DecoderConfig::top_k(k));
+            let (acc, wall, ops) = measure(&engine, test);
+            println!(
+                "{:<6} {:>12} {:>8.1}% {:>+7.1}pp {:>14} {:>10.3} {:>8.2}x",
+                strategy.label(),
+                format!("TopK({k})"),
+                100.0 * acc,
+                100.0 * (acc - exact_acc),
+                ops,
+                wall,
+                exact_wall / wall.max(1e-12)
+            );
+        }
+    }
+}
+
+/// Mean per-tick streaming push latency (seconds) over one session.
+fn per_tick_latency(engine: &CaceEngine, session: &Session, repeats: usize) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..repeats {
+        let mut stream = engine.stream(Lag::Fixed(10));
+        let t0 = Instant::now();
+        for tick in &session.ticks {
+            black_box(stream.push(black_box(&tick.observed)).expect("push"));
+        }
+        let per_tick = t0.elapsed().as_secs_f64() / session.len() as f64;
+        best = best.min(per_tick);
+    }
+    best
+}
+
+fn bench(c: &mut Criterion) {
+    // ---------- Sweep across all four strategies (CACE sim) ----------
+    let (train, test) = cace_corpus(1, 8, 200, 14003);
+    let engines: Vec<(Strategy, CaceEngine)> = Strategy::ALL
+        .into_iter()
+        .map(|s| (s, trained(&train, s)))
+        .collect();
+    sweep_table("NH/NCR/NCS/C2 on the CACE simulator", &engines, &test);
+
+    // ---------- Headline claim: C2 per-tick speedup on fig9 ----------
+    let cfg = CasasConfig {
+        pairs: 8,
+        sessions_per_pair: 2,
+        ticks: 250,
+        ..CasasConfig::default()
+    };
+    let sessions = generate_casas_dataset(&cfg, 9001);
+    let (c_train, c_test) = train_test_split(sessions, 0.8);
+    let exact_engine = trained(&c_train, Strategy::CorrelationConstraint);
+    let bound = exact_engine.frontier_bound();
+    let session = &c_test[0];
+    let (exact_acc, _, _) = measure(&exact_engine, &c_test);
+    let exact_tick = per_tick_latency(&exact_engine, session, 3);
+
+    header("C2 per-tick speedup on the fig9 (CASAS-style) workload");
+    println!(
+        "frontier bound {bound} joint states; exact: {:.1} µs/tick, {:.1}% macro accuracy",
+        1e6 * exact_tick,
+        100.0 * exact_acc
+    );
+    println!(
+        "{:>12} {:>12} {:>9} {:>8} {:>9}",
+        "beam", "µs/tick", "acc", "Δacc", "speedup"
+    );
+    let mut claim: Option<(usize, f64, f64)> = None;
+    for &divisor in &DIVISORS {
+        let k = (bound / divisor).max(1);
+        let engine = exact_engine.with_decoder(DecoderConfig::top_k(k));
+        let (acc, _, _) = measure(&engine, &c_test);
+        let tick_s = per_tick_latency(&engine, session, 3);
+        let speedup = exact_tick / tick_s.max(1e-12);
+        println!(
+            "{:>12} {:>12.1} {:>8.1}% {:>+7.1}pp {:>8.2}x",
+            format!("TopK({k})"),
+            1e6 * tick_s,
+            100.0 * acc,
+            100.0 * (acc - exact_acc),
+            speedup
+        );
+        // The widest beam whose accuracy holds within 1 point of exact.
+        if acc >= exact_acc - 0.01 && claim.map(|(_, _, s)| speedup > s).unwrap_or(true) {
+            claim = Some((k, acc, speedup));
+        }
+    }
+    match claim {
+        Some((k, acc, speedup)) => println!(
+            "→ TopK({k}): {speedup:.2}x per-tick speedup at {:.1}% accuracy \
+             ({:+.2}pp vs exact; target ≥3x within 1pp)",
+            100.0 * acc,
+            100.0 * (acc - exact_acc)
+        ),
+        None => println!("→ no swept beam held accuracy within 1pp of exact"),
+    }
+
+    // ---------- Criterion targets: steady-state streaming push ----------
+    for (tag, decoder) in [
+        ("exact", DecoderConfig::exact()),
+        ("topk_eighth", DecoderConfig::top_k((bound / 8).max(1))),
+        ("topk_64th", DecoderConfig::top_k((bound / 64).max(1))),
+    ] {
+        let engine = exact_engine.with_decoder(decoder);
+        let mut stream = engine.stream(Lag::Fixed(10));
+        // Warm one full session so sampling starts in steady state (the
+        // window is bounded, so repeated pushes measure the amortized
+        // frontier step, not the cold start).
+        for tick in &session.ticks {
+            black_box(stream.push(&tick.observed).unwrap());
+        }
+        let mut next = 0usize;
+        c.bench_function(&format!("beam_sweep/stream_push_c2_{tag}"), |b| {
+            b.iter(|| {
+                let tick = &session.ticks[next % session.len()];
+                next += 1;
+                black_box(stream.push(black_box(&tick.observed)).unwrap())
+            })
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -7,8 +7,8 @@ use cace_baselines::Hmm;
 use cace_behavior::Session;
 use cace_features::SessionFeatures;
 use cace_hdbn::{
-    fit_em_shared as hdbn_fit_em_shared, CoupledHdbn, EmConfig, HdbnConfig, HdbnParams, SingleHdbn,
-    TickInput,
+    fit_em_shared as hdbn_fit_em_shared, BeamScratch, CoupledHdbn, DecoderConfig, EmConfig,
+    HdbnConfig, HdbnParams, SingleHdbn, TickInput,
 };
 use cace_mining::constraint::{ConstraintMiner, LabeledSequence};
 use cace_mining::rules::mine_negative_rules;
@@ -39,6 +39,13 @@ pub struct CaceConfig {
     /// states in the state space"); much larger than `beam` because NH
     /// refuses to exploit any structure to shrink its trellis.
     pub nh_beam: usize,
+    /// Decode-time frontier pruning ([`cace_hdbn::Beam`]): `Exact` by
+    /// default (bit-identical to the historical decoders); `TopK`/
+    /// `LogThreshold` bound the per-tick trellis frontier the decoders
+    /// carry forward, on top of the candidate beams above. Applies to
+    /// every strategy, batch and streaming alike, and round-trips through
+    /// engine snapshots.
+    pub decoder: DecoderConfig,
     /// Apriori thresholds (paper defaults: 4 % / 99 %).
     pub apriori: AprioriConfig,
     /// Whether to seed the rule set with the Base-application initial rules
@@ -70,6 +77,7 @@ impl Default for CaceConfig {
             mask: StateMask::FULL,
             beam: 8,
             nh_beam: 64,
+            decoder: DecoderConfig::default(),
             apriori: AprioriConfig {
                 max_itemset: 3,
                 ..AprioriConfig::paper_default()
@@ -96,6 +104,12 @@ impl CaceConfig {
     /// Builder-style mask override.
     pub fn with_mask(mut self, mask: StateMask) -> Self {
         self.mask = mask;
+        self
+    }
+
+    /// Builder-style decoder (frontier beam) override.
+    pub fn with_decoder(mut self, decoder: DecoderConfig) -> Self {
+        self.decoder = decoder;
         self
     }
 }
@@ -393,6 +407,33 @@ impl CaceEngine {
         self.n_macro
     }
 
+    /// The configuration this engine was trained with (and serves with —
+    /// snapshots persist it verbatim, decoder settings included).
+    pub fn config(&self) -> &CaceConfig {
+        &self.config
+    }
+
+    /// A copy of this engine serving with a different decode-time beam.
+    ///
+    /// The decoder configuration is not trained state — every classifier,
+    /// rule, and CPT is shared unchanged (parameters via `Arc`) — so beam
+    /// sweeps can reuse one trained engine instead of retraining per
+    /// width.
+    pub fn with_decoder(&self, decoder: DecoderConfig) -> Self {
+        let mut serving = self.clone();
+        serving.config.decoder = decoder;
+        serving
+    }
+
+    /// Upper bound on this engine's per-tick decoder-frontier size — the
+    /// yardstick for choosing a [`cace_hdbn::Beam::TopK`] width (see
+    /// [`Strategy::frontier_bound`]).
+    pub fn frontier_bound(&self) -> usize {
+        self.config
+            .strategy
+            .frontier_bound(self.n_macro, self.config.beam, self.config.nh_beam)
+    }
+
     /// The shared per-tick preparation pipeline, configured for this
     /// engine's strategy. `use_pruner` selects the correlation-pruning
     /// variant (requires a pruning strategy); `beam` is the per-user
@@ -478,21 +519,30 @@ impl CaceEngine {
             Strategy::NaiveHmm => self.recognize_nh(session, &features),
             Strategy::NaiveCorrelation => {
                 let (inputs, sizes, fired) = self.tick_inputs_pruned(session, &features);
-                let model = SingleHdbn::from_shared(Arc::clone(&self.params));
+                let model = SingleHdbn::from_shared(Arc::clone(&self.params))
+                    .with_decoder(self.config.decoder);
                 let mut states = 0u64;
                 let mut ops = 0u64;
                 let mut macros: [Vec<usize>; 2] = [Vec::new(), Vec::new()];
                 for u in 0..2 {
                     let path = model.viterbi(&inputs, u)?;
                     states += path.states_explored;
-                    // Single-chain transition work is |S|² per tick.
-                    ops += inputs
-                        .windows(2)
-                        .map(|w| {
-                            (w[0].joint_states(self.n_macro) as f64).sqrt() as u64
-                                * (w[1].joint_states(self.n_macro) as f64).sqrt() as u64
-                        })
-                        .sum::<u64>();
+                    if self.config.decoder.beam.never_prunes(self.frontier_bound()) {
+                        // Historical input-size convention for the exact
+                        // decoder: single-chain transition work is |S|² per
+                        // tick.
+                        ops += inputs
+                            .windows(2)
+                            .map(|w| {
+                                (w[0].joint_states(self.n_macro) as f64).sqrt() as u64
+                                    * (w[1].joint_states(self.n_macro) as f64).sqrt() as u64
+                            })
+                            .sum::<u64>();
+                    } else {
+                        // Under a beam, report the decoder's own count so
+                        // the overhead tables reflect the pruned frontier.
+                        ops += path.transition_ops;
+                    }
                     macros[u] = path.macros;
                 }
                 Ok((macros, states, ops, sizes, fired))
@@ -503,7 +553,8 @@ impl CaceEngine {
                     .iter()
                     .map(|i| i.joint_states(self.n_macro) as u128)
                     .collect();
-                let model = CoupledHdbn::from_shared(Arc::clone(&self.params));
+                let model = CoupledHdbn::from_shared(Arc::clone(&self.params))
+                    .with_decoder(self.config.decoder);
                 let path = model.viterbi(&inputs)?;
                 Ok((
                     path.macros,
@@ -515,7 +566,8 @@ impl CaceEngine {
             }
             Strategy::CorrelationConstraint => {
                 let (inputs, sizes, fired) = self.tick_inputs_pruned(session, &features);
-                let model = CoupledHdbn::from_shared(Arc::clone(&self.params));
+                let model = CoupledHdbn::from_shared(Arc::clone(&self.params))
+                    .with_decoder(self.config.decoder);
                 let path = model.viterbi(&inputs)?;
                 Ok((
                     path.macros,
@@ -602,13 +654,23 @@ impl CaceEngine {
         let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
         let mut all_states = vec![states.clone()];
 
+        let beam = self.config.decoder.beam;
+        let mut scratch = BeamScratch::new();
+        let mut pruned = beam.select_log(&v, &mut scratch);
+
         for t in 1..inputs.len() {
             let cur = nh::states(&inputs[t], user, n);
             let emit = nh::emissions(&inputs[t], user, &cur, &macro_emissions[t]);
             states_explored += cur.len() as u64;
-            transition_ops += (cur.len() * states.len()) as u64;
-            let (v_new, back) = nh::step(&self.nh_log_trans, &states, &v, &cur, &emit);
+            let (v_new, back) = if pruned {
+                transition_ops += (cur.len() * scratch.keep().len()) as u64;
+                nh::step_pruned(&self.nh_log_trans, &states, &v, scratch.keep(), &cur, &emit)
+            } else {
+                transition_ops += (cur.len() * states.len()) as u64;
+                nh::step(&self.nh_log_trans, &states, &v, &cur, &emit)
+            };
             v = v_new;
+            pruned = beam.select_log(&v, &mut scratch);
             backptrs.push(back);
             states = cur.clone();
             all_states.push(cur);
@@ -688,6 +750,28 @@ mod tests {
             "C2 ops {} vs NCS ops {}",
             rec_c2.transition_ops,
             rec_ncs.transition_ops
+        );
+    }
+
+    #[test]
+    fn beamed_decoder_cuts_transition_work_without_losing_the_session() {
+        let sessions = dataset(4, 150, 11);
+        let (train, test) = train_test_split(sessions, 0.75);
+        let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+        let exact = engine.recognize(&test[0]).unwrap();
+        // Same trained model, beamed frontier: decode-time state only.
+        let beamed_engine = engine.with_decoder(DecoderConfig::top_k(32));
+        let beamed = beamed_engine.recognize(&test[0]).unwrap();
+        assert!(
+            beamed.transition_ops * 2 < exact.transition_ops,
+            "TopK(32) ops {} should be well under exact {}",
+            beamed.transition_ops,
+            exact.transition_ops
+        );
+        let (acc_b, acc_e) = (beamed.accuracy(&test[0]), exact.accuracy(&test[0]));
+        assert!(
+            acc_b >= acc_e - 0.05,
+            "beamed accuracy {acc_b} fell too far below exact {acc_e}"
         );
     }
 

@@ -10,7 +10,7 @@
 
 use std::collections::VecDeque;
 
-use cace_hdbn::{Lag, TickInput};
+use cace_hdbn::{Beam, BeamScratch, Lag, TickInput};
 
 /// One flat product state: (macro activity, micro-candidate index).
 pub(crate) type FlatState = (usize, usize);
@@ -63,6 +63,36 @@ pub(crate) fn step(
     (v_new, back)
 }
 
+/// [`step`] restricted to a pruned previous frontier (`keep`: surviving
+/// state indices, sorted ascending). Backpointers stay in full-frontier
+/// coordinates.
+pub(crate) fn step_pruned(
+    log_trans: &[Vec<f64>],
+    prev: &[FlatState],
+    v: &[f64],
+    keep: &[u32],
+    cur: &[FlatState],
+    emit: &[f64],
+) -> (Vec<f64>, Vec<u32>) {
+    let mut v_new = vec![f64::NEG_INFINITY; cur.len()];
+    let mut back = vec![0u32; cur.len()];
+    for (j, &(a, _)) in cur.iter().enumerate() {
+        let mut best = f64::NEG_INFINITY;
+        let mut best_arg = 0u32;
+        for &jp in keep {
+            let (ap, _) = prev[jp as usize];
+            let score = v[jp as usize] + log_trans[ap][a];
+            if score > best {
+                best = score;
+                best_arg = jp;
+            }
+        }
+        v_new[j] = best + emit[j];
+        back[j] = best_arg;
+    }
+    (v_new, back)
+}
+
 fn argmax(v: &[f64]) -> usize {
     v.iter()
         .enumerate()
@@ -82,6 +112,7 @@ struct FlatEntry {
 pub(crate) struct OnlineFlat<'a> {
     log_trans: &'a [Vec<f64>],
     lag: Lag,
+    beam: Beam,
     v: Vec<f64>,
     window: VecDeque<FlatEntry>,
     base: usize,
@@ -89,13 +120,16 @@ pub(crate) struct OnlineFlat<'a> {
     emitted: Vec<usize>,
     states_explored: u64,
     transition_ops: u64,
+    scratch: BeamScratch,
+    pruned: bool,
 }
 
 impl<'a> OnlineFlat<'a> {
-    pub(crate) fn new(log_trans: &'a [Vec<f64>], lag: Lag) -> Self {
+    pub(crate) fn new(log_trans: &'a [Vec<f64>], lag: Lag, beam: Beam) -> Self {
         Self {
             log_trans,
             lag,
+            beam,
             v: Vec::new(),
             window: VecDeque::new(),
             base: 0,
@@ -103,6 +137,8 @@ impl<'a> OnlineFlat<'a> {
             emitted: Vec::new(),
             states_explored: 0,
             transition_ops: 0,
+            scratch: BeamScratch::new(),
+            pruned: false,
         }
     }
 
@@ -119,11 +155,24 @@ impl<'a> OnlineFlat<'a> {
             Vec::new()
         } else {
             let prev = self.window.back().expect("nonempty window");
-            self.transition_ops += (states.len() * prev.states.len()) as u64;
-            let (v_new, back) = step(self.log_trans, &prev.states, &self.v, &states, &emit);
+            let (v_new, back) = if self.pruned {
+                self.transition_ops += (states.len() * self.scratch.keep().len()) as u64;
+                step_pruned(
+                    self.log_trans,
+                    &prev.states,
+                    &self.v,
+                    self.scratch.keep(),
+                    &states,
+                    &emit,
+                )
+            } else {
+                self.transition_ops += (states.len() * prev.states.len()) as u64;
+                step(self.log_trans, &prev.states, &self.v, &states, &emit)
+            };
             self.v = v_new;
             back
         };
+        self.pruned = self.beam.select_log(&self.v, &mut self.scratch);
         self.window.push_back(FlatEntry { states, back });
         self.pushed += 1;
         self.emit_ready()

@@ -33,8 +33,11 @@ use crate::engine::CaceEngine;
 
 /// Leading magic token of the header line.
 const MAGIC: &str = "CACE-SNAPSHOT";
-/// Current snapshot format version.
-const VERSION: u32 = 1;
+/// Current snapshot format version. v2 added the engine's
+/// [`DecoderConfig`](cace_hdbn::DecoderConfig) (frontier beam) to the
+/// persisted configuration; v1 payloads predate it and are rejected rather
+/// than silently defaulted, so a served beam is always the trained one.
+const VERSION: u32 = 2;
 
 /// 64-bit FNV-1a over the payload bytes (fast, dependency-free integrity
 /// check — corruption detection, not cryptographic authentication).
@@ -218,7 +221,7 @@ mod tests {
     fn header_is_versioned_and_checksummed() {
         let (engine, _) = tiny_engine(Strategy::NaiveCorrelation);
         let text = engine.to_snapshot_string();
-        assert!(text.starts_with("CACE-SNAPSHOT v1 fnv1a64="));
+        assert!(text.starts_with("CACE-SNAPSHOT v2 fnv1a64="));
 
         // Flip one payload byte → checksum mismatch.
         let mut corrupted = text.clone();
@@ -229,8 +232,8 @@ mod tests {
             Err(ModelError::Persistence { .. })
         ));
 
-        // Wrong version.
-        let wrong = text.replacen("v1", "v9", 1);
+        // Wrong version (older or newer than this build).
+        let wrong = text.replacen("v2", "v9", 1);
         let err = CaceEngine::from_snapshot_str(&wrong).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
 

@@ -1,6 +1,18 @@
 //! State-space creation (Fig 2, step 3): per-tick candidate sets scored
 //! against the observations, plus the shared per-tick preparation pipeline
 //! ([`TickPreparer`]) that the batch, EM, and streaming paths all run.
+//!
+//! Two distinct "beams" act on a tick, at different stages. The
+//! *candidate* beam here ([`TickPreparer`]'s `beam` field, from
+//! [`CaceConfig::beam`](crate::CaceConfig)) caps how many scored micro
+//! tuples per user enter the decoder at all — it shapes the state space
+//! before inference. The *frontier* beam
+//! ([`CaceConfig::decoder`](crate::CaceConfig), a
+//! [`cace_hdbn::Beam`]) acts later, inside the decoders, bounding how many
+//! of those states' trellis scores are carried from one tick to the next.
+//! They compose: the candidate beam fixes the frontier's width ceiling
+//! (see [`Strategy::frontier_bound`](crate::Strategy::frontier_bound)),
+//! the frontier beam prunes within it.
 
 use cace_behavior::ObservedTick;
 use cace_features::TickFeatures;

@@ -60,6 +60,26 @@ impl Strategy {
         !matches!(self, Strategy::NaiveHmm)
     }
 
+    /// Upper bound on the decoder-frontier size this strategy carries per
+    /// tick, given the engine's per-user macro count and micro-candidate
+    /// caps (`beam` for the structured strategies, `nh_beam` for NH).
+    ///
+    /// This is the frontier a [`cace_hdbn::Beam::TopK`] width is measured
+    /// against: `TopK(k)` with `k` at or above this bound never prunes.
+    /// The coupled strategies (NCS, C2) decode one *joint* frontier — the
+    /// product of both users' chains — while NH and NCR decode two
+    /// independent per-user frontiers, so the bound is per decoded
+    /// frontier, not per home.
+    pub const fn frontier_bound(self, n_macro: usize, beam: usize, nh_beam: usize) -> usize {
+        match self {
+            Strategy::NaiveHmm => n_macro * nh_beam,
+            Strategy::NaiveCorrelation => n_macro * beam,
+            Strategy::NaiveConstraint | Strategy::CorrelationConstraint => {
+                (n_macro * beam) * (n_macro * beam)
+            }
+        }
+    }
+
     /// The paper's abbreviation.
     pub const fn label(self) -> &'static str {
         match self {
@@ -98,6 +118,16 @@ mod tests {
         assert!(CorrelationConstraint.uses_correlation_pruning());
         assert!(CorrelationConstraint.coupled());
         assert!(!CorrelationConstraint.per_user_rules_only());
+    }
+
+    #[test]
+    fn frontier_bounds_match_decoder_shapes() {
+        use Strategy::*;
+        // CACE defaults: 11 macros, beam 8, NH beam 64.
+        assert_eq!(NaiveHmm.frontier_bound(11, 8, 64), 11 * 64);
+        assert_eq!(NaiveCorrelation.frontier_bound(11, 8, 64), 88);
+        assert_eq!(NaiveConstraint.frontier_bound(11, 8, 64), 88 * 88);
+        assert_eq!(CorrelationConstraint.frontier_bound(11, 8, 64), 88 * 88);
     }
 
     #[test]

@@ -110,18 +110,20 @@ impl CaceEngine {
     pub fn stream(&self, lag: Lag) -> StreamingRecognizer<'_> {
         let decoder = match self.config.strategy {
             Strategy::NaiveHmm => Decoder::Nh([
-                OnlineFlat::new(&self.nh_log_trans, lag),
-                OnlineFlat::new(&self.nh_log_trans, lag),
+                OnlineFlat::new(&self.nh_log_trans, lag, self.config.decoder.beam),
+                OnlineFlat::new(&self.nh_log_trans, lag, self.config.decoder.beam),
             ]),
             Strategy::NaiveCorrelation => {
-                let model = SingleHdbn::from_shared(std::sync::Arc::clone(&self.params));
+                let model = SingleHdbn::from_shared(std::sync::Arc::clone(&self.params))
+                    .with_decoder(self.config.decoder);
                 Decoder::Single([
                     OnlineSingleViterbi::new(model.clone(), 0, lag),
                     OnlineSingleViterbi::new(model, 1, lag),
                 ])
             }
             Strategy::NaiveConstraint | Strategy::CorrelationConstraint => {
-                let model = CoupledHdbn::from_shared(std::sync::Arc::clone(&self.params));
+                let model = CoupledHdbn::from_shared(std::sync::Arc::clone(&self.params))
+                    .with_decoder(self.config.decoder);
                 Decoder::Coupled(OnlineCoupledViterbi::new(model, lag))
             }
         };
@@ -255,12 +257,25 @@ impl StreamingRecognizer<'_> {
                 let [c0, c1] = chains;
                 let p0 = c0.finalize()?;
                 let p1 = c1.finalize()?;
-                // The batch path charges the |S|²-per-tick single-chain
-                // transition work once per user.
+                // Mirror the batch path's choice: the |S|²-per-tick
+                // input-size convention (charged once per user) for a
+                // decoder that can never prune, the decoders' own counts
+                // under a live beam.
+                let ops = if self
+                    .engine
+                    .config
+                    .decoder
+                    .beam
+                    .never_prunes(self.engine.frontier_bound())
+                {
+                    2 * self.ncr_ops
+                } else {
+                    p0.transition_ops + p1.transition_ops
+                };
                 (
                     [p0.macros, p1.macros],
                     p0.states_explored + p1.states_explored,
-                    2 * self.ncr_ops,
+                    ops,
                 )
             }
             Decoder::Nh(flats) => {

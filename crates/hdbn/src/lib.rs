@@ -27,7 +27,11 @@
 //! candidate sets translate into the paper's 16-fold overhead reduction.
 //! The same recursion also runs *incrementally*: the [`online`] module
 //! maintains the trellis frontier tick by tick with fixed-lag smoothing,
-//! for run-time recognition on live sensor streams.
+//! for run-time recognition on live sensor streams. On top of the
+//! candidate-space pruning, every decoder accepts a [`DecoderConfig`]
+//! whose [`Beam`] restricts the *frontier* itself each tick (top-K or
+//! log-threshold), trading a provably-bounded amount of path quality for
+//! per-tick work proportional to the beam width — see [`beam`].
 //!
 //! The crate is deliberately index-based (runtime vocabulary sizes), so the
 //! same machinery serves the 11-activity CACE and 15-activity CASAS
@@ -36,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod beam;
 pub mod em;
 pub mod forward;
 pub mod input;
@@ -44,6 +49,7 @@ pub mod params;
 pub mod single;
 pub mod viterbi;
 
+pub use beam::{Beam, BeamScratch, DecoderConfig};
 pub use em::{e_step, fit_em, fit_em_shared, EmConfig, EmOutcome};
 pub use forward::log_sum_exp;
 pub use input::{MicroCandidate, TickInput};

@@ -65,9 +65,10 @@ use std::collections::VecDeque;
 
 use cace_model::ModelError;
 
+use crate::beam::BeamScratch;
 use crate::input::{MicroCandidate, TickInput};
 use crate::single::{self, SingleHdbn, SinglePath};
-use crate::viterbi::{self, CoupledHdbn, JointPath, Slice};
+use crate::viterbi::{self, CoupledHdbn, JointPath, JointScratch, Slice};
 
 /// Fixed-lag smoothing horizon of an online decoder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,10 +159,18 @@ pub struct OnlineCoupledViterbi {
     emitted_micros: [Vec<MicroCandidate>; 2],
     states_explored: u64,
     transition_ops: u64,
+    /// Beam survivor scratch, reused across pushes; `pruned` records
+    /// whether the current frontier was restricted (always `false` under
+    /// `Beam::Exact`).
+    scratch: BeamScratch,
+    /// Pruned joint-step work buffers, likewise reused across pushes.
+    jscratch: JointScratch,
+    pruned: bool,
 }
 
 impl OnlineCoupledViterbi {
-    /// Starts an empty stream against a trained model.
+    /// Starts an empty stream against a trained model (the model's
+    /// [`DecoderConfig`](crate::DecoderConfig) governs beam pruning).
     pub fn new(model: CoupledHdbn, lag: Lag) -> Self {
         Self {
             model,
@@ -174,6 +183,9 @@ impl OnlineCoupledViterbi {
             emitted_micros: [Vec::new(), Vec::new()],
             states_explored: 0,
             transition_ops: 0,
+            scratch: BeamScratch::new(),
+            jscratch: JointScratch::default(),
+            pruned: false,
         }
     }
 
@@ -208,18 +220,38 @@ impl OnlineCoupledViterbi {
             let (k1, k2) = (prev.s1.states.len(), prev.s2.states.len());
             let (m1, m2) = (cur1.states.len(), cur2.states.len());
             self.states_explored += (m1 * m2) as u64;
-            self.transition_ops += (k1 as u64 * k2 as u64) * (m1 as u64 + m2 as u64);
-            let (v_new, back) = viterbi::joint_step(
-                self.model.params(),
-                &prev.s1,
-                &prev.s2,
-                &self.v,
-                &cur1,
-                &cur2,
-            );
+            let (v_new, back) = if self.pruned {
+                let (v_new, back, ops) = viterbi::joint_step_pruned(
+                    self.model.params(),
+                    &prev.s1,
+                    &prev.s2,
+                    &self.v,
+                    self.scratch.keep(),
+                    &cur1,
+                    &cur2,
+                    &mut self.jscratch,
+                );
+                self.transition_ops += ops;
+                (v_new, back)
+            } else {
+                self.transition_ops += (k1 as u64 * k2 as u64) * (m1 as u64 + m2 as u64);
+                viterbi::joint_step(
+                    self.model.params(),
+                    &prev.s1,
+                    &prev.s2,
+                    &self.v,
+                    &cur1,
+                    &cur2,
+                )
+            };
             self.v = v_new;
             back
         };
+        self.pruned = self
+            .model
+            .decoder()
+            .beam
+            .select_log(&self.v, &mut self.scratch);
         self.window.push_back(JointEntry {
             s1: cur1,
             s2: cur2,
@@ -351,10 +383,14 @@ pub struct OnlineSingleViterbi {
     emitted_macros: Vec<usize>,
     emitted_micros: Vec<MicroCandidate>,
     states_explored: u64,
+    transition_ops: u64,
+    scratch: BeamScratch,
+    pruned: bool,
 }
 
 impl OnlineSingleViterbi {
-    /// Starts an empty stream decoding `user`'s chain.
+    /// Starts an empty stream decoding `user`'s chain (the model's
+    /// [`DecoderConfig`](crate::DecoderConfig) governs beam pruning).
     pub fn new(model: SingleHdbn, user: usize, lag: Lag) -> Self {
         Self {
             model,
@@ -367,6 +403,9 @@ impl OnlineSingleViterbi {
             emitted_macros: Vec::new(),
             emitted_micros: Vec::new(),
             states_explored: 0,
+            transition_ops: 0,
+            scratch: BeamScratch::new(),
+            pruned: false,
         }
     }
 
@@ -395,10 +434,28 @@ impl OnlineSingleViterbi {
             Vec::new()
         } else {
             let prev = self.window.back().expect("nonempty window");
-            let (v_new, back) = single::chain_step(self.model.params(), &prev.slice, &self.v, &cur);
+            let (v_new, back) = if self.pruned {
+                let ops = (self.scratch.keep().len() * cur.activities.len()) as u64;
+                self.transition_ops += ops;
+                single::chain_step_pruned(
+                    self.model.params(),
+                    &prev.slice,
+                    &self.v,
+                    self.scratch.keep(),
+                    &cur,
+                )
+            } else {
+                self.transition_ops += (prev.slice.activities.len() * cur.activities.len()) as u64;
+                single::chain_step(self.model.params(), &prev.slice, &self.v, &cur)
+            };
             self.v = v_new;
             back
         };
+        self.pruned = self
+            .model
+            .decoder()
+            .beam
+            .select_log(&self.v, &mut self.scratch);
         self.window.push_back(ChainEntry {
             slice: cur,
             back,
@@ -478,6 +535,7 @@ impl OnlineSingleViterbi {
             micros,
             log_prob,
             states_explored: self.states_explored,
+            transition_ops: self.transition_ops,
         })
     }
 }
@@ -648,6 +706,37 @@ mod tests {
         }
         let path = online.finalize().unwrap();
         assert_eq!(path.macros.len(), ticks.len());
+    }
+
+    #[test]
+    fn beamed_online_coupled_matches_beamed_batch_bit_for_bit() {
+        use crate::beam::DecoderConfig;
+        let ticks = glitchy_ticks();
+        for config in [DecoderConfig::top_k(4), DecoderConfig::log_threshold(3.0)] {
+            let model = CoupledHdbn::new(toy_params(true)).with_decoder(config);
+            let batch = model.viterbi(&ticks).unwrap();
+            let mut online = OnlineCoupledViterbi::new(model, Lag::Unbounded);
+            for tick in &ticks {
+                assert_eq!(online.push(tick).unwrap(), None);
+            }
+            let streamed = online.finalize().unwrap();
+            assert_eq!(streamed, batch, "{config:?}: floats and accounting");
+        }
+    }
+
+    #[test]
+    fn beamed_online_single_matches_beamed_batch_bit_for_bit() {
+        use crate::beam::DecoderConfig;
+        let ticks = glitchy_ticks();
+        let model = SingleHdbn::new(toy_params(false)).with_decoder(DecoderConfig::top_k(2));
+        for user in 0..2 {
+            let batch = model.viterbi(&ticks, user).unwrap();
+            let mut online = OnlineSingleViterbi::new(model.clone(), user, Lag::Unbounded);
+            for tick in &ticks {
+                assert_eq!(online.push(tick).unwrap(), None);
+            }
+            assert_eq!(online.finalize().unwrap(), batch, "user {user}");
+        }
     }
 
     #[test]

@@ -6,7 +6,8 @@
 
 use cace_model::ModelError;
 
-use crate::forward::{log_sum_exp, normalize_log};
+use crate::beam::{BeamScratch, DecoderConfig};
+use crate::forward::{apply_beam_linear, log_sum_exp, normalize_log};
 use crate::input::{MicroCandidate, TickInput};
 use crate::params::HdbnParams;
 
@@ -21,6 +22,10 @@ pub struct SinglePath {
     pub log_prob: f64,
     /// Σ_t |S(t)| states instantiated.
     pub states_explored: u64,
+    /// Σ_t |frontier(t−1)| · |S(t)| transition evaluations performed by
+    /// the decoder (the frontier is the beam survivors under a pruned
+    /// [`DecoderConfig`], the full previous state set under `Exact`).
+    pub transition_ops: u64,
 }
 
 /// Posterior marginals from forward–backward.
@@ -109,10 +114,13 @@ impl ExpectedCounts {
 ///
 /// Parameters are [`Arc`](std::sync::Arc)-shared for the same reason as
 /// [`crate::CoupledHdbn`]: batch recognition decodes many sessions against
-/// one read-only trained model, with per-call trellis scratch.
+/// one read-only trained model, with per-call trellis scratch. Decoding
+/// and filtering default to the exact recursion;
+/// [`with_decoder`](Self::with_decoder) installs a beam.
 #[derive(Debug, Clone)]
 pub struct SingleHdbn {
     params: std::sync::Arc<HdbnParams>,
+    decoder: DecoderConfig,
 }
 
 #[derive(Debug, Clone)]
@@ -184,17 +192,68 @@ pub(crate) fn chain_step(
     (v_new, back)
 }
 
+/// [`chain_step`] restricted to a pruned previous frontier: only the
+/// survivors in `keep` (state indices sorted ascending) may be
+/// transitioned out of. Backpointers stay in full-frontier coordinates, so
+/// backtracking is oblivious to pruning; the iteration order over
+/// survivors matches the dense kernel's ascending order.
+pub(crate) fn chain_step_pruned(
+    p: &HdbnParams,
+    prev: &Slice,
+    v: &[f64],
+    keep: &[u32],
+    cur: &Slice,
+) -> (Vec<f64>, Vec<u32>) {
+    let mut v_new = vec![f64::NEG_INFINITY; cur.activities.len()];
+    let mut back = vec![0u32; cur.activities.len()];
+    for (j, (&a, &e)) in cur.activities.iter().zip(&cur.emissions).enumerate() {
+        let p_new = cur.posturals[j];
+        let mut best = f64::NEG_INFINITY;
+        let mut best_arg = 0u32;
+        for &jp in keep {
+            let jp = jp as usize;
+            let score =
+                v[jp] + p.transition_score(prev.activities[jp], prev.posturals[jp], a, p_new);
+            if score > best {
+                best = score;
+                best_arg = jp as u32;
+            }
+        }
+        v_new[j] = best + e;
+        back[j] = best_arg;
+    }
+    (v_new, back)
+}
+
 impl SingleHdbn {
-    /// Wraps parameters.
+    /// Wraps parameters (exact decoding).
     pub fn new(params: HdbnParams) -> Self {
         Self {
             params: std::sync::Arc::new(params),
+            decoder: DecoderConfig::default(),
         }
     }
 
-    /// Wraps an already-shared parameter set without copying it.
+    /// Wraps an already-shared parameter set without copying it (exact
+    /// decoding).
     pub fn from_shared(params: std::sync::Arc<HdbnParams>) -> Self {
-        Self { params }
+        Self {
+            params,
+            decoder: DecoderConfig::default(),
+        }
+    }
+
+    /// Installs a decoding configuration (beam pruning policy). Applies to
+    /// [`viterbi`](Self::viterbi) and the forward filtering inside
+    /// [`forward_backward`](Self::forward_backward).
+    pub fn with_decoder(mut self, decoder: DecoderConfig) -> Self {
+        self.decoder = decoder;
+        self
+    }
+
+    /// The decoding configuration in use.
+    pub fn decoder(&self) -> DecoderConfig {
+        self.decoder
     }
 
     /// The parameters in use.
@@ -262,13 +321,25 @@ impl SingleHdbn {
         let mut v = chain_init(p, &slices[0]);
         states_explored += v.len() as u64;
 
+        let beam = self.decoder.beam;
+        let mut scratch = BeamScratch::new();
+        let mut pruned = beam.select_log(&v, &mut scratch);
+        let mut transition_ops = 0u64;
+
         let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
         for tick in ticks.iter().skip(1) {
             let cur = self.slice(tick, user);
             let prev = slices.last().expect("nonempty");
             states_explored += cur.activities.len() as u64;
-            let (v_new, back) = chain_step(p, prev, &v, &cur);
+            let (v_new, back) = if pruned {
+                transition_ops += (scratch.keep().len() * cur.activities.len()) as u64;
+                chain_step_pruned(p, prev, &v, scratch.keep(), &cur)
+            } else {
+                transition_ops += (prev.activities.len() * cur.activities.len()) as u64;
+                chain_step(p, prev, &v, &cur)
+            };
             v = v_new;
+            pruned = beam.select_log(&v, &mut scratch);
             backptrs.push(back);
             slices.push(cur);
         }
@@ -303,10 +374,19 @@ impl SingleHdbn {
             micros,
             log_prob,
             states_explored,
+            transition_ops,
         })
     }
 
     /// Forward–backward posteriors of one user's chain.
+    ///
+    /// Under a pruned [`DecoderConfig`] the forward *filtering* pass beams
+    /// each normalized filtering distribution (see
+    /// [`crate::forward::apply_beam_linear`]): pruned states carry zero
+    /// mass forward, the recursion skips them, and the backward pass skips
+    /// them symmetrically, so posteriors concentrate on the surviving
+    /// lattice. [`Beam::Exact`](crate::Beam::Exact) (the default) is
+    /// bit-identical to the historical full recursion.
     ///
     /// # Errors
     /// Same conditions as [`viterbi`](Self::viterbi).
@@ -319,6 +399,10 @@ impl SingleHdbn {
         let p = &self.params;
         let slices: Vec<Slice> = ticks.iter().map(|t| self.slice(t, user)).collect();
 
+        let beam = self.decoder.beam;
+        let pruned_mode = !beam.is_exact();
+        let mut scratch = BeamScratch::new();
+
         // Forward (scaled).
         let mut log_z = 0.0;
         let mut alphas: Vec<Vec<f64>> = Vec::with_capacity(ticks.len());
@@ -329,6 +413,9 @@ impl SingleHdbn {
             .map(|(&a, &e)| p.log_prior[a] + e)
             .collect();
         log_z += normalize_log(&mut alpha);
+        if pruned_mode {
+            apply_beam_linear(beam, &mut alpha, &mut scratch);
+        }
         alphas.push(alpha.clone());
 
         for t in 1..ticks.len() {
@@ -341,6 +428,7 @@ impl SingleHdbn {
                     .activities
                     .iter()
                     .enumerate()
+                    .filter(|&(jp, _)| !pruned_mode || alphas[t - 1][jp] > 0.0)
                     .map(|(jp, &ap)| {
                         let p_prev = ticks[t - 1].candidates[user][prev.cands[jp]].postural;
                         alphas[t - 1][jp].max(1e-300).ln()
@@ -350,10 +438,14 @@ impl SingleHdbn {
                 next[j] = log_sum_exp(&terms) + e;
             }
             log_z += normalize_log(&mut next);
+            if pruned_mode {
+                apply_beam_linear(beam, &mut next, &mut scratch);
+            }
             alphas.push(next.clone());
         }
 
-        // Backward (scaled).
+        // Backward (scaled); under a beam, states pruned from the forward
+        // lattice are skipped here too (their gamma is zero regardless).
         let mut betas: Vec<Vec<f64>> = vec![Vec::new(); ticks.len()];
         let last = ticks.len() - 1;
         betas[last] = vec![1.0; slices[last].activities.len()];
@@ -367,6 +459,7 @@ impl SingleHdbn {
                     .activities
                     .iter()
                     .enumerate()
+                    .filter(|&(jn, _)| !pruned_mode || alphas[t + 1][jn] > 0.0)
                     .map(|(jn, &an)| {
                         let p_new = ticks[t + 1].candidates[user][nxt.cands[jn]].postural;
                         betas[t + 1][jn].max(1e-300).ln()
@@ -604,6 +697,36 @@ mod tests {
         // Mostly self-transitions.
         assert!(counts.trans[0][0] > counts.trans[0][1]);
         assert!(counts.log_likelihood.is_finite());
+    }
+
+    #[test]
+    fn beamed_chain_matches_exact_on_clear_data() {
+        use crate::beam::DecoderConfig;
+        let ticks: Vec<TickInput> = (0..24)
+            .map(|t| obs_tick(usize::from(t >= 12), 5.0))
+            .collect();
+        let exact = SingleHdbn::new(toy_params()).viterbi(&ticks, 0).unwrap();
+        let pruned = SingleHdbn::new(toy_params())
+            .with_decoder(DecoderConfig::top_k(1))
+            .viterbi(&ticks, 0)
+            .unwrap();
+        assert_eq!(pruned.macros, exact.macros);
+        assert!(pruned.log_prob <= exact.log_prob);
+    }
+
+    #[test]
+    fn beamed_forward_filtering_stays_confident_and_normalized() {
+        use crate::beam::DecoderConfig;
+        let model = SingleHdbn::new(toy_params()).with_decoder(DecoderConfig::top_k(2));
+        let ticks: Vec<TickInput> = (0..10).map(|_| obs_tick(0, 6.0)).collect();
+        let post = model.forward_backward(&ticks, 0).unwrap();
+        let mid = &post.gamma[5];
+        let mass0: f64 = mid[..2].iter().sum();
+        assert!(mass0 > 0.95, "activity-0 mass {mass0}");
+        for row in &post.gamma {
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+        assert!(post.log_likelihood.is_finite());
     }
 
     #[test]

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use cace_model::ModelError;
 
+use crate::beam::{BeamScratch, DecoderConfig};
 use crate::input::{MicroCandidate, TickInput};
 use crate::params::HdbnParams;
 
@@ -152,6 +153,155 @@ pub(crate) fn joint_step(
     (v_new, back)
 }
 
+/// Reusable work buffers of [`joint_step_pruned`]: one allocation per
+/// decode (batch) or stream (online), reused across ticks — the pruned
+/// hot path only allocates the returned frontier and backpointer vectors,
+/// exactly like the dense kernel.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct JointScratch {
+    /// Chain-1 state of each survivor group.
+    group_j1p: Vec<u32>,
+    /// Half-open `keep` range of each group.
+    group_span: Vec<(u32, u32)>,
+    /// Distinct surviving j2p values, ascending.
+    uniq2: Vec<u32>,
+    /// j2p → slot lookup into `uniq2` (only surviving slots are read, so
+    /// stale entries from earlier ticks are harmless).
+    slot_of: Vec<u32>,
+    /// Pass-1 f2 scores per distinct j2p.
+    f2vals: Vec<f64>,
+    /// Pass-2 f1 scores per group.
+    f1vals: Vec<f64>,
+    /// Pass-1 fold `W[g, j2]` and its j2p argmax.
+    w: Vec<f64>,
+    w_arg: Vec<u32>,
+}
+
+/// [`joint_step`] restricted to a pruned previous frontier: only the
+/// survivors in `keep` (flattened `j1p * |S2_prev| + j2p` indices, sorted
+/// ascending) may be transitioned out of. Returns the new frontier, the
+/// backpointers (in the *same* full-frontier coordinates as [`joint_step`],
+/// so backtracking is oblivious to pruning), and the transition-op charge
+/// for the step under the overhead experiments' accounting convention —
+/// `|survivors| · (|S1|+|S2|)`, the exact step's `k1·k2·(m1+m2)` with the
+/// survivor count in place of the full previous frontier, so charges stay
+/// comparable across beam widths (and equal the exact charge when nothing
+/// is pruned).
+///
+/// The fold order mirrors the dense kernel — chain 2 first, then chain 1,
+/// candidates visited in ascending index order — so a `keep` covering the
+/// whole frontier reproduces [`joint_step`] bit for bit. (The decoders
+/// never take that path: [`crate::Beam`] selection degrades to the dense
+/// kernel when nothing is pruned.)
+pub(crate) fn joint_step_pruned(
+    p: &HdbnParams,
+    prev1: &Slice,
+    prev2: &Slice,
+    v: &[f64],
+    keep: &[u32],
+    cur1: &Slice,
+    cur2: &Slice,
+    scratch: &mut JointScratch,
+) -> (Vec<f64>, Vec<u32>, u64) {
+    let k2 = prev2.states.len() as u32;
+    let (m1, m2) = (cur1.states.len(), cur2.states.len());
+
+    // Survivors grouped by j1p: `keep` is sorted, so each group is a
+    // contiguous run. `group_j1p[g]` is the chain-1 state of group `g`,
+    // `group_span[g]` its half-open range inside `keep`.
+    scratch.group_j1p.clear();
+    scratch.group_span.clear();
+    let mut i = 0usize;
+    while i < keep.len() {
+        let j1p = keep[i] / k2;
+        let start = i;
+        while i < keep.len() && keep[i] / k2 == j1p {
+            i += 1;
+        }
+        scratch.group_j1p.push(j1p);
+        scratch.group_span.push((start as u32, i as u32));
+    }
+    let n_groups = scratch.group_j1p.len();
+
+    // Distinct surviving j2p values, with a j2p → slot lookup so pass 1
+    // scores each f2 edge once per (j2, distinct j2p).
+    scratch.uniq2.clear();
+    scratch.uniq2.extend(keep.iter().map(|&f| f % k2));
+    scratch.uniq2.sort_unstable();
+    scratch.uniq2.dedup();
+    scratch.slot_of.resize(k2 as usize, 0);
+    for (slot, &j2p) in scratch.uniq2.iter().enumerate() {
+        scratch.slot_of[j2p as usize] = slot as u32;
+    }
+
+    // Pass 1 — fold chain 2 over the survivors:
+    // W[g, j2] = max_{(j1p_g, j2p) ∈ keep} V[j1p_g, j2p] + f2(j2p → j2).
+    // Every entry of w/w_arg/f2vals is overwritten below before it is read.
+    scratch.w.resize(n_groups * m2, f64::NEG_INFINITY);
+    scratch.w_arg.resize(n_groups * m2, 0);
+    scratch.f2vals.resize(scratch.uniq2.len(), 0.0);
+    for (j2, &s2) in cur2.states.iter().enumerate() {
+        for (slot, &j2p) in scratch.uniq2.iter().enumerate() {
+            scratch.f2vals[slot] = p.transition_score(
+                prev2.states[j2p as usize].activity,
+                prev2.posturals[j2p as usize],
+                s2.activity,
+                cur2.posturals[j2],
+            );
+        }
+        for g in 0..n_groups {
+            let (start, end) = scratch.group_span[g];
+            let mut best = f64::NEG_INFINITY;
+            let mut best_j2p = 0u32;
+            for &flat in &keep[start as usize..end as usize] {
+                let j2p = flat % k2;
+                let score =
+                    v[flat as usize] + scratch.f2vals[scratch.slot_of[j2p as usize] as usize];
+                if score > best {
+                    best = score;
+                    best_j2p = j2p;
+                }
+            }
+            scratch.w[g * m2 + j2] = best;
+            scratch.w_arg[g * m2 + j2] = best_j2p;
+        }
+    }
+
+    // Pass 2 — fold chain 1 over the surviving groups, plus emissions and
+    // coupling; backpointers restored to full-frontier flat coordinates.
+    let mut v_new = vec![f64::NEG_INFINITY; m1 * m2];
+    let mut back = vec![0u32; m1 * m2];
+    scratch.f1vals.resize(n_groups, 0.0);
+    for (j1, &s1) in cur1.states.iter().enumerate() {
+        for (g, &j1p) in scratch.group_j1p.iter().enumerate() {
+            scratch.f1vals[g] = p.transition_score(
+                prev1.states[j1p as usize].activity,
+                prev1.posturals[j1p as usize],
+                s1.activity,
+                cur1.posturals[j1],
+            );
+        }
+        for (j2, &s2) in cur2.states.iter().enumerate() {
+            let mut best = f64::NEG_INFINITY;
+            let mut best_g = 0usize;
+            for (g, &f1) in scratch.f1vals.iter().enumerate() {
+                let score = scratch.w[g * m2 + j2] + f1;
+                if score > best {
+                    best = score;
+                    best_g = g;
+                }
+            }
+            let emit = cur1.emissions[j1]
+                + cur2.emissions[j2]
+                + p.coupling_score(s1.activity, s2.activity);
+            v_new[j1 * m2 + j2] = best + emit;
+            back[j1 * m2 + j2] = scratch.group_j1p[best_g] * k2 + scratch.w_arg[best_g * m2 + j2];
+        }
+    }
+    let ops = keep.len() as u64 * (m1 as u64 + m2 as u64);
+    (v_new, back, ops)
+}
+
 /// The decoded joint trajectory plus accounting for the overhead
 /// experiments.
 #[derive(Debug, Clone, PartialEq)]
@@ -175,22 +325,43 @@ pub struct JointPath {
 /// model without copying its CPTs. Each [`viterbi`](Self::viterbi) call
 /// allocates its own trellis, so a shared decoder is safe to use from
 /// multiple threads concurrently.
+///
+/// Decoding defaults to the exact recursion;
+/// [`with_decoder`](Self::with_decoder) installs a [`DecoderConfig`]
+/// whose beam prunes the joint frontier each tick.
 #[derive(Debug, Clone)]
 pub struct CoupledHdbn {
     params: Arc<HdbnParams>,
+    decoder: DecoderConfig,
 }
 
 impl CoupledHdbn {
-    /// Wraps trained parameters.
+    /// Wraps trained parameters (exact decoding).
     pub fn new(params: HdbnParams) -> Self {
         Self {
             params: Arc::new(params),
+            decoder: DecoderConfig::default(),
         }
     }
 
-    /// Wraps an already-shared parameter set without copying it.
+    /// Wraps an already-shared parameter set without copying it (exact
+    /// decoding).
     pub fn from_shared(params: Arc<HdbnParams>) -> Self {
-        Self { params }
+        Self {
+            params,
+            decoder: DecoderConfig::default(),
+        }
+    }
+
+    /// Installs a decoding configuration (beam pruning policy).
+    pub fn with_decoder(mut self, decoder: DecoderConfig) -> Self {
+        self.decoder = decoder;
+        self
+    }
+
+    /// The decoding configuration in use.
+    pub fn decoder(&self) -> DecoderConfig {
+        self.decoder
     }
 
     /// The parameters in use.
@@ -259,6 +430,15 @@ impl CoupledHdbn {
         // V flattened as j1 * |S2| + j2.
         let mut v = joint_init(p, &prev1, &prev2);
 
+        // Beam survivor scratch, allocated once and reused across ticks.
+        // `pruned` tracks whether the *current* frontier was restricted
+        // (false under `Beam::Exact`, and on any tick where the whole
+        // frontier survives — the dense kernel then runs unchanged).
+        let beam = self.decoder.beam;
+        let mut scratch = BeamScratch::new();
+        let mut jscratch = JointScratch::default();
+        let mut pruned = beam.select_log(&v, &mut scratch);
+
         // Backpointers per tick (index into the previous tick's flattened
         // joint trellis), plus the slices for backtracking.
         let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
@@ -271,11 +451,27 @@ impl CoupledHdbn {
             let (k1, k2) = (prev1.states.len(), prev2.states.len());
             let (m1, m2) = (cur1.states.len(), cur2.states.len());
             states_explored += (m1 * m2) as u64;
-            transition_ops += (k1 as u64 * k2 as u64) * (m1 as u64 + m2 as u64);
 
-            let (v_new, back) = joint_step(p, &prev1, &prev2, &v, &cur1, &cur2);
+            let (v_new, back) = if pruned {
+                let (v_new, back, ops) = joint_step_pruned(
+                    p,
+                    &prev1,
+                    &prev2,
+                    &v,
+                    scratch.keep(),
+                    &cur1,
+                    &cur2,
+                    &mut jscratch,
+                );
+                transition_ops += ops;
+                (v_new, back)
+            } else {
+                transition_ops += (k1 as u64 * k2 as u64) * (m1 as u64 + m2 as u64);
+                joint_step(p, &prev1, &prev2, &v, &cur1, &cur2)
+            };
 
             v = v_new;
+            pruned = beam.select_log(&v, &mut scratch);
             backptrs.push(back);
             prev1 = cur1.clone();
             prev2 = cur2.clone();
@@ -513,6 +709,40 @@ mod tests {
         assert!(pruned_path.transition_ops * 16 <= full_path.transition_ops);
         // And the answer on this easy input is unchanged.
         assert_eq!(pruned_path.macros[0], full_path.macros[0]);
+    }
+
+    #[test]
+    fn beamed_decoder_matches_exact_on_clear_data_with_less_work() {
+        use crate::beam::DecoderConfig;
+        let ticks: Vec<TickInput> = (0..30)
+            .map(|t| obs_tick(usize::from((t / 10) % 2 == 1), 4.0))
+            .collect();
+        let exact = decoder(true).viterbi(&ticks).unwrap();
+        for config in [DecoderConfig::top_k(3), DecoderConfig::log_threshold(2.0)] {
+            let pruned = decoder(true).with_decoder(config).viterbi(&ticks).unwrap();
+            assert_eq!(pruned.macros, exact.macros, "{config:?}");
+            assert!(pruned.log_prob <= exact.log_prob, "{config:?}");
+            assert!(
+                pruned.transition_ops < exact.transition_ops,
+                "{config:?}: {} !< {}",
+                pruned.transition_ops,
+                exact.transition_ops
+            );
+            // Frontier pruning leaves the instantiated-state count alone.
+            assert_eq!(pruned.states_explored, exact.states_explored);
+        }
+    }
+
+    #[test]
+    fn top_k_covering_the_joint_frontier_is_bit_identical_to_exact() {
+        let ticks: Vec<TickInput> = (0..12).map(|t| obs_tick(t % 2, 1.5)).collect();
+        let exact = decoder(true).viterbi(&ticks).unwrap();
+        // 2 activities × 2 candidates per chain → 16 joint states.
+        let wide = decoder(true)
+            .with_decoder(crate::beam::DecoderConfig::top_k(16))
+            .viterbi(&ticks)
+            .unwrap();
+        assert_eq!(wide, exact, "full-width beam degrades to the exact kernel");
     }
 
     #[test]

@@ -2,20 +2,12 @@
 //! `recognize` loop: same predictions, same overhead accounting, same
 //! ordering — for every pruning strategy.
 
-use cace::behavior::session::train_test_split;
-use cace::behavior::{cace_grammar, generate_cace_dataset, SessionConfig};
-use cace::core::{CaceConfig, CaceEngine, Strategy};
+use cace::behavior::Session;
+use cace::core::{CaceConfig, CaceEngine, DecoderConfig, Strategy};
+use cace_testkit::{assert_recognitions_identical, engine, engine_with, tiny_corpus_split};
 
-fn corpus() -> (Vec<cace::behavior::Session>, Vec<cace::behavior::Session>) {
-    let grammar = cace_grammar();
-    let sessions = generate_cace_dataset(
-        &grammar,
-        1,
-        6,
-        &SessionConfig::tiny().with_ticks(90),
-        20260727,
-    );
-    train_test_split(sessions, 0.5)
+fn corpus() -> (Vec<Session>, Vec<Session>) {
+    tiny_corpus_split(6, 90, 20260727, 0.5)
 }
 
 #[test]
@@ -23,8 +15,7 @@ fn batch_matches_sequential_for_every_strategy() {
     let (train, test) = corpus();
     assert!(test.len() >= 2, "need a real batch");
     for strategy in Strategy::ALL {
-        let engine = CaceEngine::train(&train, &CaceConfig::default().with_strategy(strategy))
-            .expect("training succeeds");
+        let engine = engine(&train, strategy);
         let batch = engine
             .recognize_batch(&test)
             .expect("batch recognition succeeds");
@@ -39,25 +30,30 @@ fn batch_matches_sequential_for_every_strategy() {
                 .expect("sequential recognition succeeds");
             // Bit-for-bit identical predicted macro sequences, and identical
             // deterministic overhead accounting; only wall-clock may differ.
-            assert_eq!(
-                batch[i].macros, sequential.macros,
-                "{strategy}: session {i} macros"
+            assert_recognitions_identical(
+                &batch[i],
+                &sequential,
+                &format!("{strategy}: session {i}"),
             );
-            assert_eq!(
-                batch[i].states_explored, sequential.states_explored,
-                "{strategy}: session {i} states_explored"
-            );
-            assert_eq!(
-                batch[i].transition_ops, sequential.transition_ops,
-                "{strategy}: session {i} transition_ops"
-            );
-            assert_eq!(
-                batch[i].rules_fired, sequential.rules_fired,
-                "{strategy}: session {i} rules_fired"
-            );
-            assert_eq!(
-                batch[i].mean_joint_size, sequential.mean_joint_size,
-                "{strategy}: session {i} mean_joint_size"
+        }
+    }
+}
+
+#[test]
+fn batch_matches_sequential_under_a_pruned_decoder() {
+    let (train, test) = corpus();
+    for strategy in Strategy::ALL {
+        let config = CaceConfig::default()
+            .with_strategy(strategy)
+            .with_decoder(DecoderConfig::top_k(24));
+        let engine = engine_with(&train, &config);
+        let batch = engine.recognize_batch(&test).expect("pruned batch");
+        for (i, session) in test.iter().enumerate() {
+            let sequential = engine.recognize(session).expect("pruned sequential");
+            assert_recognitions_identical(
+                &batch[i],
+                &sequential,
+                &format!("{strategy} TopK(24): session {i}"),
             );
         }
     }
@@ -66,7 +62,7 @@ fn batch_matches_sequential_for_every_strategy() {
 #[test]
 fn batch_is_deterministic_across_runs() {
     let (train, test) = corpus();
-    let engine = CaceEngine::train(&train, &CaceConfig::default()).expect("training succeeds");
+    let engine = engine(&train, Strategy::CorrelationConstraint);
     let a = engine.recognize_batch(&test).expect("first run");
     let b = engine.recognize_batch(&test).expect("second run");
     for (x, y) in a.iter().zip(&b) {
@@ -77,7 +73,7 @@ fn batch_is_deterministic_across_runs() {
 #[test]
 fn batch_report_accounts_for_the_whole_run() {
     let (train, test) = corpus();
-    let engine = CaceEngine::train(&train, &CaceConfig::default()).expect("training succeeds");
+    let engine = engine(&train, Strategy::CorrelationConstraint);
     let report = engine
         .recognize_batch_report(&test)
         .expect("report succeeds");

@@ -1,14 +1,12 @@
-//! Engine-configuration behaviors: augmentation weights, beams, evidence
-//! thresholds.
+//! Engine-configuration behaviors: augmentation weights, beams (candidate
+//! and frontier), evidence thresholds.
 
-use cace::behavior::session::train_test_split;
-use cace::behavior::{cace_grammar, generate_cace_dataset, SessionConfig};
-use cace::core::{CaceConfig, CaceEngine, Strategy};
+use cace::behavior::Session;
+use cace::core::{CaceConfig, DecoderConfig, Strategy};
+use cace_testkit::{engine_with, tiny_corpus};
 
-fn split(seed: u64) -> (Vec<cace::behavior::Session>, Vec<cace::behavior::Session>) {
-    let grammar = cace_grammar();
-    let data = generate_cace_dataset(&grammar, 1, 4, &SessionConfig::tiny().with_ticks(140), seed);
-    train_test_split(data, 0.75)
+fn split(seed: u64) -> (Vec<Session>, Vec<Session>) {
+    tiny_corpus(4, 140, seed)
 }
 
 #[test]
@@ -18,7 +16,7 @@ fn zero_coupling_weight_still_decodes() {
         coupling_weight: 0.0,
         ..CaceConfig::default()
     };
-    let engine = CaceEngine::train(&train, &config).unwrap();
+    let engine = engine_with(&train, &config);
     let rec = engine.recognize(&test[0]).unwrap();
     assert!(rec.accuracy(&test[0]) > 0.3);
 }
@@ -26,12 +24,12 @@ fn zero_coupling_weight_still_decodes() {
 #[test]
 fn zero_hierarchy_weight_hurts_but_runs() {
     let (train, test) = split(22);
-    let baseline = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+    let baseline = engine_with(&train, &CaceConfig::default());
     let flat_config = CaceConfig {
         hierarchy_weight: 0.0,
         ..CaceConfig::default()
     };
-    let flat = CaceEngine::train(&train, &flat_config).unwrap();
+    let flat = engine_with(&train, &flat_config);
     let acc_base = baseline.recognize(&test[0]).unwrap().accuracy(&test[0]);
     let acc_flat = flat.recognize(&test[0]).unwrap().accuracy(&test[0]);
     // The hierarchy carries signal; dropping it must not help much.
@@ -54,8 +52,8 @@ fn wider_beam_explores_more_states() {
         ..CaceConfig::default()
     }
     .with_strategy(Strategy::NaiveConstraint);
-    let narrow = CaceEngine::train(&train, &narrow_cfg).unwrap();
-    let wide = CaceEngine::train(&train, &wide_cfg).unwrap();
+    let narrow = engine_with(&train, &narrow_cfg);
+    let wide = engine_with(&train, &wide_cfg);
     let rn = narrow.recognize(&test[0]).unwrap();
     let rw = wide.recognize(&test[0]).unwrap();
     assert!(rw.states_explored > rn.states_explored);
@@ -63,14 +61,47 @@ fn wider_beam_explores_more_states() {
 }
 
 #[test]
+fn narrower_frontier_beam_does_less_transition_work() {
+    let (train, test) = split(25);
+    let trained = engine_with(&train, &CaceConfig::default());
+    let mut ops = Vec::new();
+    for k in [usize::MAX, 64, 16, 4] {
+        // Re-beam the one trained engine: the decoder is decode-time state.
+        let engine = trained.with_decoder(DecoderConfig::top_k(k));
+        ops.push(engine.recognize(&test[0]).unwrap().transition_ops);
+    }
+    // TopK(usize::MAX) never prunes (== exact); each narrower beam must do
+    // strictly less transition work on this workload.
+    for pair in ops.windows(2) {
+        assert!(pair[1] < pair[0], "narrower beam must cut work: {ops:?}");
+    }
+}
+
+#[test]
+fn frontier_bound_matches_decoded_shapes() {
+    let (train, _) = split(26);
+    let c2 = engine_with(&train, &CaceConfig::default());
+    let cfg = c2.config();
+    assert_eq!(
+        c2.frontier_bound(),
+        (c2.n_macro() * cfg.beam) * (c2.n_macro() * cfg.beam)
+    );
+    // A TopK at the bound is exact by construction.
+    assert_eq!(
+        Strategy::CorrelationConstraint.frontier_bound(c2.n_macro(), cfg.beam, cfg.nh_beam),
+        c2.frontier_bound()
+    );
+}
+
+#[test]
 fn strict_evidence_thresholds_reduce_rule_firings() {
     let (train, test) = split(24);
-    let loose = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+    let loose = engine_with(&train, &CaceConfig::default());
     let mut strict_cfg = CaceConfig::default();
     strict_cfg.evidence.postural_confidence = 0.999;
     strict_cfg.evidence.gestural_confidence = 0.999;
     strict_cfg.evidence.beacon_max_residual = 0.0;
-    let strict = CaceEngine::train(&train, &strict_cfg).unwrap();
+    let strict = engine_with(&train, &strict_cfg);
     let fl = loose.recognize(&test[0]).unwrap().rules_fired;
     let fs = strict.recognize(&test[0]).unwrap().rules_fired;
     assert!(

@@ -2,45 +2,18 @@
 //! serving: a trained engine saved to disk and reloaded in a fresh
 //! "process" (a fresh `CaceEngine` value that never saw the training data)
 //! produces **bit-identical** batch and streaming recognition across all
-//! four strategies (NH/NCR/NCS/C2), EM-refined parameters included.
+//! four strategies (NH/NCR/NCS/C2), EM-refined parameters and pruned
+//! decoder beams included.
 
 use proptest::prelude::*;
 
-use cace::behavior::session::train_test_split;
-use cace::behavior::{cace_grammar, generate_cace_dataset, Session, SessionConfig};
-use cace::core::{stream_session, CaceConfig, CaceEngine, Lag, Recognition, Strategy};
+use cace::behavior::Session;
+use cace::core::{stream_session, CaceConfig, CaceEngine, DecoderConfig, Lag, Strategy};
 use cace::model::ModelError;
+use cace_testkit::{assert_recognitions_identical, engine_with, tiny_corpus};
 
 fn corpus(ticks: usize, seed: u64) -> (Vec<Session>, Vec<Session>) {
-    let sessions = generate_cace_dataset(
-        &cace_grammar(),
-        1,
-        4,
-        &SessionConfig::tiny().with_ticks(ticks),
-        seed,
-    );
-    train_test_split(sessions, 0.75)
-}
-
-fn assert_identical(reloaded: &Recognition, original: &Recognition, label: &str) {
-    assert_eq!(reloaded.macros, original.macros, "{label}: macros");
-    assert_eq!(
-        reloaded.states_explored, original.states_explored,
-        "{label}: states_explored"
-    );
-    assert_eq!(
-        reloaded.transition_ops, original.transition_ops,
-        "{label}: transition_ops"
-    );
-    assert_eq!(
-        reloaded.rules_fired, original.rules_fired,
-        "{label}: rules_fired"
-    );
-    assert_eq!(
-        reloaded.mean_joint_size.to_bits(),
-        original.mean_joint_size.to_bits(),
-        "{label}: mean_joint_size"
-    );
+    tiny_corpus(4, ticks, seed)
 }
 
 /// Unique-per-case snapshot path in the system temp dir.
@@ -56,32 +29,45 @@ proptest! {
 
     /// Random corpus shapes × all four strategies: save → load → recognize
     /// and save → load → stream are bit-identical to the trained engine.
+    /// One case in three serves with a pruned decoder beam, which must
+    /// survive the round trip exactly (config included).
     #[test]
     fn saved_and_loaded_engine_serves_identically(
         ticks in 45usize..70,
         seed in 0u64..1_000,
         em_flag in 0u8..2,
+        beam_case in 0u8..3,
     ) {
         let run_em = em_flag == 1;
+        let decoder = match beam_case {
+            0 => DecoderConfig::exact(),
+            1 => DecoderConfig::top_k(24),
+            _ => DecoderConfig::log_threshold(5.0),
+        };
         let (train, test) = corpus(ticks, seed);
         for strategy in Strategy::ALL {
             let config = CaceConfig {
                 run_em,
-                ..CaceConfig::default().with_strategy(strategy)
+                ..CaceConfig::default()
+                    .with_strategy(strategy)
+                    .with_decoder(decoder)
             };
-            let trained = CaceEngine::train(&train, &config).expect("training succeeds");
+            let trained = engine_with(&train, &config);
 
-            let path = snapshot_path(&format!("{strategy}_{ticks}_{seed}"));
+            let path = snapshot_path(&format!("{strategy}_{ticks}_{seed}_{beam_case}"));
             trained.save(&path).expect("snapshot write");
             let reloaded = CaceEngine::load(&path).expect("snapshot read");
             std::fs::remove_file(&path).ok();
 
+            // The decoder settings round-trip verbatim.
+            prop_assert_eq!(reloaded.config().decoder, decoder, "{}: decoder config", strategy);
+
             for (i, session) in test.iter().enumerate() {
-                let label = format!("{strategy} session {i}");
+                let label = format!("{strategy} {decoder:?} session {i}");
                 // Batch recognition.
                 let original = trained.recognize(session).expect("batch on trained");
                 let from_disk = reloaded.recognize(session).expect("batch on reloaded");
-                assert_identical(&from_disk, &original, &label);
+                assert_recognitions_identical(&from_disk, &original, &label);
 
                 // Streaming: unbounded lag (bit-identical to batch) and a
                 // short fixed lag (mid-stream decisions must agree too).
@@ -91,7 +77,7 @@ proptest! {
                     let (decisions_b, streamed_b) =
                         stream_session(&reloaded, session, lag).expect("stream on reloaded");
                     prop_assert_eq!(&decisions_a, &decisions_b, "{}: {:?} decisions", &label, lag);
-                    assert_identical(&streamed_b, &streamed_a, &format!("{label} {lag:?}"));
+                    assert_recognitions_identical(&streamed_b, &streamed_a, &format!("{label} {lag:?}"));
                 }
             }
         }
@@ -103,7 +89,7 @@ fn snapshot_reload_survives_a_second_generation() {
     // load(save(load(save(e)))) — the persistence layer is idempotent, so a
     // model registry can re-publish a loaded engine without drift.
     let (train, test) = corpus(50, 41);
-    let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+    let engine = engine_with(&train, &CaceConfig::default());
     let gen1 = CaceEngine::from_snapshot_str(&engine.to_snapshot_string()).unwrap();
     let gen2 = CaceEngine::from_snapshot_str(&gen1.to_snapshot_string()).unwrap();
     assert_eq!(
@@ -113,13 +99,27 @@ fn snapshot_reload_survives_a_second_generation() {
     );
     let a = engine.recognize(&test[0]).unwrap();
     let b = gen2.recognize(&test[0]).unwrap();
-    assert_identical(&b, &a, "second generation");
+    assert_recognitions_identical(&b, &a, "second generation");
+}
+
+#[test]
+fn pruned_decoder_config_round_trips_through_the_snapshot_text() {
+    let (train, _) = corpus(50, 43);
+    for decoder in [
+        DecoderConfig::exact(),
+        DecoderConfig::top_k(7),
+        DecoderConfig::log_threshold(2.5),
+    ] {
+        let engine = engine_with(&train, &CaceConfig::default().with_decoder(decoder));
+        let reloaded = CaceEngine::from_snapshot_str(&engine.to_snapshot_string()).unwrap();
+        assert_eq!(reloaded.config().decoder, decoder, "{decoder:?}");
+    }
 }
 
 #[test]
 fn tampered_snapshots_are_rejected() {
     let (train, _) = corpus(50, 42);
-    let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+    let engine = engine_with(&train, &CaceConfig::default());
     let good = engine.to_snapshot_string();
 
     // Payload tampering → checksum mismatch.

@@ -1,43 +1,18 @@
 //! Streaming recognition must be a faithful online rendition of the batch
 //! engine: with a lag covering the whole session, `StreamingRecognizer` is
 //! bit-identical to `CaceEngine::recognize` — decoded macros *and* the
-//! deterministic overhead accounting — for every pruning strategy.
+//! deterministic overhead accounting — for every pruning strategy, and for
+//! every decoder beam (the pruned frontier is advanced by the same shared
+//! step kernels, so pruning never desynchronizes the two paths).
 
 use proptest::prelude::*;
 
-use cace::behavior::session::train_test_split;
-use cace::behavior::{cace_grammar, generate_cace_dataset, Session, SessionConfig};
-use cace::core::{stream_session, CaceConfig, CaceEngine, Lag, Recognition, Strategy};
+use cace::behavior::Session;
+use cace::core::{stream_session, CaceConfig, DecoderConfig, Lag, Strategy};
+use cace_testkit::{assert_recognitions_identical, engine, engine_with, tiny_corpus};
 
 fn corpus(ticks: usize, seed: u64) -> (Vec<Session>, Vec<Session>) {
-    let sessions = generate_cace_dataset(
-        &cace_grammar(),
-        1,
-        4,
-        &SessionConfig::tiny().with_ticks(ticks),
-        seed,
-    );
-    train_test_split(sessions, 0.75)
-}
-
-fn assert_identical(streamed: &Recognition, batch: &Recognition, label: &str) {
-    assert_eq!(streamed.macros, batch.macros, "{label}: macros");
-    assert_eq!(
-        streamed.states_explored, batch.states_explored,
-        "{label}: states_explored"
-    );
-    assert_eq!(
-        streamed.transition_ops, batch.transition_ops,
-        "{label}: transition_ops"
-    );
-    assert_eq!(
-        streamed.rules_fired, batch.rules_fired,
-        "{label}: rules_fired"
-    );
-    assert_eq!(
-        streamed.mean_joint_size, batch.mean_joint_size,
-        "{label}: mean_joint_size"
-    );
+    tiny_corpus(4, ticks, seed)
 }
 
 proptest! {
@@ -52,14 +27,46 @@ proptest! {
     ) {
         let (train, test) = corpus(ticks, seed);
         for strategy in Strategy::ALL {
-            let config = CaceConfig::default().with_strategy(strategy);
-            let engine = CaceEngine::train(&train, &config).expect("training succeeds");
+            let engine = engine(&train, strategy);
             for session in &test {
                 let batch = engine.recognize(session).expect("batch recognition");
                 let (decisions, streamed) =
                     stream_session(&engine, session, Lag::Unbounded).expect("streamed recognition");
                 prop_assert!(decisions.is_empty(), "{strategy}: unbounded lag never emits");
-                assert_identical(&streamed, &batch, strategy.label());
+                assert_recognitions_identical(&streamed, &batch, strategy.label());
+            }
+        }
+    }
+
+    /// The same equivalence under pruned decoder beams: whatever the beam
+    /// does to the frontier, it does identically to both paths.
+    #[test]
+    fn pruned_streamed_equals_pruned_batch_across_strategies(
+        ticks in 45usize..70,
+        seed in 0u64..1_000,
+        beam_case in 0u8..3,
+    ) {
+        let decoder = match beam_case {
+            0 => DecoderConfig::top_k(12),
+            1 => DecoderConfig::top_k(48),
+            _ => DecoderConfig::log_threshold(4.0),
+        };
+        let (train, test) = corpus(ticks, seed);
+        for strategy in Strategy::ALL {
+            let config = CaceConfig::default()
+                .with_strategy(strategy)
+                .with_decoder(decoder);
+            let engine = engine_with(&train, &config);
+            for session in &test {
+                let batch = engine.recognize(session).expect("pruned batch");
+                let (decisions, streamed) =
+                    stream_session(&engine, session, Lag::Unbounded).expect("pruned stream");
+                prop_assert!(decisions.is_empty());
+                assert_recognitions_identical(
+                    &streamed,
+                    &batch,
+                    &format!("{strategy} {decoder:?}"),
+                );
             }
         }
     }
@@ -69,8 +76,7 @@ proptest! {
 fn finite_lag_covering_the_session_is_also_bit_identical() {
     let (train, test) = corpus(70, 42);
     for strategy in Strategy::ALL {
-        let config = CaceConfig::default().with_strategy(strategy);
-        let engine = CaceEngine::train(&train, &config).expect("training succeeds");
+        let engine = engine(&train, strategy);
         let session = &test[0];
         let batch = engine.recognize(session).expect("batch recognition");
         // lag == session length: no decision ever ripens mid-stream, so the
@@ -78,7 +84,7 @@ fn finite_lag_covering_the_session_is_also_bit_identical() {
         let (decisions, streamed) = stream_session(&engine, session, Lag::Fixed(session.len()))
             .expect("streamed recognition");
         assert!(decisions.is_empty(), "{strategy}: lag >= len never emits");
-        assert_identical(&streamed, &batch, strategy.label());
+        assert_recognitions_identical(&streamed, &batch, strategy.label());
     }
 }
 
@@ -87,8 +93,7 @@ fn short_lag_emits_a_decision_per_ripened_tick_for_every_strategy() {
     let (train, test) = corpus(60, 7);
     let lag = 5;
     for strategy in Strategy::ALL {
-        let config = CaceConfig::default().with_strategy(strategy);
-        let engine = CaceEngine::train(&train, &config).expect("training succeeds");
+        let engine = engine(&train, strategy);
         let session = &test[0];
         let (decisions, streamed) =
             stream_session(&engine, session, Lag::Fixed(lag)).expect("streamed recognition");
@@ -110,9 +115,25 @@ fn short_lag_emits_a_decision_per_ripened_tick_for_every_strategy() {
 }
 
 #[test]
+fn short_lag_emits_on_schedule_under_a_pruned_beam_too() {
+    let (train, test) = corpus(60, 8);
+    let lag = 5;
+    let config = CaceConfig::default().with_decoder(DecoderConfig::top_k(16));
+    let engine = engine_with(&train, &config);
+    let session = &test[0];
+    let (decisions, streamed) =
+        stream_session(&engine, session, Lag::Fixed(lag)).expect("pruned fixed-lag stream");
+    assert_eq!(decisions.len(), session.len() - lag);
+    for d in &decisions {
+        assert_eq!(streamed.macros[0][d.tick], d.macros[0]);
+        assert_eq!(streamed.macros[1][d.tick], d.macros[1]);
+    }
+}
+
+#[test]
 fn short_lag_accuracy_stays_close_to_batch() {
     let (train, test) = corpus(80, 99);
-    let engine = CaceEngine::train(&train, &CaceConfig::default()).expect("training succeeds");
+    let engine = engine(&train, Strategy::CorrelationConstraint);
     let session = &test[0];
     let batch = engine.recognize(session).expect("batch recognition");
     let batch_acc = batch.accuracy(session);
