@@ -12,6 +12,7 @@
 
 use cace_behavior::session::train_test_split;
 use cace_behavior::{generate_casas_dataset, CasasConfig, Session};
+use cace_bench::perf::{self, PerfRecord};
 use cace_bench::{cace_corpus, header, trained};
 use cace_core::{CaceEngine, DecoderConfig, Lag, Strategy};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -151,6 +152,34 @@ fn bench(c: &mut Criterion) {
         ),
         None => println!("→ no swept beam held accuracy within 1pp of exact"),
     }
+
+    // Machine-readable perf records for the trajectory file, alongside
+    // the score_tables rows.
+    let mut records = vec![PerfRecord {
+        id: "beam_sweep/c2_stream_push_exact".to_string(),
+        per_tick_ns: 1e9 * exact_tick,
+        speedup_vs_naive: None,
+        allocs_per_tick: None,
+        note: format!(
+            "fig9 C2 streaming push, exact beam, lag 10; {:.1}% macro accuracy",
+            100.0 * exact_acc
+        ),
+    }];
+    if let Some((k, acc, speedup)) = claim {
+        records.push(PerfRecord {
+            id: "beam_sweep/c2_stream_push_best_beam".to_string(),
+            per_tick_ns: 1e9 * exact_tick / speedup.max(1e-12),
+            speedup_vs_naive: None,
+            allocs_per_tick: None,
+            note: format!(
+                "fig9 C2 streaming push, TopK({k}): {speedup:.2}x vs exact at {:.1}% \
+                 accuracy ({:+.2}pp)",
+                100.0 * acc,
+                100.0 * (acc - exact_acc)
+            ),
+        });
+    }
+    perf::emit(&records);
 
     // ---------- Criterion targets: steady-state streaming push ----------
     for (tag, decoder) in [

@@ -65,3 +65,98 @@ pub fn mean_accuracy(engine: &CaceEngine, test: &[Session]) -> f64 {
 pub fn header(title: &str) {
     println!("\n=== {title} ===");
 }
+
+/// Machine-readable perf records: the `BENCH_PR5.json` trajectory file.
+///
+/// Each bench that measures a serving-relevant number appends
+/// [`PerfRecord`](perf::PerfRecord)s keyed by a stable `id`; re-running a bench overwrites
+/// its own records and leaves the others, so the file accumulates one
+/// up-to-date row per measurement across harnesses (`score_tables`,
+/// `beam_sweep`). CI's `--quick` smoke refreshes it on every run.
+pub mod perf {
+    use std::path::PathBuf;
+
+    /// One measurement row of `BENCH_PR5.json`.
+    #[derive(Debug, Clone)]
+    pub struct PerfRecord {
+        /// Stable record key, e.g. `score_tables/c2_batch_decode`.
+        pub id: String,
+        /// Steady-state per-tick latency in nanoseconds.
+        pub per_tick_ns: f64,
+        /// Speedup over the naive-scoring reference on the same workload
+        /// (`None` when the record has no naive counterpart).
+        pub speedup_vs_naive: Option<f64>,
+        /// Heap allocations per warmed tick (`None` when not measured).
+        pub allocs_per_tick: Option<f64>,
+        /// Free-form context (workload, beam, accuracy delta, ...).
+        pub note: String,
+    }
+
+    impl PerfRecord {
+        fn to_value(&self) -> serde::Value {
+            let mut fields = vec![
+                ("id".to_string(), serde::Value::Str(self.id.clone())),
+                (
+                    "per_tick_ns".to_string(),
+                    serde::Value::Float(self.per_tick_ns),
+                ),
+            ];
+            if let Some(s) = self.speedup_vs_naive {
+                fields.push(("speedup_vs_naive".to_string(), serde::Value::Float(s)));
+            }
+            if let Some(a) = self.allocs_per_tick {
+                fields.push(("allocs_per_tick".to_string(), serde::Value::Float(a)));
+            }
+            fields.push(("note".to_string(), serde::Value::Str(self.note.clone())));
+            serde::Value::Map(fields)
+        }
+    }
+
+    /// The perf-record file at the workspace root.
+    pub fn record_path() -> PathBuf {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_PR5.json")
+    }
+
+    fn record_id(value: &serde::Value) -> Option<&str> {
+        let serde::Value::Map(fields) = value else {
+            return None;
+        };
+        fields.iter().find_map(|(k, v)| match (k.as_str(), v) {
+            ("id", serde::Value::Str(s)) => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    /// Merges `records` into `BENCH_PR5.json`: existing rows with the same
+    /// `id` are replaced, everything else is preserved. Prints the file
+    /// path so bench logs point at the artifact.
+    pub fn emit(records: &[PerfRecord]) {
+        let path = record_path();
+        let mut kept: Vec<serde::Value> = Vec::new();
+        if let Ok(text) = std::fs::read_to_string(&path) {
+            if let Ok(serde::Value::Map(fields)) = serde::json::value_from_str(&text) {
+                for (key, value) in fields {
+                    if key == "records" {
+                        if let serde::Value::Seq(existing) = value {
+                            kept.extend(existing.into_iter().filter(|r| {
+                                record_id(r)
+                                    .map(|id| records.iter().all(|n| n.id != id))
+                                    .unwrap_or(false)
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+        kept.extend(records.iter().map(PerfRecord::to_value));
+        let doc = serde::Value::Map(vec![("records".to_string(), serde::Value::Seq(kept))]);
+        let text = serde::json::value_to_string(&doc);
+        if let Err(e) = std::fs::write(&path, text + "\n") {
+            eprintln!("perf: could not write {}: {e}", path.display());
+        } else {
+            println!("perf: {} record(s) → {}", records.len(), path.display());
+        }
+    }
+}

@@ -160,7 +160,7 @@ pub struct CaceEngine {
     pub(crate) pruner: Option<PruningEngine>,
     pub(crate) stats: HierarchicalStats,
     pub(crate) params: Arc<HdbnParams>,
-    pub(crate) nh_log_trans: Vec<Vec<f64>>,
+    pub(crate) nh_log_trans: nh::FlatTable,
     pub(crate) nh_hmm: Hmm,
 }
 
@@ -353,7 +353,7 @@ impl CaceEngine {
                     *slot = (c / total).ln();
                 }
             }
-            table
+            nh::FlatTable::from_rows(&table)
         };
 
         let mut engine = Self {
@@ -390,6 +390,35 @@ impl CaceEngine {
     /// The mined rule set (Table IV).
     pub fn rules(&self) -> &RuleSet {
         &self.rules
+    }
+
+    /// The trained (possibly EM-refined) HDBN parameters this engine
+    /// decodes with — including their dense
+    /// [`ScoreTables`](cace_hdbn::ScoreTables).
+    pub fn hdbn_params(&self) -> &Arc<HdbnParams> {
+        &self.params
+    }
+
+    /// The decoder-ready tick inputs this engine's recognition path would
+    /// feed its trellis for `session` — pruned with the standard beam for
+    /// NCR/C2, unpruned for NCS, unpruned with the NH beam for NH.
+    ///
+    /// This is the batch pipeline up to (but not including) the decoder,
+    /// exposed so differential suites and benches can drive reference
+    /// decoders over exactly the engine's state spaces.
+    pub fn tick_inputs(&self, session: &Session) -> Vec<TickInput> {
+        let features = cace_features::extract_session(session);
+        match self.config.strategy {
+            Strategy::NaiveHmm => {
+                self.tick_inputs_unpruned(session, &features, self.config.nh_beam)
+            }
+            Strategy::NaiveConstraint => {
+                self.tick_inputs_unpruned(session, &features, self.config.beam)
+            }
+            Strategy::NaiveCorrelation | Strategy::CorrelationConstraint => {
+                self.tick_inputs_pruned(session, &features).0
+            }
+        }
     }
 
     /// The constraint-mined statistics.
@@ -647,12 +676,12 @@ impl CaceEngine {
         }
         let n = self.n_macro;
 
-        let mut states = nh::states(&inputs[0], user, n);
-        let mut v = nh::emissions(&inputs[0], user, &states, &macro_emissions[0]);
-        let mut states_explored = states.len() as u64;
+        let mut all_states = vec![nh::states(&inputs[0], user, n)];
+        let mut v = nh::emissions(&inputs[0], user, &all_states[0], &macro_emissions[0]);
+        let mut v_next: Vec<f64> = Vec::new();
+        let mut states_explored = all_states[0].len() as u64;
         let mut transition_ops = 0u64;
         let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
-        let mut all_states = vec![states.clone()];
 
         let beam = self.config.decoder.beam;
         let mut scratch = BeamScratch::new();
@@ -661,18 +690,36 @@ impl CaceEngine {
         for t in 1..inputs.len() {
             let cur = nh::states(&inputs[t], user, n);
             let emit = nh::emissions(&inputs[t], user, &cur, &macro_emissions[t]);
+            let prev = all_states.last().expect("nonempty");
             states_explored += cur.len() as u64;
-            let (v_new, back) = if pruned {
+            let mut back = Vec::new();
+            if pruned {
                 transition_ops += (cur.len() * scratch.keep().len()) as u64;
-                nh::step_pruned(&self.nh_log_trans, &states, &v, scratch.keep(), &cur, &emit)
+                nh::step_pruned_into(
+                    &self.nh_log_trans,
+                    prev,
+                    &v,
+                    scratch.keep(),
+                    &cur,
+                    &emit,
+                    &mut v_next,
+                    &mut back,
+                );
             } else {
-                transition_ops += (cur.len() * states.len()) as u64;
-                nh::step(&self.nh_log_trans, &states, &v, &cur, &emit)
-            };
-            v = v_new;
+                transition_ops += (cur.len() * prev.len()) as u64;
+                nh::step_into(
+                    &self.nh_log_trans,
+                    prev,
+                    &v,
+                    &cur,
+                    &emit,
+                    &mut v_next,
+                    &mut back,
+                );
+            }
+            std::mem::swap(&mut v, &mut v_next);
             pruned = beam.select_log(&v, &mut scratch);
             backptrs.push(back);
-            states = cur.clone();
             all_states.push(cur);
         }
 

@@ -7,6 +7,14 @@
 //! features. The step functions here are shared between the batch decoder
 //! (`CaceEngine::recognize` under [`crate::Strategy::NaiveHmm`]) and the
 //! streaming [`OnlineFlat`] frontier, which keeps the two bit-identical.
+//!
+//! Like the hierarchical decoders in `cace-hdbn`, NH scores through a
+//! dense flat table: [`FlatTable`] stores the macro transition matrix
+//! dst-major, so each new state's transition column is one contiguous
+//! `n_macro`-entry row — no nested `Vec<Vec<f64>>` pointer chase on the
+//! hot path. The step kernels write into reused buffers, and the online
+//! frontier pools its window entries, mirroring the `TrellisArena`
+//! discipline.
 
 use std::collections::VecDeque;
 
@@ -14,6 +22,47 @@ use cace_hdbn::{Beam, BeamScratch, Lag, TickInput};
 
 /// One flat product state: (macro activity, micro-candidate index).
 pub(crate) type FlatState = (usize, usize);
+
+/// Dense macro transition table, stored flat and dst-major:
+/// `row(a)[ap] = log P(a | ap)` is one contiguous slice per new state.
+///
+/// Values are bitwise copies of the nested rows the engine trains (and
+/// persists), so flat scoring is bit-identical to nested scoring.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct FlatTable {
+    n: usize,
+    /// `to[a * n + ap] = log P(a | ap)`.
+    to: Vec<f64>,
+}
+
+impl FlatTable {
+    /// Builds the dst-major flat table from src-major nested rows
+    /// (`rows[ap][a]`).
+    pub(crate) fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let n = rows.len();
+        let mut to = vec![0.0; n * n];
+        for (ap, row) in rows.iter().enumerate() {
+            for (a, &v) in row.iter().enumerate() {
+                to[a * n + ap] = v;
+            }
+        }
+        Self { n, to }
+    }
+
+    /// Reconstructs the src-major nested rows (bitwise; used by engine
+    /// snapshots, whose payload keeps the historical nested shape).
+    pub(crate) fn to_rows(&self) -> Vec<Vec<f64>> {
+        (0..self.n)
+            .map(|ap| (0..self.n).map(|a| self.to[a * self.n + ap]).collect())
+            .collect()
+    }
+
+    /// The transition column *into* macro `a`, indexed by previous macro.
+    #[inline]
+    pub(crate) fn row(&self, a: usize) -> &[f64] {
+        &self.to[a * self.n..(a + 1) * self.n]
+    }
+}
 
 /// The tick's product state list, enumerated macro-major.
 pub(crate) fn states(input: &TickInput, user: usize, n_macro: usize) -> Vec<FlatState> {
@@ -37,60 +86,85 @@ pub(crate) fn emissions(
         .collect()
 }
 
-/// One flat DP step over the macro transition table.
-pub(crate) fn step(
-    log_trans: &[Vec<f64>],
+/// One flat DP step over the dense macro transition table, written into
+/// reused `v_new`/`back` buffers.
+pub(crate) fn step_into(
+    table: &FlatTable,
     prev: &[FlatState],
     v: &[f64],
     cur: &[FlatState],
     emit: &[f64],
-) -> (Vec<f64>, Vec<u32>) {
-    let mut v_new = vec![f64::NEG_INFINITY; cur.len()];
-    let mut back = vec![0u32; cur.len()];
+    v_new: &mut Vec<f64>,
+    back: &mut Vec<u32>,
+) {
+    v_new.clear();
+    v_new.resize(cur.len(), f64::NEG_INFINITY);
+    back.clear();
+    back.resize(cur.len(), 0);
+    // The fold depends on the new state only through its macro, and the
+    // state list is macro-major: compute once per macro run, fan out
+    // (pure memoization — identical arithmetic and tie-breaking).
+    let mut run_macro = usize::MAX;
+    let mut best = f64::NEG_INFINITY;
+    let mut best_arg = 0u32;
     for (j, &(a, _)) in cur.iter().enumerate() {
-        let mut best = f64::NEG_INFINITY;
-        let mut best_arg = 0u32;
-        for (jp, &(ap, _)) in prev.iter().enumerate() {
-            let score = v[jp] + log_trans[ap][a];
-            if score > best {
-                best = score;
-                best_arg = jp as u32;
+        if a != run_macro {
+            run_macro = a;
+            let row = table.row(a);
+            best = f64::NEG_INFINITY;
+            best_arg = 0;
+            for (jp, (&vv, &(ap, _))) in v.iter().zip(prev).enumerate() {
+                let score = vv + row[ap];
+                if score > best {
+                    best = score;
+                    best_arg = jp as u32;
+                }
             }
         }
         v_new[j] = best + emit[j];
         back[j] = best_arg;
     }
-    (v_new, back)
 }
 
-/// [`step`] restricted to a pruned previous frontier (`keep`: surviving
-/// state indices, sorted ascending). Backpointers stay in full-frontier
-/// coordinates.
-pub(crate) fn step_pruned(
-    log_trans: &[Vec<f64>],
+/// [`step_into`] restricted to a pruned previous frontier (`keep`:
+/// surviving state indices, sorted ascending). Backpointers stay in
+/// full-frontier coordinates.
+pub(crate) fn step_pruned_into(
+    table: &FlatTable,
     prev: &[FlatState],
     v: &[f64],
     keep: &[u32],
     cur: &[FlatState],
     emit: &[f64],
-) -> (Vec<f64>, Vec<u32>) {
-    let mut v_new = vec![f64::NEG_INFINITY; cur.len()];
-    let mut back = vec![0u32; cur.len()];
+    v_new: &mut Vec<f64>,
+    back: &mut Vec<u32>,
+) {
+    v_new.clear();
+    v_new.resize(cur.len(), f64::NEG_INFINITY);
+    back.clear();
+    back.resize(cur.len(), 0);
+    // Memoized per macro run like the dense step.
+    let mut run_macro = usize::MAX;
+    let mut best = f64::NEG_INFINITY;
+    let mut best_arg = 0u32;
     for (j, &(a, _)) in cur.iter().enumerate() {
-        let mut best = f64::NEG_INFINITY;
-        let mut best_arg = 0u32;
-        for &jp in keep {
-            let (ap, _) = prev[jp as usize];
-            let score = v[jp as usize] + log_trans[ap][a];
-            if score > best {
-                best = score;
-                best_arg = jp;
+        if a != run_macro {
+            run_macro = a;
+            let row = table.row(a);
+            best = f64::NEG_INFINITY;
+            best_arg = 0;
+            for &jp in keep {
+                let (ap, _) = prev[jp as usize];
+                let score = v[jp as usize] + row[ap];
+                if score > best {
+                    best = score;
+                    best_arg = jp;
+                }
             }
         }
         v_new[j] = best + emit[j];
         back[j] = best_arg;
     }
-    (v_new, back)
 }
 
 fn argmax(v: &[f64]) -> usize {
@@ -101,6 +175,7 @@ fn argmax(v: &[f64]) -> usize {
         .expect("nonempty trellis")
 }
 
+#[derive(Default)]
 struct FlatEntry {
     states: Vec<FlatState>,
     back: Vec<u32>,
@@ -109,12 +184,16 @@ struct FlatEntry {
 /// Streaming NH frontier for one user, mirroring the online decoders in
 /// `cace-hdbn`: push per-tick (states, emissions), emit fixed-lag macro
 /// decisions, finalize into the full macro path plus overhead accounting.
+/// Window entries are pooled and the frontier ping-pongs through a reused
+/// buffer, so a warmed push allocates only what its caller hands it.
 pub(crate) struct OnlineFlat<'a> {
-    log_trans: &'a [Vec<f64>],
+    table: &'a FlatTable,
     lag: Lag,
     beam: Beam,
     v: Vec<f64>,
+    v_next: Vec<f64>,
     window: VecDeque<FlatEntry>,
+    free: Vec<FlatEntry>,
     base: usize,
     pushed: usize,
     emitted: Vec<usize>,
@@ -125,13 +204,15 @@ pub(crate) struct OnlineFlat<'a> {
 }
 
 impl<'a> OnlineFlat<'a> {
-    pub(crate) fn new(log_trans: &'a [Vec<f64>], lag: Lag, beam: Beam) -> Self {
+    pub(crate) fn new(table: &'a FlatTable, lag: Lag, beam: Beam) -> Self {
         Self {
-            log_trans,
+            table,
             lag,
             beam,
             v: Vec::new(),
+            v_next: Vec::new(),
             window: VecDeque::new(),
+            free: Vec::new(),
             base: 0,
             pushed: 0,
             emitted: Vec::new(),
@@ -150,30 +231,41 @@ impl<'a> OnlineFlat<'a> {
         emit: Vec<f64>,
     ) -> Option<(usize, usize)> {
         self.states_explored += states.len() as u64;
-        let back = if self.pushed == 0 {
+        let mut entry = self.free.pop().unwrap_or_default();
+        entry.states = states;
+        entry.back.clear();
+        if self.pushed == 0 {
             self.v = emit;
-            Vec::new()
         } else {
             let prev = self.window.back().expect("nonempty window");
-            let (v_new, back) = if self.pruned {
-                self.transition_ops += (states.len() * self.scratch.keep().len()) as u64;
-                step_pruned(
-                    self.log_trans,
+            if self.pruned {
+                self.transition_ops += (entry.states.len() * self.scratch.keep().len()) as u64;
+                step_pruned_into(
+                    self.table,
                     &prev.states,
                     &self.v,
                     self.scratch.keep(),
-                    &states,
+                    &entry.states,
                     &emit,
-                )
+                    &mut self.v_next,
+                    &mut entry.back,
+                );
             } else {
-                self.transition_ops += (states.len() * prev.states.len()) as u64;
-                step(self.log_trans, &prev.states, &self.v, &states, &emit)
-            };
-            self.v = v_new;
-            back
-        };
+                self.transition_ops += (entry.states.len() * prev.states.len()) as u64;
+                step_into(
+                    self.table,
+                    &prev.states,
+                    &self.v,
+                    &entry.states,
+                    &emit,
+                    &mut self.v_next,
+                    &mut entry.back,
+                );
+            }
+            std::mem::swap(&mut self.v, &mut self.v_next);
+        }
         self.pruned = self.beam.select_log(&self.v, &mut self.scratch);
-        self.window.push_back(FlatEntry { states, back });
+        self.window.push_back(entry);
         self.pushed += 1;
         self.emit_ready()
     }
@@ -200,7 +292,8 @@ impl<'a> OnlineFlat<'a> {
         let macro_id = self.window[idx].states[j].0;
         self.emitted.push(macro_id);
         while self.base <= tick && self.window.len() > 1 {
-            self.window.pop_front();
+            let entry = self.window.pop_front().expect("nonempty window");
+            self.free.push(entry);
             self.base += 1;
         }
         Some((tick, macro_id))
@@ -226,5 +319,26 @@ impl<'a> OnlineFlat<'a> {
         let mut macros = std::mem::take(&mut self.emitted);
         macros.extend(tail);
         Some((macros, self.states_explored, self.transition_ops))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_table_roundtrips_and_matches_nested_lookup() {
+        let rows = vec![
+            vec![-0.1, -2.3, -4.5],
+            vec![-1.0, -0.2, -3.3],
+            vec![-2.2, -1.1, -0.3],
+        ];
+        let table = FlatTable::from_rows(&rows);
+        assert_eq!(table.to_rows(), rows, "from_rows → to_rows is lossless");
+        for (ap, row) in rows.iter().enumerate() {
+            for (a, &v) in row.iter().enumerate() {
+                assert_eq!(table.row(a)[ap], v, "flat load == nested rows[{ap}][{a}]");
+            }
+        }
     }
 }

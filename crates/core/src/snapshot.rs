@@ -75,7 +75,14 @@ impl CaceEngine {
             ("rules".to_string(), self.rules.serialize()),
             ("stats".to_string(), self.stats.serialize()),
             ("params".to_string(), self.params.as_ref().serialize()),
-            ("nh_log_trans".to_string(), self.nh_log_trans.serialize()),
+            // The NH table serves from a dense flat layout; the payload
+            // keeps the historical nested-rows shape (bitwise the same
+            // values), so the format is unchanged and the flat table is
+            // rebuilt on load like every other derived artifact.
+            (
+                "nh_log_trans".to_string(),
+                self.nh_log_trans.to_rows().serialize(),
+            ),
             ("nh_hmm".to_string(), self.nh_hmm.serialize()),
         ]));
         let checksum = fnv1a64(payload.as_bytes());
@@ -139,6 +146,7 @@ impl CaceEngine {
             None
         };
         let params: HdbnParams = field(&payload, "params")?;
+        let nh_rows: Vec<Vec<f64>> = field(&payload, "nh_log_trans")?;
         Ok(Self {
             space: field(&payload, "space")?,
             n_macro: field(&payload, "n_macro")?,
@@ -146,7 +154,7 @@ impl CaceEngine {
             classifiers: field(&payload, "classifiers")?,
             stats: field(&payload, "stats")?,
             params: Arc::new(params),
-            nh_log_trans: field(&payload, "nh_log_trans")?,
+            nh_log_trans: crate::nh::FlatTable::from_rows(&nh_rows),
             nh_hmm: field(&payload, "nh_hmm")?,
             config,
             rules,

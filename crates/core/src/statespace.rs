@@ -2,6 +2,13 @@
 //! against the observations, plus the shared per-tick preparation pipeline
 //! ([`TickPreparer`]) that the batch, EM, and streaming paths all run.
 //!
+//! Downstream of the preparation here, the decoders map every prepared
+//! candidate state to a compact `(activity, postural)` pair id exactly
+//! once per tick (`cace_hdbn::arena::fill_slice`) and score it through
+//! the dense [`cace_hdbn::ScoreTables`] — so the per-tick cost of a
+//! candidate is one id mapping plus flat-array loads, regardless of how
+//! many DP edges touch it.
+//!
 //! Two distinct "beams" act on a tick, at different stages. The
 //! *candidate* beam here ([`TickPreparer`]'s `beam` field, from
 //! [`CaceConfig::beam`](crate::CaceConfig)) caps how many scored micro
@@ -163,7 +170,17 @@ pub struct TickPreparer<'a> {
 
 impl TickPreparer<'_> {
     /// Applies the modality mask (Fig 8a ablations) to an observation.
-    fn masked_observation(&self, observed: &ObservedTick) -> ObservedTick {
+    ///
+    /// The full-modality configuration (the production default) borrows
+    /// the observation untouched — no per-tick clone on the serving hot
+    /// path; only an ablated mask pays for an owned, stripped copy.
+    fn masked_observation<'o>(
+        &self,
+        observed: &'o ObservedTick,
+    ) -> std::borrow::Cow<'o, ObservedTick> {
+        if self.mask.location && self.mask.gestural {
+            return std::borrow::Cow::Borrowed(observed);
+        }
         let mut out = observed.clone();
         if !self.mask.location {
             out.subloc_motion = None;
@@ -177,7 +194,7 @@ impl TickPreparer<'_> {
                 user.tag = None;
             }
         }
-        out
+        std::borrow::Cow::Owned(out)
     }
 
     /// CASAS item-sensor evidence as a per-activity log-bonus (log-odds of

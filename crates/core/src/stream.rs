@@ -66,6 +66,9 @@ pub struct StreamDecision {
 }
 
 /// The per-strategy online decoder state.
+// One value per stream, so the size spread between the arena-backed
+// hierarchical decoders and the flat NH frontier costs nothing per tick.
+#[allow(clippy::large_enum_variant)]
 enum Decoder<'a> {
     /// NH: one flat product frontier per user.
     Nh([OnlineFlat<'a>; 2]),

@@ -33,6 +33,14 @@
 //! log-threshold), trading a provably-bounded amount of path quality for
 //! per-tick work proportional to the beam width — see [`beam`].
 //!
+//! The hot path is memory-engineered on two axes. *Scoring*: every decoder
+//! reads transition/emission factors from the dense precomputed
+//! [`ScoreTables`] over compact `(activity, postural)` pair ids — flat
+//! array loads, bit-identical to the naive [`HdbnParams`] scorers they are
+//! built from ([`tables`]). *Allocation*: all step-kernel scratch lives in
+//! a [`TrellisArena`] allocated once per decode or stream, so a warmed
+//! online push performs zero heap allocations per tick ([`arena`]).
+//!
 //! The crate is deliberately index-based (runtime vocabulary sizes), so the
 //! same machinery serves the 11-activity CACE and 15-activity CASAS
 //! configurations.
@@ -40,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod beam;
 pub mod em;
 pub mod forward;
@@ -47,8 +56,10 @@ pub mod input;
 pub mod online;
 pub mod params;
 pub mod single;
+pub mod tables;
 pub mod viterbi;
 
+pub use arena::TrellisArena;
 pub use beam::{Beam, BeamScratch, DecoderConfig};
 pub use em::{e_step, fit_em, fit_em_shared, EmConfig, EmOutcome};
 pub use forward::log_sum_exp;
@@ -56,4 +67,5 @@ pub use input::{MicroCandidate, TickInput};
 pub use online::{Lag, OnlineCoupledViterbi, OnlineSingleViterbi, SmoothedChain, SmoothedJoint};
 pub use params::{HdbnConfig, HdbnParams};
 pub use single::SingleHdbn;
+pub use tables::ScoreTables;
 pub use viterbi::{CoupledHdbn, JointPath};

@@ -62,13 +62,15 @@
 //! ```
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use cace_model::ModelError;
 
-use crate::beam::BeamScratch;
+use crate::arena::{fill_slice, Slice, TrellisArena};
 use crate::input::{MicroCandidate, TickInput};
+use crate::params::HdbnParams;
 use crate::single::{self, SingleHdbn, SinglePath};
-use crate::viterbi::{self, CoupledHdbn, JointPath, JointScratch, Slice};
+use crate::viterbi::{self, CoupledHdbn, JointPath};
 
 /// Fixed-lag smoothing horizon of an online decoder.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,7 +119,11 @@ pub struct SmoothedChain {
 }
 
 /// One retained tick of the coupled backpointer window.
-#[derive(Debug, Clone)]
+///
+/// Entries are pooled: when the window drops a ripened tick, its entry
+/// (buffers and all) goes to the decoder's free list and the next push
+/// refills it in place — so a warmed steady-state push allocates nothing.
+#[derive(Debug, Clone, Default)]
 struct JointEntry {
     s1: Slice,
     s2: Slice,
@@ -145,11 +151,16 @@ fn argmax(v: &[f64]) -> (usize, f64) {
 #[derive(Debug, Clone)]
 pub struct OnlineCoupledViterbi {
     model: CoupledHdbn,
+    /// The model's shared parameters, held directly so the hot push path
+    /// can borrow them alongside the arena without aliasing `model`.
+    params: Arc<HdbnParams>,
     lag: Lag,
     /// Current frontier, flattened as `j1 * |S2| + j2`.
     v: Vec<f64>,
     /// Backpointer window: entries for ticks `base .. pushed`.
     window: VecDeque<JointEntry>,
+    /// Recycled window entries (see [`JointEntry`]).
+    free: Vec<JointEntry>,
     /// Tick index of `window[0]`.
     base: usize,
     /// Ticks consumed so far.
@@ -159,12 +170,11 @@ pub struct OnlineCoupledViterbi {
     emitted_micros: [Vec<MicroCandidate>; 2],
     states_explored: u64,
     transition_ops: u64,
-    /// Beam survivor scratch, reused across pushes; `pruned` records
-    /// whether the current frontier was restricted (always `false` under
+    /// All step-kernel scratch — beam survivors, fold buffers, ping-pong
+    /// frontier — allocated once per stream, reused every push.
+    arena: TrellisArena,
+    /// Whether the current frontier was restricted (always `false` under
     /// `Beam::Exact`).
-    scratch: BeamScratch,
-    /// Pruned joint-step work buffers, likewise reused across pushes.
-    jscratch: JointScratch,
     pruned: bool,
 }
 
@@ -172,19 +182,21 @@ impl OnlineCoupledViterbi {
     /// Starts an empty stream against a trained model (the model's
     /// [`DecoderConfig`](crate::DecoderConfig) governs beam pruning).
     pub fn new(model: CoupledHdbn, lag: Lag) -> Self {
+        let params = model.shared_params();
         Self {
             model,
+            params,
             lag,
             v: Vec::new(),
             window: VecDeque::new(),
+            free: Vec::new(),
             base: 0,
             pushed: 0,
             emitted_macros: [Vec::new(), Vec::new()],
             emitted_micros: [Vec::new(), Vec::new()],
             states_explored: 0,
             transition_ops: 0,
-            scratch: BeamScratch::new(),
-            jscratch: JointScratch::default(),
+            arena: TrellisArena::new(),
             pruned: false,
         }
     }
@@ -200,64 +212,91 @@ impl OnlineCoupledViterbi {
         self.window.len()
     }
 
+    /// Pre-reserves the emitted-decision history for `additional` more
+    /// ticks, so a serving loop with a known stream length performs
+    /// *strictly* zero heap allocations per push once warmed (without
+    /// this, decision history growth still amortizes to O(1) allocations
+    /// per tick).
+    pub fn reserve_ticks(&mut self, additional: usize) {
+        for u in 0..2 {
+            self.emitted_macros[u].reserve(additional);
+            self.emitted_micros[u].reserve(additional);
+        }
+    }
+
     /// Consumes one tick, advancing the frontier by one DP step; returns
     /// the newly ripened fixed-lag decision, if any.
+    ///
+    /// Steady-state cost: one dense (or beam-pruned) DP step over reused
+    /// arena buffers and a recycled window entry — zero heap allocations
+    /// once the stream is warmed (`tests/alloc_steady_state.rs`).
     ///
     /// # Errors
     /// [`ModelError::EmptyStateSpace`] if the tick has no candidates for
     /// some user.
     pub fn push(&mut self, tick: &TickInput) -> Result<Option<SmoothedJoint>, ModelError> {
         viterbi::validate_tick(tick, self.pushed)?;
-        let cur1 = self.model.slice(tick, 0);
-        let cur2 = self.model.slice(tick, 1);
-        let cands = [tick.candidates[0].clone(), tick.candidates[1].clone()];
-        let back = if self.pushed == 0 {
-            self.v = viterbi::joint_init(self.model.params(), &cur1, &cur2);
-            self.states_explored += (cur1.states.len() * cur2.states.len()) as u64;
-            Vec::new()
+        let mut entry = self.free.pop().unwrap_or_default();
+        fill_slice(
+            &self.params,
+            tick,
+            0,
+            &mut self.arena.step.macro_ids,
+            &mut entry.s1,
+        );
+        fill_slice(
+            &self.params,
+            tick,
+            1,
+            &mut self.arena.step.macro_ids,
+            &mut entry.s2,
+        );
+        for u in 0..2 {
+            entry.cands[u].clear();
+            entry.cands[u].extend_from_slice(&tick.candidates[u]);
+        }
+        if self.pushed == 0 {
+            viterbi::joint_init_into(&self.params, &entry.s1, &entry.s2, &mut self.v);
+            self.states_explored += (entry.s1.len() * entry.s2.len()) as u64;
+            entry.back.clear();
         } else {
             let prev = self.window.back().expect("nonempty window");
-            let (k1, k2) = (prev.s1.states.len(), prev.s2.states.len());
-            let (m1, m2) = (cur1.states.len(), cur2.states.len());
+            let (k1, k2) = (prev.s1.len(), prev.s2.len());
+            let (m1, m2) = (entry.s1.len(), entry.s2.len());
             self.states_explored += (m1 * m2) as u64;
-            let (v_new, back) = if self.pruned {
-                let (v_new, back, ops) = viterbi::joint_step_pruned(
-                    self.model.params(),
+            if self.pruned {
+                self.transition_ops += viterbi::joint_step_pruned_into(
+                    &self.params,
                     &prev.s1,
                     &prev.s2,
                     &self.v,
-                    self.scratch.keep(),
-                    &cur1,
-                    &cur2,
-                    &mut self.jscratch,
+                    self.arena.beam.keep(),
+                    &entry.s1,
+                    &entry.s2,
+                    &mut self.arena.step,
+                    &mut entry.back,
                 );
-                self.transition_ops += ops;
-                (v_new, back)
             } else {
                 self.transition_ops += (k1 as u64 * k2 as u64) * (m1 as u64 + m2 as u64);
-                viterbi::joint_step(
-                    self.model.params(),
+                viterbi::joint_step_into(
+                    &self.params,
                     &prev.s1,
                     &prev.s2,
                     &self.v,
-                    &cur1,
-                    &cur2,
-                )
-            };
-            self.v = v_new;
-            back
-        };
+                    &entry.s1,
+                    &entry.s2,
+                    &mut self.arena.step,
+                    &mut entry.back,
+                );
+            }
+            std::mem::swap(&mut self.v, &mut self.arena.step.v_next);
+        }
         self.pruned = self
             .model
             .decoder()
             .beam
-            .select_log(&self.v, &mut self.scratch);
-        self.window.push_back(JointEntry {
-            s1: cur1,
-            s2: cur2,
-            back,
-            cands,
-        });
+            .select_log(&self.v, &mut self.arena.beam);
+        self.window.push_back(entry);
         self.pushed += 1;
         Ok(self.emit_ready())
     }
@@ -274,12 +313,14 @@ impl OnlineCoupledViterbi {
 
     fn decode(&self, idx: usize, flat: usize) -> ([usize; 2], [MicroCandidate; 2]) {
         let entry = &self.window[idx];
-        let m2 = entry.s2.states.len();
-        let st1 = entry.s1.states[flat / m2];
-        let st2 = entry.s2.states[flat % m2];
+        let m2 = entry.s2.len();
+        let (j1, j2) = (flat / m2, flat % m2);
         (
-            [st1.activity, st2.activity],
-            [entry.cands[0][st1.cand], entry.cands[1][st2.cand]],
+            [entry.s1.activities[j1], entry.s2.activities[j2]],
+            [
+                entry.cands[0][entry.s1.cands[j1]],
+                entry.cands[1][entry.s2.cands[j2]],
+            ],
         )
     }
 
@@ -302,8 +343,11 @@ impl OnlineCoupledViterbi {
         }
         // Entries at or before the emitted tick are never read again —
         // except the newest entry, which the next step needs as `prev`.
+        // Dropped entries keep their buffers: they go to the free list and
+        // the next push refills them in place.
         while self.base <= tick && self.window.len() > 1 {
-            self.window.pop_front();
+            let entry = self.window.pop_front().expect("nonempty window");
+            self.free.push(entry);
             self.base += 1;
         }
         Some(SmoothedJoint {
@@ -362,10 +406,11 @@ impl OnlineCoupledViterbi {
     }
 }
 
-/// One retained tick of a single-chain backpointer window.
-#[derive(Debug, Clone)]
+/// One retained tick of a single-chain backpointer window (pooled like
+/// [`JointEntry`]).
+#[derive(Debug, Clone, Default)]
 struct ChainEntry {
-    slice: single::Slice,
+    slice: Slice,
     back: Vec<u32>,
     cands: Vec<MicroCandidate>,
 }
@@ -374,17 +419,19 @@ struct ChainEntry {
 /// streaming counterpart of [`SingleHdbn::viterbi`].
 pub struct OnlineSingleViterbi {
     model: SingleHdbn,
+    params: Arc<HdbnParams>,
     user: usize,
     lag: Lag,
     v: Vec<f64>,
     window: VecDeque<ChainEntry>,
+    free: Vec<ChainEntry>,
     base: usize,
     pushed: usize,
     emitted_macros: Vec<usize>,
     emitted_micros: Vec<MicroCandidate>,
     states_explored: u64,
     transition_ops: u64,
-    scratch: BeamScratch,
+    arena: TrellisArena,
     pruned: bool,
 }
 
@@ -392,19 +439,22 @@ impl OnlineSingleViterbi {
     /// Starts an empty stream decoding `user`'s chain (the model's
     /// [`DecoderConfig`](crate::DecoderConfig) governs beam pruning).
     pub fn new(model: SingleHdbn, user: usize, lag: Lag) -> Self {
+        let params = model.shared_params();
         Self {
             model,
+            params,
             user,
             lag,
             v: Vec::new(),
             window: VecDeque::new(),
+            free: Vec::new(),
             base: 0,
             pushed: 0,
             emitted_macros: Vec::new(),
             emitted_micros: Vec::new(),
             states_explored: 0,
             transition_ops: 0,
-            scratch: BeamScratch::new(),
+            arena: TrellisArena::new(),
             pruned: false,
         }
     }
@@ -419,48 +469,70 @@ impl OnlineSingleViterbi {
         self.window.len()
     }
 
+    /// Pre-reserves the emitted-decision history for `additional` more
+    /// ticks (see [`OnlineCoupledViterbi::reserve_ticks`]).
+    pub fn reserve_ticks(&mut self, additional: usize) {
+        self.emitted_macros.reserve(additional);
+        self.emitted_micros.reserve(additional);
+    }
+
     /// Consumes one tick; returns the newly ripened decision, if any.
+    ///
+    /// Zero heap allocations per push once warmed, like
+    /// [`OnlineCoupledViterbi::push`].
     ///
     /// # Errors
     /// [`ModelError::EmptyStateSpace`] if the tick has no candidates for
     /// this user.
     pub fn push(&mut self, tick: &TickInput) -> Result<Option<SmoothedChain>, ModelError> {
         single::validate_tick_user(tick, self.pushed, self.user)?;
-        let cur = self.model.slice(tick, self.user);
-        let cands = tick.candidates[self.user].clone();
-        self.states_explored += cur.activities.len() as u64;
-        let back = if self.pushed == 0 {
-            self.v = single::chain_init(self.model.params(), &cur);
-            Vec::new()
+        let mut entry = self.free.pop().unwrap_or_default();
+        fill_slice(
+            &self.params,
+            tick,
+            self.user,
+            &mut self.arena.step.macro_ids,
+            &mut entry.slice,
+        );
+        entry.cands.clear();
+        entry.cands.extend_from_slice(&tick.candidates[self.user]);
+        self.states_explored += entry.slice.len() as u64;
+        if self.pushed == 0 {
+            single::chain_init_into(&self.params, &entry.slice, &mut self.v);
+            entry.back.clear();
         } else {
             let prev = self.window.back().expect("nonempty window");
-            let (v_new, back) = if self.pruned {
-                let ops = (self.scratch.keep().len() * cur.activities.len()) as u64;
+            if self.pruned {
+                let ops = (self.arena.beam.keep().len() * entry.slice.len()) as u64;
                 self.transition_ops += ops;
-                single::chain_step_pruned(
-                    self.model.params(),
+                single::chain_step_pruned_into(
+                    &self.params,
                     &prev.slice,
                     &self.v,
-                    self.scratch.keep(),
-                    &cur,
-                )
+                    self.arena.beam.keep(),
+                    &entry.slice,
+                    &mut self.arena.step,
+                    &mut entry.back,
+                );
             } else {
-                self.transition_ops += (prev.slice.activities.len() * cur.activities.len()) as u64;
-                single::chain_step(self.model.params(), &prev.slice, &self.v, &cur)
-            };
-            self.v = v_new;
-            back
-        };
+                self.transition_ops += (prev.slice.len() * entry.slice.len()) as u64;
+                single::chain_step_into(
+                    &self.params,
+                    &prev.slice,
+                    &self.v,
+                    &entry.slice,
+                    &mut self.arena.step,
+                    &mut entry.back,
+                );
+            }
+            std::mem::swap(&mut self.v, &mut self.arena.step.v_next);
+        }
         self.pruned = self
             .model
             .decoder()
             .beam
-            .select_log(&self.v, &mut self.scratch);
-        self.window.push_back(ChainEntry {
-            slice: cur,
-            back,
-            cands,
-        });
+            .select_log(&self.v, &mut self.arena.beam);
+        self.window.push_back(entry);
         self.pushed += 1;
         Ok(self.emit_ready())
     }
@@ -493,7 +565,8 @@ impl OnlineSingleViterbi {
         self.emitted_macros.push(decision.macro_id);
         self.emitted_micros.push(decision.micro);
         while self.base <= tick && self.window.len() > 1 {
-            self.window.pop_front();
+            let entry = self.window.pop_front().expect("nonempty window");
+            self.free.push(entry);
             self.base += 1;
         }
         Some(decision)

@@ -5,6 +5,8 @@ use cace_mining::HierarchicalStats;
 use cace_model::ModelError;
 use serde::{Deserialize, Serialize};
 
+use crate::tables::ScoreTables;
+
 /// Structural configuration of the coupled model.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct HdbnConfig {
@@ -66,6 +68,12 @@ pub struct HdbnParams {
     pub log_loc: Vec<Vec<f64>>,
     /// `log P(p_t | p_{t−1})` micro-level continuation.
     pub log_post_trans: Vec<Vec<f64>>,
+    /// Dense precomputed decode-path tables over compact
+    /// `(activity, postural)` pair ids — derived from the log tables above
+    /// (never persisted; rebuilt by [`HdbnParams::new`] on snapshot load).
+    /// Every decoder scores through these; the naive methods below are the
+    /// reference definition they are built from.
+    pub tables: ScoreTables,
 }
 
 fn log_table(rows: &[Vec<f64>], scale: f64) -> Vec<Vec<f64>> {
@@ -105,10 +113,17 @@ impl HdbnParams {
             }
         }
 
-        let log_end: Vec<f64> = stats.end_prob.iter().map(|&p| p.ln()).collect();
-        let log_continue: Vec<f64> = stats.end_prob.iter().map(|&p| (1.0 - p).ln()).collect();
+        // Clamped like every other table: a mined end probability of
+        // exactly 0 or 1 must not inject −∞ into the sum-based scores
+        // (the pruned-forward and EM xi paths add these terms).
+        let log_end: Vec<f64> = stats.end_prob.iter().map(|&p| p.max(1e-12).ln()).collect();
+        let log_continue: Vec<f64> = stats
+            .end_prob
+            .iter()
+            .map(|&p| (1.0 - p).max(1e-12).ln())
+            .collect();
 
-        Ok(Self {
+        let mut out = Self {
             log_prior,
             log_switch,
             log_end,
@@ -120,7 +135,10 @@ impl HdbnParams {
             log_post_trans: log_table(&stats.postural_trans, 1.0),
             stats,
             config,
-        })
+            tables: ScoreTables::default(),
+        };
+        out.tables = ScoreTables::build(&out);
+        Ok(out)
     }
 
     /// Number of macro activities.
@@ -198,7 +216,7 @@ impl serde::Deserialize for HdbnParams {
 }
 
 #[cfg(test)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use cace_mining::constraint::{ConstraintMiner, LabeledSequence};
 
@@ -258,6 +276,52 @@ mod tests {
         let params = HdbnParams::new(toy_stats(), HdbnConfig::uncoupled()).unwrap();
         assert_eq!(params.coupling_score(0, 1), 0.0);
         assert_eq!(params.coupling_score(0, 0), 0.0);
+    }
+
+    #[test]
+    fn degenerate_end_probabilities_stay_finite() {
+        // A mined end_prob of exactly 0.0 or 1.0 is legal input
+        // (`validate` accepts the closed interval); the log tables must
+        // clamp rather than store −∞, which would poison every sum-based
+        // score downstream (forward filtering, EM xi terms).
+        let mut stats = toy_stats();
+        stats.end_prob = vec![0.0, 1.0];
+        let params = HdbnParams::new(stats, HdbnConfig::default()).unwrap();
+        for i in 0..2 {
+            assert!(
+                params.log_end[i].is_finite(),
+                "log_end[{i}] = {}",
+                params.log_end[i]
+            );
+            assert!(
+                params.log_continue[i].is_finite(),
+                "log_continue[{i}] = {}",
+                params.log_continue[i]
+            );
+        }
+        // And the dense tables inherit the clamp: a transition may be −∞
+        // only through log_switch's structural zeros (no off-diagonal
+        // mass out of an activity), never through a degenerate log_end /
+        // log_continue.
+        let t = &params.tables;
+        let n_post = params.stats.n_postural;
+        for src in 0..t.n_pair() as u32 {
+            let ap = src as usize / n_post;
+            for dst in 0..t.n_pair() as u32 {
+                let a = dst as usize / n_post;
+                let s = t.transition(src, dst);
+                if a == ap {
+                    assert!(s.is_finite(), "continue transition({src}, {dst}) = {s}");
+                } else {
+                    assert_eq!(
+                        s.is_finite(),
+                        params.log_switch[ap][a].is_finite(),
+                        "switch transition({src}, {dst}) = {s} must be −∞ \
+                         exactly when log_switch[{ap}][{a}] is"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

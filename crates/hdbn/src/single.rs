@@ -6,7 +6,8 @@
 
 use cace_model::ModelError;
 
-use crate::beam::{BeamScratch, DecoderConfig};
+use crate::arena::{fill_slice, Slice, StepScratch, TrellisArena};
+use crate::beam::DecoderConfig;
 use crate::forward::{apply_beam_linear, log_sum_exp, normalize_log};
 use crate::input::{MicroCandidate, TickInput};
 use crate::params::HdbnParams;
@@ -123,14 +124,6 @@ pub struct SingleHdbn {
     decoder: DecoderConfig,
 }
 
-#[derive(Debug, Clone)]
-pub(crate) struct Slice {
-    pub(crate) activities: Vec<usize>,
-    pub(crate) cands: Vec<usize>,
-    pub(crate) posturals: Vec<usize>,
-    pub(crate) emissions: Vec<f64>,
-}
-
 /// Rejects a tick that would empty one user's chain trellis.
 pub(crate) fn validate_tick_user(
     tick: &TickInput,
@@ -147,82 +140,217 @@ pub(crate) fn validate_tick_user(
     Ok(())
 }
 
-/// First-tick chain frontier: macro prior plus emission per state.
+/// First-tick chain frontier, written into `v`: macro prior plus emission
+/// per state.
 ///
 /// Shared by the batch decoder and
 /// [`crate::online::OnlineSingleViterbi`] so the two stay bit-identical.
-pub(crate) fn chain_init(p: &HdbnParams, slice: &Slice) -> Vec<f64> {
-    slice
-        .activities
-        .iter()
-        .zip(&slice.emissions)
-        .map(|(&a, &e)| p.log_prior[a] + e)
-        .collect()
+pub(crate) fn chain_init_into(p: &HdbnParams, slice: &Slice, v: &mut Vec<f64>) {
+    v.clear();
+    v.reserve(slice.len());
+    v.extend(
+        slice
+            .activities
+            .iter()
+            .zip(&slice.emissions)
+            .map(|(&a, &e)| p.log_prior[a] + e),
+    );
 }
 
-/// One single-chain DP step: the new frontier plus, per new state, the
-/// backpointer into the previous tick's frontier.
+/// One single-chain DP step: the new frontier lands in `step.v_next` (the
+/// caller swaps) and the per-state backpointer into the previous tick's
+/// frontier in `back`. Transition scores are flat loads from the dense
+/// [`ScoreTables`](crate::ScoreTables) via the slices' precomputed pair
+/// ids — one contiguous `into_row` per new state.
 ///
 /// The single implementation of the recursion, called by both the batch
 /// [`SingleHdbn::viterbi`] and the incremental
 /// [`crate::online::OnlineSingleViterbi`].
-pub(crate) fn chain_step(
+pub(crate) fn chain_step_into(
     p: &HdbnParams,
     prev: &Slice,
     v: &[f64],
     cur: &Slice,
-) -> (Vec<f64>, Vec<u32>) {
-    let mut v_new = vec![f64::NEG_INFINITY; cur.activities.len()];
-    let mut back = vec![0u32; cur.activities.len()];
-    for (j, (&a, &e)) in cur.activities.iter().zip(&cur.emissions).enumerate() {
-        let p_new = cur.posturals[j];
+    step: &mut StepScratch,
+    back: &mut Vec<u32>,
+) {
+    let t = &p.tables;
+    let m = cur.len();
+    // Two memoizations, both bit-identical to the per-state × per-prev
+    // scan they replace:
+    // 1. The fold into a new state depends on it only through its pair
+    //    id — compute once per distinct pair (slot), fan out.
+    // 2. Switch transitions are postural-independent, so a whole
+    //    same-activity run of the previous frontier collapses to one
+    //    candidate: (run max of V, first argmax) + switch constant.
+    //    Within a run, adding the same finite constant preserves strict
+    //    order and first-argmax; runs are visited in ascending state
+    //    order, so tie-breaking matches the naive ascending scan.
+    let d = cur.n_slots();
+    let StepScratch {
+        w,
+        w_arg,
+        v_next,
+        run_max,
+        run_arg,
+        ..
+    } = step;
+    let n_runs = prev.runs.len();
+    run_max.clear();
+    run_max.resize(n_runs, f64::NEG_INFINITY);
+    run_arg.clear();
+    run_arg.resize(n_runs, 0);
+    for (r, &(_, start, end)) in prev.runs.iter().enumerate() {
         let mut best = f64::NEG_INFINITY;
-        let mut best_arg = 0u32;
-        for (jp, &ap) in prev.activities.iter().enumerate() {
-            let p_prev = prev.posturals[jp];
-            let score = v[jp] + p.transition_score(ap, p_prev, a, p_new);
-            if score > best {
-                best = score;
-                best_arg = jp as u32;
+        let mut arg = 0u32;
+        for jp in start..end {
+            let vv = v[jp as usize];
+            if vv > best {
+                best = vv;
+                arg = jp;
             }
         }
-        v_new[j] = best + e;
-        back[j] = best_arg;
+        run_max[r] = best;
+        run_arg[r] = arg;
     }
-    (v_new, back)
+    w.clear();
+    w.resize(d, f64::NEG_INFINITY);
+    w_arg.clear();
+    w_arg.resize(d, 0);
+    for (s, &dp) in cur.uniq_pairs.iter().enumerate() {
+        let a = t.activity_of(dp);
+        let row = t.into_row(dp);
+        let srow = t.switch_row(a);
+        let mut best = f64::NEG_INFINITY;
+        let mut best_arg = 0u32;
+        for (r, &(ar, start, end)) in prev.runs.iter().enumerate() {
+            if ar as usize == a {
+                // Continue run: postural-dependent, scan its members.
+                for jp in start..end {
+                    let score = v[jp as usize] + row[prev.pairs[jp as usize] as usize];
+                    if score > best {
+                        best = score;
+                        best_arg = jp;
+                    }
+                }
+            } else {
+                let score = run_max[r] + srow[ar as usize];
+                if score > best {
+                    best = score;
+                    best_arg = run_arg[r];
+                }
+            }
+        }
+        w[s] = best;
+        w_arg[s] = best_arg;
+    }
+    v_next.clear();
+    v_next.resize(m, f64::NEG_INFINITY);
+    back.clear();
+    back.resize(m, 0);
+    for j in 0..m {
+        let s = cur.slots[j] as usize;
+        v_next[j] = w[s] + cur.emissions[j];
+        back[j] = w_arg[s];
+    }
 }
 
-/// [`chain_step`] restricted to a pruned previous frontier: only the
+/// [`chain_step_into`] restricted to a pruned previous frontier: only the
 /// survivors in `keep` (state indices sorted ascending) may be
 /// transitioned out of. Backpointers stay in full-frontier coordinates, so
 /// backtracking is oblivious to pruning; the iteration order over
 /// survivors matches the dense kernel's ascending order.
-pub(crate) fn chain_step_pruned(
+pub(crate) fn chain_step_pruned_into(
     p: &HdbnParams,
     prev: &Slice,
     v: &[f64],
     keep: &[u32],
     cur: &Slice,
-) -> (Vec<f64>, Vec<u32>) {
-    let mut v_new = vec![f64::NEG_INFINITY; cur.activities.len()];
-    let mut back = vec![0u32; cur.activities.len()];
-    for (j, (&a, &e)) in cur.activities.iter().zip(&cur.emissions).enumerate() {
-        let p_new = cur.posturals[j];
+    step: &mut StepScratch,
+    back: &mut Vec<u32>,
+) {
+    let t = &p.tables;
+    let m = cur.len();
+    let d = cur.n_slots();
+    let StepScratch {
+        w,
+        w_arg,
+        v_next,
+        run_max,
+        run_arg,
+        runs_scratch,
+        ..
+    } = step;
+    // Activity runs of the survivor list (`keep` is ascending over a
+    // macro-major frontier, so same-activity survivors are contiguous),
+    // then the same two memoizations as the dense kernel.
+    runs_scratch.clear();
+    let mut i = 0usize;
+    while i < keep.len() {
+        let a = prev.activities[keep[i] as usize] as u32;
+        let start = i;
+        while i < keep.len() && prev.activities[keep[i] as usize] as u32 == a {
+            i += 1;
+        }
+        runs_scratch.push((a, start as u32, i as u32));
+    }
+    let n_runs = runs_scratch.len();
+    run_max.clear();
+    run_max.resize(n_runs, f64::NEG_INFINITY);
+    run_arg.clear();
+    run_arg.resize(n_runs, 0);
+    for (r, &(_, start, end)) in runs_scratch.iter().enumerate() {
         let mut best = f64::NEG_INFINITY;
-        let mut best_arg = 0u32;
-        for &jp in keep {
-            let jp = jp as usize;
-            let score =
-                v[jp] + p.transition_score(prev.activities[jp], prev.posturals[jp], a, p_new);
-            if score > best {
-                best = score;
-                best_arg = jp as u32;
+        let mut arg = 0u32;
+        for &jp in &keep[start as usize..end as usize] {
+            let vv = v[jp as usize];
+            if vv > best {
+                best = vv;
+                arg = jp;
             }
         }
-        v_new[j] = best + e;
-        back[j] = best_arg;
+        run_max[r] = best;
+        run_arg[r] = arg;
     }
-    (v_new, back)
+    w.clear();
+    w.resize(d, f64::NEG_INFINITY);
+    w_arg.clear();
+    w_arg.resize(d, 0);
+    for (s, &dp) in cur.uniq_pairs.iter().enumerate() {
+        let a = t.activity_of(dp);
+        let row = t.into_row(dp);
+        let srow = t.switch_row(a);
+        let mut best = f64::NEG_INFINITY;
+        let mut best_arg = 0u32;
+        for (r, &(ar, start, end)) in runs_scratch.iter().enumerate() {
+            if ar as usize == a {
+                for &jp in &keep[start as usize..end as usize] {
+                    let score = v[jp as usize] + row[prev.pairs[jp as usize] as usize];
+                    if score > best {
+                        best = score;
+                        best_arg = jp;
+                    }
+                }
+            } else {
+                let score = run_max[r] + srow[ar as usize];
+                if score > best {
+                    best = score;
+                    best_arg = run_arg[r];
+                }
+            }
+        }
+        w[s] = best;
+        w_arg[s] = best_arg;
+    }
+    v_next.clear();
+    v_next.resize(m, f64::NEG_INFINITY);
+    back.clear();
+    back.resize(m, 0);
+    for j in 0..m {
+        let s = cur.slots[j] as usize;
+        v_next[j] = w[s] + cur.emissions[j];
+        back[j] = w_arg[s];
+    }
 }
 
 impl SingleHdbn {
@@ -261,36 +389,35 @@ impl SingleHdbn {
         &self.params
     }
 
-    pub(crate) fn slice(&self, tick: &TickInput, user: usize) -> Slice {
-        let macros = tick.macros_for(user, self.params.n_macro());
-        let n = macros.len() * tick.candidates[user].len();
-        let mut activities = Vec::with_capacity(n);
-        let mut cands = Vec::with_capacity(n);
-        let mut posturals = Vec::with_capacity(n);
-        let mut emissions = Vec::with_capacity(n);
-        for &a in &macros {
-            for (c, cand) in tick.candidates[user].iter().enumerate() {
-                activities.push(a);
-                cands.push(c);
-                posturals.push(cand.postural);
-                emissions.push(
-                    cand.obs_loglik
-                        + tick.bonus(a)
-                        + self.params.hierarchy_score(
-                            a,
-                            cand.postural,
-                            cand.gestural,
-                            cand.location,
-                        ),
-                );
-            }
-        }
-        Slice {
-            activities,
-            cands,
-            posturals,
-            emissions,
-        }
+    /// The shared parameter handle (for decoder frontiers that outlive a
+    /// borrow of `self`).
+    pub(crate) fn shared_params(&self) -> std::sync::Arc<HdbnParams> {
+        std::sync::Arc::clone(&self.params)
+    }
+
+    /// Builds one tick's slice into reused buffers (see
+    /// [`crate::arena::fill_slice`]).
+    fn slice_into(
+        &self,
+        tick: &TickInput,
+        user: usize,
+        macro_ids: &mut Vec<usize>,
+        out: &mut Slice,
+    ) {
+        fill_slice(&self.params, tick, user, macro_ids, out);
+    }
+
+    /// Allocating convenience wrapper over [`Self::slice_into`].
+    fn slices_of(&self, ticks: &[TickInput], user: usize) -> Vec<Slice> {
+        let mut macro_ids = Vec::new();
+        ticks
+            .iter()
+            .map(|t| {
+                let mut s = Slice::default();
+                self.slice_into(t, user, &mut macro_ids, &mut s);
+                s
+            })
+            .collect()
     }
 
     fn validate(&self, ticks: &[TickInput], user: usize) -> Result<(), ModelError> {
@@ -315,31 +442,46 @@ impl SingleHdbn {
         self.validate(ticks, user)?;
         let p = &self.params;
         let mut states_explored = 0u64;
+        let mut arena = TrellisArena::new();
 
         let mut slices: Vec<Slice> = Vec::with_capacity(ticks.len());
-        slices.push(self.slice(&ticks[0], user));
-        let mut v = chain_init(p, &slices[0]);
+        {
+            let mut s = Slice::default();
+            self.slice_into(&ticks[0], user, &mut arena.step.macro_ids, &mut s);
+            slices.push(s);
+        }
+        let mut v = Vec::new();
+        chain_init_into(p, &slices[0], &mut v);
         states_explored += v.len() as u64;
 
         let beam = self.decoder.beam;
-        let mut scratch = BeamScratch::new();
-        let mut pruned = beam.select_log(&v, &mut scratch);
+        let mut pruned = beam.select_log(&v, &mut arena.beam);
         let mut transition_ops = 0u64;
 
         let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
         for tick in ticks.iter().skip(1) {
-            let cur = self.slice(tick, user);
+            let mut cur = Slice::default();
+            self.slice_into(tick, user, &mut arena.step.macro_ids, &mut cur);
             let prev = slices.last().expect("nonempty");
-            states_explored += cur.activities.len() as u64;
-            let (v_new, back) = if pruned {
-                transition_ops += (scratch.keep().len() * cur.activities.len()) as u64;
-                chain_step_pruned(p, prev, &v, scratch.keep(), &cur)
+            states_explored += cur.len() as u64;
+            let mut back = Vec::new();
+            if pruned {
+                transition_ops += (arena.beam.keep().len() * cur.len()) as u64;
+                chain_step_pruned_into(
+                    p,
+                    prev,
+                    &v,
+                    arena.beam.keep(),
+                    &cur,
+                    &mut arena.step,
+                    &mut back,
+                );
             } else {
-                transition_ops += (prev.activities.len() * cur.activities.len()) as u64;
-                chain_step(p, prev, &v, &cur)
-            };
-            v = v_new;
-            pruned = beam.select_log(&v, &mut scratch);
+                transition_ops += (prev.len() * cur.len()) as u64;
+                chain_step_into(p, prev, &v, &cur, &mut arena.step, &mut back);
+            }
+            std::mem::swap(&mut v, &mut arena.step.v_next);
+            pruned = beam.select_log(&v, &mut arena.beam);
             backptrs.push(back);
             slices.push(cur);
         }
@@ -396,14 +538,27 @@ impl SingleHdbn {
         user: usize,
     ) -> Result<Posteriors, ModelError> {
         self.validate(ticks, user)?;
+        Ok(self.forward_backward_slices(ticks, user).0)
+    }
+
+    /// [`forward_backward`](Self::forward_backward) plus the per-tick
+    /// slices it scored — the E-step reuses them instead of re-deriving
+    /// every emission. Assumes `validate` already passed.
+    fn forward_backward_slices(
+        &self,
+        ticks: &[TickInput],
+        user: usize,
+    ) -> (Posteriors, Vec<Slice>) {
         let p = &self.params;
-        let slices: Vec<Slice> = ticks.iter().map(|t| self.slice(t, user)).collect();
+        let t_tables = &p.tables;
+        let slices = self.slices_of(ticks, user);
 
         let beam = self.decoder.beam;
         let pruned_mode = !beam.is_exact();
-        let mut scratch = BeamScratch::new();
+        let mut arena = TrellisArena::new();
 
-        // Forward (scaled).
+        // Forward (scaled). The per-state log-sum-exp accumulation runs
+        // through the arena's reused `terms` buffer — no per-state `Vec`.
         let mut log_z = 0.0;
         let mut alphas: Vec<Vec<f64>> = Vec::with_capacity(ticks.len());
         let mut alpha: Vec<f64> = slices[0]
@@ -414,60 +569,69 @@ impl SingleHdbn {
             .collect();
         log_z += normalize_log(&mut alpha);
         if pruned_mode {
-            apply_beam_linear(beam, &mut alpha, &mut scratch);
+            apply_beam_linear(beam, &mut alpha, &mut arena.beam);
         }
-        alphas.push(alpha.clone());
+        alphas.push(alpha);
 
         for t in 1..ticks.len() {
             let cur = &slices[t];
             let prev = &slices[t - 1];
-            let mut next = vec![f64::NEG_INFINITY; cur.activities.len()];
-            for (j, (&a, &e)) in cur.activities.iter().zip(&cur.emissions).enumerate() {
-                let p_new = ticks[t].candidates[user][cur.cands[j]].postural;
-                let terms: Vec<f64> = prev
-                    .activities
-                    .iter()
-                    .enumerate()
-                    .filter(|&(jp, _)| !pruned_mode || alphas[t - 1][jp] > 0.0)
-                    .map(|(jp, &ap)| {
-                        let p_prev = ticks[t - 1].candidates[user][prev.cands[jp]].postural;
-                        alphas[t - 1][jp].max(1e-300).ln()
-                            + p.transition_score(ap, p_prev, a, p_new)
-                    })
-                    .collect();
-                next[j] = log_sum_exp(&terms) + e;
+            // The fold into a new state depends on it only through its
+            // pair id: one log-sum-exp per distinct pair, fanned out.
+            let StepScratch { w, terms, .. } = &mut arena.step;
+            w.clear();
+            w.resize(cur.n_slots(), f64::NEG_INFINITY);
+            for (s, &dp) in cur.uniq_pairs.iter().enumerate() {
+                let row = t_tables.into_row(dp);
+                terms.clear();
+                for (jp, &pp) in prev.pairs.iter().enumerate() {
+                    if pruned_mode && alphas[t - 1][jp] <= 0.0 {
+                        continue;
+                    }
+                    terms.push(alphas[t - 1][jp].max(1e-300).ln() + row[pp as usize]);
+                }
+                w[s] = log_sum_exp(terms);
+            }
+            let mut next = vec![f64::NEG_INFINITY; cur.len()];
+            for j in 0..cur.len() {
+                next[j] = w[cur.slots[j] as usize] + cur.emissions[j];
             }
             log_z += normalize_log(&mut next);
             if pruned_mode {
-                apply_beam_linear(beam, &mut next, &mut scratch);
+                apply_beam_linear(beam, &mut next, &mut arena.beam);
             }
-            alphas.push(next.clone());
+            alphas.push(next);
         }
 
         // Backward (scaled); under a beam, states pruned from the forward
         // lattice are skipped here too (their gamma is zero regardless).
         let mut betas: Vec<Vec<f64>> = vec![Vec::new(); ticks.len()];
         let last = ticks.len() - 1;
-        betas[last] = vec![1.0; slices[last].activities.len()];
+        betas[last] = vec![1.0; slices[last].len()];
         for t in (0..last).rev() {
             let cur = &slices[t];
             let nxt = &slices[t + 1];
-            let mut beta = vec![f64::NEG_INFINITY; cur.activities.len()];
-            for (j, &a) in cur.activities.iter().enumerate() {
-                let p_prev = ticks[t].candidates[user][cur.cands[j]].postural;
-                let terms: Vec<f64> = nxt
-                    .activities
-                    .iter()
-                    .enumerate()
-                    .filter(|&(jn, _)| !pruned_mode || alphas[t + 1][jn] > 0.0)
-                    .map(|(jn, &an)| {
-                        let p_new = ticks[t + 1].candidates[user][nxt.cands[jn]].postural;
-                        betas[t + 1][jn].max(1e-300).ln()
-                            + p.transition_score(a, p_prev, an, p_new)
-                            + nxt.emissions[jn]
-                    })
-                    .collect();
-                beta[j] = log_sum_exp(&terms);
+            // Mirror of the forward memoization: beta of a state depends
+            // on it only through its (source) pair id.
+            let StepScratch { w, terms, .. } = &mut arena.step;
+            w.clear();
+            w.resize(cur.n_slots(), f64::NEG_INFINITY);
+            for (s, &sp) in cur.uniq_pairs.iter().enumerate() {
+                let row = t_tables.from_row(sp);
+                terms.clear();
+                for (jn, &pn) in nxt.pairs.iter().enumerate() {
+                    if pruned_mode && alphas[t + 1][jn] <= 0.0 {
+                        continue;
+                    }
+                    terms.push(
+                        betas[t + 1][jn].max(1e-300).ln() + row[pn as usize] + nxt.emissions[jn],
+                    );
+                }
+                w[s] = log_sum_exp(terms);
+            }
+            let mut beta = vec![f64::NEG_INFINITY; cur.len()];
+            for j in 0..cur.len() {
+                beta[j] = w[cur.slots[j] as usize];
             }
             normalize_log(&mut beta);
             betas[t] = beta;
@@ -489,10 +653,13 @@ impl SingleHdbn {
             })
             .collect();
 
-        Ok(Posteriors {
-            gamma,
-            log_likelihood: log_z,
-        })
+        (
+            Posteriors {
+                gamma,
+                log_likelihood: log_z,
+            },
+            slices,
+        )
     }
 
     /// E-step: accumulates expected sufficient statistics of one sequence
@@ -506,10 +673,13 @@ impl SingleHdbn {
         user: usize,
         counts: &mut ExpectedCounts,
     ) -> Result<(), ModelError> {
-        let posteriors = self.forward_backward(ticks, user)?;
+        self.validate(ticks, user)?;
+        // One slice pass serves both the posteriors and the count
+        // accumulation below (the batch path used to score every emission
+        // twice).
+        let (posteriors, slices) = self.forward_backward_slices(ticks, user);
         counts.log_likelihood += posteriors.log_likelihood;
-        let slices: Vec<Slice> = ticks.iter().map(|t| self.slice(t, user)).collect();
-        let p = &self.params;
+        let t_tables = &self.params.tables;
 
         // Unary counts.
         for (t, slice) in slices.iter().enumerate() {
@@ -534,26 +704,38 @@ impl SingleHdbn {
         // Recompute alpha/beta locally to keep the public Posteriors small.
         let fb = posteriors; // gamma only; xi below approximated from
                              // gamma-consistent local renormalization.
+        let mut xi: Vec<f64> = Vec::new(); // reused across ticks
+        let mut exp_cache: Vec<f64> = Vec::new(); // likewise
         for t in 1..ticks.len() {
             let prev = &slices[t - 1];
             let cur = &slices[t];
+            // exp(transition) depends only on the (src, dst) pair ids:
+            // one exp per distinct pair of pairs instead of per edge.
+            let (dp, dc) = (prev.n_slots(), cur.n_slots());
+            exp_cache.clear();
+            exp_cache.resize(dp * dc, 0.0);
+            for (sp, &src) in prev.uniq_pairs.iter().enumerate() {
+                for (sc, &dst) in cur.uniq_pairs.iter().enumerate() {
+                    exp_cache[sp * dc + sc] = t_tables.transition(src, dst).exp().max(1e-300);
+                }
+            }
             // xi[jp][j] ∝ gamma_prev[jp] · trans · emission · gamma-consistency.
-            let mut xi = vec![0.0; prev.activities.len() * cur.activities.len()];
+            xi.clear();
+            xi.resize(prev.len() * cur.len(), 0.0);
             let mut total = 0.0;
-            for (jp, &ap) in prev.activities.iter().enumerate() {
+            for jp in 0..prev.len() {
                 let gp = fb.gamma[t - 1][jp];
                 if gp <= 0.0 {
                     continue;
                 }
-                let p_prev = ticks[t - 1].candidates[user][prev.cands[jp]].postural;
-                for (j, &a) in cur.activities.iter().enumerate() {
+                let erow = &exp_cache[prev.slots[jp] as usize * dc..][..dc];
+                for j in 0..cur.len() {
                     let gc = fb.gamma[t][j];
                     if gc <= 0.0 {
                         continue;
                     }
-                    let p_new = ticks[t].candidates[user][cur.cands[j]].postural;
-                    let w = gp * gc * p.transition_score(ap, p_prev, a, p_new).exp().max(1e-300);
-                    xi[jp * cur.activities.len() + j] = w;
+                    let w = gp * gc * erow[cur.slots[j] as usize];
+                    xi[jp * cur.len() + j] = w;
                     total += w;
                 }
             }
@@ -563,7 +745,7 @@ impl SingleHdbn {
             for (jp, &ap) in prev.activities.iter().enumerate() {
                 let p_prev = ticks[t - 1].candidates[user][prev.cands[jp]].postural;
                 for (j, &a) in cur.activities.iter().enumerate() {
-                    let w = xi[jp * cur.activities.len() + j] / total;
+                    let w = xi[jp * cur.len() + j] / total;
                     if w <= 0.0 {
                         continue;
                     }

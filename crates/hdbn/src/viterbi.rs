@@ -11,27 +11,10 @@ use std::sync::Arc;
 
 use cace_model::ModelError;
 
-use crate::beam::{BeamScratch, DecoderConfig};
+use crate::arena::{fill_slice, Slice, StepScratch, TrellisArena};
+use crate::beam::DecoderConfig;
 use crate::input::{MicroCandidate, TickInput};
 use crate::params::HdbnParams;
-
-/// One per-user trellis state: a macro activity over one micro candidate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) struct ChainState {
-    pub(crate) activity: usize,
-    pub(crate) cand: usize,
-}
-
-/// Per-tick, per-chain trellis slice.
-#[derive(Debug, Clone)]
-pub(crate) struct Slice {
-    pub(crate) states: Vec<ChainState>,
-    /// Postural id of each state's candidate (needed by the micro-level
-    /// transition factor).
-    pub(crate) posturals: Vec<usize>,
-    /// Emission score of each state.
-    pub(crate) emissions: Vec<f64>,
-}
 
 /// Rejects a tick that would empty the joint trellis.
 pub(crate) fn validate_tick(tick: &TickInput, t: usize) -> Result<(), ModelError> {
@@ -46,117 +29,225 @@ pub(crate) fn validate_tick(tick: &TickInput, t: usize) -> Result<(), ModelError
     Ok(())
 }
 
-/// First-tick joint frontier: per-chain emissions plus macro priors plus the
-/// inter-user coupling, flattened as `j1 * |S2| + j2`.
+/// First-tick joint frontier, written into `v`: per-chain emissions plus
+/// macro priors plus the inter-user coupling, flattened as
+/// `j1 * |S2| + j2`.
 ///
 /// Shared by the batch decoder and [`crate::online::OnlineCoupledViterbi`]
 /// so the two paths stay bit-identical.
-pub(crate) fn joint_init(p: &HdbnParams, s1: &Slice, s2: &Slice) -> Vec<f64> {
-    let mut v = Vec::with_capacity(s1.states.len() * s2.states.len());
-    for (j1, &st1) in s1.states.iter().enumerate() {
-        let base1 = s1.emissions[j1] + p.log_prior[st1.activity];
-        for (j2, &st2) in s2.states.iter().enumerate() {
-            let base2 = s2.emissions[j2] + p.log_prior[st2.activity];
-            v.push(base1 + base2 + p.coupling_score(st1.activity, st2.activity));
+pub(crate) fn joint_init_into(p: &HdbnParams, s1: &Slice, s2: &Slice, v: &mut Vec<f64>) {
+    let t = &p.tables;
+    v.clear();
+    v.reserve(s1.len() * s2.len());
+    for j1 in 0..s1.len() {
+        let a1 = s1.activities[j1];
+        let base1 = s1.emissions[j1] + p.log_prior[a1];
+        for j2 in 0..s2.len() {
+            let a2 = s2.activities[j2];
+            let base2 = s2.emissions[j2] + p.log_prior[a2];
+            v.push(base1 + base2 + t.coupling(a1, a2));
         }
     }
-    v
 }
 
 /// One joint DP step: folds chain 2 then chain 1 exactly as documented in
-/// the module header, returning the new frontier and, per new joint state,
-/// the flattened backpointer into the previous tick's frontier.
+/// the module header. The new frontier lands in `step.v_next` (the caller
+/// swaps it with its live frontier) and the per-state flattened
+/// backpointers into the previous tick's frontier land in `back` — all
+/// buffers reused, so a warmed caller allocates nothing.
+///
+/// Transition scores are flat loads from the dense
+/// [`ScoreTables`](crate::ScoreTables): the per-`j` transition column is a
+/// gather from one contiguous `into_row` slice via the slices' precomputed
+/// pair ids (bit-identical to evaluating
+/// [`HdbnParams::transition_score`] per edge, which is how the table was
+/// built).
 ///
 /// This is the single implementation of the recursion; the batch
 /// [`CoupledHdbn::viterbi`] and the incremental
 /// [`crate::online::OnlineCoupledViterbi`] both call it, which is what
 /// makes the streamed path bit-identical to the batch path.
-pub(crate) fn joint_step(
+pub(crate) fn joint_step_into(
     p: &HdbnParams,
     prev1: &Slice,
     prev2: &Slice,
     v: &[f64],
     cur1: &Slice,
     cur2: &Slice,
-) -> (Vec<f64>, Vec<u32>) {
-    let (k1, k2) = (prev1.states.len(), prev2.states.len());
-    let (m1, m2) = (cur1.states.len(), cur2.states.len());
+    step: &mut StepScratch,
+    back: &mut Vec<u32>,
+) {
+    let t = &p.tables;
+    let StepScratch {
+        w,
+        w_arg,
+        w2,
+        w2_arg,
+        v_next,
+        run_max,
+        run_arg,
+        ..
+    } = step;
+    let (k1, k2) = (prev1.len(), prev2.len());
+    let (m1, m2) = (cur1.len(), cur2.len());
+    // Two memoizations per pass, both bit-identical to the per-state
+    // recursion they replace:
+    // 1. A fold depends on the destination state only through its pair
+    //    id — compute once per *distinct* pair (slot), fan out.
+    // 2. Switch transitions are postural-independent, so a whole
+    //    same-activity run of the source frontier collapses to one
+    //    candidate (run max + switch constant); adding the same finite
+    //    constant preserves strict order and first-argmax, and runs are
+    //    visited in ascending state order, so tie-breaking matches the
+    //    naive ascending scan.
+    let (d1, d2) = (cur1.n_slots(), cur2.n_slots());
 
-    // Pass 1 — fold chain 2:
-    // W[j1p * m2 + j2] = max_{j2p} V[j1p, j2p] + f2(j2p → j2).
-    let mut w = vec![f64::NEG_INFINITY; k1 * m2];
-    let mut w_arg = vec![0u32; k1 * m2];
-    for (j2, &s2) in cur2.states.iter().enumerate() {
-        // f2 depends only on (prev state, new state): precompute per
-        // j2 the column of scores over j2p.
-        let f2_col: Vec<f64> = (0..k2)
-            .map(|j2p| {
-                p.transition_score(
-                    prev2.states[j2p].activity,
-                    prev2.posturals[j2p],
-                    s2.activity,
-                    cur2.posturals[j2],
-                )
-            })
-            .collect();
+    // Pass 1 — fold chain 2, per (j1p, distinct chain-2 pair):
+    // W[j1p, s2] = max_{j2p} V[j1p, j2p] + f2(j2p → pair(s2)).
+    // Switch-candidate cache: per (j1p, chain-2 run) max of the V row.
+    let nr2 = prev2.runs.len();
+    run_max.clear();
+    run_max.resize(k1 * nr2, f64::NEG_INFINITY);
+    run_arg.clear();
+    run_arg.resize(k1 * nr2, 0);
+    for j1p in 0..k1 {
+        let vrow = &v[j1p * k2..(j1p + 1) * k2];
+        for (r, &(_, start, end)) in prev2.runs.iter().enumerate() {
+            let mut best = f64::NEG_INFINITY;
+            let mut arg = 0u32;
+            for j2p in start..end {
+                let vv = vrow[j2p as usize];
+                if vv > best {
+                    best = vv;
+                    arg = j2p;
+                }
+            }
+            run_max[j1p * nr2 + r] = best;
+            run_arg[j1p * nr2 + r] = arg;
+        }
+    }
+    w.clear();
+    w.resize(k1 * d2, f64::NEG_INFINITY);
+    w_arg.clear();
+    w_arg.resize(k1 * d2, 0);
+    for (s2, &dp2) in cur2.uniq_pairs.iter().enumerate() {
+        let a2 = t.activity_of(dp2);
+        let row = t.into_row(dp2);
+        let srow = t.switch_row(a2);
         for j1p in 0..k1 {
-            let row = &v[j1p * k2..(j1p + 1) * k2];
+            let vrow = &v[j1p * k2..(j1p + 1) * k2];
+            let rmax = &run_max[j1p * nr2..][..nr2];
+            let rarg = &run_arg[j1p * nr2..][..nr2];
             let mut best = f64::NEG_INFINITY;
             let mut best_arg = 0u32;
-            for (j2p, (&vv, &f2)) in row.iter().zip(&f2_col).enumerate() {
-                let score = vv + f2;
-                if score > best {
-                    best = score;
-                    best_arg = j2p as u32;
+            for (r, &(ar, start, end)) in prev2.runs.iter().enumerate() {
+                if ar as usize == a2 {
+                    // Continue run: postural-dependent, scan its members.
+                    for j2p in start..end {
+                        let score = vrow[j2p as usize] + row[prev2.pairs[j2p as usize] as usize];
+                        if score > best {
+                            best = score;
+                            best_arg = j2p;
+                        }
+                    }
+                } else {
+                    let score = rmax[r] + srow[ar as usize];
+                    if score > best {
+                        best = score;
+                        best_arg = rarg[r];
+                    }
                 }
             }
-            w[j1p * m2 + j2] = best;
-            w_arg[j1p * m2 + j2] = best_arg;
+            w[j1p * d2 + s2] = best;
+            w_arg[j1p * d2 + s2] = best_arg;
         }
     }
 
-    // Pass 2 — fold chain 1:
-    // V'[j1, j2] = max_{j1p} W[j1p, j2] + f1(j1p → j1), plus
-    // emissions and coupling.
-    let mut v_new = vec![f64::NEG_INFINITY; m1 * m2];
-    let mut back = vec![0u32; m1 * m2];
-    for (j1, &s1) in cur1.states.iter().enumerate() {
-        let f1_col: Vec<f64> = (0..k1)
-            .map(|j1p| {
-                p.transition_score(
-                    prev1.states[j1p].activity,
-                    prev1.posturals[j1p],
-                    s1.activity,
-                    cur1.posturals[j1],
-                )
-            })
-            .collect();
-        for (j2, &s2) in cur2.states.iter().enumerate() {
+    // Pass 2 — fold chain 1, per (distinct chain-1 pair, distinct
+    // chain-2 pair): V''[s1, s2] = max_{j1p} W[j1p, s2] + f1(j1p → s1),
+    // with the backpointer restored to full-frontier coordinates.
+    // Switch-candidate cache: per (chain-1 run, s2) max of the W column.
+    let nr1 = prev1.runs.len();
+    run_max.clear();
+    run_max.resize(nr1 * d2, f64::NEG_INFINITY);
+    run_arg.clear();
+    run_arg.resize(nr1 * d2, 0);
+    for (r, &(_, start, end)) in prev1.runs.iter().enumerate() {
+        for s2 in 0..d2 {
+            let mut best = f64::NEG_INFINITY;
+            let mut arg = 0u32;
+            for j1p in start..end {
+                let ww = w[j1p as usize * d2 + s2];
+                if ww > best {
+                    best = ww;
+                    arg = j1p;
+                }
+            }
+            run_max[r * d2 + s2] = best;
+            run_arg[r * d2 + s2] = arg;
+        }
+    }
+    w2.clear();
+    w2.resize(d1 * d2, f64::NEG_INFINITY);
+    w2_arg.clear();
+    w2_arg.resize(d1 * d2, 0);
+    for (s1, &dp1) in cur1.uniq_pairs.iter().enumerate() {
+        let a1 = t.activity_of(dp1);
+        let row = t.into_row(dp1);
+        let srow = t.switch_row(a1);
+        for s2 in 0..d2 {
             let mut best = f64::NEG_INFINITY;
             let mut best_j1p = 0usize;
-            for (j1p, &f1) in f1_col.iter().enumerate() {
-                let score = w[j1p * m2 + j2] + f1;
-                if score > best {
-                    best = score;
-                    best_j1p = j1p;
+            for (r, &(ar, start, end)) in prev1.runs.iter().enumerate() {
+                if ar as usize == a1 {
+                    for j1p in start..end {
+                        let score =
+                            w[j1p as usize * d2 + s2] + row[prev1.pairs[j1p as usize] as usize];
+                        if score > best {
+                            best = score;
+                            best_j1p = j1p as usize;
+                        }
+                    }
+                } else {
+                    let score = run_max[r * d2 + s2] + srow[ar as usize];
+                    if score > best {
+                        best = score;
+                        best_j1p = run_arg[r * d2 + s2] as usize;
+                    }
                 }
             }
-            let emit = cur1.emissions[j1]
-                + cur2.emissions[j2]
-                + p.coupling_score(s1.activity, s2.activity);
-            v_new[j1 * m2 + j2] = best + emit;
-            // Recover j2p chosen inside W for (best_j1p, j2).
-            let j2p = w_arg[best_j1p * m2 + j2];
-            back[j1 * m2 + j2] = (best_j1p as u32) * (k2 as u32) + j2p;
+            w2[s1 * d2 + s2] = best;
+            // Recover j2p chosen inside W for (best_j1p, s2).
+            let j2p = w_arg[best_j1p * d2 + s2];
+            w2_arg[s1 * d2 + s2] = (best_j1p as u32) * (k2 as u32) + j2p;
         }
     }
-    (v_new, back)
+
+    // Fan out: per joint state, the memoized fold plus emissions and
+    // coupling.
+    v_next.clear();
+    v_next.resize(m1 * m2, f64::NEG_INFINITY);
+    back.clear();
+    back.resize(m1 * m2, 0);
+    for j1 in 0..m1 {
+        let s1 = cur1.slots[j1] as usize;
+        let a1 = cur1.activities[j1];
+        let e1 = cur1.emissions[j1];
+        let wrow = &w2[s1 * d2..][..d2];
+        let brow = &w2_arg[s1 * d2..][..d2];
+        for j2 in 0..m2 {
+            let s2 = cur2.slots[j2] as usize;
+            let emit = e1 + cur2.emissions[j2] + t.coupling(a1, cur2.activities[j2]);
+            v_next[j1 * m2 + j2] = wrow[s2] + emit;
+            back[j1 * m2 + j2] = brow[s2];
+        }
+    }
 }
 
-/// Reusable work buffers of [`joint_step_pruned`]: one allocation per
-/// decode (batch) or stream (online), reused across ticks — the pruned
-/// hot path only allocates the returned frontier and backpointer vectors,
-/// exactly like the dense kernel.
+/// Reusable work buffers of [`joint_step_pruned_into`], owned by the
+/// [`TrellisArena`]'s step scratch: one allocation per decode (batch) or
+/// stream (online), reused across ticks — the pruned hot path allocates
+/// nothing once warmed, exactly like the dense kernel.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct JointScratch {
     /// Chain-1 state of each survivor group.
@@ -172,17 +263,15 @@ pub(crate) struct JointScratch {
     f2vals: Vec<f64>,
     /// Pass-2 f1 scores per group.
     f1vals: Vec<f64>,
-    /// Pass-1 fold `W[g, j2]` and its j2p argmax.
-    w: Vec<f64>,
-    w_arg: Vec<u32>,
 }
 
-/// [`joint_step`] restricted to a pruned previous frontier: only the
+/// [`joint_step_into`] restricted to a pruned previous frontier: only the
 /// survivors in `keep` (flattened `j1p * |S2_prev| + j2p` indices, sorted
-/// ascending) may be transitioned out of. Returns the new frontier, the
-/// backpointers (in the *same* full-frontier coordinates as [`joint_step`],
-/// so backtracking is oblivious to pruning), and the transition-op charge
-/// for the step under the overhead experiments' accounting convention —
+/// ascending) may be transitioned out of. The new frontier lands in
+/// `step.v_next`, the backpointers (in the *same* full-frontier
+/// coordinates as [`joint_step_into`], so backtracking is oblivious to
+/// pruning) in `back`; returns the transition-op charge for the step under
+/// the overhead experiments' accounting convention —
 /// `|survivors| · (|S1|+|S2|)`, the exact step's `k1·k2·(m1+m2)` with the
 /// survivor count in place of the full previous frontier, so charges stay
 /// comparable across beam widths (and equal the exact charge when nothing
@@ -190,10 +279,10 @@ pub(crate) struct JointScratch {
 ///
 /// The fold order mirrors the dense kernel — chain 2 first, then chain 1,
 /// candidates visited in ascending index order — so a `keep` covering the
-/// whole frontier reproduces [`joint_step`] bit for bit. (The decoders
-/// never take that path: [`crate::Beam`] selection degrades to the dense
-/// kernel when nothing is pruned.)
-pub(crate) fn joint_step_pruned(
+/// whole frontier reproduces [`joint_step_into`] bit for bit. (The
+/// decoders never take that path: [`crate::Beam`] selection degrades to
+/// the dense kernel when nothing is pruned.)
+pub(crate) fn joint_step_pruned_into(
     p: &HdbnParams,
     prev1: &Slice,
     prev2: &Slice,
@@ -201,10 +290,25 @@ pub(crate) fn joint_step_pruned(
     keep: &[u32],
     cur1: &Slice,
     cur2: &Slice,
-    scratch: &mut JointScratch,
-) -> (Vec<f64>, Vec<u32>, u64) {
-    let k2 = prev2.states.len() as u32;
-    let (m1, m2) = (cur1.states.len(), cur2.states.len());
+    step: &mut StepScratch,
+    back: &mut Vec<u32>,
+) -> u64 {
+    let t = &p.tables;
+    let StepScratch {
+        joint: scratch,
+        w,
+        w_arg,
+        w2,
+        w2_arg,
+        v_next,
+        ..
+    } = step;
+    let k2 = prev2.len() as u32;
+    let (m1, m2) = (cur1.len(), cur2.len());
+    // Like the dense kernel, both folds are memoized per distinct
+    // destination pair (slot) — identical arithmetic and tie-breaking,
+    // computed once and fanned out.
+    let (d1, d2) = (cur1.n_slots(), cur2.n_slots());
 
     // Survivors grouped by j1p: `keep` is sorted, so each group is a
     // contiguous run. `group_j1p[g]` is the chain-1 state of group `g`,
@@ -234,20 +338,17 @@ pub(crate) fn joint_step_pruned(
         scratch.slot_of[j2p as usize] = slot as u32;
     }
 
-    // Pass 1 — fold chain 2 over the survivors:
-    // W[g, j2] = max_{(j1p_g, j2p) ∈ keep} V[j1p_g, j2p] + f2(j2p → j2).
+    // Pass 1 — fold chain 2 over the survivors, per (group, distinct
+    // chain-2 pair):
+    // W[g, s2] = max_{(j1p_g, j2p) ∈ keep} V[j1p_g, j2p] + f2(j2p → s2).
     // Every entry of w/w_arg/f2vals is overwritten below before it is read.
-    scratch.w.resize(n_groups * m2, f64::NEG_INFINITY);
-    scratch.w_arg.resize(n_groups * m2, 0);
+    w.resize(n_groups * d2, f64::NEG_INFINITY);
+    w_arg.resize(n_groups * d2, 0);
     scratch.f2vals.resize(scratch.uniq2.len(), 0.0);
-    for (j2, &s2) in cur2.states.iter().enumerate() {
+    for (s2, &dp2) in cur2.uniq_pairs.iter().enumerate() {
+        let row = t.into_row(dp2);
         for (slot, &j2p) in scratch.uniq2.iter().enumerate() {
-            scratch.f2vals[slot] = p.transition_score(
-                prev2.states[j2p as usize].activity,
-                prev2.posturals[j2p as usize],
-                s2.activity,
-                cur2.posturals[j2],
-            );
+            scratch.f2vals[slot] = row[prev2.pairs[j2p as usize] as usize];
         }
         for g in 0..n_groups {
             let (start, end) = scratch.group_span[g];
@@ -262,44 +363,58 @@ pub(crate) fn joint_step_pruned(
                     best_j2p = j2p;
                 }
             }
-            scratch.w[g * m2 + j2] = best;
-            scratch.w_arg[g * m2 + j2] = best_j2p;
+            w[g * d2 + s2] = best;
+            w_arg[g * d2 + s2] = best_j2p;
         }
     }
 
-    // Pass 2 — fold chain 1 over the surviving groups, plus emissions and
-    // coupling; backpointers restored to full-frontier flat coordinates.
-    let mut v_new = vec![f64::NEG_INFINITY; m1 * m2];
-    let mut back = vec![0u32; m1 * m2];
+    // Pass 2 — fold chain 1 over the surviving groups, per (distinct
+    // chain-1 pair, distinct chain-2 pair); backpointers restored to
+    // full-frontier flat coordinates.
+    w2.clear();
+    w2.resize(d1 * d2, f64::NEG_INFINITY);
+    w2_arg.clear();
+    w2_arg.resize(d1 * d2, 0);
     scratch.f1vals.resize(n_groups, 0.0);
-    for (j1, &s1) in cur1.states.iter().enumerate() {
+    for (s1, &dp1) in cur1.uniq_pairs.iter().enumerate() {
+        let row = t.into_row(dp1);
         for (g, &j1p) in scratch.group_j1p.iter().enumerate() {
-            scratch.f1vals[g] = p.transition_score(
-                prev1.states[j1p as usize].activity,
-                prev1.posturals[j1p as usize],
-                s1.activity,
-                cur1.posturals[j1],
-            );
+            scratch.f1vals[g] = row[prev1.pairs[j1p as usize] as usize];
         }
-        for (j2, &s2) in cur2.states.iter().enumerate() {
+        for s2 in 0..d2 {
             let mut best = f64::NEG_INFINITY;
             let mut best_g = 0usize;
             for (g, &f1) in scratch.f1vals.iter().enumerate() {
-                let score = scratch.w[g * m2 + j2] + f1;
+                let score = w[g * d2 + s2] + f1;
                 if score > best {
                     best = score;
                     best_g = g;
                 }
             }
-            let emit = cur1.emissions[j1]
-                + cur2.emissions[j2]
-                + p.coupling_score(s1.activity, s2.activity);
-            v_new[j1 * m2 + j2] = best + emit;
-            back[j1 * m2 + j2] = scratch.group_j1p[best_g] * k2 + scratch.w_arg[best_g * m2 + j2];
+            w2[s1 * d2 + s2] = best;
+            w2_arg[s1 * d2 + s2] = scratch.group_j1p[best_g] * k2 + w_arg[best_g * d2 + s2];
         }
     }
-    let ops = keep.len() as u64 * (m1 as u64 + m2 as u64);
-    (v_new, back, ops)
+
+    // Fan out per joint state, plus emissions and coupling.
+    v_next.clear();
+    v_next.resize(m1 * m2, f64::NEG_INFINITY);
+    back.clear();
+    back.resize(m1 * m2, 0);
+    for j1 in 0..m1 {
+        let s1 = cur1.slots[j1] as usize;
+        let a1 = cur1.activities[j1];
+        let e1 = cur1.emissions[j1];
+        let wrow = &w2[s1 * d2..][..d2];
+        let brow = &w2_arg[s1 * d2..][..d2];
+        for j2 in 0..m2 {
+            let s2 = cur2.slots[j2] as usize;
+            let emit = e1 + cur2.emissions[j2] + t.coupling(a1, cur2.activities[j2]);
+            v_next[j1 * m2 + j2] = wrow[s2] + emit;
+            back[j1 * m2 + j2] = brow[s2];
+        }
+    }
+    keep.len() as u64 * (m1 as u64 + m2 as u64)
 }
 
 /// The decoded joint trajectory plus accounting for the overhead
@@ -369,36 +484,10 @@ impl CoupledHdbn {
         &self.params
     }
 
-    pub(crate) fn slice(&self, input: &TickInput, user: usize) -> Slice {
-        let macros = input.macros_for(user, self.params.n_macro());
-        let n = macros.len() * input.candidates[user].len();
-        let mut states = Vec::with_capacity(n);
-        let mut posturals = Vec::with_capacity(n);
-        let mut emissions = Vec::with_capacity(n);
-        for &a in &macros {
-            for (c, cand) in input.candidates[user].iter().enumerate() {
-                states.push(ChainState {
-                    activity: a,
-                    cand: c,
-                });
-                posturals.push(cand.postural);
-                emissions.push(
-                    cand.obs_loglik
-                        + input.bonus(a)
-                        + self.params.hierarchy_score(
-                            a,
-                            cand.postural,
-                            cand.gestural,
-                            cand.location,
-                        ),
-                );
-            }
-        }
-        Slice {
-            states,
-            posturals,
-            emissions,
-        }
+    /// The shared parameter handle (for decoder frontiers that outlive a
+    /// borrow of `self`).
+    pub(crate) fn shared_params(&self) -> Arc<HdbnParams> {
+        Arc::clone(&self.params)
     }
 
     /// Decodes the most likely joint state sequence (§III step 6: Viterbi at
@@ -423,63 +512,82 @@ impl CoupledHdbn {
         let mut states_explored = 0u64;
         let mut transition_ops = 0u64;
 
-        let mut prev1 = self.slice(&ticks[0], 0);
-        let mut prev2 = self.slice(&ticks[0], 1);
-        states_explored += (prev1.states.len() * prev2.states.len()) as u64;
+        // All step-kernel scratch — beam survivors, fold buffers, the
+        // ping-pong frontier — lives in one arena, allocated once per
+        // decode and reused across ticks.
+        let mut arena = TrellisArena::new();
+
+        // Per-tick slices, retained for backtracking (no clones: the loop
+        // below reads the previous tick's slices in place).
+        let mut slices: Vec<(Slice, Slice)> = Vec::with_capacity(ticks.len());
+        {
+            let mut s1 = Slice::default();
+            let mut s2 = Slice::default();
+            fill_slice(p, &ticks[0], 0, &mut arena.step.macro_ids, &mut s1);
+            fill_slice(p, &ticks[0], 1, &mut arena.step.macro_ids, &mut s2);
+            slices.push((s1, s2));
+        }
+        states_explored += (slices[0].0.len() * slices[0].1.len()) as u64;
 
         // V flattened as j1 * |S2| + j2.
-        let mut v = joint_init(p, &prev1, &prev2);
+        let mut v = Vec::new();
+        joint_init_into(p, &slices[0].0, &slices[0].1, &mut v);
 
-        // Beam survivor scratch, allocated once and reused across ticks.
         // `pruned` tracks whether the *current* frontier was restricted
         // (false under `Beam::Exact`, and on any tick where the whole
         // frontier survives — the dense kernel then runs unchanged).
         let beam = self.decoder.beam;
-        let mut scratch = BeamScratch::new();
-        let mut jscratch = JointScratch::default();
-        let mut pruned = beam.select_log(&v, &mut scratch);
+        let mut pruned = beam.select_log(&v, &mut arena.beam);
 
         // Backpointers per tick (index into the previous tick's flattened
-        // joint trellis), plus the slices for backtracking.
+        // joint trellis).
         let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
-        let mut slices: Vec<(Slice, Slice)> = Vec::with_capacity(ticks.len());
-        slices.push((prev1.clone(), prev2.clone()));
 
         for tick in ticks.iter().skip(1) {
-            let cur1 = self.slice(tick, 0);
-            let cur2 = self.slice(tick, 1);
-            let (k1, k2) = (prev1.states.len(), prev2.states.len());
-            let (m1, m2) = (cur1.states.len(), cur2.states.len());
+            let mut cur1 = Slice::default();
+            let mut cur2 = Slice::default();
+            fill_slice(p, tick, 0, &mut arena.step.macro_ids, &mut cur1);
+            fill_slice(p, tick, 1, &mut arena.step.macro_ids, &mut cur2);
+            let (prev1, prev2) = slices.last().expect("nonempty");
+            let (k1, k2) = (prev1.len(), prev2.len());
+            let (m1, m2) = (cur1.len(), cur2.len());
             states_explored += (m1 * m2) as u64;
 
-            let (v_new, back) = if pruned {
-                let (v_new, back, ops) = joint_step_pruned(
+            let mut back = Vec::new();
+            if pruned {
+                transition_ops += joint_step_pruned_into(
                     p,
-                    &prev1,
-                    &prev2,
+                    prev1,
+                    prev2,
                     &v,
-                    scratch.keep(),
+                    arena.beam.keep(),
                     &cur1,
                     &cur2,
-                    &mut jscratch,
+                    &mut arena.step,
+                    &mut back,
                 );
-                transition_ops += ops;
-                (v_new, back)
             } else {
                 transition_ops += (k1 as u64 * k2 as u64) * (m1 as u64 + m2 as u64);
-                joint_step(p, &prev1, &prev2, &v, &cur1, &cur2)
-            };
+                joint_step_into(
+                    p,
+                    prev1,
+                    prev2,
+                    &v,
+                    &cur1,
+                    &cur2,
+                    &mut arena.step,
+                    &mut back,
+                );
+            }
 
-            v = v_new;
-            pruned = beam.select_log(&v, &mut scratch);
+            std::mem::swap(&mut v, &mut arena.step.v_next);
+            pruned = beam.select_log(&v, &mut arena.beam);
             backptrs.push(back);
-            prev1 = cur1.clone();
-            prev2 = cur2.clone();
             slices.push((cur1, cur2));
         }
 
         // Termination: best final joint state.
-        let m2_last = prev2.states.len();
+        let m2_last = slices.last().expect("nonempty").1.len();
         let (mut flat, log_prob) = v
             .iter()
             .enumerate()
@@ -515,15 +623,13 @@ impl CoupledHdbn {
             let (s1_slice, s2_slice) = &slices[t];
             let j1 = flat / m2_cur;
             let j2 = flat % m2_cur;
-            let s1 = s1_slice.states[j1];
-            let s2 = s2_slice.states[j2];
-            macros[0][t] = s1.activity;
-            macros[1][t] = s2.activity;
-            micros[0][t] = ticks[t].candidates[0][s1.cand];
-            micros[1][t] = ticks[t].candidates[1][s2.cand];
+            macros[0][t] = s1_slice.activities[j1];
+            macros[1][t] = s2_slice.activities[j2];
+            micros[0][t] = ticks[t].candidates[0][s1_slice.cands[j1]];
+            micros[1][t] = ticks[t].candidates[1][s2_slice.cands[j2]];
             if t > 0 {
                 flat = backptrs[t][flat] as usize;
-                m2_cur = slices[t - 1].1.states.len();
+                m2_cur = slices[t - 1].1.len();
             }
         }
 

@@ -24,6 +24,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod naive;
+
 use cace_behavior::session::train_test_split;
 use cace_behavior::{cace_grammar, generate_cace_dataset, Session, SessionConfig};
 use cace_core::{CaceConfig, CaceEngine, Recognition, Strategy};

@@ -1,0 +1,164 @@
+//! Steady-state allocation accounting for the online decoders (PR 5).
+//!
+//! The `TrellisArena` + pooled-window design promises that a *warmed*
+//! streaming push — slice fill, DP step, beam selection, fixed-lag emit —
+//! performs **zero heap allocations per tick**, for the exact decoder and
+//! under an actively-pruning `TopK` beam alike. This suite counts every
+//! allocator call (alloc / realloc / alloc_zeroed) through a wrapping
+//! global allocator with a per-thread counter, warms each decoder past its
+//! high-water buffer sizes, then drives another window of pushes and
+//! asserts the count stayed at zero.
+//!
+//! The decision history (`emitted_*`) grows by one entry per tick and is
+//! the only amortized allocation left in the loop; `reserve_ticks`
+//! pre-sizes it, which is what a serving loop with a known session length
+//! would do (and what keeps this assertion exact rather than probabilistic
+//! about `Vec` growth boundaries).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
+
+use cace::hdbn::{
+    Beam, CoupledHdbn, DecoderConfig, Lag, OnlineCoupledViterbi, OnlineSingleViterbi, SingleHdbn,
+    TickInput,
+};
+use cace_testkit::{toy_glitchy_ticks, toy_two_activity_params};
+
+thread_local! {
+    static ALLOCS: Cell<u64> = const { Cell::new(0) };
+    static COUNTING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Wraps the system allocator, counting allocations made while the
+/// current thread has counting enabled. Thread-local so the other tests
+/// in this binary (and the harness itself) don't pollute the counter.
+struct CountingAlloc;
+
+impl CountingAlloc {
+    fn record() {
+        // `try_with` so allocations during TLS teardown can't panic.
+        let _ = COUNTING.try_with(|on| {
+            if on.get() {
+                let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            }
+        });
+    }
+}
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        Self::record();
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        Self::record();
+        System.realloc(ptr, layout, new_size)
+    }
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        Self::record();
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Runs `f` with allocation counting on, returning the number of
+/// allocator calls it made on this thread.
+fn count_allocs(f: impl FnOnce()) -> u64 {
+    ALLOCS.with(|c| c.set(0));
+    COUNTING.with(|on| on.set(true));
+    f();
+    COUNTING.with(|on| on.set(false));
+    ALLOCS.with(|c| c.get())
+}
+
+const WARMUP: usize = 64;
+const MEASURED: usize = 64;
+
+fn decoder_configs() -> [(&'static str, DecoderConfig); 2] {
+    // The toy coupled frontier is 16 joint states (single: 4), so TopK(4)
+    // (TopK(2) for single) genuinely prunes every tick — the pruned
+    // kernels and survivor selection are in the measured loop.
+    [
+        ("exact", DecoderConfig::exact()),
+        ("topk", DecoderConfig::top_k(4)),
+    ]
+}
+
+fn stream_ticks() -> Vec<TickInput> {
+    toy_glitchy_ticks(WARMUP + MEASURED)
+}
+
+#[test]
+fn warmed_coupled_stream_push_allocates_nothing() {
+    for (label, decoder) in decoder_configs() {
+        let model = CoupledHdbn::new(toy_two_activity_params(true)).with_decoder(decoder);
+        let ticks = stream_ticks();
+        let mut online = OnlineCoupledViterbi::new(model, Lag::Fixed(5));
+        online.reserve_ticks(WARMUP + MEASURED);
+        for tick in &ticks[..WARMUP] {
+            online.push(tick).expect("warmup push");
+        }
+        let allocs = count_allocs(|| {
+            for tick in &ticks[WARMUP..] {
+                online.push(tick).expect("measured push");
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "{label}: warmed coupled push must be allocation-free \
+             ({allocs} allocations over {MEASURED} ticks)"
+        );
+        // The stream is still correct after the measured window.
+        let path = online.finalize().expect("finalize");
+        assert_eq!(path.macros[0].len(), WARMUP + MEASURED);
+    }
+}
+
+#[test]
+fn warmed_single_stream_push_allocates_nothing() {
+    for (label, decoder) in [
+        ("exact", DecoderConfig::exact()),
+        ("topk", DecoderConfig::top_k(2)),
+    ] {
+        let model = SingleHdbn::new(toy_two_activity_params(false)).with_decoder(decoder);
+        let ticks = stream_ticks();
+        let mut online = OnlineSingleViterbi::new(model, 0, Lag::Fixed(5));
+        online.reserve_ticks(WARMUP + MEASURED);
+        for tick in &ticks[..WARMUP] {
+            online.push(tick).expect("warmup push");
+        }
+        let allocs = count_allocs(|| {
+            for tick in &ticks[WARMUP..] {
+                online.push(tick).expect("measured push");
+            }
+        });
+        assert_eq!(
+            allocs, 0,
+            "{label}: warmed single-chain push must be allocation-free \
+             ({allocs} allocations over {MEASURED} ticks)"
+        );
+        let path = online.finalize().expect("finalize");
+        assert_eq!(path.macros.len(), WARMUP + MEASURED);
+    }
+}
+
+/// The TopK beams above genuinely prune (strict subset survives), so the
+/// zero-allocation claim covers the pruned kernels, not just the dense
+/// ones.
+#[test]
+fn topk_cases_actually_prune_in_steady_state() {
+    let mut scratch = cace::hdbn::BeamScratch::new();
+    let model = CoupledHdbn::new(toy_two_activity_params(true));
+    let ticks = stream_ticks();
+    let path = model.viterbi(&ticks).expect("decode");
+    // 16-state joint frontier vs TopK(4): selection must report pruning.
+    let frontier: Vec<f64> = (0..16).map(|i| -(i as f64)).collect();
+    assert!(Beam::TopK(4).select_log(&frontier, &mut scratch));
+    assert_eq!(scratch.keep().len(), 4);
+    assert!(path.log_prob.is_finite());
+}
