@@ -179,6 +179,13 @@ fn bench(c: &mut Criterion) {
             ),
         });
     }
+    if records.len() > 1 {
+        perf::assert_pruned_not_slower(
+            &records,
+            "beam_sweep/c2_stream_push_exact",
+            "beam_sweep/c2_stream_push_best_beam",
+        );
+    }
     perf::emit(&records);
 
     // ---------- Criterion targets: steady-state streaming push ----------

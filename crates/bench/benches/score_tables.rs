@@ -8,8 +8,16 @@
 //! with per-edge `transition_score` calls and per-column `Vec`s) — and
 //! reports the per-tick speedup (**target ≥2×**), the steady-state
 //! streaming push latency per beam, and the heap allocations per warmed
-//! push (**target 0**). Everything lands in `BENCH_PR5.json` as
+//! push (**target 0**). Everything lands in `BENCH_PR6.json` as
 //! machine-readable perf records alongside the `beam_sweep` rows.
+//!
+//! The pruned streaming row uses `TopK(56)` — the width `beam_sweep`
+//! found to hold C2 accuracy within 0 pp of exact. PR 5 measured
+//! `TopK(bound/8)` = `TopK(1800)` here, which is *slower* than exact (the
+//! pruned kernel forgoes the dense kernel's run-max memoization, and a
+//! 1800-wide frontier doesn't shrink the work enough to pay for that);
+//! [`perf::assert_pruned_not_slower`] now guards the emitted records
+//! against that class of regression.
 
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -135,11 +143,12 @@ fn bench(c: &mut Criterion) {
     // ---------- Streaming: warmed push latency + allocations ----------
     header("Score tables — steady-state streaming push (hdbn coupled frontier)");
     println!("{:>10} {:>12} {:>14}", "beam", "ns/tick", "allocs/tick");
-    let bound = engine.frontier_bound();
     let mut stream_records = Vec::new();
     for (tag, decoder) in [
         ("exact", DecoderConfig::exact()),
-        ("topk_8th", DecoderConfig::top_k((bound / 8).max(1))),
+        // beam_sweep's accuracy-holding width — NOT a bound/8 divisor; see
+        // the module docs for why the wide beam is a pessimization.
+        ("topk_56", DecoderConfig::top_k(56)),
     ] {
         let model = CoupledHdbn::from_shared(Arc::clone(&params)).with_decoder(decoder);
         let mut online = OnlineCoupledViterbi::new(model, Lag::Fixed(10));
@@ -181,6 +190,11 @@ fn bench(c: &mut Criterion) {
         ),
     }];
     records.extend(stream_records);
+    perf::assert_pruned_not_slower(
+        &records,
+        "score_tables/c2_stream_push_exact",
+        "score_tables/c2_stream_push_topk_56",
+    );
     perf::emit(&records);
 
     // ---------- Criterion targets ----------

@@ -66,17 +66,19 @@ pub fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
-/// Machine-readable perf records: the `BENCH_PR5.json` trajectory file.
+/// Machine-readable perf records: the `BENCH_PR6.json` trajectory file.
 ///
 /// Each bench that measures a serving-relevant number appends
 /// [`PerfRecord`](perf::PerfRecord)s keyed by a stable `id`; re-running a bench overwrites
 /// its own records and leaves the others, so the file accumulates one
 /// up-to-date row per measurement across harnesses (`score_tables`,
-/// `beam_sweep`). CI's `--quick` smoke refreshes it on every run.
+/// `beam_sweep`, `f32_lane`). CI's `--quick` smoke refreshes it on every
+/// run. The PR 5 file (`BENCH_PR5.json`) is kept as the historical
+/// baseline; its still-valid record ids are carried forward here.
 pub mod perf {
     use std::path::PathBuf;
 
-    /// One measurement row of `BENCH_PR5.json`.
+    /// One measurement row of `BENCH_PR6.json`.
     #[derive(Debug, Clone)]
     pub struct PerfRecord {
         /// Stable record key, e.g. `score_tables/c2_batch_decode`.
@@ -116,7 +118,78 @@ pub mod perf {
     pub fn record_path() -> PathBuf {
         PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
-            .join("BENCH_PR5.json")
+            .join("BENCH_PR6.json")
+    }
+
+    /// Guard on a record batch about to be emitted: a pruning beam must
+    /// never be *slower* than the exact decode of the same workload — the
+    /// whole point of pruning is trading accuracy for latency. PR 5's
+    /// `score_tables/c2_stream_push_topk_8th` row violated this (a
+    /// `TopK(1800)` beam on C2's 14 400-state frontier keeps the beam so
+    /// wide the pruned kernel, which cannot use the dense kernel's
+    /// run-max memoization, does strictly more work than exact); this
+    /// assertion makes any such row a bench failure instead of a silent
+    /// entry in the trajectory file.
+    ///
+    /// # Panics
+    /// Panics if either id is missing from `records`, or if the pruned
+    /// row's `per_tick_ns` exceeds the exact row's.
+    pub fn assert_pruned_not_slower(records: &[PerfRecord], exact_id: &str, pruned_id: &str) {
+        let find = |id: &str| {
+            records
+                .iter()
+                .find(|r| r.id == id)
+                .unwrap_or_else(|| panic!("perf: no record with id {id}"))
+        };
+        let exact = find(exact_id);
+        let pruned = find(pruned_id);
+        assert!(
+            pruned.per_tick_ns <= exact.per_tick_ns,
+            "perf: pruned record {} ({:.0} ns/tick) is slower than exact record {} \
+             ({:.0} ns/tick) — the beam is too wide to pay for losing the dense \
+             kernel's memoizations",
+            pruned.id,
+            pruned.per_tick_ns,
+            exact.id,
+            exact.per_tick_ns,
+        );
+    }
+
+    /// `per_tick_ns` of a record in the frozen PR 5 trajectory file
+    /// (`BENCH_PR5.json`) — the historical baseline acceptance gates
+    /// compare against (e.g. the f32 lane's "≥2x faster than the f64
+    /// exact path" contract is measured against the exact path *as it
+    /// stood when the lane was specified*, so later exact-lane speedups
+    /// don't move the goalposts). Returns `None` if the file or id is
+    /// missing.
+    pub fn baseline_pr5(id: &str) -> Option<f64> {
+        let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .join("BENCH_PR5.json");
+        let text = std::fs::read_to_string(path).ok()?;
+        let serde::Value::Map(fields) = serde::json::value_from_str(&text).ok()? else {
+            return None;
+        };
+        let records = fields.iter().find_map(|(k, v)| match (k.as_str(), v) {
+            ("records", serde::Value::Seq(rs)) => Some(rs),
+            _ => None,
+        })?;
+        records.iter().find_map(|r| {
+            let serde::Value::Map(fs) = r else {
+                return None;
+            };
+            let rid = fs.iter().find_map(|(k, v)| match (k.as_str(), v) {
+                ("id", serde::Value::Str(s)) => Some(s.as_str()),
+                _ => None,
+            })?;
+            if rid != id {
+                return None;
+            }
+            fs.iter().find_map(|(k, v)| match (k.as_str(), v) {
+                ("per_tick_ns", serde::Value::Float(f)) => Some(*f),
+                _ => None,
+            })
+        })
     }
 
     fn record_id(value: &serde::Value) -> Option<&str> {
@@ -129,7 +202,7 @@ pub mod perf {
         })
     }
 
-    /// Merges `records` into `BENCH_PR5.json`: existing rows with the same
+    /// Merges `records` into `BENCH_PR6.json`: existing rows with the same
     /// `id` are replaced, everything else is preserved. Prints the file
     /// path so bench logs point at the artifact.
     pub fn emit(records: &[PerfRecord]) {

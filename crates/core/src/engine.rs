@@ -8,7 +8,7 @@ use cace_behavior::Session;
 use cace_features::SessionFeatures;
 use cace_hdbn::{
     fit_em_shared as hdbn_fit_em_shared, BeamScratch, CoupledHdbn, DecoderConfig, EmConfig,
-    HdbnConfig, HdbnParams, SingleHdbn, TickInput,
+    HdbnConfig, HdbnParams, Precision, SingleHdbn, TickInput,
 };
 use cace_mining::constraint::{ConstraintMiner, LabeledSequence};
 use cace_mining::rules::mine_negative_rules;
@@ -660,8 +660,25 @@ impl CaceEngine {
     /// Flat Viterbi over the (macro × micro-beam) product space with no
     /// hierarchical structure — the "all possible states" NH decoder,
     /// driven through the step functions in [`crate::nh`] (shared with the
-    /// streaming path).
+    /// streaming path). Dispatches on the configured scoring
+    /// [`Precision`] like the hierarchical decoders.
     fn flat_product_viterbi(
+        &self,
+        inputs: &[TickInput],
+        macro_emissions: &[Vec<f64>],
+        user: usize,
+    ) -> Result<(Vec<usize>, u64, u64), ModelError> {
+        match self.config.decoder.precision {
+            Precision::Exact64 => {
+                self.flat_product_viterbi_impl::<f64>(inputs, macro_emissions, user)
+            }
+            Precision::Fast32 => {
+                self.flat_product_viterbi_impl::<f32>(inputs, macro_emissions, user)
+            }
+        }
+    }
+
+    fn flat_product_viterbi_impl<S: nh::NhScalar>(
         &self,
         inputs: &[TickInput],
         macro_emissions: &[Vec<f64>],
@@ -677,8 +694,11 @@ impl CaceEngine {
         let n = self.n_macro;
 
         let mut all_states = vec![nh::states(&inputs[0], user, n)];
-        let mut v = nh::emissions(&inputs[0], user, &all_states[0], &macro_emissions[0]);
-        let mut v_next: Vec<f64> = Vec::new();
+        let mut v: Vec<S> = nh::emissions(&inputs[0], user, &all_states[0], &macro_emissions[0])
+            .into_iter()
+            .map(S::from_f64)
+            .collect();
+        let mut v_next: Vec<S> = Vec::new();
         let mut states_explored = all_states[0].len() as u64;
         let mut transition_ops = 0u64;
         let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
@@ -723,12 +743,7 @@ impl CaceEngine {
             all_states.push(cur);
         }
 
-        let mut j = v
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
-            .map(|(i, _)| i)
-            .expect("nonempty trellis");
+        let mut j = nh::argmax(&v);
         let mut path = vec![0usize; inputs.len()];
         for t in (0..inputs.len()).rev() {
             path[t] = all_states[t][j].0;

@@ -50,7 +50,7 @@ pub mod stream;
 pub mod transactions;
 
 pub use batch::BatchReport;
-pub use cace_hdbn::{Beam, DecoderConfig, Lag};
+pub use cace_hdbn::{Beam, DecoderConfig, Lag, Precision};
 pub use classifiers::MicroClassifiers;
 pub use engine::{CaceConfig, CaceEngine, Recognition};
 pub use strategy::Strategy;

@@ -17,8 +17,9 @@
 //! discipline.
 
 use std::collections::VecDeque;
+use std::sync::OnceLock;
 
-use cace_hdbn::{Beam, BeamScratch, Lag, TickInput};
+use cace_hdbn::{Beam, BeamScratch, DecoderConfig, Lag, Precision, Scalar, TickInput};
 
 /// One flat product state: (macro activity, micro-candidate index).
 pub(crate) type FlatState = (usize, usize);
@@ -33,6 +34,9 @@ pub(crate) struct FlatTable {
     n: usize,
     /// `to[a * n + ap] = log P(a | ap)`.
     to: Vec<f64>,
+    /// Lazily built `f32` mirror of `to` (the [`Precision::Fast32`] lane;
+    /// never persisted — snapshots keep the nested `f64` rows).
+    to32: OnceLock<Vec<f32>>,
 }
 
 impl FlatTable {
@@ -46,7 +50,11 @@ impl FlatTable {
                 to[a * n + ap] = v;
             }
         }
-        Self { n, to }
+        Self {
+            n,
+            to,
+            to32: OnceLock::new(),
+        }
     }
 
     /// Reconstructs the src-major nested rows (bitwise; used by engine
@@ -57,10 +65,43 @@ impl FlatTable {
             .collect()
     }
 
-    /// The transition column *into* macro `a`, indexed by previous macro.
+    /// The `f32` mirror, built on first fast-lane use (finite-clamping
+    /// entry-wise casts of `to`, like `HdbnParams::tables_f32`).
+    fn to32(&self) -> &[f32] {
+        self.to32.get_or_init(|| {
+            self.to
+                .iter()
+                .map(|&x| <f32 as Scalar>::from_f64(x))
+                .collect()
+        })
+    }
+
+    /// The transition column *into* macro `a`, indexed by previous macro,
+    /// in lane `S`.
     #[inline]
-    pub(crate) fn row(&self, a: usize) -> &[f64] {
-        &self.to[a * self.n..(a + 1) * self.n]
+    pub(crate) fn row<S: NhScalar>(&self, a: usize) -> &[S] {
+        &S::flat(self)[a * self.n..(a + 1) * self.n]
+    }
+}
+
+/// [`Scalar`] extended with this module's flat-table storage accessor —
+/// the NH analogue of `Scalar::tables` (which is tied to `HdbnParams`).
+pub(crate) trait NhScalar: Scalar {
+    /// The dst-major flat transition storage of `t` in this lane.
+    fn flat(t: &FlatTable) -> &[Self];
+}
+
+impl NhScalar for f64 {
+    #[inline(always)]
+    fn flat(t: &FlatTable) -> &[f64] {
+        &t.to
+    }
+}
+
+impl NhScalar for f32 {
+    #[inline(always)]
+    fn flat(t: &FlatTable) -> &[f32] {
+        t.to32()
     }
 }
 
@@ -88,30 +129,30 @@ pub(crate) fn emissions(
 
 /// One flat DP step over the dense macro transition table, written into
 /// reused `v_new`/`back` buffers.
-pub(crate) fn step_into(
+pub(crate) fn step_into<S: NhScalar>(
     table: &FlatTable,
     prev: &[FlatState],
-    v: &[f64],
+    v: &[S],
     cur: &[FlatState],
     emit: &[f64],
-    v_new: &mut Vec<f64>,
+    v_new: &mut Vec<S>,
     back: &mut Vec<u32>,
 ) {
     v_new.clear();
-    v_new.resize(cur.len(), f64::NEG_INFINITY);
+    v_new.resize(cur.len(), S::NEG_INFINITY);
     back.clear();
     back.resize(cur.len(), 0);
     // The fold depends on the new state only through its macro, and the
     // state list is macro-major: compute once per macro run, fan out
     // (pure memoization — identical arithmetic and tie-breaking).
     let mut run_macro = usize::MAX;
-    let mut best = f64::NEG_INFINITY;
+    let mut best = S::NEG_INFINITY;
     let mut best_arg = 0u32;
     for (j, &(a, _)) in cur.iter().enumerate() {
         if a != run_macro {
             run_macro = a;
-            let row = table.row(a);
-            best = f64::NEG_INFINITY;
+            let row = table.row::<S>(a);
+            best = S::NEG_INFINITY;
             best_arg = 0;
             for (jp, (&vv, &(ap, _))) in v.iter().zip(prev).enumerate() {
                 let score = vv + row[ap];
@@ -121,7 +162,7 @@ pub(crate) fn step_into(
                 }
             }
         }
-        v_new[j] = best + emit[j];
+        v_new[j] = best + S::from_f64(emit[j]);
         back[j] = best_arg;
     }
 }
@@ -129,29 +170,29 @@ pub(crate) fn step_into(
 /// [`step_into`] restricted to a pruned previous frontier (`keep`:
 /// surviving state indices, sorted ascending). Backpointers stay in
 /// full-frontier coordinates.
-pub(crate) fn step_pruned_into(
+pub(crate) fn step_pruned_into<S: NhScalar>(
     table: &FlatTable,
     prev: &[FlatState],
-    v: &[f64],
+    v: &[S],
     keep: &[u32],
     cur: &[FlatState],
     emit: &[f64],
-    v_new: &mut Vec<f64>,
+    v_new: &mut Vec<S>,
     back: &mut Vec<u32>,
 ) {
     v_new.clear();
-    v_new.resize(cur.len(), f64::NEG_INFINITY);
+    v_new.resize(cur.len(), S::NEG_INFINITY);
     back.clear();
     back.resize(cur.len(), 0);
     // Memoized per macro run like the dense step.
     let mut run_macro = usize::MAX;
-    let mut best = f64::NEG_INFINITY;
+    let mut best = S::NEG_INFINITY;
     let mut best_arg = 0u32;
     for (j, &(a, _)) in cur.iter().enumerate() {
         if a != run_macro {
             run_macro = a;
-            let row = table.row(a);
-            best = f64::NEG_INFINITY;
+            let row = table.row::<S>(a);
+            best = S::NEG_INFINITY;
             best_arg = 0;
             for &jp in keep {
                 let (ap, _) = prev[jp as usize];
@@ -162,12 +203,14 @@ pub(crate) fn step_pruned_into(
                 }
             }
         }
-        v_new[j] = best + emit[j];
+        v_new[j] = best + S::from_f64(emit[j]);
         back[j] = best_arg;
     }
 }
 
-fn argmax(v: &[f64]) -> usize {
+/// Last-max frontier argmax (matches `Iterator::max_by`, like the
+/// hierarchical decoders' termination rule).
+pub(crate) fn argmax<S: Scalar>(v: &[S]) -> usize {
     v.iter()
         .enumerate()
         .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
@@ -189,9 +232,11 @@ struct FlatEntry {
 pub(crate) struct OnlineFlat<'a> {
     table: &'a FlatTable,
     lag: Lag,
-    beam: Beam,
+    decoder: DecoderConfig,
     v: Vec<f64>,
     v_next: Vec<f64>,
+    v32: Vec<f32>,
+    v_next32: Vec<f32>,
     window: VecDeque<FlatEntry>,
     free: Vec<FlatEntry>,
     base: usize,
@@ -203,14 +248,68 @@ pub(crate) struct OnlineFlat<'a> {
     pruned: bool,
 }
 
+/// Advances (or initializes) a flat frontier by one DP step in lane `S`,
+/// then applies the beam — the per-[`Precision`] dispatch target of
+/// [`OnlineFlat::push`], over explicit disjoint fields.
+#[allow(clippy::too_many_arguments)]
+fn advance_flat<S: NhScalar>(
+    table: &FlatTable,
+    beam: Beam,
+    prev: Option<&FlatEntry>,
+    entry: &mut FlatEntry,
+    emit: &[f64],
+    v: &mut Vec<S>,
+    v_next: &mut Vec<S>,
+    scratch: &mut BeamScratch,
+    pruned: &mut bool,
+    transition_ops: &mut u64,
+) {
+    match prev {
+        None => {
+            v.clear();
+            v.extend(emit.iter().map(|&e| S::from_f64(e)));
+        }
+        Some(prev) => {
+            if *pruned {
+                *transition_ops += (entry.states.len() * scratch.keep().len()) as u64;
+                step_pruned_into(
+                    table,
+                    &prev.states,
+                    v,
+                    scratch.keep(),
+                    &entry.states,
+                    emit,
+                    v_next,
+                    &mut entry.back,
+                );
+            } else {
+                *transition_ops += (entry.states.len() * prev.states.len()) as u64;
+                step_into(
+                    table,
+                    &prev.states,
+                    v,
+                    &entry.states,
+                    emit,
+                    v_next,
+                    &mut entry.back,
+                );
+            }
+            std::mem::swap(v, v_next);
+        }
+    }
+    *pruned = beam.select_log(v, scratch);
+}
+
 impl<'a> OnlineFlat<'a> {
-    pub(crate) fn new(table: &'a FlatTable, lag: Lag, beam: Beam) -> Self {
+    pub(crate) fn new(table: &'a FlatTable, lag: Lag, decoder: DecoderConfig) -> Self {
         Self {
             table,
             lag,
-            beam,
+            decoder,
             v: Vec::new(),
             v_next: Vec::new(),
+            v32: Vec::new(),
+            v_next32: Vec::new(),
             window: VecDeque::new(),
             free: Vec::new(),
             base: 0,
@@ -234,44 +333,48 @@ impl<'a> OnlineFlat<'a> {
         let mut entry = self.free.pop().unwrap_or_default();
         entry.states = states;
         entry.back.clear();
-        if self.pushed == 0 {
-            self.v = emit;
-        } else {
-            let prev = self.window.back().expect("nonempty window");
-            if self.pruned {
-                self.transition_ops += (entry.states.len() * self.scratch.keep().len()) as u64;
-                step_pruned_into(
-                    self.table,
-                    &prev.states,
-                    &self.v,
-                    self.scratch.keep(),
-                    &entry.states,
-                    &emit,
-                    &mut self.v_next,
-                    &mut entry.back,
-                );
-            } else {
-                self.transition_ops += (entry.states.len() * prev.states.len()) as u64;
-                step_into(
-                    self.table,
-                    &prev.states,
-                    &self.v,
-                    &entry.states,
-                    &emit,
-                    &mut self.v_next,
-                    &mut entry.back,
-                );
-            }
-            std::mem::swap(&mut self.v, &mut self.v_next);
+        let prev = self.window.back();
+        match self.decoder.precision {
+            Precision::Exact64 => advance_flat(
+                self.table,
+                self.decoder.beam,
+                prev,
+                &mut entry,
+                &emit,
+                &mut self.v,
+                &mut self.v_next,
+                &mut self.scratch,
+                &mut self.pruned,
+                &mut self.transition_ops,
+            ),
+            Precision::Fast32 => advance_flat(
+                self.table,
+                self.decoder.beam,
+                prev,
+                &mut entry,
+                &emit,
+                &mut self.v32,
+                &mut self.v_next32,
+                &mut self.scratch,
+                &mut self.pruned,
+                &mut self.transition_ops,
+            ),
         }
-        self.pruned = self.beam.select_log(&self.v, &mut self.scratch);
         self.window.push_back(entry);
         self.pushed += 1;
         self.emit_ready()
     }
 
+    /// Argmax of the live frontier, in whichever lane the decoder runs.
+    fn frontier_argmax(&self) -> usize {
+        match self.decoder.precision {
+            Precision::Exact64 => argmax(&self.v),
+            Precision::Fast32 => argmax(&self.v32),
+        }
+    }
+
     fn state_at(&self, idx: usize) -> usize {
-        let mut j = argmax(&self.v);
+        let mut j = self.frontier_argmax();
         for i in (idx + 1..self.window.len()).rev() {
             j = self.window[i].back[j] as usize;
         }
@@ -305,7 +408,7 @@ impl<'a> OnlineFlat<'a> {
         if self.pushed == 0 {
             return None;
         }
-        let mut j = argmax(&self.v);
+        let mut j = self.frontier_argmax();
         let committed = self.emitted.len();
         let mut tail = Vec::with_capacity(self.pushed - committed);
         for t in (committed..self.pushed).rev() {
@@ -337,7 +440,11 @@ mod tests {
         assert_eq!(table.to_rows(), rows, "from_rows → to_rows is lossless");
         for (ap, row) in rows.iter().enumerate() {
             for (a, &v) in row.iter().enumerate() {
-                assert_eq!(table.row(a)[ap], v, "flat load == nested rows[{ap}][{a}]");
+                assert_eq!(
+                    table.row::<f64>(a)[ap],
+                    v,
+                    "flat load == nested rows[{ap}][{a}]"
+                );
             }
         }
     }

@@ -113,8 +113,8 @@ impl CaceEngine {
     pub fn stream(&self, lag: Lag) -> StreamingRecognizer<'_> {
         let decoder = match self.config.strategy {
             Strategy::NaiveHmm => Decoder::Nh([
-                OnlineFlat::new(&self.nh_log_trans, lag, self.config.decoder.beam),
-                OnlineFlat::new(&self.nh_log_trans, lag, self.config.decoder.beam),
+                OnlineFlat::new(&self.nh_log_trans, lag, self.config.decoder),
+                OnlineFlat::new(&self.nh_log_trans, lag, self.config.decoder),
             ]),
             Strategy::NaiveCorrelation => {
                 let model = SingleHdbn::from_shared(std::sync::Arc::clone(&self.params))

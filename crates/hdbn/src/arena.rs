@@ -138,48 +138,81 @@ pub(crate) fn fill_slice(
 /// plus the ping-pong frontier the steps emit into. Split from the beam
 /// scratch so a caller can hold the beam's survivor list and the step
 /// buffers mutably at the same time.
+///
+/// Generic over the scoring lane `S` (see [`Scalar`](crate::scalar::Scalar)):
+/// all score-carrying
+/// buffers are `Vec<S>`, so an `f32` decode halves its frontier and fold
+/// traffic. Index buffers and the log-sum-exp accumulator (used only by
+/// the f64-only inference paths) are lane-independent.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct StepScratch {
+pub(crate) struct StepScratch<S> {
     /// Pruned joint-step group buffers (PR 4's `JointScratch`, absorbed).
-    pub(crate) joint: JointScratch,
+    pub(crate) joint: JointScratch<S>,
     /// Allowed-macro scratch for [`fill_slice`].
     pub(crate) macro_ids: Vec<usize>,
-    /// Pass-1 joint fold `W[j1p, slot2]` (per distinct chain-2 dst pair)
-    /// and its argmax; also the chain kernels' per-distinct-pair fold.
-    pub(crate) w: Vec<f64>,
+    /// Pass-1 joint fold `W[slot2, j1p]` (per distinct chain-2 dst pair,
+    /// slot-major so pass 2 scans each `slot2` row contiguously) and its
+    /// argmax; also the chain kernels' per-distinct-pair fold.
+    pub(crate) w: Vec<S>,
     pub(crate) w_arg: Vec<u32>,
     /// Pass-2 joint fold `V''[slot1, slot2]` (per distinct dst pair of
     /// both chains) and its full-frontier backpointer.
-    pub(crate) w2: Vec<f64>,
+    pub(crate) w2: Vec<S>,
     pub(crate) w2_arg: Vec<u32>,
     /// Per-(source, activity-run) maxima of a fold-source vector and
     /// their first argmax — the switch-candidate cache the low-rank fold
     /// uses (one candidate per run instead of one per state).
-    pub(crate) run_max: Vec<f64>,
+    pub(crate) run_max: Vec<S>,
     pub(crate) run_arg: Vec<u32>,
     /// Activity runs of a *pruned* survivor list (`(activity, start, end)`
     /// half-open into `keep`), rebuilt per pruned step.
     pub(crate) runs_scratch: Vec<(u32, u32, u32)>,
     /// Ping-pong frontier: kernels write the new frontier here; the caller
     /// swaps it with its live frontier vector.
-    pub(crate) v_next: Vec<f64>,
-    /// Log-sum-exp term accumulator (forward–backward, EM).
+    pub(crate) v_next: Vec<S>,
+    /// Pre-gathered transition column of the dense *chain* kernel: per
+    /// distinct dst pair, `gcol[j] = into_row(dst)[prev.pairs[j]]` over
+    /// the continue runs, hoisted out of the fold so the inner loop is a
+    /// contiguous `frontier + column` lane fold instead of a gather. The
+    /// joint kernel reuses the buffer for its converted chain-2 emission
+    /// row in the fan-out.
+    pub(crate) gcol: Vec<S>,
+    /// Transposed joint frontier `V[j2p][j1p]` — the joint kernel's pass-1
+    /// accumulation runs contiguously over `j1p`, so the frontier is
+    /// transposed once per tick instead of strided per fold.
+    pub(crate) vt: Vec<S>,
+    /// Transposed pass-1 fold `W[j1p][slot2]` — pass 2 accumulates
+    /// contiguously over `slot2`.
+    pub(crate) wt: Vec<S>,
+    /// Pass-2 per-`slot2` running argmax (`best_j1p`) of the current
+    /// `slot1` row.
+    pub(crate) acc_arg: Vec<u32>,
+    /// Fan-out coupling row of the current chain-1 activity:
+    /// `crow[j2] = g(a1, activities2[j2])`, materialized once per chain-1
+    /// run so the fan-out inner loop is a single contiguous zip.
+    pub(crate) crow: Vec<S>,
+    /// Log-sum-exp term accumulator (forward–backward, EM; f64-only
+    /// paths).
     pub(crate) terms: Vec<f64>,
 }
 
 /// All reusable trellis memory of one decode (batch) or one stream
-/// (online): beam survivor scratch plus step-kernel scratch.
+/// (online): beam survivor scratch plus step-kernel scratch, one set per
+/// scoring lane.
 ///
 /// Allocated once, reused across ticks; buffers grow to the high-water
 /// frontier size and stay there, so the steady-state per-tick loop is
-/// allocation-free.
+/// allocation-free. Only the lane a decoder actually runs in ever grows
+/// (the other stays four empty vectors).
 #[derive(Debug, Clone, Default)]
 pub struct TrellisArena {
     /// Beam survivor-selection scratch (kept as its own field so `keep()`
     /// can be borrowed while the step scratch is borrowed mutably).
     pub(crate) beam: BeamScratch,
-    /// Fold buffers and ping-pong frontier.
-    pub(crate) step: StepScratch,
+    /// Fold buffers and ping-pong frontier, exact (`f64`) lane.
+    pub(crate) step: StepScratch<f64>,
+    /// Fold buffers and ping-pong frontier, fast (`f32`) lane.
+    pub(crate) step32: StepScratch<f32>,
 }
 
 impl TrellisArena {

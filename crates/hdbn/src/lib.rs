@@ -40,6 +40,12 @@
 //! built from ([`tables`]). *Allocation*: all step-kernel scratch lives in
 //! a [`TrellisArena`] allocated once per decode or stream, so a warmed
 //! online push performs zero heap allocations per tick ([`arena`]).
+//! On top of both, every step kernel is generic over a [`Scalar`] scoring
+//! lane ([`scalar`]): the default [`Precision::Exact64`] `f64` lane stays
+//! bit-identical to the naive scorers, while the opt-in
+//! [`Precision::Fast32`] lane decodes through a lazily built `f32` table
+//! mirror at roughly twice the per-tick speed, within a measured
+//! agreement tolerance.
 //!
 //! The crate is deliberately index-based (runtime vocabulary sizes), so the
 //! same machinery serves the 11-activity CACE and 15-activity CASAS
@@ -55,6 +61,7 @@ pub mod forward;
 pub mod input;
 pub mod online;
 pub mod params;
+pub mod scalar;
 pub mod single;
 pub mod tables;
 pub mod viterbi;
@@ -66,6 +73,7 @@ pub use forward::log_sum_exp;
 pub use input::{MicroCandidate, TickInput};
 pub use online::{Lag, OnlineCoupledViterbi, OnlineSingleViterbi, SmoothedChain, SmoothedJoint};
 pub use params::{HdbnConfig, HdbnParams};
+pub use scalar::{Precision, Scalar};
 pub use single::SingleHdbn;
-pub use tables::ScoreTables;
+pub use tables::{ScoreTables, ScoreTablesF32};
 pub use viterbi::{CoupledHdbn, JointPath};

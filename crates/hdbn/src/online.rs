@@ -66,9 +66,11 @@ use std::sync::Arc;
 
 use cace_model::ModelError;
 
-use crate::arena::{fill_slice, Slice, TrellisArena};
+use crate::arena::{fill_slice, Slice, StepScratch, TrellisArena};
+use crate::beam::{Beam, BeamScratch};
 use crate::input::{MicroCandidate, TickInput};
 use crate::params::HdbnParams;
+use crate::scalar::{self, Precision, Scalar};
 use crate::single::{self, SingleHdbn, SinglePath};
 use crate::viterbi::{self, CoupledHdbn, JointPath};
 
@@ -135,12 +137,106 @@ struct JointEntry {
     cands: [Vec<MicroCandidate>; 2],
 }
 
-fn argmax(v: &[f64]) -> (usize, f64) {
-    v.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
-        .map(|(i, &s)| (i, s))
-        .expect("nonempty trellis")
+/// Advances a coupled frontier by one DP step in lane `S` (or initializes
+/// it on the first tick), then applies the beam. Free function over
+/// explicit disjoint fields so [`OnlineCoupledViterbi::push`] can dispatch
+/// per [`Precision`] without duplicating the step logic.
+#[allow(clippy::too_many_arguments)]
+fn advance_joint<S: Scalar>(
+    params: &HdbnParams,
+    beam: Beam,
+    prev: Option<&JointEntry>,
+    entry: &mut JointEntry,
+    v: &mut Vec<S>,
+    step: &mut StepScratch<S>,
+    beam_scratch: &mut BeamScratch,
+    pruned: &mut bool,
+    transition_ops: &mut u64,
+) {
+    match prev {
+        None => {
+            viterbi::joint_init_into(params, &entry.s1, &entry.s2, v);
+            entry.back.clear();
+        }
+        Some(prev) => {
+            let (k1, k2) = (prev.s1.len(), prev.s2.len());
+            let (m1, m2) = (entry.s1.len(), entry.s2.len());
+            if *pruned {
+                *transition_ops += viterbi::joint_step_pruned_into(
+                    params,
+                    &prev.s1,
+                    &prev.s2,
+                    v,
+                    beam_scratch.keep(),
+                    &entry.s1,
+                    &entry.s2,
+                    step,
+                    &mut entry.back,
+                );
+            } else {
+                *transition_ops += (k1 as u64 * k2 as u64) * (m1 as u64 + m2 as u64);
+                viterbi::joint_step_into(
+                    params,
+                    &prev.s1,
+                    &prev.s2,
+                    v,
+                    &entry.s1,
+                    &entry.s2,
+                    step,
+                    &mut entry.back,
+                );
+            }
+            std::mem::swap(v, &mut step.v_next);
+        }
+    }
+    *pruned = beam.select_log(v, beam_scratch);
+}
+
+/// Single-chain counterpart of [`advance_joint`].
+#[allow(clippy::too_many_arguments)]
+fn advance_chain<S: Scalar>(
+    params: &HdbnParams,
+    beam: Beam,
+    prev: Option<&ChainEntry>,
+    entry: &mut ChainEntry,
+    v: &mut Vec<S>,
+    step: &mut StepScratch<S>,
+    beam_scratch: &mut BeamScratch,
+    pruned: &mut bool,
+    transition_ops: &mut u64,
+) {
+    match prev {
+        None => {
+            single::chain_init_into(params, &entry.slice, v);
+            entry.back.clear();
+        }
+        Some(prev) => {
+            if *pruned {
+                *transition_ops += (beam_scratch.keep().len() * entry.slice.len()) as u64;
+                single::chain_step_pruned_into(
+                    params,
+                    &prev.slice,
+                    v,
+                    beam_scratch.keep(),
+                    &entry.slice,
+                    step,
+                    &mut entry.back,
+                );
+            } else {
+                *transition_ops += (prev.slice.len() * entry.slice.len()) as u64;
+                single::chain_step_into(
+                    params,
+                    &prev.slice,
+                    v,
+                    &entry.slice,
+                    step,
+                    &mut entry.back,
+                );
+            }
+            std::mem::swap(v, &mut step.v_next);
+        }
+    }
+    *pruned = beam.select_log(v, beam_scratch);
 }
 
 /// Incremental fixed-lag decoder for the loosely-coupled two-chain HDBN.
@@ -155,8 +251,11 @@ pub struct OnlineCoupledViterbi {
     /// can borrow them alongside the arena without aliasing `model`.
     params: Arc<HdbnParams>,
     lag: Lag,
-    /// Current frontier, flattened as `j1 * |S2| + j2`.
+    /// Current frontier, flattened as `j1 * |S2| + j2` (exact lane; empty
+    /// under [`Precision::Fast32`]).
     v: Vec<f64>,
+    /// Fast-lane frontier (empty under [`Precision::Exact64`]).
+    v32: Vec<f32>,
     /// Backpointer window: entries for ticks `base .. pushed`.
     window: VecDeque<JointEntry>,
     /// Recycled window entries (see [`JointEntry`]).
@@ -188,6 +287,7 @@ impl OnlineCoupledViterbi {
             params,
             lag,
             v: Vec::new(),
+            v32: Vec::new(),
             window: VecDeque::new(),
             free: Vec::new(),
             base: 0,
@@ -255,56 +355,53 @@ impl OnlineCoupledViterbi {
             entry.cands[u].clear();
             entry.cands[u].extend_from_slice(&tick.candidates[u]);
         }
-        if self.pushed == 0 {
-            viterbi::joint_init_into(&self.params, &entry.s1, &entry.s2, &mut self.v);
-            self.states_explored += (entry.s1.len() * entry.s2.len()) as u64;
-            entry.back.clear();
-        } else {
-            let prev = self.window.back().expect("nonempty window");
-            let (k1, k2) = (prev.s1.len(), prev.s2.len());
-            let (m1, m2) = (entry.s1.len(), entry.s2.len());
-            self.states_explored += (m1 * m2) as u64;
-            if self.pruned {
-                self.transition_ops += viterbi::joint_step_pruned_into(
-                    &self.params,
-                    &prev.s1,
-                    &prev.s2,
-                    &self.v,
-                    self.arena.beam.keep(),
-                    &entry.s1,
-                    &entry.s2,
-                    &mut self.arena.step,
-                    &mut entry.back,
-                );
-            } else {
-                self.transition_ops += (k1 as u64 * k2 as u64) * (m1 as u64 + m2 as u64);
-                viterbi::joint_step_into(
-                    &self.params,
-                    &prev.s1,
-                    &prev.s2,
-                    &self.v,
-                    &entry.s1,
-                    &entry.s2,
-                    &mut self.arena.step,
-                    &mut entry.back,
-                );
-            }
-            std::mem::swap(&mut self.v, &mut self.arena.step.v_next);
+        self.states_explored += (entry.s1.len() * entry.s2.len()) as u64;
+        let decoder = self.model.decoder();
+        let prev = self.window.back();
+        match decoder.precision {
+            Precision::Exact64 => advance_joint(
+                &self.params,
+                decoder.beam,
+                prev,
+                &mut entry,
+                &mut self.v,
+                &mut self.arena.step,
+                &mut self.arena.beam,
+                &mut self.pruned,
+                &mut self.transition_ops,
+            ),
+            Precision::Fast32 => advance_joint(
+                &self.params,
+                decoder.beam,
+                prev,
+                &mut entry,
+                &mut self.v32,
+                &mut self.arena.step32,
+                &mut self.arena.beam,
+                &mut self.pruned,
+                &mut self.transition_ops,
+            ),
         }
-        self.pruned = self
-            .model
-            .decoder()
-            .beam
-            .select_log(&self.v, &mut self.arena.beam);
         self.window.push_back(entry);
         self.pushed += 1;
         Ok(self.emit_ready())
     }
 
+    /// Argmax of the live frontier, in whichever lane the decoder runs.
+    fn frontier_argmax(&self) -> (usize, f64) {
+        match self.model.decoder().precision {
+            Precision::Exact64 => scalar::argmax(&self.v),
+            Precision::Fast32 => {
+                let (i, s) = scalar::argmax(&self.v32);
+                (i, f64::from(s))
+            }
+        }
+    }
+
     /// Walks the backpointer window from the current frontier argmax down
     /// to window index `idx`, returning the flattened state there.
     fn flat_at(&self, idx: usize) -> usize {
-        let (mut flat, _) = argmax(&self.v);
+        let (mut flat, _) = self.frontier_argmax();
         for i in (idx + 1..self.window.len()).rev() {
             flat = self.window[i].back[flat] as usize;
         }
@@ -374,7 +471,7 @@ impl OnlineCoupledViterbi {
                 required: 1,
             });
         }
-        let (mut flat, log_prob) = argmax(&self.v);
+        let (mut flat, log_prob) = self.frontier_argmax();
         let committed = self.emitted_macros[0].len();
         // Tail decisions for ticks committed..pushed, resolved against the
         // final frontier (newest first, then reversed into place).
@@ -423,6 +520,7 @@ pub struct OnlineSingleViterbi {
     user: usize,
     lag: Lag,
     v: Vec<f64>,
+    v32: Vec<f32>,
     window: VecDeque<ChainEntry>,
     free: Vec<ChainEntry>,
     base: usize,
@@ -446,6 +544,7 @@ impl OnlineSingleViterbi {
             user,
             lag,
             v: Vec::new(),
+            v32: Vec::new(),
             window: VecDeque::new(),
             free: Vec::new(),
             base: 0,
@@ -497,48 +596,50 @@ impl OnlineSingleViterbi {
         entry.cands.clear();
         entry.cands.extend_from_slice(&tick.candidates[self.user]);
         self.states_explored += entry.slice.len() as u64;
-        if self.pushed == 0 {
-            single::chain_init_into(&self.params, &entry.slice, &mut self.v);
-            entry.back.clear();
-        } else {
-            let prev = self.window.back().expect("nonempty window");
-            if self.pruned {
-                let ops = (self.arena.beam.keep().len() * entry.slice.len()) as u64;
-                self.transition_ops += ops;
-                single::chain_step_pruned_into(
-                    &self.params,
-                    &prev.slice,
-                    &self.v,
-                    self.arena.beam.keep(),
-                    &entry.slice,
-                    &mut self.arena.step,
-                    &mut entry.back,
-                );
-            } else {
-                self.transition_ops += (prev.slice.len() * entry.slice.len()) as u64;
-                single::chain_step_into(
-                    &self.params,
-                    &prev.slice,
-                    &self.v,
-                    &entry.slice,
-                    &mut self.arena.step,
-                    &mut entry.back,
-                );
-            }
-            std::mem::swap(&mut self.v, &mut self.arena.step.v_next);
+        let decoder = self.model.decoder();
+        let prev = self.window.back();
+        match decoder.precision {
+            Precision::Exact64 => advance_chain(
+                &self.params,
+                decoder.beam,
+                prev,
+                &mut entry,
+                &mut self.v,
+                &mut self.arena.step,
+                &mut self.arena.beam,
+                &mut self.pruned,
+                &mut self.transition_ops,
+            ),
+            Precision::Fast32 => advance_chain(
+                &self.params,
+                decoder.beam,
+                prev,
+                &mut entry,
+                &mut self.v32,
+                &mut self.arena.step32,
+                &mut self.arena.beam,
+                &mut self.pruned,
+                &mut self.transition_ops,
+            ),
         }
-        self.pruned = self
-            .model
-            .decoder()
-            .beam
-            .select_log(&self.v, &mut self.arena.beam);
         self.window.push_back(entry);
         self.pushed += 1;
         Ok(self.emit_ready())
     }
 
+    /// Argmax of the live frontier, in whichever lane the decoder runs.
+    fn frontier_argmax(&self) -> (usize, f64) {
+        match self.model.decoder().precision {
+            Precision::Exact64 => scalar::argmax(&self.v),
+            Precision::Fast32 => {
+                let (i, s) = scalar::argmax(&self.v32);
+                (i, f64::from(s))
+            }
+        }
+    }
+
     fn state_at(&self, idx: usize) -> usize {
-        let (mut j, _) = argmax(&self.v);
+        let (mut j, _) = self.frontier_argmax();
         for i in (idx + 1..self.window.len()).rev() {
             j = self.window[i].back[j] as usize;
         }
@@ -585,7 +686,7 @@ impl OnlineSingleViterbi {
                 required: 1,
             });
         }
-        let (mut j, log_prob) = argmax(&self.v);
+        let (mut j, log_prob) = self.frontier_argmax();
         let committed = self.emitted_macros.len();
         let mut tail: Vec<(usize, MicroCandidate)> = Vec::with_capacity(self.pushed - committed);
         for t in (committed..self.pushed).rev() {
@@ -810,6 +911,32 @@ mod tests {
             }
             assert_eq!(online.finalize().unwrap(), batch, "user {user}");
         }
+    }
+
+    #[test]
+    fn fast32_streaming_is_bit_identical_to_fast32_batch() {
+        use crate::beam::DecoderConfig;
+        let ticks = glitchy_ticks();
+        // Both sides decode through the same generic f32 kernels, so the
+        // online/batch equivalence guarantee holds per lane, not just for
+        // the exact lane.
+        let model =
+            CoupledHdbn::new(toy_params(true)).with_decoder(DecoderConfig::exact().fast32());
+        let batch = model.viterbi(&ticks).unwrap();
+        let mut online = OnlineCoupledViterbi::new(model, Lag::Unbounded);
+        for tick in &ticks {
+            assert_eq!(online.push(tick).unwrap(), None);
+        }
+        assert_eq!(online.finalize().unwrap(), batch);
+
+        let model =
+            SingleHdbn::new(toy_params(false)).with_decoder(DecoderConfig::top_k(2).fast32());
+        let batch = model.viterbi(&ticks, 0).unwrap();
+        let mut online = OnlineSingleViterbi::new(model, 0, Lag::Unbounded);
+        for tick in &ticks {
+            assert_eq!(online.push(tick).unwrap(), None);
+        }
+        assert_eq!(online.finalize().unwrap(), batch);
     }
 
     #[test]

@@ -7,10 +7,11 @@
 use cace_model::ModelError;
 
 use crate::arena::{fill_slice, Slice, StepScratch, TrellisArena};
-use crate::beam::DecoderConfig;
+use crate::beam::{BeamScratch, DecoderConfig};
 use crate::forward::{apply_beam_linear, log_sum_exp, normalize_log};
 use crate::input::{MicroCandidate, TickInput};
 use crate::params::HdbnParams;
+use crate::scalar::{self, fold_max, fold_max_sum, Precision, Scalar};
 
 /// A decoded single-chain trajectory.
 #[derive(Debug, Clone, PartialEq)]
@@ -145,7 +146,7 @@ pub(crate) fn validate_tick_user(
 ///
 /// Shared by the batch decoder and
 /// [`crate::online::OnlineSingleViterbi`] so the two stay bit-identical.
-pub(crate) fn chain_init_into(p: &HdbnParams, slice: &Slice, v: &mut Vec<f64>) {
+pub(crate) fn chain_init_into<S: Scalar>(p: &HdbnParams, slice: &Slice, v: &mut Vec<S>) {
     v.clear();
     v.reserve(slice.len());
     v.extend(
@@ -153,7 +154,7 @@ pub(crate) fn chain_init_into(p: &HdbnParams, slice: &Slice, v: &mut Vec<f64>) {
             .activities
             .iter()
             .zip(&slice.emissions)
-            .map(|(&a, &e)| p.log_prior[a] + e),
+            .map(|(&a, &e)| S::from_f64(p.log_prior[a] + e)),
     );
 }
 
@@ -166,15 +167,15 @@ pub(crate) fn chain_init_into(p: &HdbnParams, slice: &Slice, v: &mut Vec<f64>) {
 /// The single implementation of the recursion, called by both the batch
 /// [`SingleHdbn::viterbi`] and the incremental
 /// [`crate::online::OnlineSingleViterbi`].
-pub(crate) fn chain_step_into(
+pub(crate) fn chain_step_into<S: Scalar>(
     p: &HdbnParams,
     prev: &Slice,
-    v: &[f64],
+    v: &[S],
     cur: &Slice,
-    step: &mut StepScratch,
+    step: &mut StepScratch<S>,
     back: &mut Vec<u32>,
 ) {
-    let t = &p.tables;
+    let t = S::tables(p);
     let m = cur.len();
     // Two memoizations, both bit-identical to the per-state × per-prev
     // scan they replace:
@@ -193,45 +194,44 @@ pub(crate) fn chain_step_into(
         v_next,
         run_max,
         run_arg,
+        gcol,
         ..
     } = step;
     let n_runs = prev.runs.len();
     run_max.clear();
-    run_max.resize(n_runs, f64::NEG_INFINITY);
+    run_max.resize(n_runs, S::NEG_INFINITY);
     run_arg.clear();
     run_arg.resize(n_runs, 0);
     for (r, &(_, start, end)) in prev.runs.iter().enumerate() {
-        let mut best = f64::NEG_INFINITY;
-        let mut arg = 0u32;
-        for jp in start..end {
-            let vv = v[jp as usize];
-            if vv > best {
-                best = vv;
-                arg = jp;
-            }
-        }
+        let (best, arg) = fold_max(&v[start as usize..end as usize]);
         run_max[r] = best;
-        run_arg[r] = arg;
+        run_arg[r] = start + arg;
     }
     w.clear();
-    w.resize(d, f64::NEG_INFINITY);
+    w.resize(d, S::NEG_INFINITY);
     w_arg.clear();
     w_arg.resize(d, 0);
+    gcol.clear();
+    gcol.resize(prev.len(), S::NEG_INFINITY);
     for (s, &dp) in cur.uniq_pairs.iter().enumerate() {
         let a = t.activity_of(dp);
         let row = t.into_row(dp);
         let srow = t.switch_row(a);
-        let mut best = f64::NEG_INFINITY;
+        let mut best = S::NEG_INFINITY;
         let mut best_arg = 0u32;
         for (r, &(ar, start, end)) in prev.runs.iter().enumerate() {
             if ar as usize == a {
-                // Continue run: postural-dependent, scan its members.
+                // Continue run: postural-dependent. Gather the transition
+                // column once, then lane-fold the contiguous
+                // `frontier + column` segment.
+                let (start, end) = (start as usize, end as usize);
                 for jp in start..end {
-                    let score = v[jp as usize] + row[prev.pairs[jp as usize] as usize];
-                    if score > best {
-                        best = score;
-                        best_arg = jp;
-                    }
+                    gcol[jp] = row[prev.pairs[jp] as usize];
+                }
+                let (score, arg) = fold_max_sum(&v[start..end], &gcol[start..end]);
+                if score > best {
+                    best = score;
+                    best_arg = start as u32 + arg;
                 }
             } else {
                 let score = run_max[r] + srow[ar as usize];
@@ -245,12 +245,12 @@ pub(crate) fn chain_step_into(
         w_arg[s] = best_arg;
     }
     v_next.clear();
-    v_next.resize(m, f64::NEG_INFINITY);
+    v_next.resize(m, S::NEG_INFINITY);
     back.clear();
     back.resize(m, 0);
     for j in 0..m {
         let s = cur.slots[j] as usize;
-        v_next[j] = w[s] + cur.emissions[j];
+        v_next[j] = w[s] + S::from_f64(cur.emissions[j]);
         back[j] = w_arg[s];
     }
 }
@@ -260,16 +260,16 @@ pub(crate) fn chain_step_into(
 /// transitioned out of. Backpointers stay in full-frontier coordinates, so
 /// backtracking is oblivious to pruning; the iteration order over
 /// survivors matches the dense kernel's ascending order.
-pub(crate) fn chain_step_pruned_into(
+pub(crate) fn chain_step_pruned_into<S: Scalar>(
     p: &HdbnParams,
     prev: &Slice,
-    v: &[f64],
+    v: &[S],
     keep: &[u32],
     cur: &Slice,
-    step: &mut StepScratch,
+    step: &mut StepScratch<S>,
     back: &mut Vec<u32>,
 ) {
-    let t = &p.tables;
+    let t = S::tables(p);
     let m = cur.len();
     let d = cur.n_slots();
     let StepScratch {
@@ -296,11 +296,11 @@ pub(crate) fn chain_step_pruned_into(
     }
     let n_runs = runs_scratch.len();
     run_max.clear();
-    run_max.resize(n_runs, f64::NEG_INFINITY);
+    run_max.resize(n_runs, S::NEG_INFINITY);
     run_arg.clear();
     run_arg.resize(n_runs, 0);
     for (r, &(_, start, end)) in runs_scratch.iter().enumerate() {
-        let mut best = f64::NEG_INFINITY;
+        let mut best = S::NEG_INFINITY;
         let mut arg = 0u32;
         for &jp in &keep[start as usize..end as usize] {
             let vv = v[jp as usize];
@@ -313,14 +313,14 @@ pub(crate) fn chain_step_pruned_into(
         run_arg[r] = arg;
     }
     w.clear();
-    w.resize(d, f64::NEG_INFINITY);
+    w.resize(d, S::NEG_INFINITY);
     w_arg.clear();
     w_arg.resize(d, 0);
     for (s, &dp) in cur.uniq_pairs.iter().enumerate() {
         let a = t.activity_of(dp);
         let row = t.into_row(dp);
         let srow = t.switch_row(a);
-        let mut best = f64::NEG_INFINITY;
+        let mut best = S::NEG_INFINITY;
         let mut best_arg = 0u32;
         for (r, &(ar, start, end)) in runs_scratch.iter().enumerate() {
             if ar as usize == a {
@@ -343,12 +343,12 @@ pub(crate) fn chain_step_pruned_into(
         w_arg[s] = best_arg;
     }
     v_next.clear();
-    v_next.resize(m, f64::NEG_INFINITY);
+    v_next.resize(m, S::NEG_INFINITY);
     back.clear();
     back.resize(m, 0);
     for j in 0..m {
         let s = cur.slots[j] as usize;
-        v_next[j] = w[s] + cur.emissions[j];
+        v_next[j] = w[s] + S::from_f64(cur.emissions[j]);
         back[j] = w_arg[s];
     }
 }
@@ -436,62 +436,75 @@ impl SingleHdbn {
 
     /// Viterbi decoding of one user's chain.
     ///
+    /// Dispatches on [`DecoderConfig::precision`]: the default
+    /// [`Precision::Exact64`] lane is bit-identical to the historical
+    /// decoder, [`Precision::Fast32`] decodes through the `f32` table
+    /// mirror.
+    ///
     /// # Errors
     /// Same conditions as [`crate::CoupledHdbn::viterbi`].
     pub fn viterbi(&self, ticks: &[TickInput], user: usize) -> Result<SinglePath, ModelError> {
         self.validate(ticks, user)?;
+        match self.decoder.precision {
+            Precision::Exact64 => self.viterbi_impl::<f64>(ticks, user),
+            Precision::Fast32 => self.viterbi_impl::<f32>(ticks, user),
+        }
+    }
+
+    fn viterbi_impl<S: Scalar>(
+        &self,
+        ticks: &[TickInput],
+        user: usize,
+    ) -> Result<SinglePath, ModelError> {
         let p = &self.params;
         let mut states_explored = 0u64;
-        let mut arena = TrellisArena::new();
+        let mut step: StepScratch<S> = StepScratch::default();
+        let mut beam_scratch = BeamScratch::new();
 
         let mut slices: Vec<Slice> = Vec::with_capacity(ticks.len());
         {
             let mut s = Slice::default();
-            self.slice_into(&ticks[0], user, &mut arena.step.macro_ids, &mut s);
+            self.slice_into(&ticks[0], user, &mut step.macro_ids, &mut s);
             slices.push(s);
         }
-        let mut v = Vec::new();
+        let mut v: Vec<S> = Vec::new();
         chain_init_into(p, &slices[0], &mut v);
         states_explored += v.len() as u64;
 
         let beam = self.decoder.beam;
-        let mut pruned = beam.select_log(&v, &mut arena.beam);
+        let mut pruned = beam.select_log(&v, &mut beam_scratch);
         let mut transition_ops = 0u64;
 
         let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
         for tick in ticks.iter().skip(1) {
             let mut cur = Slice::default();
-            self.slice_into(tick, user, &mut arena.step.macro_ids, &mut cur);
+            self.slice_into(tick, user, &mut step.macro_ids, &mut cur);
             let prev = slices.last().expect("nonempty");
             states_explored += cur.len() as u64;
             let mut back = Vec::new();
             if pruned {
-                transition_ops += (arena.beam.keep().len() * cur.len()) as u64;
+                transition_ops += (beam_scratch.keep().len() * cur.len()) as u64;
                 chain_step_pruned_into(
                     p,
                     prev,
                     &v,
-                    arena.beam.keep(),
+                    beam_scratch.keep(),
                     &cur,
-                    &mut arena.step,
+                    &mut step,
                     &mut back,
                 );
             } else {
                 transition_ops += (prev.len() * cur.len()) as u64;
-                chain_step_into(p, prev, &v, &cur, &mut arena.step, &mut back);
+                chain_step_into(p, prev, &v, &cur, &mut step, &mut back);
             }
-            std::mem::swap(&mut v, &mut arena.step.v_next);
-            pruned = beam.select_log(&v, &mut arena.beam);
+            std::mem::swap(&mut v, &mut step.v_next);
+            pruned = beam.select_log(&v, &mut beam_scratch);
             backptrs.push(back);
             slices.push(cur);
         }
 
-        let (mut j, log_prob) = v
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
-            .map(|(i, &s)| (i, s))
-            .expect("nonempty trellis");
+        let (mut j, best) = scalar::argmax(&v);
+        let log_prob = best.to_f64();
 
         let t_total = ticks.len();
         let mut macros = vec![0usize; t_total];
@@ -894,6 +907,26 @@ mod tests {
             .unwrap();
         assert_eq!(pruned.macros, exact.macros);
         assert!(pruned.log_prob <= exact.log_prob);
+    }
+
+    #[test]
+    fn fast32_lane_matches_exact_chain_decode_on_toy_data() {
+        let ticks: Vec<TickInput> = (0..20)
+            .map(|t| obs_tick(usize::from(t >= 10), 5.0))
+            .collect();
+        let exact = SingleHdbn::new(toy_params()).viterbi(&ticks, 0).unwrap();
+        let fast = SingleHdbn::new(toy_params())
+            .with_decoder(DecoderConfig::exact().fast32())
+            .viterbi(&ticks, 0)
+            .unwrap();
+        assert_eq!(fast.macros, exact.macros);
+        assert_eq!(fast.states_explored, exact.states_explored);
+        assert!(
+            (fast.log_prob - exact.log_prob).abs() <= 1e-3 * exact.log_prob.abs().max(1.0),
+            "f32 log-prob {} vs f64 {}",
+            fast.log_prob,
+            exact.log_prob
+        );
     }
 
     #[test]

@@ -11,10 +11,12 @@ use std::sync::Arc;
 
 use cace_model::ModelError;
 
-use crate::arena::{fill_slice, Slice, StepScratch, TrellisArena};
-use crate::beam::DecoderConfig;
+use crate::arena::{fill_slice, Slice, StepScratch};
+use crate::beam::{BeamScratch, DecoderConfig};
 use crate::input::{MicroCandidate, TickInput};
 use crate::params::HdbnParams;
+use crate::scalar::{self, sweep_add_max, sweep_add_max_arg, sweep_max, Precision, Scalar};
+use crate::tables::ScoreTablesT;
 
 /// Rejects a tick that would empty the joint trellis.
 pub(crate) fn validate_tick(tick: &TickInput, t: usize) -> Result<(), ModelError> {
@@ -34,9 +36,11 @@ pub(crate) fn validate_tick(tick: &TickInput, t: usize) -> Result<(), ModelError
 /// `j1 * |S2| + j2`.
 ///
 /// Shared by the batch decoder and [`crate::online::OnlineCoupledViterbi`]
-/// so the two paths stay bit-identical.
-pub(crate) fn joint_init_into(p: &HdbnParams, s1: &Slice, s2: &Slice, v: &mut Vec<f64>) {
-    let t = &p.tables;
+/// so the two paths stay bit-identical (per lane: emissions and priors are
+/// summed in f64, cast into the lane, then offset by the lane's coupling
+/// table — the identity composition for `S = f64`).
+pub(crate) fn joint_init_into<S: Scalar>(p: &HdbnParams, s1: &Slice, s2: &Slice, v: &mut Vec<S>) {
+    let t = S::tables(p);
     v.clear();
     v.reserve(s1.len() * s2.len());
     for j1 in 0..s1.len() {
@@ -45,7 +49,7 @@ pub(crate) fn joint_init_into(p: &HdbnParams, s1: &Slice, s2: &Slice, v: &mut Ve
         for j2 in 0..s2.len() {
             let a2 = s2.activities[j2];
             let base2 = s2.emissions[j2] + p.log_prior[a2];
-            v.push(base1 + base2 + t.coupling(a1, a2));
+            v.push(S::from_f64(base1 + base2) + t.coupling(a1, a2));
         }
     }
 }
@@ -66,18 +70,21 @@ pub(crate) fn joint_init_into(p: &HdbnParams, s1: &Slice, s2: &Slice, v: &mut Ve
 /// This is the single implementation of the recursion; the batch
 /// [`CoupledHdbn::viterbi`] and the incremental
 /// [`crate::online::OnlineCoupledViterbi`] both call it, which is what
-/// makes the streamed path bit-identical to the batch path.
-pub(crate) fn joint_step_into(
+/// makes the streamed path bit-identical to the batch path. Generic over
+/// the scoring lane `S`; the `f64` instantiation is bit-identical to the
+/// historical monomorphic kernel (the lane folds and the hoisted gather
+/// reorder only *selections* and *loads*, never arithmetic).
+pub(crate) fn joint_step_into<S: Scalar>(
     p: &HdbnParams,
     prev1: &Slice,
     prev2: &Slice,
-    v: &[f64],
+    v: &[S],
     cur1: &Slice,
     cur2: &Slice,
-    step: &mut StepScratch,
+    step: &mut StepScratch<S>,
     back: &mut Vec<u32>,
 ) {
-    let t = &p.tables;
+    let t = S::tables(p);
     let StepScratch {
         w,
         w_arg,
@@ -86,10 +93,14 @@ pub(crate) fn joint_step_into(
         v_next,
         run_max,
         run_arg,
+        gcol,
+        vt,
+        wt,
+        acc_arg,
+        crow,
         ..
     } = step;
     let (k1, k2) = (prev1.len(), prev2.len());
-    let (m1, m2) = (cur1.len(), cur2.len());
     // Two memoizations per pass, both bit-identical to the per-state
     // recursion they replace:
     // 1. A fold depends on the destination state only through its pair
@@ -100,156 +111,226 @@ pub(crate) fn joint_step_into(
     //    constant preserves strict order and first-argmax, and runs are
     //    visited in ascending state order, so tie-breaking matches the
     //    naive ascending scan.
+    // On top of both, the folds are *column-major*: instead of reducing
+    // one short run segment at a time (≈ candidates-per-activity wide,
+    // too short to amortize a lane fold), each pass accumulates a whole
+    // frontier row of destinations at once — `j1p`-contiguous in pass 1,
+    // `slot2`-contiguous in pass 2 — against one broadcast transition
+    // score per source. The inner loops are long contiguous
+    // compare-and-select sweeps the stable-toolchain autovectorizer turns
+    // into SIMD, and the `f32` lane halves their traffic. Candidate visit
+    // order per destination is *unchanged* (runs in slice order; within a
+    // continue run, sources ascending; strict `>` keeps the first
+    // maximum), so the exact lane stays bit-identical to the naive
+    // ascending scan.
     let (d1, d2) = (cur1.n_slots(), cur2.n_slots());
 
-    // Pass 1 — fold chain 2, per (j1p, distinct chain-2 pair):
-    // W[j1p, s2] = max_{j2p} V[j1p, j2p] + f2(j2p → pair(s2)).
-    // Switch-candidate cache: per (j1p, chain-2 run) max of the V row.
-    let nr2 = prev2.runs.len();
-    run_max.clear();
-    run_max.resize(k1 * nr2, f64::NEG_INFINITY);
-    run_arg.clear();
-    run_arg.resize(k1 * nr2, 0);
-    for j1p in 0..k1 {
-        let vrow = &v[j1p * k2..(j1p + 1) * k2];
-        for (r, &(_, start, end)) in prev2.runs.iter().enumerate() {
-            let mut best = f64::NEG_INFINITY;
-            let mut arg = 0u32;
-            for j2p in start..end {
-                let vv = vrow[j2p as usize];
-                if vv > best {
-                    best = vv;
-                    arg = j2p;
-                }
-            }
-            run_max[j1p * nr2 + r] = best;
-            run_arg[j1p * nr2 + r] = arg;
+    // Transpose the frontier once per tick: vt[j2p][j1p] = V[j1p][j2p].
+    vt.clear();
+    vt.resize(k1 * k2, S::NEG_INFINITY);
+    for j2p in 0..k2 {
+        let col = &mut vt[j2p * k1..][..k1];
+        for (j1p, x) in col.iter_mut().enumerate() {
+            *x = v[j1p * k2 + j2p];
         }
     }
+
+    // Chain-2 switch-candidate cache, j1p-contiguous: per chain-2 run r,
+    // run_max[r][j1p] = first-max over the run's j2p of V[j1p][j2p]
+    // (all-`−∞` runs keep the run start as argmax, like the fold helper).
+    let nr2 = prev2.runs.len();
+    run_max.clear();
+    run_max.resize(nr2 * k1, S::NEG_INFINITY);
+    run_arg.clear();
+    run_arg.resize(nr2 * k1, 0);
+    for (r, &(_, start, end)) in prev2.runs.iter().enumerate() {
+        let rm = &mut run_max[r * k1..][..k1];
+        let ra = &mut run_arg[r * k1..][..k1];
+        ra.fill(start);
+        for j2p in start..end {
+            sweep_max(&vt[j2p as usize * k1..][..k1], j2p, rm, ra);
+        }
+    }
+
+    // Pass 1 — fold chain 2, per distinct chain-2 dst pair:
+    // W[s2, j1p] = max_{j2p} V[j1p, j2p] + f2(j2p → pair(s2)), slot-major.
+    // Continue runs sweep one transposed frontier column per source j2p
+    // (transition score broadcast); switch runs sweep the cached run max.
     w.clear();
-    w.resize(k1 * d2, f64::NEG_INFINITY);
+    w.resize(d2 * k1, S::NEG_INFINITY);
     w_arg.clear();
-    w_arg.resize(k1 * d2, 0);
+    w_arg.resize(d2 * k1, 0);
     for (s2, &dp2) in cur2.uniq_pairs.iter().enumerate() {
         let a2 = t.activity_of(dp2);
         let row = t.into_row(dp2);
         let srow = t.switch_row(a2);
-        for j1p in 0..k1 {
-            let vrow = &v[j1p * k2..(j1p + 1) * k2];
-            let rmax = &run_max[j1p * nr2..][..nr2];
-            let rarg = &run_arg[j1p * nr2..][..nr2];
-            let mut best = f64::NEG_INFINITY;
-            let mut best_arg = 0u32;
-            for (r, &(ar, start, end)) in prev2.runs.iter().enumerate() {
-                if ar as usize == a2 {
-                    // Continue run: postural-dependent, scan its members.
-                    for j2p in start..end {
-                        let score = vrow[j2p as usize] + row[prev2.pairs[j2p as usize] as usize];
-                        if score > best {
-                            best = score;
-                            best_arg = j2p;
-                        }
-                    }
-                } else {
-                    let score = rmax[r] + srow[ar as usize];
-                    if score > best {
-                        best = score;
-                        best_arg = rarg[r];
-                    }
+        let wrow = &mut w[s2 * k1..][..k1];
+        let warow = &mut w_arg[s2 * k1..][..k1];
+        for (r, &(ar, start, end)) in prev2.runs.iter().enumerate() {
+            if ar as usize == a2 {
+                for j2p in start as usize..end as usize {
+                    let g = row[prev2.pairs[j2p] as usize];
+                    sweep_add_max(&vt[j2p * k1..][..k1], g, j2p as u32, wrow, warow);
                 }
+            } else {
+                let sw = srow[ar as usize];
+                sweep_add_max_arg(
+                    &run_max[r * k1..][..k1],
+                    sw,
+                    &run_arg[r * k1..][..k1],
+                    wrow,
+                    warow,
+                );
             }
-            w[j1p * d2 + s2] = best;
-            w_arg[j1p * d2 + s2] = best_arg;
+        }
+    }
+
+    // Transpose W once: wt[j1p][s2] = W[s2, j1p], so pass 2 accumulates
+    // s2-contiguously.
+    wt.clear();
+    wt.resize(k1 * d2, S::NEG_INFINITY);
+    for j1p in 0..k1 {
+        let row = &mut wt[j1p * d2..][..d2];
+        for (s2, x) in row.iter_mut().enumerate() {
+            *x = w[s2 * k1 + j1p];
+        }
+    }
+
+    // Chain-1 switch-candidate cache, s2-contiguous: per chain-1 run r,
+    // run_max[r][s2] = first-max over the run's j1p of W[s2, j1p].
+    let nr1 = prev1.runs.len();
+    run_max.clear();
+    run_max.resize(nr1 * d2, S::NEG_INFINITY);
+    run_arg.clear();
+    run_arg.resize(nr1 * d2, 0);
+    for (r, &(_, start, end)) in prev1.runs.iter().enumerate() {
+        let rm = &mut run_max[r * d2..][..d2];
+        let ra = &mut run_arg[r * d2..][..d2];
+        ra.fill(start);
+        for j1p in start as usize..end as usize {
+            sweep_max(&wt[j1p * d2..][..d2], j1p as u32, rm, ra);
         }
     }
 
     // Pass 2 — fold chain 1, per (distinct chain-1 pair, distinct
-    // chain-2 pair): V''[s1, s2] = max_{j1p} W[j1p, s2] + f1(j1p → s1),
+    // chain-2 pair): V''[s1, s2] = max_{j1p} W[s2, j1p] + f1(j1p → s1),
     // with the backpointer restored to full-frontier coordinates.
-    // Switch-candidate cache: per (chain-1 run, s2) max of the W column.
-    let nr1 = prev1.runs.len();
-    run_max.clear();
-    run_max.resize(nr1 * d2, f64::NEG_INFINITY);
-    run_arg.clear();
-    run_arg.resize(nr1 * d2, 0);
-    for (r, &(_, start, end)) in prev1.runs.iter().enumerate() {
-        for s2 in 0..d2 {
-            let mut best = f64::NEG_INFINITY;
-            let mut arg = 0u32;
-            for j1p in start..end {
-                let ww = w[j1p as usize * d2 + s2];
-                if ww > best {
-                    best = ww;
-                    arg = j1p;
-                }
-            }
-            run_max[r * d2 + s2] = best;
-            run_arg[r * d2 + s2] = arg;
-        }
-    }
     w2.clear();
-    w2.resize(d1 * d2, f64::NEG_INFINITY);
+    w2.resize(d1 * d2, S::NEG_INFINITY);
     w2_arg.clear();
     w2_arg.resize(d1 * d2, 0);
     for (s1, &dp1) in cur1.uniq_pairs.iter().enumerate() {
         let a1 = t.activity_of(dp1);
         let row = t.into_row(dp1);
         let srow = t.switch_row(a1);
-        for s2 in 0..d2 {
-            let mut best = f64::NEG_INFINITY;
-            let mut best_j1p = 0usize;
-            for (r, &(ar, start, end)) in prev1.runs.iter().enumerate() {
-                if ar as usize == a1 {
-                    for j1p in start..end {
-                        let score =
-                            w[j1p as usize * d2 + s2] + row[prev1.pairs[j1p as usize] as usize];
-                        if score > best {
-                            best = score;
-                            best_j1p = j1p as usize;
-                        }
-                    }
-                } else {
-                    let score = run_max[r * d2 + s2] + srow[ar as usize];
-                    if score > best {
-                        best = score;
-                        best_j1p = run_arg[r * d2 + s2] as usize;
-                    }
+        let acc = &mut w2[s1 * d2..][..d2];
+        acc_arg.clear();
+        acc_arg.resize(d2, 0);
+        for (r, &(ar, start, end)) in prev1.runs.iter().enumerate() {
+            if ar as usize == a1 {
+                for j1p in start as usize..end as usize {
+                    let g = row[prev1.pairs[j1p] as usize];
+                    sweep_add_max(&wt[j1p * d2..][..d2], g, j1p as u32, acc, acc_arg);
                 }
+            } else {
+                let sw = srow[ar as usize];
+                sweep_add_max_arg(
+                    &run_max[r * d2..][..d2],
+                    sw,
+                    &run_arg[r * d2..][..d2],
+                    acc,
+                    acc_arg,
+                );
             }
-            w2[s1 * d2 + s2] = best;
-            // Recover j2p chosen inside W for (best_j1p, s2).
-            let j2p = w_arg[best_j1p * d2 + s2];
-            w2_arg[s1 * d2 + s2] = (best_j1p as u32) * (k2 as u32) + j2p;
+        }
+        // Recover j2p chosen inside W for (best_j1p, s2).
+        for s2 in 0..d2 {
+            let best_j1p = acc_arg[s2] as usize;
+            let j2p = w_arg[s2 * k1 + best_j1p];
+            w2_arg[s1 * d2 + s2] = (acc_arg[s2]) * (k2 as u32) + j2p;
         }
     }
 
     // Fan out: per joint state, the memoized fold plus emissions and
-    // coupling.
+    // coupling — shared with the pruned kernel, so both step kernels'
+    // expansions stay bit-identical by construction.
+    joint_fan_out(t, cur1, cur2, w2, w2_arg, gcol, crow, v_next, back);
+}
+
+/// Shared fan-out of both joint step kernels: expands the pass-2 fold
+/// `V''[s1, s2]` (`w2`/`w2_arg`, per distinct destination pair) to the
+/// full `m1 × m2` joint frontier, adding emissions and coupling.
+///
+/// Chain 2's emission conversions are hoisted out of the inner loop (per
+/// `j2`, not per `(j1, j2)`), and the coupling scores — constant per
+/// `(a1, j2)` — are materialized as one contiguous row per chain-1
+/// activity run (`crow`). Each `j1`'s inner loop is then a single
+/// unsegmented zip over four contiguous rows, which vectorizes in both
+/// lanes; when the chain-2 slot map is the identity (every state a
+/// distinct pair — the common dense case) the `wrow[s2]` gather
+/// degenerates to the contiguous row itself and the backpointer row to a
+/// plain copy. The addition *tree* per element is unchanged from the
+/// historical per-state loops (`wrow[s2] + ((e1 + gcol[j2]) + c)`, IEEE
+/// addition is commutative bit-for-bit), so the exact lane is unchanged.
+#[allow(clippy::too_many_arguments)]
+fn joint_fan_out<S: Scalar>(
+    t: &ScoreTablesT<S>,
+    cur1: &Slice,
+    cur2: &Slice,
+    w2: &[S],
+    w2_arg: &[u32],
+    gcol: &mut Vec<S>,
+    crow: &mut Vec<S>,
+    v_next: &mut Vec<S>,
+    back: &mut Vec<u32>,
+) {
+    let (m1, m2) = (cur1.len(), cur2.len());
+    let d2 = cur2.n_slots();
     v_next.clear();
-    v_next.resize(m1 * m2, f64::NEG_INFINITY);
+    v_next.resize(m1 * m2, S::NEG_INFINITY);
     back.clear();
     back.resize(m1 * m2, 0);
-    for j1 in 0..m1 {
-        let s1 = cur1.slots[j1] as usize;
-        let a1 = cur1.activities[j1];
-        let e1 = cur1.emissions[j1];
-        let wrow = &w2[s1 * d2..][..d2];
-        let brow = &w2_arg[s1 * d2..][..d2];
-        for j2 in 0..m2 {
-            let s2 = cur2.slots[j2] as usize;
-            let emit = e1 + cur2.emissions[j2] + t.coupling(a1, cur2.activities[j2]);
-            v_next[j1 * m2 + j2] = wrow[s2] + emit;
-            back[j1 * m2 + j2] = brow[s2];
+    gcol.clear();
+    gcol.extend(cur2.emissions.iter().map(|&e| S::from_f64(e)));
+    let identity2 = d2 == m2 && cur2.slots.iter().enumerate().all(|(i, &s)| s as usize == i);
+    for &(a1, start1, end1) in cur1.runs.iter() {
+        let a1 = a1 as usize;
+        crow.clear();
+        crow.extend(cur2.activities.iter().map(|&a2| t.coupling(a1, a2)));
+        for j1 in start1 as usize..end1 as usize {
+            let s1 = cur1.slots[j1] as usize;
+            let e1 = S::from_f64(cur1.emissions[j1]);
+            let wrow = &w2[s1 * d2..][..d2];
+            let brow = &w2_arg[s1 * d2..][..d2];
+            let vrow = &mut v_next[j1 * m2..][..m2];
+            let krow = &mut back[j1 * m2..][..m2];
+            if identity2 {
+                for (((x, &g), &c), &wv) in vrow
+                    .iter_mut()
+                    .zip(gcol.iter())
+                    .zip(crow.iter())
+                    .zip(wrow.iter())
+                {
+                    *x = wv + ((e1 + g) + c);
+                }
+                krow.copy_from_slice(brow);
+            } else {
+                for j2 in 0..m2 {
+                    let s2 = cur2.slots[j2] as usize;
+                    vrow[j2] = wrow[s2] + ((e1 + gcol[j2]) + crow[j2]);
+                    krow[j2] = brow[s2];
+                }
+            }
         }
     }
 }
 
 /// Reusable work buffers of [`joint_step_pruned_into`], owned by the
-/// [`TrellisArena`]'s step scratch: one allocation per decode (batch) or
-/// stream (online), reused across ticks — the pruned hot path allocates
-/// nothing once warmed, exactly like the dense kernel.
+/// [`crate::arena::TrellisArena`]'s step scratch: one allocation per
+/// decode (batch) or stream (online), reused across ticks — the pruned
+/// hot path allocates nothing once warmed, exactly like the dense kernel.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct JointScratch {
+pub(crate) struct JointScratch<S> {
     /// Chain-1 state of each survivor group.
     group_j1p: Vec<u32>,
     /// Half-open `keep` range of each group.
@@ -259,10 +340,14 @@ pub(crate) struct JointScratch {
     /// j2p → slot lookup into `uniq2` (only surviving slots are read, so
     /// stale entries from earlier ticks are harmless).
     slot_of: Vec<u32>,
+    /// Per-survivor slot into `uniq2`, hoisted out of pass 1's fold (the
+    /// fold runs once per distinct chain-2 destination pair; the survivor
+    /// → slot mapping is tick-constant).
+    keep_slot: Vec<u32>,
     /// Pass-1 f2 scores per distinct j2p.
-    f2vals: Vec<f64>,
+    f2vals: Vec<S>,
     /// Pass-2 f1 scores per group.
-    f1vals: Vec<f64>,
+    f1vals: Vec<S>,
 }
 
 /// [`joint_step_into`] restricted to a pruned previous frontier: only the
@@ -282,18 +367,18 @@ pub(crate) struct JointScratch {
 /// whole frontier reproduces [`joint_step_into`] bit for bit. (The
 /// decoders never take that path: [`crate::Beam`] selection degrades to
 /// the dense kernel when nothing is pruned.)
-pub(crate) fn joint_step_pruned_into(
+pub(crate) fn joint_step_pruned_into<S: Scalar>(
     p: &HdbnParams,
     prev1: &Slice,
     prev2: &Slice,
-    v: &[f64],
+    v: &[S],
     keep: &[u32],
     cur1: &Slice,
     cur2: &Slice,
-    step: &mut StepScratch,
+    step: &mut StepScratch<S>,
     back: &mut Vec<u32>,
 ) -> u64 {
-    let t = &p.tables;
+    let t = S::tables(p);
     let StepScratch {
         joint: scratch,
         w,
@@ -301,8 +386,20 @@ pub(crate) fn joint_step_pruned_into(
         w2,
         w2_arg,
         v_next,
+        gcol,
+        crow,
+        acc_arg,
         ..
     } = step;
+    let JointScratch {
+        group_j1p,
+        group_span,
+        uniq2,
+        slot_of,
+        keep_slot,
+        f2vals,
+        f1vals,
+    } = scratch;
     let k2 = prev2.len() as u32;
     let (m1, m2) = (cur1.len(), cur2.len());
     // Like the dense kernel, both folds are memoized per distinct
@@ -313,8 +410,8 @@ pub(crate) fn joint_step_pruned_into(
     // Survivors grouped by j1p: `keep` is sorted, so each group is a
     // contiguous run. `group_j1p[g]` is the chain-1 state of group `g`,
     // `group_span[g]` its half-open range inside `keep`.
-    scratch.group_j1p.clear();
-    scratch.group_span.clear();
+    group_j1p.clear();
+    group_span.clear();
     let mut i = 0usize;
     while i < keep.len() {
         let j1p = keep[i] / k2;
@@ -322,45 +419,48 @@ pub(crate) fn joint_step_pruned_into(
         while i < keep.len() && keep[i] / k2 == j1p {
             i += 1;
         }
-        scratch.group_j1p.push(j1p);
-        scratch.group_span.push((start as u32, i as u32));
+        group_j1p.push(j1p);
+        group_span.push((start as u32, i as u32));
     }
-    let n_groups = scratch.group_j1p.len();
+    let n_groups = group_j1p.len();
 
     // Distinct surviving j2p values, with a j2p → slot lookup so pass 1
-    // scores each f2 edge once per (j2, distinct j2p).
-    scratch.uniq2.clear();
-    scratch.uniq2.extend(keep.iter().map(|&f| f % k2));
-    scratch.uniq2.sort_unstable();
-    scratch.uniq2.dedup();
-    scratch.slot_of.resize(k2 as usize, 0);
-    for (slot, &j2p) in scratch.uniq2.iter().enumerate() {
-        scratch.slot_of[j2p as usize] = slot as u32;
+    // scores each f2 edge once per (j2, distinct j2p); the per-survivor
+    // slot is hoisted into `keep_slot` so the fold's inner loop does no
+    // division or double lookup.
+    uniq2.clear();
+    uniq2.extend(keep.iter().map(|&f| f % k2));
+    uniq2.sort_unstable();
+    uniq2.dedup();
+    slot_of.resize(k2 as usize, 0);
+    for (slot, &j2p) in uniq2.iter().enumerate() {
+        slot_of[j2p as usize] = slot as u32;
     }
+    keep_slot.clear();
+    keep_slot.extend(keep.iter().map(|&f| slot_of[(f % k2) as usize]));
 
     // Pass 1 — fold chain 2 over the survivors, per (group, distinct
     // chain-2 pair):
     // W[g, s2] = max_{(j1p_g, j2p) ∈ keep} V[j1p_g, j2p] + f2(j2p → s2).
     // Every entry of w/w_arg/f2vals is overwritten below before it is read.
-    w.resize(n_groups * d2, f64::NEG_INFINITY);
+    w.resize(n_groups * d2, S::NEG_INFINITY);
     w_arg.resize(n_groups * d2, 0);
-    scratch.f2vals.resize(scratch.uniq2.len(), 0.0);
+    f2vals.resize(uniq2.len(), S::NEG_INFINITY);
     for (s2, &dp2) in cur2.uniq_pairs.iter().enumerate() {
         let row = t.into_row(dp2);
-        for (slot, &j2p) in scratch.uniq2.iter().enumerate() {
-            scratch.f2vals[slot] = row[prev2.pairs[j2p as usize] as usize];
+        for (slot, &j2p) in uniq2.iter().enumerate() {
+            f2vals[slot] = row[prev2.pairs[j2p as usize] as usize];
         }
         for g in 0..n_groups {
-            let (start, end) = scratch.group_span[g];
-            let mut best = f64::NEG_INFINITY;
+            let (start, end) = group_span[g];
+            let mut best = S::NEG_INFINITY;
             let mut best_j2p = 0u32;
-            for &flat in &keep[start as usize..end as usize] {
-                let j2p = flat % k2;
-                let score =
-                    v[flat as usize] + scratch.f2vals[scratch.slot_of[j2p as usize] as usize];
+            for i in start as usize..end as usize {
+                let slot = keep_slot[i] as usize;
+                let score = v[keep[i] as usize] + f2vals[slot];
                 if score > best {
                     best = score;
-                    best_j2p = j2p;
+                    best_j2p = uniq2[slot];
                 }
             }
             w[g * d2 + s2] = best;
@@ -369,51 +469,39 @@ pub(crate) fn joint_step_pruned_into(
     }
 
     // Pass 2 — fold chain 1 over the surviving groups, per (distinct
-    // chain-1 pair, distinct chain-2 pair); backpointers restored to
-    // full-frontier flat coordinates.
+    // chain-1 pair, distinct chain-2 pair). Each group's pass-1 scores
+    // `W[g, ·]` are one contiguous row, so the fold is `n_groups` lane
+    // sweeps (broadcast f1 score per group) instead of a branchy
+    // per-(s2, g) scan — groups are visited ascending with strict `>`,
+    // exactly the scan's order, so selections and backpointers are
+    // unchanged. Backpointers are restored to full-frontier flat
+    // coordinates afterwards.
     w2.clear();
-    w2.resize(d1 * d2, f64::NEG_INFINITY);
+    w2.resize(d1 * d2, S::NEG_INFINITY);
     w2_arg.clear();
     w2_arg.resize(d1 * d2, 0);
-    scratch.f1vals.resize(n_groups, 0.0);
+    f1vals.resize(n_groups, S::NEG_INFINITY);
     for (s1, &dp1) in cur1.uniq_pairs.iter().enumerate() {
         let row = t.into_row(dp1);
-        for (g, &j1p) in scratch.group_j1p.iter().enumerate() {
-            scratch.f1vals[g] = row[prev1.pairs[j1p as usize] as usize];
+        for (g, &j1p) in group_j1p.iter().enumerate() {
+            f1vals[g] = row[prev1.pairs[j1p as usize] as usize];
+        }
+        let acc = &mut w2[s1 * d2..][..d2];
+        acc_arg.clear();
+        acc_arg.resize(d2, 0);
+        for (g, &f1) in f1vals.iter().enumerate() {
+            sweep_add_max(&w[g * d2..][..d2], f1, g as u32, acc, acc_arg);
         }
         for s2 in 0..d2 {
-            let mut best = f64::NEG_INFINITY;
-            let mut best_g = 0usize;
-            for (g, &f1) in scratch.f1vals.iter().enumerate() {
-                let score = w[g * d2 + s2] + f1;
-                if score > best {
-                    best = score;
-                    best_g = g;
-                }
-            }
-            w2[s1 * d2 + s2] = best;
-            w2_arg[s1 * d2 + s2] = scratch.group_j1p[best_g] * k2 + w_arg[best_g * d2 + s2];
+            let g = acc_arg[s2] as usize;
+            w2_arg[s1 * d2 + s2] = group_j1p[g] * k2 + w_arg[g * d2 + s2];
         }
     }
 
-    // Fan out per joint state, plus emissions and coupling.
-    v_next.clear();
-    v_next.resize(m1 * m2, f64::NEG_INFINITY);
-    back.clear();
-    back.resize(m1 * m2, 0);
-    for j1 in 0..m1 {
-        let s1 = cur1.slots[j1] as usize;
-        let a1 = cur1.activities[j1];
-        let e1 = cur1.emissions[j1];
-        let wrow = &w2[s1 * d2..][..d2];
-        let brow = &w2_arg[s1 * d2..][..d2];
-        for j2 in 0..m2 {
-            let s2 = cur2.slots[j2] as usize;
-            let emit = e1 + cur2.emissions[j2] + t.coupling(a1, cur2.activities[j2]);
-            v_next[j1 * m2 + j2] = wrow[s2] + emit;
-            back[j1 * m2 + j2] = brow[s2];
-        }
-    }
+    // Fan out per joint state, plus emissions and coupling — shared with
+    // the dense kernel (same addition tree as the historical per-state
+    // loop here, so decoded paths are unchanged).
+    joint_fan_out(t, cur1, cur2, w2, w2_arg, gcol, crow, v_next, back);
     keep.len() as u64 * (m1 as u64 + m2 as u64)
 }
 
@@ -493,10 +581,21 @@ impl CoupledHdbn {
     /// Decodes the most likely joint state sequence (§III step 6: Viterbi at
     /// runtime inference).
     ///
+    /// Dispatches on the configured [`Precision`]: the default `Exact64`
+    /// runs the `f64` kernels (bit-identical to the historical decoder),
+    /// `Fast32` the `f32` lane.
+    ///
     /// # Errors
     /// Returns [`ModelError::EmptyStateSpace`] if any tick has no candidates
     /// for some user, and [`ModelError::InsufficientData`] for empty input.
     pub fn viterbi(&self, ticks: &[TickInput]) -> Result<JointPath, ModelError> {
+        match self.decoder.precision {
+            Precision::Exact64 => self.viterbi_impl::<f64>(ticks),
+            Precision::Fast32 => self.viterbi_impl::<f32>(ticks),
+        }
+    }
+
+    fn viterbi_impl<S: Scalar>(&self, ticks: &[TickInput]) -> Result<JointPath, ModelError> {
         if ticks.is_empty() {
             return Err(ModelError::InsufficientData {
                 what: "viterbi decoding".into(),
@@ -513,9 +612,10 @@ impl CoupledHdbn {
         let mut transition_ops = 0u64;
 
         // All step-kernel scratch — beam survivors, fold buffers, the
-        // ping-pong frontier — lives in one arena, allocated once per
-        // decode and reused across ticks.
-        let mut arena = TrellisArena::new();
+        // ping-pong frontier — is allocated once per decode (in this
+        // lane's width) and reused across ticks.
+        let mut step: StepScratch<S> = StepScratch::default();
+        let mut beam_scratch = BeamScratch::new();
 
         // Per-tick slices, retained for backtracking (no clones: the loop
         // below reads the previous tick's slices in place).
@@ -523,21 +623,21 @@ impl CoupledHdbn {
         {
             let mut s1 = Slice::default();
             let mut s2 = Slice::default();
-            fill_slice(p, &ticks[0], 0, &mut arena.step.macro_ids, &mut s1);
-            fill_slice(p, &ticks[0], 1, &mut arena.step.macro_ids, &mut s2);
+            fill_slice(p, &ticks[0], 0, &mut step.macro_ids, &mut s1);
+            fill_slice(p, &ticks[0], 1, &mut step.macro_ids, &mut s2);
             slices.push((s1, s2));
         }
         states_explored += (slices[0].0.len() * slices[0].1.len()) as u64;
 
         // V flattened as j1 * |S2| + j2.
-        let mut v = Vec::new();
+        let mut v: Vec<S> = Vec::new();
         joint_init_into(p, &slices[0].0, &slices[0].1, &mut v);
 
         // `pruned` tracks whether the *current* frontier was restricted
         // (false under `Beam::Exact`, and on any tick where the whole
         // frontier survives — the dense kernel then runs unchanged).
         let beam = self.decoder.beam;
-        let mut pruned = beam.select_log(&v, &mut arena.beam);
+        let mut pruned = beam.select_log(&v, &mut beam_scratch);
 
         // Backpointers per tick (index into the previous tick's flattened
         // joint trellis).
@@ -546,8 +646,8 @@ impl CoupledHdbn {
         for tick in ticks.iter().skip(1) {
             let mut cur1 = Slice::default();
             let mut cur2 = Slice::default();
-            fill_slice(p, tick, 0, &mut arena.step.macro_ids, &mut cur1);
-            fill_slice(p, tick, 1, &mut arena.step.macro_ids, &mut cur2);
+            fill_slice(p, tick, 0, &mut step.macro_ids, &mut cur1);
+            fill_slice(p, tick, 1, &mut step.macro_ids, &mut cur2);
             let (prev1, prev2) = slices.last().expect("nonempty");
             let (k1, k2) = (prev1.len(), prev2.len());
             let (m1, m2) = (cur1.len(), cur2.len());
@@ -560,40 +660,28 @@ impl CoupledHdbn {
                     prev1,
                     prev2,
                     &v,
-                    arena.beam.keep(),
+                    beam_scratch.keep(),
                     &cur1,
                     &cur2,
-                    &mut arena.step,
+                    &mut step,
                     &mut back,
                 );
             } else {
                 transition_ops += (k1 as u64 * k2 as u64) * (m1 as u64 + m2 as u64);
-                joint_step_into(
-                    p,
-                    prev1,
-                    prev2,
-                    &v,
-                    &cur1,
-                    &cur2,
-                    &mut arena.step,
-                    &mut back,
-                );
+                joint_step_into(p, prev1, prev2, &v, &cur1, &cur2, &mut step, &mut back);
             }
 
-            std::mem::swap(&mut v, &mut arena.step.v_next);
-            pruned = beam.select_log(&v, &mut arena.beam);
+            std::mem::swap(&mut v, &mut step.v_next);
+            pruned = beam.select_log(&v, &mut beam_scratch);
             backptrs.push(back);
             slices.push((cur1, cur2));
         }
 
-        // Termination: best final joint state.
+        // Termination: best final joint state (last-argmax, like the
+        // historical `max_by` termination).
         let m2_last = slices.last().expect("nonempty").1.len();
-        let (mut flat, log_prob) = v
-            .iter()
-            .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
-            .map(|(i, &s)| (i, s))
-            .expect("nonempty trellis");
+        let (mut flat, best) = scalar::argmax(&v);
+        let log_prob = best.to_f64();
 
         // Backtrack.
         let t_total = ticks.len();
@@ -849,6 +937,31 @@ mod tests {
             .viterbi(&ticks)
             .unwrap();
         assert_eq!(wide, exact, "full-width beam degrades to the exact kernel");
+    }
+
+    #[test]
+    fn fast32_lane_decodes_the_toy_world_like_exact() {
+        let ticks: Vec<TickInput> = (0..30)
+            .map(|t| obs_tick(usize::from((t / 10) % 2 == 1), 4.0))
+            .collect();
+        let exact = decoder(true).viterbi(&ticks).unwrap();
+        let fast = decoder(true)
+            .with_decoder(DecoderConfig::exact().fast32())
+            .viterbi(&ticks)
+            .unwrap();
+        // Same decoded activities and identical accounting on this
+        // well-separated workload; the log-score agrees to f32 tolerance
+        // rather than bitwise.
+        assert_eq!(fast.macros, exact.macros);
+        assert_eq!(fast.states_explored, exact.states_explored);
+        assert_eq!(fast.transition_ops, exact.transition_ops);
+        let tol = 1e-3 * exact.log_prob.abs().max(1.0);
+        assert!(
+            (fast.log_prob - exact.log_prob).abs() < tol,
+            "f32 log_prob {} vs f64 {}",
+            fast.log_prob,
+            exact.log_prob
+        );
     }
 
     #[test]
