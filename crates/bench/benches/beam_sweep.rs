@@ -160,6 +160,7 @@ fn bench(c: &mut Criterion) {
         per_tick_ns: 1e9 * exact_tick,
         speedup_vs_naive: None,
         allocs_per_tick: None,
+        homes_per_s: None,
         note: format!(
             "fig9 C2 streaming push, exact beam, lag 10; {:.1}% macro accuracy",
             100.0 * exact_acc
@@ -171,6 +172,7 @@ fn bench(c: &mut Criterion) {
             per_tick_ns: 1e9 * exact_tick / speedup.max(1e-12),
             speedup_vs_naive: None,
             allocs_per_tick: None,
+            homes_per_s: None,
             note: format!(
                 "fig9 C2 streaming push, TopK({k}): {speedup:.2}x vs exact at {:.1}% \
                  accuracy ({:+.2}pp)",

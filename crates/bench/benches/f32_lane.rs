@@ -200,6 +200,7 @@ fn bench(c: &mut Criterion) {
             per_tick_ns: exact_ns,
             speedup_vs_naive: None,
             allocs_per_tick: None,
+            homes_per_s: None,
             note: format!(
                 "fig9 C2 exact coupled decode, f64 lane ({:.2}x over its frozen PR 5 record \
                  from the column-major kernel rewrite); {:.1}% macro accuracy",
@@ -212,6 +213,7 @@ fn bench(c: &mut Criterion) {
             per_tick_ns: fast_ns,
             speedup_vs_naive: None,
             allocs_per_tick: None,
+            homes_per_s: None,
             note: format!(
                 "fig9 C2 exact coupled decode, f32 lane: {speedup_vs_pr5:.2}x vs the frozen \
                  PR 5 exact baseline ({pr5_exact_ns:.0} ns/tick), {speedup:.2}x vs same-build \
@@ -227,6 +229,7 @@ fn bench(c: &mut Criterion) {
             per_tick_ns: fast_push_ns,
             speedup_vs_naive: None,
             allocs_per_tick: None,
+            homes_per_s: None,
             note: format!(
                 "fig9 C2 warmed OnlineCoupledViterbi push, f32 lane, exact beam, lag 10: \
                  {push_speedup:.2}x vs f64 ({exact_push_ns:.0} ns/tick)"

@@ -174,6 +174,7 @@ fn bench(c: &mut Criterion) {
             per_tick_ns: push_ns,
             speedup_vs_naive: None,
             allocs_per_tick: Some(allocs_per_tick),
+            homes_per_s: None,
             note: format!("fig9 C2 warmed OnlineCoupledViterbi push, {tag} beam, lag 10"),
         });
     }
@@ -184,6 +185,7 @@ fn bench(c: &mut Criterion) {
         per_tick_ns: table_ns,
         speedup_vs_naive: Some(speedup),
         allocs_per_tick: None,
+        homes_per_s: None,
         note: format!(
             "fig9 C2 exact coupled decode, dense tables+arena vs naive per-edge scoring \
              ({naive_ns:.0} ns/tick naive); target >=2x"

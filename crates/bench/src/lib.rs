@@ -66,19 +66,21 @@ pub fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
-/// Machine-readable perf records: the `BENCH_PR6.json` trajectory file.
+/// Machine-readable perf records: the `BENCH_PR7.json` trajectory file.
 ///
 /// Each bench that measures a serving-relevant number appends
 /// [`PerfRecord`](perf::PerfRecord)s keyed by a stable `id`; re-running a bench overwrites
 /// its own records and leaves the others, so the file accumulates one
 /// up-to-date row per measurement across harnesses (`score_tables`,
-/// `beam_sweep`, `f32_lane`). CI's `--quick` smoke refreshes it on every
-/// run. The PR 5 file (`BENCH_PR5.json`) is kept as the historical
-/// baseline; its still-valid record ids are carried forward here.
+/// `beam_sweep`, `f32_lane`, `router_scale`). CI's `--quick` smoke
+/// refreshes it on every run. The PR 5/6 files (`BENCH_PR5.json`,
+/// `BENCH_PR6.json`) are kept as historical baselines; when
+/// `BENCH_PR7.json` does not exist yet, [`emit`](perf::emit) seeds it from
+/// the PR 6 file so still-valid records carry forward.
 pub mod perf {
     use std::path::PathBuf;
 
-    /// One measurement row of `BENCH_PR6.json`.
+    /// One measurement row of `BENCH_PR7.json`.
     #[derive(Debug, Clone)]
     pub struct PerfRecord {
         /// Stable record key, e.g. `score_tables/c2_batch_decode`.
@@ -90,6 +92,9 @@ pub mod perf {
         pub speedup_vs_naive: Option<f64>,
         /// Heap allocations per warmed tick (`None` when not measured).
         pub allocs_per_tick: Option<f64>,
+        /// Sustained serving throughput in home-ticks per second (`None`
+        /// outside the `router_scale` fleet records).
+        pub homes_per_s: Option<f64>,
         /// Free-form context (workload, beam, accuracy delta, ...).
         pub note: String,
     }
@@ -109,6 +114,9 @@ pub mod perf {
             if let Some(a) = self.allocs_per_tick {
                 fields.push(("allocs_per_tick".to_string(), serde::Value::Float(a)));
             }
+            if let Some(h) = self.homes_per_s {
+                fields.push(("homes_per_s".to_string(), serde::Value::Float(h)));
+            }
             fields.push(("note".to_string(), serde::Value::Str(self.note.clone())));
             serde::Value::Map(fields)
         }
@@ -118,7 +126,7 @@ pub mod perf {
     pub fn record_path() -> PathBuf {
         PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
-            .join("BENCH_PR6.json")
+            .join("BENCH_PR7.json")
     }
 
     /// Guard on a record batch about to be emitted: a pruning beam must
@@ -202,13 +210,17 @@ pub mod perf {
         })
     }
 
-    /// Merges `records` into `BENCH_PR6.json`: existing rows with the same
-    /// `id` are replaced, everything else is preserved. Prints the file
+    /// Merges `records` into `BENCH_PR7.json`: existing rows with the same
+    /// `id` are replaced, everything else is preserved. When the PR 7 file
+    /// does not exist yet, the merge starts from the frozen `BENCH_PR6.json`
+    /// so the prior trajectory's record ids carry forward. Prints the file
     /// path so bench logs point at the artifact.
     pub fn emit(records: &[PerfRecord]) {
         let path = record_path();
+        let seed = path.with_file_name("BENCH_PR6.json");
+        let source = if path.exists() { &path } else { &seed };
         let mut kept: Vec<serde::Value> = Vec::new();
-        if let Ok(text) = std::fs::read_to_string(&path) {
+        if let Ok(text) = std::fs::read_to_string(source) {
             if let Ok(serde::Value::Map(fields)) = serde::json::value_from_str(&text) {
                 for (key, value) in fields {
                     if key == "records" {

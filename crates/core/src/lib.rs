@@ -43,6 +43,7 @@ pub mod classifiers;
 pub mod engine;
 pub mod evidence;
 mod nh;
+pub mod router;
 pub mod snapshot;
 pub mod statespace;
 pub mod strategy;
@@ -53,5 +54,9 @@ pub use batch::BatchReport;
 pub use cace_hdbn::{Beam, DecoderConfig, Lag, Precision};
 pub use classifiers::MicroClassifiers;
 pub use engine::{CaceConfig, CaceEngine, Recognition};
+pub use router::{HomeStatus, RouterStats, ShardStats, ShardedRouter, DEFAULT_SHARDS};
 pub use strategy::Strategy;
-pub use stream::{stream_session, HomeRound, StreamDecision, StreamRouter, StreamingRecognizer};
+pub use stream::{
+    resume_shared, stream_session, stream_shared, HomeRound, ParkedStream, StreamDecision,
+    StreamRouter, StreamingRecognizer,
+};

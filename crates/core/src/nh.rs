@@ -20,6 +20,8 @@ use std::collections::VecDeque;
 use std::sync::OnceLock;
 
 use cace_hdbn::{Beam, BeamScratch, DecoderConfig, Lag, Precision, Scalar, TickInput};
+use cace_model::ModelError;
+use serde::{Deserialize, Serialize};
 
 /// One flat product state: (macro activity, micro-candidate index).
 pub(crate) type FlatState = (usize, usize);
@@ -224,13 +226,118 @@ struct FlatEntry {
     back: Vec<u32>,
 }
 
+/// Parked form of one retained tick of the NH backpointer window.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub(crate) struct ParkedFlatEntry {
+    pub(crate) states: Vec<FlatState>,
+    pub(crate) back: Vec<u32>,
+}
+
+/// Parked [`OnlineFlat`] state — the NH member of the per-strategy parked
+/// decoder family (see `cace_hdbn::park` for the coupled/chain members
+/// and the park/resume contract).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub(crate) struct ParkedFlat {
+    pub(crate) v: Vec<f64>,
+    pub(crate) v32: Vec<f32>,
+    pub(crate) window: Vec<ParkedFlatEntry>,
+    pub(crate) base: usize,
+    pub(crate) pushed: usize,
+    pub(crate) emitted: Vec<usize>,
+    pub(crate) states_explored: u64,
+    pub(crate) transition_ops: u64,
+    pub(crate) pruned: bool,
+    pub(crate) keep: Vec<u32>,
+}
+
+fn park_err(what: impl Into<String>) -> ModelError {
+    ModelError::Persistence { what: what.into() }
+}
+
+impl ParkedFlat {
+    pub(crate) fn ticks_pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Bounds-checks everything a resumed [`OnlineFlat`] would read, so a
+    /// tampered payload fails cleanly instead of panicking (the NH
+    /// counterpart of `cace_hdbn::park`'s validation).
+    fn validate(
+        &self,
+        table: &FlatTable,
+        precision: Precision,
+        lag: Lag,
+    ) -> Result<(), ModelError> {
+        let what = "parked NH stream";
+        if self.base + self.window.len() != self.pushed {
+            return Err(park_err(format!(
+                "{what}: window does not cover the cursor"
+            )));
+        }
+        if self.pushed > 0 && self.window.is_empty() {
+            return Err(park_err(format!(
+                "{what}: nonempty stream with empty window"
+            )));
+        }
+        let expected = match lag {
+            Lag::Unbounded => 0,
+            Lag::Fixed(l) => self.pushed.saturating_sub(l),
+        };
+        if self.emitted.len() != expected || self.base > self.emitted.len() {
+            return Err(park_err(format!(
+                "{what}: emit schedule out of step with lag"
+            )));
+        }
+        let mut prev_len = None;
+        for (i, e) in self.window.iter().enumerate() {
+            if e.states.is_empty() {
+                return Err(park_err(format!("{what}: window[{i}] has no states")));
+            }
+            if e.states.iter().any(|&(a, _)| a >= table.n) {
+                return Err(park_err(format!("{what}: window[{i}] macro out of range")));
+            }
+            if let Some(prev_len) = prev_len {
+                if e.back.len() != e.states.len()
+                    || e.back.iter().any(|&b| (b as usize) >= prev_len)
+                {
+                    return Err(park_err(format!(
+                        "{what}: window[{i}] backpointers invalid"
+                    )));
+                }
+            }
+            prev_len = Some(e.states.len());
+        }
+        if let Some(frontier) = prev_len {
+            let (len, has_nan) = match precision {
+                Precision::Exact64 => (self.v.len(), self.v.iter().any(|s| s.is_nan())),
+                Precision::Fast32 => (self.v32.len(), self.v32.iter().any(|s| s.is_nan())),
+            };
+            if len != frontier || has_nan {
+                return Err(park_err(format!("{what}: frontier invalid")));
+            }
+            if self.pruned
+                && !(!self.keep.is_empty()
+                    && self.keep.len() < frontier
+                    && self.keep.windows(2).all(|w| w[0] < w[1])
+                    && self.keep.iter().all(|&k| (k as usize) < frontier))
+            {
+                return Err(park_err(format!("{what}: malformed beam survivor set")));
+            }
+        }
+        Ok(())
+    }
+}
+
 /// Streaming NH frontier for one user, mirroring the online decoders in
 /// `cace-hdbn`: push per-tick (states, emissions), emit fixed-lag macro
 /// decisions, finalize into the full macro path plus overhead accounting.
 /// Window entries are pooled and the frontier ping-pongs through a reused
 /// buffer, so a warmed push allocates only what its caller hands it.
-pub(crate) struct OnlineFlat<'a> {
-    table: &'a FlatTable,
+///
+/// The flat table is *not* captured: every [`push`](Self::push) borrows it
+/// from the caller, so one table serves any number of live and parked
+/// frontiers (the fleet-sharing property the serving tier relies on).
+pub(crate) struct OnlineFlat {
     lag: Lag,
     decoder: DecoderConfig,
     v: Vec<f64>,
@@ -300,10 +407,9 @@ fn advance_flat<S: NhScalar>(
     *pruned = beam.select_log(v, scratch);
 }
 
-impl<'a> OnlineFlat<'a> {
-    pub(crate) fn new(table: &'a FlatTable, lag: Lag, decoder: DecoderConfig) -> Self {
+impl OnlineFlat {
+    pub(crate) fn new(lag: Lag, decoder: DecoderConfig) -> Self {
         Self {
-            table,
             lag,
             decoder,
             v: Vec::new(),
@@ -322,10 +428,79 @@ impl<'a> OnlineFlat<'a> {
         }
     }
 
+    /// Checkpoints the frontier (see `cace_hdbn::park` for the contract).
+    pub(crate) fn park(&self) -> ParkedFlat {
+        ParkedFlat {
+            v: self.v.clone(),
+            v32: self.v32.clone(),
+            window: self
+                .window
+                .iter()
+                .map(|e| ParkedFlatEntry {
+                    states: e.states.clone(),
+                    back: e.back.clone(),
+                })
+                .collect(),
+            base: self.base,
+            pushed: self.pushed,
+            emitted: self.emitted.clone(),
+            states_explored: self.states_explored,
+            transition_ops: self.transition_ops,
+            pruned: self.pruned,
+            keep: self.keep_vec(),
+        }
+    }
+
+    fn keep_vec(&self) -> Vec<u32> {
+        self.scratch.keep().to_vec()
+    }
+
+    /// Rehydrates a parked frontier; bit-identical continuation against
+    /// the same `table`, `lag`, and `decoder` the stream was opened with.
+    ///
+    /// # Errors
+    /// [`ModelError::Persistence`] when the parked state is structurally
+    /// inconsistent with the table.
+    pub(crate) fn resume(
+        table: &FlatTable,
+        lag: Lag,
+        decoder: DecoderConfig,
+        parked: &ParkedFlat,
+    ) -> Result<Self, ModelError> {
+        parked.validate(table, decoder.precision, lag)?;
+        let mut scratch = BeamScratch::new();
+        scratch.set_keep(&parked.keep);
+        Ok(Self {
+            lag,
+            decoder,
+            v: parked.v.clone(),
+            v_next: Vec::new(),
+            v32: parked.v32.clone(),
+            v_next32: Vec::new(),
+            window: parked
+                .window
+                .iter()
+                .map(|e| FlatEntry {
+                    states: e.states.clone(),
+                    back: e.back.clone(),
+                })
+                .collect(),
+            free: Vec::new(),
+            base: parked.base,
+            pushed: parked.pushed,
+            emitted: parked.emitted.clone(),
+            states_explored: parked.states_explored,
+            transition_ops: parked.transition_ops,
+            scratch,
+            pruned: parked.pruned,
+        })
+    }
+
     /// Consumes one tick's state list and aligned emissions; returns the
     /// ripened `(tick, macro)` decision, if any.
     pub(crate) fn push(
         &mut self,
+        table: &FlatTable,
         states: Vec<FlatState>,
         emit: Vec<f64>,
     ) -> Option<(usize, usize)> {
@@ -336,7 +511,7 @@ impl<'a> OnlineFlat<'a> {
         let prev = self.window.back();
         match self.decoder.precision {
             Precision::Exact64 => advance_flat(
-                self.table,
+                table,
                 self.decoder.beam,
                 prev,
                 &mut entry,
@@ -348,7 +523,7 @@ impl<'a> OnlineFlat<'a> {
                 &mut self.transition_ops,
             ),
             Precision::Fast32 => advance_flat(
-                self.table,
+                table,
                 self.decoder.beam,
                 prev,
                 &mut entry,

@@ -1,0 +1,787 @@
+//! The sharded serving tier: route millions of homes over a fixed shard
+//! grid, keeping only the hot ones live.
+//!
+//! [`StreamRouter`](crate::StreamRouter) holds every home's decoder state
+//! in memory and borrows its engine, which caps it at "as many homes as
+//! fit in RAM, in one caller's stack frame". A [`ShardedRouter`] removes
+//! both limits:
+//!
+//! * **Model registry.** Engines are registered once under a model id and
+//!   [`Arc`]-shared fleet-wide — every home of a model reads the same
+//!   [`HdbnParams`](cace_hdbn::HdbnParams) and score tables, so per-home
+//!   memory is decoder state only.
+//! * **Stable shards.** Homes hash to one of N shards by FNV-1a of their
+//!   id — a pure function of the id and the shard count, never of thread
+//!   count, insertion order, or process state. Within a shard, pushes
+//!   apply in input order; across shards there is no shared mutable
+//!   state. Results are therefore **bit-identical** under any
+//!   `RAYON_NUM_THREADS`.
+//! * **LRU live cap.** Each shard keeps at most `live_cap` homes live;
+//!   the least-recently-pushed overflow is transparently **parked** —
+//!   serialized to versioned snapshot bytes
+//!   ([`ParkedStream::to_snapshot_string`]) — and rehydrated on its next
+//!   push with a bit-identical continuation. A capped router's decisions
+//!   equal an uncapped one's (`tests/router_scale.rs` proves it).
+//! * **Fault containment.** A failing push, a tampered parked snapshot,
+//!   or a checkpoint that does not match its model **quarantines** that
+//!   home ([`HomeRound::Failed`], then [`HomeRound::Quarantined`]) and
+//!   never desynchronizes its shard-mates, and never panics.
+//!
+//! Per-shard counters (live/parked homes, park/rehydrate counts, push
+//! latency) are exposed through [`ShardedRouter::stats`].
+
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cace_behavior::ObservedTick;
+use cace_hdbn::Lag;
+use cace_model::ModelError;
+use rayon::prelude::*;
+
+use crate::engine::{CaceEngine, Recognition};
+use crate::snapshot::fnv1a64;
+use crate::stream::{resume_shared, stream_shared, HomeRound, ParkedStream, StreamingRecognizer};
+
+fn config_err(what: impl Into<String>) -> ModelError {
+    ModelError::InvalidConfig(what.into())
+}
+
+/// Where one home's decoder state currently lives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HomeStatus {
+    /// Decoder state is in memory; the next push is a plain DP step.
+    Live,
+    /// Decoder state is parked as snapshot bytes; the next push
+    /// rehydrates it first.
+    Parked,
+    /// The home hit an unrecoverable per-home fault; later pushes are
+    /// skipped and [`ShardedRouter::finish`] reports the error.
+    Quarantined,
+}
+
+/// One home's slot inside a shard.
+struct HomeSlot {
+    id: u64,
+    /// Index into the router's model registry.
+    model: usize,
+    /// Last-touch stamp; stale [`Shard::lru`] entries are detected by
+    /// comparing against it (lazy deletion).
+    touch: u64,
+    state: SlotState,
+}
+
+#[allow(clippy::large_enum_variant)]
+enum SlotState {
+    Live(Box<StreamingRecognizer<'static>>),
+    Parked(String),
+    Quarantined(ModelError),
+}
+
+/// Monotonically growing counters of one shard. Deterministic for a given
+/// input sequence — thread count never shows up in here.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Homes currently live (decoder state in memory).
+    pub live_homes: usize,
+    /// Homes currently parked (snapshot bytes only).
+    pub parked_homes: usize,
+    /// Homes quarantined by a fault.
+    pub quarantined_homes: usize,
+    /// Times this shard parked a home (LRU eviction or explicit).
+    pub parks: u64,
+    /// Times this shard rehydrated a parked home.
+    pub rehydrations: u64,
+    /// Ticks pushed through this shard.
+    pub pushes: u64,
+    /// Total wall time spent inside pushes, in nanoseconds (includes any
+    /// rehydration the push triggered).
+    pub push_nanos: u64,
+}
+
+/// Fleet-wide roll-up of [`ShardStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RouterStats {
+    /// Per-shard counters, indexed by shard.
+    pub shards: Vec<ShardStats>,
+}
+
+impl RouterStats {
+    fn sum<T: std::iter::Sum<T>>(&self, f: impl Fn(&ShardStats) -> T) -> T {
+        self.shards.iter().map(f).sum()
+    }
+
+    /// Homes currently live across all shards.
+    pub fn live_homes(&self) -> usize {
+        self.sum(|s| s.live_homes)
+    }
+
+    /// Homes currently parked across all shards.
+    pub fn parked_homes(&self) -> usize {
+        self.sum(|s| s.parked_homes)
+    }
+
+    /// Homes quarantined across all shards.
+    pub fn quarantined_homes(&self) -> usize {
+        self.sum(|s| s.quarantined_homes)
+    }
+
+    /// Total park operations across all shards.
+    pub fn parks(&self) -> u64 {
+        self.sum(|s| s.parks)
+    }
+
+    /// Total rehydrations across all shards.
+    pub fn rehydrations(&self) -> u64 {
+        self.sum(|s| s.rehydrations)
+    }
+
+    /// Total ticks pushed across all shards.
+    pub fn pushes(&self) -> u64 {
+        self.sum(|s| s.pushes)
+    }
+
+    /// Mean wall time per push, in nanoseconds (0 before the first push).
+    pub fn mean_push_nanos(&self) -> u64 {
+        self.sum::<u64>(|s| s.push_nanos)
+            .checked_div(self.pushes())
+            .unwrap_or(0)
+    }
+}
+
+/// One shard: a disjoint subset of homes, advanced sequentially.
+#[derive(Default)]
+struct Shard {
+    slots: Vec<HomeSlot>,
+    /// Home id → index into `slots`.
+    index: HashMap<u64, usize>,
+    /// LRU queue of `(touch, slot)` pairs, oldest first. Entries whose
+    /// `touch` no longer matches the slot's are stale and skipped — lazy
+    /// deletion keeps touches O(1).
+    lru: std::collections::VecDeque<(u64, usize)>,
+    /// Per-shard logical clock stamping touches. Advances only on
+    /// in-shard events, so it is independent of thread interleaving.
+    clock: u64,
+    parks: u64,
+    rehydrations: u64,
+    pushes: u64,
+    push_nanos: u64,
+}
+
+impl Shard {
+    fn stats(&self) -> ShardStats {
+        let mut stats = ShardStats {
+            parks: self.parks,
+            rehydrations: self.rehydrations,
+            pushes: self.pushes,
+            push_nanos: self.push_nanos,
+            ..ShardStats::default()
+        };
+        for slot in &self.slots {
+            match slot.state {
+                SlotState::Live(_) => stats.live_homes += 1,
+                SlotState::Parked(_) => stats.parked_homes += 1,
+                SlotState::Quarantined(_) => stats.quarantined_homes += 1,
+            }
+        }
+        stats
+    }
+
+    fn touch(&mut self, slot: usize) {
+        self.clock += 1;
+        self.slots[slot].touch = self.clock;
+        self.lru.push_back((self.clock, slot));
+    }
+
+    fn live_count(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| matches!(s.state, SlotState::Live(_)))
+            .count()
+    }
+
+    /// Parks least-recently-touched live homes until at most `cap` remain
+    /// live. Deterministic: eviction order is touch order, which is
+    /// in-shard push order.
+    fn enforce_cap(&mut self, cap: usize) {
+        let mut live = self.live_count();
+        while live > cap {
+            let (touch, slot) = self
+                .lru
+                .pop_front()
+                .expect("every live home has an LRU entry");
+            if self.slots[slot].touch != touch {
+                continue; // stale entry — the home was touched again later
+            }
+            if let SlotState::Live(stream) = &self.slots[slot].state {
+                let bytes = stream.park().to_snapshot_string();
+                self.slots[slot].state = SlotState::Parked(bytes);
+                self.parks += 1;
+                live -= 1;
+            }
+            // A parked/quarantined slot's entry is simply consumed.
+        }
+    }
+
+    /// Advances one home by one tick, rehydrating it first if parked.
+    /// Never panics: every failure quarantines this home only.
+    fn push(&mut self, slot: usize, models: &[Arc<CaceEngine>], tick: &ObservedTick) -> HomeRound {
+        let start = Instant::now();
+        // Rehydrate a parked home. Tampered or mismatched snapshot bytes
+        // surface here as a Persistence error → quarantine, not a panic.
+        if let SlotState::Parked(bytes) = &self.slots[slot].state {
+            let engine = &models[self.slots[slot].model];
+            match ParkedStream::from_snapshot_str(bytes)
+                .and_then(|parked| resume_shared(engine, &parked))
+            {
+                Ok(stream) => {
+                    self.slots[slot].state = SlotState::Live(Box::new(stream));
+                    self.rehydrations += 1;
+                }
+                Err(e) => {
+                    self.slots[slot].state = SlotState::Quarantined(e.clone());
+                    return HomeRound::Failed(e);
+                }
+            }
+        }
+        let outcome = match &mut self.slots[slot].state {
+            SlotState::Quarantined(_) => HomeRound::Quarantined,
+            SlotState::Parked(_) => unreachable!("rehydrated or quarantined above"),
+            SlotState::Live(stream) => match stream.push(tick) {
+                Ok(decision) => HomeRound::Advanced(decision),
+                Err(e) => {
+                    self.slots[slot].state = SlotState::Quarantined(e.clone());
+                    HomeRound::Failed(e)
+                }
+            },
+        };
+        if matches!(outcome, HomeRound::Advanced(_)) {
+            self.touch(slot);
+        }
+        self.pushes += 1;
+        self.push_nanos += start.elapsed().as_nanos() as u64;
+        outcome
+    }
+}
+
+/// The serving front end: N worker shards over a shared model registry,
+/// an LRU live-state cap per shard, park/rehydrate on demand. See the
+/// [module docs](self) for the design and guarantees.
+pub struct ShardedRouter {
+    model_names: Vec<String>,
+    models: Vec<Arc<CaceEngine>>,
+    shards: Vec<Shard>,
+    /// Max live homes per shard; overflow is parked, oldest first.
+    live_cap: usize,
+}
+
+/// Default shard count: a fixed grid (never derived from the machine's
+/// core count) so shard assignment is stable across deployments.
+pub const DEFAULT_SHARDS: usize = 8;
+
+impl ShardedRouter {
+    /// An empty router with [`DEFAULT_SHARDS`] shards and no live cap.
+    pub fn new() -> Self {
+        Self::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// An empty router over `shards` worker shards (clamped to ≥ 1).
+    ///
+    /// The shard count is part of the home→shard mapping; pick it once,
+    /// before homes are added.
+    pub fn with_shards(shards: usize) -> Self {
+        let shards = shards.max(1);
+        Self {
+            model_names: Vec::new(),
+            models: Vec::new(),
+            shards: (0..shards).map(|_| Shard::default()).collect(),
+            live_cap: usize::MAX,
+        }
+    }
+
+    /// Caps live decoder state at `cap` homes **per shard** (clamped to
+    /// ≥ 1); the least-recently-pushed overflow is transparently parked.
+    /// Applies to current and future homes from the next push on.
+    pub fn with_live_cap(mut self, cap: usize) -> Self {
+        self.live_cap = cap.max(1);
+        self
+    }
+
+    /// Number of shards in the grid.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard the given home id maps to — a pure function of the id
+    /// and the shard count.
+    pub fn shard_of(&self, id: u64) -> usize {
+        (fnv1a64(&id.to_le_bytes()) % self.shards.len() as u64) as usize
+    }
+
+    /// Registers a trained engine under `name`; homes reference it by
+    /// that name and share it fleet-wide.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] when `name` is already registered.
+    pub fn register_model(
+        &mut self,
+        name: impl Into<String>,
+        engine: Arc<CaceEngine>,
+    ) -> Result<(), ModelError> {
+        let name = name.into();
+        if self.model_names.contains(&name) {
+            return Err(config_err(format!("model `{name}` is already registered")));
+        }
+        self.model_names.push(name);
+        self.models.push(engine);
+        Ok(())
+    }
+
+    fn model_index(&self, model: &str) -> Result<usize, ModelError> {
+        self.model_names
+            .iter()
+            .position(|n| n == model)
+            .ok_or_else(|| config_err(format!("model `{model}` is not registered")))
+    }
+
+    /// Registers a home served by `model`, opening a fresh live stream.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] on an unknown model or a duplicate
+    /// home id.
+    pub fn add_home(&mut self, id: u64, model: &str, lag: Lag) -> Result<(), ModelError> {
+        let model = self.model_index(model)?;
+        let stream = stream_shared(&self.models[model], lag);
+        self.insert(id, model, SlotState::Live(Box::new(stream)))
+    }
+
+    /// Registers a home directly from parked snapshot bytes — e.g. state
+    /// handed over from another process. The checkpoint carries its own
+    /// lag and decoder config; the bytes are *not* validated here — a bad
+    /// checkpoint quarantines the home on its first push (never panics),
+    /// exactly like bytes that went bad while parked.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] on an unknown model or a duplicate
+    /// home id.
+    pub fn import_home(
+        &mut self,
+        id: u64,
+        model: &str,
+        snapshot: String,
+    ) -> Result<(), ModelError> {
+        let model = self.model_index(model)?;
+        self.insert(id, model, SlotState::Parked(snapshot))
+    }
+
+    fn insert(&mut self, id: u64, model: usize, state: SlotState) -> Result<(), ModelError> {
+        let shard = self.shard_of(id);
+        let shard = &mut self.shards[shard];
+        if shard.index.contains_key(&id) {
+            return Err(config_err(format!("home id {id} is already registered")));
+        }
+        let slot = shard.slots.len();
+        shard.slots.push(HomeSlot {
+            id,
+            model,
+            touch: 0,
+            state,
+        });
+        shard.index.insert(id, slot);
+        if matches!(shard.slots[slot].state, SlotState::Live(_)) {
+            shard.touch(slot);
+            shard.enforce_cap(self.live_cap);
+        }
+        Ok(())
+    }
+
+    /// Total homes routed (live, parked, and quarantined).
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.slots.len()).sum()
+    }
+
+    /// Whether no homes are routed.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.slots.is_empty())
+    }
+
+    /// Where the given home's state currently lives, if it is routed.
+    pub fn home_status(&self, id: u64) -> Option<HomeStatus> {
+        let shard = &self.shards[self.shard_of(id)];
+        let slot = *shard.index.get(&id)?;
+        Some(match shard.slots[slot].state {
+            SlotState::Live(_) => HomeStatus::Live,
+            SlotState::Parked(_) => HomeStatus::Parked,
+            SlotState::Quarantined(_) => HomeStatus::Quarantined,
+        })
+    }
+
+    /// Ids and errors of the homes quarantined so far, sorted by id.
+    pub fn quarantined(&self) -> Vec<(u64, &ModelError)> {
+        let mut out: Vec<(u64, &ModelError)> = self
+            .shards
+            .iter()
+            .flat_map(|s| s.slots.iter())
+            .filter_map(|slot| match &slot.state {
+                SlotState::Quarantined(e) => Some((slot.id, e)),
+                _ => None,
+            })
+            .collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+
+    /// Per-shard counters, indexed by shard.
+    pub fn stats(&self) -> RouterStats {
+        RouterStats {
+            shards: self.shards.iter().map(Shard::stats).collect(),
+        }
+    }
+
+    /// Parks the given live home immediately (no-op when already parked).
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] on an unknown home id;
+    /// [`ModelError::Persistence`] when the home is quarantined.
+    pub fn park_home(&mut self, id: u64) -> Result<(), ModelError> {
+        let shard = self.shard_of(id);
+        let shard = &mut self.shards[shard];
+        let slot = *shard
+            .index
+            .get(&id)
+            .ok_or_else(|| config_err(format!("home id {id} is not routed")))?;
+        match &shard.slots[slot].state {
+            SlotState::Parked(_) => Ok(()),
+            SlotState::Quarantined(e) => Err(e.clone()),
+            SlotState::Live(stream) => {
+                let bytes = stream.park().to_snapshot_string();
+                shard.slots[slot].state = SlotState::Parked(bytes);
+                shard.parks += 1;
+                Ok(())
+            }
+        }
+    }
+
+    /// The parked snapshot bytes of the given home — parking it first if
+    /// it is live. This is the migration/handover export.
+    ///
+    /// # Errors
+    /// Those of [`park_home`](Self::park_home).
+    pub fn export_home(&mut self, id: u64) -> Result<String, ModelError> {
+        self.park_home(id)?;
+        let shard = &self.shards[self.shard_of(id)];
+        let slot = shard.index[&id];
+        match &shard.slots[slot].state {
+            SlotState::Parked(bytes) => Ok(bytes.clone()),
+            _ => unreachable!("park_home left the slot parked"),
+        }
+    }
+
+    /// Delivers one round of ticks, fanned out across shards in parallel.
+    /// Outcomes are returned aligned with `ticks`. Within a shard, ticks
+    /// apply in their `ticks` order; the shard grid is fixed — results
+    /// are bit-identical under any thread count.
+    ///
+    /// A home may appear multiple times in one round (its ticks apply in
+    /// order); a home with no tick this round is simply not listed.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] when any id is not routed — no tick
+    /// is delivered in that case (per-home failures are *not* errors
+    /// here; they come back as [`HomeRound::Failed`]).
+    pub fn push_round(
+        &mut self,
+        ticks: &[(u64, &ObservedTick)],
+    ) -> Result<Vec<HomeRound>, ModelError> {
+        // Group input positions by shard first, so an unknown id aborts
+        // the round before any home advances.
+        let mut by_shard: Vec<Vec<(usize, usize)>> = vec![Vec::new(); self.shards.len()];
+        for (pos, (id, _)) in ticks.iter().enumerate() {
+            let shard = self.shard_of(*id);
+            let slot = *self.shards[shard]
+                .index
+                .get(id)
+                .ok_or_else(|| config_err(format!("home id {id} is not routed")))?;
+            by_shard[shard].push((pos, slot));
+        }
+        let live_cap = self.live_cap;
+        let models = &self.models;
+        let mut work: Vec<(&mut Shard, Vec<(usize, usize)>)> =
+            self.shards.iter_mut().zip(by_shard).collect();
+        let mut outcomes: Vec<Vec<(usize, HomeRound)>> = work
+            .par_iter_mut()
+            .map(|(shard, work)| {
+                let mut out = Vec::with_capacity(work.len());
+                for &(pos, slot) in work.iter() {
+                    let round = shard.push(slot, models, ticks[pos].1);
+                    shard.enforce_cap(live_cap);
+                    out.push((pos, round));
+                }
+                out
+            })
+            .collect();
+        let mut aligned: Vec<Option<HomeRound>> = vec![None; ticks.len()];
+        for (pos, round) in outcomes.drain(..).flatten() {
+            aligned[pos] = Some(round);
+        }
+        Ok(aligned
+            .into_iter()
+            .map(|r| r.expect("every input position got an outcome"))
+            .collect())
+    }
+
+    /// Finishes every home in parallel (rehydrating parked ones),
+    /// returning per-home results **sorted by home id**: the
+    /// session-level [`Recognition`] for healthy homes, the quarantining
+    /// error for faulted ones.
+    pub fn finish(self) -> Vec<(u64, Result<Recognition, ModelError>)> {
+        let Self { models, shards, .. } = self;
+        let models = &models;
+        let mut slot_lists: Vec<Vec<HomeSlot>> = shards.into_iter().map(|s| s.slots).collect();
+        let per_shard: Vec<Vec<(u64, Result<Recognition, ModelError>)>> = slot_lists
+            .par_iter_mut()
+            .map(|slots| {
+                std::mem::take(slots)
+                    .into_iter()
+                    .map(|slot| {
+                        let result = match slot.state {
+                            SlotState::Quarantined(e) => Err(e),
+                            SlotState::Live(stream) => stream.finish(),
+                            SlotState::Parked(bytes) => ParkedStream::from_snapshot_str(&bytes)
+                                .and_then(|parked| resume_shared(&models[slot.model], &parked))
+                                .and_then(|stream| stream.finish()),
+                        };
+                        (slot.id, result)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut out: Vec<(u64, Result<Recognition, ModelError>)> =
+            per_shard.into_iter().flatten().collect();
+        out.sort_by_key(|(id, _)| *id);
+        out
+    }
+}
+
+impl Default for ShardedRouter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::CaceConfig;
+    use cace_behavior::{
+        cace_grammar, generate_cace_dataset, session::train_test_split, Session, SessionConfig,
+    };
+
+    fn corpus() -> (Vec<Session>, Vec<Session>) {
+        let sessions = generate_cace_dataset(
+            &cace_grammar(),
+            1,
+            4,
+            &SessionConfig::tiny().with_ticks(60),
+            57,
+        );
+        train_test_split(sessions, 0.75)
+    }
+
+    fn arc_engine(train: &[Session]) -> Arc<CaceEngine> {
+        Arc::new(CaceEngine::train(train, &CaceConfig::default()).unwrap())
+    }
+
+    #[test]
+    fn registry_rejects_duplicates_and_unknowns() {
+        let (train, _) = corpus();
+        let engine = arc_engine(&train);
+        let mut router = ShardedRouter::new();
+        router.register_model("cace", Arc::clone(&engine)).unwrap();
+        assert!(matches!(
+            router.register_model("cace", Arc::clone(&engine)),
+            Err(ModelError::InvalidConfig(_))
+        ));
+        assert!(matches!(
+            router.add_home(1, "missing", Lag::Unbounded),
+            Err(ModelError::InvalidConfig(_))
+        ));
+        router.add_home(1, "cace", Lag::Unbounded).unwrap();
+        assert!(matches!(
+            router.add_home(1, "cace", Lag::Unbounded),
+            Err(ModelError::InvalidConfig(_))
+        ));
+        assert_eq!(router.len(), 1);
+    }
+
+    #[test]
+    fn shard_assignment_is_a_pure_function_of_id_and_grid() {
+        let a = ShardedRouter::with_shards(8);
+        let b = ShardedRouter::with_shards(8);
+        for id in 0..256 {
+            assert_eq!(a.shard_of(id), b.shard_of(id));
+            assert!(a.shard_of(id) < 8);
+        }
+        // All shards get some traffic from a plain id range.
+        let hit: std::collections::HashSet<usize> = (0..256).map(|id| a.shard_of(id)).collect();
+        assert_eq!(hit.len(), 8);
+    }
+
+    #[test]
+    fn capped_router_parks_and_rehydrates_with_identical_decisions() {
+        let (train, test) = corpus();
+        let engine = arc_engine(&train);
+        let lag = Lag::Fixed(4);
+        let n_homes = 6u64;
+
+        let mut capped = ShardedRouter::with_shards(2).with_live_cap(1);
+        let mut uncapped = ShardedRouter::with_shards(2);
+        for router in [&mut capped, &mut uncapped] {
+            router.register_model("cace", Arc::clone(&engine)).unwrap();
+            for id in 0..n_homes {
+                router.add_home(id, "cace", lag).unwrap();
+            }
+        }
+        let session = &test[0];
+        for tick in &session.ticks {
+            let round: Vec<(u64, &ObservedTick)> =
+                (0..n_homes).map(|id| (id, &tick.observed)).collect();
+            let a = capped.push_round(&round).unwrap();
+            let b = uncapped.push_round(&round).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.decision(), y.decision());
+                assert!(matches!(x, HomeRound::Advanced(_)));
+            }
+        }
+        let stats = capped.stats();
+        assert!(
+            stats.parks() > 0 && stats.rehydrations() > 0,
+            "a cap of 1 live home over 3 homes/shard must cycle: {stats:?}"
+        );
+        assert_eq!(uncapped.stats().parks(), 0);
+        assert!(stats.pushes() > 0 && stats.mean_push_nanos() > 0);
+
+        let a = capped.finish();
+        let b = uncapped.finish();
+        assert_eq!(a.len(), n_homes as usize);
+        for ((id_a, rec_a), (id_b, rec_b)) in a.iter().zip(&b) {
+            assert_eq!(id_a, id_b);
+            let (rec_a, rec_b) = (rec_a.as_ref().unwrap(), rec_b.as_ref().unwrap());
+            assert_eq!(rec_a.macros, rec_b.macros);
+            assert_eq!(rec_a.states_explored, rec_b.states_explored);
+            assert_eq!(rec_a.transition_ops, rec_b.transition_ops);
+        }
+    }
+
+    #[test]
+    fn lru_eviction_order_is_deterministic() {
+        let (train, test) = corpus();
+        let engine = arc_engine(&train);
+        // One shard, cap 2: pushing A, B, C in order must park exactly
+        // the least-recently-pushed home, every time.
+        let mut router = ShardedRouter::with_shards(1).with_live_cap(2);
+        router.register_model("cace", engine).unwrap();
+        for id in [10, 20, 30] {
+            router.add_home(id, "cace", Lag::Unbounded).unwrap();
+        }
+        // Registration order itself is LRU order: adding C over the cap
+        // parked A (the oldest registration).
+        assert_eq!(router.home_status(10), Some(HomeStatus::Parked));
+        assert_eq!(router.home_status(20), Some(HomeStatus::Live));
+        assert_eq!(router.home_status(30), Some(HomeStatus::Live));
+
+        let tick = &test[0].ticks[0].observed;
+        // Touch A: it rehydrates, and B — now the coldest — is parked.
+        router.push_round(&[(10, tick)]).unwrap();
+        assert_eq!(router.home_status(10), Some(HomeStatus::Live));
+        assert_eq!(router.home_status(20), Some(HomeStatus::Parked));
+        assert_eq!(router.home_status(30), Some(HomeStatus::Live));
+        // Touch C then B: A is the coldest again.
+        router.push_round(&[(30, tick), (20, tick)]).unwrap();
+        assert_eq!(router.home_status(10), Some(HomeStatus::Parked));
+        assert_eq!(router.home_status(20), Some(HomeStatus::Live));
+        assert_eq!(router.home_status(30), Some(HomeStatus::Live));
+        assert_eq!(router.stats().parks(), 3);
+    }
+
+    #[test]
+    fn tampered_parked_bytes_quarantine_only_that_home() {
+        let (train, test) = corpus();
+        let engine = arc_engine(&train);
+        let mut router = ShardedRouter::with_shards(1);
+        router.register_model("cace", Arc::clone(&engine)).unwrap();
+        router.add_home(1, "cace", Lag::Unbounded).unwrap();
+        router.add_home(2, "cace", Lag::Unbounded).unwrap();
+
+        let session = &test[0];
+        for tick in &session.ticks[..5] {
+            router
+                .push_round(&[(1, &tick.observed), (2, &tick.observed)])
+                .unwrap();
+        }
+        // Corrupt home 1's parked bytes out-of-band, then re-import them.
+        let mut bytes = router.export_home(1).unwrap();
+        let flip_at = bytes.rfind("0.").unwrap();
+        bytes.replace_range(flip_at..flip_at + 1, "9");
+        let mut router2 = ShardedRouter::with_shards(1);
+        router2.register_model("cace", Arc::clone(&engine)).unwrap();
+        router2.import_home(1, "cace", bytes).unwrap();
+        router2.add_home(2, "cace", Lag::Unbounded).unwrap();
+
+        let round = router2
+            .push_round(&[
+                (1, &session.ticks[5].observed),
+                (2, &session.ticks[5].observed),
+            ])
+            .unwrap();
+        assert!(matches!(
+            round[0],
+            HomeRound::Failed(ModelError::Persistence { .. })
+        ));
+        assert!(matches!(round[1], HomeRound::Advanced(_)));
+        // The fault sticks; the shard-mate keeps serving every round.
+        let round = router2
+            .push_round(&[
+                (1, &session.ticks[6].observed),
+                (2, &session.ticks[6].observed),
+            ])
+            .unwrap();
+        assert!(matches!(round[0], HomeRound::Quarantined));
+        assert!(matches!(round[1], HomeRound::Advanced(_)));
+        assert_eq!(router2.quarantined().len(), 1);
+        assert_eq!(router2.quarantined()[0].0, 1);
+        let finished = router2.finish();
+        assert!(finished[0].1.is_err());
+        assert!(finished[1].1.is_ok());
+    }
+
+    #[test]
+    fn export_import_hands_a_home_over_bit_identically() {
+        let (train, test) = corpus();
+        let engine = arc_engine(&train);
+        let session = &test[0];
+        let lag = Lag::Unbounded;
+
+        let mut origin = ShardedRouter::new();
+        origin.register_model("cace", Arc::clone(&engine)).unwrap();
+        origin.add_home(99, "cace", lag).unwrap();
+        for tick in &session.ticks[..30] {
+            origin.push_round(&[(99, &tick.observed)]).unwrap();
+        }
+        let bytes = origin.export_home(99).unwrap();
+        assert_eq!(origin.home_status(99), Some(HomeStatus::Parked));
+
+        let mut target = ShardedRouter::new();
+        target.register_model("cace", Arc::clone(&engine)).unwrap();
+        target.import_home(99, "cace", bytes).unwrap();
+        for tick in &session.ticks[30..] {
+            target.push_round(&[(99, &tick.observed)]).unwrap();
+        }
+        let finished = target.finish();
+        let batch = engine.recognize(session).unwrap();
+        let rec = finished[0].1.as_ref().unwrap();
+        assert_eq!(rec.macros, batch.macros);
+        assert_eq!(rec.states_explored, batch.states_explored);
+        assert_eq!(rec.transition_ops, batch.transition_ops);
+    }
+}

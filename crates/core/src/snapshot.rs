@@ -1,24 +1,36 @@
-//! Engine snapshots: persist a trained [`CaceEngine`] and reload it in a
-//! fresh serving process — the "train once, serve many" half of the
-//! paper's pipeline at production scale.
+//! Versioned snapshots: persist a trained [`CaceEngine`] — and, since v3,
+//! a parked mid-session stream ([`ParkedStream`]) — and reload either in a
+//! fresh serving process. Engines are the "train once, serve many" half of
+//! the paper's pipeline; parked streams are the serving tier's unit of
+//! eviction (a cold home's decoder state, rehydratable bit-identically).
 //!
 //! A snapshot is a single text file:
 //!
 //! ```text
-//! CACE-SNAPSHOT v1 fnv1a64=<16-hex checksum of payload>
+//! CACE-SNAPSHOT v3 fnv1a64=<16-hex checksum of payload>
 //! <one-line JSON payload>
 //! ```
 //!
-//! The payload serializes everything recognition depends on — the engine
-//! configuration, atom space, trained forests, mined rule set, the
+//! The v3 payload leads with a `"kind"` discriminator (`"engine"` or
+//! `"stream"`), so each reader can reject the other kind's bytes with a
+//! clear error instead of a field-level parse failure. v2 payloads predate
+//! the discriminator and are always engine snapshots; the engine reader
+//! still accepts them (back-compat), while the stream reader — whose kind
+//! did not exist before v3 — does not.
+//!
+//! The engine payload serializes everything recognition depends on — the
+//! engine configuration, atom space, trained forests, mined rule set, the
 //! constraint miner's statistics, the (possibly EM-refined) HDBN
 //! parameters, and the NH baseline tables — through the `serde` shim's
-//! lossless JSON backend (finite `f64`s round-trip bit-exactly). Derived
-//! artifacts are *rebuilt* on load rather than stored: the HDBN log tables
-//! re-derive from `(stats, config)` and the pruning engine from the rule
-//! set, so a loaded engine's `recognize`/`stream` output is bit-identical
-//! to the engine that was saved (`tests/persistence_roundtrip.rs` asserts
-//! this across all four strategies).
+//! lossless JSON backend (finite `f64`s round-trip bit-exactly; the
+//! `±inf`/`NaN` tokens cover the non-finite trellis scores a parked stream
+//! can carry). Derived artifacts are *rebuilt* on load rather than stored:
+//! the HDBN log tables re-derive from `(stats, config)` and the pruning
+//! engine from the rule set, so a loaded engine's `recognize`/`stream`
+//! output is bit-identical to the engine that was saved
+//! (`tests/persistence_roundtrip.rs` asserts this across all four
+//! strategies; `tests/streaming_equivalence.rs` asserts the parked-stream
+//! counterpart at every park position).
 
 use std::fs;
 use std::path::Path;
@@ -30,18 +42,25 @@ use cace_model::ModelError;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::CaceEngine;
+use crate::stream::ParkedStream;
 
 /// Leading magic token of the header line.
 const MAGIC: &str = "CACE-SNAPSHOT";
-/// Current snapshot format version. v2 added the engine's
+/// Current snapshot format version. v3 added the leading `"kind"`
+/// discriminator and the parked-stream kind; v2 added the engine's
 /// [`DecoderConfig`](cace_hdbn::DecoderConfig) (frontier beam) to the
-/// persisted configuration; v1 payloads predate it and are rejected rather
-/// than silently defaulted, so a served beam is always the trained one.
-const VERSION: u32 = 2;
+/// persisted configuration. v2 engine payloads (kindless) still load; v1
+/// payloads predate the persisted beam and are rejected rather than
+/// silently defaulted, so a served beam is always the trained one.
+const VERSION: u32 = 3;
+/// Oldest engine-snapshot version the reader accepts.
+const MIN_ENGINE_VERSION: u32 = 2;
 
 /// 64-bit FNV-1a over the payload bytes (fast, dependency-free integrity
-/// check — corruption detection, not cryptographic authentication).
-fn fnv1a64(bytes: &[u8]) -> u64 {
+/// check — corruption detection, not cryptographic authentication). Also
+/// the serving tier's stable home→shard hash, so shard assignment never
+/// depends on process-local state.
+pub(crate) fn fnv1a64(bytes: &[u8]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &b in bytes {
         hash ^= u64::from(b);
@@ -62,11 +81,58 @@ fn field<T: Deserialize>(payload: &serde::Value, name: &str) -> Result<T, ModelE
     T::deserialize(value).map_err(|e| persist_err(format!("field `{name}`: {e}")))
 }
 
+/// Renders a checksummed snapshot around an already-serialized payload.
+fn render_snapshot(payload: &str) -> String {
+    let checksum = fnv1a64(payload.as_bytes());
+    format!("{MAGIC} v{VERSION} fnv1a64={checksum:016x}\n{payload}")
+}
+
+/// Parses the header line and verifies the payload checksum; returns the
+/// stated format version and the (verified, still-serialized) payload.
+fn verify_header(text: &str) -> Result<(u32, &str), ModelError> {
+    let (header, payload) = text
+        .split_once('\n')
+        .ok_or_else(|| persist_err("snapshot has no header line"))?;
+    // Tolerate one trailing newline (editors, `>>`, eol normalization):
+    // the payload is a single JSON line, so a bare line ending after it
+    // cannot be content — strip it before hashing.
+    let payload = payload
+        .strip_suffix('\n')
+        .map(|p| p.strip_suffix('\r').unwrap_or(p))
+        .unwrap_or(payload);
+    let mut tokens = header.split_whitespace();
+    if tokens.next() != Some(MAGIC) {
+        return Err(persist_err(format!(
+            "not a {MAGIC} file (header `{header}`)"
+        )));
+    }
+    let version = tokens
+        .next()
+        .and_then(|t| t.strip_prefix('v'))
+        .and_then(|t| t.parse::<u32>().ok())
+        .ok_or_else(|| persist_err(format!("malformed version in header `{header}`")))?;
+    let stated = tokens
+        .next()
+        .and_then(|t| t.strip_prefix("fnv1a64="))
+        .and_then(|t| u64::from_str_radix(t, 16).ok())
+        .ok_or_else(|| persist_err(format!("malformed checksum in header `{header}`")))?;
+    let actual = fnv1a64(payload.as_bytes());
+    if stated != actual {
+        return Err(persist_err(format!(
+            "checksum mismatch: header says {stated:016x}, payload hashes to {actual:016x}"
+        )));
+    }
+    Ok((version, payload))
+}
+
 impl CaceEngine {
     /// Renders the trained engine as a self-contained snapshot string
     /// (versioned header + checksum + JSON payload).
     pub fn to_snapshot_string(&self) -> String {
         let payload = serde::json::value_to_string(&serde::Value::Map(vec![
+            // The kind discriminator leads the payload (v3 format rule),
+            // so readers can classify a snapshot from its first bytes.
+            ("kind".to_string(), serde::Value::Str("engine".to_string())),
             ("config".to_string(), self.config.serialize()),
             ("space".to_string(), self.space.serialize()),
             ("n_macro".to_string(), self.n_macro.serialize()),
@@ -85,56 +151,39 @@ impl CaceEngine {
             ),
             ("nh_hmm".to_string(), self.nh_hmm.serialize()),
         ]));
-        let checksum = fnv1a64(payload.as_bytes());
-        format!("{MAGIC} v{VERSION} fnv1a64={checksum:016x}\n{payload}")
+        render_snapshot(&payload)
     }
 
     /// Reconstructs an engine from [`to_snapshot_string`](Self::to_snapshot_string) output.
     ///
+    /// Accepts the current v3 format (`"kind": "engine"`) and the kindless
+    /// v2 engine format it replaced; a v3 *stream* snapshot is rejected by
+    /// kind, not by a confusing missing-field error.
+    ///
     /// # Errors
     /// [`ModelError::Persistence`] on a malformed header, an unsupported
-    /// version, a checksum mismatch, or an invalid payload.
+    /// version, a checksum mismatch, a non-engine kind, or an invalid
+    /// payload.
     pub fn from_snapshot_str(text: &str) -> Result<Self, ModelError> {
-        let (header, payload) = text
-            .split_once('\n')
-            .ok_or_else(|| persist_err("snapshot has no header line"))?;
-        // Tolerate one trailing newline (editors, `>>`, eol normalization):
-        // the payload is a single JSON line, so a bare line ending after it
-        // cannot be content — strip it before hashing.
-        let payload = payload
-            .strip_suffix('\n')
-            .map(|p| p.strip_suffix('\r').unwrap_or(p))
-            .unwrap_or(payload);
-        let mut tokens = header.split_whitespace();
-        if tokens.next() != Some(MAGIC) {
+        let (version, payload) = verify_header(text)?;
+        if !(MIN_ENGINE_VERSION..=VERSION).contains(&version) {
             return Err(persist_err(format!(
-                "not a {MAGIC} file (header `{header}`)"
+                "unsupported snapshot version {version} \
+                 (this build reads v{MIN_ENGINE_VERSION}..v{VERSION})"
             )));
         }
-        let version = tokens
-            .next()
-            .and_then(|t| t.strip_prefix('v'))
-            .and_then(|t| t.parse::<u32>().ok())
-            .ok_or_else(|| persist_err(format!("malformed version in header `{header}`")))?;
-        if version != VERSION {
-            return Err(persist_err(format!(
-                "unsupported snapshot version {version} (this build reads v{VERSION})"
-            )));
-        }
-        let stated = tokens
-            .next()
-            .and_then(|t| t.strip_prefix("fnv1a64="))
-            .and_then(|t| u64::from_str_radix(t, 16).ok())
-            .ok_or_else(|| persist_err(format!("malformed checksum in header `{header}`")))?;
-        let actual = fnv1a64(payload.as_bytes());
-        if stated != actual {
-            return Err(persist_err(format!(
-                "checksum mismatch: header says {stated:016x}, payload hashes to {actual:016x}"
-            )));
-        }
-
         let payload = serde::json::value_from_str(payload)
             .map_err(|e| persist_err(format!("payload parse error: {e}")))?;
+        // v2 payloads predate the kind discriminator and are engine
+        // snapshots by definition; v3 payloads must say so.
+        if version >= 3 {
+            let kind: String = field(&payload, "kind")?;
+            if kind != "engine" {
+                return Err(persist_err(format!(
+                    "snapshot kind `{kind}` is not an engine snapshot"
+                )));
+            }
+        }
         let config: crate::engine::CaceConfig = field(&payload, "config")?;
         let rules: cace_mining::RuleSet = field(&payload, "rules")?;
         // Derived state is rebuilt, not stored: the pruning engine from the
@@ -188,6 +237,50 @@ impl CaceEngine {
     }
 }
 
+impl ParkedStream {
+    /// Renders the parked stream as a self-contained snapshot string —
+    /// same versioned, checksummed envelope as an engine snapshot, with
+    /// `"kind": "stream"`. This is the byte form a serving tier keeps for
+    /// an evicted home.
+    pub fn to_snapshot_string(&self) -> String {
+        let payload = serde::json::value_to_string(&serde::Value::Map(vec![
+            ("kind".to_string(), serde::Value::Str("stream".to_string())),
+            ("stream".to_string(), self.serialize()),
+        ]));
+        render_snapshot(&payload)
+    }
+
+    /// Reconstructs a parked stream from
+    /// [`to_snapshot_string`](Self::to_snapshot_string) output.
+    ///
+    /// This only checks the envelope (header, checksum, kind) and the
+    /// payload *shape*; the structural validation against a concrete
+    /// engine happens in [`CaceEngine::resume`], which is the first point
+    /// where the model dimensions are known.
+    ///
+    /// # Errors
+    /// [`ModelError::Persistence`] on a malformed header, a non-v3
+    /// version (parked streams did not exist before v3), a checksum
+    /// mismatch, a non-stream kind, or an invalid payload.
+    pub fn from_snapshot_str(text: &str) -> Result<Self, ModelError> {
+        let (version, payload) = verify_header(text)?;
+        if version != VERSION {
+            return Err(persist_err(format!(
+                "unsupported stream snapshot version {version} (this build reads v{VERSION})"
+            )));
+        }
+        let payload = serde::json::value_from_str(payload)
+            .map_err(|e| persist_err(format!("payload parse error: {e}")))?;
+        let kind: String = field(&payload, "kind")?;
+        if kind != "stream" {
+            return Err(persist_err(format!(
+                "snapshot kind `{kind}` is not a parked stream"
+            )));
+        }
+        field(&payload, "stream")
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -229,7 +322,10 @@ mod tests {
     fn header_is_versioned_and_checksummed() {
         let (engine, _) = tiny_engine(Strategy::NaiveCorrelation);
         let text = engine.to_snapshot_string();
-        assert!(text.starts_with("CACE-SNAPSHOT v2 fnv1a64="));
+        assert!(text.starts_with("CACE-SNAPSHOT v3 fnv1a64="));
+        // The kind discriminator leads the payload (v3 format rule).
+        let payload = text.split_once('\n').unwrap().1;
+        assert!(payload.starts_with("{\"kind\":\"engine\""), "{payload:.40}");
 
         // Flip one payload byte → checksum mismatch.
         let mut corrupted = text.clone();
@@ -241,7 +337,10 @@ mod tests {
         ));
 
         // Wrong version (older or newer than this build).
-        let wrong = text.replacen("v2", "v9", 1);
+        let wrong = text.replacen("v3", "v9", 1);
+        let err = CaceEngine::from_snapshot_str(&wrong).unwrap_err();
+        assert!(err.to_string().contains("version"), "{err}");
+        let wrong = text.replacen("v3", "v1", 1);
         let err = CaceEngine::from_snapshot_str(&wrong).unwrap_err();
         assert!(err.to_string().contains("version"), "{err}");
 
@@ -257,6 +356,93 @@ mod tests {
         assert!(CaceEngine::from_snapshot_str(&format!("{text}\r\n")).is_ok());
         // But not two — that is content corruption.
         assert!(CaceEngine::from_snapshot_str(&format!("{text}\n\n")).is_err());
+    }
+
+    /// Re-wraps a payload in a fresh header with the given version —
+    /// string surgery for back/forward-compat tests.
+    fn reheader(payload: &str, version: u32) -> String {
+        let checksum = fnv1a64(payload.as_bytes());
+        format!("{MAGIC} v{version} fnv1a64={checksum:016x}\n{payload}")
+    }
+
+    #[test]
+    fn v2_engine_snapshots_still_load() {
+        let (engine, sessions) = tiny_engine(Strategy::CorrelationConstraint);
+        let text = engine.to_snapshot_string();
+        let payload = text.split_once('\n').unwrap().1;
+        // A v2 snapshot is exactly the v3 payload without the leading kind
+        // discriminator, under a v2 header.
+        let v2_payload = payload.replacen("{\"kind\":\"engine\",", "{", 1);
+        assert_ne!(v2_payload, payload, "surgery must remove the kind field");
+        let v2 = reheader(&v2_payload, 2);
+        let loaded = CaceEngine::from_snapshot_str(&v2).unwrap();
+        let a = engine.recognize(&sessions[2]).unwrap();
+        let b = loaded.recognize(&sessions[2]).unwrap();
+        assert_eq!(a.macros, b.macros);
+        assert_eq!(a.states_explored, b.states_explored);
+
+        // But a v3 snapshot without a kind is malformed, not engine-by-
+        // default: the discriminator is mandatory from v3 on.
+        let kindless_v3 = reheader(&v2_payload, 3);
+        assert!(matches!(
+            CaceEngine::from_snapshot_str(&kindless_v3),
+            Err(ModelError::Persistence { .. })
+        ));
+    }
+
+    #[test]
+    fn engine_and_stream_readers_reject_each_others_kind() {
+        let (engine, sessions) = tiny_engine(Strategy::CorrelationConstraint);
+        let mut stream = engine.stream(cace_hdbn::Lag::Fixed(3));
+        for tick in &sessions[2].ticks[..8] {
+            stream.push(&tick.observed).unwrap();
+        }
+        let stream_text = stream.park().to_snapshot_string();
+        assert!(stream_text.starts_with("CACE-SNAPSHOT v3 fnv1a64="));
+
+        let err = CaceEngine::from_snapshot_str(&stream_text).unwrap_err();
+        assert!(err.to_string().contains("kind `stream`"), "{err}");
+        let err = ParkedStream::from_snapshot_str(&engine.to_snapshot_string()).unwrap_err();
+        assert!(err.to_string().contains("kind `engine`"), "{err}");
+    }
+
+    #[test]
+    fn parked_stream_snapshot_round_trips_to_identical_continuation() {
+        let (engine, sessions) = tiny_engine(Strategy::CorrelationConstraint);
+        let session = &sessions[2];
+        let lag = cace_hdbn::Lag::Fixed(4);
+        let mut reference = engine.stream(lag);
+        let mut interrupted = engine.stream(lag);
+        for tick in &session.ticks[..20] {
+            reference.push(&tick.observed).unwrap();
+            interrupted.push(&tick.observed).unwrap();
+        }
+        let bytes = interrupted.park().to_snapshot_string();
+        drop(interrupted);
+        let parked = ParkedStream::from_snapshot_str(&bytes).unwrap();
+        assert_eq!(parked.ticks_pushed(), 20);
+        let mut resumed = engine.resume(&parked).unwrap();
+        for tick in &session.ticks[20..] {
+            let a = reference.push(&tick.observed).unwrap();
+            let b = resumed.push(&tick.observed).unwrap();
+            assert_eq!(a, b);
+        }
+        let a = reference.finish().unwrap();
+        let b = resumed.finish().unwrap();
+        assert_eq!(a.macros, b.macros);
+        assert_eq!(a.states_explored, b.states_explored);
+        assert_eq!(a.transition_ops, b.transition_ops);
+        assert_eq!(a.rules_fired, b.rules_fired);
+        assert_eq!(a.mean_joint_size.to_bits(), b.mean_joint_size.to_bits());
+
+        // Tampered parked bytes are rejected by checksum, not decoded.
+        let mut corrupted = bytes.clone();
+        let flip_at = corrupted.rfind("0.").unwrap_or(corrupted.len() - 2);
+        corrupted.replace_range(flip_at..flip_at + 1, "9");
+        assert!(matches!(
+            ParkedStream::from_snapshot_str(&corrupted),
+            Err(ModelError::Persistence { .. })
+        ));
     }
 
     #[test]

@@ -22,6 +22,17 @@
 //! strategy (NH, NCR, NCS, C2). `tests/streaming_equivalence.rs` asserts
 //! this.
 //!
+//! A live stream can also be **parked**: [`StreamingRecognizer::park`]
+//! captures the trellis frontier, backpointer window, decision cursor and
+//! overhead counters into a serializable [`ParkedStream`], and
+//! [`CaceEngine::resume`] (or [`resume_shared`]) rehydrates it mid-stream
+//! with a **bit-identical** continuation — same decisions, same overhead
+//! accounting, same [`finish`](StreamingRecognizer::finish) result — for
+//! every strategy, beam, and precision lane. Resume is panic-free: a
+//! tampered or mismatched checkpoint is rejected with
+//! [`ModelError::Persistence`]. The sharded serving tier
+//! ([`crate::router`]) is built on exactly this park/rehydrate cycle.
+//!
 //! [`StreamRouter`] multiplexes many concurrent homes over rayon: one
 //! recognizer per home, one parallel fan-out per arriving round of ticks.
 //!
@@ -41,20 +52,28 @@
 //! # let _ = recognition;
 //! ```
 
+use std::ops::Deref;
+use std::sync::Arc;
 use std::time::Instant;
 
 use cace_behavior::{ObservedTick, Session};
 use cace_features::extract_tick;
 use cace_hdbn::{
-    CoupledHdbn, Lag, OnlineCoupledViterbi, OnlineSingleViterbi, SingleHdbn, TickInput,
+    CoupledHdbn, DecoderConfig, Lag, OnlineCoupledViterbi, OnlineSingleViterbi, ParkedChain,
+    ParkedCoupled, SingleHdbn, TickInput,
 };
 use cace_model::ModelError;
 use rayon::prelude::*;
+use serde::{Deserialize, Serialize};
 
 use crate::engine::{CaceEngine, Recognition};
 use crate::evidence::PrevState;
-use crate::nh::{self, OnlineFlat};
+use crate::nh::{self, OnlineFlat, ParkedFlat};
 use crate::strategy::Strategy;
+
+fn park_err(what: impl Into<String>) -> ModelError {
+    ModelError::Persistence { what: what.into() }
+}
 
 /// A smoothed per-tick decision emitted mid-stream (fixed lag only).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -69,23 +88,42 @@ pub struct StreamDecision {
 // One value per stream, so the size spread between the arena-backed
 // hierarchical decoders and the flat NH frontier costs nothing per tick.
 #[allow(clippy::large_enum_variant)]
-enum Decoder<'a> {
+enum Decoder {
     /// NH: one flat product frontier per user.
-    Nh([OnlineFlat<'a>; 2]),
+    Nh([OnlineFlat; 2]),
     /// NCR: one hierarchical chain frontier per user.
     Single([OnlineSingleViterbi; 2]),
     /// NCS / C2: the coupled joint frontier.
     Coupled(OnlineCoupledViterbi),
 }
 
+/// How a stream holds its engine: borrowed for the single-owner case,
+/// [`Arc`]-shared for the serving tier, where a rehydrated stream must not
+/// borrow from any particular caller frame.
+enum EngineRef<'a> {
+    Borrowed(&'a CaceEngine),
+    Shared(Arc<CaceEngine>),
+}
+
+impl Deref for EngineRef<'_> {
+    type Target = CaceEngine;
+    fn deref(&self) -> &CaceEngine {
+        match self {
+            EngineRef::Borrowed(e) => e,
+            EngineRef::Shared(e) => e,
+        }
+    }
+}
+
 /// Incremental recognition over one home's tick stream.
 ///
-/// Create with [`CaceEngine::stream`]; see the [module docs](self) for the
-/// equivalence guarantees and an example.
+/// Create with [`CaceEngine::stream`] (or [`stream_shared`] for a
+/// `'static` stream over an [`Arc`]-held engine); see the
+/// [module docs](self) for the equivalence guarantees and an example.
 pub struct StreamingRecognizer<'a> {
-    engine: &'a CaceEngine,
+    engine: EngineRef<'a>,
     lag: Lag,
-    decoder: Decoder<'a>,
+    decoder: Decoder,
     prev: [PrevState; 2],
     pushed: usize,
     /// Running Σ per-tick joint sizes (as f64, in push order — the same
@@ -104,6 +142,138 @@ pub struct StreamingRecognizer<'a> {
     poison_tick: Option<usize>,
 }
 
+/// Builds the per-strategy decoder state for a fresh stream.
+fn fresh_decoder(engine: &CaceEngine, lag: Lag) -> Decoder {
+    match engine.config.strategy {
+        Strategy::NaiveHmm => Decoder::Nh([
+            OnlineFlat::new(lag, engine.config.decoder),
+            OnlineFlat::new(lag, engine.config.decoder),
+        ]),
+        Strategy::NaiveCorrelation => {
+            let model = SingleHdbn::from_shared(Arc::clone(&engine.params))
+                .with_decoder(engine.config.decoder);
+            Decoder::Single([
+                OnlineSingleViterbi::new(model.clone(), 0, lag),
+                OnlineSingleViterbi::new(model, 1, lag),
+            ])
+        }
+        Strategy::NaiveConstraint | Strategy::CorrelationConstraint => {
+            let model = CoupledHdbn::from_shared(Arc::clone(&engine.params))
+                .with_decoder(engine.config.decoder);
+            Decoder::Coupled(OnlineCoupledViterbi::new(model, lag))
+        }
+    }
+}
+
+fn fresh_stream(engine: EngineRef<'_>, lag: Lag) -> StreamingRecognizer<'_> {
+    let decoder = fresh_decoder(&engine, lag);
+    StreamingRecognizer {
+        engine,
+        lag,
+        decoder,
+        prev: [PrevState::default(), PrevState::default()],
+        pushed: 0,
+        joint_size_sum: 0.0,
+        rules_fired: 0,
+        ncr_prev_sqrt: 0,
+        ncr_ops: 0,
+        wall_seconds: 0.0,
+        #[cfg(test)]
+        poison_tick: None,
+    }
+}
+
+/// Rehydrates a parked stream against `engine`, validating everything the
+/// resumed decoder would read before touching any frontier.
+fn resume_impl<'a>(
+    engine: EngineRef<'a>,
+    parked: &ParkedStream,
+) -> Result<StreamingRecognizer<'a>, ModelError> {
+    let e: &CaceEngine = &engine;
+    if parked.strategy != e.config.strategy {
+        return Err(park_err(format!(
+            "parked stream was recorded under strategy {:?}, engine runs {:?}",
+            parked.strategy, e.config.strategy
+        )));
+    }
+    if parked.decoder != e.config.decoder {
+        return Err(park_err(
+            "parked stream decoder config does not match the engine's",
+        ));
+    }
+    for (u, p) in parked.prev.iter().enumerate() {
+        if p.macro_id.is_some_and(|m| m >= e.space.n_macro) {
+            return Err(park_err(format!(
+                "parked stream: user {u} lag-1 macro out of range"
+            )));
+        }
+        if p.location.is_some_and(|l| l >= e.space.n_location) {
+            return Err(park_err(format!(
+                "parked stream: user {u} lag-1 location out of range"
+            )));
+        }
+    }
+    let counter_ok = |x: f64| x.is_finite() && x >= 0.0;
+    if !counter_ok(parked.joint_size_sum) || !counter_ok(parked.wall_seconds) {
+        return Err(park_err(
+            "parked stream: non-finite or negative overhead accounting",
+        ));
+    }
+    let cursor_err = || park_err("parked stream: decoder tick count disagrees with the cursor");
+    let decoder = match (&parked.state, e.config.strategy) {
+        (ParkedDecoder::Nh(flats), Strategy::NaiveHmm) => {
+            if flats.iter().any(|f| f.ticks_pushed() != parked.pushed) {
+                return Err(cursor_err());
+            }
+            Decoder::Nh([
+                OnlineFlat::resume(&e.nh_log_trans, parked.lag, e.config.decoder, &flats[0])?,
+                OnlineFlat::resume(&e.nh_log_trans, parked.lag, e.config.decoder, &flats[1])?,
+            ])
+        }
+        (ParkedDecoder::Single(chains), Strategy::NaiveCorrelation) => {
+            if chains.iter().any(|c| c.ticks_pushed() != parked.pushed) {
+                return Err(cursor_err());
+            }
+            let model =
+                SingleHdbn::from_shared(Arc::clone(&e.params)).with_decoder(e.config.decoder);
+            Decoder::Single([
+                OnlineSingleViterbi::resume(model.clone(), 0, parked.lag, &chains[0])?,
+                OnlineSingleViterbi::resume(model, 1, parked.lag, &chains[1])?,
+            ])
+        }
+        (
+            ParkedDecoder::Coupled(coupled),
+            Strategy::NaiveConstraint | Strategy::CorrelationConstraint,
+        ) => {
+            if coupled.ticks_pushed() != parked.pushed {
+                return Err(cursor_err());
+            }
+            let model =
+                CoupledHdbn::from_shared(Arc::clone(&e.params)).with_decoder(e.config.decoder);
+            Decoder::Coupled(OnlineCoupledViterbi::resume(model, parked.lag, coupled)?)
+        }
+        _ => {
+            return Err(park_err(
+                "parked stream: decoder state does not match the recorded strategy",
+            ))
+        }
+    };
+    Ok(StreamingRecognizer {
+        engine,
+        lag: parked.lag,
+        decoder,
+        prev: parked.prev,
+        pushed: parked.pushed,
+        joint_size_sum: parked.joint_size_sum,
+        rules_fired: parked.rules_fired,
+        ncr_prev_sqrt: parked.ncr_prev_sqrt,
+        ncr_ops: parked.ncr_ops,
+        wall_seconds: parked.wall_seconds,
+        #[cfg(test)]
+        poison_tick: None,
+    })
+}
+
 impl CaceEngine {
     /// Opens a streaming recognizer against this trained engine.
     ///
@@ -111,40 +281,40 @@ impl CaceEngine {
     /// engine is only read, and the HDBN parameters are `Arc`-shared into
     /// each decoder frontier.
     pub fn stream(&self, lag: Lag) -> StreamingRecognizer<'_> {
-        let decoder = match self.config.strategy {
-            Strategy::NaiveHmm => Decoder::Nh([
-                OnlineFlat::new(&self.nh_log_trans, lag, self.config.decoder),
-                OnlineFlat::new(&self.nh_log_trans, lag, self.config.decoder),
-            ]),
-            Strategy::NaiveCorrelation => {
-                let model = SingleHdbn::from_shared(std::sync::Arc::clone(&self.params))
-                    .with_decoder(self.config.decoder);
-                Decoder::Single([
-                    OnlineSingleViterbi::new(model.clone(), 0, lag),
-                    OnlineSingleViterbi::new(model, 1, lag),
-                ])
-            }
-            Strategy::NaiveConstraint | Strategy::CorrelationConstraint => {
-                let model = CoupledHdbn::from_shared(std::sync::Arc::clone(&self.params))
-                    .with_decoder(self.config.decoder);
-                Decoder::Coupled(OnlineCoupledViterbi::new(model, lag))
-            }
-        };
-        StreamingRecognizer {
-            engine: self,
-            lag,
-            decoder,
-            prev: [PrevState::default(), PrevState::default()],
-            pushed: 0,
-            joint_size_sum: 0.0,
-            rules_fired: 0,
-            ncr_prev_sqrt: 0,
-            ncr_ops: 0,
-            wall_seconds: 0.0,
-            #[cfg(test)]
-            poison_tick: None,
-        }
+        fresh_stream(EngineRef::Borrowed(self), lag)
     }
+
+    /// Rehydrates a [`ParkedStream`] into a live recognizer that continues
+    /// **bit-identically** to the stream that was parked: the same
+    /// decisions, the same overhead accounting, the same
+    /// [`finish`](StreamingRecognizer::finish) result.
+    ///
+    /// # Errors
+    /// [`ModelError::Persistence`] when the parked state was recorded
+    /// under a different strategy or decoder config, or is structurally
+    /// inconsistent (tampered) — resume never panics on bad bytes.
+    pub fn resume(&self, parked: &ParkedStream) -> Result<StreamingRecognizer<'_>, ModelError> {
+        resume_impl(EngineRef::Borrowed(self), parked)
+    }
+}
+
+/// Opens a stream that shares ownership of an [`Arc`]-held engine, so the
+/// recognizer is `'static` and can live inside long-running serving state
+/// (the sharded router) without borrowing from any caller frame.
+pub fn stream_shared(engine: &Arc<CaceEngine>, lag: Lag) -> StreamingRecognizer<'static> {
+    fresh_stream(EngineRef::Shared(Arc::clone(engine)), lag)
+}
+
+/// [`CaceEngine::resume`] over an [`Arc`]-shared engine — the `'static`
+/// counterpart used by the serving tier to rehydrate parked homes.
+///
+/// # Errors
+/// Exactly those of [`CaceEngine::resume`].
+pub fn resume_shared(
+    engine: &Arc<CaceEngine>,
+    parked: &ParkedStream,
+) -> Result<StreamingRecognizer<'static>, ModelError> {
+    resume_impl(EngineRef::Shared(Arc::clone(engine)), parked)
 }
 
 impl StreamingRecognizer<'_> {
@@ -171,12 +341,16 @@ impl StreamingRecognizer<'_> {
         }
         let start = Instant::now();
         let features = extract_tick(observed);
-        let preparer = self.engine.runtime_preparer();
+        // Borrow the engine through the field so the decoder and cursor
+        // fields stay independently borrowable (`advance_decoder` is a
+        // free function for the same reason).
+        let engine: &CaceEngine = &self.engine;
+        let preparer = engine.runtime_preparer();
         let prepared = preparer.prepare(observed, &features, &mut self.prev);
         self.rules_fired += prepared.rules_fired;
 
-        let strategy = self.engine.config.strategy;
-        let n_macro = self.engine.n_macro;
+        let strategy = engine.config.strategy;
+        let n_macro = engine.n_macro;
         // Per-tick joint-size accounting, matching the batch path's choice
         // of metric per strategy.
         if strategy.uses_correlation_pruning() {
@@ -192,50 +366,42 @@ impl StreamingRecognizer<'_> {
             self.ncr_prev_sqrt = sqrt;
         }
 
-        let decision = self.advance(&prepared.input, &features, &preparer)?;
+        let decision = advance_decoder(
+            &mut self.decoder,
+            engine,
+            &prepared.input,
+            &features,
+            &preparer,
+        )?;
         self.pushed += 1;
         self.wall_seconds += start.elapsed().as_secs_f64();
         Ok(decision)
     }
 
-    fn advance(
-        &mut self,
-        input: &TickInput,
-        features: &[cace_features::TickFeatures; 2],
-        preparer: &crate::statespace::TickPreparer<'_>,
-    ) -> Result<Option<StreamDecision>, ModelError> {
-        match &mut self.decoder {
-            Decoder::Coupled(online) => Ok(online.push(input)?.map(|d| StreamDecision {
-                tick: d.tick,
-                macros: d.macros,
-            })),
-            Decoder::Single(chains) => {
-                let d0 = chains[0].push(input)?;
-                let d1 = chains[1].push(input)?;
-                Ok(d0.zip(d1).map(|(a, b)| {
-                    debug_assert_eq!(a.tick, b.tick);
-                    StreamDecision {
-                        tick: a.tick,
-                        macros: [a.macro_id, b.macro_id],
-                    }
-                }))
-            }
-            Decoder::Nh(flats) => {
-                let macro_lp = preparer.nh_macro_emissions(features);
-                let n_macro = self.engine.n_macro;
-                let mut out = [None, None];
-                for u in 0..2 {
-                    let states = nh::states(input, u, n_macro);
-                    let emit = nh::emissions(input, u, &states, &macro_lp[u]);
-                    out[u] = flats[u].push(states, emit);
-                }
-                Ok(out[0]
-                    .zip(out[1])
-                    .map(|((tick, m0), (_, m1))| StreamDecision {
-                        tick,
-                        macros: [m0, m1],
-                    }))
-            }
+    /// Captures this stream's complete mid-stream state — trellis
+    /// frontier, backpointer window, decision cursor, overhead counters —
+    /// as a serializable checkpoint. The live stream is untouched;
+    /// [`CaceEngine::resume`] / [`resume_shared`] continue from the
+    /// checkpoint bit-identically.
+    pub fn park(&self) -> ParkedStream {
+        let engine: &CaceEngine = &self.engine;
+        let state = match &self.decoder {
+            Decoder::Nh(flats) => ParkedDecoder::Nh([flats[0].park(), flats[1].park()]),
+            Decoder::Single(chains) => ParkedDecoder::Single([chains[0].park(), chains[1].park()]),
+            Decoder::Coupled(online) => ParkedDecoder::Coupled(online.park()),
+        };
+        ParkedStream {
+            strategy: engine.config.strategy,
+            decoder: engine.config.decoder,
+            lag: self.lag,
+            state,
+            prev: self.prev,
+            pushed: self.pushed,
+            joint_size_sum: self.joint_size_sum,
+            rules_fired: self.rules_fired,
+            ncr_prev_sqrt: self.ncr_prev_sqrt,
+            ncr_ops: self.ncr_ops,
+            wall_seconds: self.wall_seconds,
         }
     }
 
@@ -251,6 +417,12 @@ impl StreamingRecognizer<'_> {
     pub fn finish(self) -> Result<Recognition, ModelError> {
         let start = Instant::now();
         let pushed = self.pushed;
+        let never_prunes = self
+            .engine
+            .config
+            .decoder
+            .beam
+            .never_prunes(self.engine.frontier_bound());
         let (macros, states_explored, transition_ops) = match self.decoder {
             Decoder::Coupled(online) => {
                 let path = online.finalize()?;
@@ -264,13 +436,7 @@ impl StreamingRecognizer<'_> {
                 // input-size convention (charged once per user) for a
                 // decoder that can never prune, the decoders' own counts
                 // under a live beam.
-                let ops = if self
-                    .engine
-                    .config
-                    .decoder
-                    .beam
-                    .never_prunes(self.engine.frontier_bound())
-                {
+                let ops = if never_prunes {
                     2 * self.ncr_ops
                 } else {
                     p0.transition_ops + p1.transition_ops
@@ -306,6 +472,105 @@ impl StreamingRecognizer<'_> {
             mean_joint_size,
             rules_fired: self.rules_fired,
         })
+    }
+}
+
+/// One DP step of whichever decoder the stream runs. A free function (not
+/// a method) so `push` can borrow the engine and the decoder as disjoint
+/// fields.
+fn advance_decoder(
+    decoder: &mut Decoder,
+    engine: &CaceEngine,
+    input: &TickInput,
+    features: &[cace_features::TickFeatures; 2],
+    preparer: &crate::statespace::TickPreparer<'_>,
+) -> Result<Option<StreamDecision>, ModelError> {
+    match decoder {
+        Decoder::Coupled(online) => Ok(online.push(input)?.map(|d| StreamDecision {
+            tick: d.tick,
+            macros: d.macros,
+        })),
+        Decoder::Single(chains) => {
+            let d0 = chains[0].push(input)?;
+            let d1 = chains[1].push(input)?;
+            Ok(d0.zip(d1).map(|(a, b)| {
+                debug_assert_eq!(a.tick, b.tick);
+                StreamDecision {
+                    tick: a.tick,
+                    macros: [a.macro_id, b.macro_id],
+                }
+            }))
+        }
+        Decoder::Nh(flats) => {
+            let macro_lp = preparer.nh_macro_emissions(features);
+            let n_macro = engine.n_macro;
+            let mut out = [None, None];
+            for u in 0..2 {
+                let states = nh::states(input, u, n_macro);
+                let emit = nh::emissions(input, u, &states, &macro_lp[u]);
+                out[u] = flats[u].push(&engine.nh_log_trans, states, emit);
+            }
+            Ok(out[0]
+                .zip(out[1])
+                .map(|((tick, m0), (_, m1))| StreamDecision {
+                    tick,
+                    macros: [m0, m1],
+                }))
+        }
+    }
+}
+
+/// The parked per-strategy decoder state inside a [`ParkedStream`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum ParkedDecoder {
+    /// NH: one flat product frontier per user.
+    Nh([ParkedFlat; 2]),
+    /// NCR: one hierarchical chain frontier per user.
+    Single([ParkedChain; 2]),
+    /// NCS / C2: the coupled joint frontier.
+    Coupled(ParkedCoupled),
+}
+
+/// A complete mid-stream checkpoint of one home's [`StreamingRecognizer`]:
+/// everything [`CaceEngine::resume`] needs for a bit-identical
+/// continuation, and nothing engine-derived (the model itself is
+/// re-attached at resume, `Arc`-shared fleet-wide).
+///
+/// Produced by [`StreamingRecognizer::park`]; serialized through the
+/// versioned snapshot layer ([`ParkedStream::to_snapshot_string`]) so
+/// parked bytes survive process restarts, and validated structurally on
+/// every resume — tampering yields [`ModelError::Persistence`], never a
+/// panic.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ParkedStream {
+    pub(crate) strategy: Strategy,
+    pub(crate) decoder: DecoderConfig,
+    pub(crate) lag: Lag,
+    pub(crate) state: ParkedDecoder,
+    pub(crate) prev: [PrevState; 2],
+    pub(crate) pushed: usize,
+    pub(crate) joint_size_sum: f64,
+    pub(crate) rules_fired: u64,
+    pub(crate) ncr_prev_sqrt: u64,
+    pub(crate) ncr_ops: u64,
+    pub(crate) wall_seconds: f64,
+}
+
+impl ParkedStream {
+    /// Ticks the stream had consumed when it was parked.
+    pub fn ticks_pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// The strategy the parked stream was recorded under.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The smoothing lag the parked stream was opened with.
+    pub fn lag(&self) -> Lag {
+        self.lag
     }
 }
 
@@ -372,19 +637,31 @@ impl<'a> StreamRouter<'a> {
     pub fn with_homes(engine: &'a CaceEngine, n: usize, lag: Lag) -> Self {
         let mut router = Self::new();
         for id in 0..n as u64 {
-            router.add_home(id, engine.stream(lag));
+            router
+                .add_home(id, engine.stream(lag))
+                .expect("ids 0..n are distinct");
         }
         router
     }
 
     /// Registers a home's stream. Ids are caller-chosen and reported back
     /// by [`finish`](Self::finish).
-    pub fn add_home(&mut self, id: u64, stream: StreamingRecognizer<'a>) {
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] when `id` is already registered —
+    /// silently shadowing a live home would desynchronize its stream.
+    pub fn add_home(&mut self, id: u64, stream: StreamingRecognizer<'a>) -> Result<(), ModelError> {
+        if self.homes.iter().any(|h| h.id == id) {
+            return Err(ModelError::InvalidConfig(format!(
+                "router home id {id} is already registered"
+            )));
+        }
         self.homes.push(Home {
             id,
             stream,
             fault: None,
         });
+        Ok(())
     }
 
     /// Number of homes currently routed (healthy and quarantined).
@@ -563,7 +840,9 @@ mod tests {
         let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
         let mut router = StreamRouter::new();
         for (i, _) in test.iter().enumerate() {
-            router.add_home(i as u64 + 100, engine.stream(Lag::Unbounded));
+            router
+                .add_home(i as u64 + 100, engine.stream(Lag::Unbounded))
+                .unwrap();
         }
         let max_len = test.iter().map(Session::len).max().unwrap();
         for t in 0..max_len {
@@ -615,9 +894,9 @@ mod tests {
         poisoned_stream.poison_tick = Some(poison_at);
 
         let mut router = StreamRouter::new();
-        router.add_home(7, engine.stream(Lag::Unbounded));
-        router.add_home(8, poisoned_stream);
-        router.add_home(9, engine.stream(Lag::Unbounded));
+        router.add_home(7, engine.stream(Lag::Unbounded)).unwrap();
+        router.add_home(8, poisoned_stream).unwrap();
+        router.add_home(9, engine.stream(Lag::Unbounded)).unwrap();
 
         let session = &test[0];
         for (t, tick) in session.ticks.iter().enumerate() {
@@ -679,6 +958,127 @@ mod tests {
             finished[1].1,
             Err(ModelError::InsufficientData { .. })
         ));
+    }
+
+    #[test]
+    fn add_home_rejects_duplicate_ids() {
+        let (train, _) = corpus();
+        let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+        let mut router = StreamRouter::new();
+        router.add_home(42, engine.stream(Lag::Unbounded)).unwrap();
+        assert!(matches!(
+            router.add_home(42, engine.stream(Lag::Unbounded)),
+            Err(ModelError::InvalidConfig(_))
+        ));
+        // The failed registration left the router intact.
+        assert_eq!(router.len(), 1);
+        router.add_home(43, engine.stream(Lag::Unbounded)).unwrap();
+        assert_eq!(router.len(), 2);
+    }
+
+    #[test]
+    fn park_resume_mid_stream_is_bit_identical_for_every_strategy() {
+        let (train, test) = corpus();
+        let session = &test[0];
+        for strategy in [
+            Strategy::NaiveHmm,
+            Strategy::NaiveCorrelation,
+            Strategy::NaiveConstraint,
+            Strategy::CorrelationConstraint,
+        ] {
+            let config = CaceConfig {
+                strategy,
+                ..CaceConfig::default()
+            };
+            let engine = CaceEngine::train(&train, &config).unwrap();
+            let lag = Lag::Fixed(5);
+            // Uninterrupted reference.
+            let (want_decisions, want) = stream_session(&engine, session, lag).unwrap();
+            // Interrupted run: park + rehydrate at a mid-stream tick.
+            let mut stream = engine.stream(lag);
+            let mut got_decisions = Vec::new();
+            for tick in &session.ticks[..40] {
+                if let Some(d) = stream.push(&tick.observed).unwrap() {
+                    got_decisions.push(d);
+                }
+            }
+            let parked = stream.park();
+            drop(stream);
+            assert_eq!(parked.ticks_pushed(), 40);
+            assert_eq!(parked.strategy(), strategy);
+            let mut resumed = engine.resume(&parked).unwrap();
+            for tick in &session.ticks[40..] {
+                if let Some(d) = resumed.push(&tick.observed).unwrap() {
+                    got_decisions.push(d);
+                }
+            }
+            let got = resumed.finish().unwrap();
+            assert_eq!(got_decisions, want_decisions, "{strategy:?}");
+            assert_eq!(got.macros, want.macros, "{strategy:?}");
+            assert_eq!(got.states_explored, want.states_explored, "{strategy:?}");
+            assert_eq!(got.transition_ops, want.transition_ops, "{strategy:?}");
+            assert_eq!(got.rules_fired, want.rules_fired, "{strategy:?}");
+            assert_eq!(got.mean_joint_size, want.mean_joint_size, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_strategy_and_cursor_mismatches() {
+        let (train, test) = corpus();
+        let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+        let mut stream = engine.stream(Lag::Fixed(4));
+        for tick in &test[0].ticks[..10] {
+            stream.push(&tick.observed).unwrap();
+        }
+        let parked = stream.park();
+
+        // A different-strategy engine must refuse the checkpoint.
+        let nh_engine = CaceEngine::train(
+            &train,
+            &CaceConfig {
+                strategy: Strategy::NaiveHmm,
+                ..CaceConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            nh_engine.resume(&parked),
+            Err(ModelError::Persistence { .. })
+        ));
+
+        // A desynchronized cursor must be caught before any decode.
+        let mut tampered = parked.clone();
+        tampered.pushed += 1;
+        assert!(matches!(
+            engine.resume(&tampered),
+            Err(ModelError::Persistence { .. })
+        ));
+
+        // Out-of-range lag-1 evidence would panic inside the atom encoder.
+        let mut tampered = parked.clone();
+        tampered.prev[1].macro_id = Some(usize::MAX);
+        assert!(matches!(
+            engine.resume(&tampered),
+            Err(ModelError::Persistence { .. })
+        ));
+
+        // The untampered checkpoint still resumes.
+        assert!(engine.resume(&parked).is_ok());
+    }
+
+    #[test]
+    fn shared_stream_outlives_the_borrow_scope() {
+        let (train, test) = corpus();
+        let engine =
+            std::sync::Arc::new(CaceEngine::train(&train, &CaceConfig::default()).unwrap());
+        let mut stream: StreamingRecognizer<'static> = stream_shared(&engine, Lag::Unbounded);
+        for tick in &test[0].ticks {
+            stream.push(&tick.observed).unwrap();
+        }
+        let parked = stream.park();
+        let resumed = resume_shared(&engine, &parked).unwrap();
+        let batch = engine.recognize(&test[0]).unwrap();
+        assert_eq!(resumed.finish().unwrap().macros, batch.macros);
     }
 
     #[test]

@@ -74,6 +74,30 @@ impl Slice {
         self.uniq_pairs.len()
     }
 
+    /// Rebuilds a slice from its parked columns (the pair→slot lookup is
+    /// per-fill scratch, reset by every [`fill_slice`], so it restores
+    /// empty).
+    pub(crate) fn restored(
+        activities: Vec<usize>,
+        cands: Vec<usize>,
+        pairs: Vec<u32>,
+        emissions: Vec<f64>,
+        uniq_pairs: Vec<u32>,
+        slots: Vec<u32>,
+        runs: Vec<(u32, u32, u32)>,
+    ) -> Self {
+        Self {
+            activities,
+            cands,
+            pairs,
+            emissions,
+            uniq_pairs,
+            slots,
+            runs,
+            slot_lookup: Vec::new(),
+        }
+    }
+
     fn clear(&mut self) {
         self.activities.clear();
         self.cands.clear();

@@ -217,6 +217,15 @@ impl BeamScratch {
         &self.keep
     }
 
+    /// Overwrites the survivor list — the park/resume state transfer of
+    /// the online decoders, which must restore the pending survivor set a
+    /// pruned next step will consume. `keep` must be sorted ascending, as
+    /// [`Beam::select_log`] leaves it.
+    pub fn set_keep(&mut self, keep: &[u32]) {
+        self.keep.clear();
+        self.keep.extend_from_slice(keep);
+    }
+
     /// Top-`k` selection; returns `false` (nothing pruned) when `k` covers
     /// the whole frontier.
     fn top_k<S: Scalar>(&mut self, scores: &[S], k: usize) -> bool {

@@ -61,6 +61,7 @@ pub mod forward;
 pub mod input;
 pub mod online;
 pub mod params;
+pub mod park;
 pub mod scalar;
 pub mod single;
 pub mod tables;
@@ -73,6 +74,7 @@ pub use forward::log_sum_exp;
 pub use input::{MicroCandidate, TickInput};
 pub use online::{Lag, OnlineCoupledViterbi, OnlineSingleViterbi, SmoothedChain, SmoothedJoint};
 pub use params::{HdbnConfig, HdbnParams};
+pub use park::{ParkedChain, ParkedCoupled};
 pub use scalar::{Precision, Scalar};
 pub use single::SingleHdbn;
 pub use tables::{ScoreTables, ScoreTablesF32};

@@ -65,17 +65,19 @@ use std::collections::VecDeque;
 use std::sync::Arc;
 
 use cace_model::ModelError;
+use serde::{Deserialize, Serialize};
 
 use crate::arena::{fill_slice, Slice, StepScratch, TrellisArena};
 use crate::beam::{Beam, BeamScratch};
 use crate::input::{MicroCandidate, TickInput};
 use crate::params::HdbnParams;
+use crate::park::{ParkedChain, ParkedChainEntry, ParkedCoupled, ParkedJointEntry, ParkedSlice};
 use crate::scalar::{self, Precision, Scalar};
 use crate::single::{self, SingleHdbn, SinglePath};
 use crate::viterbi::{self, CoupledHdbn, JointPath};
 
 /// Fixed-lag smoothing horizon of an online decoder.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Lag {
     /// Never commit mid-stream; decode everything at finalization.
     /// Bit-identical to the batch Viterbi decoders.
@@ -454,6 +456,86 @@ impl OnlineCoupledViterbi {
         })
     }
 
+    /// Checkpoints the stream: everything the decode depends on — the
+    /// live frontier, the backpointer window, the decision cursor and
+    /// emitted history, the overhead counters, and the pending beam
+    /// survivors — in a serializable form. The model is *not* captured;
+    /// [`resume`](Self::resume) re-attaches one, so a fleet of parked
+    /// homes shares a single `Arc<HdbnParams>`.
+    pub fn park(&self) -> ParkedCoupled {
+        ParkedCoupled {
+            v: self.v.clone(),
+            v32: self.v32.clone(),
+            window: self
+                .window
+                .iter()
+                .map(|e| ParkedJointEntry {
+                    s1: ParkedSlice::from_slice(&e.s1),
+                    s2: ParkedSlice::from_slice(&e.s2),
+                    back: e.back.clone(),
+                    cands: e.cands.clone(),
+                })
+                .collect(),
+            base: self.base,
+            pushed: self.pushed,
+            emitted_macros: self.emitted_macros.clone(),
+            emitted_micros: self.emitted_micros.clone(),
+            states_explored: self.states_explored,
+            transition_ops: self.transition_ops,
+            pruned: self.pruned,
+            keep: self.arena.beam.keep().to_vec(),
+        }
+    }
+
+    /// Rehydrates a parked stream against `model`, continuing exactly
+    /// where [`park`](Self::park) left off: subsequent pushes, emitted
+    /// decisions, overhead accounting, and `finalize` are bit-identical
+    /// to the uninterrupted stream. `model` and `lag` must match the ones
+    /// the stream was opened with (the snapshot layer persists and
+    /// re-checks both).
+    ///
+    /// # Errors
+    /// [`ModelError::Persistence`] when the parked state is structurally
+    /// inconsistent with the model — every index is bounds-checked before
+    /// any kernel runs, so a tampered payload fails cleanly instead of
+    /// panicking.
+    pub fn resume(
+        model: CoupledHdbn,
+        lag: Lag,
+        parked: &ParkedCoupled,
+    ) -> Result<Self, ModelError> {
+        let params = model.shared_params();
+        parked.validate(&params, model.decoder().precision, lag)?;
+        let mut arena = TrellisArena::new();
+        arena.beam.set_keep(&parked.keep);
+        Ok(Self {
+            model,
+            params,
+            lag,
+            v: parked.v.clone(),
+            v32: parked.v32.clone(),
+            window: parked
+                .window
+                .iter()
+                .map(|e| JointEntry {
+                    s1: e.s1.to_slice(),
+                    s2: e.s2.to_slice(),
+                    back: e.back.clone(),
+                    cands: e.cands.clone(),
+                })
+                .collect(),
+            free: Vec::new(),
+            base: parked.base,
+            pushed: parked.pushed,
+            emitted_macros: parked.emitted_macros.clone(),
+            emitted_micros: parked.emitted_micros.clone(),
+            states_explored: parked.states_explored,
+            transition_ops: parked.transition_ops,
+            arena,
+            pruned: parked.pruned,
+        })
+    }
+
     /// Ends the stream: emits every not-yet-committed tick by backtracking
     /// from the final frontier and returns the full decoded path.
     ///
@@ -671,6 +753,76 @@ impl OnlineSingleViterbi {
             self.base += 1;
         }
         Some(decision)
+    }
+
+    /// Checkpoints the stream (see [`OnlineCoupledViterbi::park`]).
+    pub fn park(&self) -> ParkedChain {
+        ParkedChain {
+            v: self.v.clone(),
+            v32: self.v32.clone(),
+            window: self
+                .window
+                .iter()
+                .map(|e| ParkedChainEntry {
+                    slice: ParkedSlice::from_slice(&e.slice),
+                    back: e.back.clone(),
+                    cands: e.cands.clone(),
+                })
+                .collect(),
+            base: self.base,
+            pushed: self.pushed,
+            emitted_macros: self.emitted_macros.clone(),
+            emitted_micros: self.emitted_micros.clone(),
+            states_explored: self.states_explored,
+            transition_ops: self.transition_ops,
+            pruned: self.pruned,
+            keep: self.arena.beam.keep().to_vec(),
+        }
+    }
+
+    /// Rehydrates a parked stream against `model`, decoding `user`'s
+    /// chain (see [`OnlineCoupledViterbi::resume`] for the continuation
+    /// guarantee).
+    ///
+    /// # Errors
+    /// [`ModelError::Persistence`] when the parked state is structurally
+    /// inconsistent with the model.
+    pub fn resume(
+        model: SingleHdbn,
+        user: usize,
+        lag: Lag,
+        parked: &ParkedChain,
+    ) -> Result<Self, ModelError> {
+        let params = model.shared_params();
+        parked.validate(&params, model.decoder().precision, lag)?;
+        let mut arena = TrellisArena::new();
+        arena.beam.set_keep(&parked.keep);
+        Ok(Self {
+            model,
+            params,
+            user,
+            lag,
+            v: parked.v.clone(),
+            v32: parked.v32.clone(),
+            window: parked
+                .window
+                .iter()
+                .map(|e| ChainEntry {
+                    slice: e.slice.to_slice(),
+                    back: e.back.clone(),
+                    cands: e.cands.clone(),
+                })
+                .collect(),
+            free: Vec::new(),
+            base: parked.base,
+            pushed: parked.pushed,
+            emitted_macros: parked.emitted_macros.clone(),
+            emitted_micros: parked.emitted_micros.clone(),
+            states_explored: parked.states_explored,
+            transition_ops: parked.transition_ops,
+            arena,
+            pruned: parked.pruned,
+        })
     }
 
     /// Ends the stream, resolving the uncommitted tail; bit-identical to
@@ -937,6 +1089,141 @@ mod tests {
             assert_eq!(online.push(tick).unwrap(), None);
         }
         assert_eq!(online.finalize().unwrap(), batch);
+    }
+
+    /// Streams `ticks` through a coupled decoder, parking + resuming at
+    /// tick `park_at`; returns (decisions, final path).
+    fn coupled_with_park(
+        model: &CoupledHdbn,
+        ticks: &[TickInput],
+        lag: Lag,
+        park_at: usize,
+    ) -> (Vec<SmoothedJoint>, JointPath) {
+        let mut online = OnlineCoupledViterbi::new(model.clone(), lag);
+        let mut decisions = Vec::new();
+        for (t, tick) in ticks.iter().enumerate() {
+            if t == park_at {
+                let parked = online.park();
+                online = OnlineCoupledViterbi::resume(model.clone(), lag, &parked)
+                    .expect("own park output resumes");
+            }
+            decisions.extend(online.push(tick).unwrap());
+        }
+        (decisions, online.finalize().unwrap())
+    }
+
+    #[test]
+    fn park_resume_at_every_tick_is_bit_identical_coupled() {
+        use crate::beam::DecoderConfig;
+        let ticks = glitchy_ticks();
+        for config in [
+            DecoderConfig::exact(),
+            DecoderConfig::top_k(4),
+            DecoderConfig::exact().fast32(),
+        ] {
+            for lag in [Lag::Unbounded, Lag::Fixed(4)] {
+                let model = CoupledHdbn::new(toy_params(true)).with_decoder(config);
+                let mut unbroken = OnlineCoupledViterbi::new(model.clone(), lag);
+                let mut straight = Vec::new();
+                for tick in &ticks {
+                    straight.extend(unbroken.push(tick).unwrap());
+                }
+                let expected = unbroken.finalize().unwrap();
+                for park_at in 0..=ticks.len() {
+                    let (decisions, path) = coupled_with_park(&model, &ticks, lag, park_at);
+                    assert_eq!(decisions, straight, "{config:?} {lag:?} park@{park_at}");
+                    assert_eq!(path, expected, "{config:?} {lag:?} park@{park_at}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn park_resume_at_every_tick_is_bit_identical_single() {
+        use crate::beam::DecoderConfig;
+        let ticks = glitchy_ticks();
+        for config in [DecoderConfig::top_k(2), DecoderConfig::top_k(2).fast32()] {
+            let lag = Lag::Fixed(3);
+            let model = SingleHdbn::new(toy_params(false)).with_decoder(config);
+            let mut unbroken = OnlineSingleViterbi::new(model.clone(), 1, lag);
+            let mut straight = Vec::new();
+            for tick in &ticks {
+                straight.extend(unbroken.push(tick).unwrap());
+            }
+            let expected = unbroken.finalize().unwrap();
+            for park_at in 0..=ticks.len() {
+                let mut online = OnlineSingleViterbi::new(model.clone(), 1, lag);
+                let mut decisions = Vec::new();
+                for (t, tick) in ticks.iter().enumerate() {
+                    if t == park_at {
+                        let parked = online.park();
+                        online = OnlineSingleViterbi::resume(model.clone(), 1, lag, &parked)
+                            .expect("own park output resumes");
+                    }
+                    decisions.extend(online.push(tick).unwrap());
+                }
+                assert_eq!(decisions, straight, "{config:?} park@{park_at}");
+                assert_eq!(
+                    online.finalize().unwrap(),
+                    expected,
+                    "{config:?} park@{park_at}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn tampered_parked_state_is_rejected_not_a_panic() {
+        let model = CoupledHdbn::new(toy_params(true));
+        let mut online = OnlineCoupledViterbi::new(model.clone(), Lag::Fixed(2));
+        for tick in glitchy_ticks().iter().take(8) {
+            online.push(tick).unwrap();
+        }
+        let parked = online.park();
+        let resume =
+            |p: &ParkedCoupled| OnlineCoupledViterbi::resume(model.clone(), Lag::Fixed(2), p);
+        assert!(resume(&parked).is_ok());
+
+        let mut bad = parked.clone();
+        bad.pushed += 1; // cursor no longer covers the window
+        assert!(matches!(resume(&bad), Err(ModelError::Persistence { .. })));
+
+        let mut bad = parked.clone();
+        bad.v[0] = f64::NAN;
+        assert!(matches!(resume(&bad), Err(ModelError::Persistence { .. })));
+
+        let mut bad = parked.clone();
+        bad.v.pop(); // frontier shorter than the newest slice
+        assert!(matches!(resume(&bad), Err(ModelError::Persistence { .. })));
+
+        let mut bad = parked.clone();
+        let last = bad.window.len() - 1;
+        bad.window[last].back[0] = u32::MAX; // dangling backpointer
+        assert!(matches!(resume(&bad), Err(ModelError::Persistence { .. })));
+
+        let mut bad = parked.clone();
+        bad.window[0].s1.pairs[0] = u32::MAX; // pair id outside the tables
+        assert!(matches!(resume(&bad), Err(ModelError::Persistence { .. })));
+
+        let mut bad = parked.clone();
+        bad.emitted_macros[0].pop(); // emit schedule out of step with lag
+        assert!(matches!(resume(&bad), Err(ModelError::Persistence { .. })));
+
+        // A pruned stream with a corrupted survivor set is also rejected.
+        let model_pruned =
+            CoupledHdbn::new(toy_params(true)).with_decoder(crate::beam::DecoderConfig::top_k(2));
+        let mut online = OnlineCoupledViterbi::new(model_pruned.clone(), Lag::Unbounded);
+        for tick in glitchy_ticks().iter().take(5) {
+            online.push(tick).unwrap();
+        }
+        let parked = online.park();
+        assert!(parked.pruned, "TopK(2) prunes the toy frontier");
+        let mut bad = parked.clone();
+        bad.keep = vec![3, 1]; // not ascending
+        assert!(matches!(
+            OnlineCoupledViterbi::resume(model_pruned.clone(), Lag::Unbounded, &bad),
+            Err(ModelError::Persistence { .. })
+        ));
     }
 
     #[test]

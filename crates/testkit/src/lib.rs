@@ -28,7 +28,9 @@ pub mod naive;
 
 use cace_behavior::session::train_test_split;
 use cace_behavior::{cace_grammar, generate_cace_dataset, Session, SessionConfig};
-use cace_core::{CaceConfig, CaceEngine, Precision, Recognition, Strategy};
+use cace_core::{
+    CaceConfig, CaceEngine, Lag, ParkedStream, Precision, Recognition, Strategy, StreamDecision,
+};
 use cace_hdbn::{HdbnConfig, HdbnParams, MicroCandidate, TickInput};
 use cace_mining::constraint::{ConstraintMiner, LabeledSequence};
 
@@ -213,6 +215,50 @@ pub fn assert_recognitions_identical(actual: &Recognition, expected: &Recognitio
         expected.mean_joint_size.to_bits(),
         "{label}: mean_joint_size"
     );
+}
+
+/// Drives a session through a streaming recognizer, interrupting it with
+/// a full park → serialize → reload → resume cycle *before pushing* every
+/// tick index listed in `park_at` (an index equal to the session length
+/// parks once more right before `finish`). An empty `park_at` behaves
+/// exactly like [`cace_core::stream_session`].
+///
+/// The parked state travels through its versioned snapshot **string** —
+/// the byte form the serving tier stores for an evicted home — not just
+/// the in-memory struct, so every listed position also exercises the
+/// serialization layer.
+///
+/// # Panics
+/// Panics if any push, park round-trip, resume, or finalization fails —
+/// the park/resume equivalence suites want those failures loud.
+pub fn stream_session_with_parks(
+    engine: &CaceEngine,
+    session: &Session,
+    lag: Lag,
+    park_at: &[usize],
+) -> (Vec<StreamDecision>, Recognition) {
+    let park_cycle = |stream: &cace_core::StreamingRecognizer<'_>| {
+        let bytes = stream.park().to_snapshot_string();
+        let parked = ParkedStream::from_snapshot_str(&bytes).expect("testkit: parked bytes reload");
+        engine
+            .resume(&parked)
+            .expect("testkit: parked stream resumes")
+    };
+    let mut stream = engine.stream(lag);
+    let mut decisions = Vec::new();
+    for (t, tick) in session.ticks.iter().enumerate() {
+        if park_at.contains(&t) {
+            stream = park_cycle(&stream);
+        }
+        if let Some(d) = stream.push(&tick.observed).expect("testkit: stream push") {
+            decisions.push(d);
+        }
+    }
+    if park_at.contains(&session.len()) {
+        stream = park_cycle(&stream);
+    }
+    let recognition = stream.finish().expect("testkit: stream finish");
+    (decisions, recognition)
 }
 
 /// Toy HDBN parameters over a two-activity world where activity `k` pairs

@@ -9,7 +9,9 @@ use proptest::prelude::*;
 
 use cace::behavior::Session;
 use cace::core::{stream_session, CaceConfig, DecoderConfig, Lag, Strategy};
-use cace_testkit::{assert_recognitions_identical, engine, engine_with, tiny_corpus};
+use cace_testkit::{
+    assert_recognitions_identical, engine, engine_with, stream_session_with_parks, tiny_corpus,
+};
 
 fn corpus(ticks: usize, seed: u64) -> (Vec<Session>, Vec<Session>) {
     tiny_corpus(4, ticks, seed)
@@ -69,6 +71,101 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Park/resume differential: interrupting the stream with a
+    /// park → serialize → rehydrate cycle before *every single* tick (and
+    /// once more before finalization) changes nothing — the decision
+    /// schedule and the final recognition, overhead counters included, are
+    /// bit-identical to the uninterrupted stream. Covers all four
+    /// strategies under exact and TopK beams; the `CACE_FAST32=1` CI sweep
+    /// replays the same suite on the f32 lane.
+    #[test]
+    fn park_resume_at_every_tick_is_bit_identical(
+        ticks in 40usize..60,
+        seed in 0u64..1_000,
+        beam_case in 0u8..2,
+    ) {
+        let decoder = match beam_case {
+            0 => DecoderConfig::default(),
+            _ => DecoderConfig::top_k(12),
+        };
+        let (train, test) = corpus(ticks, seed);
+        let lag = Lag::Fixed(7);
+        for strategy in Strategy::ALL {
+            let config = CaceConfig::default()
+                .with_strategy(strategy)
+                .with_decoder(decoder);
+            let engine = engine_with(&train, &config);
+            for session in &test {
+                let (want_decisions, want) =
+                    stream_session(&engine, session, lag).expect("uninterrupted stream");
+                let every_tick: Vec<usize> = (0..=session.len()).collect();
+                let (got_decisions, got) =
+                    stream_session_with_parks(&engine, session, lag, &every_tick);
+                prop_assert_eq!(
+                    &got_decisions,
+                    &want_decisions,
+                    "{} {:?}: parked decision schedule diverged",
+                    strategy,
+                    decoder
+                );
+                assert_recognitions_identical(
+                    &got,
+                    &want,
+                    &format!("{strategy} {decoder:?} parked at every tick"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn single_park_at_each_position_matches_the_uninterrupted_stream() {
+    // The proptest above chains a park cycle before every tick; this test
+    // isolates each position instead — one park per run — so a defect that
+    // only corrupts state several ticks *after* a resume still pins the
+    // exact park position that planted it.
+    let (train, test) = corpus(40, 3);
+    let lag = Lag::Fixed(7);
+    for strategy in Strategy::ALL {
+        let engine = engine(&train, strategy);
+        let session = &test[0];
+        let (want_decisions, want) =
+            stream_session(&engine, session, lag).expect("uninterrupted stream");
+        for park_at in 0..=session.len() {
+            let (got_decisions, got) = stream_session_with_parks(&engine, session, lag, &[park_at]);
+            assert_eq!(
+                got_decisions, want_decisions,
+                "{strategy}: decisions diverged after a park at tick {park_at}"
+            );
+            assert_recognitions_identical(
+                &got,
+                &want,
+                &format!("{strategy} single park at {park_at}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn park_resume_composes_with_unbounded_lag_and_batch() {
+    // Unbounded lag defers every decision to finalization, so the whole
+    // trellis survives the park cycles; the resumed stream must still land
+    // exactly on the batch answer.
+    let (train, test) = corpus(50, 21);
+    for strategy in Strategy::ALL {
+        let engine = engine(&train, strategy);
+        let session = &test[0];
+        let batch = engine.recognize(session).expect("batch recognition");
+        let every_tick: Vec<usize> = (0..=session.len()).collect();
+        let (decisions, streamed) =
+            stream_session_with_parks(&engine, session, Lag::Unbounded, &every_tick);
+        assert!(
+            decisions.is_empty(),
+            "{strategy}: unbounded lag never emits"
+        );
+        assert_recognitions_identical(&streamed, &batch, strategy.label());
     }
 }
 
