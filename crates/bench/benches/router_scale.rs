@@ -71,10 +71,14 @@ fn run_fleet(
     sessions: &[Session],
     size: usize,
     live_cap: Option<usize>,
+    binary_parking: bool,
 ) -> FleetRun {
     let mut router = ShardedRouter::new();
     if let Some(cap) = live_cap {
         router = router.with_live_cap(cap);
+    }
+    if binary_parking {
+        router = router.with_binary_parking();
     }
     router
         .register_model(MODEL, Arc::clone(engine))
@@ -147,8 +151,8 @@ fn bench(c: &mut Criterion) {
     let mut records = Vec::new();
     let mut gate_identity_checked = false;
     for &size in sizes {
-        let uncapped = run_fleet(&engine, &test, size, None);
-        let capped = run_fleet(&engine, &test, size, Some(LIVE_CAP));
+        let uncapped = run_fleet(&engine, &test, size, None, false);
+        let capped = run_fleet(&engine, &test, size, Some(LIVE_CAP), false);
         for (mode, run) in [("uncapped", &uncapped), ("capped", &capped)] {
             println!(
                 "{size:>8} {mode:>9} {:>12.0} {:>12.0} {:>12.0} {:>9} {:>11}",
@@ -211,6 +215,50 @@ fn bench(c: &mut Criterion) {
         gate_identity_checked,
         "the sweep must include the 10^4-home acceptance point"
     );
+
+    // Park-thrash codec row: the same worst-case churn fleet (10⁴ homes,
+    // 256 live fleet-wide, so ~97% of pushes pay a full park/rehydrate
+    // cycle), parked as JSON vs the binary snapshot kind. The codec may
+    // only change bytes and speed, never answers — decision streams must
+    // be bit-identical across all three runs.
+    let thrash_size = 10_000usize;
+    let json = run_fleet(&engine, &test, thrash_size, Some(LIVE_CAP), false);
+    let bin = run_fleet(&engine, &test, thrash_size, Some(LIVE_CAP), true);
+    assert_eq!(
+        bin.decisions, json.decisions,
+        "binary parking changed the decision stream"
+    );
+    assert!(
+        bin.parks > 0 && bin.rehydrations > 0,
+        "thrash row must actually churn"
+    );
+    println!();
+    println!(
+        "park-thrash codec ({thrash_size} homes, cap {LIVE_CAP}/shard):          json {:.0} homes/s (p50 {:.0} ns/push) vs bin {:.0} homes/s (p50 {:.0} ns/push)",
+        json.homes_per_s, json.p50_push_ns, bin.homes_per_s, bin.p50_push_ns
+    );
+    records.push(PerfRecord {
+        id: "router_scale/thrash_10k_json".into(),
+        per_tick_ns: json.p50_push_ns,
+        speedup_vs_naive: None,
+        allocs_per_tick: None,
+        homes_per_s: Some(json.homes_per_s),
+        note: format!(
+            "{thrash_size} homes, cap {LIVE_CAP}/shard, JSON parking: p99 {:.0} ns/push,              {} parks / {} rehydrations",
+            json.p99_push_ns, json.parks, json.rehydrations
+        ),
+    });
+    records.push(PerfRecord {
+        id: "router_scale/thrash_10k_bin".into(),
+        per_tick_ns: bin.p50_push_ns,
+        speedup_vs_naive: None,
+        allocs_per_tick: None,
+        homes_per_s: Some(bin.homes_per_s),
+        note: format!(
+            "{thrash_size} homes, cap {LIVE_CAP}/shard, binary (kind=stream-bin) parking:              p99 {:.0} ns/push, {} parks / {} rehydrations; decisions bit-identical to the              JSON row ({:.0} homes/s)",
+            bin.p99_push_ns, bin.parks, bin.rehydrations, json.homes_per_s
+        ),
+    });
     perf::emit(&records);
 
     // Criterion target on the smallest fleet so `--quick`/`--test` runs

@@ -7,8 +7,8 @@ use cace_baselines::Hmm;
 use cace_behavior::Session;
 use cace_features::SessionFeatures;
 use cace_hdbn::{
-    fit_em_shared as hdbn_fit_em_shared, BeamScratch, CoupledHdbn, DecoderConfig, EmConfig,
-    HdbnConfig, HdbnParams, Precision, SingleHdbn, TickInput,
+    fit_em_shared as hdbn_fit_em_shared, trellis, BeamScratch, CoupledHdbn, DecoderConfig,
+    EmConfig, HdbnConfig, HdbnParams, Precision, SingleHdbn, StepScratch, TickInput,
 };
 use cace_mining::constraint::{ConstraintMiner, LabeledSequence};
 use cace_mining::rules::mine_negative_rules;
@@ -693,15 +693,26 @@ impl CaceEngine {
         }
         let n = self.n_macro;
 
+        let model = nh::FlatModel {
+            table: &self.nh_log_trans,
+        };
         let mut all_states = vec![nh::states(&inputs[0], user, n)];
-        let mut v: Vec<S> = nh::emissions(&inputs[0], user, &all_states[0], &macro_emissions[0])
-            .into_iter()
-            .map(S::from_f64)
-            .collect();
-        let mut v_next: Vec<S> = Vec::new();
+        let mut all_emit = vec![nh::emissions(
+            &inputs[0],
+            user,
+            &all_states[0],
+            &macro_emissions[0],
+        )];
+        let mut v: Vec<S> = Vec::new();
+        trellis::init_into(
+            &model,
+            &nh::FlatView::new(&all_states[0], &all_emit[0], n),
+            &mut v,
+        );
         let mut states_explored = all_states[0].len() as u64;
         let mut transition_ops = 0u64;
         let mut backptrs: Vec<Vec<u32>> = vec![Vec::new()];
+        let mut step: StepScratch<S> = StepScratch::default();
 
         let beam = self.config.decoder.beam;
         let mut scratch = BeamScratch::new();
@@ -711,39 +722,34 @@ impl CaceEngine {
             let cur = nh::states(&inputs[t], user, n);
             let emit = nh::emissions(&inputs[t], user, &cur, &macro_emissions[t]);
             let prev = all_states.last().expect("nonempty");
+            let prev_emit = all_emit.last().expect("nonempty");
             states_explored += cur.len() as u64;
             let mut back = Vec::new();
+            let pv = nh::FlatView::new(prev, prev_emit, n);
+            let cv = nh::FlatView::new(&cur, &emit, n);
             if pruned {
                 transition_ops += (cur.len() * scratch.keep().len()) as u64;
-                nh::step_pruned_into(
-                    &self.nh_log_trans,
-                    prev,
+                trellis::step_pruned_into(
+                    &model,
+                    &pv,
                     &v,
                     scratch.keep(),
-                    &cur,
-                    &emit,
-                    &mut v_next,
+                    &cv,
+                    &mut step,
                     &mut back,
                 );
             } else {
                 transition_ops += (cur.len() * prev.len()) as u64;
-                nh::step_into(
-                    &self.nh_log_trans,
-                    prev,
-                    &v,
-                    &cur,
-                    &emit,
-                    &mut v_next,
-                    &mut back,
-                );
+                trellis::step_dense_into(&model, &pv, &v, &cv, &mut step, &mut back);
             }
-            std::mem::swap(&mut v, &mut v_next);
+            step.swap_frontier(&mut v);
             pruned = beam.select_log(&v, &mut scratch);
             backptrs.push(back);
             all_states.push(cur);
+            all_emit.push(emit);
         }
 
-        let mut j = nh::argmax(&v);
+        let mut j = trellis::argmax(&v).0;
         let mut path = vec![0usize; inputs.len()];
         for t in (0..inputs.len()).rev() {
             path[t] = all_states[t][j].0;

@@ -19,7 +19,11 @@
 use std::collections::VecDeque;
 use std::sync::OnceLock;
 
-use cace_hdbn::{Beam, BeamScratch, DecoderConfig, Lag, Precision, Scalar, TickInput};
+use cace_hdbn::park::{check, validate_cursor, validate_frontier};
+use cace_hdbn::trellis::{
+    Dest, OnlineTrellis, ScoreModel, StateSpace, TrellisEntry, TrellisFamily,
+};
+use cace_hdbn::{DecoderConfig, Lag, Precision, Scalar, StepScratch, TickInput};
 use cace_model::ModelError;
 use serde::{Deserialize, Serialize};
 
@@ -129,101 +133,166 @@ pub(crate) fn emissions(
         .collect()
 }
 
-/// One flat DP step over the dense macro transition table, written into
-/// reused `v_new`/`back` buffers.
-pub(crate) fn step_into<S: NhScalar>(
-    table: &FlatTable,
-    prev: &[FlatState],
-    v: &[S],
-    cur: &[FlatState],
-    emit: &[f64],
-    v_new: &mut Vec<S>,
-    back: &mut Vec<u32>,
-) {
-    v_new.clear();
-    v_new.resize(cur.len(), S::NEG_INFINITY);
-    back.clear();
-    back.resize(cur.len(), 0);
-    // The fold depends on the new state only through its macro, and the
-    // state list is macro-major: compute once per macro run, fan out
-    // (pure memoization — identical arithmetic and tie-breaking).
-    let mut run_macro = usize::MAX;
-    let mut best = S::NEG_INFINITY;
-    let mut best_arg = 0u32;
-    for (j, &(a, _)) in cur.iter().enumerate() {
-        if a != run_macro {
-            run_macro = a;
-            let row = table.row::<S>(a);
-            best = S::NEG_INFINITY;
-            best_arg = 0;
-            for (jp, (&vv, &(ap, _))) in v.iter().zip(prev).enumerate() {
-                let score = vv + row[ap];
-                if score > best {
-                    best = score;
-                    best_arg = jp as u32;
-                }
-            }
+/// One tick of the flat product space through the generic
+/// [`StateSpace`] lens: macro-major states (so slots coincide with
+/// macros), one contiguous same-group pseudo-run covering the whole
+/// frontier (NH has no switch structure), and emissions borrowed from the
+/// entry.
+pub(crate) struct FlatView<'a> {
+    states: &'a [FlatState],
+    emit: &'a [f64],
+    /// The single whole-frontier run.
+    run: [(u32, u32, u32); 1],
+    n_macro: usize,
+}
+
+impl<'a> FlatView<'a> {
+    pub(crate) fn new(states: &'a [FlatState], emit: &'a [f64], n_macro: usize) -> Self {
+        Self {
+            states,
+            emit,
+            run: [(0, 0, states.len() as u32)],
+            n_macro,
         }
-        v_new[j] = best + S::from_f64(emit[j]);
-        back[j] = best_arg;
     }
 }
 
-/// [`step_into`] restricted to a pruned previous frontier (`keep`:
-/// surviving state indices, sorted ascending). Backpointers stay in
-/// full-frontier coordinates.
-pub(crate) fn step_pruned_into<S: NhScalar>(
-    table: &FlatTable,
-    prev: &[FlatState],
-    v: &[S],
-    keep: &[u32],
-    cur: &[FlatState],
-    emit: &[f64],
-    v_new: &mut Vec<S>,
-    back: &mut Vec<u32>,
-) {
-    v_new.clear();
-    v_new.resize(cur.len(), S::NEG_INFINITY);
-    back.clear();
-    back.resize(cur.len(), 0);
-    // Memoized per macro run like the dense step.
-    let mut run_macro = usize::MAX;
-    let mut best = S::NEG_INFINITY;
-    let mut best_arg = 0u32;
-    for (j, &(a, _)) in cur.iter().enumerate() {
-        if a != run_macro {
-            run_macro = a;
-            let row = table.row::<S>(a);
-            best = S::NEG_INFINITY;
-            best_arg = 0;
-            for &jp in keep {
-                let (ap, _) = prev[jp as usize];
-                let score = v[jp as usize] + row[ap];
-                if score > best {
-                    best = score;
-                    best_arg = jp;
-                }
-            }
-        }
-        v_new[j] = best + S::from_f64(emit[j]);
-        back[j] = best_arg;
+impl StateSpace for FlatView<'_> {
+    fn len(&self) -> usize {
+        self.states.len()
+    }
+
+    fn n_slots(&self) -> usize {
+        self.n_macro
+    }
+
+    fn slot(&self, j: usize) -> u32 {
+        self.states[j].0 as u32
+    }
+
+    fn slot_pair(&self, s: usize) -> u32 {
+        s as u32
+    }
+
+    fn pair(&self, j: usize) -> u32 {
+        self.states[j].0 as u32
+    }
+
+    fn group_of(&self, j: usize) -> u32 {
+        self.states[j].0 as u32
+    }
+
+    fn runs(&self) -> &[(u32, u32, u32)] {
+        &self.run
+    }
+
+    fn emission(&self, j: usize) -> f64 {
+        self.emit[j]
     }
 }
 
-/// Last-max frontier argmax (matches `Iterator::max_by`, like the
-/// hierarchical decoders' termination rule).
-pub(crate) fn argmax<S: Scalar>(v: &[S]) -> usize {
-    v.iter()
-        .enumerate()
-        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))
-        .map(|(i, _)| i)
-        .expect("nonempty trellis")
+/// The NH [`ScoreModel`]: no switch structure (`SWITCH = false`), no
+/// prior term at init (the first frontier is the emissions alone), and
+/// one dst-major [`FlatTable`] row per destination macro.
+pub(crate) struct FlatModel<'a> {
+    pub(crate) table: &'a FlatTable,
 }
 
+impl<S: NhScalar> ScoreModel<S> for FlatModel<'_> {
+    const SWITCH: bool = false;
+
+    fn init_score(&self, _group: u32, _pair: u32, emission: f64) -> f64 {
+        emission
+    }
+
+    fn dest(&self, pair: u32) -> Dest<'_, S> {
+        Dest {
+            group: pair,
+            cont: self.table.row::<S>(pair as usize),
+            switch: &[],
+        }
+    }
+}
+
+/// One retained tick of the NH backpointer window (pooled through the
+/// generic core's free list).
 #[derive(Default)]
 struct FlatEntry {
     states: Vec<FlatState>,
+    /// The tick's emissions, kept alongside the states so the step kernel
+    /// can read the *current* tick's emissions from the entry (never
+    /// parked: only the newest tick's emissions are ever read, and a
+    /// parked stream re-derives them on the next push).
+    emit: Vec<f64>,
     back: Vec<u32>,
+}
+
+impl TrellisEntry for FlatEntry {
+    fn back(&self) -> &[u32] {
+        &self.back
+    }
+}
+
+/// The NH family's [`TrellisFamily`] instantiation: the generic chain
+/// kernels over [`FlatModel`], bounded to [`NhScalar`] lanes (the flat
+/// table owns its own `f32` mirror).
+struct FlatFamily<'a> {
+    table: &'a FlatTable,
+}
+
+impl<S: NhScalar> TrellisFamily<S> for FlatFamily<'_> {
+    type Entry = FlatEntry;
+
+    fn init(&self, entry: &mut FlatEntry, v: &mut Vec<S>) {
+        let FlatEntry { states, emit, back } = entry;
+        let cur = FlatView::new(states, emit, self.table.n);
+        cace_hdbn::trellis::init_into(&FlatModel { table: self.table }, &cur, v);
+        back.clear();
+    }
+
+    fn step_dense(
+        &self,
+        prev: &FlatEntry,
+        v: &[S],
+        entry: &mut FlatEntry,
+        step: &mut StepScratch<S>,
+    ) -> u64 {
+        let FlatEntry { states, emit, back } = entry;
+        let cur = FlatView::new(states, emit, self.table.n);
+        let pv = FlatView::new(&prev.states, &prev.emit, self.table.n);
+        cace_hdbn::trellis::step_dense_into(
+            &FlatModel { table: self.table },
+            &pv,
+            v,
+            &cur,
+            step,
+            back,
+        );
+        (states.len() * prev.states.len()) as u64
+    }
+
+    fn step_pruned(
+        &self,
+        prev: &FlatEntry,
+        v: &[S],
+        keep: &[u32],
+        entry: &mut FlatEntry,
+        step: &mut StepScratch<S>,
+    ) -> u64 {
+        let FlatEntry { states, emit, back } = entry;
+        let cur = FlatView::new(states, emit, self.table.n);
+        let pv = FlatView::new(&prev.states, &prev.emit, self.table.n);
+        cace_hdbn::trellis::step_pruned_into(
+            &FlatModel { table: self.table },
+            &pv,
+            v,
+            keep,
+            &cur,
+            step,
+            back,
+        );
+        (states.len() * keep.len()) as u64
+    }
 }
 
 /// Parked form of one retained tick of the NH backpointer window.
@@ -250,18 +319,17 @@ pub(crate) struct ParkedFlat {
     pub(crate) keep: Vec<u32>,
 }
 
-fn park_err(what: impl Into<String>) -> ModelError {
-    ModelError::Persistence { what: what.into() }
-}
-
 impl ParkedFlat {
     pub(crate) fn ticks_pushed(&self) -> usize {
         self.pushed
     }
 
     /// Bounds-checks everything a resumed [`OnlineFlat`] would read, so a
-    /// tampered payload fails cleanly instead of panicking (the NH
-    /// counterpart of `cace_hdbn::park`'s validation).
+    /// tampered payload fails cleanly instead of panicking. Cursor and
+    /// frontier invariants go through the shared `cace_hdbn::park`
+    /// helpers — the same checks, same error shape, as the coupled and
+    /// chain families; only the NH-specific per-entry state checks live
+    /// here.
     fn validate(
         &self,
         table: &FlatTable,
@@ -269,190 +337,92 @@ impl ParkedFlat {
         lag: Lag,
     ) -> Result<(), ModelError> {
         let what = "parked NH stream";
-        if self.base + self.window.len() != self.pushed {
-            return Err(park_err(format!(
-                "{what}: window does not cover the cursor"
-            )));
-        }
-        if self.pushed > 0 && self.window.is_empty() {
-            return Err(park_err(format!(
-                "{what}: nonempty stream with empty window"
-            )));
-        }
-        let expected = match lag {
-            Lag::Unbounded => 0,
-            Lag::Fixed(l) => self.pushed.saturating_sub(l),
-        };
-        if self.emitted.len() != expected || self.base > self.emitted.len() {
-            return Err(park_err(format!(
-                "{what}: emit schedule out of step with lag"
-            )));
-        }
+        validate_cursor(
+            what,
+            self.base,
+            self.pushed,
+            self.window.len(),
+            self.emitted.len(),
+            lag,
+        )?;
         let mut prev_len = None;
         for (i, e) in self.window.iter().enumerate() {
-            if e.states.is_empty() {
-                return Err(park_err(format!("{what}: window[{i}] has no states")));
-            }
-            if e.states.iter().any(|&(a, _)| a >= table.n) {
-                return Err(park_err(format!("{what}: window[{i}] macro out of range")));
-            }
+            check(!e.states.is_empty(), || {
+                format!("{what}: window[{i}] has no states")
+            })?;
+            check(e.states.iter().all(|&(a, _)| a < table.n), || {
+                format!("{what}: window[{i}] macro out of range")
+            })?;
             if let Some(prev_len) = prev_len {
-                if e.back.len() != e.states.len()
-                    || e.back.iter().any(|&b| (b as usize) >= prev_len)
-                {
-                    return Err(park_err(format!(
-                        "{what}: window[{i}] backpointers invalid"
-                    )));
-                }
+                check(
+                    e.back.len() == e.states.len()
+                        && e.back.iter().all(|&b| (b as usize) < prev_len),
+                    || format!("{what}: window[{i}] backpointers invalid"),
+                )?;
             }
             prev_len = Some(e.states.len());
         }
         if let Some(frontier) = prev_len {
-            let (len, has_nan) = match precision {
-                Precision::Exact64 => (self.v.len(), self.v.iter().any(|s| s.is_nan())),
-                Precision::Fast32 => (self.v32.len(), self.v32.iter().any(|s| s.is_nan())),
-            };
-            if len != frontier || has_nan {
-                return Err(park_err(format!("{what}: frontier invalid")));
-            }
-            if self.pruned
-                && !(!self.keep.is_empty()
-                    && self.keep.len() < frontier
-                    && self.keep.windows(2).all(|w| w[0] < w[1])
-                    && self.keep.iter().all(|&k| (k as usize) < frontier))
-            {
-                return Err(park_err(format!("{what}: malformed beam survivor set")));
-            }
+            validate_frontier(
+                what,
+                frontier,
+                &self.v,
+                &self.v32,
+                precision,
+                self.pruned,
+                &self.keep,
+            )?;
         }
         Ok(())
     }
 }
 
-/// Streaming NH frontier for one user, mirroring the online decoders in
-/// `cace-hdbn`: push per-tick (states, emissions), emit fixed-lag macro
-/// decisions, finalize into the full macro path plus overhead accounting.
-/// Window entries are pooled and the frontier ping-pongs through a reused
-/// buffer, so a warmed push allocates only what its caller hands it.
+/// Streaming NH frontier for one user, wrapping the same generic
+/// [`OnlineTrellis`] core as the hierarchical online decoders: push
+/// per-tick (states, emissions), emit fixed-lag macro decisions, finalize
+/// into the full macro path plus overhead accounting. Window entries are
+/// pooled and the frontier ping-pongs through the core's arena, so a
+/// warmed push allocates only what its caller hands it.
 ///
 /// The flat table is *not* captured: every [`push`](Self::push) borrows it
 /// from the caller, so one table serves any number of live and parked
 /// frontiers (the fleet-sharing property the serving tier relies on).
 pub(crate) struct OnlineFlat {
-    lag: Lag,
     decoder: DecoderConfig,
-    v: Vec<f64>,
-    v_next: Vec<f64>,
-    v32: Vec<f32>,
-    v_next32: Vec<f32>,
-    window: VecDeque<FlatEntry>,
-    free: Vec<FlatEntry>,
-    base: usize,
-    pushed: usize,
+    core: OnlineTrellis<FlatEntry>,
     emitted: Vec<usize>,
-    states_explored: u64,
-    transition_ops: u64,
-    scratch: BeamScratch,
-    pruned: bool,
-}
-
-/// Advances (or initializes) a flat frontier by one DP step in lane `S`,
-/// then applies the beam — the per-[`Precision`] dispatch target of
-/// [`OnlineFlat::push`], over explicit disjoint fields.
-#[allow(clippy::too_many_arguments)]
-fn advance_flat<S: NhScalar>(
-    table: &FlatTable,
-    beam: Beam,
-    prev: Option<&FlatEntry>,
-    entry: &mut FlatEntry,
-    emit: &[f64],
-    v: &mut Vec<S>,
-    v_next: &mut Vec<S>,
-    scratch: &mut BeamScratch,
-    pruned: &mut bool,
-    transition_ops: &mut u64,
-) {
-    match prev {
-        None => {
-            v.clear();
-            v.extend(emit.iter().map(|&e| S::from_f64(e)));
-        }
-        Some(prev) => {
-            if *pruned {
-                *transition_ops += (entry.states.len() * scratch.keep().len()) as u64;
-                step_pruned_into(
-                    table,
-                    &prev.states,
-                    v,
-                    scratch.keep(),
-                    &entry.states,
-                    emit,
-                    v_next,
-                    &mut entry.back,
-                );
-            } else {
-                *transition_ops += (entry.states.len() * prev.states.len()) as u64;
-                step_into(
-                    table,
-                    &prev.states,
-                    v,
-                    &entry.states,
-                    emit,
-                    v_next,
-                    &mut entry.back,
-                );
-            }
-            std::mem::swap(v, v_next);
-        }
-    }
-    *pruned = beam.select_log(v, scratch);
 }
 
 impl OnlineFlat {
     pub(crate) fn new(lag: Lag, decoder: DecoderConfig) -> Self {
         Self {
-            lag,
             decoder,
-            v: Vec::new(),
-            v_next: Vec::new(),
-            v32: Vec::new(),
-            v_next32: Vec::new(),
-            window: VecDeque::new(),
-            free: Vec::new(),
-            base: 0,
-            pushed: 0,
+            core: OnlineTrellis::new(lag),
             emitted: Vec::new(),
-            states_explored: 0,
-            transition_ops: 0,
-            scratch: BeamScratch::new(),
-            pruned: false,
         }
     }
 
     /// Checkpoints the frontier (see `cace_hdbn::park` for the contract).
     pub(crate) fn park(&self) -> ParkedFlat {
         ParkedFlat {
-            v: self.v.clone(),
-            v32: self.v32.clone(),
+            v: self.core.frontier().to_vec(),
+            v32: self.core.frontier32().to_vec(),
             window: self
-                .window
-                .iter()
+                .core
+                .entries()
                 .map(|e| ParkedFlatEntry {
                     states: e.states.clone(),
                     back: e.back.clone(),
                 })
                 .collect(),
-            base: self.base,
-            pushed: self.pushed,
+            base: self.core.base(),
+            pushed: self.core.ticks_pushed(),
             emitted: self.emitted.clone(),
-            states_explored: self.states_explored,
-            transition_ops: self.transition_ops,
-            pruned: self.pruned,
-            keep: self.keep_vec(),
+            states_explored: self.core.states_explored(),
+            transition_ops: self.core.transition_ops(),
+            pruned: self.core.pruned(),
+            keep: self.core.keep().to_vec(),
         }
-    }
-
-    fn keep_vec(&self) -> Vec<u32> {
-        self.scratch.keep().to_vec()
     }
 
     /// Rehydrates a parked frontier; bit-identical continuation against
@@ -468,31 +438,30 @@ impl OnlineFlat {
         parked: &ParkedFlat,
     ) -> Result<Self, ModelError> {
         parked.validate(table, decoder.precision, lag)?;
-        let mut scratch = BeamScratch::new();
-        scratch.set_keep(&parked.keep);
+        let window: VecDeque<FlatEntry> = parked
+            .window
+            .iter()
+            .map(|e| FlatEntry {
+                states: e.states.clone(),
+                emit: Vec::new(),
+                back: e.back.clone(),
+            })
+            .collect();
         Ok(Self {
-            lag,
             decoder,
-            v: parked.v.clone(),
-            v_next: Vec::new(),
-            v32: parked.v32.clone(),
-            v_next32: Vec::new(),
-            window: parked
-                .window
-                .iter()
-                .map(|e| FlatEntry {
-                    states: e.states.clone(),
-                    back: e.back.clone(),
-                })
-                .collect(),
-            free: Vec::new(),
-            base: parked.base,
-            pushed: parked.pushed,
+            core: OnlineTrellis::from_parts(
+                lag,
+                parked.v.clone(),
+                parked.v32.clone(),
+                window,
+                parked.base,
+                parked.pushed,
+                parked.states_explored,
+                parked.transition_ops,
+                parked.pruned,
+                &parked.keep,
+            ),
             emitted: parked.emitted.clone(),
-            states_explored: parked.states_explored,
-            transition_ops: parked.transition_ops,
-            scratch,
-            pruned: parked.pruned,
         })
     }
 
@@ -504,99 +473,38 @@ impl OnlineFlat {
         states: Vec<FlatState>,
         emit: Vec<f64>,
     ) -> Option<(usize, usize)> {
-        self.states_explored += states.len() as u64;
-        let mut entry = self.free.pop().unwrap_or_default();
+        let mut entry = self.core.take_entry();
         entry.states = states;
-        entry.back.clear();
-        let prev = self.window.back();
-        match self.decoder.precision {
-            Precision::Exact64 => advance_flat(
-                table,
-                self.decoder.beam,
-                prev,
-                &mut entry,
-                &emit,
-                &mut self.v,
-                &mut self.v_next,
-                &mut self.scratch,
-                &mut self.pruned,
-                &mut self.transition_ops,
-            ),
-            Precision::Fast32 => advance_flat(
-                table,
-                self.decoder.beam,
-                prev,
-                &mut entry,
-                &emit,
-                &mut self.v32,
-                &mut self.v_next32,
-                &mut self.scratch,
-                &mut self.pruned,
-                &mut self.transition_ops,
-            ),
+        entry.emit = emit;
+        let n_states = entry.states.len() as u64;
+        self.core
+            .push_entry(&FlatFamily { table }, self.decoder, entry, n_states);
+        let decision = self
+            .core
+            .emit_ready(self.decoder.precision, |e, j, t| (t, e.states[j].0));
+        if let Some((_, macro_id)) = decision {
+            self.emitted.push(macro_id);
         }
-        self.window.push_back(entry);
-        self.pushed += 1;
-        self.emit_ready()
-    }
-
-    /// Argmax of the live frontier, in whichever lane the decoder runs.
-    fn frontier_argmax(&self) -> usize {
-        match self.decoder.precision {
-            Precision::Exact64 => argmax(&self.v),
-            Precision::Fast32 => argmax(&self.v32),
-        }
-    }
-
-    fn state_at(&self, idx: usize) -> usize {
-        let mut j = self.frontier_argmax();
-        for i in (idx + 1..self.window.len()).rev() {
-            j = self.window[i].back[j] as usize;
-        }
-        j
-    }
-
-    fn emit_ready(&mut self) -> Option<(usize, usize)> {
-        let Lag::Fixed(lag) = self.lag else {
-            return None;
-        };
-        let last = self.pushed - 1;
-        if last < lag {
-            return None;
-        }
-        let tick = last - lag;
-        let idx = tick - self.base;
-        let j = self.state_at(idx);
-        let macro_id = self.window[idx].states[j].0;
-        self.emitted.push(macro_id);
-        while self.base <= tick && self.window.len() > 1 {
-            let entry = self.window.pop_front().expect("nonempty window");
-            self.free.push(entry);
-            self.base += 1;
-        }
-        Some((tick, macro_id))
+        decision
     }
 
     /// Ends the stream: `(macro path, states explored, transition ops)`.
     /// Returns `None` if no tick was ever pushed.
-    pub(crate) fn finalize(mut self) -> Option<(Vec<usize>, u64, u64)> {
-        if self.pushed == 0 {
+    pub(crate) fn finalize(self) -> Option<(Vec<usize>, u64, u64)> {
+        if self.core.ticks_pushed() == 0 {
             return None;
         }
-        let mut j = self.frontier_argmax();
         let committed = self.emitted.len();
-        let mut tail = Vec::with_capacity(self.pushed - committed);
-        for t in (committed..self.pushed).rev() {
-            let idx = t - self.base;
-            tail.push(self.window[idx].states[j].0);
-            if idx > 0 {
-                j = self.window[idx].back[j] as usize;
-            }
-        }
-        tail.reverse();
-        let mut macros = std::mem::take(&mut self.emitted);
+        let (tail, _log_prob) =
+            self.core
+                .resolve_tail(self.decoder.precision, committed, |e, j| e.states[j].0);
+        let mut macros = self.emitted;
         macros.extend(tail);
-        Some((macros, self.states_explored, self.transition_ops))
+        Some((
+            macros,
+            self.core.states_explored(),
+            self.core.transition_ops(),
+        ))
     }
 }
 

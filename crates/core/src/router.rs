@@ -74,8 +74,22 @@ struct HomeSlot {
 #[allow(clippy::large_enum_variant)]
 enum SlotState {
     Live(Box<StreamingRecognizer<'static>>),
-    Parked(String),
+    /// Parked snapshot bytes — either kind: the JSON envelope (UTF-8) or
+    /// the binary `kind=stream-bin` envelope. Rehydration sniffs the
+    /// header, so a router accepts imports of both regardless of which
+    /// kind it writes itself.
+    Parked(Vec<u8>),
     Quarantined(ModelError),
+}
+
+/// Encodes a live stream's checkpoint in the router's configured kind.
+fn park_bytes(stream: &StreamingRecognizer<'_>, binary: bool) -> Vec<u8> {
+    let parked = stream.park();
+    if binary {
+        parked.to_snapshot_bytes()
+    } else {
+        parked.to_snapshot_string().into_bytes()
+    }
 }
 
 /// Monotonically growing counters of one shard. Deterministic for a given
@@ -203,7 +217,7 @@ impl Shard {
     /// Parks least-recently-touched live homes until at most `cap` remain
     /// live. Deterministic: eviction order is touch order, which is
     /// in-shard push order.
-    fn enforce_cap(&mut self, cap: usize) {
+    fn enforce_cap(&mut self, cap: usize, binary: bool) {
         let mut live = self.live_count();
         while live > cap {
             let (touch, slot) = self
@@ -214,7 +228,7 @@ impl Shard {
                 continue; // stale entry — the home was touched again later
             }
             if let SlotState::Live(stream) = &self.slots[slot].state {
-                let bytes = stream.park().to_snapshot_string();
+                let bytes = park_bytes(stream, binary);
                 self.slots[slot].state = SlotState::Parked(bytes);
                 self.parks += 1;
                 live -= 1;
@@ -231,7 +245,7 @@ impl Shard {
         // surface here as a Persistence error → quarantine, not a panic.
         if let SlotState::Parked(bytes) = &self.slots[slot].state {
             let engine = &models[self.slots[slot].model];
-            match ParkedStream::from_snapshot_str(bytes)
+            match ParkedStream::from_snapshot_any(bytes)
                 .and_then(|parked| resume_shared(engine, &parked))
             {
                 Ok(stream) => {
@@ -273,6 +287,8 @@ pub struct ShardedRouter {
     shards: Vec<Shard>,
     /// Max live homes per shard; overflow is parked, oldest first.
     live_cap: usize,
+    /// Park in the binary snapshot kind instead of JSON.
+    binary_parking: bool,
 }
 
 /// Default shard count: a fixed grid (never derived from the machine's
@@ -296,6 +312,7 @@ impl ShardedRouter {
             models: Vec::new(),
             shards: (0..shards).map(|_| Shard::default()).collect(),
             live_cap: usize::MAX,
+            binary_parking: false,
         }
     }
 
@@ -304,6 +321,17 @@ impl ShardedRouter {
     /// Applies to current and future homes from the next push on.
     pub fn with_live_cap(mut self, cap: usize) -> Self {
         self.live_cap = cap.max(1);
+        self
+    }
+
+    /// Parks evicted homes in the compact binary snapshot kind
+    /// ([`ParkedStream::to_snapshot_bytes`]) instead of the JSON default —
+    /// several times smaller and cheaper per park/rehydrate cycle, with
+    /// bit-identical continuations. Rehydration always sniffs the header,
+    /// so flipping this flag between runs (or importing the other kind)
+    /// is safe.
+    pub fn with_binary_parking(mut self) -> Self {
+        self.binary_parking = true;
         self
     }
 
@@ -371,7 +399,7 @@ impl ShardedRouter {
         snapshot: String,
     ) -> Result<(), ModelError> {
         let model = self.model_index(model)?;
-        self.insert(id, model, SlotState::Parked(snapshot))
+        self.insert(id, model, SlotState::Parked(snapshot.into_bytes()))
     }
 
     fn insert(&mut self, id: u64, model: usize, state: SlotState) -> Result<(), ModelError> {
@@ -390,7 +418,7 @@ impl ShardedRouter {
         shard.index.insert(id, slot);
         if matches!(shard.slots[slot].state, SlotState::Live(_)) {
             shard.touch(slot);
-            shard.enforce_cap(self.live_cap);
+            shard.enforce_cap(self.live_cap, self.binary_parking);
         }
         Ok(())
     }
@@ -454,7 +482,7 @@ impl ShardedRouter {
             SlotState::Parked(_) => Ok(()),
             SlotState::Quarantined(e) => Err(e.clone()),
             SlotState::Live(stream) => {
-                let bytes = stream.park().to_snapshot_string();
+                let bytes = park_bytes(stream, self.binary_parking);
                 shard.slots[slot].state = SlotState::Parked(bytes);
                 shard.parks += 1;
                 Ok(())
@@ -462,17 +490,25 @@ impl ShardedRouter {
         }
     }
 
-    /// The parked snapshot bytes of the given home — parking it first if
-    /// it is live. This is the migration/handover export.
+    /// The parked snapshot of the given home as the portable JSON kind —
+    /// parking it first if it is live, re-encoding if it was parked in
+    /// the binary kind. This is the migration/handover export; JSON is
+    /// the interchange format regardless of how this router parks
+    /// internally.
     ///
     /// # Errors
-    /// Those of [`park_home`](Self::park_home).
+    /// Those of [`park_home`](Self::park_home), plus
+    /// [`ModelError::Persistence`] when the parked bytes no longer
+    /// decode.
     pub fn export_home(&mut self, id: u64) -> Result<String, ModelError> {
         self.park_home(id)?;
         let shard = &self.shards[self.shard_of(id)];
         let slot = shard.index[&id];
         match &shard.slots[slot].state {
-            SlotState::Parked(bytes) => Ok(bytes.clone()),
+            SlotState::Parked(bytes) => match std::str::from_utf8(bytes) {
+                Ok(text) if !text.contains("kind=stream-bin") => Ok(text.to_string()),
+                _ => Ok(ParkedStream::from_snapshot_any(bytes)?.to_snapshot_string()),
+            },
             _ => unreachable!("park_home left the slot parked"),
         }
     }
@@ -505,6 +541,7 @@ impl ShardedRouter {
             by_shard[shard].push((pos, slot));
         }
         let live_cap = self.live_cap;
+        let binary = self.binary_parking;
         let models = &self.models;
         let mut work: Vec<(&mut Shard, Vec<(usize, usize)>)> =
             self.shards.iter_mut().zip(by_shard).collect();
@@ -514,7 +551,7 @@ impl ShardedRouter {
                 let mut out = Vec::with_capacity(work.len());
                 for &(pos, slot) in work.iter() {
                     let round = shard.push(slot, models, ticks[pos].1);
-                    shard.enforce_cap(live_cap);
+                    shard.enforce_cap(live_cap, binary);
                     out.push((pos, round));
                 }
                 out
@@ -547,7 +584,7 @@ impl ShardedRouter {
                         let result = match slot.state {
                             SlotState::Quarantined(e) => Err(e),
                             SlotState::Live(stream) => stream.finish(),
-                            SlotState::Parked(bytes) => ParkedStream::from_snapshot_str(&bytes)
+                            SlotState::Parked(bytes) => ParkedStream::from_snapshot_any(&bytes)
                                 .and_then(|parked| resume_shared(&models[slot.model], &parked))
                                 .and_then(|stream| stream.finish()),
                         };
@@ -753,6 +790,52 @@ mod tests {
         let finished = router2.finish();
         assert!(finished[0].1.is_err());
         assert!(finished[1].1.is_ok());
+    }
+
+    #[test]
+    fn binary_parking_matches_json_parking_bit_identically() {
+        let (train, test) = corpus();
+        let engine = arc_engine(&train);
+        let lag = Lag::Fixed(4);
+        let n_homes = 6u64;
+
+        let mut json = ShardedRouter::with_shards(2).with_live_cap(1);
+        let mut bin = ShardedRouter::with_shards(2)
+            .with_live_cap(1)
+            .with_binary_parking();
+        for router in [&mut json, &mut bin] {
+            router.register_model("cace", Arc::clone(&engine)).unwrap();
+            for id in 0..n_homes {
+                router.add_home(id, "cace", lag).unwrap();
+            }
+        }
+        let session = &test[0];
+        for tick in &session.ticks {
+            let round: Vec<(u64, &ObservedTick)> =
+                (0..n_homes).map(|id| (id, &tick.observed)).collect();
+            let a = json.push_round(&round).unwrap();
+            let b = bin.push_round(&round).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.decision(), y.decision());
+            }
+        }
+        assert!(bin.stats().parks() > 0 && bin.stats().rehydrations() > 0);
+
+        // A binary-parked home exports as portable JSON, loadable by the
+        // plain JSON reader.
+        let exported = bin.export_home(0).unwrap();
+        assert!(exported.starts_with("CACE-SNAPSHOT v3 fnv1a64="));
+        assert!(ParkedStream::from_snapshot_str(&exported).is_ok());
+
+        let a = json.finish();
+        let b = bin.finish();
+        for ((id_a, rec_a), (id_b, rec_b)) in a.iter().zip(&b) {
+            assert_eq!(id_a, id_b);
+            let (rec_a, rec_b) = (rec_a.as_ref().unwrap(), rec_b.as_ref().unwrap());
+            assert_eq!(rec_a.macros, rec_b.macros);
+            assert_eq!(rec_a.states_explored, rec_b.states_explored);
+            assert_eq!(rec_a.transition_ops, rec_b.transition_ops);
+        }
     }
 
     #[test]

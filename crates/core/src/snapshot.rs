@@ -36,13 +36,17 @@ use std::fs;
 use std::path::Path;
 use std::sync::Arc;
 
+use cace_hdbn::wire::{self, ByteReader, ByteWriter};
 use cace_hdbn::HdbnParams;
 use cace_mining::PruningEngine;
 use cace_model::ModelError;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::CaceEngine;
-use crate::stream::ParkedStream;
+use crate::evidence::PrevState;
+use crate::nh::{ParkedFlat, ParkedFlatEntry};
+use crate::strategy::Strategy;
+use crate::stream::{ParkedDecoder, ParkedStream};
 
 /// Leading magic token of the header line.
 const MAGIC: &str = "CACE-SNAPSHOT";
@@ -281,6 +285,258 @@ impl ParkedStream {
     }
 }
 
+/// Binary-kind discriminator token in the snapshot header line.
+const BIN_KIND: &str = "kind=stream-bin";
+
+fn write_strategy(w: &mut ByteWriter, s: Strategy) {
+    w.write_u8(match s {
+        Strategy::NaiveHmm => 0,
+        Strategy::NaiveCorrelation => 1,
+        Strategy::NaiveConstraint => 2,
+        Strategy::CorrelationConstraint => 3,
+    });
+}
+
+fn read_strategy(r: &mut ByteReader<'_>) -> Result<Strategy, ModelError> {
+    match r.read_u8()? {
+        0 => Ok(Strategy::NaiveHmm),
+        1 => Ok(Strategy::NaiveCorrelation),
+        2 => Ok(Strategy::NaiveConstraint),
+        3 => Ok(Strategy::CorrelationConstraint),
+        t => Err(persist_err(format!("unknown strategy tag {t}"))),
+    }
+}
+
+fn write_flat(w: &mut ByteWriter, f: &ParkedFlat) {
+    w.write_seq(&f.v, |w, &x| w.write_f64(x));
+    w.write_seq(&f.v32, |w, &x| w.write_f32(x));
+    w.write_seq(&f.window, |w, e| {
+        w.write_seq(&e.states, |w, &(a, c)| {
+            w.write_usize(a);
+            w.write_usize(c);
+        });
+        w.write_seq(&e.back, |w, &x| w.write_u32(x));
+    });
+    w.write_usize(f.base);
+    w.write_usize(f.pushed);
+    w.write_seq(&f.emitted, |w, &x| w.write_usize(x));
+    w.write_u64(f.states_explored);
+    w.write_u64(f.transition_ops);
+    w.write_bool(f.pruned);
+    w.write_seq(&f.keep, |w, &x| w.write_u32(x));
+}
+
+fn read_flat(r: &mut ByteReader<'_>) -> Result<ParkedFlat, ModelError> {
+    Ok(ParkedFlat {
+        v: r.read_seq(8, ByteReader::read_f64)?,
+        v32: r.read_seq(4, ByteReader::read_f32)?,
+        window: r.read_seq(1, |r| {
+            Ok(ParkedFlatEntry {
+                states: r.read_seq(2, |r| Ok((r.read_usize()?, r.read_usize()?)))?,
+                back: r.read_seq(1, ByteReader::read_u32)?,
+            })
+        })?,
+        base: r.read_usize()?,
+        pushed: r.read_usize()?,
+        emitted: r.read_seq(1, ByteReader::read_usize)?,
+        states_explored: r.read_u64()?,
+        transition_ops: r.read_u64()?,
+        pruned: r.read_bool()?,
+        keep: r.read_seq(1, ByteReader::read_u32)?,
+    })
+}
+
+fn write_decoder_state(w: &mut ByteWriter, state: &ParkedDecoder) {
+    match state {
+        ParkedDecoder::Nh(flats) => {
+            w.write_u8(0);
+            for f in flats {
+                write_flat(w, f);
+            }
+        }
+        ParkedDecoder::Single(chains) => {
+            w.write_u8(1);
+            for c in chains {
+                c.encode_into(w);
+            }
+        }
+        ParkedDecoder::Coupled(coupled) => {
+            w.write_u8(2);
+            coupled.encode_into(w);
+        }
+    }
+}
+
+fn read_decoder_state(r: &mut ByteReader<'_>) -> Result<ParkedDecoder, ModelError> {
+    match r.read_u8()? {
+        0 => Ok(ParkedDecoder::Nh([read_flat(r)?, read_flat(r)?])),
+        1 => Ok(ParkedDecoder::Single([
+            cace_hdbn::ParkedChain::decode_from(r)?,
+            cace_hdbn::ParkedChain::decode_from(r)?,
+        ])),
+        2 => Ok(ParkedDecoder::Coupled(
+            cace_hdbn::ParkedCoupled::decode_from(r)?,
+        )),
+        t => Err(persist_err(format!("unknown parked decoder tag {t}"))),
+    }
+}
+
+impl ParkedStream {
+    /// Renders the parked stream as a **binary** snapshot: the same
+    /// checksummed envelope discipline as the JSON form, but with a
+    /// `kind=stream-bin` header token, an explicit payload byte length,
+    /// and the compact little-endian payload of [`cace_hdbn::wire`] —
+    /// floats as raw IEEE bits, so the round trip is bit-exact by
+    /// construction. Several times smaller and cheaper to encode/decode
+    /// than the JSON form; both kinds resume bit-identically.
+    ///
+    /// ```text
+    /// CACE-SNAPSHOT v3 kind=stream-bin fnv1a64=<16-hex> len=<payload bytes>
+    /// <raw payload bytes>
+    /// ```
+    pub fn to_snapshot_bytes(&self) -> Vec<u8> {
+        let mut w = ByteWriter::new();
+        write_strategy(&mut w, self.strategy);
+        wire::write_decoder(&mut w, self.decoder);
+        wire::write_lag(&mut w, self.lag);
+        write_decoder_state(&mut w, &self.state);
+        for prev in &self.prev {
+            w.write_opt_usize(prev.macro_id);
+            w.write_opt_usize(prev.location);
+        }
+        w.write_usize(self.pushed);
+        w.write_f64(self.joint_size_sum);
+        w.write_u64(self.rules_fired);
+        w.write_u64(self.ncr_prev_sqrt);
+        w.write_u64(self.ncr_ops);
+        w.write_f64(self.wall_seconds);
+        let payload = w.into_bytes();
+        let checksum = fnv1a64(&payload);
+        let mut out = format!(
+            "{MAGIC} v{VERSION} {BIN_KIND} fnv1a64={checksum:016x} len={}\n",
+            payload.len()
+        )
+        .into_bytes();
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Reconstructs a parked stream from
+    /// [`to_snapshot_bytes`](Self::to_snapshot_bytes) output. Envelope
+    /// checks (magic, version, kind, stated length, checksum) run before
+    /// any payload decode; like the JSON reader, structural validation
+    /// against a concrete engine happens at [`CaceEngine::resume`].
+    ///
+    /// # Errors
+    /// [`ModelError::Persistence`] on a malformed header, a non-v3
+    /// version, a non-binary kind, a length or checksum mismatch, or
+    /// malformed payload bytes.
+    pub fn from_snapshot_bytes(bytes: &[u8]) -> Result<Self, ModelError> {
+        let newline = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| persist_err("binary snapshot has no header line"))?;
+        let header = std::str::from_utf8(&bytes[..newline])
+            .map_err(|_| persist_err("binary snapshot header is not UTF-8"))?;
+        let payload = &bytes[newline + 1..];
+        let mut tokens = header.split_whitespace();
+        if tokens.next() != Some(MAGIC) {
+            return Err(persist_err(format!(
+                "not a {MAGIC} file (header `{header}`)"
+            )));
+        }
+        let version = tokens
+            .next()
+            .and_then(|t| t.strip_prefix('v'))
+            .and_then(|t| t.parse::<u32>().ok())
+            .ok_or_else(|| persist_err(format!("malformed version in header `{header}`")))?;
+        if version != VERSION {
+            return Err(persist_err(format!(
+                "unsupported stream snapshot version {version} (this build reads v{VERSION})"
+            )));
+        }
+        let kind = tokens
+            .next()
+            .ok_or_else(|| persist_err(format!("missing kind in header `{header}`")))?;
+        if kind != BIN_KIND {
+            return Err(persist_err(format!(
+                "snapshot token `{kind}` is not a binary parked stream"
+            )));
+        }
+        let stated = tokens
+            .next()
+            .and_then(|t| t.strip_prefix("fnv1a64="))
+            .and_then(|t| u64::from_str_radix(t, 16).ok())
+            .ok_or_else(|| persist_err(format!("malformed checksum in header `{header}`")))?;
+        let len = tokens
+            .next()
+            .and_then(|t| t.strip_prefix("len="))
+            .and_then(|t| t.parse::<usize>().ok())
+            .ok_or_else(|| persist_err(format!("malformed length in header `{header}`")))?;
+        if len != payload.len() {
+            return Err(persist_err(format!(
+                "payload length mismatch: header says {len}, {} bytes follow",
+                payload.len()
+            )));
+        }
+        let actual = fnv1a64(payload);
+        if stated != actual {
+            return Err(persist_err(format!(
+                "checksum mismatch: header says {stated:016x}, payload hashes to {actual:016x}"
+            )));
+        }
+        let mut r = ByteReader::new(payload);
+        let parked = Self {
+            strategy: read_strategy(&mut r)?,
+            decoder: wire::read_decoder(&mut r)?,
+            lag: wire::read_lag(&mut r)?,
+            state: read_decoder_state(&mut r)?,
+            prev: [
+                PrevState {
+                    macro_id: r.read_opt_usize()?,
+                    location: r.read_opt_usize()?,
+                },
+                PrevState {
+                    macro_id: r.read_opt_usize()?,
+                    location: r.read_opt_usize()?,
+                },
+            ],
+            pushed: r.read_usize()?,
+            joint_size_sum: r.read_f64()?,
+            rules_fired: r.read_u64()?,
+            ncr_prev_sqrt: r.read_u64()?,
+            ncr_ops: r.read_u64()?,
+            wall_seconds: r.read_f64()?,
+        };
+        r.expect_end()?;
+        Ok(parked)
+    }
+
+    /// Reconstructs a parked stream from either snapshot kind, sniffing
+    /// the header: a `kind=stream-bin` token routes to the binary reader,
+    /// anything else is treated as the UTF-8 JSON form. This is what a
+    /// serving tier uses on bytes whose provenance it does not control
+    /// (imports, handovers).
+    ///
+    /// # Errors
+    /// Those of the kind-specific reader the bytes route to.
+    pub fn from_snapshot_any(bytes: &[u8]) -> Result<Self, ModelError> {
+        let header_end = bytes
+            .iter()
+            .position(|&b| b == b'\n')
+            .unwrap_or(bytes.len());
+        let is_binary = std::str::from_utf8(&bytes[..header_end])
+            .is_ok_and(|h| h.split_whitespace().any(|t| t == BIN_KIND));
+        if is_binary {
+            Self::from_snapshot_bytes(bytes)
+        } else {
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| persist_err("snapshot is neither binary-kind nor UTF-8 text"))?;
+            Self::from_snapshot_str(text)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -443,6 +699,81 @@ mod tests {
             ParkedStream::from_snapshot_str(&corrupted),
             Err(ModelError::Persistence { .. })
         ));
+    }
+
+    #[test]
+    fn binary_stream_snapshot_round_trips_to_identical_continuation() {
+        for strategy in crate::strategy::Strategy::ALL {
+            let (engine, sessions) = tiny_engine(strategy);
+            let session = &sessions[2];
+            let lag = cace_hdbn::Lag::Fixed(4);
+            let mut reference = engine.stream(lag);
+            let mut interrupted = engine.stream(lag);
+            for tick in &session.ticks[..20] {
+                reference.push(&tick.observed).unwrap();
+                interrupted.push(&tick.observed).unwrap();
+            }
+            let checkpoint = interrupted.park();
+            let json = checkpoint.to_snapshot_string();
+            let bytes = checkpoint.to_snapshot_bytes();
+            assert!(
+                bytes.len() * 2 < json.len(),
+                "binary kind should be far smaller: {} vs {} bytes",
+                bytes.len(),
+                json.len()
+            );
+            drop(interrupted);
+            let parked = ParkedStream::from_snapshot_bytes(&bytes).unwrap();
+            assert_eq!(parked.ticks_pushed(), 20);
+            let mut resumed = engine.resume(&parked).unwrap();
+            for tick in &session.ticks[20..] {
+                let a = reference.push(&tick.observed).unwrap();
+                let b = resumed.push(&tick.observed).unwrap();
+                assert_eq!(a, b);
+            }
+            let a = reference.finish().unwrap();
+            let b = resumed.finish().unwrap();
+            assert_eq!(a.macros, b.macros);
+            assert_eq!(a.states_explored, b.states_explored);
+            assert_eq!(a.transition_ops, b.transition_ops);
+            assert_eq!(a.rules_fired, b.rules_fired);
+            assert_eq!(a.mean_joint_size.to_bits(), b.mean_joint_size.to_bits());
+
+            // The sniffing reader routes both kinds correctly.
+            let via_any = ParkedStream::from_snapshot_any(&bytes).unwrap();
+            assert_eq!(via_any.ticks_pushed(), 20);
+            let via_any = ParkedStream::from_snapshot_any(json.as_bytes()).unwrap();
+            assert_eq!(via_any.ticks_pushed(), 20);
+        }
+    }
+
+    #[test]
+    fn binary_stream_snapshot_rejects_tampering() {
+        let (engine, sessions) = tiny_engine(Strategy::CorrelationConstraint);
+        let mut stream = engine.stream(cace_hdbn::Lag::Fixed(3));
+        for tick in &sessions[2].ticks[..10] {
+            stream.push(&tick.observed).unwrap();
+        }
+        let bytes = stream.park().to_snapshot_bytes();
+        let header_end = bytes.iter().position(|&b| b == b'\n').unwrap();
+        assert!(bytes.starts_with(b"CACE-SNAPSHOT v3 kind=stream-bin fnv1a64="));
+
+        // Flip one payload byte: checksum mismatch, decode never runs.
+        let mut corrupted = bytes.clone();
+        let mid = header_end + 1 + (corrupted.len() - header_end - 1) / 2;
+        corrupted[mid] ^= 0xff;
+        let err = ParkedStream::from_snapshot_bytes(&corrupted).unwrap_err();
+        assert!(err.to_string().contains("checksum"), "{err}");
+
+        // Truncated payload: stated length disagrees with the bytes.
+        let err = ParkedStream::from_snapshot_bytes(&bytes[..bytes.len() - 3]).unwrap_err();
+        assert!(err.to_string().contains("length"), "{err}");
+
+        // The engine JSON reader and the binary reader reject each other.
+        assert!(ParkedStream::from_snapshot_bytes(engine.to_snapshot_string().as_bytes()).is_err());
+        assert!(
+            ParkedStream::from_snapshot_str(std::str::from_utf8(&bytes).unwrap_or("")).is_err()
+        );
     }
 
     #[test]

@@ -169,7 +169,7 @@ pub(crate) fn fill_slice(
 /// traffic. Index buffers and the log-sum-exp accumulator (used only by
 /// the f64-only inference paths) are lane-independent.
 #[derive(Debug, Clone, Default)]
-pub(crate) struct StepScratch<S> {
+pub struct StepScratch<S> {
     /// Pruned joint-step group buffers (PR 4's `JointScratch`, absorbed).
     pub(crate) joint: JointScratch<S>,
     /// Allowed-macro scratch for [`fill_slice`].
@@ -218,6 +218,15 @@ pub(crate) struct StepScratch<S> {
     /// Log-sum-exp term accumulator (forward–backward, EM; f64-only
     /// paths).
     pub(crate) terms: Vec<f64>,
+}
+
+impl<S> StepScratch<S> {
+    /// Swaps the kernel-emitted next frontier (`v_next`) with the
+    /// caller's live frontier vector — the ping-pong step every driver
+    /// performs after a dense/pruned kernel call.
+    pub fn swap_frontier(&mut self, v: &mut Vec<S>) {
+        std::mem::swap(&mut self.v_next, v);
+    }
 }
 
 /// All reusable trellis memory of one decode (batch) or one stream

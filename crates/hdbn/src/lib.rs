@@ -65,9 +65,11 @@ pub mod park;
 pub mod scalar;
 pub mod single;
 pub mod tables;
+pub mod trellis;
 pub mod viterbi;
+pub mod wire;
 
-pub use arena::TrellisArena;
+pub use arena::{StepScratch, TrellisArena};
 pub use beam::{Beam, BeamScratch, DecoderConfig};
 pub use em::{e_step, fit_em, fit_em_shared, EmConfig, EmOutcome};
 pub use forward::log_sum_exp;
@@ -78,4 +80,8 @@ pub use park::{ParkedChain, ParkedCoupled};
 pub use scalar::{Precision, Scalar};
 pub use single::SingleHdbn;
 pub use tables::{ScoreTables, ScoreTablesF32};
+pub use trellis::{
+    Dest, HierModel, OnlineTrellis, PosteriorModel, ScoreModel, StateSpace, TrellisEntry,
+    TrellisFamily,
+};
 pub use viterbi::{CoupledHdbn, JointPath};

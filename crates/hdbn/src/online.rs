@@ -67,13 +67,13 @@ use std::sync::Arc;
 use cace_model::ModelError;
 use serde::{Deserialize, Serialize};
 
-use crate::arena::{fill_slice, Slice, StepScratch, TrellisArena};
-use crate::beam::{Beam, BeamScratch};
+use crate::arena::{fill_slice, Slice, StepScratch};
 use crate::input::{MicroCandidate, TickInput};
 use crate::params::HdbnParams;
 use crate::park::{ParkedChain, ParkedChainEntry, ParkedCoupled, ParkedJointEntry, ParkedSlice};
-use crate::scalar::{self, Precision, Scalar};
+use crate::scalar::Scalar;
 use crate::single::{self, SingleHdbn, SinglePath};
+use crate::trellis::{self, HierModel, OnlineTrellis, TrellisEntry, TrellisFamily};
 use crate::viterbi::{self, CoupledHdbn, JointPath};
 
 /// Fixed-lag smoothing horizon of an online decoder.
@@ -122,11 +122,8 @@ pub struct SmoothedChain {
     pub micro: MicroCandidate,
 }
 
-/// One retained tick of the coupled backpointer window.
-///
-/// Entries are pooled: when the window drops a ripened tick, its entry
-/// (buffers and all) goes to the decoder's free list and the next push
-/// refills it in place — so a warmed steady-state push allocates nothing.
+/// One retained tick of the coupled backpointer window (pooled through
+/// the core's free list — see [`TrellisEntry`]).
 #[derive(Debug, Clone, Default)]
 struct JointEntry {
     s1: Slice,
@@ -139,144 +136,134 @@ struct JointEntry {
     cands: [Vec<MicroCandidate>; 2],
 }
 
-/// Advances a coupled frontier by one DP step in lane `S` (or initializes
-/// it on the first tick), then applies the beam. Free function over
-/// explicit disjoint fields so [`OnlineCoupledViterbi::push`] can dispatch
-/// per [`Precision`] without duplicating the step logic.
-#[allow(clippy::too_many_arguments)]
-fn advance_joint<S: Scalar>(
-    params: &HdbnParams,
-    beam: Beam,
-    prev: Option<&JointEntry>,
-    entry: &mut JointEntry,
-    v: &mut Vec<S>,
-    step: &mut StepScratch<S>,
-    beam_scratch: &mut BeamScratch,
-    pruned: &mut bool,
-    transition_ops: &mut u64,
-) {
-    match prev {
-        None => {
-            viterbi::joint_init_into(params, &entry.s1, &entry.s2, v);
-            entry.back.clear();
-        }
-        Some(prev) => {
-            let (k1, k2) = (prev.s1.len(), prev.s2.len());
-            let (m1, m2) = (entry.s1.len(), entry.s2.len());
-            if *pruned {
-                *transition_ops += viterbi::joint_step_pruned_into(
-                    params,
-                    &prev.s1,
-                    &prev.s2,
-                    v,
-                    beam_scratch.keep(),
-                    &entry.s1,
-                    &entry.s2,
-                    step,
-                    &mut entry.back,
-                );
-            } else {
-                *transition_ops += (k1 as u64 * k2 as u64) * (m1 as u64 + m2 as u64);
-                viterbi::joint_step_into(
-                    params,
-                    &prev.s1,
-                    &prev.s2,
-                    v,
-                    &entry.s1,
-                    &entry.s2,
-                    step,
-                    &mut entry.back,
-                );
-            }
-            std::mem::swap(v, &mut step.v_next);
-        }
+impl TrellisEntry for JointEntry {
+    fn back(&self) -> &[u32] {
+        &self.back
     }
-    *pruned = beam.select_log(v, beam_scratch);
 }
 
-/// Single-chain counterpart of [`advance_joint`].
-#[allow(clippy::too_many_arguments)]
-fn advance_chain<S: Scalar>(
-    params: &HdbnParams,
-    beam: Beam,
-    prev: Option<&ChainEntry>,
-    entry: &mut ChainEntry,
-    v: &mut Vec<S>,
-    step: &mut StepScratch<S>,
-    beam_scratch: &mut BeamScratch,
-    pruned: &mut bool,
-    transition_ops: &mut u64,
-) {
-    match prev {
-        None => {
-            single::chain_init_into(params, &entry.slice, v);
-            entry.back.clear();
-        }
-        Some(prev) => {
-            if *pruned {
-                *transition_ops += (beam_scratch.keep().len() * entry.slice.len()) as u64;
-                single::chain_step_pruned_into(
-                    params,
-                    &prev.slice,
-                    v,
-                    beam_scratch.keep(),
-                    &entry.slice,
-                    step,
-                    &mut entry.back,
-                );
-            } else {
-                *transition_ops += (prev.slice.len() * entry.slice.len()) as u64;
-                single::chain_step_into(
-                    params,
-                    &prev.slice,
-                    v,
-                    &entry.slice,
-                    step,
-                    &mut entry.back,
-                );
-            }
-            std::mem::swap(v, &mut step.v_next);
-        }
+/// The coupled family's [`TrellisFamily`] instantiation: the generic
+/// online core drives [`crate::viterbi`]'s bespoke two-pass joint kernels
+/// (see the [`crate::trellis`] module docs for why the joint step stays
+/// specialized).
+struct CoupledFamily<'a> {
+    p: &'a HdbnParams,
+}
+
+impl<S: Scalar> TrellisFamily<S> for CoupledFamily<'_> {
+    type Entry = JointEntry;
+
+    fn init(&self, entry: &mut JointEntry, v: &mut Vec<S>) {
+        viterbi::joint_init_into(self.p, &entry.s1, &entry.s2, v);
+        entry.back.clear();
     }
-    *pruned = beam.select_log(v, beam_scratch);
+
+    fn step_dense(
+        &self,
+        prev: &JointEntry,
+        v: &[S],
+        entry: &mut JointEntry,
+        step: &mut StepScratch<S>,
+    ) -> u64 {
+        let (k1, k2) = (prev.s1.len(), prev.s2.len());
+        let JointEntry { s1, s2, back, .. } = entry;
+        viterbi::joint_step_into(self.p, &prev.s1, &prev.s2, v, &*s1, &*s2, step, back);
+        (k1 as u64 * k2 as u64) * (s1.len() as u64 + s2.len() as u64)
+    }
+
+    fn step_pruned(
+        &self,
+        prev: &JointEntry,
+        v: &[S],
+        keep: &[u32],
+        entry: &mut JointEntry,
+        step: &mut StepScratch<S>,
+    ) -> u64 {
+        let JointEntry { s1, s2, back, .. } = entry;
+        viterbi::joint_step_pruned_into(self.p, &prev.s1, &prev.s2, v, keep, &*s1, &*s2, step, back)
+    }
+}
+
+/// The single-chain family's [`TrellisFamily`] instantiation: the generic
+/// chain kernels over [`HierModel`].
+struct ChainFamily<'a> {
+    p: &'a HdbnParams,
+}
+
+impl<S: Scalar> TrellisFamily<S> for ChainFamily<'_> {
+    type Entry = ChainEntry;
+
+    fn init(&self, entry: &mut ChainEntry, v: &mut Vec<S>) {
+        trellis::init_into(&HierModel::new(self.p), &entry.slice, v);
+        entry.back.clear();
+    }
+
+    fn step_dense(
+        &self,
+        prev: &ChainEntry,
+        v: &[S],
+        entry: &mut ChainEntry,
+        step: &mut StepScratch<S>,
+    ) -> u64 {
+        let ChainEntry { slice, back, .. } = entry;
+        trellis::step_dense_into(&HierModel::new(self.p), &prev.slice, v, &*slice, step, back);
+        (prev.slice.len() * slice.len()) as u64
+    }
+
+    fn step_pruned(
+        &self,
+        prev: &ChainEntry,
+        v: &[S],
+        keep: &[u32],
+        entry: &mut ChainEntry,
+        step: &mut StepScratch<S>,
+    ) -> u64 {
+        let ChainEntry { slice, back, .. } = entry;
+        trellis::step_pruned_into(
+            &HierModel::new(self.p),
+            &prev.slice,
+            v,
+            keep,
+            &*slice,
+            step,
+            back,
+        );
+        (keep.len() * slice.len()) as u64
+    }
 }
 
 /// Incremental fixed-lag decoder for the loosely-coupled two-chain HDBN.
 ///
 /// Feed ticks with [`push`](Self::push); finish with
 /// [`finalize`](Self::finalize). See the [module docs](self) for the
-/// equivalence guarantees.
+/// equivalence guarantees. The window/cursor/counter machinery lives in
+/// the family-independent [`OnlineTrellis`]; this wrapper adds the coupled
+/// state enumeration and the two-user decision bookkeeping.
 #[derive(Debug, Clone)]
 pub struct OnlineCoupledViterbi {
     model: CoupledHdbn,
     /// The model's shared parameters, held directly so the hot push path
-    /// can borrow them alongside the arena without aliasing `model`.
+    /// can borrow them alongside the core's arena without aliasing
+    /// `model`.
     params: Arc<HdbnParams>,
-    lag: Lag,
-    /// Current frontier, flattened as `j1 * |S2| + j2` (exact lane; empty
-    /// under [`Precision::Fast32`]).
-    v: Vec<f64>,
-    /// Fast-lane frontier (empty under [`Precision::Exact64`]).
-    v32: Vec<f32>,
-    /// Backpointer window: entries for ticks `base .. pushed`.
-    window: VecDeque<JointEntry>,
-    /// Recycled window entries (see [`JointEntry`]).
-    free: Vec<JointEntry>,
-    /// Tick index of `window[0]`.
-    base: usize,
-    /// Ticks consumed so far.
-    pushed: usize,
+    core: OnlineTrellis<JointEntry>,
     /// Decisions already emitted (prefix of the stream).
     emitted_macros: [Vec<usize>; 2],
     emitted_micros: [Vec<MicroCandidate>; 2],
-    states_explored: u64,
-    transition_ops: u64,
-    /// All step-kernel scratch — beam survivors, fold buffers, ping-pong
-    /// frontier — allocated once per stream, reused every push.
-    arena: TrellisArena,
-    /// Whether the current frontier was restricted (always `false` under
-    /// `Beam::Exact`).
-    pruned: bool,
+}
+
+/// Decodes one flattened joint state of `entry` into per-user macros and
+/// micro tuples.
+fn decode_joint(entry: &JointEntry, flat: usize) -> ([usize; 2], [MicroCandidate; 2]) {
+    let m2 = entry.s2.len();
+    let (j1, j2) = (flat / m2, flat % m2);
+    (
+        [entry.s1.activities[j1], entry.s2.activities[j2]],
+        [
+            entry.cands[0][entry.s1.cands[j1]],
+            entry.cands[1][entry.s2.cands[j2]],
+        ],
+    )
 }
 
 impl OnlineCoupledViterbi {
@@ -287,31 +274,21 @@ impl OnlineCoupledViterbi {
         Self {
             model,
             params,
-            lag,
-            v: Vec::new(),
-            v32: Vec::new(),
-            window: VecDeque::new(),
-            free: Vec::new(),
-            base: 0,
-            pushed: 0,
+            core: OnlineTrellis::new(lag),
             emitted_macros: [Vec::new(), Vec::new()],
             emitted_micros: [Vec::new(), Vec::new()],
-            states_explored: 0,
-            transition_ops: 0,
-            arena: TrellisArena::new(),
-            pruned: false,
         }
     }
 
     /// Ticks consumed so far.
     pub fn ticks_pushed(&self) -> usize {
-        self.pushed
+        self.core.ticks_pushed()
     }
 
     /// Current backpointer-window length (bounded by `lag + 2` for
     /// [`Lag::Fixed`]).
     pub fn window_len(&self) -> usize {
-        self.window.len()
+        self.core.window_len()
     }
 
     /// Pre-reserves the emitted-decision history for `additional` more
@@ -337,123 +314,47 @@ impl OnlineCoupledViterbi {
     /// [`ModelError::EmptyStateSpace`] if the tick has no candidates for
     /// some user.
     pub fn push(&mut self, tick: &TickInput) -> Result<Option<SmoothedJoint>, ModelError> {
-        viterbi::validate_tick(tick, self.pushed)?;
-        let mut entry = self.free.pop().unwrap_or_default();
+        viterbi::validate_tick(tick, self.core.ticks_pushed())?;
+        let mut entry = self.core.take_entry();
         fill_slice(
             &self.params,
             tick,
             0,
-            &mut self.arena.step.macro_ids,
+            self.core.scratch_macro_ids(),
             &mut entry.s1,
         );
         fill_slice(
             &self.params,
             tick,
             1,
-            &mut self.arena.step.macro_ids,
+            self.core.scratch_macro_ids(),
             &mut entry.s2,
         );
         for u in 0..2 {
             entry.cands[u].clear();
             entry.cands[u].extend_from_slice(&tick.candidates[u]);
         }
-        self.states_explored += (entry.s1.len() * entry.s2.len()) as u64;
+        let n_states = (entry.s1.len() * entry.s2.len()) as u64;
         let decoder = self.model.decoder();
-        let prev = self.window.back();
-        match decoder.precision {
-            Precision::Exact64 => advance_joint(
-                &self.params,
-                decoder.beam,
-                prev,
-                &mut entry,
-                &mut self.v,
-                &mut self.arena.step,
-                &mut self.arena.beam,
-                &mut self.pruned,
-                &mut self.transition_ops,
-            ),
-            Precision::Fast32 => advance_joint(
-                &self.params,
-                decoder.beam,
-                prev,
-                &mut entry,
-                &mut self.v32,
-                &mut self.arena.step32,
-                &mut self.arena.beam,
-                &mut self.pruned,
-                &mut self.transition_ops,
-            ),
-        }
-        self.window.push_back(entry);
-        self.pushed += 1;
-        Ok(self.emit_ready())
-    }
-
-    /// Argmax of the live frontier, in whichever lane the decoder runs.
-    fn frontier_argmax(&self) -> (usize, f64) {
-        match self.model.decoder().precision {
-            Precision::Exact64 => scalar::argmax(&self.v),
-            Precision::Fast32 => {
-                let (i, s) = scalar::argmax(&self.v32);
-                (i, f64::from(s))
+        self.core
+            .push_entry(&CoupledFamily { p: &self.params }, decoder, entry, n_states);
+        let emitted = &self.emitted_macros;
+        let decision = self.core.emit_ready(decoder.precision, |entry, flat, t| {
+            debug_assert_eq!(t, emitted[0].len());
+            let (macros, micros) = decode_joint(entry, flat);
+            SmoothedJoint {
+                tick: t,
+                macros,
+                micros,
+            }
+        });
+        if let Some(d) = &decision {
+            for u in 0..2 {
+                self.emitted_macros[u].push(d.macros[u]);
+                self.emitted_micros[u].push(d.micros[u]);
             }
         }
-    }
-
-    /// Walks the backpointer window from the current frontier argmax down
-    /// to window index `idx`, returning the flattened state there.
-    fn flat_at(&self, idx: usize) -> usize {
-        let (mut flat, _) = self.frontier_argmax();
-        for i in (idx + 1..self.window.len()).rev() {
-            flat = self.window[i].back[flat] as usize;
-        }
-        flat
-    }
-
-    fn decode(&self, idx: usize, flat: usize) -> ([usize; 2], [MicroCandidate; 2]) {
-        let entry = &self.window[idx];
-        let m2 = entry.s2.len();
-        let (j1, j2) = (flat / m2, flat % m2);
-        (
-            [entry.s1.activities[j1], entry.s2.activities[j2]],
-            [
-                entry.cands[0][entry.s1.cands[j1]],
-                entry.cands[1][entry.s2.cands[j2]],
-            ],
-        )
-    }
-
-    fn emit_ready(&mut self) -> Option<SmoothedJoint> {
-        let Lag::Fixed(lag) = self.lag else {
-            return None;
-        };
-        let last = self.pushed - 1;
-        if last < lag {
-            return None;
-        }
-        let tick = last - lag;
-        debug_assert_eq!(tick, self.emitted_macros[0].len());
-        let idx = tick - self.base;
-        let flat = self.flat_at(idx);
-        let (macros, micros) = self.decode(idx, flat);
-        for u in 0..2 {
-            self.emitted_macros[u].push(macros[u]);
-            self.emitted_micros[u].push(micros[u]);
-        }
-        // Entries at or before the emitted tick are never read again —
-        // except the newest entry, which the next step needs as `prev`.
-        // Dropped entries keep their buffers: they go to the free list and
-        // the next push refills them in place.
-        while self.base <= tick && self.window.len() > 1 {
-            let entry = self.window.pop_front().expect("nonempty window");
-            self.free.push(entry);
-            self.base += 1;
-        }
-        Some(SmoothedJoint {
-            tick,
-            macros,
-            micros,
-        })
+        Ok(decision)
     }
 
     /// Checkpoints the stream: everything the decode depends on — the
@@ -464,11 +365,11 @@ impl OnlineCoupledViterbi {
     /// homes shares a single `Arc<HdbnParams>`.
     pub fn park(&self) -> ParkedCoupled {
         ParkedCoupled {
-            v: self.v.clone(),
-            v32: self.v32.clone(),
+            v: self.core.frontier().to_vec(),
+            v32: self.core.frontier32().to_vec(),
             window: self
-                .window
-                .iter()
+                .core
+                .entries()
                 .map(|e| ParkedJointEntry {
                     s1: ParkedSlice::from_slice(&e.s1),
                     s2: ParkedSlice::from_slice(&e.s2),
@@ -476,14 +377,14 @@ impl OnlineCoupledViterbi {
                     cands: e.cands.clone(),
                 })
                 .collect(),
-            base: self.base,
-            pushed: self.pushed,
+            base: self.core.base(),
+            pushed: self.core.ticks_pushed(),
             emitted_macros: self.emitted_macros.clone(),
             emitted_micros: self.emitted_micros.clone(),
-            states_explored: self.states_explored,
-            transition_ops: self.transition_ops,
-            pruned: self.pruned,
-            keep: self.arena.beam.keep().to_vec(),
+            states_explored: self.core.states_explored(),
+            transition_ops: self.core.transition_ops(),
+            pruned: self.core.pruned(),
+            keep: self.core.keep().to_vec(),
         }
     }
 
@@ -506,33 +407,33 @@ impl OnlineCoupledViterbi {
     ) -> Result<Self, ModelError> {
         let params = model.shared_params();
         parked.validate(&params, model.decoder().precision, lag)?;
-        let mut arena = TrellisArena::new();
-        arena.beam.set_keep(&parked.keep);
+        let window: VecDeque<JointEntry> = parked
+            .window
+            .iter()
+            .map(|e| JointEntry {
+                s1: e.s1.to_slice(),
+                s2: e.s2.to_slice(),
+                back: e.back.clone(),
+                cands: e.cands.clone(),
+            })
+            .collect();
         Ok(Self {
             model,
             params,
-            lag,
-            v: parked.v.clone(),
-            v32: parked.v32.clone(),
-            window: parked
-                .window
-                .iter()
-                .map(|e| JointEntry {
-                    s1: e.s1.to_slice(),
-                    s2: e.s2.to_slice(),
-                    back: e.back.clone(),
-                    cands: e.cands.clone(),
-                })
-                .collect(),
-            free: Vec::new(),
-            base: parked.base,
-            pushed: parked.pushed,
+            core: OnlineTrellis::from_parts(
+                lag,
+                parked.v.clone(),
+                parked.v32.clone(),
+                window,
+                parked.base,
+                parked.pushed,
+                parked.states_explored,
+                parked.transition_ops,
+                parked.pruned,
+                &parked.keep,
+            ),
             emitted_macros: parked.emitted_macros.clone(),
             emitted_micros: parked.emitted_micros.clone(),
-            states_explored: parked.states_explored,
-            transition_ops: parked.transition_ops,
-            arena,
-            pruned: parked.pruned,
         })
     }
 
@@ -546,27 +447,17 @@ impl OnlineCoupledViterbi {
     /// # Errors
     /// [`ModelError::InsufficientData`] if no tick was ever pushed.
     pub fn finalize(mut self) -> Result<JointPath, ModelError> {
-        if self.pushed == 0 {
+        if self.core.ticks_pushed() == 0 {
             return Err(ModelError::InsufficientData {
                 what: "viterbi decoding".into(),
                 available: 0,
                 required: 1,
             });
         }
-        let (mut flat, log_prob) = self.frontier_argmax();
         let committed = self.emitted_macros[0].len();
-        // Tail decisions for ticks committed..pushed, resolved against the
-        // final frontier (newest first, then reversed into place).
-        let mut tail: Vec<([usize; 2], [MicroCandidate; 2])> =
-            Vec::with_capacity(self.pushed - committed);
-        for t in (committed..self.pushed).rev() {
-            let idx = t - self.base;
-            tail.push(self.decode(idx, flat));
-            if idx > 0 {
-                flat = self.window[idx].back[flat] as usize;
-            }
-        }
-        tail.reverse();
+        let (tail, log_prob) =
+            self.core
+                .resolve_tail(self.model.decoder().precision, committed, decode_joint);
         let mut macros = std::mem::take(&mut self.emitted_macros);
         let mut micros = std::mem::take(&mut self.emitted_micros);
         for (m, c) in tail {
@@ -579,8 +470,8 @@ impl OnlineCoupledViterbi {
             macros,
             micros,
             log_prob,
-            states_explored: self.states_explored,
-            transition_ops: self.transition_ops,
+            states_explored: self.core.states_explored(),
+            transition_ops: self.core.transition_ops(),
         })
     }
 }
@@ -594,25 +485,22 @@ struct ChainEntry {
     cands: Vec<MicroCandidate>,
 }
 
+impl TrellisEntry for ChainEntry {
+    fn back(&self) -> &[u32] {
+        &self.back
+    }
+}
+
 /// Incremental fixed-lag decoder for one user's hierarchical chain — the
-/// streaming counterpart of [`SingleHdbn::viterbi`].
+/// streaming counterpart of [`SingleHdbn::viterbi`], wrapping the same
+/// [`OnlineTrellis`] core as the coupled decoder.
 pub struct OnlineSingleViterbi {
     model: SingleHdbn,
     params: Arc<HdbnParams>,
     user: usize,
-    lag: Lag,
-    v: Vec<f64>,
-    v32: Vec<f32>,
-    window: VecDeque<ChainEntry>,
-    free: Vec<ChainEntry>,
-    base: usize,
-    pushed: usize,
+    core: OnlineTrellis<ChainEntry>,
     emitted_macros: Vec<usize>,
     emitted_micros: Vec<MicroCandidate>,
-    states_explored: u64,
-    transition_ops: u64,
-    arena: TrellisArena,
-    pruned: bool,
 }
 
 impl OnlineSingleViterbi {
@@ -624,30 +512,20 @@ impl OnlineSingleViterbi {
             model,
             params,
             user,
-            lag,
-            v: Vec::new(),
-            v32: Vec::new(),
-            window: VecDeque::new(),
-            free: Vec::new(),
-            base: 0,
-            pushed: 0,
+            core: OnlineTrellis::new(lag),
             emitted_macros: Vec::new(),
             emitted_micros: Vec::new(),
-            states_explored: 0,
-            transition_ops: 0,
-            arena: TrellisArena::new(),
-            pruned: false,
         }
     }
 
     /// Ticks consumed so far.
     pub fn ticks_pushed(&self) -> usize {
-        self.pushed
+        self.core.ticks_pushed()
     }
 
     /// Current backpointer-window length.
     pub fn window_len(&self) -> usize {
-        self.window.len()
+        self.core.window_len()
     }
 
     /// Pre-reserves the emitted-decision history for `additional` more
@@ -666,117 +544,57 @@ impl OnlineSingleViterbi {
     /// [`ModelError::EmptyStateSpace`] if the tick has no candidates for
     /// this user.
     pub fn push(&mut self, tick: &TickInput) -> Result<Option<SmoothedChain>, ModelError> {
-        single::validate_tick_user(tick, self.pushed, self.user)?;
-        let mut entry = self.free.pop().unwrap_or_default();
+        single::validate_tick_user(tick, self.core.ticks_pushed(), self.user)?;
+        let mut entry = self.core.take_entry();
         fill_slice(
             &self.params,
             tick,
             self.user,
-            &mut self.arena.step.macro_ids,
+            self.core.scratch_macro_ids(),
             &mut entry.slice,
         );
         entry.cands.clear();
         entry.cands.extend_from_slice(&tick.candidates[self.user]);
-        self.states_explored += entry.slice.len() as u64;
+        let n_states = entry.slice.len() as u64;
         let decoder = self.model.decoder();
-        let prev = self.window.back();
-        match decoder.precision {
-            Precision::Exact64 => advance_chain(
-                &self.params,
-                decoder.beam,
-                prev,
-                &mut entry,
-                &mut self.v,
-                &mut self.arena.step,
-                &mut self.arena.beam,
-                &mut self.pruned,
-                &mut self.transition_ops,
-            ),
-            Precision::Fast32 => advance_chain(
-                &self.params,
-                decoder.beam,
-                prev,
-                &mut entry,
-                &mut self.v32,
-                &mut self.arena.step32,
-                &mut self.arena.beam,
-                &mut self.pruned,
-                &mut self.transition_ops,
-            ),
+        self.core
+            .push_entry(&ChainFamily { p: &self.params }, decoder, entry, n_states);
+        let decision = self
+            .core
+            .emit_ready(decoder.precision, |entry, j, t| SmoothedChain {
+                tick: t,
+                macro_id: entry.slice.activities[j],
+                micro: entry.cands[entry.slice.cands[j]],
+            });
+        if let Some(d) = &decision {
+            self.emitted_macros.push(d.macro_id);
+            self.emitted_micros.push(d.micro);
         }
-        self.window.push_back(entry);
-        self.pushed += 1;
-        Ok(self.emit_ready())
-    }
-
-    /// Argmax of the live frontier, in whichever lane the decoder runs.
-    fn frontier_argmax(&self) -> (usize, f64) {
-        match self.model.decoder().precision {
-            Precision::Exact64 => scalar::argmax(&self.v),
-            Precision::Fast32 => {
-                let (i, s) = scalar::argmax(&self.v32);
-                (i, f64::from(s))
-            }
-        }
-    }
-
-    fn state_at(&self, idx: usize) -> usize {
-        let (mut j, _) = self.frontier_argmax();
-        for i in (idx + 1..self.window.len()).rev() {
-            j = self.window[i].back[j] as usize;
-        }
-        j
-    }
-
-    fn emit_ready(&mut self) -> Option<SmoothedChain> {
-        let Lag::Fixed(lag) = self.lag else {
-            return None;
-        };
-        let last = self.pushed - 1;
-        if last < lag {
-            return None;
-        }
-        let tick = last - lag;
-        let idx = tick - self.base;
-        let j = self.state_at(idx);
-        let entry = &self.window[idx];
-        let decision = SmoothedChain {
-            tick,
-            macro_id: entry.slice.activities[j],
-            micro: entry.cands[entry.slice.cands[j]],
-        };
-        self.emitted_macros.push(decision.macro_id);
-        self.emitted_micros.push(decision.micro);
-        while self.base <= tick && self.window.len() > 1 {
-            let entry = self.window.pop_front().expect("nonempty window");
-            self.free.push(entry);
-            self.base += 1;
-        }
-        Some(decision)
+        Ok(decision)
     }
 
     /// Checkpoints the stream (see [`OnlineCoupledViterbi::park`]).
     pub fn park(&self) -> ParkedChain {
         ParkedChain {
-            v: self.v.clone(),
-            v32: self.v32.clone(),
+            v: self.core.frontier().to_vec(),
+            v32: self.core.frontier32().to_vec(),
             window: self
-                .window
-                .iter()
+                .core
+                .entries()
                 .map(|e| ParkedChainEntry {
                     slice: ParkedSlice::from_slice(&e.slice),
                     back: e.back.clone(),
                     cands: e.cands.clone(),
                 })
                 .collect(),
-            base: self.base,
-            pushed: self.pushed,
+            base: self.core.base(),
+            pushed: self.core.ticks_pushed(),
             emitted_macros: self.emitted_macros.clone(),
             emitted_micros: self.emitted_micros.clone(),
-            states_explored: self.states_explored,
-            transition_ops: self.transition_ops,
-            pruned: self.pruned,
-            keep: self.arena.beam.keep().to_vec(),
+            states_explored: self.core.states_explored(),
+            transition_ops: self.core.transition_ops(),
+            pruned: self.core.pruned(),
+            keep: self.core.keep().to_vec(),
         }
     }
 
@@ -795,33 +613,33 @@ impl OnlineSingleViterbi {
     ) -> Result<Self, ModelError> {
         let params = model.shared_params();
         parked.validate(&params, model.decoder().precision, lag)?;
-        let mut arena = TrellisArena::new();
-        arena.beam.set_keep(&parked.keep);
+        let window: VecDeque<ChainEntry> = parked
+            .window
+            .iter()
+            .map(|e| ChainEntry {
+                slice: e.slice.to_slice(),
+                back: e.back.clone(),
+                cands: e.cands.clone(),
+            })
+            .collect();
         Ok(Self {
             model,
             params,
             user,
-            lag,
-            v: parked.v.clone(),
-            v32: parked.v32.clone(),
-            window: parked
-                .window
-                .iter()
-                .map(|e| ChainEntry {
-                    slice: e.slice.to_slice(),
-                    back: e.back.clone(),
-                    cands: e.cands.clone(),
-                })
-                .collect(),
-            free: Vec::new(),
-            base: parked.base,
-            pushed: parked.pushed,
+            core: OnlineTrellis::from_parts(
+                lag,
+                parked.v.clone(),
+                parked.v32.clone(),
+                window,
+                parked.base,
+                parked.pushed,
+                parked.states_explored,
+                parked.transition_ops,
+                parked.pruned,
+                &parked.keep,
+            ),
             emitted_macros: parked.emitted_macros.clone(),
             emitted_micros: parked.emitted_micros.clone(),
-            states_explored: parked.states_explored,
-            transition_ops: parked.transition_ops,
-            arena,
-            pruned: parked.pruned,
         })
     }
 
@@ -831,25 +649,19 @@ impl OnlineSingleViterbi {
     /// # Errors
     /// [`ModelError::InsufficientData`] if no tick was ever pushed.
     pub fn finalize(mut self) -> Result<SinglePath, ModelError> {
-        if self.pushed == 0 {
+        if self.core.ticks_pushed() == 0 {
             return Err(ModelError::InsufficientData {
                 what: "single-chain inference".into(),
                 available: 0,
                 required: 1,
             });
         }
-        let (mut j, log_prob) = self.frontier_argmax();
         let committed = self.emitted_macros.len();
-        let mut tail: Vec<(usize, MicroCandidate)> = Vec::with_capacity(self.pushed - committed);
-        for t in (committed..self.pushed).rev() {
-            let idx = t - self.base;
-            let entry = &self.window[idx];
-            tail.push((entry.slice.activities[j], entry.cands[entry.slice.cands[j]]));
-            if idx > 0 {
-                j = entry.back[j] as usize;
-            }
-        }
-        tail.reverse();
+        let (tail, log_prob) =
+            self.core
+                .resolve_tail(self.model.decoder().precision, committed, |entry, j| {
+                    (entry.slice.activities[j], entry.cands[entry.slice.cands[j]])
+                });
         let mut macros = std::mem::take(&mut self.emitted_macros);
         let mut micros = std::mem::take(&mut self.emitted_micros);
         for (m, c) in tail {
@@ -860,8 +672,8 @@ impl OnlineSingleViterbi {
             macros,
             micros,
             log_prob,
-            states_explored: self.states_explored,
-            transition_ops: self.transition_ops,
+            states_explored: self.core.states_explored(),
+            transition_ops: self.core.transition_ops(),
         })
     }
 }

@@ -309,7 +309,11 @@ impl ParkedChain {
     }
 }
 
-fn check(cond: bool, what: impl FnOnce() -> String) -> Result<(), ModelError> {
+/// Maps a failed structural invariant to [`ModelError::Persistence`]
+/// with a lazily built description — the shared error shape of every
+/// family's parked-state validation (including `cace-core`'s NH
+/// frontier).
+pub fn check(cond: bool, what: impl FnOnce() -> String) -> Result<(), ModelError> {
     if cond {
         Ok(())
     } else {
@@ -317,12 +321,12 @@ fn check(cond: bool, what: impl FnOnce() -> String) -> Result<(), ModelError> {
     }
 }
 
-/// Decision-cursor invariants shared by both decoders: the window holds
-/// exactly ticks `base..pushed`, the emitted prefix matches the lag's
-/// ripening schedule (so the resumed decoder's `emit_ready` picks up at
-/// the right tick), and finalization can still reach every uncommitted
-/// tick.
-fn validate_cursor(
+/// Decision-cursor invariants shared by every parked decoder family: the
+/// window holds exactly ticks `base..pushed`, the emitted prefix matches
+/// the lag's ripening schedule (so the resumed decoder's `emit_ready`
+/// picks up at the right tick), and finalization can still reach every
+/// uncommitted tick.
+pub fn validate_cursor(
     what: &str,
     base: usize,
     pushed: usize,
@@ -352,11 +356,11 @@ fn validate_cursor(
     Ok(())
 }
 
-/// Frontier + pending-survivor invariants shared by both decoders: the
-/// active scoring lane's frontier matches the newest window entry, carries
-/// no NaN (argmax totally orders scores), and a pending pruned survivor
-/// set is a strict, strictly-ascending subset of it.
-fn validate_frontier(
+/// Frontier + pending-survivor invariants shared by every parked decoder
+/// family: the active scoring lane's frontier matches the newest window
+/// entry, carries no NaN (argmax totally orders scores), and a pending
+/// pruned survivor set is a strict, strictly-ascending subset of it.
+pub fn validate_frontier(
     what: &str,
     frontier: usize,
     v: &[f64],

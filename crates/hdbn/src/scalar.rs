@@ -377,7 +377,7 @@ pub(crate) fn sweep_add_max_arg<S: Scalar>(
 /// # Panics
 /// Panics on an empty frontier (decoders never produce one).
 #[inline]
-pub(crate) fn argmax<S: Scalar>(v: &[S]) -> (usize, S) {
+pub fn argmax<S: Scalar>(v: &[S]) -> (usize, S) {
     v.iter()
         .enumerate()
         .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite scores"))

@@ -6,12 +6,12 @@
 
 use cace_model::ModelError;
 
-use crate::arena::{fill_slice, Slice, StepScratch, TrellisArena};
+use crate::arena::{fill_slice, Slice, StepScratch};
 use crate::beam::{BeamScratch, DecoderConfig};
-use crate::forward::{apply_beam_linear, log_sum_exp, normalize_log};
 use crate::input::{MicroCandidate, TickInput};
 use crate::params::HdbnParams;
-use crate::scalar::{self, fold_max, fold_max_sum, Precision, Scalar};
+use crate::scalar::{self, Precision, Scalar};
+use crate::trellis::{self, HierModel};
 
 /// A decoded single-chain trajectory.
 #[derive(Debug, Clone, PartialEq)]
@@ -141,218 +141,6 @@ pub(crate) fn validate_tick_user(
     Ok(())
 }
 
-/// First-tick chain frontier, written into `v`: macro prior plus emission
-/// per state.
-///
-/// Shared by the batch decoder and
-/// [`crate::online::OnlineSingleViterbi`] so the two stay bit-identical.
-pub(crate) fn chain_init_into<S: Scalar>(p: &HdbnParams, slice: &Slice, v: &mut Vec<S>) {
-    v.clear();
-    v.reserve(slice.len());
-    v.extend(
-        slice
-            .activities
-            .iter()
-            .zip(&slice.emissions)
-            .map(|(&a, &e)| S::from_f64(p.log_prior[a] + e)),
-    );
-}
-
-/// One single-chain DP step: the new frontier lands in `step.v_next` (the
-/// caller swaps) and the per-state backpointer into the previous tick's
-/// frontier in `back`. Transition scores are flat loads from the dense
-/// [`ScoreTables`](crate::ScoreTables) via the slices' precomputed pair
-/// ids — one contiguous `into_row` per new state.
-///
-/// The single implementation of the recursion, called by both the batch
-/// [`SingleHdbn::viterbi`] and the incremental
-/// [`crate::online::OnlineSingleViterbi`].
-pub(crate) fn chain_step_into<S: Scalar>(
-    p: &HdbnParams,
-    prev: &Slice,
-    v: &[S],
-    cur: &Slice,
-    step: &mut StepScratch<S>,
-    back: &mut Vec<u32>,
-) {
-    let t = S::tables(p);
-    let m = cur.len();
-    // Two memoizations, both bit-identical to the per-state × per-prev
-    // scan they replace:
-    // 1. The fold into a new state depends on it only through its pair
-    //    id — compute once per distinct pair (slot), fan out.
-    // 2. Switch transitions are postural-independent, so a whole
-    //    same-activity run of the previous frontier collapses to one
-    //    candidate: (run max of V, first argmax) + switch constant.
-    //    Within a run, adding the same finite constant preserves strict
-    //    order and first-argmax; runs are visited in ascending state
-    //    order, so tie-breaking matches the naive ascending scan.
-    let d = cur.n_slots();
-    let StepScratch {
-        w,
-        w_arg,
-        v_next,
-        run_max,
-        run_arg,
-        gcol,
-        ..
-    } = step;
-    let n_runs = prev.runs.len();
-    run_max.clear();
-    run_max.resize(n_runs, S::NEG_INFINITY);
-    run_arg.clear();
-    run_arg.resize(n_runs, 0);
-    for (r, &(_, start, end)) in prev.runs.iter().enumerate() {
-        let (best, arg) = fold_max(&v[start as usize..end as usize]);
-        run_max[r] = best;
-        run_arg[r] = start + arg;
-    }
-    w.clear();
-    w.resize(d, S::NEG_INFINITY);
-    w_arg.clear();
-    w_arg.resize(d, 0);
-    gcol.clear();
-    gcol.resize(prev.len(), S::NEG_INFINITY);
-    for (s, &dp) in cur.uniq_pairs.iter().enumerate() {
-        let a = t.activity_of(dp);
-        let row = t.into_row(dp);
-        let srow = t.switch_row(a);
-        let mut best = S::NEG_INFINITY;
-        let mut best_arg = 0u32;
-        for (r, &(ar, start, end)) in prev.runs.iter().enumerate() {
-            if ar as usize == a {
-                // Continue run: postural-dependent. Gather the transition
-                // column once, then lane-fold the contiguous
-                // `frontier + column` segment.
-                let (start, end) = (start as usize, end as usize);
-                for jp in start..end {
-                    gcol[jp] = row[prev.pairs[jp] as usize];
-                }
-                let (score, arg) = fold_max_sum(&v[start..end], &gcol[start..end]);
-                if score > best {
-                    best = score;
-                    best_arg = start as u32 + arg;
-                }
-            } else {
-                let score = run_max[r] + srow[ar as usize];
-                if score > best {
-                    best = score;
-                    best_arg = run_arg[r];
-                }
-            }
-        }
-        w[s] = best;
-        w_arg[s] = best_arg;
-    }
-    v_next.clear();
-    v_next.resize(m, S::NEG_INFINITY);
-    back.clear();
-    back.resize(m, 0);
-    for j in 0..m {
-        let s = cur.slots[j] as usize;
-        v_next[j] = w[s] + S::from_f64(cur.emissions[j]);
-        back[j] = w_arg[s];
-    }
-}
-
-/// [`chain_step_into`] restricted to a pruned previous frontier: only the
-/// survivors in `keep` (state indices sorted ascending) may be
-/// transitioned out of. Backpointers stay in full-frontier coordinates, so
-/// backtracking is oblivious to pruning; the iteration order over
-/// survivors matches the dense kernel's ascending order.
-pub(crate) fn chain_step_pruned_into<S: Scalar>(
-    p: &HdbnParams,
-    prev: &Slice,
-    v: &[S],
-    keep: &[u32],
-    cur: &Slice,
-    step: &mut StepScratch<S>,
-    back: &mut Vec<u32>,
-) {
-    let t = S::tables(p);
-    let m = cur.len();
-    let d = cur.n_slots();
-    let StepScratch {
-        w,
-        w_arg,
-        v_next,
-        run_max,
-        run_arg,
-        runs_scratch,
-        ..
-    } = step;
-    // Activity runs of the survivor list (`keep` is ascending over a
-    // macro-major frontier, so same-activity survivors are contiguous),
-    // then the same two memoizations as the dense kernel.
-    runs_scratch.clear();
-    let mut i = 0usize;
-    while i < keep.len() {
-        let a = prev.activities[keep[i] as usize] as u32;
-        let start = i;
-        while i < keep.len() && prev.activities[keep[i] as usize] as u32 == a {
-            i += 1;
-        }
-        runs_scratch.push((a, start as u32, i as u32));
-    }
-    let n_runs = runs_scratch.len();
-    run_max.clear();
-    run_max.resize(n_runs, S::NEG_INFINITY);
-    run_arg.clear();
-    run_arg.resize(n_runs, 0);
-    for (r, &(_, start, end)) in runs_scratch.iter().enumerate() {
-        let mut best = S::NEG_INFINITY;
-        let mut arg = 0u32;
-        for &jp in &keep[start as usize..end as usize] {
-            let vv = v[jp as usize];
-            if vv > best {
-                best = vv;
-                arg = jp;
-            }
-        }
-        run_max[r] = best;
-        run_arg[r] = arg;
-    }
-    w.clear();
-    w.resize(d, S::NEG_INFINITY);
-    w_arg.clear();
-    w_arg.resize(d, 0);
-    for (s, &dp) in cur.uniq_pairs.iter().enumerate() {
-        let a = t.activity_of(dp);
-        let row = t.into_row(dp);
-        let srow = t.switch_row(a);
-        let mut best = S::NEG_INFINITY;
-        let mut best_arg = 0u32;
-        for (r, &(ar, start, end)) in runs_scratch.iter().enumerate() {
-            if ar as usize == a {
-                for &jp in &keep[start as usize..end as usize] {
-                    let score = v[jp as usize] + row[prev.pairs[jp as usize] as usize];
-                    if score > best {
-                        best = score;
-                        best_arg = jp;
-                    }
-                }
-            } else {
-                let score = run_max[r] + srow[ar as usize];
-                if score > best {
-                    best = score;
-                    best_arg = run_arg[r];
-                }
-            }
-        }
-        w[s] = best;
-        w_arg[s] = best_arg;
-    }
-    v_next.clear();
-    v_next.resize(m, S::NEG_INFINITY);
-    back.clear();
-    back.resize(m, 0);
-    for j in 0..m {
-        let s = cur.slots[j] as usize;
-        v_next[j] = w[s] + S::from_f64(cur.emissions[j]);
-        back[j] = w_arg[s];
-    }
-}
-
 impl SingleHdbn {
     /// Wraps parameters (exact decoding).
     pub fn new(params: HdbnParams) -> Self {
@@ -467,8 +255,9 @@ impl SingleHdbn {
             self.slice_into(&ticks[0], user, &mut step.macro_ids, &mut s);
             slices.push(s);
         }
+        let model = HierModel::new(p);
         let mut v: Vec<S> = Vec::new();
-        chain_init_into(p, &slices[0], &mut v);
+        trellis::init_into(&model, &slices[0], &mut v);
         states_explored += v.len() as u64;
 
         let beam = self.decoder.beam;
@@ -484,8 +273,8 @@ impl SingleHdbn {
             let mut back = Vec::new();
             if pruned {
                 transition_ops += (beam_scratch.keep().len() * cur.len()) as u64;
-                chain_step_pruned_into(
-                    p,
+                trellis::step_pruned_into(
+                    &model,
                     prev,
                     &v,
                     beam_scratch.keep(),
@@ -495,7 +284,7 @@ impl SingleHdbn {
                 );
             } else {
                 transition_ops += (prev.len() * cur.len()) as u64;
-                chain_step_into(p, prev, &v, &cur, &mut step, &mut back);
+                trellis::step_dense_into(&model, prev, &v, &cur, &mut step, &mut back);
             }
             std::mem::swap(&mut v, &mut step.v_next);
             pruned = beam.select_log(&v, &mut beam_scratch);
@@ -562,110 +351,9 @@ impl SingleHdbn {
         ticks: &[TickInput],
         user: usize,
     ) -> (Posteriors, Vec<Slice>) {
-        let p = &self.params;
-        let t_tables = &p.tables;
         let slices = self.slices_of(ticks, user);
-
-        let beam = self.decoder.beam;
-        let pruned_mode = !beam.is_exact();
-        let mut arena = TrellisArena::new();
-
-        // Forward (scaled). The per-state log-sum-exp accumulation runs
-        // through the arena's reused `terms` buffer — no per-state `Vec`.
-        let mut log_z = 0.0;
-        let mut alphas: Vec<Vec<f64>> = Vec::with_capacity(ticks.len());
-        let mut alpha: Vec<f64> = slices[0]
-            .activities
-            .iter()
-            .zip(&slices[0].emissions)
-            .map(|(&a, &e)| p.log_prior[a] + e)
-            .collect();
-        log_z += normalize_log(&mut alpha);
-        if pruned_mode {
-            apply_beam_linear(beam, &mut alpha, &mut arena.beam);
-        }
-        alphas.push(alpha);
-
-        for t in 1..ticks.len() {
-            let cur = &slices[t];
-            let prev = &slices[t - 1];
-            // The fold into a new state depends on it only through its
-            // pair id: one log-sum-exp per distinct pair, fanned out.
-            let StepScratch { w, terms, .. } = &mut arena.step;
-            w.clear();
-            w.resize(cur.n_slots(), f64::NEG_INFINITY);
-            for (s, &dp) in cur.uniq_pairs.iter().enumerate() {
-                let row = t_tables.into_row(dp);
-                terms.clear();
-                for (jp, &pp) in prev.pairs.iter().enumerate() {
-                    if pruned_mode && alphas[t - 1][jp] <= 0.0 {
-                        continue;
-                    }
-                    terms.push(alphas[t - 1][jp].max(1e-300).ln() + row[pp as usize]);
-                }
-                w[s] = log_sum_exp(terms);
-            }
-            let mut next = vec![f64::NEG_INFINITY; cur.len()];
-            for j in 0..cur.len() {
-                next[j] = w[cur.slots[j] as usize] + cur.emissions[j];
-            }
-            log_z += normalize_log(&mut next);
-            if pruned_mode {
-                apply_beam_linear(beam, &mut next, &mut arena.beam);
-            }
-            alphas.push(next);
-        }
-
-        // Backward (scaled); under a beam, states pruned from the forward
-        // lattice are skipped here too (their gamma is zero regardless).
-        let mut betas: Vec<Vec<f64>> = vec![Vec::new(); ticks.len()];
-        let last = ticks.len() - 1;
-        betas[last] = vec![1.0; slices[last].len()];
-        for t in (0..last).rev() {
-            let cur = &slices[t];
-            let nxt = &slices[t + 1];
-            // Mirror of the forward memoization: beta of a state depends
-            // on it only through its (source) pair id.
-            let StepScratch { w, terms, .. } = &mut arena.step;
-            w.clear();
-            w.resize(cur.n_slots(), f64::NEG_INFINITY);
-            for (s, &sp) in cur.uniq_pairs.iter().enumerate() {
-                let row = t_tables.from_row(sp);
-                terms.clear();
-                for (jn, &pn) in nxt.pairs.iter().enumerate() {
-                    if pruned_mode && alphas[t + 1][jn] <= 0.0 {
-                        continue;
-                    }
-                    terms.push(
-                        betas[t + 1][jn].max(1e-300).ln() + row[pn as usize] + nxt.emissions[jn],
-                    );
-                }
-                w[s] = log_sum_exp(terms);
-            }
-            let mut beta = vec![f64::NEG_INFINITY; cur.len()];
-            for j in 0..cur.len() {
-                beta[j] = w[cur.slots[j] as usize];
-            }
-            normalize_log(&mut beta);
-            betas[t] = beta;
-        }
-
-        // Gamma.
-        let gamma: Vec<Vec<f64>> = alphas
-            .iter()
-            .zip(&betas)
-            .map(|(a, b)| {
-                let mut g: Vec<f64> = a.iter().zip(b).map(|(x, y)| x * y).collect();
-                let total: f64 = g.iter().sum();
-                if total > 0.0 {
-                    for v in &mut g {
-                        *v /= total;
-                    }
-                }
-                g
-            })
-            .collect();
-
+        let (gamma, log_z) =
+            trellis::forward_backward(&HierModel::new(&self.params), &slices, self.decoder.beam);
         (
             Posteriors {
                 gamma,

@@ -1,0 +1,884 @@
+//! The generic trellis engine: one trait-parameterized kernel core shared
+//! by every decoder family.
+//!
+//! Historically each decoder family — coupled joint, single chain, and the
+//! NH flat product in `cace-core` — carried its own copy of the dense DP
+//! step, the pruned step, the first-tick init, and the online
+//! window/free-list machinery. This module factors the shared shape out
+//! into three axes:
+//!
+//! * [`StateSpace`] — how one tick enumerates its states: how many, which
+//!   *slot* (distinct destination-context id) each belongs to, which
+//!   source *pair id* indexes a transition row, the contiguous same-group
+//!   runs of the (group-major) state list, and the per-state emission.
+//! * [`ScoreModel`] — how scores are looked up: the first-tick init score
+//!   and, per destination slot, a [`Dest`] bundle of the continue row
+//!   (indexed by source pair id) and, for hierarchical models, the
+//!   group-switch row (indexed by source group).
+//! * [`Scalar`] — the scoring lane (`f64` exact / `f32` fast), unchanged.
+//!
+//! [`init_into`], [`step_dense_into`], and [`step_pruned_into`] are the
+//! *only* implementations of the chain-shaped recursion; the single-chain
+//! decoder instantiates them through [`HierModel`] and the NH decoder
+//! through its flat-table model in `cace-core`. The coupled joint step is
+//! the one family that keeps a bespoke kernel
+//! ([`crate::viterbi`]'s two-pass factored fold over the product space —
+//! its `O(|S1||S2|(|S1|+|S2|))` shape cannot be expressed as a single
+//! per-destination fold without losing both the complexity bound and
+//! bit-identity), so it plugs into the engine one level up, as a
+//! [`TrellisFamily`].
+//!
+//! The online layer is factored the same way: [`OnlineTrellis`] owns the
+//! frontier lanes, the bounded backpointer window with its pooled free
+//! list, the decision cursor, and the overhead counters — written once —
+//! and each family supplies a [`TrellisFamily`] impl that maps a window
+//! entry onto the kernels. [`forward_backward`] is the single scaled
+//! alpha/beta recursion, parameterized over [`PosteriorModel`].
+//!
+//! # Bit-identity contract
+//!
+//! Every kernel here preserves the repo-wide tie-breaking and memoization
+//! contracts (see `scalar.rs`): per-destination candidates are visited in
+//! ascending source order with strict-`>` first-argmax, same-group runs
+//! collapse through `fold_max`/`fold_max_sum` (documented
+//! bit-identical to the scalar ascending scan), and the frontier
+//! termination argmax is the last-max [`argmax`]. The f64 lane of every
+//! instantiation is bit-identical to the per-family kernels it replaced.
+
+use std::collections::VecDeque;
+
+use crate::arena::{StepScratch, TrellisArena};
+use crate::beam::{Beam, BeamScratch, DecoderConfig};
+use crate::forward::{apply_beam_linear, log_sum_exp, normalize_log};
+use crate::online::Lag;
+use crate::params::HdbnParams;
+use crate::scalar::{self, fold_max, fold_max_sum, Precision, Scalar};
+
+pub use crate::scalar::argmax;
+
+/// One tick's state enumeration, as the generic kernels see it.
+///
+/// States are indexed `0..len()` in *group-major* order: contiguous
+/// same-group runs, ascending. Each state carries a *pair id* (the index
+/// of its transition-row context in the score model) and belongs to a
+/// *slot* — one of the tick's distinct pair ids — so the per-destination
+/// fold can be computed once per slot and fanned out per state.
+pub trait StateSpace {
+    /// Number of states this tick.
+    fn len(&self) -> usize;
+
+    /// Whether the tick has no states (kernels require nonempty spaces).
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct destination contexts (slots) this tick.
+    fn n_slots(&self) -> usize;
+
+    /// Slot of state `j` (an index into `0..n_slots()`).
+    fn slot(&self, j: usize) -> u32;
+
+    /// Pair id of slot `s` — the [`ScoreModel::dest`] lookup key.
+    fn slot_pair(&self, s: usize) -> u32;
+
+    /// Pair id of state `j` — its index *inside* a continue row when the
+    /// state is a fold source.
+    fn pair(&self, j: usize) -> u32;
+
+    /// Group (macro activity) of state `j`.
+    fn group_of(&self, j: usize) -> u32;
+
+    /// Contiguous same-group runs `(group, start, end)` (half-open,
+    /// ascending) tiling `0..len()`.
+    fn runs(&self) -> &[(u32, u32, u32)];
+
+    /// Emission score of state `j`.
+    fn emission(&self, j: usize) -> f64;
+}
+
+/// The score lookups of one destination slot, in lane `S`.
+pub struct Dest<'a, S> {
+    /// Destination group — sources in the same group take the `cont` row,
+    /// sources in other groups the `switch` row (ignored when the model
+    /// has [`ScoreModel::SWITCH`]` == false`).
+    pub group: u32,
+    /// Continue-transition row, indexed by source pair id.
+    pub cont: &'a [S],
+    /// Group-switch row, indexed by source group (empty when the model
+    /// has no switch structure).
+    pub switch: &'a [S],
+}
+
+/// Score lookups of one decoder family in lane `S`: the first-tick init
+/// score plus the per-destination transition rows.
+pub trait ScoreModel<S: Scalar> {
+    /// Whether transitions split into same-group *continue* rows and
+    /// group-level *switch* constants. When `false`, every source scores
+    /// through [`Dest::cont`] and the kernels skip the run-max switch
+    /// cache entirely.
+    const SWITCH: bool;
+
+    /// Complete first-tick score of a state (prior term plus emission —
+    /// the model returns the full `f64` so lanes convert exactly once).
+    fn init_score(&self, group: u32, pair: u32, emission: f64) -> f64;
+
+    /// Transition rows into the destination context `pair`.
+    fn dest(&self, pair: u32) -> Dest<'_, S>;
+}
+
+/// Writes the first-tick frontier of `cur` into `v`.
+///
+/// The single init implementation behind every family's first push.
+pub fn init_into<S: Scalar, Sp: StateSpace, M: ScoreModel<S>>(model: &M, cur: &Sp, v: &mut Vec<S>) {
+    v.clear();
+    v.reserve(cur.len());
+    for j in 0..cur.len() {
+        v.push(S::from_f64(model.init_score(
+            cur.group_of(j),
+            cur.pair(j),
+            cur.emission(j),
+        )));
+    }
+}
+
+/// One dense DP step: the new frontier lands in `step.v_next` (the caller
+/// swaps — see [`StepScratch::swap_frontier`]) and per-state backpointers
+/// into the previous tick's frontier in `back`.
+///
+/// Two memoizations, both bit-identical to the per-state × per-source
+/// scan they replace:
+///
+/// 1. The fold into a new state depends on it only through its pair id —
+///    compute once per distinct pair (slot), fan out.
+/// 2. Under [`ScoreModel::SWITCH`], switch transitions are
+///    within-group-independent, so a whole same-group run of the previous
+///    frontier collapses to one candidate: (run max of `v`, first argmax)
+///    plus the switch constant. Within a run, adding the same finite
+///    constant preserves strict order and first-argmax; runs are visited
+///    in ascending state order, so tie-breaking matches the naive
+///    ascending scan.
+pub fn step_dense_into<S: Scalar, Sp: StateSpace, M: ScoreModel<S>>(
+    model: &M,
+    prev: &Sp,
+    v: &[S],
+    cur: &Sp,
+    step: &mut StepScratch<S>,
+    back: &mut Vec<u32>,
+) {
+    let m = cur.len();
+    let d = cur.n_slots();
+    let StepScratch {
+        w,
+        w_arg,
+        v_next,
+        run_max,
+        run_arg,
+        gcol,
+        ..
+    } = step;
+    let runs = prev.runs();
+    if M::SWITCH {
+        let n_runs = runs.len();
+        run_max.clear();
+        run_max.resize(n_runs, S::NEG_INFINITY);
+        run_arg.clear();
+        run_arg.resize(n_runs, 0);
+        for (r, &(_, start, end)) in runs.iter().enumerate() {
+            let (best, arg) = fold_max(&v[start as usize..end as usize]);
+            run_max[r] = best;
+            run_arg[r] = start + arg;
+        }
+    }
+    w.clear();
+    w.resize(d, S::NEG_INFINITY);
+    w_arg.clear();
+    w_arg.resize(d, 0);
+    gcol.clear();
+    gcol.resize(prev.len(), S::NEG_INFINITY);
+    for s in 0..d {
+        let dest = model.dest(cur.slot_pair(s));
+        let mut best = S::NEG_INFINITY;
+        let mut best_arg = 0u32;
+        for (r, &(gr, start, end)) in runs.iter().enumerate() {
+            if !M::SWITCH || gr == dest.group {
+                // Continue run: source-dependent. Gather the transition
+                // column once, then lane-fold the contiguous
+                // `frontier + column` segment.
+                let (start, end) = (start as usize, end as usize);
+                for jp in start..end {
+                    gcol[jp] = dest.cont[prev.pair(jp) as usize];
+                }
+                let (score, arg) = fold_max_sum(&v[start..end], &gcol[start..end]);
+                if score > best {
+                    best = score;
+                    best_arg = start as u32 + arg;
+                }
+            } else {
+                let score = run_max[r] + dest.switch[gr as usize];
+                if score > best {
+                    best = score;
+                    best_arg = run_arg[r];
+                }
+            }
+        }
+        w[s] = best;
+        w_arg[s] = best_arg;
+    }
+    v_next.clear();
+    v_next.resize(m, S::NEG_INFINITY);
+    back.clear();
+    back.resize(m, 0);
+    for j in 0..m {
+        let s = cur.slot(j) as usize;
+        v_next[j] = w[s] + S::from_f64(cur.emission(j));
+        back[j] = w_arg[s];
+    }
+}
+
+/// [`step_dense_into`] restricted to a pruned previous frontier: only the
+/// survivors in `keep` (state indices sorted ascending) may be
+/// transitioned out of. Backpointers stay in full-frontier coordinates,
+/// so backtracking is oblivious to pruning; the iteration order over
+/// survivors matches the dense kernel's ascending order.
+pub fn step_pruned_into<S: Scalar, Sp: StateSpace, M: ScoreModel<S>>(
+    model: &M,
+    prev: &Sp,
+    v: &[S],
+    keep: &[u32],
+    cur: &Sp,
+    step: &mut StepScratch<S>,
+    back: &mut Vec<u32>,
+) {
+    let m = cur.len();
+    let d = cur.n_slots();
+    let StepScratch {
+        w,
+        w_arg,
+        v_next,
+        run_max,
+        run_arg,
+        runs_scratch,
+        ..
+    } = step;
+    // Group runs of the survivor list (`keep` is ascending over a
+    // group-major frontier, so same-group survivors are contiguous), then
+    // the same two memoizations as the dense kernel. A switch-free model
+    // folds every survivor through one pseudo-run.
+    runs_scratch.clear();
+    if M::SWITCH {
+        let mut i = 0usize;
+        while i < keep.len() {
+            let g = prev.group_of(keep[i] as usize);
+            let start = i;
+            while i < keep.len() && prev.group_of(keep[i] as usize) == g {
+                i += 1;
+            }
+            runs_scratch.push((g, start as u32, i as u32));
+        }
+        let n_runs = runs_scratch.len();
+        run_max.clear();
+        run_max.resize(n_runs, S::NEG_INFINITY);
+        run_arg.clear();
+        run_arg.resize(n_runs, 0);
+        for (r, &(_, start, end)) in runs_scratch.iter().enumerate() {
+            let mut best = S::NEG_INFINITY;
+            let mut arg = 0u32;
+            for &jp in &keep[start as usize..end as usize] {
+                let vv = v[jp as usize];
+                if vv > best {
+                    best = vv;
+                    arg = jp;
+                }
+            }
+            run_max[r] = best;
+            run_arg[r] = arg;
+        }
+    } else {
+        runs_scratch.push((0, 0, keep.len() as u32));
+    }
+    w.clear();
+    w.resize(d, S::NEG_INFINITY);
+    w_arg.clear();
+    w_arg.resize(d, 0);
+    for s in 0..d {
+        let dest = model.dest(cur.slot_pair(s));
+        let mut best = S::NEG_INFINITY;
+        let mut best_arg = 0u32;
+        for (r, &(gr, start, end)) in runs_scratch.iter().enumerate() {
+            if !M::SWITCH || gr == dest.group {
+                for &jp in &keep[start as usize..end as usize] {
+                    let score = v[jp as usize] + dest.cont[prev.pair(jp as usize) as usize];
+                    if score > best {
+                        best = score;
+                        best_arg = jp;
+                    }
+                }
+            } else {
+                let score = run_max[r] + dest.switch[gr as usize];
+                if score > best {
+                    best = score;
+                    best_arg = run_arg[r];
+                }
+            }
+        }
+        w[s] = best;
+        w_arg[s] = best_arg;
+    }
+    v_next.clear();
+    v_next.resize(m, S::NEG_INFINITY);
+    back.clear();
+    back.resize(m, 0);
+    for j in 0..m {
+        let s = cur.slot(j) as usize;
+        v_next[j] = w[s] + S::from_f64(cur.emission(j));
+        back[j] = w_arg[s];
+    }
+}
+
+/// The hierarchical-chain [`ScoreModel`]: macro prior plus emission at
+/// init; dense [`ScoreTables`](crate::ScoreTables) continue rows keyed by
+/// `(activity, postural)` pair id, postural-independent switch rows keyed
+/// by source activity. The single-chain decoder's trait instantiation
+/// (the coupled decoder composes two of these plus the coupling factor in
+/// its bespoke joint kernel).
+pub struct HierModel<'a> {
+    p: &'a HdbnParams,
+}
+
+impl<'a> HierModel<'a> {
+    /// Wraps a trained parameter set.
+    pub fn new(p: &'a HdbnParams) -> Self {
+        Self { p }
+    }
+}
+
+impl<S: Scalar> ScoreModel<S> for HierModel<'_> {
+    const SWITCH: bool = true;
+
+    fn init_score(&self, group: u32, _pair: u32, emission: f64) -> f64 {
+        self.p.log_prior[group as usize] + emission
+    }
+
+    fn dest(&self, pair: u32) -> Dest<'_, S> {
+        let t = S::tables(self.p);
+        let a = t.activity_of(pair);
+        Dest {
+            group: a as u32,
+            cont: t.into_row(pair),
+            switch: t.switch_row(a),
+        }
+    }
+}
+
+/// [`ScoreModel`] extension for posterior inference: the outgoing
+/// (source-keyed) transition row the backward recursion scans.
+pub trait PosteriorModel: ScoreModel<f64> {
+    /// Transition row *out of* source context `pair`, indexed by
+    /// destination pair id.
+    fn source(&self, pair: u32) -> &[f64];
+}
+
+impl PosteriorModel for HierModel<'_> {
+    fn source(&self, pair: u32) -> &[f64] {
+        <f64 as Scalar>::tables(self.p).from_row(pair)
+    }
+}
+
+/// Scaled forward–backward over a sequence of state spaces: returns
+/// per-tick posterior marginals `gamma[t][j]` and the sequence
+/// log-likelihood. The single generic implementation of the alpha/beta
+/// recursion (f64 only — posterior mass has no fast lane).
+///
+/// Under a pruning `beam`, the forward *filtering* distribution is beamed
+/// per tick (see [`crate::forward::apply_beam_linear`]): pruned states
+/// carry zero mass forward, the recursion skips them, and the backward
+/// pass skips them symmetrically. [`Beam::Exact`] is bit-identical to the
+/// full recursion.
+pub fn forward_backward<Sp: StateSpace, M: PosteriorModel>(
+    model: &M,
+    spaces: &[Sp],
+    beam: Beam,
+) -> (Vec<Vec<f64>>, f64) {
+    let pruned_mode = !beam.is_exact();
+    let mut arena = TrellisArena::new();
+    let n_ticks = spaces.len();
+
+    // Forward (scaled). The per-state log-sum-exp accumulation runs
+    // through the arena's reused `terms` buffer — no per-state `Vec`.
+    let mut log_z = 0.0;
+    let mut alphas: Vec<Vec<f64>> = Vec::with_capacity(n_ticks);
+    let first = &spaces[0];
+    let mut alpha: Vec<f64> = (0..first.len())
+        .map(|j| model.init_score(first.group_of(j), first.pair(j), first.emission(j)))
+        .collect();
+    log_z += normalize_log(&mut alpha);
+    if pruned_mode {
+        apply_beam_linear(beam, &mut alpha, &mut arena.beam);
+    }
+    alphas.push(alpha);
+
+    for t in 1..n_ticks {
+        let cur = &spaces[t];
+        let prev = &spaces[t - 1];
+        // The fold into a new state depends on it only through its pair
+        // id: one log-sum-exp per distinct pair, fanned out.
+        let StepScratch { w, terms, .. } = &mut arena.step;
+        w.clear();
+        w.resize(cur.n_slots(), f64::NEG_INFINITY);
+        for s in 0..cur.n_slots() {
+            let row = model.dest(cur.slot_pair(s)).cont;
+            terms.clear();
+            for jp in 0..prev.len() {
+                if pruned_mode && alphas[t - 1][jp] <= 0.0 {
+                    continue;
+                }
+                terms.push(alphas[t - 1][jp].max(1e-300).ln() + row[prev.pair(jp) as usize]);
+            }
+            w[s] = log_sum_exp(terms);
+        }
+        let mut next = vec![f64::NEG_INFINITY; cur.len()];
+        for j in 0..cur.len() {
+            next[j] = w[cur.slot(j) as usize] + cur.emission(j);
+        }
+        log_z += normalize_log(&mut next);
+        if pruned_mode {
+            apply_beam_linear(beam, &mut next, &mut arena.beam);
+        }
+        alphas.push(next);
+    }
+
+    // Backward (scaled); under a beam, states pruned from the forward
+    // lattice are skipped here too (their gamma is zero regardless).
+    let mut betas: Vec<Vec<f64>> = vec![Vec::new(); n_ticks];
+    let last = n_ticks - 1;
+    betas[last] = vec![1.0; spaces[last].len()];
+    for t in (0..last).rev() {
+        let cur = &spaces[t];
+        let nxt = &spaces[t + 1];
+        // Mirror of the forward memoization: beta of a state depends on
+        // it only through its (source) pair id.
+        let StepScratch { w, terms, .. } = &mut arena.step;
+        w.clear();
+        w.resize(cur.n_slots(), f64::NEG_INFINITY);
+        for s in 0..cur.n_slots() {
+            let row = model.source(cur.slot_pair(s));
+            terms.clear();
+            for jn in 0..nxt.len() {
+                if pruned_mode && alphas[t + 1][jn] <= 0.0 {
+                    continue;
+                }
+                terms.push(
+                    betas[t + 1][jn].max(1e-300).ln()
+                        + row[nxt.pair(jn) as usize]
+                        + nxt.emission(jn),
+                );
+            }
+            w[s] = log_sum_exp(terms);
+        }
+        let mut beta = vec![f64::NEG_INFINITY; cur.len()];
+        for j in 0..cur.len() {
+            beta[j] = w[cur.slot(j) as usize];
+        }
+        normalize_log(&mut beta);
+        betas[t] = beta;
+    }
+
+    // Gamma.
+    let gamma: Vec<Vec<f64>> = alphas
+        .iter()
+        .zip(&betas)
+        .map(|(a, b)| {
+            let mut g: Vec<f64> = a.iter().zip(b).map(|(x, y)| x * y).collect();
+            let total: f64 = g.iter().sum();
+            if total > 0.0 {
+                for v in &mut g {
+                    *v /= total;
+                }
+            }
+            g
+        })
+        .collect();
+
+    (gamma, log_z)
+}
+
+/// One retained tick of an online backpointer window, as the generic
+/// online core sees it. Entries are pooled: when the window drops a
+/// ripened tick, the entry (buffers and all) goes to the free list and
+/// the next push refills it in place.
+pub trait TrellisEntry: Default {
+    /// Backpointers into the previous tick's frontier (empty for the
+    /// first tick of a stream).
+    fn back(&self) -> &[u32];
+}
+
+/// One decoder family plugged into the online core in lane `S`: how a
+/// window entry is initialized and stepped. `step_*` return the
+/// transition-op charge of the step (the accounting contract each family
+/// already reported before the refactor).
+pub trait TrellisFamily<S: Scalar> {
+    /// The family's window-entry type.
+    type Entry: TrellisEntry;
+
+    /// Initializes the frontier from the stream's first entry (and clears
+    /// the entry's backpointers).
+    fn init(&self, entry: &mut Self::Entry, v: &mut Vec<S>);
+
+    /// One dense DP step from `prev` into `entry`; the new frontier lands
+    /// in `step.v_next`. Returns the transition-op charge.
+    fn step_dense(
+        &self,
+        prev: &Self::Entry,
+        v: &[S],
+        entry: &mut Self::Entry,
+        step: &mut StepScratch<S>,
+    ) -> u64;
+
+    /// One beam-pruned DP step (survivors in `keep`, ascending). Returns
+    /// the transition-op charge.
+    fn step_pruned(
+        &self,
+        prev: &Self::Entry,
+        v: &[S],
+        keep: &[u32],
+        entry: &mut Self::Entry,
+        step: &mut StepScratch<S>,
+    ) -> u64;
+}
+
+/// Advances (or initializes) a frontier by one DP step in lane `S`, then
+/// applies the beam — the single per-[`Precision`] dispatch target behind
+/// [`OnlineTrellis::push_entry`].
+#[allow(clippy::too_many_arguments)]
+fn advance<S: Scalar, F: TrellisFamily<S>>(
+    family: &F,
+    beam: Beam,
+    prev: Option<&F::Entry>,
+    entry: &mut F::Entry,
+    v: &mut Vec<S>,
+    step: &mut StepScratch<S>,
+    beam_scratch: &mut BeamScratch,
+    pruned: &mut bool,
+    transition_ops: &mut u64,
+) {
+    match prev {
+        None => family.init(entry, v),
+        Some(prev) => {
+            *transition_ops += if *pruned {
+                family.step_pruned(prev, v, beam_scratch.keep(), entry, step)
+            } else {
+                family.step_dense(prev, v, entry, step)
+            };
+            std::mem::swap(v, &mut step.v_next);
+        }
+    }
+    *pruned = beam.select_log(v, beam_scratch);
+}
+
+/// The family-independent half of an online fixed-lag decoder: both
+/// frontier lanes, the bounded backpointer window with its pooled free
+/// list, the decision cursor (`base`/`pushed`), the overhead counters,
+/// and the [`TrellisArena`] scratch. Written once; each public online
+/// decoder ([`crate::OnlineCoupledViterbi`],
+/// [`crate::OnlineSingleViterbi`], and `cace-core`'s NH frontier) wraps
+/// one of these plus its family-specific decision/emission bookkeeping.
+#[derive(Debug, Clone)]
+pub struct OnlineTrellis<E> {
+    lag: Lag,
+    /// Live frontier, exact lane (empty under [`Precision::Fast32`]).
+    v: Vec<f64>,
+    /// Fast-lane frontier (empty under [`Precision::Exact64`]).
+    v32: Vec<f32>,
+    /// Backpointer window: entries for ticks `base .. pushed`.
+    window: VecDeque<E>,
+    /// Recycled window entries (see [`TrellisEntry`]).
+    free: Vec<E>,
+    /// Tick index of `window[0]`.
+    base: usize,
+    /// Ticks consumed so far.
+    pushed: usize,
+    states_explored: u64,
+    transition_ops: u64,
+    /// All step-kernel scratch — beam survivors, fold buffers, ping-pong
+    /// frontier — allocated once per stream, reused every push.
+    arena: TrellisArena,
+    /// Whether the current frontier was restricted (always `false` under
+    /// [`Beam::Exact`]).
+    pruned: bool,
+}
+
+impl<E: TrellisEntry> OnlineTrellis<E> {
+    /// An empty stream with the given smoothing lag.
+    pub fn new(lag: Lag) -> Self {
+        Self {
+            lag,
+            v: Vec::new(),
+            v32: Vec::new(),
+            window: VecDeque::new(),
+            free: Vec::new(),
+            base: 0,
+            pushed: 0,
+            states_explored: 0,
+            transition_ops: 0,
+            arena: TrellisArena::new(),
+            pruned: false,
+        }
+    }
+
+    /// Rebuilds a core from parked state; `keep` seeds the pending
+    /// beam-survivor set (the free list and arena scratch restore empty —
+    /// they only exist to avoid steady-state allocations).
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        lag: Lag,
+        v: Vec<f64>,
+        v32: Vec<f32>,
+        window: VecDeque<E>,
+        base: usize,
+        pushed: usize,
+        states_explored: u64,
+        transition_ops: u64,
+        pruned: bool,
+        keep: &[u32],
+    ) -> Self {
+        let mut arena = TrellisArena::new();
+        arena.beam.set_keep(keep);
+        Self {
+            lag,
+            v,
+            v32,
+            window,
+            free: Vec::new(),
+            base,
+            pushed,
+            states_explored,
+            transition_ops,
+            arena,
+            pruned,
+        }
+    }
+
+    /// Ticks consumed so far.
+    pub fn ticks_pushed(&self) -> usize {
+        self.pushed
+    }
+
+    /// Current backpointer-window length (bounded by `lag + 2` for
+    /// [`Lag::Fixed`]).
+    pub fn window_len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Tick index of the oldest retained window entry.
+    pub fn base(&self) -> usize {
+        self.base
+    }
+
+    /// The smoothing lag this stream runs under.
+    pub fn lag(&self) -> Lag {
+        self.lag
+    }
+
+    /// Σ_t |S(t)| states instantiated so far.
+    pub fn states_explored(&self) -> u64 {
+        self.states_explored
+    }
+
+    /// Σ transition evaluations performed so far.
+    pub fn transition_ops(&self) -> u64 {
+        self.transition_ops
+    }
+
+    /// Whether the current frontier was beam-restricted.
+    pub fn pruned(&self) -> bool {
+        self.pruned
+    }
+
+    /// The pending beam-survivor set a pruned next step would consume.
+    pub fn keep(&self) -> &[u32] {
+        self.arena.beam.keep()
+    }
+
+    /// The exact-lane frontier (empty under [`Precision::Fast32`]).
+    pub fn frontier(&self) -> &[f64] {
+        &self.v
+    }
+
+    /// The fast-lane frontier (empty under [`Precision::Exact64`]).
+    pub fn frontier32(&self) -> &[f32] {
+        &self.v32
+    }
+
+    /// The retained window entries, oldest first (for parking).
+    pub fn entries(&self) -> impl Iterator<Item = &E> + '_ {
+        self.window.iter()
+    }
+
+    /// Pops a pooled entry (or a fresh default) for the caller to fill
+    /// before [`push_entry`](Self::push_entry).
+    pub fn take_entry(&mut self) -> E {
+        self.free.pop().unwrap_or_default()
+    }
+
+    /// The allowed-macro scratch buffer shared with `fill_slice`-style
+    /// entry fills.
+    pub fn scratch_macro_ids(&mut self) -> &mut Vec<usize> {
+        &mut self.arena.step.macro_ids
+    }
+
+    /// Consumes one filled entry, advancing the frontier by one DP step
+    /// in the decoder's configured lane (init on the first tick) and
+    /// charging `n_states` to the exploration counter. The caller follows
+    /// up with [`emit_ready`](Self::emit_ready).
+    pub fn push_entry<F>(&mut self, family: &F, decoder: DecoderConfig, mut entry: E, n_states: u64)
+    where
+        F: TrellisFamily<f64, Entry = E> + TrellisFamily<f32, Entry = E>,
+    {
+        self.states_explored += n_states;
+        let prev = self.window.back();
+        match decoder.precision {
+            Precision::Exact64 => advance::<f64, F>(
+                family,
+                decoder.beam,
+                prev,
+                &mut entry,
+                &mut self.v,
+                &mut self.arena.step,
+                &mut self.arena.beam,
+                &mut self.pruned,
+                &mut self.transition_ops,
+            ),
+            Precision::Fast32 => advance::<f32, F>(
+                family,
+                decoder.beam,
+                prev,
+                &mut entry,
+                &mut self.v32,
+                &mut self.arena.step32,
+                &mut self.arena.beam,
+                &mut self.pruned,
+                &mut self.transition_ops,
+            ),
+        }
+        self.window.push_back(entry);
+        self.pushed += 1;
+    }
+
+    /// Argmax of the live frontier, in whichever lane the decoder runs.
+    ///
+    /// # Panics
+    /// Panics if no tick was ever pushed (empty frontier).
+    pub fn frontier_argmax(&self, precision: Precision) -> (usize, f64) {
+        match precision {
+            Precision::Exact64 => scalar::argmax(&self.v),
+            Precision::Fast32 => {
+                let (i, s) = scalar::argmax(&self.v32);
+                (i, f64::from(s))
+            }
+        }
+    }
+
+    /// Walks the backpointer window from the current frontier argmax down
+    /// to window index `idx`, returning the state index there.
+    pub fn state_at(&self, idx: usize, precision: Precision) -> usize {
+        let (mut j, _) = self.frontier_argmax(precision);
+        for i in (idx + 1..self.window.len()).rev() {
+            j = self.window[i].back()[j] as usize;
+        }
+        j
+    }
+
+    /// The fixed-lag ripening schedule, shared by every family: after a
+    /// push, if tick `pushed - 1 - lag` has ripened, resolve its smoothed
+    /// state, build the family's decision via `decide(entry, state, tick)`,
+    /// and drop every no-longer-needed window entry to the free list.
+    /// Returns `None` under [`Lag::Unbounded`] or before the horizon
+    /// fills. Must be called after at least one
+    /// [`push_entry`](Self::push_entry).
+    pub fn emit_ready<D>(
+        &mut self,
+        precision: Precision,
+        decide: impl FnOnce(&E, usize, usize) -> D,
+    ) -> Option<D> {
+        let Lag::Fixed(lag) = self.lag else {
+            return None;
+        };
+        let last = self.pushed - 1;
+        if last < lag {
+            return None;
+        }
+        let tick = last - lag;
+        let idx = tick - self.base;
+        let j = self.state_at(idx, precision);
+        let decision = decide(&self.window[idx], j, tick);
+        // Entries at or before the emitted tick are never read again —
+        // except the newest entry, which the next step needs as `prev`.
+        // Dropped entries keep their buffers: they go to the free list and
+        // the next push refills them in place.
+        while self.base <= tick && self.window.len() > 1 {
+            let entry = self.window.pop_front().expect("nonempty window");
+            self.free.push(entry);
+            self.base += 1;
+        }
+        Some(decision)
+    }
+
+    /// Finalization tail walk, shared by every family: resolves the
+    /// uncommitted ticks `committed..pushed` against the final frontier
+    /// argmax (newest first, then reversed into place), building each
+    /// decision via `decide(entry, state)`. Returns the tail decisions in
+    /// tick order plus the final frontier log-score.
+    pub fn resolve_tail<D>(
+        &self,
+        precision: Precision,
+        committed: usize,
+        mut decide: impl FnMut(&E, usize) -> D,
+    ) -> (Vec<D>, f64) {
+        let (mut j, log_prob) = self.frontier_argmax(precision);
+        let mut tail: Vec<D> = Vec::with_capacity(self.pushed - committed);
+        for t in (committed..self.pushed).rev() {
+            let idx = t - self.base;
+            let entry = &self.window[idx];
+            tail.push(decide(entry, j));
+            if idx > 0 {
+                j = entry.back()[j] as usize;
+            }
+        }
+        tail.reverse();
+        (tail, log_prob)
+    }
+}
+
+impl StateSpace for crate::arena::Slice {
+    fn len(&self) -> usize {
+        self.activities.len()
+    }
+
+    fn n_slots(&self) -> usize {
+        self.uniq_pairs.len()
+    }
+
+    fn slot(&self, j: usize) -> u32 {
+        self.slots[j]
+    }
+
+    fn slot_pair(&self, s: usize) -> u32 {
+        self.uniq_pairs[s]
+    }
+
+    fn pair(&self, j: usize) -> u32 {
+        self.pairs[j]
+    }
+
+    fn group_of(&self, j: usize) -> u32 {
+        self.activities[j] as u32
+    }
+
+    fn runs(&self) -> &[(u32, u32, u32)] {
+        &self.runs
+    }
+
+    fn emission(&self, j: usize) -> f64 {
+        self.emissions[j]
+    }
+}
