@@ -288,6 +288,63 @@ pub fn cace_grammar() -> Grammar {
     grammar
 }
 
+/// The CACE grammar after **concept drift**: the same eleven activities,
+/// venue vocabulary, and object vocabulary, but the household's *habits*
+/// have shifted — including where activities are habitually performed
+/// (meals on the couch, studying at the dining table). Every shift lands
+/// in a CPT the HDBN's M-step re-estimates — posture-per-activity,
+/// gesture-per-activity, location-per-activity, episode durations
+/// (termination probabilities), and next-activity preferences — so a
+/// model trained on [`cace_grammar`] data can recover by incremental EM
+/// over drifted streams, without retraining classifiers or re-mining the
+/// vocabulary. This is the drift scenario the `adaptation` bench and
+/// `examples/failure_injection.rs` evaluate.
+pub fn drifted_cace_grammar() -> Grammar {
+    use Gestural as G;
+    use MacroActivity as A;
+    use Postural as P;
+    use SubLocation as L;
+
+    let mut g = cace_grammar();
+    let idx = |a: A| a.index();
+
+    // TV is now watched from a standing desk / treadmill, not the couch,
+    // with frequent trips to the kitchen.
+    let tv = &mut g.activities[idx(A::WatchingTv)];
+    tv.postural_weights = vec![(P::Standing, 0.65), (P::Walking, 0.2), (P::Sitting, 0.15)];
+    tv.straddle_prob = 0.3;
+    tv.straddle_venues = vec![L::Kitchen, L::DiningTable];
+    // Dinners got chattier, noticeably longer, and migrated to the couch
+    // in front of the TV — the dining table's location signature no
+    // longer identifies the meal.
+    let dining = &mut g.activities[idx(A::Dining)];
+    dining.gestural_weights = vec![(G::Talking, 0.5), (G::Eating, 0.4), (G::Silent, 0.1)];
+    dining.min_ticks = 30;
+    dining.max_ticks = 70;
+    dining.straddle_prob = 0.45;
+    dining.straddle_venues = vec![L::Couch1, L::Couch2];
+    // Study sessions moved to a standing desk, shortened, and often happen
+    // at the dining table instead of the reading table.
+    let studying = &mut g.activities[idx(A::Studying)];
+    studying.postural_weights = vec![(P::Standing, 0.55), (P::Sitting, 0.45)];
+    studying.min_ticks = 12;
+    studying.max_ticks = 35;
+    studying.straddle_prob = 0.4;
+    studying.straddle_venues = vec![L::DiningTable, L::Couch2];
+    // Workouts became short interval sessions.
+    let exercising = &mut g.activities[idx(A::Exercising)];
+    exercising.min_ticks = 8;
+    exercising.max_ticks = 25;
+    // The routine reordered: a post-dinner workout is now the habit (the
+    // old grammar heavily dispreferred it), at television's expense.
+    g.transition_weights[idx(A::Dining)][idx(A::Exercising)] = 4.0;
+    g.transition_weights[idx(A::Dining)][idx(A::WatchingTv)] = 1.0;
+    g.transition_weights[idx(A::Exercising)][idx(A::WatchingTv)] = 3.0;
+
+    g.validate().expect("drifted grammar must stay valid");
+    g
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -337,6 +394,37 @@ mod tests {
         let spec = g.spec(MacroActivity::Cooking.index());
         assert!(spec.straddle_prob > 0.0);
         assert!(spec.straddle_venues.contains(&SubLocation::Couch1));
+    }
+
+    #[test]
+    fn drifted_grammar_shares_the_vocabulary_but_not_the_habits() {
+        let base = cace_grammar();
+        let drifted = drifted_cace_grammar();
+        assert!(drifted.validate().is_ok());
+        // Same vocabulary: activity count, names, venues, objects.
+        assert_eq!(drifted.len(), base.len());
+        for (b, d) in base.activities.iter().zip(&drifted.activities) {
+            assert_eq!(b.name, d.name);
+            assert_eq!(b.venues, d.venues);
+            assert_eq!(b.objects, d.objects);
+        }
+        // Different habits: the post-dinner workout is now preferred...
+        let dining = MacroActivity::Dining.index();
+        let exercising = MacroActivity::Exercising.index();
+        assert!(base.transition_weights[dining][exercising] < 0.1);
+        assert!(drifted.transition_weights[dining][exercising] > 1.0);
+        // ...and TV is watched on foot.
+        let tv = MacroActivity::WatchingTv.index();
+        let top = |g: &Grammar| {
+            g.spec(tv)
+                .postural_weights
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .unwrap()
+                .0
+        };
+        assert_eq!(top(&base), Postural::Sitting);
+        assert_eq!(top(&drifted), Postural::Standing);
     }
 
     #[test]

@@ -33,7 +33,7 @@ pub mod schedule;
 pub mod session;
 
 pub use casas::{casas_grammar, generate_casas_dataset, CasasConfig};
-pub use grammar::{cace_grammar, ActivitySpec, Grammar};
+pub use grammar::{cace_grammar, drifted_cace_grammar, ActivitySpec, Grammar};
 pub use schedule::{Episode, JointSchedule};
 pub use session::{
     generate_cace_dataset, simulate_session, train_test_split, try_train_test_split, ObservedTick,

@@ -10,7 +10,7 @@
 //! (`score_tables/c2_stream_push_*`) and the f32-lane batch decode
 //! (`f32_lane/c2_batch_decode_f32`) — on the identical fig9 workload,
 //! and asserts each is within **5%** of its frozen record. Results land
-//! in `BENCH_PR8.json` as `kernel_parity/*` rows whose notes cite the
+//! in `BENCH_PR9.json` as `kernel_parity/*` rows whose notes cite the
 //! baseline they were gated against.
 //!
 //! Under `--quick` (the CI smoke) the measurement is shortened and the

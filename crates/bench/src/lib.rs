@@ -66,22 +66,22 @@ pub fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
-/// Machine-readable perf records: the `BENCH_PR8.json` trajectory file.
+/// Machine-readable perf records: the `BENCH_PR9.json` trajectory file.
 ///
 /// Each bench that measures a serving-relevant number appends
 /// [`PerfRecord`](perf::PerfRecord)s keyed by a stable `id`; re-running a bench overwrites
 /// its own records and leaves the others, so the file accumulates one
 /// up-to-date row per measurement across harnesses (`score_tables`,
-/// `beam_sweep`, `f32_lane`, `router_scale`, `kernel_parity`). CI's
-/// `--quick` smoke refreshes it on every run. The PR 5/6/7 files
-/// (`BENCH_PR5.json`, `BENCH_PR6.json`, `BENCH_PR7.json`) are kept as
-/// historical baselines; when `BENCH_PR8.json` does not exist yet,
-/// [`emit`](perf::emit) seeds it from the PR 7 file so still-valid
+/// `beam_sweep`, `f32_lane`, `router_scale`, `kernel_parity`,
+/// `adaptation`). CI's `--quick` smoke refreshes it on every run. The
+/// PR 5/6/7/8 files (`BENCH_PR5.json` … `BENCH_PR8.json`) are kept as
+/// historical baselines; when `BENCH_PR9.json` does not exist yet,
+/// [`emit`](perf::emit) seeds it from the PR 8 file so still-valid
 /// records carry forward.
 pub mod perf {
     use std::path::PathBuf;
 
-    /// One measurement row of `BENCH_PR8.json`.
+    /// One measurement row of `BENCH_PR9.json`.
     #[derive(Debug, Clone)]
     pub struct PerfRecord {
         /// Stable record key, e.g. `score_tables/c2_batch_decode`.
@@ -127,7 +127,7 @@ pub mod perf {
     pub fn record_path() -> PathBuf {
         PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
-            .join("BENCH_PR8.json")
+            .join("BENCH_PR9.json")
     }
 
     /// Guard on a record batch about to be emitted: a pruning beam must
@@ -223,14 +223,14 @@ pub mod perf {
         })
     }
 
-    /// Merges `records` into `BENCH_PR8.json`: existing rows with the same
-    /// `id` are replaced, everything else is preserved. When the PR 8 file
-    /// does not exist yet, the merge starts from the frozen `BENCH_PR7.json`
+    /// Merges `records` into `BENCH_PR9.json`: existing rows with the same
+    /// `id` are replaced, everything else is preserved. When the PR 9 file
+    /// does not exist yet, the merge starts from the frozen `BENCH_PR8.json`
     /// so the prior trajectory's record ids carry forward. Prints the file
     /// path so bench logs point at the artifact.
     pub fn emit(records: &[PerfRecord]) {
         let path = record_path();
-        let seed = path.with_file_name("BENCH_PR7.json");
+        let seed = path.with_file_name("BENCH_PR8.json");
         let source = if path.exists() { &path } else { &seed };
         let mut kept: Vec<serde::Value> = Vec::new();
         if let Ok(text) = std::fs::read_to_string(source) {

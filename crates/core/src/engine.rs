@@ -454,6 +454,51 @@ impl CaceEngine {
         serving
     }
 
+    /// A copy of this engine serving with different HDBN parameters —
+    /// the **adaptation constructor**: the incremental EM loop
+    /// re-estimates CPTs from drift windows
+    /// ([`cace_hdbn::DriftAccumulator::reestimate`]) and this grafts the
+    /// result onto the trained engine. Everything not re-estimated —
+    /// classifiers, mined rules, pruning engine, NH baseline tables,
+    /// atom space — is shared unchanged, so the new engine drops into a
+    /// live fleet exactly like the one it replaces.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] if `params` was built for a
+    /// different vocabulary (its dimensions must match this engine's
+    /// atom space) or a different decoder configuration.
+    pub fn with_params(&self, params: HdbnParams) -> Result<Self, ModelError> {
+        let same_dims = params.stats.n_macro == self.space.n_macro
+            && params.stats.n_postural == self.space.n_postural
+            && params.stats.n_gestural == self.space.n_gestural
+            && params.stats.n_location == self.space.n_location;
+        if !same_dims {
+            return Err(ModelError::InvalidConfig(format!(
+                "adapted parameters are over a {}x{}x{}x{} vocabulary, \
+                 engine serves {}x{}x{}x{}",
+                params.stats.n_macro,
+                params.stats.n_postural,
+                params.stats.n_gestural,
+                params.stats.n_location,
+                self.space.n_macro,
+                self.space.n_postural,
+                self.space.n_gestural,
+                self.space.n_location,
+            )));
+        }
+        if params.config != self.params.config {
+            return Err(ModelError::InvalidConfig(
+                "adapted parameters carry a different HDBN config \
+                 (coupling/decoder settings must match the serving engine)"
+                    .to_string(),
+            ));
+        }
+        let mut serving = self.clone();
+        serving.stats = params.stats.clone();
+        serving.params = Arc::new(params);
+        Ok(serving)
+    }
+
     /// Upper bound on this engine's per-tick decoder-frontier size — the
     /// yardstick for choosing a [`cace_hdbn::Beam::TopK`] width (see
     /// [`Strategy::frontier_bound`]).

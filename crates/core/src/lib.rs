@@ -54,7 +54,10 @@ pub use batch::BatchReport;
 pub use cace_hdbn::{Beam, DecoderConfig, Lag, Precision};
 pub use classifiers::MicroClassifiers;
 pub use engine::{CaceConfig, CaceEngine, Recognition};
-pub use router::{HomeStatus, RouterStats, ShardStats, ShardedRouter, DEFAULT_SHARDS};
+pub use router::{
+    AdaptationPolicy, HomeStatus, RouterStats, ShardStats, ShardedRouter, DEFAULT_SHARDS,
+};
+pub use snapshot::ModelRecord;
 pub use strategy::Strategy;
 pub use stream::{
     resume_shared, stream_session, stream_shared, HomeRound, ParkedStream, StreamDecision,

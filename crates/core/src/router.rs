@@ -26,21 +26,38 @@
 //!   or a checkpoint that does not match its model **quarantines** that
 //!   home ([`HomeRound::Failed`], then [`HomeRound::Quarantined`]) and
 //!   never desynchronizes its shard-mates, and never panics.
+//! * **Online adaptation.** A model id is a *versioned* registry entry:
+//!   [`enable_adaptation`](ShardedRouter::enable_adaptation) starts drift
+//!   capture on the model's homes,
+//!   [`adapt_model`](ShardedRouter::adapt_model) folds the captured
+//!   windows into a [`DriftAccumulator`],
+//!   re-runs the M-step, and publishes the re-estimated engine as the
+//!   next **generation**. Live homes **hot-swap** onto the current
+//!   generation lazily, at their next push — a decision boundary — via
+//!   [`StreamingRecognizer::swap_model`], so pre-swap decisions are
+//!   bit-identical and the continuation equals a fresh resume from the
+//!   parked frontier under the new model. Parked homes migrate at
+//!   rehydration, fingerprint-directed: a checkpoint from any *known*
+//!   generation rolls forward (or back, after
+//!   [`rollback_model`](ShardedRouter::rollback_model)) explicitly;
+//!   unknown fingerprints quarantine. Generations persist as
+//!   [`ModelRecord`] snapshots for roll forward/back across processes.
 //!
-//! Per-shard counters (live/parked homes, park/rehydrate counts, push
-//! latency) are exposed through [`ShardedRouter::stats`].
+//! Per-shard counters (live/parked homes, park/rehydrate counts, model
+//! swaps, LRU repairs, push latency) are exposed through
+//! [`ShardedRouter::stats`].
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Instant;
 
 use cace_behavior::ObservedTick;
-use cace_hdbn::Lag;
+use cace_hdbn::{DriftAccumulator, Lag, SingleHdbn};
 use cace_model::ModelError;
 use rayon::prelude::*;
 
 use crate::engine::{CaceEngine, Recognition};
-use crate::snapshot::fnv1a64;
+use crate::snapshot::{fnv1a64, ModelRecord};
 use crate::stream::{resume_shared, stream_shared, HomeRound, ParkedStream, StreamingRecognizer};
 
 fn config_err(what: impl Into<String>) -> ModelError {
@@ -65,10 +82,65 @@ struct HomeSlot {
     id: u64,
     /// Index into the router's model registry.
     model: usize,
+    /// The model generation this home's live stream currently decodes
+    /// under. A lag behind the registry's current generation is repaired
+    /// lazily — a hot swap at the home's next push.
+    generation: usize,
     /// Last-touch stamp; stale [`Shard::lru`] entries are detected by
     /// comparing against it (lazy deletion).
     touch: u64,
     state: SlotState,
+}
+
+/// When and how a model's homes feed the incremental-EM loop. Set per
+/// model id via [`ShardedRouter::enable_adaptation`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdaptationPolicy {
+    /// Ticks per drift window captured on each live stream (≥ 1).
+    pub window_ticks: usize,
+    /// Minimum accumulated windows before
+    /// [`adapt_model`](ShardedRouter::adapt_model) publishes a new
+    /// generation (≥ 1); below it, counts keep accumulating.
+    pub min_windows: u64,
+    /// Prior strength (pseudo-count mass, > 0) anchoring the MAP M-step
+    /// at the serving tables: rows the drift windows never visited stay
+    /// at the base model, well-observed rows follow the drifted data.
+    pub laplace: f64,
+}
+
+impl Default for AdaptationPolicy {
+    fn default() -> Self {
+        Self {
+            window_ticks: 32,
+            min_windows: 4,
+            laplace: 0.5,
+        }
+    }
+}
+
+/// One versioned model registry entry: every generation ever published
+/// (index = generation, so indices stay stable across rollbacks), the
+/// currently served one, and the adaptation state.
+struct ModelEntry {
+    name: String,
+    engines: Vec<Arc<CaceEngine>>,
+    current: usize,
+    policy: Option<AdaptationPolicy>,
+    drift: Option<DriftAccumulator>,
+}
+
+/// An immutable per-model snapshot taken at the top of a round, so the
+/// parallel shard fan-out reads one consistent registry state (no shard
+/// can observe a mid-round publish).
+struct ServeView {
+    engine: Arc<CaceEngine>,
+    generation: usize,
+    capture_window: Option<usize>,
+    /// Parameter fingerprints of every known generation, indexed by
+    /// generation — the rehydration path uses them to tell a *stale but
+    /// known* checkpoint (migrate explicitly) from a foreign one
+    /// (quarantine).
+    known_fps: Vec<u64>,
 }
 
 #[allow(clippy::large_enum_variant)]
@@ -106,6 +178,15 @@ pub struct ShardStats {
     pub parks: u64,
     /// Times this shard rehydrated a parked home.
     pub rehydrations: u64,
+    /// Times a home in this shard hot-swapped onto another model
+    /// generation (live swap at a push, or fingerprint-directed
+    /// migration at rehydration).
+    pub swaps: u64,
+    /// Times [`enforce_cap`](ShardedRouter::with_live_cap)'s LRU queue
+    /// was found missing an entry for a live home and the shard repaired
+    /// itself by parking the stalest live home directly (instead of
+    /// panicking, which would take the whole shard down).
+    pub lru_repairs: u64,
     /// Ticks pushed through this shard.
     pub pushes: u64,
     /// Total wall time spent inside pushes, in nanoseconds (includes any
@@ -150,6 +231,16 @@ impl RouterStats {
         self.sum(|s| s.rehydrations)
     }
 
+    /// Total model-generation hot swaps across all shards.
+    pub fn swaps(&self) -> u64 {
+        self.sum(|s| s.swaps)
+    }
+
+    /// Total LRU self-repairs across all shards (0 in a healthy fleet).
+    pub fn lru_repairs(&self) -> u64 {
+        self.sum(|s| s.lru_repairs)
+    }
+
     /// Total ticks pushed across all shards.
     pub fn pushes(&self) -> u64 {
         self.sum(|s| s.pushes)
@@ -178,6 +269,8 @@ struct Shard {
     clock: u64,
     parks: u64,
     rehydrations: u64,
+    swaps: u64,
+    lru_repairs: u64,
     pushes: u64,
     push_nanos: u64,
 }
@@ -187,6 +280,8 @@ impl Shard {
         let mut stats = ShardStats {
             parks: self.parks,
             rehydrations: self.rehydrations,
+            swaps: self.swaps,
+            lru_repairs: self.lru_repairs,
             pushes: self.pushes,
             push_nanos: self.push_nanos,
             ..ShardStats::default()
@@ -220,10 +315,33 @@ impl Shard {
     fn enforce_cap(&mut self, cap: usize, binary: bool) {
         let mut live = self.live_count();
         while live > cap {
-            let (touch, slot) = self
-                .lru
-                .pop_front()
-                .expect("every live home has an LRU entry");
+            let Some((touch, slot)) = self.lru.pop_front() else {
+                // Invariant breach: more live homes than the cap allows,
+                // but the LRU queue has no entry left for any of them.
+                // Panicking here would take every home in the shard down
+                // with it — instead, *repair*: park the stalest live home
+                // directly (min `(touch, slot)`, the same deterministic
+                // order the queue would have produced) and record the
+                // repair so operators can see the invariant was violated.
+                let victim = self
+                    .slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| matches!(s.state, SlotState::Live(_)))
+                    .min_by_key(|(i, s)| (s.touch, *i))
+                    .map(|(i, _)| i);
+                let Some(slot) = victim else {
+                    break; // nothing live after all — nothing to park
+                };
+                if let SlotState::Live(stream) = &self.slots[slot].state {
+                    let bytes = park_bytes(stream, binary);
+                    self.slots[slot].state = SlotState::Parked(bytes);
+                    self.parks += 1;
+                    self.lru_repairs += 1;
+                    live -= 1;
+                }
+                continue;
+            };
             if self.slots[slot].touch != touch {
                 continue; // stale entry — the home was touched again later
             }
@@ -237,25 +355,68 @@ impl Shard {
         }
     }
 
-    /// Advances one home by one tick, rehydrating it first if parked.
+    /// Advances one home by one tick, rehydrating it first if parked and
+    /// hot-swapping it onto the current model generation if it lags.
     /// Never panics: every failure quarantines this home only.
-    fn push(&mut self, slot: usize, models: &[Arc<CaceEngine>], tick: &ObservedTick) -> HomeRound {
+    fn push(&mut self, slot: usize, views: &[ServeView], tick: &ObservedTick) -> HomeRound {
         let start = Instant::now();
+        let view = &views[self.slots[slot].model];
         // Rehydrate a parked home. Tampered or mismatched snapshot bytes
         // surface here as a Persistence error → quarantine, not a panic.
+        // A checkpoint from a *known* other generation of this model is
+        // migrated explicitly (roll forward after a publish, roll back
+        // after a rollback); an unknown fingerprint falls through to the
+        // resume gate and quarantines.
         if let SlotState::Parked(bytes) = &self.slots[slot].state {
-            let engine = &models[self.slots[slot].model];
-            match ParkedStream::from_snapshot_any(bytes)
-                .and_then(|parked| resume_shared(engine, &parked))
-            {
-                Ok(stream) => {
+            let rehydrated = ParkedStream::from_snapshot_any(bytes).and_then(|parked| {
+                let fp = parked.model_fingerprint();
+                if fp != view.engine.params.fingerprint() && view.known_fps.contains(&fp) {
+                    let migrated = parked.migrated_to(&view.engine);
+                    resume_shared(&view.engine, &migrated).map(|s| (s, true))
+                } else {
+                    resume_shared(&view.engine, &parked).map(|s| (s, false))
+                }
+            });
+            match rehydrated {
+                Ok((stream, swapped)) => {
                     self.slots[slot].state = SlotState::Live(Box::new(stream));
+                    self.slots[slot].generation = view.generation;
                     self.rehydrations += 1;
+                    self.swaps += u64::from(swapped);
                 }
                 Err(e) => {
                     self.slots[slot].state = SlotState::Quarantined(e.clone());
                     return HomeRound::Failed(e);
                 }
+            }
+        }
+        // Lazy hot swap: a live home whose generation lags the registry
+        // swaps here, at the decision boundary before this push, so every
+        // already-emitted decision stays untouched.
+        if self.slots[slot].generation != view.generation {
+            let swapped = match &mut self.slots[slot].state {
+                SlotState::Live(stream) => Some(stream.swap_model(&view.engine)),
+                _ => None,
+            };
+            match swapped {
+                Some(Ok(())) => {
+                    self.slots[slot].generation = view.generation;
+                    self.swaps += 1;
+                }
+                Some(Err(e)) => {
+                    self.slots[slot].state = SlotState::Quarantined(e.clone());
+                    return HomeRound::Failed(e);
+                }
+                None => {}
+            }
+        }
+        // Late-enable drift capture on homes that went live before the
+        // model's adaptation policy was set.
+        if let (Some(window), SlotState::Live(stream)) =
+            (view.capture_window, &mut self.slots[slot].state)
+        {
+            if !stream.drift_capture_enabled() {
+                stream.capture_drift(window);
             }
         }
         let outcome = match &mut self.slots[slot].state {
@@ -282,8 +443,7 @@ impl Shard {
 /// an LRU live-state cap per shard, park/rehydrate on demand. See the
 /// [module docs](self) for the design and guarantees.
 pub struct ShardedRouter {
-    model_names: Vec<String>,
-    models: Vec<Arc<CaceEngine>>,
+    models: Vec<ModelEntry>,
     shards: Vec<Shard>,
     /// Max live homes per shard; overflow is parked, oldest first.
     live_cap: usize,
@@ -308,7 +468,6 @@ impl ShardedRouter {
     pub fn with_shards(shards: usize) -> Self {
         let shards = shards.max(1);
         Self {
-            model_names: Vec::new(),
             models: Vec::new(),
             shards: (0..shards).map(|_| Shard::default()).collect(),
             live_cap: usize::MAX,
@@ -346,8 +505,11 @@ impl ShardedRouter {
         (fnv1a64(&id.to_le_bytes()) % self.shards.len() as u64) as usize
     }
 
-    /// Registers a trained engine under `name`; homes reference it by
-    /// that name and share it fleet-wide.
+    /// Registers a trained engine under `name` as generation 0; homes
+    /// reference it by that name and share it fleet-wide. Later
+    /// generations come from [`adapt_model`](Self::adapt_model),
+    /// [`publish_model`](Self::publish_model), or
+    /// [`import_model`](Self::import_model).
     ///
     /// # Errors
     /// [`ModelError::InvalidConfig`] when `name` is already registered.
@@ -357,19 +519,37 @@ impl ShardedRouter {
         engine: Arc<CaceEngine>,
     ) -> Result<(), ModelError> {
         let name = name.into();
-        if self.model_names.contains(&name) {
+        if self.models.iter().any(|m| m.name == name) {
             return Err(config_err(format!("model `{name}` is already registered")));
         }
-        self.model_names.push(name);
-        self.models.push(engine);
+        self.models.push(ModelEntry {
+            name,
+            engines: vec![engine],
+            current: 0,
+            policy: None,
+            drift: None,
+        });
         Ok(())
     }
 
     fn model_index(&self, model: &str) -> Result<usize, ModelError> {
-        self.model_names
+        self.models
             .iter()
-            .position(|n| n == model)
+            .position(|m| m.name == model)
             .ok_or_else(|| config_err(format!("model `{model}` is not registered")))
+    }
+
+    /// The per-model registry snapshot one round serves under.
+    fn serve_views(&self) -> Vec<ServeView> {
+        self.models
+            .iter()
+            .map(|m| ServeView {
+                engine: Arc::clone(&m.engines[m.current]),
+                generation: m.current,
+                capture_window: m.policy.map(|p| p.window_ticks),
+                known_fps: m.engines.iter().map(|e| e.params.fingerprint()).collect(),
+            })
+            .collect()
     }
 
     /// Registers a home served by `model`, opening a fresh live stream.
@@ -379,8 +559,13 @@ impl ShardedRouter {
     /// home id.
     pub fn add_home(&mut self, id: u64, model: &str, lag: Lag) -> Result<(), ModelError> {
         let model = self.model_index(model)?;
-        let stream = stream_shared(&self.models[model], lag);
-        self.insert(id, model, SlotState::Live(Box::new(stream)))
+        let entry = &self.models[model];
+        let generation = entry.current;
+        let mut stream = stream_shared(&entry.engines[generation], lag);
+        if let Some(policy) = entry.policy {
+            stream.capture_drift(policy.window_ticks);
+        }
+        self.insert(id, model, generation, SlotState::Live(Box::new(stream)))
     }
 
     /// Registers a home directly from parked snapshot bytes — e.g. state
@@ -399,10 +584,22 @@ impl ShardedRouter {
         snapshot: String,
     ) -> Result<(), ModelError> {
         let model = self.model_index(model)?;
-        self.insert(id, model, SlotState::Parked(snapshot.into_bytes()))
+        let generation = self.models[model].current;
+        self.insert(
+            id,
+            model,
+            generation,
+            SlotState::Parked(snapshot.into_bytes()),
+        )
     }
 
-    fn insert(&mut self, id: u64, model: usize, state: SlotState) -> Result<(), ModelError> {
+    fn insert(
+        &mut self,
+        id: u64,
+        model: usize,
+        generation: usize,
+        state: SlotState,
+    ) -> Result<(), ModelError> {
         let shard = self.shard_of(id);
         let shard = &mut self.shards[shard];
         if shard.index.contains_key(&id) {
@@ -412,6 +609,7 @@ impl ShardedRouter {
         shard.slots.push(HomeSlot {
             id,
             model,
+            generation,
             touch: 0,
             state,
         });
@@ -513,6 +711,226 @@ impl ShardedRouter {
         }
     }
 
+    /// Turns on online adaptation for `model`: every live home of the
+    /// model starts capturing drift windows of `policy.window_ticks`
+    /// ticks (parked homes pick capture up at rehydration), and
+    /// [`adapt_model`](Self::adapt_model) becomes available. Capture is
+    /// strictly observational — decisions are unchanged until a new
+    /// generation is actually published and swapped in.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] on an unknown model or a degenerate
+    /// policy (`window_ticks`/`min_windows` of 0, non-positive or
+    /// non-finite `laplace`).
+    pub fn enable_adaptation(
+        &mut self,
+        model: &str,
+        policy: AdaptationPolicy,
+    ) -> Result<(), ModelError> {
+        let idx = self.model_index(model)?;
+        if policy.window_ticks == 0 || policy.min_windows == 0 {
+            return Err(config_err(
+                "adaptation policy needs window_ticks >= 1 and min_windows >= 1",
+            ));
+        }
+        if !policy.laplace.is_finite() || policy.laplace <= 0.0 {
+            return Err(config_err(
+                "adaptation policy needs a positive, finite laplace mass",
+            ));
+        }
+        let entry = &mut self.models[idx];
+        let params = Arc::clone(entry.engines[entry.current].hdbn_params());
+        entry.policy = Some(policy);
+        entry.drift = Some(DriftAccumulator::new(&params));
+        for shard in &mut self.shards {
+            for slot in &mut shard.slots {
+                if slot.model != idx {
+                    continue;
+                }
+                if let SlotState::Live(stream) = &mut slot.state {
+                    if !stream.drift_capture_enabled() {
+                        stream.capture_drift(policy.window_ticks);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs one background adaptation step for `model`: harvests the
+    /// completed drift windows from its live homes (in shard/slot order —
+    /// deterministic for a given push history), folds them into the
+    /// model's [`DriftAccumulator`], and — once the policy's
+    /// `min_windows` is reached — re-runs the M-step and publishes the
+    /// re-estimated engine as the next generation. Live homes hot-swap
+    /// onto it lazily at their next push.
+    ///
+    /// Returns the new generation index, or `None` when the accumulator
+    /// is still below `min_windows` (counts are kept for the next call).
+    /// Windows the E-step cannot process are skipped — adaptation data is
+    /// best-effort by design and never takes the fleet down.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] on an unknown model or one without a
+    /// policy; re-estimation errors surface as the M-step's own errors.
+    pub fn adapt_model(&mut self, model: &str) -> Result<Option<usize>, ModelError> {
+        let idx = self.model_index(model)?;
+        let policy = self.models[idx].policy.ok_or_else(|| {
+            config_err(format!(
+                "model `{model}` has no adaptation policy (call enable_adaptation first)"
+            ))
+        })?;
+        let engine = Arc::clone(&self.models[idx].engines[self.models[idx].current]);
+        let observer = SingleHdbn::from_shared(Arc::clone(engine.hdbn_params()))
+            .with_decoder(engine.config().decoder);
+        let mut drift = self.models[idx]
+            .drift
+            .take()
+            .unwrap_or_else(|| DriftAccumulator::new(engine.hdbn_params()));
+        for shard in &mut self.shards {
+            for slot in &mut shard.slots {
+                if slot.model != idx {
+                    continue;
+                }
+                if let SlotState::Live(stream) = &mut slot.state {
+                    for window in stream.take_drift_windows() {
+                        // `observe` leaves the accumulator untouched on
+                        // failure, so a bad window is dropped whole.
+                        let _ = drift.observe(&observer, &window);
+                    }
+                }
+            }
+        }
+        let outcome = if drift.windows() >= policy.min_windows {
+            let params = drift.reestimate(engine.hdbn_params(), policy.laplace)?;
+            let adapted = Arc::new(engine.with_params(params)?);
+            let entry = &mut self.models[idx];
+            entry.engines.push(adapted);
+            entry.current = entry.engines.len() - 1;
+            drift = DriftAccumulator::new(entry.engines[entry.current].hdbn_params());
+            Some(entry.current)
+        } else {
+            None
+        };
+        self.models[idx].drift = Some(drift);
+        Ok(outcome)
+    }
+
+    /// Publishes `engine` as the next generation of `model` and makes it
+    /// current — the manual counterpart of
+    /// [`adapt_model`](Self::adapt_model) (e.g. a retrain from fresh
+    /// ground truth). Live homes hot-swap lazily at their next push;
+    /// returns the new generation index.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] on an unknown model or an engine
+    /// whose strategy/decoder configuration differs from the serving
+    /// one's (streams could not swap onto it).
+    pub fn publish_model(
+        &mut self,
+        model: &str,
+        engine: Arc<CaceEngine>,
+    ) -> Result<usize, ModelError> {
+        let idx = self.model_index(model)?;
+        let entry = &mut self.models[idx];
+        let current = &entry.engines[entry.current];
+        if engine.config().strategy != current.config().strategy
+            || engine.config().decoder != current.config().decoder
+        {
+            return Err(config_err(format!(
+                "published engine's strategy/decoder config does not match \
+                 model `{model}`'s serving configuration"
+            )));
+        }
+        entry.engines.push(engine);
+        entry.current = entry.engines.len() - 1;
+        if entry.policy.is_some() {
+            entry.drift = Some(DriftAccumulator::new(
+                entry.engines[entry.current].hdbn_params(),
+            ));
+        }
+        Ok(entry.current)
+    }
+
+    /// Rolls `model` back (or forward) to an already-published
+    /// generation. Live homes swap onto it lazily at their next push —
+    /// the same fingerprint-directed migration as any other generation
+    /// move. Generation indices are stable: publishing after a rollback
+    /// appends, it never overwrites history.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] on an unknown model or generation.
+    pub fn rollback_model(&mut self, model: &str, generation: usize) -> Result<(), ModelError> {
+        let idx = self.model_index(model)?;
+        let entry = &mut self.models[idx];
+        if generation >= entry.engines.len() {
+            return Err(config_err(format!(
+                "model `{model}` has generations 0..={}, not {generation}",
+                entry.engines.len() - 1
+            )));
+        }
+        entry.current = generation;
+        if entry.policy.is_some() {
+            entry.drift = Some(DriftAccumulator::new(
+                entry.engines[generation].hdbn_params(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The currently served generation index of `model`.
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] on an unknown model.
+    pub fn model_generation(&self, model: &str) -> Result<usize, ModelError> {
+        Ok(self.models[self.model_index(model)?].current)
+    }
+
+    /// Exports one generation of `model` as a versioned [`ModelRecord`]
+    /// snapshot string — the archive format for roll forward/back across
+    /// processes (pass it to [`import_model`](Self::import_model), or
+    /// [`ModelRecord::from_snapshot_str`] directly).
+    ///
+    /// # Errors
+    /// [`ModelError::InvalidConfig`] on an unknown model or generation.
+    pub fn export_model(&self, model: &str, generation: usize) -> Result<String, ModelError> {
+        let entry = &self.models[self.model_index(model)?];
+        let engine = entry.engines.get(generation).ok_or_else(|| {
+            config_err(format!(
+                "model `{model}` has generations 0..={}, not {generation}",
+                entry.engines.len() - 1
+            ))
+        })?;
+        Ok(ModelRecord {
+            name: entry.name.clone(),
+            generation,
+            engine: CaceEngine::clone(engine),
+        }
+        .to_snapshot_string())
+    }
+
+    /// Imports a [`ModelRecord`] snapshot: if the record's model name is
+    /// already registered, its engine is published as the next (current)
+    /// generation — a roll forward; otherwise the name is registered
+    /// fresh with this engine as generation 0. Returns the generation
+    /// index it now serves as (the record's own generation index is
+    /// provenance from the exporting fleet, not an index here).
+    ///
+    /// # Errors
+    /// [`ModelError::Persistence`] on snapshot verification failure;
+    /// [`ModelError::InvalidConfig`] when publishing onto an existing
+    /// model with a mismatched configuration.
+    pub fn import_model(&mut self, snapshot: &str) -> Result<usize, ModelError> {
+        let record = ModelRecord::from_snapshot_str(snapshot)?;
+        let engine = Arc::new(record.engine);
+        if self.models.iter().any(|m| m.name == record.name) {
+            self.publish_model(&record.name, engine)
+        } else {
+            self.register_model(record.name, engine)?;
+            Ok(0)
+        }
+    }
+
     /// Delivers one round of ticks, fanned out across shards in parallel.
     /// Outcomes are returned aligned with `ticks`. Within a shard, ticks
     /// apply in their `ticks` order; the shard grid is fixed — results
@@ -542,7 +960,8 @@ impl ShardedRouter {
         }
         let live_cap = self.live_cap;
         let binary = self.binary_parking;
-        let models = &self.models;
+        let views = self.serve_views();
+        let views = &views;
         let mut work: Vec<(&mut Shard, Vec<(usize, usize)>)> =
             self.shards.iter_mut().zip(by_shard).collect();
         let mut outcomes: Vec<Vec<(usize, HomeRound)>> = work
@@ -550,7 +969,7 @@ impl ShardedRouter {
             .map(|(shard, work)| {
                 let mut out = Vec::with_capacity(work.len());
                 for &(pos, slot) in work.iter() {
-                    let round = shard.push(slot, models, ticks[pos].1);
+                    let round = shard.push(slot, views, ticks[pos].1);
                     shard.enforce_cap(live_cap, binary);
                     out.push((pos, round));
                 }
@@ -571,6 +990,11 @@ impl ShardedRouter {
     /// returning per-home results **sorted by home id**: the
     /// session-level [`Recognition`] for healthy homes, the quarantining
     /// error for faulted ones.
+    ///
+    /// Finishing never swaps: a parked home resumes under the generation
+    /// its checkpoint fingerprint identifies (current or not), so the
+    /// result is a pure continuation of the model that actually decoded
+    /// its ticks.
     pub fn finish(self) -> Vec<(u64, Result<Recognition, ModelError>)> {
         let Self { models, shards, .. } = self;
         let models = &models;
@@ -585,7 +1009,17 @@ impl ShardedRouter {
                             SlotState::Quarantined(e) => Err(e),
                             SlotState::Live(stream) => stream.finish(),
                             SlotState::Parked(bytes) => ParkedStream::from_snapshot_any(&bytes)
-                                .and_then(|parked| resume_shared(&models[slot.model], &parked))
+                                .and_then(|parked| {
+                                    let entry = &models[slot.model];
+                                    let engine = entry
+                                        .engines
+                                        .iter()
+                                        .find(|e| {
+                                            e.params.fingerprint() == parked.model_fingerprint()
+                                        })
+                                        .unwrap_or(&entry.engines[entry.current]);
+                                    resume_shared(engine, &parked)
+                                })
                                 .and_then(|stream| stream.finish()),
                         };
                         (slot.id, result)
@@ -836,6 +1270,235 @@ mod tests {
             assert_eq!(rec_a.states_explored, rec_b.states_explored);
             assert_eq!(rec_a.transition_ops, rec_b.transition_ops);
         }
+    }
+
+    #[test]
+    fn enforce_cap_repairs_a_missing_lru_entry_without_panicking() {
+        let (train, test) = corpus();
+        let engine = arc_engine(&train);
+        let mut router = ShardedRouter::with_shards(1);
+        router.register_model("cace", engine).unwrap();
+        router.add_home(1, "cace", Lag::Unbounded).unwrap();
+        router.add_home(2, "cace", Lag::Unbounded).unwrap();
+
+        // Violate the invariant the old code `.expect`ed on: live homes
+        // above the cap with an empty LRU queue. The shard must repair
+        // itself — park the stalest live home — not panic.
+        router.shards[0].lru.clear();
+        router.shards[0].enforce_cap(1, false);
+        assert_eq!(router.home_status(1), Some(HomeStatus::Parked));
+        assert_eq!(router.home_status(2), Some(HomeStatus::Live));
+        assert_eq!(router.stats().lru_repairs(), 1);
+
+        // Both homes keep serving afterwards (1 via rehydration).
+        let tick = &test[0].ticks[0].observed;
+        let round = router.push_round(&[(1, tick), (2, tick)]).unwrap();
+        assert!(matches!(round[0], HomeRound::Advanced(_)));
+        assert!(matches!(round[1], HomeRound::Advanced(_)));
+
+        // Nothing live at all + empty queue: a no-op, not a loop or panic.
+        router.park_home(1).unwrap();
+        router.park_home(2).unwrap();
+        router.shards[0].lru.clear();
+        router.shards[0].enforce_cap(0, false);
+        assert_eq!(router.stats().lru_repairs(), 1);
+    }
+
+    #[test]
+    fn hot_swap_to_published_twin_is_bit_identical() {
+        let (train, test) = corpus();
+        let engine = arc_engine(&train);
+        // An independently trained engine over the same corpus: distinct
+        // allocation, identical parameters — the full swap machinery runs
+        // without moving a single decision.
+        let twin = arc_engine(&train);
+        let lag = Lag::Fixed(4);
+        let n_homes = 6u64;
+
+        // No live cap: every home stays live, so the publish exercises
+        // the *live* swap path (capped parked homes with an identical
+        // fingerprint would rehydrate without a migration instead).
+        let mut swapped = ShardedRouter::with_shards(2);
+        let mut control = ShardedRouter::with_shards(2);
+        for router in [&mut swapped, &mut control] {
+            router.register_model("cace", Arc::clone(&engine)).unwrap();
+            for id in 0..n_homes {
+                router.add_home(id, "cace", lag).unwrap();
+            }
+        }
+        let session = &test[0];
+        for (t, tick) in session.ticks.iter().enumerate() {
+            if t == 20 {
+                let generation = swapped.publish_model("cace", Arc::clone(&twin)).unwrap();
+                assert_eq!(generation, 1);
+                assert_eq!(swapped.model_generation("cace").unwrap(), 1);
+            }
+            let round: Vec<(u64, &ObservedTick)> =
+                (0..n_homes).map(|id| (id, &tick.observed)).collect();
+            let a = swapped.push_round(&round).unwrap();
+            let b = control.push_round(&round).unwrap();
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.decision(), y.decision(), "tick {t}");
+            }
+        }
+        // Identical parameters share a fingerprint, so parked homes
+        // resume without a migration; every *live* home swapped once.
+        assert!(swapped.stats().swaps() > 0);
+        assert_eq!(control.stats().swaps(), 0);
+        let a = swapped.finish();
+        let b = control.finish();
+        for ((id_a, rec_a), (id_b, rec_b)) in a.iter().zip(&b) {
+            assert_eq!(id_a, id_b);
+            let (rec_a, rec_b) = (rec_a.as_ref().unwrap(), rec_b.as_ref().unwrap());
+            assert_eq!(rec_a.macros, rec_b.macros);
+            assert_eq!(rec_a.states_explored, rec_b.states_explored);
+        }
+    }
+
+    #[test]
+    fn adapt_model_publishes_generations_and_rolls_back() {
+        let (train, test) = corpus();
+        let engine = arc_engine(&train);
+        let mut router = ShardedRouter::with_shards(2);
+        router.register_model("cace", Arc::clone(&engine)).unwrap();
+        for id in 0..3u64 {
+            router.add_home(id, "cace", Lag::Fixed(4)).unwrap();
+        }
+
+        // No policy yet: adapt_model is a config error, not a panic.
+        assert!(matches!(
+            router.adapt_model("cace"),
+            Err(ModelError::InvalidConfig(_))
+        ));
+        let policy = AdaptationPolicy {
+            window_ticks: 10,
+            min_windows: 2,
+            laplace: 0.5,
+        };
+        router.enable_adaptation("cace", policy).unwrap();
+        // Nothing captured yet → below min_windows → no publish.
+        assert_eq!(router.adapt_model("cace").unwrap(), None);
+        assert_eq!(router.model_generation("cace").unwrap(), 0);
+
+        let session = &test[0];
+        for tick in &session.ticks {
+            let round: Vec<(u64, &ObservedTick)> = (0..3).map(|id| (id, &tick.observed)).collect();
+            router.push_round(&round).unwrap();
+        }
+        // 60 ticks / 10-tick windows × 3 homes ≫ min_windows.
+        let generation = router.adapt_model("cace").unwrap();
+        assert_eq!(generation, Some(1));
+        assert_eq!(router.model_generation("cace").unwrap(), 1);
+
+        // The next round lazily hot-swaps every live home.
+        let before = router.stats().swaps();
+        let round: Vec<(u64, &ObservedTick)> =
+            (0..3).map(|id| (id, &session.ticks[0].observed)).collect();
+        let outcomes = router.push_round(&round).unwrap();
+        assert!(outcomes.iter().all(|r| matches!(r, HomeRound::Advanced(_))));
+        assert!(router.stats().swaps() > before);
+
+        // Roll back to the as-trained generation; homes swap back too.
+        router.rollback_model("cace", 0).unwrap();
+        assert_eq!(router.model_generation("cace").unwrap(), 0);
+        let before = router.stats().swaps();
+        let outcomes = router.push_round(&round).unwrap();
+        assert!(outcomes.iter().all(|r| matches!(r, HomeRound::Advanced(_))));
+        assert!(router.stats().swaps() > before);
+        assert!(matches!(
+            router.rollback_model("cace", 9),
+            Err(ModelError::InvalidConfig(_))
+        ));
+
+        for (_, result) in router.finish() {
+            assert!(result.is_ok());
+        }
+    }
+
+    #[test]
+    fn fingerprint_directed_migration_rolls_imported_homes_forward() {
+        let (train, test) = corpus();
+        let engine_a = arc_engine(&train);
+        let other = generate_cace_dataset(
+            &cace_grammar(),
+            1,
+            4,
+            &SessionConfig::tiny().with_ticks(60),
+            58,
+        );
+        let (other_train, _) = train_test_split(other, 0.75);
+        let engine_b = arc_engine(&other_train);
+        assert_ne!(
+            engine_a.hdbn_params().fingerprint(),
+            engine_b.hdbn_params().fingerprint()
+        );
+        let session = &test[0];
+
+        // A home checkpointed under model A...
+        let mut origin = ShardedRouter::new();
+        origin
+            .register_model("cace", Arc::clone(&engine_a))
+            .unwrap();
+        origin.add_home(5, "cace", Lag::Unbounded).unwrap();
+        for tick in &session.ticks[..10] {
+            origin.push_round(&[(5, &tick.observed)]).unwrap();
+        }
+        let bytes = origin.export_home(5).unwrap();
+
+        // ...quarantines in a fleet that has never seen A (unknown
+        // fingerprint — never a silent wrong-model resume)...
+        let mut foreign = ShardedRouter::new();
+        foreign
+            .register_model("cace", Arc::clone(&engine_b))
+            .unwrap();
+        foreign.import_home(5, "cace", bytes.clone()).unwrap();
+        let round = foreign
+            .push_round(&[(5, &session.ticks[10].observed)])
+            .unwrap();
+        assert!(matches!(
+            round[0],
+            HomeRound::Failed(ModelError::Persistence { .. })
+        ));
+
+        // ...but migrates explicitly in a fleet where A is a *known*
+        // generation that B rolled forward from.
+        let mut fleet = ShardedRouter::new();
+        fleet.register_model("cace", Arc::clone(&engine_a)).unwrap();
+        fleet.publish_model("cace", Arc::clone(&engine_b)).unwrap();
+        fleet.import_home(5, "cace", bytes).unwrap();
+        let round = fleet
+            .push_round(&[(5, &session.ticks[10].observed)])
+            .unwrap();
+        assert!(matches!(round[0], HomeRound::Advanced(_)));
+        assert_eq!(fleet.stats().swaps(), 1);
+        assert_eq!(fleet.home_status(5), Some(HomeStatus::Live));
+    }
+
+    #[test]
+    fn model_records_round_trip_between_fleets() {
+        let (train, test) = corpus();
+        let engine = arc_engine(&train);
+        let mut origin = ShardedRouter::new();
+        origin.register_model("cace", Arc::clone(&engine)).unwrap();
+        let record = origin.export_model("cace", 0).unwrap();
+        assert!(record.starts_with("CACE-SNAPSHOT v3 fnv1a64="));
+        assert!(matches!(
+            origin.export_model("cace", 1),
+            Err(ModelError::InvalidConfig(_))
+        ));
+
+        // Unknown name → registered fresh as generation 0.
+        let mut fresh = ShardedRouter::new();
+        assert_eq!(fresh.import_model(&record).unwrap(), 0);
+        fresh.add_home(1, "cace", Lag::Unbounded).unwrap();
+        let round = fresh
+            .push_round(&[(1, &test[0].ticks[0].observed)])
+            .unwrap();
+        assert!(matches!(round[0], HomeRound::Advanced(_)));
+
+        // Known name → published as the next (current) generation.
+        assert_eq!(fresh.import_model(&record).unwrap(), 1);
+        assert_eq!(fresh.model_generation("cace").unwrap(), 1);
     }
 
     #[test]

@@ -130,10 +130,11 @@ fn verify_header(text: &str) -> Result<(u32, &str), ModelError> {
 }
 
 impl CaceEngine {
-    /// Renders the trained engine as a self-contained snapshot string
-    /// (versioned header + checksum + JSON payload).
-    pub fn to_snapshot_string(&self) -> String {
-        let payload = serde::json::value_to_string(&serde::Value::Map(vec![
+    /// The engine's snapshot payload as a JSON value — shared between the
+    /// standalone engine snapshot and the embedded engine inside a
+    /// [`ModelRecord`].
+    fn payload_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
             // The kind discriminator leads the payload (v3 format rule),
             // so readers can classify a snapshot from its first bytes.
             ("kind".to_string(), serde::Value::Str("engine".to_string())),
@@ -154,8 +155,13 @@ impl CaceEngine {
                 self.nh_log_trans.to_rows().serialize(),
             ),
             ("nh_hmm".to_string(), self.nh_hmm.serialize()),
-        ]));
-        render_snapshot(&payload)
+        ])
+    }
+
+    /// Renders the trained engine as a self-contained snapshot string
+    /// (versioned header + checksum + JSON payload).
+    pub fn to_snapshot_string(&self) -> String {
+        render_snapshot(&serde::json::value_to_string(&self.payload_value()))
     }
 
     /// Reconstructs an engine from [`to_snapshot_string`](Self::to_snapshot_string) output.
@@ -178,18 +184,24 @@ impl CaceEngine {
         }
         let payload = serde::json::value_from_str(payload)
             .map_err(|e| persist_err(format!("payload parse error: {e}")))?;
+        Self::from_payload(version, &payload)
+    }
+
+    /// Rebuilds an engine from an already-parsed (and
+    /// checksum-verified) snapshot payload.
+    fn from_payload(version: u32, payload: &serde::Value) -> Result<Self, ModelError> {
         // v2 payloads predate the kind discriminator and are engine
         // snapshots by definition; v3 payloads must say so.
         if version >= 3 {
-            let kind: String = field(&payload, "kind")?;
+            let kind: String = field(payload, "kind")?;
             if kind != "engine" {
                 return Err(persist_err(format!(
                     "snapshot kind `{kind}` is not an engine snapshot"
                 )));
             }
         }
-        let config: crate::engine::CaceConfig = field(&payload, "config")?;
-        let rules: cace_mining::RuleSet = field(&payload, "rules")?;
+        let config: crate::engine::CaceConfig = field(payload, "config")?;
+        let rules: cace_mining::RuleSet = field(payload, "rules")?;
         // Derived state is rebuilt, not stored: the pruning engine from the
         // rules, the HDBN log tables (inside `HdbnParams::deserialize`)
         // from the mined statistics.
@@ -198,17 +210,17 @@ impl CaceEngine {
         } else {
             None
         };
-        let params: HdbnParams = field(&payload, "params")?;
-        let nh_rows: Vec<Vec<f64>> = field(&payload, "nh_log_trans")?;
+        let params: HdbnParams = field(payload, "params")?;
+        let nh_rows: Vec<Vec<f64>> = field(payload, "nh_log_trans")?;
         Ok(Self {
-            space: field(&payload, "space")?,
-            n_macro: field(&payload, "n_macro")?,
-            has_gestural: field(&payload, "has_gestural")?,
-            classifiers: field(&payload, "classifiers")?,
-            stats: field(&payload, "stats")?,
+            space: field(payload, "space")?,
+            n_macro: field(payload, "n_macro")?,
+            has_gestural: field(payload, "has_gestural")?,
+            classifiers: field(payload, "classifiers")?,
+            stats: field(payload, "stats")?,
             params: Arc::new(params),
             nh_log_trans: crate::nh::FlatTable::from_rows(&nh_rows),
-            nh_hmm: field(&payload, "nh_hmm")?,
+            nh_hmm: field(payload, "nh_hmm")?,
             config,
             rules,
             pruner,
@@ -282,6 +294,99 @@ impl ParkedStream {
             )));
         }
         field(&payload, "stream")
+    }
+}
+
+/// One published generation of a named model, as the serving tier
+/// persists it: the registry name, the generation index, and the full
+/// engine serving that generation. This is the unit of **roll forward /
+/// roll back** for online adaptation — every
+/// [`publish_model`](crate::router::ShardedRouter::publish_model) /
+/// [`adapt_model`](crate::router::ShardedRouter::adapt_model) outcome can
+/// be exported as a record, archived, and re-imported later to restore
+/// exactly that generation.
+#[derive(Debug, Clone)]
+pub struct ModelRecord {
+    /// Registry name of the model this generation belongs to.
+    pub name: String,
+    /// Generation index: 0 is the as-trained engine, each successful
+    /// adaptation or explicit publish appends the next index.
+    pub generation: usize,
+    /// The engine serving this generation.
+    pub engine: CaceEngine,
+}
+
+impl ModelRecord {
+    /// Renders the record as a self-contained snapshot string — the same
+    /// versioned, checksummed v3 envelope as engine and stream snapshots,
+    /// with `"kind": "model-record"` and the engine payload embedded.
+    pub fn to_snapshot_string(&self) -> String {
+        let payload = serde::json::value_to_string(&serde::Value::Map(vec![
+            (
+                "kind".to_string(),
+                serde::Value::Str("model-record".to_string()),
+            ),
+            ("name".to_string(), self.name.serialize()),
+            ("generation".to_string(), self.generation.serialize()),
+            ("engine".to_string(), self.engine.payload_value()),
+        ]));
+        render_snapshot(&payload)
+    }
+
+    /// Reconstructs a record from
+    /// [`to_snapshot_string`](Self::to_snapshot_string) output.
+    ///
+    /// # Errors
+    /// [`ModelError::Persistence`] on a malformed header, a non-v3
+    /// version (model records did not exist before v3), a checksum
+    /// mismatch, a different kind, or an invalid payload.
+    pub fn from_snapshot_str(text: &str) -> Result<Self, ModelError> {
+        let (version, payload) = verify_header(text)?;
+        if version != VERSION {
+            return Err(persist_err(format!(
+                "unsupported model-record snapshot version {version} \
+                 (this build reads v{VERSION})"
+            )));
+        }
+        let payload = serde::json::value_from_str(payload)
+            .map_err(|e| persist_err(format!("payload parse error: {e}")))?;
+        let kind: String = field(&payload, "kind")?;
+        if kind != "model-record" {
+            return Err(persist_err(format!(
+                "snapshot kind `{kind}` is not a model record"
+            )));
+        }
+        let engine_payload = payload
+            .expect_field("engine", "model-record snapshot")
+            .map_err(|e| persist_err(e.to_string()))?;
+        Ok(ModelRecord {
+            name: field(&payload, "name")?,
+            generation: field(&payload, "generation")?,
+            engine: CaceEngine::from_payload(VERSION, engine_payload)?,
+        })
+    }
+
+    /// Writes the record to `path` as a versioned, checksummed snapshot.
+    ///
+    /// # Errors
+    /// [`ModelError::Persistence`] on I/O failure.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), ModelError> {
+        let path = path.as_ref();
+        fs::write(path, self.to_snapshot_string())
+            .map_err(|e| persist_err(format!("writing {}: {e}", path.display())))
+    }
+
+    /// Loads a record previously written by [`save`](Self::save).
+    ///
+    /// # Errors
+    /// [`ModelError::Persistence`] on I/O failure or any verification
+    /// failure described in
+    /// [`from_snapshot_str`](Self::from_snapshot_str).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, ModelError> {
+        let path = path.as_ref();
+        let text = fs::read_to_string(path)
+            .map_err(|e| persist_err(format!("reading {}: {e}", path.display())))?;
+        Self::from_snapshot_str(&text)
     }
 }
 
@@ -410,6 +515,7 @@ impl ParkedStream {
         w.write_u64(self.ncr_prev_sqrt);
         w.write_u64(self.ncr_ops);
         w.write_f64(self.wall_seconds);
+        w.write_u64(self.model_fp);
         let payload = w.into_bytes();
         let checksum = fnv1a64(&payload);
         let mut out = format!(
@@ -507,6 +613,7 @@ impl ParkedStream {
             ncr_prev_sqrt: r.read_u64()?,
             ncr_ops: r.read_u64()?,
             wall_seconds: r.read_f64()?,
+            model_fp: r.read_u64()?,
         };
         r.expect_end()?;
         Ok(parked)
@@ -774,6 +881,76 @@ mod tests {
         assert!(
             ParkedStream::from_snapshot_str(std::str::from_utf8(&bytes).unwrap_or("")).is_err()
         );
+    }
+
+    #[test]
+    fn model_fingerprint_survives_both_codecs_and_gates_resume() {
+        let (engine, sessions) = tiny_engine(Strategy::CorrelationConstraint);
+        let mut stream = engine.stream(cace_hdbn::Lag::Fixed(3));
+        for tick in &sessions[2].ticks[..10] {
+            stream.push(&tick.observed).unwrap();
+        }
+        let checkpoint = stream.park();
+        let want_fp = checkpoint.model_fingerprint();
+
+        let via_json = ParkedStream::from_snapshot_str(&checkpoint.to_snapshot_string()).unwrap();
+        assert_eq!(via_json.model_fingerprint(), want_fp);
+        let via_bin = ParkedStream::from_snapshot_bytes(&checkpoint.to_snapshot_bytes()).unwrap();
+        assert_eq!(via_bin.model_fingerprint(), want_fp);
+
+        // A checkpoint whose recorded model fingerprint was altered (a
+        // stale archive, a cross-fleet import) is refused at resume with
+        // a Persistence error, never decoded against the wrong model.
+        let mut stale = checkpoint.clone();
+        stale.model_fp ^= 1;
+        let err = match engine.resume(&stale) {
+            Err(e) => e,
+            Ok(_) => panic!("stale model fingerprint must not resume"),
+        };
+        assert!(err.to_string().contains("migrate"), "{err}");
+        assert!(engine.resume(&checkpoint).is_ok());
+    }
+
+    #[test]
+    fn model_record_round_trips_and_rejects_other_kinds() {
+        let (engine, sessions) = tiny_engine(Strategy::CorrelationConstraint);
+        let record = ModelRecord {
+            name: "cace-main".to_string(),
+            generation: 3,
+            engine: engine.clone(),
+        };
+        let text = record.to_snapshot_string();
+        assert!(text.starts_with("CACE-SNAPSHOT v3 fnv1a64="));
+        let payload = text.split_once('\n').unwrap().1;
+        assert!(
+            payload.starts_with("{\"kind\":\"model-record\""),
+            "{payload:.40}"
+        );
+
+        let loaded = ModelRecord::from_snapshot_str(&text).unwrap();
+        assert_eq!(loaded.name, "cace-main");
+        assert_eq!(loaded.generation, 3);
+        assert_eq!(
+            loaded.engine.params.fingerprint(),
+            engine.params.fingerprint()
+        );
+        let a = engine.recognize(&sessions[2]).unwrap();
+        let b = loaded.engine.recognize(&sessions[2]).unwrap();
+        assert_eq!(a.macros, b.macros);
+
+        // Kind discipline holds in all directions.
+        let err = ModelRecord::from_snapshot_str(&engine.to_snapshot_string()).unwrap_err();
+        assert!(err.to_string().contains("kind `engine`"), "{err}");
+        let err = CaceEngine::from_snapshot_str(&text).unwrap_err();
+        assert!(err.to_string().contains("kind `model-record`"), "{err}");
+
+        // Filesystem round trip.
+        let path =
+            std::env::temp_dir().join(format!("cace_model_record_{}.cace", std::process::id()));
+        record.save(&path).unwrap();
+        let from_disk = ModelRecord::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(from_disk.generation, 3);
     }
 
     #[test]

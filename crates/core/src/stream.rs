@@ -33,6 +33,16 @@
 //! [`ModelError::Persistence`]. The sharded serving tier
 //! ([`crate::router`]) is built on exactly this park/rehydrate cycle.
 //!
+//! Park/resume also powers **online adaptation**: a checkpoint records the
+//! fingerprint of the model it was taken under, resume refuses a
+//! different model unless the checkpoint is explicitly re-targeted
+//! ([`ParkedStream::migrated_to`]), and
+//! [`StreamingRecognizer::swap_model`] composes park → migrate → resume
+//! into an atomic in-place hot swap at a decision boundary. Opt-in drift
+//! capture ([`StreamingRecognizer::capture_drift`]) buffers decoded tick
+//! inputs into windows for the incremental EM loop
+//! ([`cace_hdbn::DriftAccumulator`]).
+//!
 //! [`StreamRouter`] multiplexes many concurrent homes over rayon: one
 //! recognizer per home, one parallel fan-out per arriving round of ticks.
 //!
@@ -115,6 +125,18 @@ impl Deref for EngineRef<'_> {
     }
 }
 
+/// Opt-in side buffer for online adaptation: the prepared tick inputs of
+/// a live stream, collected into fixed-size windows that a
+/// [`DriftAccumulator`](cace_hdbn::DriftAccumulator) later folds into
+/// expected counts. Strictly observational — capturing never changes a
+/// decision, a counter, or the decode path's allocation profile when
+/// disabled (the default).
+struct DriftBuffer {
+    window_ticks: usize,
+    pending: Vec<TickInput>,
+    completed: Vec<Vec<TickInput>>,
+}
+
 /// Incremental recognition over one home's tick stream.
 ///
 /// Create with [`CaceEngine::stream`] (or [`stream_shared`] for a
@@ -126,6 +148,8 @@ pub struct StreamingRecognizer<'a> {
     decoder: Decoder,
     prev: [PrevState; 2],
     pushed: usize,
+    /// Drift-capture buffer; `None` (the default) costs nothing per push.
+    drift: Option<Box<DriftBuffer>>,
     /// Running Σ per-tick joint sizes (as f64, in push order — the same
     /// accumulation `recognize` performs over its collected vector).
     joint_size_sum: f64,
@@ -173,6 +197,7 @@ fn fresh_stream(engine: EngineRef<'_>, lag: Lag) -> StreamingRecognizer<'_> {
         decoder,
         prev: [PrevState::default(), PrevState::default()],
         pushed: 0,
+        drift: None,
         joint_size_sum: 0.0,
         rules_fired: 0,
         ncr_prev_sqrt: 0,
@@ -200,6 +225,20 @@ fn resume_impl<'a>(
         return Err(park_err(
             "parked stream decoder config does not match the engine's",
         ));
+    }
+    // Model identity gate: a checkpoint silently resumed under different
+    // parameters would continue with a *valid-looking but wrong* frontier
+    // (every structural check below could still pass). Version moves are
+    // legal only through the explicit [`ParkedStream::migrated_to`]
+    // hand-off, which is how the hot-swap layer states its intent.
+    if parked.model_fp != e.params.fingerprint() {
+        return Err(park_err(format!(
+            "parked stream was checkpointed under model {:016x}, engine serves {:016x}; \
+             resume it under the original model or migrate explicitly \
+             (ParkedStream::migrated_to)",
+            parked.model_fp,
+            e.params.fingerprint()
+        )));
     }
     for (u, p) in parked.prev.iter().enumerate() {
         if p.macro_id.is_some_and(|m| m >= e.space.n_macro) {
@@ -264,6 +303,7 @@ fn resume_impl<'a>(
         decoder,
         prev: parked.prev,
         pushed: parked.pushed,
+        drift: None,
         joint_size_sum: parked.joint_size_sum,
         rules_fired: parked.rules_fired,
         ncr_prev_sqrt: parked.ncr_prev_sqrt,
@@ -373,9 +413,78 @@ impl StreamingRecognizer<'_> {
             &features,
             &preparer,
         )?;
+        // Drift capture happens only after the tick decoded cleanly: a
+        // failing tick quarantines the home anyway, and feeding its inputs
+        // to the adaptation loop would train on data nothing served.
+        if let Some(buf) = self.drift.as_deref_mut() {
+            buf.pending.push(prepared.input.clone());
+            if buf.pending.len() >= buf.window_ticks {
+                let window =
+                    std::mem::replace(&mut buf.pending, Vec::with_capacity(buf.window_ticks));
+                buf.completed.push(window);
+            }
+        }
         self.pushed += 1;
         self.wall_seconds += start.elapsed().as_secs_f64();
         Ok(decision)
+    }
+
+    /// Enables drift capture: from now on every cleanly decoded tick's
+    /// prepared input is buffered, and each `window_ticks` consecutive
+    /// ticks close one window for
+    /// [`take_drift_windows`](Self::take_drift_windows). Purely
+    /// observational — decisions, counters, and park/resume state are
+    /// unchanged (captured windows are *not* parked; adaptation data is
+    /// best-effort by design).
+    pub fn capture_drift(&mut self, window_ticks: usize) {
+        self.drift = Some(Box::new(DriftBuffer {
+            window_ticks: window_ticks.max(1),
+            pending: Vec::new(),
+            completed: Vec::new(),
+        }));
+    }
+
+    /// Whether drift capture is enabled on this stream.
+    pub fn drift_capture_enabled(&self) -> bool {
+        self.drift.is_some()
+    }
+
+    /// Drains the completed drift windows collected so far (the partial
+    /// trailing window stays pending). Empty when capture is disabled.
+    pub fn take_drift_windows(&mut self) -> Vec<Vec<TickInput>> {
+        self.drift
+            .as_deref_mut()
+            .map(|b| std::mem::take(&mut b.completed))
+            .unwrap_or_default()
+    }
+
+    /// Hot-swaps this live stream onto `engine` at the current decision
+    /// boundary (between two pushes), in place.
+    ///
+    /// The handoff guarantee, by construction: the swap is exactly
+    /// [`park`](Self::park) → explicit fingerprint migration
+    /// ([`ParkedStream::migrated_to`]) → resume under `engine`. Every
+    /// decision already emitted is untouched (pre-swap output is
+    /// bit-identical to a stream that never swapped), and the
+    /// continuation equals a fresh stream resumed from this exact parked
+    /// frontier under the new model — `tests/adaptation.rs` proptests
+    /// both halves. Swapping onto an engine with identical parameters is
+    /// a bit-identical no-op end to end.
+    ///
+    /// The swap is atomic: on error (strategy/decoder-config mismatch,
+    /// incompatible dimensions) the stream is left exactly as it was.
+    /// Drift-capture state carries across the swap, pending windows
+    /// included.
+    ///
+    /// # Errors
+    /// Those of [`CaceEngine::resume`], minus the fingerprint gate (the
+    /// migration is explicit here).
+    pub fn swap_model(&mut self, engine: &Arc<CaceEngine>) -> Result<(), ModelError> {
+        let parked = self.park().migrated_to(engine);
+        let mut resumed = resume_impl(EngineRef::Shared(Arc::clone(engine)), &parked)?;
+        resumed.drift = self.drift.take();
+        *self = resumed;
+        Ok(())
     }
 
     /// Captures this stream's complete mid-stream state — trellis
@@ -402,6 +511,7 @@ impl StreamingRecognizer<'_> {
             ncr_prev_sqrt: self.ncr_prev_sqrt,
             ncr_ops: self.ncr_ops,
             wall_seconds: self.wall_seconds,
+            model_fp: engine.params.fingerprint(),
         }
     }
 
@@ -555,6 +665,7 @@ pub struct ParkedStream {
     pub(crate) ncr_prev_sqrt: u64,
     pub(crate) ncr_ops: u64,
     pub(crate) wall_seconds: f64,
+    pub(crate) model_fp: u64,
 }
 
 impl ParkedStream {
@@ -571,6 +682,27 @@ impl ParkedStream {
     /// The smoothing lag the parked stream was opened with.
     pub fn lag(&self) -> Lag {
         self.lag
+    }
+
+    /// Fingerprint of the model parameters the stream was checkpointed
+    /// under ([`cace_hdbn::HdbnParams::fingerprint`]). Resume rejects an
+    /// engine whose fingerprint differs — cross-model resumes must go
+    /// through [`migrated_to`](Self::migrated_to).
+    pub fn model_fingerprint(&self) -> u64 {
+        self.model_fp
+    }
+
+    /// Explicitly re-targets this checkpoint at `engine`'s model: returns
+    /// a copy whose model fingerprint matches `engine`, so resuming it
+    /// there passes the fingerprint gate. This is the *hot-swap
+    /// migration* — the trellis frontier carries over verbatim and all
+    /// later ticks score under the new model. Resume still validates
+    /// strategy, decoder config, and dimensions; migration only waives
+    /// the same-model check.
+    pub fn migrated_to(&self, engine: &CaceEngine) -> ParkedStream {
+        let mut migrated = self.clone();
+        migrated.model_fp = engine.params.fingerprint();
+        migrated
     }
 }
 
@@ -1079,6 +1211,133 @@ mod tests {
         let resumed = resume_shared(&engine, &parked).unwrap();
         let batch = engine.recognize(&test[0]).unwrap();
         assert_eq!(resumed.finish().unwrap().macros, batch.macros);
+    }
+
+    #[test]
+    fn swap_model_to_identical_params_is_bit_identical_for_every_strategy() {
+        let (train, test) = corpus();
+        let session = &test[0];
+        for strategy in [
+            Strategy::NaiveHmm,
+            Strategy::NaiveCorrelation,
+            Strategy::NaiveConstraint,
+            Strategy::CorrelationConstraint,
+        ] {
+            let config = CaceConfig {
+                strategy,
+                ..CaceConfig::default()
+            };
+            let engine = Arc::new(CaceEngine::train(&train, &config).unwrap());
+            // An independently trained engine over the same corpus: a
+            // distinct Arc, the same parameters (and so the same
+            // fingerprint) — the swap machinery runs in full, the
+            // numbers must not move.
+            let twin = Arc::new(CaceEngine::train(&train, &config).unwrap());
+            assert_eq!(engine.params.fingerprint(), twin.params.fingerprint());
+
+            let lag = Lag::Fixed(5);
+            let (want_decisions, want) = stream_session(&engine, session, lag).unwrap();
+
+            let mut stream = stream_shared(&engine, lag);
+            let mut got_decisions = Vec::new();
+            for tick in &session.ticks[..40] {
+                if let Some(d) = stream.push(&tick.observed).unwrap() {
+                    got_decisions.push(d);
+                }
+            }
+            stream.swap_model(&twin).unwrap();
+            for tick in &session.ticks[40..] {
+                if let Some(d) = stream.push(&tick.observed).unwrap() {
+                    got_decisions.push(d);
+                }
+            }
+            let got = stream.finish().unwrap();
+            assert_eq!(got_decisions, want_decisions, "{strategy:?}");
+            assert_eq!(got.macros, want.macros, "{strategy:?}");
+            assert_eq!(got.states_explored, want.states_explored, "{strategy:?}");
+            assert_eq!(got.transition_ops, want.transition_ops, "{strategy:?}");
+            assert_eq!(got.rules_fired, want.rules_fired, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn resume_rejects_model_fingerprint_mismatch_unless_migrated() {
+        let (train, test) = corpus();
+        let other_sessions = generate_cace_dataset(
+            &cace_grammar(),
+            1,
+            4,
+            &SessionConfig::tiny().with_ticks(80),
+            99,
+        );
+        let (other_train, _) = train_test_split(other_sessions, 0.75);
+        let engine = CaceEngine::train(&train, &CaceConfig::default()).unwrap();
+        let other = CaceEngine::train(&other_train, &CaceConfig::default()).unwrap();
+        assert_ne!(engine.params.fingerprint(), other.params.fingerprint());
+
+        let mut stream = engine.stream(Lag::Fixed(4));
+        for tick in &test[0].ticks[..10] {
+            stream.push(&tick.observed).unwrap();
+        }
+        let parked = stream.park();
+        assert_eq!(parked.model_fingerprint(), engine.params.fingerprint());
+
+        // Same strategy, same decoder config, different parameters: the
+        // silent resume is refused...
+        assert!(matches!(
+            other.resume(&parked),
+            Err(ModelError::Persistence { .. })
+        ));
+        // ...while the explicit migration is honoured and keeps serving.
+        let migrated = parked.migrated_to(&other);
+        assert_eq!(migrated.model_fingerprint(), other.params.fingerprint());
+        let mut resumed = other.resume(&migrated).unwrap();
+        for tick in &test[0].ticks[10..] {
+            resumed.push(&tick.observed).unwrap();
+        }
+        assert!(resumed.finish().is_ok());
+        // The original checkpoint still resumes where it was taken.
+        assert!(engine.resume(&parked).is_ok());
+    }
+
+    #[test]
+    fn drift_capture_is_observational_and_survives_a_swap() {
+        let (train, test) = corpus();
+        let session = &test[0];
+        let engine = Arc::new(CaceEngine::train(&train, &CaceConfig::default()).unwrap());
+        let lag = Lag::Fixed(5);
+        let (want_decisions, want) = stream_session(&engine, session, lag).unwrap();
+
+        let mut stream = stream_shared(&engine, lag);
+        assert!(!stream.drift_capture_enabled());
+        stream.capture_drift(8);
+        assert!(stream.drift_capture_enabled());
+        let mut got_decisions = Vec::new();
+        for tick in &session.ticks[..30] {
+            if let Some(d) = stream.push(&tick.observed).unwrap() {
+                got_decisions.push(d);
+            }
+        }
+        // The swap carries the capture state, pending ticks included:
+        // 30 pushed = 3 complete windows + 6 pending.
+        stream.swap_model(&engine).unwrap();
+        assert!(stream.drift_capture_enabled());
+        for tick in &session.ticks[30..] {
+            if let Some(d) = stream.push(&tick.observed).unwrap() {
+                got_decisions.push(d);
+            }
+        }
+        let windows = stream.take_drift_windows();
+        assert_eq!(windows.len(), session.len() / 8);
+        assert!(windows.iter().all(|w| w.len() == 8));
+        assert!(
+            stream.take_drift_windows().is_empty(),
+            "windows drain exactly once"
+        );
+        // Capture never moved a decision.
+        let got = stream.finish().unwrap();
+        assert_eq!(got_decisions, want_decisions);
+        assert_eq!(got.macros, want.macros);
     }
 
     #[test]

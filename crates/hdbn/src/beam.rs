@@ -237,11 +237,22 @@ impl BeamScratch {
         self.order.clear();
         self.order.extend(0..n as u32);
         // Total order (score desc, index asc): deterministic survivor sets,
-        // and nested sets across k for tied scores.
+        // and nested sets across k for tied scores. A NaN score (degenerate
+        // input that slipped past upstream clamps) ranks as -inf — the
+        // `Scalar::from_f64` clamp convention applied at selection — so it
+        // can never displace a finite survivor and the comparator stays
+        // total instead of panicking a serving shard.
+        let demote = |s: S| {
+            if s.partial_cmp(&s).is_some() {
+                s
+            } else {
+                S::NEG_INFINITY
+            }
+        };
         let cmp = |a: &u32, b: &u32| {
-            scores[*b as usize]
-                .partial_cmp(&scores[*a as usize])
-                .expect("finite scores")
+            demote(scores[*b as usize])
+                .partial_cmp(&demote(scores[*a as usize]))
+                .unwrap_or(std::cmp::Ordering::Equal)
                 .then_with(|| a.cmp(b))
         };
         self.order.select_nth_unstable_by(k - 1, cmp);
@@ -293,6 +304,23 @@ mod tests {
         assert_eq!(scratch.keep(), &[2, 3]);
         assert!(Beam::TopK(3).select_log(&scores, &mut scratch));
         assert_eq!(scratch.keep(), &[0, 2, 3]);
+    }
+
+    #[test]
+    fn top_k_demotes_nan_scores_instead_of_panicking() {
+        let mut scratch = BeamScratch::new();
+        // NaN at a high index must never displace a finite survivor.
+        let scores = [f64::NAN, 1.0, f64::NAN, 3.0, 2.0];
+        assert!(Beam::TopK(2).select_log(&scores, &mut scratch));
+        assert_eq!(scratch.keep(), &[3, 4]);
+        // NaN ties break like -inf ties: ascending index, deterministic.
+        let all_nan = [f64::NAN; 5];
+        assert!(Beam::TopK(3).select_log(&all_nan, &mut scratch));
+        assert_eq!(scratch.keep(), &[0, 1, 2]);
+        // Same contract on the f32 lane.
+        let scores32 = [f32::NAN, 1.0f32, 0.5, f32::NAN];
+        assert!(Beam::TopK(2).select_log(&scores32, &mut scratch));
+        assert_eq!(scratch.keep(), &[1, 2]);
     }
 
     #[test]

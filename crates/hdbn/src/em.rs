@@ -172,6 +172,113 @@ pub fn fit_em_shared(
     })
 }
 
+/// Incremental drift statistics harvested from live streams: the online
+/// half of EM, decoupled from any one stream's lifetime.
+///
+/// A serving tier cannot afford a batch EM pass over historical sessions,
+/// but it decodes every tick anyway — so each home buffers its prepared
+/// tick inputs into fixed-size windows, and a `DriftAccumulator` folds
+/// those windows into one [`ExpectedCounts`] via the same
+/// forward–backward E-step batch EM uses
+/// ([`SingleHdbn::accumulate_counts`]). Accumulators from homes sharing a
+/// model id [`merge`](Self::merge) associatively in a caller-fixed order
+/// (the counts are sums), and [`reestimate`](Self::reestimate) runs one
+/// M-step over the pooled counts to produce fresh [`HdbnParams`] — the
+/// candidate for a hot swap into the fleet's live decoders.
+///
+/// The accumulator never touches a decoder frontier: observation is
+/// read-only with respect to serving, so a fleet that adapts decodes
+/// bit-identically to one that doesn't until the moment a re-estimated
+/// model is actually swapped in.
+#[derive(Debug, Clone)]
+pub struct DriftAccumulator {
+    counts: ExpectedCounts,
+    windows: u64,
+    ticks: u64,
+}
+
+impl DriftAccumulator {
+    /// An empty accumulator sized for `params`' vocabularies.
+    pub fn new(params: &HdbnParams) -> Self {
+        let s = &params.stats;
+        Self {
+            counts: ExpectedCounts::zeros(s.n_macro, s.n_postural, s.n_gestural, s.n_location),
+            windows: 0,
+            ticks: 0,
+        }
+    }
+
+    /// Folds one decoded stream window (both users' chains) into the
+    /// counts. `model` must wrap the same parameters the window was
+    /// decoded under; an empty window is a no-op.
+    ///
+    /// # Errors
+    /// Propagates [`SingleHdbn::accumulate_counts`] validation failures
+    /// (e.g. a window whose candidate ids do not fit the model); the
+    /// accumulator is left unchanged in that case.
+    pub fn observe(&mut self, model: &SingleHdbn, window: &[TickInput]) -> Result<(), ModelError> {
+        if window.is_empty() {
+            return Ok(());
+        }
+        let s = &model.params().stats;
+        let mut counts = ExpectedCounts::zeros(s.n_macro, s.n_postural, s.n_gestural, s.n_location);
+        for user in 0..2 {
+            model.accumulate_counts(window, user, &mut counts)?;
+        }
+        self.counts.merge(&counts);
+        self.windows += 1;
+        self.ticks += window.len() as u64;
+        Ok(())
+    }
+
+    /// Adds another accumulator's counts (e.g. a different home of the
+    /// same model id). Order-sensitive only at the bit level, like every
+    /// float sum — callers that need determinism merge in a fixed order.
+    pub fn merge(&mut self, other: &DriftAccumulator) {
+        self.counts.merge(&other.counts);
+        self.windows += other.windows;
+        self.ticks += other.ticks;
+    }
+
+    /// Windows folded in so far.
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Ticks folded in so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// The pooled expected counts.
+    pub fn counts(&self) -> &ExpectedCounts {
+        &self.counts
+    }
+
+    /// One MAP M-step over the pooled counts: re-estimated parameters
+    /// carrying `base`'s structural config and coupled co-occurrence table
+    /// (the split batch EM uses — drift EM refines the per-chain
+    /// hierarchical tables, the constraint miner's inter-user table stays).
+    ///
+    /// Unlike batch EM's uniform-Laplace M-step, smoothing here is
+    /// anchored at `base`: each table row gets `strength` pseudo-counts
+    /// distributed according to the base distribution. A row the drift
+    /// windows never visited therefore stays exactly at base instead of
+    /// collapsing toward uniform — essential when adapting from a few
+    /// hundred live ticks that exercise only part of the vocabulary —
+    /// while well-observed rows converge to the drifted empirical
+    /// distribution.
+    ///
+    /// # Errors
+    /// Propagates invalid re-estimated tables.
+    pub fn reestimate(&self, base: &HdbnParams, strength: f64) -> Result<HdbnParams, ModelError> {
+        HdbnParams::new(
+            m_step_map(&base.stats, &self.counts, strength),
+            base.config.clone(),
+        )
+    }
+}
+
 /// M-step: expected counts → smoothed, normalized tables.
 fn m_step(base: &HierarchicalStats, counts: &ExpectedCounts, laplace: f64) -> HierarchicalStats {
     let smooth_rows = |rows: &[Vec<f64>]| -> Vec<Vec<f64>> {
@@ -208,6 +315,59 @@ fn m_step(base: &HierarchicalStats, counts: &ExpectedCounts, laplace: f64) -> Hi
         gestural_given_macro: smooth_rows(&counts.gest),
         location_given_macro: smooth_rows(&counts.loc),
         postural_trans: smooth_rows(&counts.post_trans),
+    }
+}
+
+/// MAP M-step for [`DriftAccumulator::reestimate`]: per-row Dirichlet
+/// prior centered at `base` with total pseudo-count `strength`, so
+/// unobserved rows reproduce the base tables exactly and observed rows
+/// interpolate between base and the empirical drift distribution.
+fn m_step_map(
+    base: &HierarchicalStats,
+    counts: &ExpectedCounts,
+    strength: f64,
+) -> HierarchicalStats {
+    let map_rows = |base_rows: &[Vec<f64>], count_rows: &[Vec<f64>]| -> Vec<Vec<f64>> {
+        base_rows
+            .iter()
+            .zip(count_rows)
+            .map(|(base_row, row)| {
+                let total: f64 = row.iter().sum::<f64>() + strength;
+                base_row
+                    .iter()
+                    .zip(row)
+                    .map(|(&p, &c)| (c + strength * p) / total)
+                    .collect()
+            })
+            .collect()
+    };
+    let prior_total: f64 = counts.prior.iter().sum::<f64>() + strength;
+    let macro_prior: Vec<f64> = base
+        .macro_prior
+        .iter()
+        .zip(&counts.prior)
+        .map(|(&p, &c)| (c + strength * p) / prior_total)
+        .collect();
+    let end_prob: Vec<f64> = base
+        .end_prob
+        .iter()
+        .zip(counts.end.iter().zip(&counts.cont))
+        .map(|(&p, (&e, &c))| ((e + strength * p) / (e + c + strength)).clamp(1e-6, 1.0 - 1e-6))
+        .collect();
+
+    HierarchicalStats {
+        n_macro: base.n_macro,
+        n_postural: base.n_postural,
+        n_gestural: base.n_gestural,
+        n_location: base.n_location,
+        macro_prior,
+        intra_trans: map_rows(&base.intra_trans, &counts.trans),
+        inter_cooc: base.inter_cooc.clone(), // coupled table kept fixed
+        end_prob,
+        postural_given_macro: map_rows(&base.postural_given_macro, &counts.post),
+        gestural_given_macro: map_rows(&base.gestural_given_macro, &counts.gest),
+        location_given_macro: map_rows(&base.location_given_macro, &counts.loc),
+        postural_trans: map_rows(&base.postural_trans, &counts.post_trans),
     }
 }
 
@@ -320,6 +480,116 @@ mod tests {
         )
         .unwrap();
         assert!(outcome.iterations < 20, "loose tol should stop early");
+    }
+
+    #[test]
+    fn drift_accumulator_windows_match_one_batch_e_step() {
+        let initial = Arc::new(weak_initial());
+        let model = SingleHdbn::from_shared(Arc::clone(&initial));
+        let seq = world_sequence(0, 60);
+
+        // Batch: the whole sequence as one E-step input.
+        let batch = e_step(&model, std::slice::from_ref(&seq)).unwrap();
+
+        // Incremental: same ticks fed as windowed chunks. The counts are
+        // not expected to be bit-identical to the batch pass (each window
+        // runs its own forward–backward), but the pooled statistics must
+        // land on the same structure and drive the M-step the same way.
+        let mut acc = DriftAccumulator::new(&initial);
+        for window in seq.chunks(20) {
+            acc.observe(&model, window).unwrap();
+        }
+        assert_eq!(acc.windows(), 3);
+        assert_eq!(acc.ticks(), 60);
+        let total: f64 = acc.counts().prior.iter().sum();
+        assert!(total > 0.0);
+
+        let from_batch = HdbnParams::new(
+            super::m_step(&initial.stats, &batch, 0.5),
+            initial.config.clone(),
+        )
+        .unwrap();
+        let from_drift = acc.reestimate(&initial, 0.5).unwrap();
+        // Both re-estimates sharpen the same activity↔posture association.
+        for a in 0..2 {
+            let b_peak = from_batch.stats.postural_given_macro[a]
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max);
+            let d_peak = from_drift.stats.postural_given_macro[a]
+                .iter()
+                .cloned()
+                .fold(0.0, f64::max);
+            assert!(
+                (b_peak - d_peak).abs() < 0.1,
+                "activity {a}: {b_peak} vs {d_peak}"
+            );
+        }
+        // The coupled table is carried over untouched, per the EM split.
+        assert_eq!(from_drift.stats.inter_cooc, initial.stats.inter_cooc);
+    }
+
+    #[test]
+    fn reestimate_is_anchored_at_the_base_tables() {
+        let initial = Arc::new(weak_initial());
+        let model = SingleHdbn::from_shared(Arc::clone(&initial));
+
+        // No evidence → MAP re-estimation reproduces base exactly (up to
+        // end-prob clamping); an unobserved vocabulary must not drift
+        // toward uniform.
+        let empty = DriftAccumulator::new(&initial);
+        let kept = empty.reestimate(&initial, 0.5).unwrap();
+        assert_eq!(kept.stats.macro_prior, initial.stats.macro_prior);
+        assert_eq!(kept.stats.intra_trans, initial.stats.intra_trans);
+        assert_eq!(
+            kept.stats.postural_given_macro,
+            initial.stats.postural_given_macro
+        );
+        assert_eq!(
+            kept.stats.location_given_macro,
+            initial.stats.location_given_macro
+        );
+
+        // With evidence, observed rows move while the anchor keeps every
+        // probability strictly positive.
+        let mut acc = DriftAccumulator::new(&initial);
+        acc.observe(&model, &world_sequence(0, 60)).unwrap();
+        let moved = acc.reestimate(&initial, 0.5).unwrap();
+        assert_ne!(
+            moved.stats.postural_given_macro,
+            initial.stats.postural_given_macro
+        );
+        for row in &moved.stats.postural_given_macro {
+            assert!(row.iter().all(|&p| p > 0.0));
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn drift_accumulators_merge_like_one_pooled_accumulator() {
+        let initial = Arc::new(weak_initial());
+        let model = SingleHdbn::from_shared(Arc::clone(&initial));
+        let (w1, w2) = (world_sequence(0, 30), world_sequence(5, 30));
+
+        let mut pooled = DriftAccumulator::new(&initial);
+        pooled.observe(&model, &w1).unwrap();
+        pooled.observe(&model, &w2).unwrap();
+
+        let mut home_a = DriftAccumulator::new(&initial);
+        home_a.observe(&model, &w1).unwrap();
+        let mut home_b = DriftAccumulator::new(&initial);
+        home_b.observe(&model, &w2).unwrap();
+        home_a.merge(&home_b);
+
+        assert_eq!(home_a.windows(), pooled.windows());
+        assert_eq!(home_a.ticks(), pooled.ticks());
+        // Same windows in the same order → bit-identical pooled counts.
+        assert_eq!(home_a.counts().prior, pooled.counts().prior);
+        assert_eq!(home_a.counts().trans, pooled.counts().trans);
+        assert_eq!(home_a.counts().post, pooled.counts().post);
+        // Empty windows are no-ops.
+        home_a.observe(&model, &[]).unwrap();
+        assert_eq!(home_a.windows(), pooled.windows());
     }
 
     #[test]

@@ -70,20 +70,23 @@ impl TickInput {
             for &p in &posturals {
                 for &g in &gesturals {
                     for &l in &locations {
+                        // A NaN log-lik (degenerate classifier, adversarial
+                        // feature vector) is clamped to -inf at ingestion —
+                        // the same convention `Scalar::from_f64` uses — so it
+                        // ranks below every finite candidate instead of
+                        // poisoning the sort or the decode kernels.
+                        let raw = score(u, p, g, l);
+                        let obs_loglik = if raw.is_nan() { f64::NEG_INFINITY } else { raw };
                         tuples.push(MicroCandidate {
                             postural: p,
                             gestural: g,
                             location: l,
-                            obs_loglik: score(u, p, g, l),
+                            obs_loglik,
                         });
                     }
                 }
             }
-            tuples.sort_by(|a, b| {
-                b.obs_loglik
-                    .partial_cmp(&a.obs_loglik)
-                    .expect("finite log-liks")
-            });
+            tuples.sort_by(|a, b| b.obs_loglik.total_cmp(&a.obs_loglik));
             tuples.truncate(max_candidates.max(1));
             out.candidates[u] = tuples;
 
@@ -157,6 +160,31 @@ mod tests {
         assert_eq!(input.macros_for(0, 11), vec![0]);
         assert_eq!(input.macros_for(1, 11).len(), 11);
         assert_eq!(input.joint_states(11), 5 * (11 * 5));
+    }
+
+    #[test]
+    fn nan_log_liks_are_clamped_instead_of_panicking() {
+        let space = AtomSpace::cace();
+        let pruned = [UserCandidates::full(&space), UserCandidates::full(&space)];
+        // Poison a subset of the scores with NaN; the build must not panic
+        // and the NaN tuples must rank strictly below every finite one.
+        let input = TickInput::from_candidates(&space, &pruned, true, 10, |_, p, _, l| {
+            if (p + l) % 3 == 0 {
+                f64::NAN
+            } else {
+                -(p as f64)
+            }
+        });
+        assert_eq!(input.candidates[0].len(), 10);
+        for c in &input.candidates[0] {
+            assert!(c.obs_loglik.is_finite(), "NaN survived the cap");
+        }
+        // All-NaN ticks degrade to -inf candidates rather than a crash.
+        let all_nan = TickInput::from_candidates(&space, &pruned, true, 4, |_, _, _, _| f64::NAN);
+        assert_eq!(all_nan.candidates[1].len(), 4);
+        for c in &all_nan.candidates[1] {
+            assert_eq!(c.obs_loglik, f64::NEG_INFINITY);
+        }
     }
 
     #[test]

@@ -71,7 +71,7 @@ pub mod wire;
 
 pub use arena::{StepScratch, TrellisArena};
 pub use beam::{Beam, BeamScratch, DecoderConfig};
-pub use em::{e_step, fit_em, fit_em_shared, EmConfig, EmOutcome};
+pub use em::{e_step, fit_em, fit_em_shared, DriftAccumulator, EmConfig, EmOutcome};
 pub use forward::log_sum_exp;
 pub use input::{MicroCandidate, TickInput};
 pub use online::{Lag, OnlineCoupledViterbi, OnlineSingleViterbi, SmoothedChain, SmoothedJoint};

@@ -82,6 +82,18 @@ pub struct HdbnParams {
     /// pay nothing for it. Like the f64 tables: derived state, never
     /// persisted, rebuilt (on demand) after snapshot load.
     tables_f32: OnceLock<ScoreTablesF32>,
+    /// Lazily computed model fingerprint ([`Self::fingerprint`]).
+    fingerprint: OnceLock<u64>,
+}
+
+/// 64-bit FNV-1a (same constants as the snapshot layer's checksum).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
 }
 
 fn log_table(rows: &[Vec<f64>], scale: f64) -> Vec<Vec<f64>> {
@@ -145,6 +157,7 @@ impl HdbnParams {
             config,
             tables: ScoreTables::default(),
             tables_f32: OnceLock::new(),
+            fingerprint: OnceLock::new(),
         };
         out.tables = ScoreTables::build(&out);
         Ok(out)
@@ -162,6 +175,19 @@ impl HdbnParams {
     /// benignly inside the `OnceLock`.
     pub fn tables_f32(&self) -> &ScoreTablesF32 {
         self.tables_f32.get_or_init(|| self.tables.to_f32())
+    }
+
+    /// A 64-bit fingerprint identifying this model's parameters: FNV-1a
+    /// over the canonical serialized form of `(stats, config)` — exactly
+    /// the pair persistence stores, because every log/score table is a
+    /// deterministic function of it. Two `HdbnParams` fingerprint equal
+    /// iff they decode identically, which is what the hot-swap layer needs
+    /// to tell "same model, safe to resume" from "different model,
+    /// requires an explicit migration". Computed once and cached.
+    pub fn fingerprint(&self) -> u64 {
+        *self
+            .fingerprint
+            .get_or_init(|| fnv1a64(serde::json::value_to_string(&self.serialize()).as_bytes()))
     }
 
     /// Hierarchical emission score of a micro tuple under a macro activity:
@@ -363,6 +389,23 @@ pub(crate) mod tests {
         assert_eq!(t32.switch_row(0)[0], f32::NEG_INFINITY);
         // Subsequent calls return the cached build, not a new one.
         assert!(std::ptr::eq(params.tables_f32(), t32));
+    }
+
+    #[test]
+    fn fingerprint_identifies_the_stats_config_pair() {
+        let a = HdbnParams::new(toy_stats(), HdbnConfig::default()).unwrap();
+        let b = HdbnParams::new(toy_stats(), HdbnConfig::default()).unwrap();
+        // Deterministic across independent builds of the same inputs.
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        // Cached: repeated calls agree (and a clone carries the cache).
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        // Any stats or config change moves the fingerprint.
+        let mut stats = toy_stats();
+        stats.end_prob[0] = (stats.end_prob[0] + 0.11).min(0.9);
+        let c = HdbnParams::new(stats, HdbnConfig::default()).unwrap();
+        assert_ne!(a.fingerprint(), c.fingerprint());
+        let d = HdbnParams::new(toy_stats(), HdbnConfig::uncoupled()).unwrap();
+        assert_ne!(a.fingerprint(), d.fingerprint());
     }
 
     #[test]
