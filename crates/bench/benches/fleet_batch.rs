@@ -1,0 +1,247 @@
+//! **fleet_batch** — the PR 10 headline: fleet-batched trellis stepping.
+//!
+//! The same 1 000-home uncapped fleet as `router_scale`'s `fleet_1k`
+//! point is driven twice over identical tick streams:
+//!
+//! * **batched** — every home of a round receives the *same* observation
+//!   reference, so each shard groups its homes into `(model, tick)`
+//!   cohorts and advances each cohort through one fused kernel pass: the
+//!   observation is featurized once per cohort and the model tables
+//!   stream through cache once per trellis destination instead of once
+//!   per home.
+//! * **scalar** — every home receives its own clone of the observation:
+//!   identical bytes, distinct identity, so cohort formation finds
+//!   nothing to fuse and the identical workload runs down the proven
+//!   per-home path.
+//!
+//! The PR 10 acceptance gates are asserted where they are measured: the
+//! two decision streams must be **bit-identical**, the batched run must
+//! actually batch (and the scalar run must not), and the batched
+//! throughput must clear **≥1.5×** the frozen PR 9
+//! `router_scale/fleet_1k_uncapped` record — the serving-tier headline
+//! as it stood before batching existed. Results land in
+//! `BENCH_PR10.json` as `fleet_batch/*` records; the batched row's note
+//! carries the claim against the frozen baseline.
+
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cace_behavior::{ObservedTick, Session};
+use cace_bench::perf::{self, PerfRecord};
+use cace_bench::{header, nearest_rank};
+use cace_core::{CaceEngine, HomeRound, Lag, ShardedRouter, Strategy, StreamDecision};
+use cace_testkit::{engine, tiny_corpus};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+const MODEL: &str = "cace";
+const LAG: Lag = Lag::Fixed(6);
+const FLEET: usize = 1_000;
+
+struct FleetRun {
+    homes_per_s: f64,
+    p50_push_ns: f64,
+    p99_push_ns: f64,
+    batched_pushes: u64,
+    fallback_pushes: u64,
+    decisions: Vec<(u64, Vec<StreamDecision>)>,
+}
+
+/// Drives the 1k-home uncapped fleet for `rounds` measured rounds (after
+/// a 2-round warmup, which also absorbs the first-tick pushes no kernel
+/// can batch). With `shared_tick`, homes replaying the same session
+/// share one observation reference per round — the cohort former fuses
+/// them; without it, each home gets a pre-round clone of its
+/// observation, so the same decode work runs scalar. Tick cloning
+/// happens outside the timed region either way.
+fn run_fleet(
+    engine: &Arc<CaceEngine>,
+    sessions: &[Session],
+    rounds: usize,
+    shared_tick: bool,
+) -> FleetRun {
+    let mut router = ShardedRouter::new();
+    router
+        .register_model(MODEL, Arc::clone(engine))
+        .expect("fresh registry");
+    for id in 0..FLEET as u64 {
+        router.add_home(id, MODEL, LAG).expect("distinct ids");
+    }
+
+    let mut decisions: Vec<(u64, Vec<StreamDecision>)> =
+        (0..FLEET as u64).map(|id| (id, Vec::new())).collect();
+    let mut per_push_ns: Vec<f64> = Vec::with_capacity(rounds);
+    let mut total_pushes = 0u64;
+    let mut total_seconds = 0.0f64;
+    let warmup = 2;
+    for t in 0..warmup + rounds {
+        let tick_of = |id: u64| -> &ObservedTick {
+            let session = &sessions[id as usize % sessions.len()];
+            &session.ticks[t % session.len()].observed
+        };
+        let owned: Vec<ObservedTick> = if shared_tick {
+            Vec::new()
+        } else {
+            (0..FLEET as u64).map(|id| tick_of(id).clone()).collect()
+        };
+        let round: Vec<(u64, &ObservedTick)> = (0..FLEET as u64)
+            .map(|id| {
+                if shared_tick {
+                    (id, tick_of(id))
+                } else {
+                    (id, &owned[id as usize])
+                }
+            })
+            .collect();
+        let t0 = Instant::now();
+        let outcomes = black_box(router.push_round(black_box(&round)).expect("routed fleet"));
+        let elapsed = t0.elapsed().as_secs_f64();
+        for (pos, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                HomeRound::Advanced(Some(d)) => decisions[pos].1.push(d),
+                HomeRound::Advanced(None) => {}
+                other => panic!("home {pos}: fleet round failed: {other:?}"),
+            }
+        }
+        if t >= warmup {
+            per_push_ns.push(elapsed / FLEET as f64 * 1e9);
+            total_pushes += FLEET as u64;
+            total_seconds += elapsed;
+        }
+    }
+    let stats = router.stats();
+    assert_eq!(stats.quarantined_homes(), 0, "no home may fault at scale");
+    assert_eq!(
+        stats.pushes(),
+        stats.batched_pushes() + stats.fallback_pushes(),
+        "every push is either batched or fallback, exactly once"
+    );
+    per_push_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    FleetRun {
+        homes_per_s: total_pushes as f64 / total_seconds.max(1e-12),
+        p50_push_ns: nearest_rank(&per_push_ns, 0.50),
+        p99_push_ns: nearest_rank(&per_push_ns, 0.99),
+        batched_pushes: stats.batched_pushes(),
+        fallback_pushes: stats.fallback_pushes(),
+        decisions,
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let (train, test) = tiny_corpus(6, 60, 4117);
+    let engine = Arc::new(engine(&train, Strategy::CorrelationConstraint));
+    let rounds = if quick { 8 } else { 18 };
+
+    header("fleet_batch — fused cohort stepping vs scalar pushes (1k homes, uncapped)");
+    let batched = run_fleet(&engine, &test, rounds, true);
+    let scalar = run_fleet(&engine, &test, rounds, false);
+
+    println!(
+        "{:>8} {:>12} {:>12} {:>12} {:>10} {:>10}",
+        "mode", "homes/s", "p50 ns/push", "p99 ns/push", "batched", "fallback"
+    );
+    for (mode, run) in [("batched", &batched), ("scalar", &scalar)] {
+        println!(
+            "{mode:>8} {:>12.0} {:>12.0} {:>12.0} {:>10} {:>10}",
+            run.homes_per_s,
+            run.p50_push_ns,
+            run.p99_push_ns,
+            run.batched_pushes,
+            run.fallback_pushes
+        );
+    }
+
+    // Gate 1: batching may only move work, never answers.
+    assert_eq!(
+        batched.decisions, scalar.decisions,
+        "fused cohorts changed the decision stream"
+    );
+    // Gate 2: the comparison is real — the batched run fused cohorts,
+    // the scalar run never did.
+    assert!(
+        batched.batched_pushes > 0,
+        "a uniform uncapped fleet must form cohorts"
+    );
+    assert_eq!(
+        scalar.batched_pushes, 0,
+        "per-home observation clones must not form cohorts"
+    );
+    // Gate 3: ≥1.5× the frozen PR 9 serving headline on this workload.
+    let base = perf::baseline_homes_per_s_pr9("router_scale/fleet_1k_uncapped")
+        .expect("frozen BENCH_PR9.json carries router_scale/fleet_1k_uncapped homes_per_s");
+    let claim = batched.homes_per_s / base;
+    let vs_scalar = batched.homes_per_s / scalar.homes_per_s;
+    println!(
+        "\nfleet-batch claim: {:.0} homes/s = {claim:.2}x the frozen PR 9 \
+         fleet_1k_uncapped record ({base:.0} homes/s); {vs_scalar:.2}x this run's scalar path",
+        batched.homes_per_s
+    );
+    assert!(
+        claim >= 1.5,
+        "PR 10 gate: batched fleet throughput {:.0} homes/s is only {claim:.2}x the \
+         frozen PR 9 fleet_1k_uncapped baseline ({base:.0} homes/s); the gate needs 1.5x",
+        batched.homes_per_s
+    );
+
+    perf::emit(&[
+        PerfRecord {
+            id: "fleet_batch/fleet_1k_uncapped_batched".into(),
+            per_tick_ns: batched.p50_push_ns,
+            speedup_vs_naive: Some(vs_scalar),
+            allocs_per_tick: None,
+            homes_per_s: Some(batched.homes_per_s),
+            note: format!(
+                "1000 homes, 8 shards, no live cap, lag 6, tiny C2 model, shared-tick \
+                 rounds fused into (model, tick) cohorts: p99 {:.0} ns/push, {} batched / \
+                 {} fallback pushes; decisions bit-identical to the scalar path; claim \
+                 {claim:.2}x >= 1.5x the frozen PR 9 router_scale/fleet_1k_uncapped \
+                 record ({base:.0} homes/s)",
+                batched.p99_push_ns, batched.batched_pushes, batched.fallback_pushes
+            ),
+        },
+        PerfRecord {
+            id: "fleet_batch/fleet_1k_uncapped_scalar".into(),
+            per_tick_ns: scalar.p50_push_ns,
+            speedup_vs_naive: None,
+            allocs_per_tick: None,
+            homes_per_s: Some(scalar.homes_per_s),
+            note: format!(
+                "same fleet, per-home observation clones (distinct tick identity) so no \
+                 cohort forms: p99 {:.0} ns/push, {} fallback pushes — the scalar \
+                 reference the batched row is measured against",
+                scalar.p99_push_ns, scalar.fallback_pushes
+            ),
+        },
+    ]);
+
+    // Criterion target so `--quick`/`--test` runs keep a conventional
+    // timed entry point on the fused path.
+    c.bench_function("fleet_batch/round_1k_homes_batched", |b| {
+        let mut router = ShardedRouter::new();
+        router
+            .register_model(MODEL, Arc::clone(&engine))
+            .expect("fresh registry");
+        for id in 0..FLEET as u64 {
+            router.add_home(id, MODEL, LAG).expect("distinct ids");
+        }
+        let mut t = 0usize;
+        b.iter(|| {
+            let round: Vec<(u64, &ObservedTick)> = (0..FLEET as u64)
+                .map(|id| {
+                    let session = &test[id as usize % test.len()];
+                    (id, &session.ticks[t % session.len()].observed)
+                })
+                .collect();
+            t += 1;
+            black_box(router.push_round(black_box(&round)).expect("routed fleet"))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

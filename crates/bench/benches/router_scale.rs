@@ -20,7 +20,7 @@
 //! actually churn — parks and rehydrations both observed — since this
 //! round-robin drive is the cap's worst case: every home is equally hot,
 //! so every push beyond the cap is a full snapshot-bytes park/rehydrate
-//! cycle. Throughput lands in `BENCH_PR7.json` as `router_scale/*` records
+//! cycle. Throughput lands in `BENCH_PR10.json` as `router_scale/*` records
 //! carrying the `homes_per_s` claim field plus p50/p99 per-home push
 //! latency (the capped rows price that worst case; a production fleet
 //! parks *cold* homes, so its cost sits between the two rows). CI's
@@ -32,8 +32,8 @@ use std::sync::Arc;
 use std::time::Instant;
 
 use cace_behavior::{ObservedTick, Session};
-use cace_bench::header;
 use cace_bench::perf::{self, PerfRecord};
+use cace_bench::{header, nearest_rank};
 use cace_core::{CaceEngine, HomeRound, Lag, ShardedRouter, Strategy, StreamDecision};
 use cace_testkit::{engine, tiny_corpus};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -77,8 +77,12 @@ fn run_fleet(
     if let Some(cap) = live_cap {
         router = router.with_live_cap(cap);
     }
+    // Binary parking is the router default now; the JSON arm of the
+    // park-thrash codec comparison opts out explicitly.
     if binary_parking {
         router = router.with_binary_parking();
+    } else {
+        router = router.with_json_parking();
     }
     router
         .register_model(MODEL, Arc::clone(engine))
@@ -120,7 +124,12 @@ fn run_fleet(
     let stats = router.stats();
     assert_eq!(stats.quarantined_homes(), 0, "no home may fault at scale");
     per_push_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
-    let pct = |p: f64| per_push_ns[((per_push_ns.len() - 1) as f64 * p).round() as usize];
+    // Nearest-rank percentiles (see `cace_bench::nearest_rank`): the
+    // ⌈p·N⌉-th smallest round latency, an actual observed sample. The
+    // previous `round((N-1)·p)` indexing drifted off the conventional
+    // rank on short sweeps — p50 of 18 rounds landed on the 10th
+    // smallest sample instead of the 9th.
+    let pct = |p: f64| nearest_rank(&per_push_ns, p);
     FleetRun {
         homes_per_s: total_pushes as f64 / total_seconds.max(1e-12),
         p50_push_ns: pct(0.50),
@@ -151,8 +160,8 @@ fn bench(c: &mut Criterion) {
     let mut records = Vec::new();
     let mut gate_identity_checked = false;
     for &size in sizes {
-        let uncapped = run_fleet(&engine, &test, size, None, false);
-        let capped = run_fleet(&engine, &test, size, Some(LIVE_CAP), false);
+        let uncapped = run_fleet(&engine, &test, size, None, true);
+        let capped = run_fleet(&engine, &test, size, Some(LIVE_CAP), true);
         for (mode, run) in [("uncapped", &uncapped), ("capped", &capped)] {
             println!(
                 "{size:>8} {mode:>9} {:>12.0} {:>12.0} {:>12.0} {:>9} {:>11}",

@@ -66,22 +66,37 @@ pub fn header(title: &str) {
     println!("\n=== {title} ===");
 }
 
-/// Machine-readable perf records: the `BENCH_PR9.json` trajectory file.
+/// Nearest-rank percentile of an ascending-sorted sample (Hyndman–Fan
+/// definition 1): the `p`-quantile is the `⌈p·N⌉`-th smallest sample,
+/// clamped into the observed range. Unlike the rounded-index form this
+/// always returns an *actual observed* value (never an interpolation)
+/// and is exact at the conventional p50/p99 reporting points: for
+/// N = 18 rounds, p99 is the maximum, not the second-largest.
+///
+/// # Panics
+/// Panics on an empty sample.
+pub fn nearest_rank(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of an empty sample");
+    let rank = (p * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
+}
+
+/// Machine-readable perf records: the `BENCH_PR10.json` trajectory file.
 ///
 /// Each bench that measures a serving-relevant number appends
 /// [`PerfRecord`](perf::PerfRecord)s keyed by a stable `id`; re-running a bench overwrites
 /// its own records and leaves the others, so the file accumulates one
 /// up-to-date row per measurement across harnesses (`score_tables`,
-/// `beam_sweep`, `f32_lane`, `router_scale`, `kernel_parity`,
-/// `adaptation`). CI's `--quick` smoke refreshes it on every run. The
-/// PR 5/6/7/8 files (`BENCH_PR5.json` … `BENCH_PR8.json`) are kept as
-/// historical baselines; when `BENCH_PR9.json` does not exist yet,
-/// [`emit`](perf::emit) seeds it from the PR 8 file so still-valid
-/// records carry forward.
+/// `beam_sweep`, `f32_lane`, `router_scale`, `fleet_batch`,
+/// `kernel_parity`, `adaptation`). CI's `--quick` smoke refreshes it on
+/// every run. The PR 5/6/7/8/9 files (`BENCH_PR5.json` …
+/// `BENCH_PR9.json`) are kept as historical baselines; when
+/// `BENCH_PR10.json` does not exist yet, [`emit`](perf::emit) seeds it
+/// from the PR 9 file so still-valid records carry forward.
 pub mod perf {
     use std::path::PathBuf;
 
-    /// One measurement row of `BENCH_PR9.json`.
+    /// One measurement row of `BENCH_PR10.json`.
     #[derive(Debug, Clone)]
     pub struct PerfRecord {
         /// Stable record key, e.g. `score_tables/c2_batch_decode`.
@@ -127,7 +142,7 @@ pub mod perf {
     pub fn record_path() -> PathBuf {
         PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
-            .join("BENCH_PR9.json")
+            .join("BENCH_PR10.json")
     }
 
     /// Guard on a record batch about to be emitted: a pruning beam must
@@ -183,7 +198,21 @@ pub mod perf {
         baseline_from("BENCH_PR7.json", id)
     }
 
+    /// `homes_per_s` of a record in the frozen PR 9 trajectory file
+    /// (`BENCH_PR9.json`) — the serving-throughput baseline the PR 10
+    /// fleet-batching gate compares against (the gate is pinned to the
+    /// throughput *as it stood when batching was specified*, so later
+    /// scalar-path speedups don't move the goalposts). Returns `None` if
+    /// the file, id, or field is missing.
+    pub fn baseline_homes_per_s_pr9(id: &str) -> Option<f64> {
+        field_from("BENCH_PR9.json", id, "homes_per_s")
+    }
+
     fn baseline_from(file: &str, id: &str) -> Option<f64> {
+        field_from(file, id, "per_tick_ns")
+    }
+
+    fn field_from(file: &str, id: &str, field: &str) -> Option<f64> {
         let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
             .join("../..")
             .join(file);
@@ -207,7 +236,7 @@ pub mod perf {
                 return None;
             }
             fs.iter().find_map(|(k, v)| match (k.as_str(), v) {
-                ("per_tick_ns", serde::Value::Float(f)) => Some(*f),
+                (k, serde::Value::Float(f)) if k == field => Some(*f),
                 _ => None,
             })
         })
@@ -223,14 +252,14 @@ pub mod perf {
         })
     }
 
-    /// Merges `records` into `BENCH_PR9.json`: existing rows with the same
-    /// `id` are replaced, everything else is preserved. When the PR 9 file
-    /// does not exist yet, the merge starts from the frozen `BENCH_PR8.json`
+    /// Merges `records` into `BENCH_PR10.json`: existing rows with the same
+    /// `id` are replaced, everything else is preserved. When the PR 10 file
+    /// does not exist yet, the merge starts from the frozen `BENCH_PR9.json`
     /// so the prior trajectory's record ids carry forward. Prints the file
     /// path so bench logs point at the artifact.
     pub fn emit(records: &[PerfRecord]) {
         let path = record_path();
-        let seed = path.with_file_name("BENCH_PR8.json");
+        let seed = path.with_file_name("BENCH_PR9.json");
         let source = if path.exists() { &path } else { &seed };
         let mut kept: Vec<serde::Value> = Vec::new();
         if let Ok(text) = std::fs::read_to_string(source) {

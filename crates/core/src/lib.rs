@@ -60,6 +60,6 @@ pub use router::{
 pub use snapshot::ModelRecord;
 pub use strategy::Strategy;
 pub use stream::{
-    resume_shared, stream_session, stream_shared, HomeRound, ParkedStream, StreamDecision,
-    StreamRouter, StreamingRecognizer,
+    push_cohort, resume_shared, stream_session, stream_shared, CohortOutcome, HomeRound,
+    ParkedStream, StreamDecision, StreamRouter, StreamingRecognizer,
 };

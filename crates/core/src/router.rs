@@ -16,12 +16,26 @@
 //!   apply in input order; across shards there is no shared mutable
 //!   state. Results are therefore **bit-identical** under any
 //!   `RAYON_NUM_THREADS`.
+//! * **Fleet-batched stepping.** Within a round, each shard groups its
+//!   live, current-generation homes by (model, tick) into **batch
+//!   cohorts** and advances every cohort through one fused kernel pass
+//!   ([`push_cohort`](crate::stream::push_cohort)): the observation is
+//!   featurized once, the model tables stream through cache once, and
+//!   the trellis step runs over all frontiers at once. Homes a cohort
+//!   cannot absorb — parked, mid-swap, quarantined, repeat occurrences
+//!   of an id, mismatched lag or frontier shape, actively-pruning beams
+//!   — fall back to the scalar path; [`ShardStats::batched_pushes`] and
+//!   [`ShardStats::fallback_pushes`] count both sides. Batched and
+//!   scalar decisions are **bit-identical** (`tests/router_scale.rs`
+//!   and `tests/streaming_equivalence.rs` prove it).
 //! * **LRU live cap.** Each shard keeps at most `live_cap` homes live;
 //!   the least-recently-pushed overflow is transparently **parked** —
-//!   serialized to versioned snapshot bytes
-//!   ([`ParkedStream::to_snapshot_string`]) — and rehydrated on its next
-//!   push with a bit-identical continuation. A capped router's decisions
-//!   equal an uncapped one's (`tests/router_scale.rs` proves it).
+//!   serialized to versioned snapshot bytes (the compact binary kind
+//!   [`ParkedStream::to_snapshot_bytes`] by default; JSON via
+//!   [`with_json_parking`](ShardedRouter::with_json_parking)) — and
+//!   rehydrated on its next push with a bit-identical continuation. A
+//!   capped router's decisions equal an uncapped one's
+//!   (`tests/router_scale.rs` proves it).
 //! * **Fault containment.** A failing push, a tampered parked snapshot,
 //!   or a checkpoint that does not match its model **quarantines** that
 //!   home ([`HomeRound::Failed`], then [`HomeRound::Quarantined`]) and
@@ -47,7 +61,7 @@
 //! swaps, LRU repairs, push latency) are exposed through
 //! [`ShardedRouter::stats`].
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -189,6 +203,14 @@ pub struct ShardStats {
     pub lru_repairs: u64,
     /// Ticks pushed through this shard.
     pub pushes: u64,
+    /// Ticks advanced through a fused batch-cohort kernel pass.
+    pub batched_pushes: u64,
+    /// Ticks that took the scalar path instead — parked or mid-swap
+    /// homes, repeat occurrences of an id within a round, cohorts of
+    /// one, or cohort members the kernel refused (mismatched lag or
+    /// frontier shape, an actively-pruning beam). Every push is counted
+    /// exactly once: `pushes == batched_pushes + fallback_pushes`.
+    pub fallback_pushes: u64,
     /// Total wall time spent inside pushes, in nanoseconds (includes any
     /// rehydration the push triggered).
     pub push_nanos: u64,
@@ -246,6 +268,17 @@ impl RouterStats {
         self.sum(|s| s.pushes)
     }
 
+    /// Total ticks advanced through fused batch-cohort kernel passes.
+    pub fn batched_pushes(&self) -> u64 {
+        self.sum(|s| s.batched_pushes)
+    }
+
+    /// Total ticks that took the scalar fallback path (see
+    /// [`ShardStats::fallback_pushes`] for what lands there).
+    pub fn fallback_pushes(&self) -> u64 {
+        self.sum(|s| s.fallback_pushes)
+    }
+
     /// Mean wall time per push, in nanoseconds (0 before the first push).
     pub fn mean_push_nanos(&self) -> u64 {
         self.sum::<u64>(|s| s.push_nanos)
@@ -272,6 +305,8 @@ struct Shard {
     swaps: u64,
     lru_repairs: u64,
     pushes: u64,
+    batched_pushes: u64,
+    fallback_pushes: u64,
     push_nanos: u64,
 }
 
@@ -283,6 +318,8 @@ impl Shard {
             swaps: self.swaps,
             lru_repairs: self.lru_repairs,
             pushes: self.pushes,
+            batched_pushes: self.batched_pushes,
+            fallback_pushes: self.fallback_pushes,
             push_nanos: self.push_nanos,
             ..ShardStats::default()
         };
@@ -434,8 +471,92 @@ impl Shard {
             self.touch(slot);
         }
         self.pushes += 1;
+        self.fallback_pushes += 1;
         self.push_nanos += start.elapsed().as_nanos() as u64;
         outcome
+    }
+
+    /// Advances a cohort of live, current-generation homes sharing one
+    /// observed tick through the fused batched kernel
+    /// ([`crate::stream::push_cohort`]). Members that lost live status
+    /// since cohort formation (an earlier cohort's cap enforcement can
+    /// park them) drop to the scalar [`Shard::push`] path. Outcomes are
+    /// aligned `(input position, round)` pairs.
+    fn push_cohort_members(
+        &mut self,
+        members: &[(usize, usize)],
+        views: &[ServeView],
+        tick: &ObservedTick,
+    ) -> Vec<(usize, HomeRound)> {
+        let start = Instant::now();
+        let mut out = Vec::with_capacity(members.len());
+        let mut live: Vec<(usize, usize)> = Vec::with_capacity(members.len());
+        let mut demoted: Vec<(usize, usize)> = Vec::new();
+        for &(pos, slot) in members {
+            if matches!(self.slots[slot].state, SlotState::Live(_)) {
+                live.push((pos, slot));
+            } else {
+                demoted.push((pos, slot));
+            }
+        }
+        if live.len() < 2 {
+            // Nothing left to fuse — run the whole group scalar, in
+            // input order.
+            live.clear();
+            demoted = members.to_vec();
+        }
+        // Late-enable drift capture exactly where the scalar path does:
+        // before the push.
+        for &(_, slot) in &live {
+            let view = &views[self.slots[slot].model];
+            if let (Some(window), SlotState::Live(stream)) =
+                (view.capture_window, &mut self.slots[slot].state)
+            {
+                if !stream.drift_capture_enabled() {
+                    stream.capture_drift(window);
+                }
+            }
+        }
+        // Lift the member streams out of their slots so the cohort can
+        // borrow all of them mutably at once; every slot gets its state
+        // written back (or a quarantine) below.
+        let mut streams: Vec<Box<StreamingRecognizer<'static>>> = live
+            .iter()
+            .map(|&(_, slot)| {
+                match std::mem::replace(&mut self.slots[slot].state, SlotState::Parked(Vec::new()))
+                {
+                    SlotState::Live(stream) => stream,
+                    _ => unreachable!("liveness checked above"),
+                }
+            })
+            .collect();
+        if !streams.is_empty() {
+            let mut refs: Vec<&mut StreamingRecognizer<'static>> =
+                streams.iter_mut().map(|b| &mut **b).collect();
+            let outcome = crate::stream::push_cohort(&mut refs, tick);
+            self.batched_pushes += outcome.batched as u64;
+            self.fallback_pushes += outcome.fallback as u64;
+            for ((&(pos, slot), stream), result) in live.iter().zip(streams).zip(outcome.results) {
+                match result {
+                    Ok(decision) => {
+                        self.slots[slot].state = SlotState::Live(stream);
+                        self.touch(slot);
+                        out.push((pos, HomeRound::Advanced(decision)));
+                    }
+                    Err(e) => {
+                        self.slots[slot].state = SlotState::Quarantined(e.clone());
+                        out.push((pos, HomeRound::Failed(e)));
+                    }
+                }
+            }
+            self.pushes += live.len() as u64;
+            self.push_nanos += start.elapsed().as_nanos() as u64;
+        }
+        for (pos, slot) in demoted {
+            let round = self.push(slot, views, tick);
+            out.push((pos, round));
+        }
+        out
     }
 }
 
@@ -447,7 +568,8 @@ pub struct ShardedRouter {
     shards: Vec<Shard>,
     /// Max live homes per shard; overflow is parked, oldest first.
     live_cap: usize,
-    /// Park in the binary snapshot kind instead of JSON.
+    /// Park in the compact binary snapshot kind (the default) instead
+    /// of JSON.
     binary_parking: bool,
 }
 
@@ -471,7 +593,7 @@ impl ShardedRouter {
             models: Vec::new(),
             shards: (0..shards).map(|_| Shard::default()).collect(),
             live_cap: usize::MAX,
-            binary_parking: false,
+            binary_parking: true,
         }
     }
 
@@ -484,13 +606,24 @@ impl ShardedRouter {
     }
 
     /// Parks evicted homes in the compact binary snapshot kind
-    /// ([`ParkedStream::to_snapshot_bytes`]) instead of the JSON default —
-    /// several times smaller and cheaper per park/rehydrate cycle, with
-    /// bit-identical continuations. Rehydration always sniffs the header,
-    /// so flipping this flag between runs (or importing the other kind)
-    /// is safe.
+    /// ([`ParkedStream::to_snapshot_bytes`]) — several times smaller and
+    /// cheaper per park/rehydrate cycle than JSON, with bit-identical
+    /// continuations. This is the **default**; the method is kept so
+    /// explicit configuration keeps compiling.
     pub fn with_binary_parking(mut self) -> Self {
         self.binary_parking = true;
+        self
+    }
+
+    /// Parks evicted homes as the portable JSON snapshot kind
+    /// ([`ParkedStream::to_snapshot_string`]) instead of the compact
+    /// binary default — human-inspectable parked bytes at a size and
+    /// speed cost. Rehydration always sniffs the header, so flipping
+    /// parking kinds between runs (or importing the other kind) is
+    /// safe, and [`export_home`](Self::export_home) emits JSON under
+    /// either setting.
+    pub fn with_json_parking(mut self) -> Self {
+        self.binary_parking = false;
         self
     }
 
@@ -968,10 +1101,49 @@ impl ShardedRouter {
             .par_iter_mut()
             .map(|(shard, work)| {
                 let mut out = Vec::with_capacity(work.len());
+                // Cohort formation: the first occurrence of each live,
+                // current-generation home joins the cohort of its
+                // (model, tick) pair; everything else — parked,
+                // mid-swap, quarantined, repeat occurrences of an id —
+                // takes the scalar path afterwards, in input order.
+                // Grouping is a pure function of the input list and the
+                // slot states at the top of the round, so outcomes stay
+                // bit-identical under any thread count.
+                let mut claimed: HashSet<usize> = HashSet::new();
+                let mut cohorts: Vec<((usize, *const ObservedTick), Vec<(usize, usize)>)> =
+                    Vec::new();
+                let mut scalar: Vec<(usize, usize)> = Vec::new();
                 for &(pos, slot) in work.iter() {
-                    let round = shard.push(slot, views, ticks[pos].1);
+                    let s = &shard.slots[slot];
+                    let view = &views[s.model];
+                    if matches!(s.state, SlotState::Live(_))
+                        && s.generation == view.generation
+                        && claimed.insert(slot)
+                    {
+                        let key = (s.model, ticks[pos].1 as *const ObservedTick);
+                        match cohorts.iter_mut().find(|(k, _)| *k == key) {
+                            Some((_, members)) => members.push((pos, slot)),
+                            None => cohorts.push((key, vec![(pos, slot)])),
+                        }
+                    } else {
+                        scalar.push((pos, slot));
+                    }
+                }
+                for (_, members) in cohorts {
+                    let tick = ticks[members[0].0].1;
+                    if members.len() >= 2 {
+                        out.extend(shard.push_cohort_members(&members, views, tick));
+                        shard.enforce_cap(live_cap, binary);
+                    } else {
+                        for (pos, slot) in members {
+                            out.push((pos, shard.push(slot, views, tick)));
+                            shard.enforce_cap(live_cap, binary);
+                        }
+                    }
+                }
+                for (pos, slot) in scalar {
+                    out.push((pos, shard.push(slot, views, ticks[pos].1)));
                     shard.enforce_cap(live_cap, binary);
-                    out.push((pos, round));
                 }
                 out
             })
@@ -1233,10 +1405,12 @@ mod tests {
         let lag = Lag::Fixed(4);
         let n_homes = 6u64;
 
-        let mut json = ShardedRouter::with_shards(2).with_live_cap(1);
-        let mut bin = ShardedRouter::with_shards(2)
+        // Binary parking is the default; JSON stays available (and
+        // readable) via the explicit opt-out.
+        let mut json = ShardedRouter::with_shards(2)
             .with_live_cap(1)
-            .with_binary_parking();
+            .with_json_parking();
+        let mut bin = ShardedRouter::with_shards(2).with_live_cap(1);
         for router in [&mut json, &mut bin] {
             router.register_model("cace", Arc::clone(&engine)).unwrap();
             for id in 0..n_homes {
@@ -1254,6 +1428,7 @@ mod tests {
             }
         }
         assert!(bin.stats().parks() > 0 && bin.stats().rehydrations() > 0);
+        assert!(json.stats().parks() > 0 && json.stats().rehydrations() > 0);
 
         // A binary-parked home exports as portable JSON, loadable by the
         // plain JSON reader.
@@ -1263,6 +1438,69 @@ mod tests {
 
         let a = json.finish();
         let b = bin.finish();
+        for ((id_a, rec_a), (id_b, rec_b)) in a.iter().zip(&b) {
+            assert_eq!(id_a, id_b);
+            let (rec_a, rec_b) = (rec_a.as_ref().unwrap(), rec_b.as_ref().unwrap());
+            assert_eq!(rec_a.macros, rec_b.macros);
+            assert_eq!(rec_a.states_explored, rec_b.states_explored);
+            assert_eq!(rec_a.transition_ops, rec_b.transition_ops);
+        }
+    }
+
+    #[test]
+    fn round_cohorts_match_per_home_rounds_and_count_batched_pushes() {
+        let (train, test) = corpus();
+        let engine = arc_engine(&train);
+        let lag = Lag::Fixed(4);
+        let n_homes = 6u64;
+
+        let mut fused = ShardedRouter::with_shards(2);
+        let mut scalar = ShardedRouter::with_shards(2);
+        for router in [&mut fused, &mut scalar] {
+            router.register_model("cace", Arc::clone(&engine)).unwrap();
+            for id in 0..n_homes {
+                router.add_home(id, "cace", lag).unwrap();
+            }
+        }
+        let session = &test[0];
+        for tick in &session.ticks {
+            let round: Vec<(u64, &ObservedTick)> =
+                (0..n_homes).map(|id| (id, &tick.observed)).collect();
+            let a = fused.push_round(&round).unwrap();
+            // The reference delivers the same ticks one home per round,
+            // so every push takes the proven scalar path.
+            let b: Vec<HomeRound> = (0..n_homes)
+                .map(|id| {
+                    scalar
+                        .push_round(&[(id, &tick.observed)])
+                        .unwrap()
+                        .remove(0)
+                })
+                .collect();
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.decision(), y.decision());
+                assert!(matches!(x, HomeRound::Advanced(_)));
+            }
+        }
+        let fs = fused.stats();
+        let ss = scalar.stats();
+        assert!(fs.batched_pushes() > 0, "uniform fleet must batch: {fs:?}");
+        assert_eq!(fs.pushes(), fs.batched_pushes() + fs.fallback_pushes());
+        assert_eq!(ss.batched_pushes(), 0);
+        assert_eq!(ss.pushes(), ss.fallback_pushes());
+
+        // A repeated id in one round batches its first occurrence only;
+        // the repeat applies afterwards, in order, via the scalar path.
+        let (t0, t1) = (&session.ticks[0].observed, &session.ticks[1].observed);
+        let a = fused.push_round(&[(0, t0), (1, t0), (0, t1)]).unwrap();
+        let b0 = scalar.push_round(&[(0, t0), (1, t0)]).unwrap();
+        let b1 = scalar.push_round(&[(0, t1)]).unwrap();
+        assert_eq!(a[0].decision(), b0[0].decision());
+        assert_eq!(a[1].decision(), b0[1].decision());
+        assert_eq!(a[2].decision(), b1[0].decision());
+
+        let a = fused.finish();
+        let b = scalar.finish();
         for ((id_a, rec_a), (id_b, rec_b)) in a.iter().zip(&b) {
             assert_eq!(id_a, id_b);
             let (rec_a, rec_b) = (rec_a.as_ref().unwrap(), rec_b.as_ref().unwrap());

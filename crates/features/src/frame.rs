@@ -41,11 +41,13 @@ impl FeatureVector {
         let sy = Summary::of(&ys);
         let sz = Summary::of(&zs);
 
-        // Tilt: angle between the mean acceleration vector and ẑ.
+        // Tilt: angle between the mean acceleration vector and ẑ. Norms are
+        // reused from `mags` (computed identically above) rather than
+        // re-derived per sample.
         let tilts: Vec<f64> = frame
             .iter()
-            .map(|s| {
-                let n = s.accel.norm();
+            .zip(&mags)
+            .map(|(s, &n)| {
                 if n == 0.0 {
                     0.0
                 } else {

@@ -49,10 +49,47 @@ pub fn goertzel_power(signal: &[f64], target_hz: f64, sample_rate_hz: f64) -> f6
 }
 
 /// Goertzel powers at 1–5 Hz, the paper's five spectral features per axis.
+///
+/// Runs all five recurrences in one pass over the signal (the naive form
+/// reads the frame five times). Each bin's floating-point sequence is the
+/// recurrence [`goertzel_power`] would run for it, so the result is
+/// bit-identical to five independent calls.
+///
+/// # Panics
+/// As [`goertzel_power`], for each bin in ascending order.
 pub fn goertzel_band(signal: &[f64], sample_rate_hz: f64) -> [f64; 5] {
+    for i in 0..5 {
+        let target_hz = (i + 1) as f64;
+        assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+        assert!(
+            (0.0..=sample_rate_hz / 2.0).contains(&target_hz),
+            "target frequency {target_hz} outside [0, Nyquist]"
+        );
+    }
+    if signal.is_empty() {
+        return [0.0; 5];
+    }
+    let n = signal.len() as f64;
+    let mut coeff = [0.0_f64; 5];
+    for (i, c) in coeff.iter_mut().enumerate() {
+        let k = (n * (i + 1) as f64 / sample_rate_hz).round();
+        let omega = 2.0 * std::f64::consts::PI * k / n;
+        *c = 2.0 * omega.cos();
+    }
+    let mut s_prev = [0.0_f64; 5];
+    let mut s_prev2 = [0.0_f64; 5];
+    for &x in signal {
+        for i in 0..5 {
+            let s = x + coeff[i] * s_prev[i] - s_prev2[i];
+            s_prev2[i] = s_prev[i];
+            s_prev[i] = s;
+        }
+    }
     let mut out = [0.0; 5];
-    for (i, slot) in out.iter_mut().enumerate() {
-        *slot = goertzel_power(signal, (i + 1) as f64, sample_rate_hz);
+    for i in 0..5 {
+        let power =
+            s_prev[i] * s_prev[i] + s_prev2[i] * s_prev2[i] - coeff[i] * s_prev[i] * s_prev2[i];
+        out[i] = power / (n * n);
     }
     out
 }
@@ -122,5 +159,24 @@ mod tests {
     #[should_panic(expected = "Nyquist")]
     fn rejects_above_nyquist() {
         goertzel_power(&[1.0, 2.0], 30.0, 50.0);
+    }
+
+    #[test]
+    fn fused_band_is_bit_identical_to_per_bin_calls() {
+        let fs = 50.0;
+        for (freq, len) in [(1.0, 75), (2.7, 150), (4.0, 300)] {
+            let sig = tone(freq, fs, len);
+            let band = goertzel_band(&sig, fs);
+            for (i, &p) in band.iter().enumerate() {
+                let solo = goertzel_power(&sig, (i + 1) as f64, fs);
+                assert_eq!(
+                    p.to_bits(),
+                    solo.to_bits(),
+                    "bin {} of {freq} Hz tone",
+                    i + 1
+                );
+            }
+        }
+        assert_eq!(goertzel_band(&[], fs), [0.0; 5]);
     }
 }

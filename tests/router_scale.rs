@@ -16,11 +16,11 @@ use proptest::prelude::*;
 
 use cace::behavior::{ObservedTick, Session};
 use cace::core::{
-    stream_session, CaceEngine, HomeRound, HomeStatus, Lag, ShardedRouter, Strategy,
-    StreamDecision, StreamRouter,
+    stream_session, CaceConfig, CaceEngine, DecoderConfig, HomeRound, HomeStatus, Lag,
+    ShardedRouter, Strategy, StreamDecision, StreamRouter,
 };
 use cace::model::ModelError;
-use cace_testkit::{assert_recognitions_identical, engine, tiny_corpus};
+use cace_testkit::{assert_recognitions_identical, engine, engine_with, tiny_corpus};
 
 const MODEL: &str = "cace";
 
@@ -191,6 +191,70 @@ proptest! {
         }
         prop_assert_eq!(a.stats().quarantined_homes(), 0);
     }
+
+    /// PR 10 fleet-batching contract: a router whose rounds share tick
+    /// references (so every shard fuses its homes into `(model, tick)`
+    /// cohorts) produces decision schedules and final recognitions
+    /// bit-identical to dedicated per-home streams, for all four
+    /// strategies under exact and wide-TopK beams — and actually batches.
+    /// The `CACE_FAST32=1` CI sweep replays the same assertions on the
+    /// f32 lane (router and reference share one engine, so bit-identity
+    /// holds within either lane).
+    #[test]
+    fn batched_cohorts_are_bit_identical_to_dedicated_streams(
+        ticks in 36usize..48,
+        seed in 0u64..1_000,
+        beam_case in 0u8..2,
+    ) {
+        let decoder = match beam_case {
+            0 => DecoderConfig::default(),
+            // Wide enough to never prune, so the beam stays batchable.
+            _ => DecoderConfig::top_k(100_000),
+        };
+        let (train, test) = tiny_corpus(6, ticks, seed);
+        let lag = Lag::Fixed(6);
+        for strategy in Strategy::ALL {
+            let config = CaceConfig::default()
+                .with_strategy(strategy)
+                .with_decoder(decoder);
+            let engine = Arc::new(engine_with(&train, &config));
+            let homes: Vec<(u64, &Session)> = (0..8u64)
+                .map(|i| (i * 17 + 3, &test[i as usize % test.len()]))
+                .collect();
+            let ids: Vec<u64> = homes.iter().map(|(id, _)| *id).collect();
+            let mut router = router_with_homes(&engine, &ids, lag, 2, None);
+            let decisions = drive(&mut router, &homes);
+
+            let stats = router.stats();
+            prop_assert!(
+                stats.batched_pushes() > 0,
+                "{}: shared-tick rounds must fuse cohorts",
+                strategy
+            );
+            prop_assert_eq!(
+                stats.pushes(),
+                stats.batched_pushes() + stats.fallback_pushes(),
+                "every push is batched or fallback, exactly once"
+            );
+
+            for (id, result) in router.finish() {
+                let session = homes.iter().find(|(h, _)| *h == id).expect("tracked").1;
+                let (want_decisions, want) =
+                    stream_session(&engine, session, lag).expect("dedicated stream");
+                let got = &decisions
+                    .iter()
+                    .find(|(h, _)| *h == id)
+                    .expect("home is tracked")
+                    .1;
+                prop_assert_eq!(got, &want_decisions, "{}: home {} decisions", strategy, id);
+                assert_recognitions_identical(
+                    &result.expect("healthy home finishes"),
+                    &want,
+                    &format!("{strategy} home {id} batched vs dedicated"),
+                );
+            }
+        }
+    }
 }
 
 #[test]
@@ -298,6 +362,96 @@ fn duplicate_home_ids_are_rejected_by_both_router_tiers() {
         Err(ModelError::InvalidConfig(_))
     ));
     assert_eq!(flat.len(), 1);
+}
+
+#[test]
+fn mid_round_swap_fragments_cohorts_without_changing_decisions() {
+    // A model publish lands mid-drive and half the fleet is advanced one
+    // extra tick so its homes hot-swap first. The next full round is then
+    // *fragmented*: the already-swapped half fuses into cohorts while the
+    // lagging half takes the scalar path to swap — batched and swap
+    // counters both move in that one round — and every home's decision
+    // schedule still matches a dedicated stream bit for bit (the
+    // published twin is independently trained on the same corpus, so its
+    // parameters are identical and no decision may move).
+    let (train, test) = tiny_corpus(6, 50, 13);
+    let base = Arc::new(engine(&train, Strategy::CorrelationConstraint));
+    let twin = Arc::new(engine(&train, Strategy::CorrelationConstraint));
+    let session = &test[0];
+    let lag = Lag::Fixed(6);
+    let ids: Vec<u64> = (0..8u64).map(|i| i * 13 + 1).collect();
+    let mut router = router_with_homes(&base, &ids, lag, 2, None);
+
+    let mut cursors = vec![0usize; ids.len()];
+    let mut decisions: Vec<Vec<StreamDecision>> = vec![Vec::new(); ids.len()];
+    let advance = |router: &mut ShardedRouter,
+                   members: &[usize],
+                   cursors: &mut Vec<usize>,
+                   decisions: &mut Vec<Vec<StreamDecision>>| {
+        let round: Vec<(u64, &ObservedTick)> = members
+            .iter()
+            .map(|&i| (ids[i], &session.ticks[cursors[i]].observed))
+            .collect();
+        let outcomes = router.push_round(&round).expect("routed");
+        for (&i, outcome) in members.iter().zip(outcomes) {
+            match outcome {
+                HomeRound::Advanced(Some(d)) => decisions[i].push(d),
+                HomeRound::Advanced(None) => {}
+                other => panic!("home {}: {other:?}", ids[i]),
+            }
+            cursors[i] += 1;
+        }
+    };
+
+    let all: Vec<usize> = (0..ids.len()).collect();
+    let front: Vec<usize> = (0..ids.len() / 2).collect();
+    for _ in 0..20 {
+        advance(&mut router, &all, &mut cursors, &mut decisions);
+    }
+    assert_eq!(router.publish_model(MODEL, Arc::clone(&twin)).unwrap(), 1);
+    // The front half swaps onto generation 1 (scalar path, one swap each).
+    advance(&mut router, &front, &mut cursors, &mut decisions);
+    let mid = router.stats();
+    assert_eq!(mid.swaps(), front.len() as u64);
+
+    // The fragmented round: front homes are current-generation and fuse,
+    // back homes lag and go scalar to swap — in the same push_round.
+    advance(&mut router, &all, &mut cursors, &mut decisions);
+    let frag = router.stats();
+    assert!(
+        frag.batched_pushes() > mid.batched_pushes(),
+        "fragmented round must still fuse the swapped half: {frag:?}"
+    );
+    assert_eq!(
+        frag.swaps(),
+        ids.len() as u64,
+        "fragmented round must swap the lagging half"
+    );
+
+    // Drain every home to the end of the session; cohorts re-form.
+    while cursors.iter().any(|&c| c < session.len()) {
+        let due: Vec<usize> = (0..ids.len())
+            .filter(|&i| cursors[i] < session.len())
+            .collect();
+        advance(&mut router, &due, &mut cursors, &mut decisions);
+    }
+    let done = router.stats();
+    assert_eq!(
+        done.pushes(),
+        done.batched_pushes() + done.fallback_pushes()
+    );
+    assert_eq!(done.quarantined_homes(), 0);
+
+    let (want_decisions, want) = stream_session(&base, session, lag).expect("dedicated stream");
+    for (id, result) in router.finish() {
+        let i = ids.iter().position(|&h| h == id).expect("tracked");
+        assert_eq!(decisions[i], want_decisions, "home {id}: decisions");
+        assert_recognitions_identical(
+            &result.expect("healthy home finishes"),
+            &want,
+            &format!("home {id} across the mid-drive swap"),
+        );
+    }
 }
 
 #[test]
